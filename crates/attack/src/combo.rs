@@ -1,0 +1,248 @@
+//! The combination attack (Section 6.2.2, Figure 10): run several
+//! crack models and ask what the hacker learns from their union.
+//!
+//! Given the per-item crack outcomes of `k` methods, the paper
+//! considers three aggregations:
+//!
+//! * **union** — count an item if *any* method cracks it (the naive
+//!   sum over the Venn regions; an over-estimate, because the hacker
+//!   cannot tell which of the disagreeing guesses is right),
+//! * **expected** — each item cracked by `j` of `k` equally trusted
+//!   methods contributes `j/k` (the expected-value argument in the
+//!   paper),
+//! * **consensus** — count an item only when at least two methods
+//!   crack it (and therefore agree, up to the radius).
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated view of a combination attack over `num_items` items and
+/// up to 8 methods.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ComboReport {
+    /// Number of methods combined.
+    pub num_methods: usize,
+    /// Number of attacked items (e.g. distinct transformed values).
+    pub num_items: usize,
+    /// Venn region sizes: `venn[mask]` = number of items cracked by
+    /// exactly the method subset `mask` (bit `i` = method `i`).
+    /// `venn[0]` counts items no method cracked.
+    pub venn: Vec<usize>,
+    /// Union (any-method) crack fraction.
+    pub union_risk: f64,
+    /// Expected-value crack fraction (`Σ j/k`).
+    pub expected_risk: f64,
+    /// Consensus (≥ 2 methods) crack fraction.
+    pub consensus_risk: f64,
+}
+
+/// Builds the combination report from per-method crack indicators:
+/// `cracked[m][i]` says whether method `m` cracked item `i`.
+///
+/// # Panics
+/// Panics if no methods are given, more than 8 methods are given
+/// (Venn masks are dense), or the indicator vectors disagree in
+/// length.
+pub fn combine_cracks(cracked: &[Vec<bool>]) -> ComboReport {
+    assert!(!cracked.is_empty(), "need at least one method");
+    assert!(cracked.len() <= 8, "at most 8 methods supported");
+    let k = cracked.len();
+    let n = cracked[0].len();
+    assert!(
+        cracked.iter().all(|c| c.len() == n),
+        "all methods must cover the same items"
+    );
+
+    let mut venn = vec![0usize; 1 << k];
+    for i in 0..n {
+        let mut mask = 0usize;
+        for (m, c) in cracked.iter().enumerate() {
+            if c[i] {
+                mask |= 1 << m;
+            }
+        }
+        venn[mask] += 1;
+    }
+
+    let frac = |x: f64| if n == 0 { 0.0 } else { x / n as f64 };
+    let mut union_cnt = 0usize;
+    let mut consensus_cnt = 0usize;
+    let mut expected = 0.0f64;
+    for (mask, &cnt) in venn.iter().enumerate() {
+        let j = mask.count_ones() as usize;
+        if j >= 1 {
+            union_cnt += cnt;
+            expected += cnt as f64 * j as f64 / k as f64;
+        }
+        if j >= 2 {
+            consensus_cnt += cnt;
+        }
+    }
+
+    ComboReport {
+        num_methods: k,
+        num_items: n,
+        venn,
+        union_risk: frac(union_cnt as f64),
+        expected_risk: frac(expected),
+        consensus_risk: frac(consensus_cnt as f64),
+    }
+}
+
+/// How the hacker resolves disagreeing guesses from multiple crack
+/// models into a single guess per item (the paper's discussion of the
+/// combination attack: "one of the three attacks correctly reveals the
+/// identity of item a, [but] the hacker does not know which").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolveStrategy {
+    /// Trust a fixed method (index into the methods array).
+    Single(usize),
+    /// Average the methods' guesses.
+    Average,
+    /// The median guess — robust to one wild method.
+    Median,
+}
+
+/// Resolves per-method guesses (`guesses[m][i]`) into one guess per
+/// item under `strategy`.
+///
+/// # Panics
+/// Panics on empty/ragged input or an out-of-range `Single` index.
+pub fn resolve_guesses(guesses: &[Vec<f64>], strategy: ResolveStrategy) -> Vec<f64> {
+    assert!(!guesses.is_empty(), "need at least one method");
+    let n = guesses[0].len();
+    assert!(guesses.iter().all(|g| g.len() == n), "ragged guesses");
+    match strategy {
+        ResolveStrategy::Single(m) => {
+            assert!(m < guesses.len(), "method index out of range");
+            guesses[m].clone()
+        }
+        ResolveStrategy::Average => (0..n)
+            .map(|i| guesses.iter().map(|g| g[i]).sum::<f64>() / guesses.len() as f64)
+            .collect(),
+        ResolveStrategy::Median => (0..n)
+            .map(|i| {
+                let mut vs: Vec<f64> = guesses.iter().map(|g| g[i]).collect();
+                vs.sort_by(f64::total_cmp);
+                let k = vs.len();
+                if k % 2 == 1 {
+                    vs[k / 2]
+                } else {
+                    0.5 * (vs[k / 2 - 1] + vs[k / 2])
+                }
+            })
+            .collect(),
+    }
+}
+
+impl ComboReport {
+    /// Fraction of items cracked by exactly the method subset `mask`.
+    pub fn venn_fraction(&self, mask: usize) -> f64 {
+        if self.num_items == 0 {
+            0.0
+        } else {
+            self.venn[mask] as f64 / self.num_items as f64
+        }
+    }
+
+    /// Crack fraction of a single method (marginal over its regions).
+    pub fn method_risk(&self, method: usize) -> f64 {
+        assert!(method < self.num_methods, "method index out of range");
+        let bit = 1 << method;
+        let cnt: usize = self
+            .venn
+            .iter()
+            .enumerate()
+            .filter(|&(mask, _)| mask & bit != 0)
+            .map(|(_, &c)| c)
+            .sum();
+        if self.num_items == 0 {
+            0.0
+        } else {
+            cnt as f64 / self.num_items as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn venn_regions_counted() {
+        // 6 items, 3 methods:
+        // item 0: A only; item 1: A+B; item 2: all three;
+        // item 3: none; item 4: B+C; item 5: C only.
+        let a = vec![true, true, true, false, false, false];
+        let b = vec![false, true, true, false, true, false];
+        let c = vec![false, false, true, false, true, true];
+        let r = combine_cracks(&[a, b, c]);
+        assert_eq!(r.venn[0b001], 1);
+        assert_eq!(r.venn[0b011], 1);
+        assert_eq!(r.venn[0b111], 1);
+        assert_eq!(r.venn[0b000], 1);
+        assert_eq!(r.venn[0b110], 1);
+        assert_eq!(r.venn[0b100], 1);
+        assert!((r.union_risk - 5.0 / 6.0).abs() < 1e-12);
+        assert!((r.consensus_risk - 3.0 / 6.0).abs() < 1e-12);
+        // expected: (1 + 2 + 3 + 0 + 2 + 1)/3 / 6 = 3/6 * ... = 0.5
+        assert!((r.expected_risk - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_match() {
+        let a = vec![true, true, false];
+        let b = vec![false, true, true];
+        let r = combine_cracks(&[a, b]);
+        assert!((r.method_risk(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.method_risk(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_method_degenerates() {
+        let a = vec![true, false, true, true];
+        let r = combine_cracks(&[a]);
+        assert!((r.union_risk - 0.75).abs() < 1e-12);
+        assert!((r.expected_risk - 0.75).abs() < 1e-12);
+        assert_eq!(r.consensus_risk, 0.0);
+    }
+
+    #[test]
+    fn empty_items() {
+        let r = combine_cracks(&[vec![], vec![]]);
+        assert_eq!(r.num_items, 0);
+        assert_eq!(r.union_risk, 0.0);
+        assert_eq!(r.expected_risk, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_lengths_rejected() {
+        let _ = combine_cracks(&[vec![true], vec![true, false]]);
+    }
+
+    #[test]
+    fn resolve_strategies() {
+        let guesses = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![100.0, 30.0]];
+        assert_eq!(
+            resolve_guesses(&guesses, ResolveStrategy::Single(1)),
+            vec![3.0, 20.0]
+        );
+        let avg = resolve_guesses(&guesses, ResolveStrategy::Average);
+        assert!((avg[0] - 104.0 / 3.0).abs() < 1e-12);
+        assert!((avg[1] - 20.0).abs() < 1e-12);
+        // Median shrugs off the wild 100.0.
+        assert_eq!(resolve_guesses(&guesses, ResolveStrategy::Median), vec![3.0, 20.0]);
+    }
+
+    #[test]
+    fn median_of_even_count() {
+        let guesses = vec![vec![1.0], vec![3.0]];
+        assert_eq!(resolve_guesses(&guesses, ResolveStrategy::Median), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_index_checked() {
+        let _ = resolve_guesses(&[vec![1.0]], ResolveStrategy::Single(3));
+    }
+}

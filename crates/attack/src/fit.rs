@@ -1,0 +1,363 @@
+//! Curve-fitting attacks (Definition 5): fit a crack function `g`
+//! through the hacker's knowledge points.
+//!
+//! The paper evaluates three fitting methods: (i) a least-squares
+//! regression line, (ii) a polyline connecting the points, and (iii)
+//! a cubic spline. All three are implemented from scratch (the paper
+//! used MATLAB's fitting toolbox; the mathematics is identical).
+
+use serde::{Deserialize, Serialize};
+
+use crate::kp::KnowledgePoint;
+
+/// The curve-fitting method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitMethod {
+    /// Least-squares regression line.
+    LinearRegression,
+    /// Piecewise-linear interpolation through the points, extrapolated
+    /// with the end segments' slopes.
+    Polyline,
+    /// Natural cubic spline through the points, extrapolated linearly
+    /// with the end derivatives. Falls back to [`FitMethod::Polyline`]
+    /// behaviour with fewer than 3 points.
+    Spline,
+}
+
+impl FitMethod {
+    /// All three methods, in the paper's order.
+    pub const ALL: [FitMethod; 3] =
+        [FitMethod::LinearRegression, FitMethod::Spline, FitMethod::Polyline];
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FitMethod::LinearRegression => "linear-regression",
+            FitMethod::Polyline => "polyline",
+            FitMethod::Spline => "spline",
+        }
+    }
+}
+
+/// A fitted crack function `g : δ'(A) → δ(A)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CrackModel {
+    /// `g(x) = a·x + b`.
+    Line {
+        /// Slope.
+        a: f64,
+        /// Intercept.
+        b: f64,
+    },
+    /// Piecewise-linear through `points` (sorted by x).
+    Polyline {
+        /// Interpolation nodes sorted by transformed value.
+        points: Vec<(f64, f64)>,
+    },
+    /// Natural cubic spline through the nodes.
+    Spline {
+        /// Node x coordinates (strictly increasing).
+        xs: Vec<f64>,
+        /// Node y coordinates.
+        ys: Vec<f64>,
+        /// Second derivatives at the nodes (natural: 0 at both ends).
+        m: Vec<f64>,
+    },
+}
+
+impl CrackModel {
+    /// Evaluates the hacker's guess for transformed value `x`.
+    pub fn guess(&self, x: f64) -> f64 {
+        match self {
+            CrackModel::Line { a, b } => a * x + b,
+            CrackModel::Polyline { points } => eval_polyline(points, x),
+            CrackModel::Spline { xs, ys, m } => eval_spline(xs, ys, m, x),
+        }
+    }
+}
+
+/// Fits a crack function through the knowledge points.
+///
+/// ```
+/// use ppdt_attack::{fit_crack, FitMethod, KnowledgePoint};
+///
+/// // Two knowledge points suffice for a regression-line attack.
+/// let kps = [
+///     KnowledgePoint { transformed: 0.0, guessed: 10.0 },
+///     KnowledgePoint { transformed: 5.0, guessed: 35.0 },
+/// ];
+/// let g = fit_crack(FitMethod::LinearRegression, &kps);
+/// assert_eq!(g.guess(2.0), 20.0);
+/// ```
+///
+/// Points with duplicate transformed values are collapsed (mean of the
+/// guesses) before fitting — interpolation needs strictly increasing
+/// abscissae.
+///
+/// # Panics
+/// Panics if `kps` is empty — a curve-fitting attack needs at least
+/// one point (the ignorant hacker synthesizes anchor points first; see
+/// `ppdt-risk`).
+pub fn fit_crack(method: FitMethod, kps: &[KnowledgePoint]) -> CrackModel {
+    assert!(!kps.is_empty(), "curve fitting needs at least one knowledge point");
+    let mut pts: Vec<(f64, f64)> = kps.iter().map(|k| (k.transformed, k.guessed)).collect();
+    pts.sort_by(|p, q| p.0.total_cmp(&q.0));
+    // Collapse duplicate x.
+    let mut merged: Vec<(f64, f64, usize)> = Vec::with_capacity(pts.len());
+    for (x, y) in pts {
+        match merged.last_mut() {
+            Some((mx, my, n)) if *mx == x => {
+                *my += y;
+                *n += 1;
+            }
+            _ => merged.push((x, y, 1)),
+        }
+    }
+    let pts: Vec<(f64, f64)> = merged
+        .into_iter()
+        .map(|(x, y, n)| (x, y / n as f64))
+        .collect();
+
+    match method {
+        FitMethod::LinearRegression => fit_line(&pts),
+        FitMethod::Polyline => CrackModel::Polyline { points: pts },
+        FitMethod::Spline => fit_spline(&pts),
+    }
+}
+
+fn fit_line(pts: &[(f64, f64)]) -> CrackModel {
+    let n = pts.len() as f64;
+    if pts.len() == 1 {
+        return CrackModel::Line { a: 0.0, b: pts[0].1 };
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::MIN_POSITIVE * 16.0 {
+        return CrackModel::Line { a: 0.0, b: sy / n };
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    CrackModel::Line { a, b }
+}
+
+fn fit_spline(pts: &[(f64, f64)]) -> CrackModel {
+    if pts.len() < 3 {
+        return CrackModel::Polyline { points: pts.to_vec() };
+    }
+    let n = pts.len();
+    let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+
+    // Natural cubic spline: solve the tridiagonal system for the
+    // second derivatives m[1..n-1]; m[0] = m[n-1] = 0.
+    let mut a = vec![0.0; n]; // sub-diagonal
+    let mut b = vec![0.0; n]; // diagonal
+    let mut c = vec![0.0; n]; // super-diagonal
+    let mut d = vec![0.0; n]; // rhs
+    for i in 1..n - 1 {
+        let h0 = xs[i] - xs[i - 1];
+        let h1 = xs[i + 1] - xs[i];
+        a[i] = h0;
+        b[i] = 2.0 * (h0 + h1);
+        c[i] = h1;
+        d[i] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+    }
+    // Thomas algorithm on rows 1..n-1 (natural boundary rows excluded).
+    let mut m = vec![0.0; n];
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    for i in 1..n - 1 {
+        let denom = b[i] - a[i] * if i > 1 { cp[i - 1] } else { 0.0 };
+        cp[i] = c[i] / denom;
+        dp[i] = (d[i] - a[i] * if i > 1 { dp[i - 1] } else { 0.0 }) / denom;
+    }
+    for i in (1..n - 1).rev() {
+        m[i] = dp[i] - cp[i] * m[i + 1];
+    }
+    CrackModel::Spline { xs, ys, m }
+}
+
+fn eval_polyline(points: &[(f64, f64)], x: f64) -> f64 {
+    match points.len() {
+        0 => 0.0,
+        1 => points[0].1,
+        _ => {
+            let n = points.len();
+            // Segment index: clamp to the end segments for extrapolation.
+            let i = points
+                .partition_point(|&(px, _)| px <= x)
+                .clamp(1, n - 1);
+            let (x0, y0) = points[i - 1];
+            let (x1, y1) = points[i];
+            let t = (x - x0) / (x1 - x0);
+            y0 + t * (y1 - y0)
+        }
+    }
+}
+
+fn eval_spline(xs: &[f64], ys: &[f64], m: &[f64], x: f64) -> f64 {
+    let n = xs.len();
+    if x <= xs[0] {
+        // Linear extrapolation with the end derivative.
+        let h = xs[1] - xs[0];
+        let d0 = (ys[1] - ys[0]) / h - h * (2.0 * m[0] + m[1]) / 6.0;
+        return ys[0] + d0 * (x - xs[0]);
+    }
+    if x >= xs[n - 1] {
+        let h = xs[n - 1] - xs[n - 2];
+        let d1 = (ys[n - 1] - ys[n - 2]) / h + h * (2.0 * m[n - 1] + m[n - 2]) / 6.0;
+        return ys[n - 1] + d1 * (x - xs[n - 1]);
+    }
+    let i = xs.partition_point(|&px| px <= x).clamp(1, n - 1);
+    let h = xs[i] - xs[i - 1];
+    let t0 = (xs[i] - x) / h;
+    let t1 = (x - xs[i - 1]) / h;
+    m[i - 1] * (t0 * t0 * t0) * h * h / 6.0 + m[i] * (t1 * t1 * t1) * h * h / 6.0
+        + (ys[i - 1] - m[i - 1] * h * h / 6.0) * t0
+        + (ys[i] - m[i] * h * h / 6.0) * t1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn kp(x: f64, y: f64) -> KnowledgePoint {
+        KnowledgePoint { transformed: x, guessed: y }
+    }
+
+    #[test]
+    fn regression_recovers_exact_line() {
+        let kps = [kp(0.0, 1.0), kp(1.0, 3.0), kp(2.0, 5.0)];
+        let g = fit_crack(FitMethod::LinearRegression, &kps);
+        assert!((g.guess(10.0) - 21.0).abs() < 1e-9);
+        match g {
+            CrackModel::Line { a, b } => {
+                assert!((a - 2.0).abs() < 1e-12);
+                assert!((b - 1.0).abs() < 1e-12);
+            }
+            _ => panic!("expected a line"),
+        }
+    }
+
+    #[test]
+    fn regression_least_squares_on_noisy_points() {
+        // Points symmetric about y = x: regression must balance them.
+        let kps = [kp(0.0, 1.0), kp(1.0, 0.0), kp(2.0, 3.0), kp(3.0, 2.0)];
+        let g = fit_crack(FitMethod::LinearRegression, &kps);
+        // Least squares for this configuration: slope 0.6, intercept 0.6.
+        assert!((g.guess(0.0) - 0.6).abs() < 1e-9, "{}", g.guess(0.0));
+        assert!((g.guess(1.0) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyline_interpolates_and_extrapolates() {
+        let kps = [kp(0.0, 0.0), kp(2.0, 4.0), kp(4.0, 0.0)];
+        let g = fit_crack(FitMethod::Polyline, &kps);
+        assert_eq!(g.guess(1.0), 2.0);
+        assert_eq!(g.guess(3.0), 2.0);
+        assert_eq!(g.guess(2.0), 4.0);
+        // Extrapolation continues the end segments.
+        assert_eq!(g.guess(-1.0), -2.0);
+        assert_eq!(g.guess(5.0), -2.0);
+    }
+
+    #[test]
+    fn spline_interpolates_nodes_exactly() {
+        let kps = [kp(0.0, 0.0), kp(1.0, 2.0), kp(2.0, 1.0), kp(3.0, 3.0)];
+        let g = fit_crack(FitMethod::Spline, &kps);
+        for (x, y) in [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)] {
+            assert!((g.guess(x) - y).abs() < 1e-9, "node ({x}, {y}): {}", g.guess(x));
+        }
+    }
+
+    #[test]
+    fn spline_is_smooth_between_nodes() {
+        // On points sampled from a line, the natural spline IS the line.
+        let kps: Vec<KnowledgePoint> = (0..5).map(|i| kp(i as f64, 2.0 * i as f64 + 1.0)).collect();
+        let g = fit_crack(FitMethod::Spline, &kps);
+        for x in [0.5, 1.7, 3.3, -1.0, 6.0] {
+            assert!((g.guess(x) - (2.0 * x + 1.0)).abs() < 1e-9, "{x}: {}", g.guess(x));
+        }
+    }
+
+    #[test]
+    fn spline_with_two_points_degrades_to_polyline() {
+        let kps = [kp(0.0, 0.0), kp(2.0, 4.0)];
+        let g = fit_crack(FitMethod::Spline, &kps);
+        assert_eq!(g.guess(1.0), 2.0);
+    }
+
+    #[test]
+    fn single_point_gives_constant() {
+        let kps = [kp(5.0, 7.0)];
+        for m in FitMethod::ALL {
+            let g = fit_crack(m, &kps);
+            assert_eq!(g.guess(0.0), 7.0, "{m:?}");
+            assert_eq!(g.guess(100.0), 7.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_abscissae_collapsed() {
+        let kps = [kp(1.0, 2.0), kp(1.0, 4.0), kp(3.0, 6.0)];
+        let g = fit_crack(FitMethod::Polyline, &kps);
+        assert_eq!(g.guess(1.0), 3.0); // mean of 2 and 4
+        assert_eq!(g.guess(2.0), 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one knowledge point")]
+    fn empty_kps_rejected() {
+        let _ = fit_crack(FitMethod::Polyline, &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_polyline_hits_all_nodes(raw in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..12)) {
+            let mut pts = raw;
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            pts.dedup_by(|a, b| a.0 == b.0);
+            prop_assume!(pts.len() >= 2);
+            let kps: Vec<KnowledgePoint> = pts.iter().map(|&(x, y)| kp(x, y)).collect();
+            let g = fit_crack(FitMethod::Polyline, &kps);
+            for &(x, y) in &pts {
+                prop_assert!((g.guess(x) - y).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_spline_hits_all_nodes(raw in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..12)) {
+            let mut pts = raw;
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-3);
+            prop_assume!(pts.len() >= 3);
+            let kps: Vec<KnowledgePoint> = pts.iter().map(|&(x, y)| kp(x, y)).collect();
+            let g = fit_crack(FitMethod::Spline, &kps);
+            for &(x, y) in &pts {
+                prop_assert!((g.guess(x) - y).abs() < 1e-5, "node ({}, {}) -> {}", x, y, g.guess(x));
+            }
+        }
+
+        #[test]
+        fn prop_regression_minimizes_residuals_vs_shifts(
+            raw in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 3..10),
+            da in -0.5f64..0.5, db in -5.0f64..5.0,
+        ) {
+            let kps: Vec<KnowledgePoint> = raw.iter().map(|&(x, y)| kp(x, y)).collect();
+            let g = fit_crack(FitMethod::LinearRegression, &kps);
+            if let CrackModel::Line { a, b } = g {
+                let sse = |a: f64, b: f64| -> f64 {
+                    kps.iter().map(|k| {
+                        let e = a * k.transformed + b - k.guessed;
+                        e * e
+                    }).sum()
+                };
+                prop_assert!(sse(a, b) <= sse(a + da, b + db) + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Knowledge points (Definition 4) and hacker profiles.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A knowledge point `(ν, ν')`: the hacker believes the transformed
+/// value `ν'` corresponds to the original value `ν`.
+///
+/// The point is *good* if `|ν − f⁻¹(ν')| ≤ ρ` and *bad* if the error
+/// exceeds `5ρ` (Section 6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgePoint {
+    /// The transformed value `ν'` the hacker observed in `D'`.
+    pub transformed: f64,
+    /// The original value `ν` the hacker believes it corresponds to.
+    pub guessed: f64,
+}
+
+/// How much prior knowledge the hacker has (Section 6.1's taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HackerProfile {
+    /// No prior knowledge.
+    Ignorant,
+    /// 2 good knowledge points.
+    Knowledgeable,
+    /// 4 good knowledge points.
+    Expert,
+    /// 8 good knowledge points (used by the Section 6.4 output-privacy
+    /// experiment).
+    Insider,
+    /// Custom counts of good and bad knowledge points.
+    Custom {
+        /// Number of good points.
+        good: usize,
+        /// Number of bad points.
+        bad: usize,
+    },
+}
+
+impl HackerProfile {
+    /// `(good, bad)` knowledge-point counts.
+    pub fn kp_counts(self) -> (usize, usize) {
+        match self {
+            HackerProfile::Ignorant => (0, 0),
+            HackerProfile::Knowledgeable => (2, 0),
+            HackerProfile::Expert => (4, 0),
+            HackerProfile::Insider => (8, 0),
+            HackerProfile::Custom { good, bad } => (good, bad),
+        }
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            HackerProfile::Ignorant => "ignorant",
+            HackerProfile::Knowledgeable => "knowledgeable",
+            HackerProfile::Expert => "expert",
+            HackerProfile::Insider => "insider",
+            HackerProfile::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// Generates knowledge points for one attribute.
+///
+/// * `transformed_domain` — the distinct transformed values of the
+///   attribute in `D'` (what the hacker can see),
+/// * `truth` — the custodian-side ground truth `f⁻¹` (used only to
+///   *place* the points; a good point's guess is the truth plus
+///   uniform noise within `ρ`, a bad point's guess is off by a
+///   uniform amount in `(5ρ, 15ρ]`, matching Definition 4 and the
+///   bad-KP notion of Section 6.1),
+/// * `rho` — the crack radius.
+///
+/// Locations (`ν'`) are drawn uniformly without replacement; if more
+/// points are requested than distinct values exist, the count is
+/// capped.
+pub fn generate_kps<R: Rng + ?Sized>(
+    rng: &mut R,
+    transformed_domain: &[f64],
+    truth: impl Fn(f64) -> f64,
+    rho: f64,
+    good: usize,
+    bad: usize,
+) -> Vec<KnowledgePoint> {
+    assert!(rho >= 0.0, "crack radius must be non-negative");
+    let mut locations: Vec<f64> = transformed_domain.to_vec();
+    locations.shuffle(rng);
+    let total = (good + bad).min(locations.len());
+    let mut kps = Vec::with_capacity(total);
+    for (i, &v_prime) in locations.iter().take(total).enumerate() {
+        let v = truth(v_prime);
+        let guessed = if i < good.min(total) {
+            v + rng.gen_range(-1.0..1.0) * rho
+        } else {
+            let off = rng.gen_range(5.0 * rho..15.0 * rho).max(f64::MIN_POSITIVE);
+            if rng.gen_bool(0.5) {
+                v + off + rho * 1e-9
+            } else {
+                v - off - rho * 1e-9
+            }
+        };
+        kps.push(KnowledgePoint { transformed: v_prime, guessed });
+    }
+    kps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profiles_have_paper_counts() {
+        assert_eq!(HackerProfile::Ignorant.kp_counts(), (0, 0));
+        assert_eq!(HackerProfile::Knowledgeable.kp_counts(), (2, 0));
+        assert_eq!(HackerProfile::Expert.kp_counts(), (4, 0));
+        assert_eq!(HackerProfile::Insider.kp_counts(), (8, 0));
+        assert_eq!(HackerProfile::Custom { good: 3, bad: 1 }.kp_counts(), (3, 1));
+    }
+
+    #[test]
+    fn good_points_are_good_and_bad_points_bad() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let domain: Vec<f64> = (0..100).map(|i| i as f64 * 2.0).collect();
+        let truth = |v: f64| v / 2.0; // f(x) = 2x
+        let rho = 1.5;
+        let kps = generate_kps(&mut rng, &domain, truth, rho, 5, 5);
+        assert_eq!(kps.len(), 10);
+        for (i, kp) in kps.iter().enumerate() {
+            let err = (kp.guessed - truth(kp.transformed)).abs();
+            if i < 5 {
+                assert!(err <= rho, "good KP {i} err {err}");
+            } else {
+                assert!(err > 5.0 * rho, "bad KP {i} err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn locations_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let domain: Vec<f64> = (0..50).map(f64::from).collect();
+        let kps = generate_kps(&mut rng, &domain, |v| v, 1.0, 8, 0);
+        let mut seen: Vec<f64> = kps.iter().map(|k| k.transformed).collect();
+        seen.sort_by(f64::total_cmp);
+        assert!(seen.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn request_capped_at_domain_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain = [1.0, 2.0, 3.0];
+        let kps = generate_kps(&mut rng, &domain, |v| v, 1.0, 10, 10);
+        assert_eq!(kps.len(), 3);
+    }
+
+    #[test]
+    fn zero_rho_good_points_exact() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let domain: Vec<f64> = (0..10).map(f64::from).collect();
+        let kps = generate_kps(&mut rng, &domain, |v| v * 3.0, 0.0, 4, 0);
+        for kp in kps {
+            assert_eq!(kp.guessed, kp.transformed * 3.0);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # ppdt-attack
+//!
+//! The hacker's toolkit (Sections 3.3, 5.4 and 6 of the paper): given
+//! the transformed data `D'` (and possibly some prior knowledge), try
+//! to reconstruct original values.
+//!
+//! * [`kp`] — knowledge points (Definition 4): good points land within
+//!   the crack radius `ρ` of the truth, bad points are off by more
+//!   than `5ρ`; hacker profiles (ignorant / knowledgeable / expert /
+//!   insider) fix how many points the hacker holds,
+//! * [`fit`] — curve-fitting attacks (Definition 5): least-squares
+//!   regression line, polyline interpolation, natural cubic spline,
+//! * [`sorting`] — the sorting attack and its worst-case analytic
+//!   crack probability (Section 5.4),
+//! * [`combo`] — the combination attack of Section 6.2.2: run several
+//!   crack models, build the Venn diagram of their crack sets, and
+//!   aggregate (union / expected-value / consensus).
+//!
+//! Everything here sees only what the hacker sees: transformed values
+//! and knowledge points. Ground truth (`f⁻¹`) enters only when the
+//! *evaluation* (in `ppdt-risk`) decides whether a guess is a crack.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod combo;
+pub mod fit;
+pub mod kp;
+pub mod linalg;
+pub mod quantile;
+pub mod sorting;
+pub mod spectral;
+
+pub use combo::{combine_cracks, resolve_guesses, ComboReport, ResolveStrategy};
+pub use fit::{fit_crack, CrackModel, FitMethod};
+pub use kp::{generate_kps, HackerProfile, KnowledgePoint};
+pub use quantile::{quantile_attack, QuantileAttack};
+pub use spectral::{spectral_reconstruct, SpectralReconstruction};
+pub use sorting::{
+    sorting_attack, sorting_attack_with, sorting_crack_probability, SortingAttack, SortingMapping,
+};

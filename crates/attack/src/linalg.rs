@@ -1,0 +1,228 @@
+//! Minimal dense linear algebra for the spectral attack: symmetric
+//! matrices, covariance, and a cyclic Jacobi eigensolver. Matrices
+//! here are tiny (one row/column per *attribute*, ≤ dozens), so the
+//! O(n³)-per-sweep Jacobi method is more than fast enough and needs no
+//! external dependency.
+
+/// A dense symmetric matrix stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Zero matrix of size `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer is not `n*n` long or not symmetric (up to
+    /// 1e-9 absolute).
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "buffer size");
+        for i in 0..n {
+            for j in 0..i {
+                assert!(
+                    (data[i * n + j] - data[j * n + i]).abs() < 1e-9,
+                    "matrix not symmetric at ({i},{j})"
+                );
+            }
+        }
+        SymMatrix { n, data }
+    }
+
+    /// Dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element assignment (mirrored to keep symmetry).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+}
+
+/// Covariance matrix of the given columns (population covariance; all
+/// columns must have equal, non-zero length).
+pub fn covariance(columns: &[Vec<f64>]) -> (Vec<f64>, SymMatrix) {
+    let m = columns.len();
+    assert!(m > 0, "need at least one column");
+    let n = columns[0].len();
+    assert!(n > 0, "need at least one row");
+    assert!(columns.iter().all(|c| c.len() == n), "ragged columns");
+
+    let means: Vec<f64> = columns.iter().map(|c| c.iter().sum::<f64>() / n as f64).collect();
+    let mut cov = SymMatrix::zeros(m);
+    for i in 0..m {
+        for j in i..m {
+            let s: f64 = columns[i]
+                .iter()
+                .zip(&columns[j])
+                .map(|(&x, &y)| (x - means[i]) * (y - means[j]))
+                .sum();
+            cov.set(i, j, s / n as f64);
+        }
+    }
+    (means, cov)
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi
+/// method. Returns `(eigenvalues, eigenvectors)` sorted by descending
+/// eigenvalue; `eigenvectors[k]` is the unit eigenvector of
+/// `eigenvalues[k]`.
+pub fn eigen_symmetric(a: &SymMatrix) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.size();
+    let mut m = a.clone();
+    // Eigenvector accumulator: starts as identity.
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                // tan of the rotation angle, the numerically stable way.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Update the matrix: G^T M G with Givens rotation G(p,q).
+                for k in 0..n {
+                    if k != p && k != q {
+                        let akp = m.get(k, p);
+                        let akq = m.get(k, q);
+                        m.set(k, p, c * akp - s * akq);
+                        m.set(k, q, s * akp + c * akq);
+                    }
+                }
+                m.set(p, p, app - t * apq);
+                m.set(q, q, aqq + t * apq);
+                m.set(p, q, 0.0);
+
+                // Accumulate eigenvectors (columns of the product of
+                // rotations; we store them as rows of `v` transposed —
+                // v[k] collects coordinate k of every eigenvector, so
+                // rotate the rows the same way).
+                for vk in v.iter_mut() {
+                    let vp = vk[p];
+                    let vq = vk[q];
+                    vk[p] = c * vp - s * vq;
+                    vk[q] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let evs: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&a, &b| evs[b].total_cmp(&evs[a]));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| evs[i]).collect();
+    let eigenvectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row][col]).collect())
+        .collect();
+    (eigenvalues, eigenvectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let mut a = SymMatrix::zeros(3);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 1.0);
+        a.set(2, 2, 2.0);
+        let (vals, vecs) = eigen_symmetric(&a);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 1.0).abs() < 1e-12);
+        assert!((vecs[0][0].abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_of_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 (vector (1,1)/sqrt2) and 1.
+        let a = SymMatrix::from_rows(2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = eigen_symmetric(&a);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        let v0 = &vecs[0];
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!((v0[0] - v0[1]).abs() < 1e-9, "same sign components");
+    }
+
+    #[test]
+    fn eigenvectors_reconstruct_matrix() {
+        // A = sum_k lambda_k v_k v_k^T for a random-ish symmetric A.
+        let a = SymMatrix::from_rows(
+            3,
+            vec![4.0, 1.0, -2.0, 1.0, 3.0, 0.5, -2.0, 0.5, 5.0],
+        );
+        let (vals, vecs) = eigen_symmetric(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += vals[k] * vecs[k][i] * vecs[k][j];
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-8, "({i},{j})");
+            }
+        }
+        // Orthonormality.
+        for k in 0..3 {
+            for l in 0..3 {
+                let dot: f64 = (0..3).map(|i| vecs[k][i] * vecs[l][i]).sum();
+                let expect = if k == l { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_basics() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]];
+        let (means, cov) = covariance(&cols);
+        assert_eq!(means, vec![2.0, 4.0]);
+        assert!((cov.get(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 4.0 / 3.0).abs() < 1e-12, "perfectly correlated");
+        assert!((cov.get(1, 1) - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_rejected() {
+        let _ = SymMatrix::from_rows(2, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Quantile-matching attack — the "samples of similar data" prior of
+//! Section 3.3, modeled end to end.
+//!
+//! The hacker owns a sample drawn from a distribution similar to the
+//! original data (the paper's example: a rival company's records). A
+//! globally monotone transformation preserves quantiles, so the hacker
+//! matches each transformed value's empirical quantile (computed over
+//! the full transformed column, multiplicities included) to the same
+//! quantile of his reference sample. This subsumes the sorting attack
+//! (a uniform reference sample) and is the strongest distribution-only
+//! attacker in this crate.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted quantile-matching attack.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantileAttack {
+    /// All transformed values the hacker observed, sorted (with
+    /// multiplicities — quantiles are tuple-weighted).
+    transformed_sorted: Vec<f64>,
+    /// The hacker's reference sample, sorted.
+    sample_sorted: Vec<f64>,
+}
+
+/// Builds a quantile-matching attack.
+///
+/// ```
+/// use ppdt_attack::quantile_attack;
+///
+/// // The hacker's sample IS the original marginal: a monotone
+/// // transform is then undone exactly.
+/// let original: Vec<f64> = (0..50).map(f64::from).collect();
+/// let transformed: Vec<f64> = original.iter().map(|x| x.exp2()).collect();
+/// let atk = quantile_attack(&transformed, &original);
+/// assert!((atk.guess(2f64.powi(30)) - 30.0).abs() < 1e-9);
+/// ```
+///
+/// * `transformed_column` — the full attribute column of `D'`
+///   (multiplicities matter: frequent values pull quantiles),
+/// * `reference_sample` — the hacker's similar-data sample in the
+///   *original* domain.
+///
+/// # Panics
+/// Panics if either input is empty.
+pub fn quantile_attack(transformed_column: &[f64], reference_sample: &[f64]) -> QuantileAttack {
+    assert!(!transformed_column.is_empty(), "need transformed values");
+    assert!(!reference_sample.is_empty(), "need a reference sample");
+    let mut transformed_sorted = transformed_column.to_vec();
+    transformed_sorted.sort_by(f64::total_cmp);
+    let mut sample_sorted = reference_sample.to_vec();
+    sample_sorted.sort_by(f64::total_cmp);
+    QuantileAttack { transformed_sorted, sample_sorted }
+}
+
+impl QuantileAttack {
+    /// The hacker's guess for transformed value `v_prime`: the
+    /// reference sample's value at the same empirical quantile
+    /// (linearly interpolated).
+    pub fn guess(&self, v_prime: f64) -> f64 {
+        let n = self.transformed_sorted.len();
+        // Mid-rank of v' among the transformed values.
+        let lo = self.transformed_sorted.partition_point(|&v| v < v_prime);
+        let hi = self.transformed_sorted.partition_point(|&v| v <= v_prime);
+        let rank = 0.5 * (lo + hi.max(lo + 1) - 1) as f64;
+        let q = if n > 1 { rank / (n - 1) as f64 } else { 0.5 };
+
+        let m = self.sample_sorted.len();
+        if m == 1 {
+            return self.sample_sorted[0];
+        }
+        let pos = q.clamp(0.0, 1.0) * (m - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 >= m {
+            self.sample_sorted[m - 1]
+        } else {
+            self.sample_sorted[i] * (1.0 - frac) + self.sample_sorted[i + 1] * frac
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_sample_recovers_monotone_transform() {
+        // Hacker's sample IS the original data: a globally monotone
+        // transform is then fully invertible by quantile matching.
+        let original: Vec<f64> = (0..100).map(f64::from).collect();
+        let transformed: Vec<f64> = original.iter().map(|x| (x + 3.0).ln() * 7.0).collect();
+        let atk = quantile_attack(&transformed, &original);
+        for (&x, &y) in original.iter().zip(&transformed) {
+            assert!((atk.guess(y) - x).abs() < 1e-9, "{x} -> {}", atk.guess(y));
+        }
+    }
+
+    #[test]
+    fn multiplicities_shift_quantiles() {
+        // 1 appears 9 times, 100 once: the quantile of 100's image
+        // must be at the top.
+        let mut orig = vec![1.0; 9];
+        orig.push(100.0);
+        let transformed: Vec<f64> = orig.iter().map(|x| x * 2.0).collect();
+        let atk = quantile_attack(&transformed, &orig);
+        assert!((atk.guess(200.0) - 100.0).abs() < 1e-9);
+        assert!(atk.guess(2.0) < 50.0);
+    }
+
+    #[test]
+    fn permutation_pieces_defeat_quantile_matching_locally() {
+        // Within a permuted (monochromatic) region, quantile order no
+        // longer matches original order, so guesses are wrong there.
+        let original = [10.0, 11.0, 12.0, 13.0];
+        // A permutation: original order scrambled in transformed space.
+        let transformed = [5.0, 2.0, 9.0, 1.0];
+        let atk = quantile_attack(&transformed, &original);
+        // transformed 1.0 (original 13) maps to the sample minimum 10.
+        assert!((atk.guess(1.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_sample_biases_guesses() {
+        let original: Vec<f64> = (0..50).map(f64::from).collect();
+        let transformed: Vec<f64> = original.iter().map(|x| x * 3.0).collect();
+        // Sample only covers the lower half of the domain.
+        let sample: Vec<f64> = (0..25).map(f64::from).collect();
+        let atk = quantile_attack(&transformed, &sample);
+        assert!(atk.guess(147.0) <= 24.0); // true value 49
+    }
+
+    #[test]
+    fn single_element_inputs() {
+        let atk = quantile_attack(&[5.0], &[42.0]);
+        assert_eq!(atk.guess(5.0), 42.0);
+        assert_eq!(atk.guess(1_000.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference sample")]
+    fn empty_sample_rejected() {
+        let _ = quantile_attack(&[1.0], &[]);
+    }
+}

@@ -1,0 +1,263 @@
+//! The sorting attack (Sections 3.3 and 5.4).
+//!
+//! The hacker sorts the distinct transformed values and maps them, in
+//! order, onto a guessed original range — devastating when the
+//! original domain is dense (no discontinuities) and the attribute has
+//! few monochromatic values. The *worst case* (Figure 11) assumes the
+//! hacker knows the true minimum and maximum of the dynamic range.
+
+use serde::{Deserialize, Serialize};
+
+/// How ranks are mapped onto the guessed range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortingMapping {
+    /// The paper's attack: rank `i` maps to
+    /// `guessed_min + i·granularity` ("consecutive values starting
+    /// with the guessed minimum"), clamped at the guessed maximum.
+    /// Errors accumulate with every discontinuity, which is exactly
+    /// the defence Figure 11 quantifies.
+    Consecutive,
+    /// A stronger attacker the paper does not consider: rank `i` maps
+    /// proportionally onto `[guessed_min, guessed_max]`. When
+    /// discontinuities are spread evenly, the proportional map
+    /// self-corrects for them and only the permutation displacement
+    /// inside monochromatic pieces protects values (see
+    /// `EXPERIMENTS.md`).
+    Proportional,
+}
+
+/// A fitted sorting attack: rank-maps transformed values onto a
+/// guessed original range.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SortingAttack {
+    /// The distinct transformed values, ascending.
+    sorted: Vec<f64>,
+    /// Guessed minimum of the original dynamic range.
+    pub guessed_min: f64,
+    /// Guessed maximum of the original dynamic range.
+    pub guessed_max: f64,
+    /// Guessed granularity of the original domain (1.0 for integer
+    /// attributes); guesses are snapped to this grid.
+    pub granularity: f64,
+    /// Rank-mapping variant.
+    pub mapping: SortingMapping,
+}
+
+/// Builds the paper's sorting attack ([`SortingMapping::Consecutive`])
+/// from the transformed values visible in `D'`.
+///
+/// ```
+/// use ppdt_attack::sorting_attack;
+///
+/// // A dense integer domain transformed monotonically is fully
+/// // recovered once the hacker guesses the true minimum.
+/// let transformed: Vec<f64> = (0..10).map(|x| (x as f64) * 3.0 + 7.0).collect();
+/// let atk = sorting_attack(&transformed, 0.0, 9.0, 1.0);
+/// assert_eq!(atk.guess(7.0), 0.0);
+/// assert_eq!(atk.guess(34.0), 9.0);
+/// ```
+///
+/// # Panics
+/// Panics if `transformed_domain` is empty, the guessed range is
+/// inverted, or the granularity is non-positive.
+pub fn sorting_attack(
+    transformed_domain: &[f64],
+    guessed_min: f64,
+    guessed_max: f64,
+    granularity: f64,
+) -> SortingAttack {
+    sorting_attack_with(
+        transformed_domain,
+        guessed_min,
+        guessed_max,
+        granularity,
+        SortingMapping::Consecutive,
+    )
+}
+
+/// [`sorting_attack`] with an explicit rank-mapping variant.
+pub fn sorting_attack_with(
+    transformed_domain: &[f64],
+    guessed_min: f64,
+    guessed_max: f64,
+    granularity: f64,
+    mapping: SortingMapping,
+) -> SortingAttack {
+    assert!(!transformed_domain.is_empty(), "sorting attack needs values");
+    assert!(guessed_min <= guessed_max, "guessed range inverted");
+    assert!(granularity > 0.0, "granularity must be positive");
+    let mut sorted = transformed_domain.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted.dedup();
+    SortingAttack { sorted, guessed_min, guessed_max, granularity, mapping }
+}
+
+impl SortingAttack {
+    /// The hacker's guess for transformed value `v_prime`.
+    pub fn guess(&self, v_prime: f64) -> f64 {
+        let k = self.sorted.len();
+        if k == 1 {
+            return self.guessed_min;
+        }
+        let rank = match self.sorted.binary_search_by(|v| v.total_cmp(&v_prime)) {
+            Ok(i) => i,
+            Err(i) => i.min(k - 1),
+        };
+        let raw = match self.mapping {
+            SortingMapping::Consecutive => {
+                (self.guessed_min + rank as f64 * self.granularity).min(self.guessed_max)
+            }
+            SortingMapping::Proportional => {
+                let t = rank as f64 / (k - 1) as f64;
+                self.guessed_min + t * (self.guessed_max - self.guessed_min)
+            }
+        };
+        (raw / self.granularity).round() * self.granularity
+    }
+
+    /// Number of distinct values the attack ranks over.
+    pub fn num_values(&self) -> usize {
+        self.sorted.len()
+    }
+}
+
+/// The analytic crack probability of Section 5.4 for a value under a
+/// sorting attack: the hacker can localize the original value of
+/// `ν'` only to a range `R_g`; the guess cracks with probability
+/// `|R_g ∩ R_ρ| / |R_g|` where `R_ρ = [ν − ρ, ν + ρ]`.
+///
+/// * `rank` — number of distinct transformed values strictly below
+///   `ν'`,
+/// * `num_values` — total distinct values,
+/// * `domain_min`/`domain_max` — the (known, worst-case) dynamic
+///   range,
+/// * `true_value` — `f⁻¹(ν')`,
+/// * `rho` — the crack radius.
+///
+/// `R_g` is `[domain_min + rank·g, domain_max − (below·g)]` shrunk by
+/// the values that must fit on each side at granularity `g = 1`:
+/// with `rank` values below and `num_values − rank − 1` above, the
+/// original value must lie in
+/// `[domain_min + rank, domain_max − (num_values − rank − 1)]`.
+pub fn sorting_crack_probability(
+    rank: usize,
+    num_values: usize,
+    domain_min: f64,
+    domain_max: f64,
+    true_value: f64,
+    rho: f64,
+    granularity: f64,
+) -> f64 {
+    assert!(rank < num_values, "rank out of range");
+    let g = granularity;
+    let lo = domain_min + rank as f64 * g;
+    let hi = domain_max - (num_values - rank - 1) as f64 * g;
+    if hi < lo {
+        return 1.0; // no slack at all: the value is pinned exactly
+    }
+    // Count grid positions, matching the paper's |R_g| = 36 for
+    // R_g = [6, 41] at granularity 1.
+    let count = |a: f64, b: f64| -> f64 {
+        if b < a {
+            0.0
+        } else {
+            ((b - a) / g).floor() + 1.0
+        }
+    };
+    let total = count(lo, hi);
+    if total <= 1.0 {
+        return 1.0;
+    }
+    let inter = count(lo.max(true_value - rho), hi.min(true_value + rho));
+    (inter / total).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_domain_fully_cracked() {
+        // Original domain 0..=9 with every value present; the worst-case
+        // sorting attack recovers everything exactly.
+        let original: Vec<f64> = (0..10).map(f64::from).collect();
+        // Any monotone transform, e.g. f(x) = 3x + 7.
+        let transformed: Vec<f64> = original.iter().map(|x| 3.0 * x + 7.0).collect();
+        let atk = sorting_attack(&transformed, 0.0, 9.0, 1.0);
+        for (&x, &y) in original.iter().zip(&transformed) {
+            assert_eq!(atk.guess(y), x);
+        }
+    }
+
+    #[test]
+    fn discontinuities_defeat_exact_recovery() {
+        // Values 0, 1, 2, 50 (big discontinuity): the consecutive map
+        // recovers the dense prefix but misses the value after the
+        // discontinuity by 47.
+        let original = [0.0, 1.0, 2.0, 50.0];
+        let transformed: Vec<f64> = original.iter().map(|x| x + 100.0).collect();
+        let atk = sorting_attack(&transformed, 0.0, 50.0, 1.0);
+        assert_eq!(atk.guess(100.0), 0.0);
+        assert_eq!(atk.guess(101.0), 1.0);
+        assert_eq!(atk.guess(102.0), 2.0);
+        assert_eq!(atk.guess(150.0), 3.0);
+    }
+
+    #[test]
+    fn proportional_mapping_self_corrects_uniform_discontinuities() {
+        // Every other grid value occurs: 0, 2, 4, ..., 18. The
+        // consecutive map drifts (error grows to 9); the proportional
+        // map recovers everything exactly.
+        let original: Vec<f64> = (0..10).map(|i| (2 * i) as f64).collect();
+        let transformed: Vec<f64> = original.iter().map(|x| 5.0 * x + 3.0).collect();
+        let cons = sorting_attack(&transformed, 0.0, 18.0, 1.0);
+        let prop =
+            sorting_attack_with(&transformed, 0.0, 18.0, 1.0, SortingMapping::Proportional);
+        assert_eq!(cons.guess(transformed[9]), 9.0); // off by 9
+        assert_eq!(prop.guess(transformed[9]), 18.0); // exact
+        for (&x, &y) in original.iter().zip(&transformed) {
+            assert_eq!(prop.guess(y), x);
+        }
+    }
+
+    #[test]
+    fn permutation_scrambles_sorting_attack() {
+        // A monochromatic piece permuted: the rank order in D' no longer
+        // matches the original order, so the attack mislabels values.
+        let transformed = [5.0, 1.0, 3.0]; // originals 10, 11, 12 permuted
+        let atk = sorting_attack(&transformed, 10.0, 12.0, 1.0);
+        // The attack maps smallest transformed (1.0, original 11) to 10.
+        assert_eq!(atk.guess(1.0), 10.0);
+        assert_eq!(atk.guess(3.0), 11.0);
+        assert_eq!(atk.guess(5.0), 12.0);
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let atk = sorting_attack(&[42.0], 5.0, 5.0, 1.0);
+        assert_eq!(atk.guess(42.0), 5.0);
+        assert_eq!(atk.num_values(), 1);
+    }
+
+    #[test]
+    fn paper_example_crack_probability() {
+        // Section 5.4's worked example: ν' = 27 in row 5 of Figure 7;
+        // 5 values ranked ahead, 3 after, domain [1, 44], true value
+        // 29, crack width 2 -> probability 5/36.
+        let p = sorting_crack_probability(5, 9, 1.0, 44.0, 29.0, 2.0, 1.0);
+        assert!((p - 5.0 / 36.0).abs() < 1e-3, "{p}");
+    }
+
+    #[test]
+    fn crack_probability_one_when_pinned() {
+        // Dense domain: rank determines the value exactly.
+        let p = sorting_crack_probability(3, 10, 0.0, 9.0, 3.0, 0.0, 1.0);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn crack_probability_zero_when_radius_misses() {
+        let p = sorting_crack_probability(0, 2, 0.0, 100.0, 90.0, 1.0, 1.0);
+        assert!(p < 0.05, "{p}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Spectral reconstruction attack against *additive-noise
+//! perturbation* (Kargupta et al., ICDM 2003 — reference [7] of the
+//! reproduced paper).
+//!
+//! Additive i.i.d. noise inflates every eigenvalue of the data
+//! covariance by the noise variance but leaves the signal's principal
+//! subspace intact. When attributes are correlated, the signal lives
+//! in few directions: projecting the perturbed tuples onto the
+//! top eigenvectors filters most of the noise and recovers values far
+//! more accurately than the noise magnitude suggests. The reproduced
+//! paper cites exactly this to argue that perturbation's input privacy
+//! is weaker than it looks; the piecewise framework is immune because
+//! there is no additive noise to filter — the transformation is the
+//! signal.
+
+use crate::linalg::{covariance, eigen_symmetric};
+
+/// Result of a spectral reconstruction.
+#[derive(Clone, Debug)]
+pub struct SpectralReconstruction {
+    /// Reconstructed columns (same shape as the input).
+    pub columns: Vec<Vec<f64>>,
+    /// Number of principal components kept as signal.
+    pub components_kept: usize,
+    /// The covariance eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Reconstructs original values from additively perturbed columns.
+///
+/// * `perturbed` — one vector per attribute (equal lengths),
+/// * `noise_variances` — the attacker's estimate of the per-attribute
+///   noise variance (for published perturbation schemes this is public
+///   knowledge; pass the true values for a worst-case analysis).
+///
+/// Components whose eigenvalue does not clearly exceed the noise floor
+/// (projected into eigenspace) are discarded; the perturbed data is
+/// projected onto the remaining signal subspace around the mean.
+///
+/// # Panics
+/// Panics on ragged/empty input or mismatched variance count.
+pub fn spectral_reconstruct(
+    perturbed: &[Vec<f64>],
+    noise_variances: &[f64],
+) -> SpectralReconstruction {
+    let m = perturbed.len();
+    assert_eq!(noise_variances.len(), m, "one noise variance per attribute");
+    let (means, cov) = covariance(perturbed);
+    let n = perturbed[0].len();
+    let (eigenvalues, eigenvectors) = eigen_symmetric(&cov);
+
+    // Noise floor along an arbitrary unit direction u: sum_i u_i^2 s_i^2.
+    // Keep components whose eigenvalue exceeds twice their noise floor.
+    let mut keep: Vec<usize> = Vec::new();
+    for (k, v) in eigenvectors.iter().enumerate() {
+        let floor: f64 = v
+            .iter()
+            .zip(noise_variances)
+            .map(|(ui, s2)| ui * ui * s2)
+            .sum();
+        if eigenvalues[k] > 2.0 * floor {
+            keep.push(k);
+        }
+    }
+    // Always keep at least the leading component: a rank-0 projection
+    // would reconstruct the mean only.
+    if keep.is_empty() {
+        keep.push(0);
+    }
+
+    // Project every centered tuple onto the kept subspace.
+    let mut columns = vec![vec![0.0f64; n]; m];
+    let mut centered = vec![0.0f64; m];
+    for r in 0..n {
+        for (i, col) in perturbed.iter().enumerate() {
+            centered[i] = col[r] - means[i];
+        }
+        for (i, out) in columns.iter_mut().enumerate() {
+            let mut rec = means[i];
+            for &k in &keep {
+                let v = &eigenvectors[k];
+                let coeff: f64 = v.iter().zip(&centered).map(|(vi, xi)| vi * xi).sum();
+                rec += coeff * v[i];
+            }
+            out[r] = rec;
+        }
+    }
+
+    SpectralReconstruction { columns, components_kept: keep.len(), eigenvalues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Correlated 4-attribute data: one latent factor + small
+    /// idiosyncratic wiggle.
+    fn correlated(rng: &mut StdRng, n: usize) -> Vec<Vec<f64>> {
+        let loads = [1.0, 0.8, -1.2, 0.5];
+        let mut cols: Vec<Vec<f64>> = (0..4).map(|_| Vec::with_capacity(n)).collect();
+        for _ in 0..n {
+            let f: f64 = rng.gen_range(-10.0..10.0);
+            for (c, &l) in cols.iter_mut().zip(&loads) {
+                c.push(l * f + rng.gen_range(-0.5..0.5));
+            }
+        }
+        cols
+    }
+
+    fn add_noise(rng: &mut StdRng, cols: &[Vec<f64>], sd: f64) -> Vec<Vec<f64>> {
+        cols.iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&v| {
+                        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        let u2: f64 = rng.gen();
+                        v + sd
+                            * (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn rms_error(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+        let mut s = 0.0;
+        let mut n = 0usize;
+        for (ca, cb) in a.iter().zip(b) {
+            for (&x, &y) in ca.iter().zip(cb) {
+                s += (x - y) * (x - y);
+                n += 1;
+            }
+        }
+        (s / n as f64).sqrt()
+    }
+
+    #[test]
+    fn filters_noise_on_correlated_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let original = correlated(&mut rng, 4_000);
+        let sd = 2.0;
+        let noisy = add_noise(&mut rng, &original, sd);
+        let rec = spectral_reconstruct(&noisy, &[sd * sd; 4]);
+
+        let err_noisy = rms_error(&noisy, &original);
+        let err_rec = rms_error(&rec.columns, &original);
+        // The signal is rank-1; filtering should cut the error roughly
+        // in half (1 of 4 components kept keeps 1/4 of the noise).
+        assert!(
+            err_rec < 0.7 * err_noisy,
+            "reconstruction {err_rec:.3} vs noisy {err_noisy:.3}"
+        );
+        assert_eq!(rec.components_kept, 1, "rank-1 signal detected");
+    }
+
+    #[test]
+    fn keeps_everything_when_signal_dominates() {
+        // Nearly noiseless: all informative components kept, output ≈ input.
+        let mut rng = StdRng::seed_from_u64(2);
+        let original = correlated(&mut rng, 1_000);
+        let rec = spectral_reconstruct(&original, &[1e-6; 4]);
+        assert!(rms_error(&rec.columns, &original) < 1e-6);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = correlated(&mut rng, 500);
+        let rec = spectral_reconstruct(&original, &[0.01; 4]);
+        assert!(rec.eigenvalues.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+    }
+
+    #[test]
+    fn never_returns_rank_zero() {
+        // Pure noise: still keeps one component rather than collapsing
+        // to the mean.
+        let mut rng = StdRng::seed_from_u64(4);
+        let noise = add_noise(&mut rng, &vec![vec![0.0; 500]; 3], 1.0);
+        let rec = spectral_reconstruct(&noise, &[1.0; 3]);
+        assert!(rec.components_kept >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one noise variance per attribute")]
+    fn variance_count_checked() {
+        let _ = spectral_reconstruct(&[vec![1.0, 2.0]], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,335 @@
+//! # ppdt-bayes
+//!
+//! A quantile-binned naive Bayes classifier — the workspace's evidence
+//! that the paper's no-outcome-change guarantee is not specific to
+//! decision trees but holds for **any learner that consumes only rank
+//! statistics** of each attribute.
+//!
+//! A classical Gaussian naive Bayes uses means and variances, which
+//! piecewise monotone transformations destroy. This variant instead
+//! discretizes each attribute at *empirical quantile* boundaries and
+//! models per-bin class frequencies. Quantile boundaries are defined
+//! by tuple ranks; a globally monotone transformation preserves ranks
+//! exactly, so the binning — and therefore every learned probability —
+//! is identical on `D` and `D'`. Decoding the model is the same
+//! threshold decode as for trees (bin edges are data values). The
+//! `nb_outcome` experiment and this crate's tests verify bit-exact
+//! outcome preservation end-to-end; permutation pieces require one
+//! care: bin edges must fall on label-run boundaries… they need not!
+//! Quantile edges can fall inside monochromatic pieces, where the
+//! permutation reorders *which* value sits at the edge. The model's
+//! per-bin counts then differ. The fix mirrors Lemma 2: snap each
+//! quantile edge outward to the nearest *label-run boundary* (where
+//! counts are invariant) — implemented in
+//! [`QuantileBinnedNb::fit`] and tested.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::{Deserialize, Serialize};
+
+use ppdt_data::{AttrId, ClassId, Dataset};
+
+/// Hyperparameters for the quantile-binned naive Bayes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NbParams {
+    /// Number of quantile bins per attribute.
+    pub bins: usize,
+    /// Laplace smoothing added to every (class, bin) count.
+    pub alpha: f64,
+}
+
+impl Default for NbParams {
+    fn default() -> Self {
+        NbParams { bins: 8, alpha: 1.0 }
+    }
+}
+
+/// A trained quantile-binned naive Bayes model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantileBinnedNb {
+    /// Per attribute: ascending bin edges (a value `x` falls into the
+    /// first bin whose edge satisfies `x <= edge`; the last bin is
+    /// unbounded above). Edges are data values.
+    pub edges: Vec<Vec<f64>>,
+    /// `log P(class)`.
+    pub log_prior: Vec<f64>,
+    /// `log P(bin | class)` per attribute: `log_likelihood[a][c][b]`.
+    pub log_likelihood: Vec<Vec<Vec<f64>>>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl QuantileBinnedNb {
+    /// Fits the model on `d`.
+    ///
+    /// Bin edges start at the `i/bins` quantiles of each attribute and
+    /// are then snapped **outward to the nearest label-run boundary**
+    /// (the positions Lemma 2 singles out): at run boundaries the
+    /// cumulative class counts are invariant under the piecewise
+    /// transformations, so the fitted model — priors, per-bin
+    /// likelihoods, and decoded edges — is identical whether trained
+    /// on `D` or `D'`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `bins < 2`.
+    pub fn fit(d: &Dataset, params: &NbParams) -> Self {
+        assert!(d.num_rows() > 0, "cannot fit on an empty dataset");
+        assert!(params.bins >= 2, "need at least two bins");
+        let n = d.num_rows();
+        let k = d.num_classes();
+
+        let counts = d.class_counts();
+        let log_prior: Vec<f64> = counts
+            .iter()
+            .map(|&c| ((f64::from(c) + params.alpha) / (n as f64 + params.alpha * k as f64)).ln())
+            .collect();
+
+        let mut edges = Vec::with_capacity(d.num_attrs());
+        let mut log_likelihood = Vec::with_capacity(d.num_attrs());
+        for a in d.schema().attrs() {
+            let sc = d.sorted_column(a);
+            let attr_edges = run_boundary_edges(&sc, params.bins);
+            // Count (class, bin) occupancy.
+            let col = d.column(a);
+            let nbins = attr_edges.len() + 1;
+            let mut hist = vec![vec![0u32; nbins]; k];
+            for (row, &x) in col.iter().enumerate() {
+                let b = bin_of(&attr_edges, x);
+                hist[d.label(row).index()][b] += 1;
+            }
+            let ll: Vec<Vec<f64>> = hist
+                .iter()
+                .enumerate()
+                .map(|(c, row_hist)| {
+                    let total = f64::from(counts[c]) + params.alpha * nbins as f64;
+                    row_hist
+                        .iter()
+                        .map(|&h| ((f64::from(h) + params.alpha) / total).ln())
+                        .collect()
+                })
+                .collect();
+            edges.push(attr_edges);
+            log_likelihood.push(ll);
+        }
+
+        QuantileBinnedNb { edges, log_prior, log_likelihood, num_classes: k }
+    }
+
+    /// Predicts the class of a tuple.
+    pub fn predict(&self, values: &[f64]) -> ClassId {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for c in 0..self.num_classes {
+            let mut score = self.log_prior[c];
+            for (a, edges) in self.edges.iter().enumerate() {
+                let b = bin_of(edges, values[a]);
+                score += self.log_likelihood[a][c][b];
+            }
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        ClassId(best as u16)
+    }
+
+    /// Training accuracy on `d`.
+    pub fn accuracy(&self, d: &Dataset) -> f64 {
+        if d.num_rows() == 0 {
+            return 1.0;
+        }
+        let mut values = vec![0.0; d.num_attrs()];
+        let mut hits = 0usize;
+        for row in 0..d.num_rows() {
+            for a in d.schema().attrs() {
+                values[a.index()] = d.value(row, a);
+            }
+            if self.predict(&values) == d.label(row) {
+                hits += 1;
+            }
+        }
+        hits as f64 / d.num_rows() as f64
+    }
+
+    /// Rewrites every bin edge with `f(attr, edge)` — the custodian's
+    /// decode step. Edges are data values at label-run boundaries, so
+    /// `ppdt-transform`'s partition-based split decoding recovers them
+    /// exactly (pointwise inversion is not sufficient inside
+    /// permutation pieces; see `TransformKey::decode_tree`'s docs).
+    pub fn map_edges(&self, mut f: impl FnMut(AttrId, f64) -> f64) -> QuantileBinnedNb {
+        let mut out = self.clone();
+        for (a, edges) in out.edges.iter_mut().enumerate() {
+            for e in edges.iter_mut() {
+                *e = f(AttrId(a), *e);
+            }
+        }
+        out
+    }
+}
+
+/// First bin whose edge is `>= x`; the last bin catches everything
+/// above the final edge.
+fn bin_of(edges: &[f64], x: f64) -> usize {
+    edges.partition_point(|&e| e < x)
+}
+
+/// Quantile-ish bin edges snapped outward to label-run boundaries:
+/// walk the distinct-value groups, accumulate tuple counts, and place
+/// an edge at the *end of the current label run* whenever the
+/// cumulative count passes the next `i/bins` target. Run ends are
+/// invariant under the piecewise transforms (Lemma 2's positions), so
+/// the edges — and all per-bin class counts — are preserved.
+fn run_boundary_edges(sc: &ppdt_data::SortedColumn, bins: usize) -> Vec<f64> {
+    let n: usize = sc.order.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Group-level pass: detect run boundaries between distinct values
+    // (a boundary is NOT inside a run iff the adjacent groups are not
+    // both monochromatic with the same label).
+    let labels: Vec<Option<ClassId>> = sc.groups.iter().map(|g| g.monochromatic_label()).collect();
+    let mut edges = Vec::new();
+    let mut cum = 0usize;
+    let mut next_target = 1usize;
+    for (gi, g) in sc.groups.iter().enumerate() {
+        cum += g.count() as usize;
+        if gi + 1 == sc.groups.len() {
+            break; // no boundary after the last group
+        }
+        let boundary_is_run_end = match (labels[gi], labels[gi + 1]) {
+            (Some(a), Some(b)) => a != b,
+            _ => true,
+        };
+        if !boundary_is_run_end {
+            continue;
+        }
+        let target = next_target * n / bins;
+        if cum >= target && next_target < bins {
+            edges.push(g.value);
+            while next_target < bins && cum >= next_target * n / bins {
+                next_target += 1;
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdt_data::gen::{census_like, figure1, random_dataset, RandomDatasetConfig};
+    use ppdt_transform::{encode_dataset, EncodeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_figure1() {
+        let d = figure1();
+        let nb = QuantileBinnedNb::fit(&d, &NbParams::default());
+        assert!(nb.accuracy(&d) >= 5.0 / 6.0, "accuracy {}", nb.accuracy(&d));
+    }
+
+    #[test]
+    fn beats_majority_on_census() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = census_like(&mut rng, 3_000);
+        let majority =
+            *d.class_counts().iter().max().unwrap() as f64 / d.num_rows() as f64;
+        let nb = QuantileBinnedNb::fit(&d, &NbParams::default());
+        assert!(nb.accuracy(&d) > majority + 0.05);
+    }
+
+    #[test]
+    fn outcome_preserved_under_piecewise_transforms() {
+        // The headline: the model fitted on D' has identical priors and
+        // likelihoods, and predicts identically through the encoding.
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 40 };
+        for trial in 0..10 {
+            let d = random_dataset(&mut rng, &cfg);
+            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+            let params = NbParams { bins: 4 + trial % 5, alpha: 1.0 };
+            let m1 = QuantileBinnedNb::fit(&d, &params);
+            let m2 = QuantileBinnedNb::fit(&d2, &params);
+            assert_eq!(m1.log_prior, m2.log_prior, "trial {trial}");
+            assert_eq!(m1.log_likelihood, m2.log_likelihood, "trial {trial}");
+            // Predictions agree tuple-for-tuple through the encoding.
+            let mut x = vec![0.0; d.num_attrs()];
+            let mut x2 = vec![0.0; d.num_attrs()];
+            for row in 0..d.num_rows() {
+                for a in d.schema().attrs() {
+                    x[a.index()] = d.value(row, a);
+                    x2[a.index()] = d2.value(row, a);
+                }
+                assert_eq!(m1.predict(&x), m2.predict(&x2), "trial {trial} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_quantile_edges_would_break() {
+        // Control experiment: place edges at raw quantiles (inside
+        // monochromatic pieces) and observe the per-bin counts change
+        // under a permutation — the reason fit() snaps to run ends.
+        // Breakage needs *ties inside monochromatic pieces* (the
+        // permutation moves a heavy value across the edge), so build
+        // a dataset where every value is monochromatic with varying
+        // multiplicity.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut observed_break = false;
+        for trial in 0..20u64 {
+            use rand::Rng as _;
+            let mut b = ppdt_data::DatasetBuilder::new(ppdt_data::Schema::generated(1, 2));
+            for _ in 0..200 {
+                let v = rng.gen_range(0..30);
+                // Label determined by the value: every value mono.
+                b.push_row(&[v as f64], ClassId(u16::from(v > 15)));
+            }
+            let d = b.build();
+            let _ = trial;
+            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+            // Raw quantile edges: the value at rank n/2.
+            let raw_edge = |dd: &ppdt_data::Dataset| {
+                let mut col = dd.column(AttrId(0)).to_vec();
+                col.sort_by(f64::total_cmp);
+                col[col.len() / 2]
+            };
+            let (e1, e2) = (raw_edge(&d), raw_edge(&d2));
+            // Class histogram below the raw median edge.
+            let below = |dd: &ppdt_data::Dataset, e: f64| {
+                let mut h = vec![0u32; 2];
+                for (row, &x) in dd.column(AttrId(0)).iter().enumerate() {
+                    if x <= e {
+                        h[dd.label(row).index()] += 1;
+                    }
+                }
+                h
+            };
+            if below(&d, e1) != below(&d2, e2) {
+                observed_break = true;
+                break;
+            }
+        }
+        assert!(
+            observed_break,
+            "raw quantile edges should disagree under permutation pieces at least once"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = figure1();
+        let nb = QuantileBinnedNb::fit(&d, &NbParams::default());
+        let s = serde_json::to_string(&nb).unwrap();
+        let nb2: QuantileBinnedNb = serde_json::from_str(&s).unwrap();
+        assert_eq!(nb, nb2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two bins")]
+    fn bins_validated() {
+        let d = figure1();
+        let _ = QuantileBinnedNb::fit(&d, &NbParams { bins: 1, alpha: 1.0 });
+    }
+}

@@ -1,0 +1,46 @@
+//! Attack-side throughput: curve fitting, guessing, and the sorting
+//! attack over a realistic transformed domain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppdt_attack::{fit_crack, generate_kps, sorting_attack, FitMethod};
+use ppdt_bench::HarnessConfig;
+use ppdt_data::AttrId;
+use ppdt_transform::encoder::encode_attribute;
+use ppdt_transform::EncodeConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_attacks(c: &mut Criterion) {
+    let cfg = HarnessConfig { scale: 0.02, ..Default::default() };
+    let d = cfg.covertype();
+    let mut rng = StdRng::seed_from_u64(5);
+    let tr = encode_attribute(&mut rng, &d, AttrId(9), &EncodeConfig::default());
+    let orig = tr.orig_domain.clone();
+    let transformed: Vec<f64> = orig.iter().map(|&x| tr.encode(x)).collect();
+    let kps = generate_kps(&mut rng, &transformed, |y| tr.decode_snapped(y), 143.0, 8, 0);
+
+    let mut group = c.benchmark_group("fit_and_guess");
+    group.throughput(Throughput::Elements(transformed.len() as u64));
+    for method in FitMethod::ALL {
+        group.bench_with_input(BenchmarkId::new("fit", method.name()), &method, |b, &m| {
+            b.iter(|| fit_crack(m, &kps))
+        });
+        let g = fit_crack(method, &kps);
+        group.bench_with_input(
+            BenchmarkId::new("guess_all", method.name()),
+            &method,
+            |b, _| b.iter(|| transformed.iter().map(|&y| g.guess(y)).sum::<f64>()),
+        );
+    }
+    group.bench_function("sorting_attack_build", |b| {
+        b.iter(|| sorting_attack(&transformed, orig[0], orig[orig.len() - 1], 1.0))
+    });
+    let atk = sorting_attack(&transformed, orig[0], orig[orig.len() - 1], 1.0);
+    group.bench_function("sorting_attack_guess_all", |b| {
+        b.iter(|| transformed.iter().map(|&y| atk.guess(y)).sum::<f64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

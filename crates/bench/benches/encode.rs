@@ -1,0 +1,44 @@
+//! Encoder throughput: per-attribute transform construction and
+//! whole-dataset encoding under each breakpoint strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppdt_bench::HarnessConfig;
+use ppdt_data::AttrId;
+use ppdt_transform::encoder::encode_attribute;
+use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encode(c: &mut Criterion) {
+    let cfg = HarnessConfig { scale: 0.01, ..Default::default() };
+    let d = cfg.covertype();
+
+    let mut group = c.benchmark_group("encode_attribute");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("none", BreakpointStrategy::None),
+        ("choosebp", BreakpointStrategy::ChooseBP { w: 20 }),
+        ("choosemaxmp", BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 }),
+    ] {
+        let config = EncodeConfig { strategy, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new(name, "attr10"), &config, |b, config| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| encode_attribute(&mut rng, &d, AttrId(9), config))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("encode_dataset");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        (d.num_rows() * d.num_attrs()) as u64,
+    ));
+    group.bench_function("default_config", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| encode_dataset(&mut rng, &d, &EncodeConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

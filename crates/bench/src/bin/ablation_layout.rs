@@ -1,0 +1,6 @@
+//! X1 — layout ablation; see `ppdt-bench` docs for flags.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    ppdt_bench::experiments::ablation_layout(&cfg);
+}

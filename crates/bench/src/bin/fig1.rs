@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `ppdt-bench` docs for flags.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    ppdt_bench::experiments::fig1(&cfg);
+}

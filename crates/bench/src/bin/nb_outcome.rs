@@ -1,0 +1,6 @@
+//! X6 — naive Bayes outcome-preservation probe.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    ppdt_bench::experiments::nb_outcome(&cfg);
+}

@@ -1,0 +1,6 @@
+//! X3 — quantile-matching attack; see `ppdt-bench` docs for flags.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    ppdt_bench::experiments::quantile_attack(&cfg);
+}

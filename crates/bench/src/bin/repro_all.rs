@@ -1,0 +1,19 @@
+//! Runs every experiment (E1-E9) in order. Pass `--trials 500
+//! --scale 0.1` (or `--full`) to approach the paper's setting; the
+//! defaults keep the full run to a few minutes in release mode.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    use ppdt_bench::experiments as e;
+    e::fig1(&cfg);
+    e::fig8(&cfg);
+    e::fig9(&cfg);
+    e::table_fit(&cfg);
+    e::fig10(&cfg);
+    e::fig11(&cfg);
+    e::fig12(&cfg);
+    e::table_paths(&cfg);
+    e::outcome_sweep(&cfg);
+    e::perturbation_contrast(&cfg);
+    println!("\nAll experiments complete.");
+}

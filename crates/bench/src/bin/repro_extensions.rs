@@ -1,0 +1,13 @@
+//! Runs every extension experiment (X1-X6) in order; see
+//! `EXPERIMENTS.md` for the discussion.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    use ppdt_bench::experiments as e;
+    e::ablation_layout(&cfg);   // X1 (includes the gap-fraction sweep)
+    e::quantile_attack(&cfg);   // X3 (X2 is fig11's extra column)
+    e::spectral_attack(&cfg);   // X5
+    e::svm_outcome(&cfg);       // X4
+    e::nb_outcome(&cfg);        // X6
+    println!("\nAll extension experiments complete.");
+}

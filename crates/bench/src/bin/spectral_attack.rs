@@ -1,0 +1,6 @@
+//! X5 — spectral attack on the perturbation baseline.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    ppdt_bench::experiments::spectral_attack(&cfg);
+}

@@ -1,0 +1,6 @@
+//! X4 — SVM future-work probe; see `ppdt-bench` docs for flags.
+fn main() {
+    let cfg = ppdt_bench::HarnessConfig::from_args();
+    eprintln!("config: {cfg:?}");
+    ppdt_bench::experiments::svm_outcome(&cfg);
+}

@@ -1,0 +1,465 @@
+//! # ppdt-cli
+//!
+//! The data-custodian command-line tool (binary name `ppdt`):
+//!
+//! ```text
+//! ppdt stats  <data.csv>                      attribute statistics + release verdicts
+//! ppdt encode <data.csv> --out D.csv --key K.json [--seed N]
+//!             [--strategy maxmp|bp|none] [--w N] [--verify]
+//! ppdt decode-dataset <Dprime.csv> --key K.json --out orig.csv
+//! ppdt mine   <data.csv> --out tree.json [--criterion gini|entropy]
+//!             [--min-leaf N]                  (stand-in for the miner)
+//! ppdt decode-tree <tree.json> --key K.json --data orig.csv
+//!             --out decoded.json [--render]
+//! ppdt report <tree.json> --data <data.csv>   rules, importance, rendering
+//! ppdt audit  <data.csv> [--trials N] [--seed N]
+//! ```
+//!
+//! The command surface mirrors the custodian workflow of the paper's
+//! introduction: encode, ship, receive the mined tree, decode with the
+//! key, and audit what a hacker could recover. All subcommand logic
+//! lives in this library so it is unit-testable; `main.rs` only
+//! forwards `std::env::args`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ppdt_attack::HackerProfile;
+use ppdt_data::{csv, AttrId, AttrStats, Dataset};
+use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
+use ppdt_transform::{
+    encode_dataset, BreakpointStrategy, EncodeConfig, TransformKey,
+};
+use ppdt_tree::{DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams};
+
+/// CLI failure; rendered to stderr by `main`.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<csv::CsvError> for CliError {
+    fn from(e: csv::CsvError) -> Self {
+        CliError(format!("csv: {e}"))
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io: {e}"))
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: ppdt <subcommand> [args]
+  stats <data.csv>
+  encode <data.csv> --out <Dprime.csv> --key <key.json> [--seed N]
+         [--strategy maxmp|bp|none] [--w N] [--verify]
+  decode-dataset <Dprime.csv> --key <key.json> --out <orig.csv>
+  mine <data.csv> --out <tree.json> [--criterion gini|entropy] [--min-leaf N]
+  decode-tree <tree.json> --key <key.json> --data <orig.csv> --out <decoded.json> [--render]
+  report <tree.json> --data <data.csv>
+  audit <data.csv> [--trials N] [--seed N]
+";
+
+/// Tiny flag parser: positional arguments plus `--flag [value]` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags: Vec<(String, Option<String>)> = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.flag(name)
+            .ok_or_else(|| CliError(format!("missing required --{name} <value>")))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+/// Entry point: dispatches a full argument vector (without argv[0]).
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError(USAGE.into()));
+    };
+    let a = Args::parse(rest);
+    match cmd.as_str() {
+        "stats" => cmd_stats(&a),
+        "encode" => cmd_encode(&a),
+        "decode-dataset" => cmd_decode_dataset(&a),
+        "mine" => cmd_mine(&a),
+        "decode-tree" => cmd_decode_tree(&a),
+        "report" => cmd_report(&a),
+        "audit" => cmd_audit(&a),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
+    }
+}
+
+fn load_data(a: &Args) -> Result<Dataset, CliError> {
+    let path = a
+        .positional
+        .first()
+        .ok_or_else(|| CliError(format!("missing input file\n{USAGE}")))?;
+    Ok(csv::read_csv(path)?)
+}
+
+fn cmd_stats(a: &Args) -> Result<(), CliError> {
+    let d = load_data(a)?;
+    let granularity: f64 = a.parsed("granularity", 1.0)?;
+    println!(
+        "{:>16} | {:>9} {:>9} {:>9} {:>8} {:>9} {:>7}",
+        "attribute", "min", "max", "#distinct", "#discont", "#mono-pc", "%mono"
+    );
+    for s in AttrStats::compute_all(&d, granularity, 5) {
+        println!(
+            "{:>16} | {:>9} {:>9} {:>9} {:>8} {:>9} {:>6.1}%",
+            d.schema().attr_name(s.attr),
+            s.min,
+            s.max,
+            s.num_distinct,
+            s.num_discontinuities,
+            s.num_mono_pieces,
+            100.0 * s.pct_mono_values,
+        );
+    }
+    Ok(())
+}
+
+fn encode_config(a: &Args) -> Result<EncodeConfig, CliError> {
+    let w: usize = a.parsed("w", 20)?;
+    let strategy = match a.flag("strategy").unwrap_or("maxmp") {
+        "maxmp" => BreakpointStrategy::ChooseMaxMP { w, min_piece_len: 5 },
+        "bp" => BreakpointStrategy::ChooseBP { w },
+        "none" => BreakpointStrategy::None,
+        other => return Err(CliError(format!("--strategy: unknown {other:?}"))),
+    };
+    Ok(EncodeConfig { strategy, ..Default::default() })
+}
+
+fn cmd_encode(a: &Args) -> Result<(), CliError> {
+    let d = load_data(a)?;
+    let out = a.required("out")?;
+    let key_path = a.required("key")?;
+    let seed: u64 = a.parsed("seed", 7)?;
+    let config = encode_config(a)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (key, d_prime) = if a.has("verify") {
+        let (key, d_prime, attempts) = ppdt_transform::verify::encode_dataset_verified(
+            &mut rng,
+            &d,
+            &config,
+            TreeParams::default(),
+            8,
+        );
+        eprintln!("verified encode in {attempts} attempt(s)");
+        (key, d_prime)
+    } else {
+        encode_dataset(&mut rng, &d, &config)
+    };
+
+    csv::write_csv(&d_prime, out)?;
+    key.save_json(key_path)?;
+    eprintln!(
+        "encoded {} tuples x {} attributes -> {out}; key -> {key_path}",
+        d.num_rows(),
+        d.num_attrs()
+    );
+    Ok(())
+}
+
+fn cmd_decode_dataset(a: &Args) -> Result<(), CliError> {
+    let d_prime = load_data(a)?;
+    let key = TransformKey::load_json(a.required("key")?)?;
+    let out = a.required("out")?;
+    let d = key.decode_dataset(&d_prime);
+    csv::write_csv(&d, out)?;
+    eprintln!("decoded {} tuples -> {out}", d.num_rows());
+    Ok(())
+}
+
+fn cmd_mine(a: &Args) -> Result<(), CliError> {
+    let d = load_data(a)?;
+    let out = a.required("out")?;
+    let criterion = match a.flag("criterion").unwrap_or("gini") {
+        "gini" => SplitCriterion::Gini,
+        "entropy" => SplitCriterion::Entropy,
+        other => return Err(CliError(format!("--criterion: unknown {other:?}"))),
+    };
+    let min_leaf: u32 = a.parsed("min-leaf", 1)?;
+    let params = TreeParams { criterion, min_samples_leaf: min_leaf, ..Default::default() };
+    let tree = TreeBuilder::new(params).fit(&d);
+    std::fs::write(out, serde_json::to_string_pretty(&tree).expect("tree serializes"))?;
+    eprintln!(
+        "mined tree: {} leaves, depth {} -> {out}",
+        tree.num_leaves(),
+        tree.depth()
+    );
+    Ok(())
+}
+
+fn cmd_decode_tree(a: &Args) -> Result<(), CliError> {
+    let tree_path = a
+        .positional
+        .first()
+        .ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
+    let tree: DecisionTree = serde_json::from_str(&std::fs::read_to_string(tree_path)?)
+        .map_err(|e| CliError(format!("tree json: {e}")))?;
+    let key = TransformKey::load_json(a.required("key")?)?;
+    let d = csv::read_csv(a.required("data")?)?;
+    let out = a.required("out")?;
+    let decoded = key.decode_tree(&tree, ThresholdPolicy::DataValue, &d);
+    std::fs::write(out, serde_json::to_string_pretty(&decoded).expect("tree serializes"))?;
+    if a.has("render") {
+        println!("{}", decoded.render(Some(d.schema())));
+    }
+    eprintln!("decoded tree -> {out}");
+    Ok(())
+}
+
+fn cmd_report(a: &Args) -> Result<(), CliError> {
+    let tree_path = a
+        .positional
+        .first()
+        .ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
+    let tree: DecisionTree = serde_json::from_str(&std::fs::read_to_string(tree_path)?)
+        .map_err(|e| CliError(format!("tree json: {e}")))?;
+    let d = csv::read_csv(a.required("data")?)?;
+    println!("tree: {} leaves, depth {}", tree.num_leaves(), tree.depth());
+    println!("\n{}", tree.render(Some(d.schema())));
+    println!("rules:\n{}", ppdt_tree::render_rules(&tree, Some(d.schema())));
+    println!("feature importance:");
+    for (attr, score) in ppdt_tree::importance_ranking(&tree, d.num_attrs()) {
+        if score > 0.0 {
+            println!("  {:>16}: {:.1}%", d.schema().attr_name(attr), 100.0 * score);
+        }
+    }
+    println!(
+        "\ntraining accuracy on the supplied data: {:.1}%",
+        100.0 * tree.accuracy(&d)
+    );
+    Ok(())
+}
+
+fn cmd_audit(a: &Args) -> Result<(), CliError> {
+    let d = load_data(a)?;
+    let trials: usize = a.parsed("trials", 25)?;
+    let seed: u64 = a.parsed("seed", 7)?;
+    let config = encode_config(a)?;
+    println!(
+        "{:>16} | {:>10} {:>10} {:>10}",
+        "attribute", "ignorant", "expert", "insider"
+    );
+    for attr in d.schema().attrs() {
+        let risk = |profile: HackerProfile, salt: u64| {
+            let scenario = DomainScenario::polyline(profile);
+            run_trials(trials, seed ^ salt ^ (attr.index() as u64) << 8, |rng| {
+                domain_risk_trial(rng, &d, attr, &config, &scenario)
+            })
+            .median
+        };
+        println!(
+            "{:>16} | {:>9.1}% {:>9.1}% {:>9.1}%",
+            d.schema().attr_name(attr),
+            100.0 * risk(HackerProfile::Ignorant, 1),
+            100.0 * risk(HackerProfile::Expert, 2),
+            100.0 * risk(HackerProfile::Insider, 3),
+        );
+    }
+    let _ = AttrId(0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdt_data::gen::figure1;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ppdt_cli_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn args_parser_flags_and_positionals() {
+        let a = Args::parse(&s(&["in.csv", "--out", "x.csv", "--verify", "--w", "12"]));
+        assert_eq!(a.positional, vec!["in.csv"]);
+        assert_eq!(a.flag("out"), Some("x.csv"));
+        assert!(a.has("verify"));
+        assert_eq!(a.parsed::<usize>("w", 0).unwrap(), 12);
+        assert_eq!(a.parsed::<usize>("missing", 9).unwrap(), 9);
+        assert!(a.required("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn full_workflow_through_files() {
+        // stats -> encode -> mine(D') -> decode-tree == mine(D)
+        let d = figure1();
+        let data_csv = tmp("data.csv");
+        let dprime_csv = tmp("dprime.csv");
+        let key_json = tmp("key.json");
+        let tprime_json = tmp("tprime.json");
+        let decoded_json = tmp("decoded.json");
+        ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
+
+        run(&s(&["stats", data_csv.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            dprime_csv.to_str().unwrap(),
+            "--key",
+            key_json.to_str().unwrap(),
+            "--seed",
+            "9",
+            "--verify",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "mine",
+            dprime_csv.to_str().unwrap(),
+            "--out",
+            tprime_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "decode-tree",
+            tprime_json.to_str().unwrap(),
+            "--key",
+            key_json.to_str().unwrap(),
+            "--data",
+            data_csv.to_str().unwrap(),
+            "--out",
+            decoded_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        run(&s(&[
+            "report",
+            decoded_json.to_str().unwrap(),
+            "--data",
+            data_csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // The decoded tree equals direct mining.
+        let decoded: DecisionTree =
+            serde_json::from_str(&std::fs::read_to_string(&decoded_json).unwrap()).unwrap();
+        let direct = TreeBuilder::default().fit(&d);
+        assert!(ppdt_tree::trees_equal(&decoded, &direct));
+
+        // decode-dataset restores the table (the class-name interning
+        // order may relabel classes, so compare via CSV text).
+        let restored_csv = tmp("restored.csv");
+        run(&s(&[
+            "decode-dataset",
+            dprime_csv.to_str().unwrap(),
+            "--key",
+            key_json.to_str().unwrap(),
+            "--out",
+            restored_csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let restored = ppdt_data::csv::read_csv(&restored_csv).unwrap();
+        assert_eq!(restored.num_rows(), d.num_rows());
+        for a in d.schema().attrs() {
+            assert_eq!(restored.column(a), d.column(a), "attr {a}");
+        }
+
+        for p in [&data_csv, &dprime_csv, &key_json, &tprime_json, &decoded_json, &restored_csv] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn encode_requires_out_and_key() {
+        let d = figure1();
+        let data_csv = tmp("noargs.csv");
+        ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
+        let err = run(&s(&["encode", data_csv.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("--out"));
+        let _ = std::fs::remove_file(&data_csv);
+    }
+
+    #[test]
+    fn bad_strategy_rejected() {
+        let d = figure1();
+        let data_csv = tmp("badstrat.csv");
+        ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
+        let err = run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            "/tmp/x.csv",
+            "--key",
+            "/tmp/k.json",
+            "--strategy",
+            "bogus",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("strategy"));
+        let _ = std::fs::remove_file(&data_csv);
+    }
+}

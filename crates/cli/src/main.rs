@@ -1,0 +1,9 @@
+//! The `ppdt` custodian CLI; all logic lives in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = ppdt_cli::run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

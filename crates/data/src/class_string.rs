@@ -1,0 +1,215 @@
+//! Class strings (Definition 6) and label runs (Definition 7).
+
+use crate::dataset::{Dataset, SortedColumn};
+use crate::schema::{AttrId, ClassId};
+
+/// The class string `σ_{A,D}`: the sequence of class labels of the
+/// A-projected tuples ordered by attribute value (equal values in the
+/// canonical label order; see [`Dataset::sorted_column`]).
+///
+/// Lemma 1 of the paper: a monotone transformation of `A` preserves the
+/// class string exactly; an anti-monotone transformation reverses it.
+///
+/// ```
+/// use ppdt_data::{gen, AttrId, ClassString};
+///
+/// // The paper's Figure 1 data: sorted on age the labels read HHHLHL.
+/// let d = gen::figure1();
+/// let sigma = ClassString::of(&d, AttrId(0));
+/// assert_eq!(sigma.render(), "AAABAB"); // A = High, B = Low
+/// assert_eq!(sigma.runs().len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassString {
+    labels: Vec<ClassId>,
+}
+
+impl ClassString {
+    /// Builds `σ_{A,D}` for attribute `a` of dataset `d`.
+    pub fn of(d: &Dataset, a: AttrId) -> Self {
+        let sc = d.sorted_column(a);
+        Self::from_sorted(d, &sc)
+    }
+
+    /// Builds the class string from an already computed sorted view.
+    pub fn from_sorted(d: &Dataset, sc: &SortedColumn) -> Self {
+        let labels = sc.order.iter().map(|&i| d.label(i as usize)).collect();
+        ClassString { labels }
+    }
+
+    /// The label sequence.
+    #[inline]
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Length of the string (= number of tuples).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for an empty relation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The reversed string `σ^R` (the image of `σ` under an
+    /// anti-monotone transformation, Lemma 1).
+    pub fn reversed(&self) -> Self {
+        let mut labels = self.labels.clone();
+        labels.reverse();
+        ClassString { labels }
+    }
+
+    /// Decomposes the string into its label runs (Definition 7):
+    /// maximal substrings of a single class label.
+    pub fn runs(&self) -> Vec<LabelRun> {
+        let mut runs: Vec<LabelRun> = Vec::new();
+        for (pos, &c) in self.labels.iter().enumerate() {
+            match runs.last_mut() {
+                Some(r) if r.label == c => r.end = pos + 1,
+                _ => runs.push(LabelRun { start: pos, end: pos + 1, label: c }),
+            }
+        }
+        runs
+    }
+
+    /// Renders the string using one character per label (A, B, C, ...),
+    /// matching the paper's `HHHLHL` notation for two-class data.
+    pub fn render(&self) -> String {
+        self.labels
+            .iter()
+            .map(|c| char::from(b'A' + (c.0 % 26) as u8))
+            .collect()
+    }
+}
+
+/// A label run: a maximal single-label substring of a class string
+/// (Definition 7), identified by its position range in the sorted
+/// tuple sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelRun {
+    /// Start position (inclusive) in the sorted tuple sequence.
+    pub start: usize,
+    /// End position (exclusive).
+    pub end: usize,
+    /// The single class label of the run.
+    pub label: ClassId,
+}
+
+impl LabelRun {
+    /// Number of tuples in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Runs are never empty, but the method mirrors the std convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::schema::Schema;
+
+    /// The Figure 1 dataset of the paper: age attribute, classes H=0, L=1.
+    fn figure1_age() -> Dataset {
+        let schema = Schema::new(["age"], ["High", "Low"]);
+        let mut b = DatasetBuilder::new(schema);
+        // (age, class) rows of Figure 1(a): 23H, 17H, 43L, 68L, 32H, 20H
+        // sorted by age: 17H 20H 23H 32H 43L 68L -> wait, paper says
+        // sigma_age = HHHLHL, so rows are: 17H 20H 23H 32L 43H 68L.
+        for (v, c) in [
+            (23.0, 0u16),
+            (17.0, 0),
+            (43.0, 0),
+            (68.0, 1),
+            (32.0, 1),
+            (20.0, 0),
+        ] {
+            b.push_row(&[v], ClassId(c));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure1_class_string_is_hhhlhl() {
+        let d = figure1_age();
+        let s = ClassString::of(&d, AttrId(0));
+        // H=class0 -> 'A', L=class1 -> 'B'
+        assert_eq!(s.render(), "AAABAB");
+    }
+
+    #[test]
+    fn figure1_runs() {
+        let d = figure1_age();
+        let s = ClassString::of(&d, AttrId(0));
+        let runs = s.runs();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].len(), 3);
+        assert_eq!(runs[0].label, ClassId(0));
+        assert_eq!(runs[1].len(), 1);
+        assert_eq!(runs[1].label, ClassId(1));
+        assert_eq!(runs[2].len(), 1);
+        assert_eq!(runs[3].len(), 1);
+    }
+
+    #[test]
+    fn reversed_string() {
+        let d = figure1_age();
+        let s = ClassString::of(&d, AttrId(0));
+        assert_eq!(s.reversed().render(), "BABAAA");
+        assert_eq!(s.reversed().reversed(), s);
+    }
+
+    #[test]
+    fn empty_string_has_no_runs() {
+        let d = Dataset::from_columns(Schema::generated(1, 2), vec![vec![]], vec![]);
+        let s = ClassString::of(&d, AttrId(0));
+        assert!(s.is_empty());
+        assert!(s.runs().is_empty());
+    }
+
+    #[test]
+    fn runs_cover_string_exactly() {
+        let d = figure1_age();
+        let s = ClassString::of(&d, AttrId(0));
+        let runs = s.runs();
+        assert_eq!(runs[0].start, 0);
+        assert_eq!(runs.last().unwrap().end, s.len());
+        for w in runs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_ne!(w[0].label, w[1].label, "adjacent runs differ in label");
+        }
+    }
+
+    #[test]
+    fn monotone_transform_preserves_class_string() {
+        // Lemma 1, by direct construction: age' = 0.9*age + 10.
+        let d = figure1_age();
+        let col: Vec<f64> = d.column(AttrId(0)).iter().map(|v| 0.9 * v + 10.0).collect();
+        let d2 = d.with_column(AttrId(0), col);
+        assert_eq!(
+            ClassString::of(&d, AttrId(0)),
+            ClassString::of(&d2, AttrId(0))
+        );
+    }
+
+    #[test]
+    fn anti_monotone_transform_reverses_class_string() {
+        let d = figure1_age();
+        let col: Vec<f64> = d.column(AttrId(0)).iter().map(|v| -v).collect();
+        let d2 = d.with_column(AttrId(0), col);
+        assert_eq!(
+            ClassString::of(&d, AttrId(0)).reversed(),
+            ClassString::of(&d2, AttrId(0))
+        );
+    }
+}

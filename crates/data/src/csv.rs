@@ -1,0 +1,318 @@
+//! Minimal CSV import/export for training tables.
+//!
+//! The custodian scenario needs real file I/O: read a table, encode
+//! it, write `D'` for the miner. The format is deliberately plain —
+//! comma-separated, one header row, every column numeric except the
+//! **last**, which is the class label (any string; labels are interned
+//! in first-appearance order). No quoting or escaping: attribute data
+//! in this domain is numeric and labels are identifiers. Fields are
+//! trimmed of surrounding whitespace.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::schema::{ClassId, Schema};
+#[cfg(test)]
+use crate::schema::AttrId;
+
+/// Errors from CSV parsing.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// The header had fewer than two columns (need ≥1 attribute + label).
+    TooFewColumns,
+    /// A data row had the wrong number of fields.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// An attribute field failed to parse as a finite number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Column index.
+        column: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// Fewer than two distinct class labels appeared.
+    TooFewClasses,
+    /// Underlying I/O error (message form).
+    Io(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing header row"),
+            CsvError::TooFewColumns => write!(f, "need at least one attribute and a label column"),
+            CsvError::BadArity { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::BadNumber { line, column, field } => {
+                write!(f, "line {line}, column {column}: not a finite number: {field:?}")
+            }
+            CsvError::TooFewClasses => write!(f, "fewer than two distinct class labels"),
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a dataset from CSV text. See the module docs for the format.
+pub fn parse_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let names: Vec<&str> = header.split(',').map(str::trim).collect();
+    if names.len() < 2 {
+        return Err(CsvError::TooFewColumns);
+    }
+    let num_attrs = names.len() - 1;
+
+    // First pass: collect rows and intern labels in appearance order.
+    let mut class_names: Vec<String> = Vec::new();
+    let mut rows: Vec<(Vec<f64>, ClassId)> = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != names.len() {
+            return Err(CsvError::BadArity {
+                line: line_no,
+                got: fields.len(),
+                expected: names.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(num_attrs);
+        for (col, field) in fields[..num_attrs].iter().enumerate() {
+            let v: f64 = field.parse().map_err(|_| CsvError::BadNumber {
+                line: line_no,
+                column: col,
+                field: (*field).to_string(),
+            })?;
+            if !v.is_finite() {
+                return Err(CsvError::BadNumber {
+                    line: line_no,
+                    column: col,
+                    field: (*field).to_string(),
+                });
+            }
+            values.push(v);
+        }
+        let label_text = fields[num_attrs];
+        let class = match class_names.iter().position(|n| n == label_text) {
+            Some(i) => ClassId(i as u16),
+            None => {
+                class_names.push(label_text.to_string());
+                ClassId((class_names.len() - 1) as u16)
+            }
+        };
+        rows.push((values, class));
+    }
+    if class_names.len() < 2 {
+        return Err(CsvError::TooFewClasses);
+    }
+
+    let schema = Schema::new(
+        names[..num_attrs].iter().map(|s| s.to_string()),
+        class_names,
+    );
+    let mut b = DatasetBuilder::new(schema);
+    for (values, class) in rows {
+        b.push_row(&values, class);
+    }
+    Ok(b.build())
+}
+
+/// Reads a dataset from a CSV file.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    parse_csv(&text)
+}
+
+/// Serializes a dataset to CSV text (inverse of [`parse_csv`]).
+pub fn to_csv(d: &Dataset) -> String {
+    let schema = d.schema();
+    let mut out = String::new();
+    for a in schema.attrs() {
+        let _ = write!(out, "{},", schema.attr_name(a));
+    }
+    out.push_str("class\n");
+    for row in 0..d.num_rows() {
+        for a in schema.attrs() {
+            let _ = write!(out, "{},", format_value(d.value(row, a)));
+        }
+        let _ = writeln!(out, "{}", schema.class_name(d.label(row)));
+    }
+    out
+}
+
+/// Writes a dataset to a CSV file.
+pub fn write_csv(d: &Dataset, path: impl AsRef<Path>) -> Result<(), CsvError> {
+    std::fs::write(path, to_csv(d)).map_err(|e| CsvError::Io(e.to_string()))
+}
+
+/// Formats a value without losing precision (round-trippable through
+/// `f64::parse`).
+fn format_value(v: f64) -> String {
+    // `{}` on f64 prints the shortest representation that round-trips.
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::figure1;
+
+    const SAMPLE: &str = "\
+age,salary,class
+17, 30000, High
+20,35000,High
+23,40000,High
+32,50000,Low
+43,45000,High
+68,55000,Low
+";
+
+    #[test]
+    fn parse_sample() {
+        let d = parse_csv(SAMPLE).unwrap();
+        assert_eq!(d.num_rows(), 6);
+        assert_eq!(d.num_attrs(), 2);
+        assert_eq!(d.schema().attr_name(AttrId(1)), "salary");
+        assert_eq!(d.schema().class_name(ClassId(0)), "High");
+        assert_eq!(d.value(3, AttrId(0)), 32.0);
+        assert_eq!(d.label(3), ClassId(1));
+    }
+
+    #[test]
+    fn roundtrip_figure1() {
+        let d = figure1();
+        let text = to_csv(&d);
+        let d2 = parse_csv(&text).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_fractional_values() {
+        let d = figure1();
+        // Transform to non-integers and round-trip.
+        let col: Vec<f64> = d.column(AttrId(0)).iter().map(|v| v * 0.9 + 10.1).collect();
+        let d = d.with_column(AttrId(0), col);
+        let d2 = parse_csv(&to_csv(&d)).unwrap();
+        assert_eq!(d.column(AttrId(0)), d2.column(AttrId(0)));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = format!("\n{SAMPLE}\n\n");
+        assert_eq!(parse_csv(&text).unwrap().num_rows(), 6);
+    }
+
+    #[test]
+    fn error_bad_arity() {
+        let text = "a,b,class\n1,2,x\n3,x\n1,2,y\n";
+        match parse_csv(text) {
+            Err(CsvError::BadArity { line: 3, got: 2, expected: 3 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_bad_number() {
+        let text = "a,class\noops,x\n2,y\n";
+        match parse_csv(text) {
+            Err(CsvError::BadNumber { line: 2, column: 0, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_nonfinite_rejected() {
+        let text = "a,class\ninf,x\n2,y\n";
+        assert!(matches!(parse_csv(text), Err(CsvError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn error_single_class() {
+        let text = "a,class\n1,x\n2,x\n";
+        assert_eq!(parse_csv(text), Err(CsvError::TooFewClasses));
+    }
+
+    #[test]
+    fn error_empty_and_header_only() {
+        assert_eq!(parse_csv(""), Err(CsvError::MissingHeader));
+        assert_eq!(parse_csv("a,class\n"), Err(CsvError::TooFewClasses));
+        assert_eq!(parse_csv("justone\n1\n"), Err(CsvError::TooFewColumns));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = figure1();
+        let path = std::env::temp_dir().join("ppdt_csv_test.csv");
+        write_csv(&d, &path).unwrap();
+        let d2 = read_csv(&path).unwrap();
+        assert_eq!(d, d2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        assert!(matches!(
+            read_csv("/nonexistent/ppdt.csv"),
+            Err(CsvError::Io(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::gen::{random_dataset, RandomDatasetConfig};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// CSV round-trip preserves every value and every label *name*
+        /// (class ids may be re-interned in appearance order).
+        #[test]
+        fn prop_csv_roundtrip(seed in 0u64..5_000, rows in 1usize..120, attrs in 1usize..5, classes in 2usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = RandomDatasetConfig {
+                num_rows: rows,
+                num_attrs: attrs,
+                num_classes: classes,
+                value_range: 30,
+            };
+            let d = random_dataset(&mut rng, &cfg);
+            // Guarantee at least two distinct labels occur (parse_csv
+            // rejects single-class data by design).
+            let distinct: std::collections::BTreeSet<u16> = d.labels().iter().map(|c| c.0).collect();
+            prop_assume!(distinct.len() >= 2);
+
+            let text = to_csv(&d);
+            let d2 = parse_csv(&text).expect("roundtrip parse");
+            prop_assert_eq!(d2.num_rows(), d.num_rows());
+            prop_assert_eq!(d2.num_attrs(), d.num_attrs());
+            for a in d.schema().attrs() {
+                prop_assert_eq!(d2.column(a), d.column(a));
+            }
+            for row in 0..d.num_rows() {
+                prop_assert_eq!(
+                    d2.schema().class_name(d2.label(row)),
+                    d.schema().class_name(d.label(row))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The columnar training relation `D`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{AttrId, ClassId, Schema};
+
+/// An immutable training relation instance `D` with `m` numeric
+/// attributes and a categorical class label (Section 3.1 of the paper).
+///
+/// Storage is columnar: one `Vec<f64>` per attribute plus one label
+/// vector, which keeps the per-attribute hot paths (sorting, class
+/// strings, split search) cache friendly.
+///
+/// ```
+/// use ppdt_data::{AttrId, ClassId, DatasetBuilder, Schema};
+///
+/// let schema = Schema::new(["age"], ["High", "Low"]);
+/// let mut b = DatasetBuilder::new(schema);
+/// b.push_row(&[17.0], ClassId(0));
+/// b.push_row(&[32.0], ClassId(1));
+/// b.push_row(&[17.0], ClassId(0));
+/// let d = b.build();
+///
+/// assert_eq!(d.num_rows(), 3);
+/// assert_eq!(d.active_domain(AttrId(0)), vec![17.0, 32.0]);
+/// assert_eq!(d.class_counts(), vec![2, 1]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    columns: Vec<Vec<f64>>,
+    labels: Vec<ClassId>,
+}
+
+impl Dataset {
+    /// Assembles a dataset from columnar parts.
+    ///
+    /// # Panics
+    /// Panics if column counts/lengths disagree with the schema, if any
+    /// value is NaN, or if any label is out of range.
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<f64>>, labels: Vec<ClassId>) -> Self {
+        assert_eq!(
+            columns.len(),
+            schema.num_attrs(),
+            "column count must match schema"
+        );
+        for (i, col) in columns.iter().enumerate() {
+            assert_eq!(
+                col.len(),
+                labels.len(),
+                "column {i} length must match label count"
+            );
+            assert!(
+                col.iter().all(|v| !v.is_nan()),
+                "column {i} contains NaN values"
+            );
+        }
+        assert!(
+            labels.iter().all(|c| c.index() < schema.num_classes()),
+            "label out of range for schema"
+        );
+        Dataset { schema, columns, labels }
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of numeric attributes.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.schema.num_classes()
+    }
+
+    /// The raw column of attribute `a`.
+    #[inline]
+    pub fn column(&self, a: AttrId) -> &[f64] {
+        &self.columns[a.index()]
+    }
+
+    /// The label vector.
+    #[inline]
+    pub fn labels(&self) -> &[ClassId] {
+        &self.labels
+    }
+
+    /// Value of attribute `a` in tuple `row`.
+    #[inline]
+    pub fn value(&self, row: usize, a: AttrId) -> f64 {
+        self.columns[a.index()][row]
+    }
+
+    /// Label of tuple `row`.
+    #[inline]
+    pub fn label(&self, row: usize) -> ClassId {
+        self.labels[row]
+    }
+
+    /// Per-class tuple counts over the whole relation.
+    pub fn class_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_classes()];
+        for c in &self.labels {
+            counts[c.index()] += 1;
+        }
+        counts
+    }
+
+    /// The active domain `δ(A)` of attribute `a`: the sorted distinct
+    /// values appearing in the data (Section 3.1).
+    pub fn active_domain(&self, a: AttrId) -> Vec<f64> {
+        let mut vals = self.columns[a.index()].clone();
+        crate::value::sort_f64(&mut vals);
+        crate::value::distinct_sorted(&vals)
+    }
+
+    /// Minimum and maximum value of attribute `a`, or `None` for an
+    /// empty relation.
+    pub fn min_max(&self, a: AttrId) -> Option<(f64, f64)> {
+        let col = self.column(a);
+        let first = *col.first()?;
+        let (mut lo, mut hi) = (first, first);
+        for &v in col {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Builds the sorted per-attribute view used by class strings,
+    /// monochromatic analysis and split search: tuple indices ordered
+    /// by `(value, label)` plus distinct-value groups with per-class
+    /// histograms.
+    ///
+    /// Equal values are tie-broken by label — the "canonical order" of
+    /// Definition 6 — so the class string of an attribute is uniquely
+    /// defined and comparable across the original and transformed data.
+    pub fn sorted_column(&self, a: AttrId) -> SortedColumn {
+        let col = self.column(a);
+        let mut order: Vec<u32> = (0..col.len() as u32).collect();
+        order.sort_unstable_by(|&i, &j| {
+            col[i as usize]
+                .total_cmp(&col[j as usize])
+                .then_with(|| self.labels[i as usize].cmp(&self.labels[j as usize]))
+        });
+
+        let mut groups: Vec<DistinctGroup> = Vec::new();
+        let k = self.num_classes();
+        for (pos, &row) in order.iter().enumerate() {
+            let v = col[row as usize];
+            let c = self.labels[row as usize];
+            let start_new = groups.last().is_none_or(|g| g.value != v);
+            if start_new {
+                let mut hist = vec![0u32; k];
+                hist[c.index()] = 1;
+                groups.push(DistinctGroup { value: v, start: pos, end: pos + 1, hist });
+            } else {
+                let g = groups.last_mut().expect("group exists");
+                g.end = pos + 1;
+                g.hist[c.index()] += 1;
+            }
+        }
+        SortedColumn { order, groups }
+    }
+
+    /// Replaces the column of attribute `a` with `new_col`, keeping the
+    /// labels and every other column. Used by the encoder to build `D'`.
+    ///
+    /// # Panics
+    /// Panics if `new_col` has the wrong length or contains NaN.
+    pub fn with_column(&self, a: AttrId, new_col: Vec<f64>) -> Dataset {
+        assert_eq!(new_col.len(), self.num_rows(), "replacement column length");
+        assert!(new_col.iter().all(|v| !v.is_nan()), "replacement column NaN");
+        let mut columns = self.columns.clone();
+        columns[a.index()] = new_col;
+        Dataset { schema: self.schema.clone(), columns, labels: self.labels.clone() }
+    }
+
+    /// Builds a new dataset with all columns replaced at once (labels
+    /// and schema preserved). Used by the encoder to build `D'` in one
+    /// allocation sweep.
+    pub fn with_columns(&self, columns: Vec<Vec<f64>>) -> Dataset {
+        Dataset::from_columns(self.schema.clone(), columns, self.labels.clone())
+    }
+
+    /// Projects the relation onto `(A, C)` — the A-projected tuples of
+    /// Section 3.1 — as `(value, label)` pairs in row order.
+    pub fn projected(&self, a: AttrId) -> Vec<(f64, ClassId)> {
+        self.column(a)
+            .iter()
+            .zip(&self.labels)
+            .map(|(&v, &c)| (v, c))
+            .collect()
+    }
+}
+
+/// A per-attribute sorted view: tuple order plus distinct-value groups.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortedColumn {
+    /// Tuple indices ordered by `(value, label)`.
+    pub order: Vec<u32>,
+    /// Maximal groups of equal values, in ascending value order.
+    pub groups: Vec<DistinctGroup>,
+}
+
+impl SortedColumn {
+    /// Number of distinct values.
+    #[inline]
+    pub fn num_distinct(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// One distinct attribute value with its per-class tuple histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistinctGroup {
+    /// The attribute value.
+    pub value: f64,
+    /// Start position (inclusive) in the sorted order.
+    pub start: usize,
+    /// End position (exclusive) in the sorted order.
+    pub end: usize,
+    /// Tuple count per class.
+    pub hist: Vec<u32>,
+}
+
+impl DistinctGroup {
+    /// Total number of tuples carrying this value.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        (self.end - self.start) as u32
+    }
+
+    /// If every tuple with this value agrees on the label — the value is
+    /// *monochromatic* (Definition 9) — returns that label.
+    pub fn monochromatic_label(&self) -> Option<ClassId> {
+        let mut found = None;
+        for (c, &n) in self.hist.iter().enumerate() {
+            if n > 0 {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(ClassId(c as u16));
+            }
+        }
+        found
+    }
+}
+
+/// Row-oriented convenience builder for [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct DatasetBuilder {
+    schema: Schema,
+    columns: Vec<Vec<f64>>,
+    labels: Vec<ClassId>,
+}
+
+impl DatasetBuilder {
+    /// Starts an empty dataset with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.num_attrs()];
+        DatasetBuilder { schema, columns, labels: Vec::new() }
+    }
+
+    /// Appends one tuple.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch, NaN values, or out-of-range label.
+    pub fn push_row(&mut self, values: &[f64], label: ClassId) -> &mut Self {
+        assert_eq!(values.len(), self.schema.num_attrs(), "tuple arity");
+        assert!(label.index() < self.schema.num_classes(), "label range");
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            assert!(!v.is_nan(), "NaN attribute value");
+            col.push(v);
+        }
+        self.labels.push(label);
+        self
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Finishes the dataset.
+    pub fn build(self) -> Dataset {
+        Dataset::from_columns(self.schema, self.columns, self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // values:    3 1 2 2 5
+        // labels:    0 1 0 1 0
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        b.push_row(&[3.0], ClassId(0))
+            .push_row(&[1.0], ClassId(1))
+            .push_row(&[2.0], ClassId(0))
+            .push_row(&[2.0], ClassId(1))
+            .push_row(&[5.0], ClassId(0));
+        b.build()
+    }
+
+    #[test]
+    fn sorted_column_orders_and_groups() {
+        let d = toy();
+        let sc = d.sorted_column(AttrId(0));
+        let sorted_vals: Vec<f64> = sc
+            .order
+            .iter()
+            .map(|&i| d.value(i as usize, AttrId(0)))
+            .collect();
+        assert_eq!(sorted_vals, vec![1.0, 2.0, 2.0, 3.0, 5.0]);
+        assert_eq!(sc.num_distinct(), 4);
+        let g2 = &sc.groups[1];
+        assert_eq!(g2.value, 2.0);
+        assert_eq!(g2.count(), 2);
+        assert_eq!(g2.hist, vec![1, 1]);
+        assert_eq!(g2.monochromatic_label(), None);
+        assert_eq!(sc.groups[0].monochromatic_label(), Some(ClassId(1)));
+    }
+
+    #[test]
+    fn ties_are_broken_by_label() {
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        b.push_row(&[2.0], ClassId(1))
+            .push_row(&[2.0], ClassId(0))
+            .push_row(&[2.0], ClassId(1));
+        let d = b.build();
+        let sc = d.sorted_column(AttrId(0));
+        let labels: Vec<ClassId> = sc.order.iter().map(|&i| d.label(i as usize)).collect();
+        assert_eq!(labels, vec![ClassId(0), ClassId(1), ClassId(1)]);
+    }
+
+    #[test]
+    fn active_domain_and_min_max() {
+        let d = toy();
+        assert_eq!(d.active_domain(AttrId(0)), vec![1.0, 2.0, 3.0, 5.0]);
+        assert_eq!(d.min_max(AttrId(0)), Some((1.0, 5.0)));
+    }
+
+    #[test]
+    fn class_counts() {
+        let d = toy();
+        assert_eq!(d.class_counts(), vec![3, 2]);
+    }
+
+    #[test]
+    fn with_column_replaces_one_attribute() {
+        let d = toy();
+        let d2 = d.with_column(AttrId(0), vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(d2.column(AttrId(0)), &[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(d2.labels(), d.labels());
+    }
+
+    #[test]
+    fn projected_pairs() {
+        let d = toy();
+        let p = d.projected(AttrId(0));
+        assert_eq!(p[0], (3.0, ClassId(0)));
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn push_row_arity_checked() {
+        let mut b = DatasetBuilder::new(Schema::generated(2, 2));
+        b.push_row(&[1.0], ClassId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn labels_validated() {
+        let schema = Schema::generated(1, 2);
+        Dataset::from_columns(schema, vec![vec![1.0]], vec![ClassId(9)]);
+    }
+
+    #[test]
+    fn empty_dataset_is_legal() {
+        let d = Dataset::from_columns(Schema::generated(1, 2), vec![vec![]], vec![]);
+        assert_eq!(d.num_rows(), 0);
+        assert!(d.min_max(AttrId(0)).is_none());
+        assert!(d.active_domain(AttrId(0)).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! A census-income-like synthetic dataset (stand-in for the UCI census
+//! income benchmark the paper mentions; see `DESIGN.md` §3).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+
+use super::sample_labels;
+
+/// Generates a census-like dataset: six integer attributes (`age`,
+/// `wage`, `edu_years`, `capital_gain`, `capital_loss`, `hours`) and a
+/// binary income class (`<=50K` / `>50K`, about 25% positive).
+///
+/// Attribute distributions are class-shifted normal mixtures rounded to
+/// integers, giving the mixture of monochromatic stretches, mixed
+/// regions and discontinuities the piecewise framework feeds on.
+pub fn census_like<R: Rng + ?Sized>(rng: &mut R, num_rows: usize) -> Dataset {
+    let schema = Schema::new(
+        ["age", "wage", "edu_years", "capital_gain", "capital_loss", "hours"],
+        ["le50K", "gt50K"],
+    );
+    let labels = sample_labels(rng, num_rows, &[0.75, 0.25]);
+
+    // (mean_class0, mean_class1, sd, min, max)
+    let specs = [
+        (36.0, 44.0, 13.0, 17.0, 90.0),
+        (28_000.0, 62_000.0, 11_000.0, 0.0, 150_000.0),
+        (9.5, 12.5, 2.5, 1.0, 16.0),
+        (400.0, 4_000.0, 1_500.0, 0.0, 20_000.0),
+        (80.0, 200.0, 120.0, 0.0, 2_500.0),
+        (38.0, 45.0, 11.0, 1.0, 99.0),
+    ];
+
+    let mut columns = Vec::with_capacity(specs.len());
+    for &(m0, m1, sd, lo, hi) in &specs {
+        let d0 = Normal::new(m0, sd).expect("valid normal");
+        let d1 = Normal::new(m1, sd).expect("valid normal");
+        let col: Vec<f64> = labels
+            .iter()
+            .map(|c| {
+                let raw: f64 = if c.index() == 0 { d0.sample(rng) } else { d1.sample(rng) };
+                raw.clamp(lo, hi).round()
+            })
+            .collect();
+        columns.push(col);
+    }
+    Dataset::from_columns(schema, columns, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = census_like(&mut rng, 4_000);
+        assert_eq!(d.num_rows(), 4_000);
+        assert_eq!(d.num_attrs(), 6);
+        assert_eq!(d.num_classes(), 2);
+        let (lo, hi) = d.min_max(AttrId(0)).unwrap();
+        assert!(lo >= 17.0 && hi <= 90.0);
+        // Integer grid.
+        assert!(d.column(AttrId(0)).iter().all(|v| v.fract() == 0.0));
+    }
+
+    #[test]
+    fn class_skew_roughly_25_percent() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = census_like(&mut rng, 10_000);
+        let pos = d.labels().iter().filter(|c| c.0 == 1).count() as f64;
+        let frac = pos / d.num_rows() as f64;
+        assert!((frac - 0.25).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn classes_are_separable_in_expectation() {
+        // wage means differ by ~3 sd, so the per-class wage averages
+        // must be clearly ordered — this is what makes trees non-trivial.
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = census_like(&mut rng, 5_000);
+        let wage = d.column(AttrId(1));
+        let (mut s0, mut n0, mut s1, mut n1) = (0.0, 0.0, 0.0, 0.0);
+        for (v, c) in wage.iter().zip(d.labels()) {
+            if c.0 == 0 {
+                s0 += v;
+                n0 += 1.0;
+            } else {
+                s1 += v;
+                n1 += 1.0;
+            }
+        }
+        assert!(s1 / n1 > s0 / n0 + 10_000.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d1 = census_like(&mut StdRng::seed_from_u64(3), 500);
+        let d2 = census_like(&mut StdRng::seed_from_u64(3), 500);
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,522 @@
+//! Covertype-like synthetic data, calibrated to the per-attribute
+//! statistics the paper reports for the UCI forest covertype benchmark
+//! (Figure 8 and Figure 11).
+//!
+//! The real data is not shipped; every Section 6 experiment depends on
+//! the data only through the monochromatic-piece structure, the number
+//! of discontinuities, the distinct-value counts and the
+//! class-conditional value layout — all of which this generator
+//! reproduces by construction:
+//!
+//! 1. the class labels are drawn with covertype-like frequencies
+//!    (7 classes, heavily skewed towards classes 1 and 2);
+//! 2. per attribute, a sorted sequence of `num_distinct` integer values
+//!    is laid out over a `[0, width)` grid (fixing the discontinuity
+//!    count), then partitioned into monochromatic *segments* (each
+//!    owned by one class) and *mixed* values (shared by ≥ 2 classes)
+//!    matching the target piece count and coverage;
+//! 3. a seeding pass pins one tuple per monochromatic value (of the
+//!    owning class) and two tuples of different classes per mixed
+//!    value, guaranteeing the planned structure is realized exactly;
+//! 4. the remaining tuples sample values uniformly from their class's
+//!    candidate set.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::schema::{ClassId, Schema};
+
+use super::{sample_labels, weighted_pick};
+
+/// Per-attribute calibration target (one row of the paper's Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CovertypeAttrSpec {
+    /// Dynamic-range width (number of grid positions, `max-min+1`).
+    pub range_width: usize,
+    /// Number of distinct values occurring in the data.
+    pub num_distinct: usize,
+    /// Target number of monochromatic pieces.
+    pub num_mono_pieces: usize,
+    /// Target fraction of distinct values inside monochromatic pieces.
+    pub pct_mono_values: f64,
+}
+
+/// The ten attribute targets of the paper's Figure 8 (attributes #1–#10
+/// of forest covertype).
+pub fn covertype_spec() -> Vec<CovertypeAttrSpec> {
+    // (width, distinct, pieces, pct mono)
+    let rows = [
+        (2000, 1978, 9, 0.742),
+        (361, 361, 0, 0.0),
+        (67, 67, 1, 0.224),
+        (1398, 551, 22, 0.400),
+        (775, 700, 14, 0.480),
+        (7118, 5785, 202, 0.629),
+        (255, 207, 2, 0.396),
+        (255, 185, 8, 0.259),
+        (255, 255, 3, 0.094),
+        (7174, 5827, 229, 0.668),
+    ];
+    rows.iter()
+        .map(|&(w, d, p, pct)| CovertypeAttrSpec {
+            range_width: w,
+            num_distinct: d,
+            num_mono_pieces: p,
+            pct_mono_values: pct,
+        })
+        .collect()
+}
+
+/// Configuration for [`covertype_like`].
+#[derive(Clone, Debug)]
+pub struct CovertypeConfig {
+    /// Number of tuples to generate. The real benchmark has 581,012;
+    /// the experiment harness defaults to a 1/10 scale.
+    pub num_rows: usize,
+    /// Per-attribute calibration targets; defaults to [`covertype_spec`].
+    pub attrs: Vec<CovertypeAttrSpec>,
+    /// Class frequencies; defaults to covertype's 7-class skew.
+    pub class_freqs: Vec<f64>,
+    /// Minimum monochromatic piece width (the paper suggests 5).
+    pub min_piece_len: usize,
+}
+
+impl Default for CovertypeConfig {
+    fn default() -> Self {
+        CovertypeConfig {
+            num_rows: 58_101,
+            attrs: covertype_spec(),
+            // Approximate covertype class distribution.
+            class_freqs: vec![0.365, 0.488, 0.062, 0.005, 0.016, 0.030, 0.035],
+            min_piece_len: 5,
+        }
+    }
+}
+
+impl CovertypeConfig {
+    /// A configuration scaled to `frac` of the real benchmark's 581,012
+    /// tuples (clamped to at least 1,000 so the seeding pass always has
+    /// enough tuples per class).
+    pub fn at_scale(frac: f64) -> Self {
+        let rows = ((581_012.0 * frac) as usize).max(1_000);
+        CovertypeConfig { num_rows: rows, ..CovertypeConfig::default() }
+    }
+}
+
+/// Generates a covertype-like dataset calibrated to the paper's
+/// Figure 8 statistics. See the module docs for the construction.
+pub fn covertype_like<R: Rng + ?Sized>(rng: &mut R, config: &CovertypeConfig) -> Dataset {
+    let k = config.class_freqs.len();
+    assert!(k >= 2, "need at least two classes");
+    let schema = Schema::new(
+        (0..config.attrs.len()).map(|i| format!("attr{}", i + 1)),
+        (0..k).map(|i| format!("cover{}", i + 1)),
+    );
+    let labels = sample_labels(rng, config.num_rows, &config.class_freqs);
+
+    // Row indices per class, reshuffled per attribute for seeding.
+    let mut rows_of_class: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (i, c) in labels.iter().enumerate() {
+        rows_of_class[c.index()].push(i as u32);
+    }
+
+    let mut columns = Vec::with_capacity(config.attrs.len());
+    for spec in &config.attrs {
+        let col = generate_column(
+            rng,
+            spec,
+            &labels,
+            &mut rows_of_class,
+            &config.class_freqs,
+            config.min_piece_len,
+        );
+        columns.push(col);
+    }
+
+    Dataset::from_columns(schema, columns, labels)
+}
+
+/// The per-value plan for one attribute.
+enum ValuePlan {
+    /// Monochromatic: only tuples of this class may carry the value.
+    Mono(ClassId),
+    /// Mixed: tuples of any of these (≥ 2) classes may carry the value.
+    Mixed(Vec<ClassId>),
+}
+
+fn generate_column<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &CovertypeAttrSpec,
+    labels: &[ClassId],
+    rows_of_class: &mut [Vec<u32>],
+    class_freqs: &[f64],
+    min_piece_len: usize,
+) -> Vec<f64> {
+    let k = class_freqs.len();
+    let n = labels.len();
+    assert!(
+        spec.num_distinct <= spec.range_width,
+        "cannot place {} distinct values on a width-{} grid",
+        spec.num_distinct,
+        spec.range_width
+    );
+    assert!(spec.num_distinct >= 2, "need at least two distinct values");
+
+    // --- 1. Choose which grid positions occur. -------------------------
+    let values = choose_grid_values(rng, spec.range_width, spec.num_distinct);
+
+    // --- 2. Partition sorted values into mono segments and mixed runs. -
+    let plan = plan_segments(rng, spec, min_piece_len, &values, class_freqs, rows_of_class);
+
+    // --- 3 + 4. Seed every value, then fill the remaining tuples. ------
+    let mut col = vec![f64::NAN; n];
+    for list in rows_of_class.iter_mut() {
+        list.shuffle(rng);
+    }
+    // Cursor per class into its (shuffled) row list.
+    let mut cursor = vec![0usize; k];
+    let mut pin = |class: usize, value: f64, col: &mut [f64]| -> bool {
+        let list = &rows_of_class[class];
+        while cursor[class] < list.len() {
+            let row = list[cursor[class]] as usize;
+            cursor[class] += 1;
+            if col[row].is_nan() {
+                col[row] = value;
+                return true;
+            }
+        }
+        false
+    };
+
+    for (vi, p) in plan.iter().enumerate() {
+        let v = values[vi];
+        match p {
+            ValuePlan::Mono(c) => {
+                // One tuple of the owning class realizes the value.
+                let _ = pin(c.index(), v, &mut col);
+            }
+            ValuePlan::Mixed(classes) => {
+                // Two tuples of two different classes make it non-mono.
+                let mut placed = 0;
+                for c in classes.iter().take(2) {
+                    if pin(c.index(), v, &mut col) {
+                        placed += 1;
+                    }
+                }
+                // Fall back to any class with spare tuples.
+                let mut ci = 0;
+                while placed < 2 && ci < k {
+                    if classes.iter().all(|c| c.index() != ci) && pin(ci, v, &mut col) {
+                        placed += 1;
+                    }
+                    ci += 1;
+                }
+            }
+        }
+    }
+
+    // Candidate values per class: mono values owned by the class plus
+    // mixed values that allow it.
+    let mut candidates: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for (vi, p) in plan.iter().enumerate() {
+        let v = values[vi];
+        match p {
+            ValuePlan::Mono(c) => candidates[c.index()].push(v),
+            ValuePlan::Mixed(classes) => {
+                for c in classes {
+                    candidates[c.index()].push(v);
+                }
+            }
+        }
+    }
+    // Every class must be able to draw a value. Classes with an empty
+    // candidate set adopt the globally most permissive mixed values; if
+    // there are no mixed values at all, widen a random mono value into
+    // a mixed one (extremely unlikely with the shipped specs).
+    let all_mixed: Vec<f64> = plan
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p, ValuePlan::Mixed(_)))
+        .map(|(vi, _)| values[vi])
+        .collect();
+    for cand in candidates.iter_mut() {
+        if cand.is_empty() {
+            if all_mixed.is_empty() {
+                cand.push(values[0]);
+            } else {
+                cand.extend(all_mixed.iter().take(8).copied());
+            }
+        }
+    }
+
+    for (row, c) in labels.iter().enumerate() {
+        if col[row].is_nan() {
+            let cand = &candidates[c.index()];
+            col[row] = cand[rng.gen_range(0..cand.len())];
+        }
+    }
+    col
+}
+
+/// Chooses `num_distinct` sorted grid positions in `[0, width)`,
+/// always including both endpoints (so the realized dynamic-range
+/// width matches the spec exactly).
+fn choose_grid_values<R: Rng + ?Sized>(rng: &mut R, width: usize, num_distinct: usize) -> Vec<f64> {
+    if num_distinct == width {
+        return (0..width).map(|v| v as f64).collect();
+    }
+    // Sample the interior positions without replacement.
+    let mut interior: Vec<usize> = (1..width - 1).collect();
+    interior.shuffle(rng);
+    let mut chosen: Vec<usize> = interior[..num_distinct - 2].to_vec();
+    chosen.push(0);
+    chosen.push(width - 1);
+    chosen.sort_unstable();
+    chosen.into_iter().map(|v| v as f64).collect()
+}
+
+/// Lays out mono segments and mixed values over the sorted value
+/// sequence and assigns classes, honouring per-class tuple budgets so
+/// the seeding pass cannot run out of tuples.
+fn plan_segments<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &CovertypeAttrSpec,
+    min_piece_len: usize,
+    values: &[f64],
+    class_freqs: &[f64],
+    rows_of_class: &[Vec<u32>],
+) -> Vec<ValuePlan> {
+    let k = class_freqs.len();
+    let nd = values.len();
+    let target_mono = ((spec.pct_mono_values * nd as f64).round() as usize).min(nd);
+    let pieces = spec.num_mono_pieces;
+
+    if pieces == 0 || target_mono == 0 {
+        return mixed_only_plan(rng, nd, k, class_freqs);
+    }
+
+    // Piece lengths: randomized around the mean, each >= min_piece_len,
+    // summing to target_mono.
+    let mean = (target_mono as f64 / pieces as f64).max(min_piece_len as f64);
+    let mut lens: Vec<usize> = (0..pieces)
+        .map(|_| {
+            let jitter = rng.gen_range(0.7..1.3);
+            ((mean * jitter).round() as usize).max(min_piece_len)
+        })
+        .collect();
+    rebalance(&mut lens, target_mono, min_piece_len);
+
+    // Mixed budget: every interior gap needs >= 1 mixed value.
+    let mixed_total = nd - lens.iter().sum::<usize>();
+    let gaps = pieces + 1;
+    let interior = pieces.saturating_sub(1);
+    assert!(
+        mixed_total >= interior,
+        "spec leaves too few mixed values to separate {pieces} pieces"
+    );
+    let mut gap_lens = vec![0usize; gaps];
+    for g in gap_lens.iter_mut().take(pieces).skip(1) {
+        *g = 1;
+    }
+    let mut spare = mixed_total - interior;
+    while spare > 0 {
+        let g = rng.gen_range(0..gaps);
+        gap_lens[g] += 1;
+        spare -= 1;
+    }
+
+    // Per-class seeding budget: tuples of the class not yet consumed by
+    // this attribute (each mono value consumes one; each mixed value
+    // consumes at most one per class).
+    let mut budget: Vec<isize> = rows_of_class.iter().map(|r| r.len() as isize).collect();
+    // Reserve capacity for mixed seeding (2 tuples per mixed value,
+    // spread over classes roughly by frequency — keep it conservative).
+    for b in budget.iter_mut() {
+        *b -= (2 * mixed_total / k) as isize;
+    }
+
+    // Assign a class to each piece, excluding classes whose budget
+    // cannot cover the piece, and avoiding giving adjacent pieces the
+    // same class when possible (purely cosmetic; ChooseMaxMP separates
+    // them via the intervening mixed values anyway).
+    let mut piece_class = Vec::with_capacity(pieces);
+    let mut prev: Option<usize> = None;
+    for &len in &lens {
+        let choice = weighted_pick(rng, class_freqs, |c| {
+            budget[c] >= len as isize && prev != Some(c)
+        })
+        .or_else(|| weighted_pick(rng, class_freqs, |c| budget[c] >= len as isize))
+        .or_else(|| weighted_pick(rng, class_freqs, |_| true))
+        .expect("at least one class exists");
+        budget[choice] -= len as isize;
+        piece_class.push(ClassId(choice as u16));
+        prev = Some(choice);
+    }
+
+    // Interleave: gap 0, piece 0, gap 1, piece 1, ..., gap P.
+    let mut plan = Vec::with_capacity(nd);
+    for i in 0..pieces {
+        extend_mixed(rng, &mut plan, gap_lens[i], k, class_freqs);
+        for _ in 0..lens[i] {
+            plan.push(ValuePlan::Mono(piece_class[i]));
+        }
+    }
+    extend_mixed(rng, &mut plan, gap_lens[pieces], k, class_freqs);
+    debug_assert_eq!(plan.len(), nd);
+    plan
+}
+
+fn mixed_only_plan<R: Rng + ?Sized>(
+    rng: &mut R,
+    nd: usize,
+    k: usize,
+    class_freqs: &[f64],
+) -> Vec<ValuePlan> {
+    let mut plan = Vec::with_capacity(nd);
+    extend_mixed(rng, &mut plan, nd, k, class_freqs);
+    plan
+}
+
+/// Appends `count` mixed values, each allowing 2–3 distinct classes
+/// drawn by frequency.
+fn extend_mixed<R: Rng + ?Sized>(
+    rng: &mut R,
+    plan: &mut Vec<ValuePlan>,
+    count: usize,
+    k: usize,
+    class_freqs: &[f64],
+) {
+    for _ in 0..count {
+        let want = if k > 2 && rng.gen_bool(0.3) { 3 } else { 2 };
+        let mut classes: Vec<ClassId> = Vec::with_capacity(want);
+        while classes.len() < want.min(k) {
+            let c = weighted_pick(rng, class_freqs, |c| {
+                classes.iter().all(|x| x.index() != c)
+            })
+            .expect("classes remain");
+            classes.push(ClassId(c as u16));
+        }
+        plan.push(ValuePlan::Mixed(classes));
+    }
+}
+
+/// Adjusts `lens` so it sums to `target` while keeping each entry at
+/// least `min_len`.
+fn rebalance(lens: &mut [usize], target: usize, min_len: usize) {
+    let mut sum: usize = lens.iter().sum();
+    let n = lens.len();
+    let mut i = 0;
+    while sum != target {
+        if sum < target {
+            lens[i % n] += 1;
+            sum += 1;
+        } else if lens[i % n] > min_len {
+            lens[i % n] -= 1;
+            sum -= 1;
+        }
+        i += 1;
+        // Safety valve: if every piece is at min_len and we still
+        // exceed the target, the caller's spec was infeasible; keep the
+        // minimal layout.
+        if sum > target && lens.iter().all(|&l| l <= min_len) {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use crate::stats::AttrStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> CovertypeConfig {
+        CovertypeConfig { num_rows: 20_000, ..CovertypeConfig::default() }
+    }
+
+    #[test]
+    fn generated_stats_track_figure8_targets() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = small_config();
+        let d = covertype_like(&mut rng, &cfg);
+        assert_eq!(d.num_rows(), 20_000);
+        assert_eq!(d.num_attrs(), 10);
+        let stats = AttrStats::compute_all(&d, 1.0, cfg.min_piece_len);
+        for (s, spec) in stats.iter().zip(&cfg.attrs) {
+            assert_eq!(s.range_width, spec.range_width, "attr {:?} width", s.attr);
+            assert_eq!(
+                s.num_distinct, spec.num_distinct,
+                "attr {:?} distinct",
+                s.attr
+            );
+            // Piece structure is realized exactly by the seeding pass.
+            assert_eq!(
+                s.num_mono_pieces, spec.num_mono_pieces,
+                "attr {:?} pieces",
+                s.attr
+            );
+            assert!(
+                (s.pct_mono_values - spec.pct_mono_values).abs() < 0.02,
+                "attr {:?}: pct {} vs target {}",
+                s.attr,
+                s.pct_mono_values,
+                spec.pct_mono_values
+            );
+        }
+    }
+
+    #[test]
+    fn discontinuities_match_figure11() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = small_config();
+        let d = covertype_like(&mut rng, &cfg);
+        let stats = AttrStats::compute_all(&d, 1.0, cfg.min_piece_len);
+        // Figure 11 column 2 = width - distinct.
+        let expected = [22, 0, 0, 847, 75, 1333, 48, 70, 0, 1347];
+        for (s, e) in stats.iter().zip(expected) {
+            assert_eq!(s.num_discontinuities, e, "attr {:?}", s.attr);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = CovertypeConfig { num_rows: 3_000, ..CovertypeConfig::default() };
+        let d1 = covertype_like(&mut StdRng::seed_from_u64(5), &cfg);
+        let d2 = covertype_like(&mut StdRng::seed_from_u64(5), &cfg);
+        assert_eq!(d1, d2);
+        let d3 = covertype_like(&mut StdRng::seed_from_u64(6), &cfg);
+        assert_ne!(d1.column(AttrId(0)), d3.column(AttrId(0)));
+    }
+
+    #[test]
+    fn at_scale_clamps_row_count() {
+        assert_eq!(CovertypeConfig::at_scale(1.0).num_rows, 581_012);
+        assert_eq!(CovertypeConfig::at_scale(0.0).num_rows, 1_000);
+    }
+
+    #[test]
+    fn all_labels_in_range_and_no_nan() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = CovertypeConfig { num_rows: 5_000, ..CovertypeConfig::default() };
+        let d = covertype_like(&mut rng, &cfg);
+        for a in d.schema().attrs() {
+            assert!(d.column(a).iter().all(|v| v.is_finite()));
+        }
+        assert!(d.labels().iter().all(|c| c.index() < 7));
+    }
+
+    #[test]
+    fn rebalance_hits_target() {
+        let mut lens = vec![10, 10, 10];
+        rebalance(&mut lens, 25, 5);
+        assert_eq!(lens.iter().sum::<usize>(), 25);
+        assert!(lens.iter().all(|&l| l >= 5));
+
+        let mut lens = vec![5, 5];
+        rebalance(&mut lens, 30, 5);
+        assert_eq!(lens.iter().sum::<usize>(), 30);
+    }
+}

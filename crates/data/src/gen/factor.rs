@@ -1,0 +1,91 @@
+//! A latent-factor dataset: attributes share one hidden factor, so
+//! they are strongly correlated — the setting where spectral attacks
+//! against additive-noise perturbation shine (reference [7] of the
+//! paper; see `ppdt-attack::spectral`).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::dataset::Dataset;
+use crate::schema::{ClassId, Schema};
+
+/// Generates an `n × loadings.len()` dataset where attribute `j` is
+/// `loadings[j] · factor + ε`, values snapped to integers, and the
+/// class label is whether the latent factor is positive.
+///
+/// * `factor_sd` — spread of the latent factor,
+/// * `idio_sd` — per-attribute idiosyncratic noise.
+///
+/// # Panics
+/// Panics if `loadings` is empty or the deviations are non-positive.
+pub fn factor_model<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_rows: usize,
+    loadings: &[f64],
+    factor_sd: f64,
+    idio_sd: f64,
+) -> Dataset {
+    assert!(!loadings.is_empty(), "need at least one loading");
+    assert!(factor_sd > 0.0 && idio_sd > 0.0, "deviations must be positive");
+    let schema = Schema::new(
+        (0..loadings.len()).map(|i| format!("f{i}")),
+        ["neg".to_string(), "pos".to_string()],
+    );
+    let factor = Normal::new(0.0, factor_sd).expect("valid normal");
+    let idio = Normal::new(0.0, idio_sd).expect("valid normal");
+
+    let mut columns = vec![Vec::with_capacity(num_rows); loadings.len()];
+    let mut labels = Vec::with_capacity(num_rows);
+    for _ in 0..num_rows {
+        let f = factor.sample(rng);
+        labels.push(ClassId(u16::from(f > 0.0)));
+        for (col, &l) in columns.iter_mut().zip(loadings) {
+            col.push((l * f + idio.sample(rng)).round());
+        }
+    }
+    Dataset::from_columns(schema, columns, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attributes_are_correlated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = factor_model(&mut rng, 4_000, &[1.0, 0.8, -1.2], 20.0, 1.0);
+        let a = d.column(AttrId(0));
+        let b = d.column(AttrId(2));
+        let n = a.len() as f64;
+        let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
+        let corr = cov / (va * vb).sqrt();
+        assert!(corr < -0.9, "strongly anti-correlated by loadings, got {corr}");
+    }
+
+    #[test]
+    fn labels_track_the_factor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = factor_model(&mut rng, 2_000, &[1.0, 1.0], 20.0, 1.0);
+        // Attribute 0 is positive almost exactly when the label is pos.
+        let mut agree = 0usize;
+        for r in 0..d.num_rows() {
+            if (d.value(r, AttrId(0)) > 0.0) == (d.label(r).0 == 1) {
+                agree += 1;
+            }
+        }
+        assert!(agree as f64 / d.num_rows() as f64 > 0.95);
+    }
+
+    #[test]
+    fn integer_grid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = factor_model(&mut rng, 200, &[2.0], 10.0, 1.0);
+        assert!(d.column(AttrId(0)).iter().all(|v| v.fract() == 0.0));
+    }
+}

@@ -1,0 +1,86 @@
+//! The worked example of the paper's Figure 1.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::schema::{AttrId, ClassId, Schema};
+
+/// The training data `D` of Figure 1(a): six employees with `age` and
+/// `salary` attributes and a `High`/`Low` class label.
+///
+/// Sorted on `age` the class string is `HHHLHL`; sorted on `salary` it
+/// is `HHHHLL` (Section 4 of the paper).
+pub fn figure1() -> Dataset {
+    let schema = Schema::new(["age", "salary"], ["High", "Low"]);
+    let mut b = DatasetBuilder::new(schema);
+    // (age, salary, class); classes: High = 0, Low = 1.
+    // Chosen to reproduce the paper's class strings:
+    //   sigma_age    = H H H L H L over ages 17,20,23,32,43,68
+    //   sigma_salary = H H H H L L over salaries sorted ascending
+    let h = ClassId(0);
+    let l = ClassId(1);
+    b.push_row(&[17.0, 30_000.0], h);
+    b.push_row(&[20.0, 35_000.0], h);
+    b.push_row(&[23.0, 40_000.0], h);
+    b.push_row(&[32.0, 50_000.0], l);
+    b.push_row(&[43.0, 45_000.0], h);
+    b.push_row(&[68.0, 55_000.0], l);
+    b.build()
+}
+
+/// The transformed data `D'` of Figure 1(b), obtained from
+/// [`figure1`] with the paper's linear monotone transformations
+/// `age' = 0.9·age + 10` and `salary' = 0.5·salary`.
+pub fn figure1_transformed() -> Dataset {
+    let d = figure1();
+    let age: Vec<f64> = d
+        .column(AttrId(0))
+        .iter()
+        .map(|&v| 0.9 * v + 10.0)
+        .collect();
+    let salary: Vec<f64> = d.column(AttrId(1)).iter().map(|&v| 0.5 * v).collect();
+    d.with_columns(vec![age, salary])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class_string::ClassString;
+
+    #[test]
+    fn class_strings_match_paper() {
+        let d = figure1();
+        assert_eq!(ClassString::of(&d, AttrId(0)).render(), "AAABAB");
+        assert_eq!(ClassString::of(&d, AttrId(1)).render(), "AAAABB");
+    }
+
+    #[test]
+    fn transformation_preserves_class_strings() {
+        let d = figure1();
+        let d2 = figure1_transformed();
+        for a in [AttrId(0), AttrId(1)] {
+            assert_eq!(ClassString::of(&d, a), ClassString::of(&d2, a));
+        }
+    }
+
+    #[test]
+    fn transformed_ages_match_figure() {
+        let d2 = figure1_transformed();
+        let mut ages: Vec<f64> = d2.column(AttrId(0)).to_vec();
+        ages.sort_by(f64::total_cmp);
+        // 0.9*{17,20,23,32,43,68}+10 = {25.3, 28, 30.7, 38.8, 48.7, 71.2}
+        let expect = [25.3, 28.0, 30.7, 38.8, 48.7, 71.2];
+        for (a, e) in ages.iter().zip(expect) {
+            assert!((a - e).abs() < 1e-9, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn label_run_structure_preserved() {
+        let d = figure1();
+        let d2 = figure1_transformed();
+        for a in [AttrId(0), AttrId(1)] {
+            let r1 = ClassString::of(&d, a).runs();
+            let r2 = ClassString::of(&d2, a).runs();
+            assert_eq!(r1, r2);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Generic random datasets for property tests and fuzzing.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::schema::{ClassId, Schema};
+
+/// Configuration for [`random_dataset`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomDatasetConfig {
+    /// Number of tuples.
+    pub num_rows: usize,
+    /// Number of numeric attributes.
+    pub num_attrs: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Values are integers drawn uniformly from `[0, value_range)`;
+    /// keep this small relative to `num_rows` to exercise ties and
+    /// non-monochromatic values.
+    pub value_range: u64,
+}
+
+impl Default for RandomDatasetConfig {
+    fn default() -> Self {
+        RandomDatasetConfig { num_rows: 200, num_attrs: 3, num_classes: 3, value_range: 40 }
+    }
+}
+
+/// Generates a dataset of uniform random integer values and labels.
+///
+/// Unlike the calibrated generators this makes no attempt at realism;
+/// it exists to exercise every edge of the downstream code — heavy
+/// ties, non-monochromatic values, tiny domains, unbalanced classes.
+pub fn random_dataset<R: Rng + ?Sized>(rng: &mut R, config: &RandomDatasetConfig) -> Dataset {
+    assert!(config.num_classes >= 2, "need at least two classes");
+    assert!(config.num_attrs >= 1, "need at least one attribute");
+    assert!(config.value_range >= 1, "need a non-empty value range");
+    let schema = Schema::generated(config.num_attrs, config.num_classes);
+    let labels: Vec<ClassId> = (0..config.num_rows)
+        .map(|_| ClassId(rng.gen_range(0..config.num_classes) as u16))
+        .collect();
+    let columns: Vec<Vec<f64>> = (0..config.num_attrs)
+        .map(|_| {
+            (0..config.num_rows)
+                .map(|_| rng.gen_range(0..config.value_range) as f64)
+                .collect()
+        })
+        .collect();
+    Dataset::from_columns(schema, columns, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_config() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = RandomDatasetConfig { num_rows: 77, num_attrs: 4, num_classes: 5, value_range: 10 };
+        let d = random_dataset(&mut rng, &cfg);
+        assert_eq!(d.num_rows(), 77);
+        assert_eq!(d.num_attrs(), 4);
+        assert_eq!(d.num_classes(), 5);
+        for a in d.schema().attrs() {
+            for &v in d.column(a) {
+                assert!((0.0..10.0).contains(&v));
+            }
+        }
+        let _ = AttrId(0);
+    }
+
+    #[test]
+    fn zero_rows_allowed() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfg = RandomDatasetConfig { num_rows: 0, ..Default::default() };
+        let d = random_dataset(&mut rng, &cfg);
+        assert_eq!(d.num_rows(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! A WDBC-like synthetic dataset (stand-in for the UCI Wisconsin
+//! diagnostic breast cancer benchmark; see `DESIGN.md` §3).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+
+use super::sample_labels;
+
+/// Generates a WDBC-like dataset: ten real-valued cell-morphology
+/// attributes on a 0.01 grid and a binary `benign`/`malignant` class
+/// (about 37% malignant, as in the real benchmark's 569 rows).
+///
+/// Pass `num_rows = 569` for the benchmark's size.
+pub fn wdbc_like<R: Rng + ?Sized>(rng: &mut R, num_rows: usize) -> Dataset {
+    let names = [
+        "radius", "texture", "perimeter", "area", "smoothness", "compactness", "concavity",
+        "concave_points", "symmetry", "fractal_dim",
+    ];
+    let schema = Schema::new(names, ["benign", "malignant"]);
+    let labels = sample_labels(rng, num_rows, &[0.63, 0.37]);
+
+    // (benign mean, malignant mean, sd) per attribute — loosely shaped
+    // on the real benchmark's scale differences.
+    let specs = [
+        (12.1, 17.5, 1.8),
+        (17.9, 21.6, 3.9),
+        (78.0, 115.0, 12.0),
+        (463.0, 978.0, 140.0),
+        (0.092, 0.103, 0.013),
+        (0.080, 0.145, 0.035),
+        (0.046, 0.160, 0.050),
+        (0.026, 0.088, 0.022),
+        (0.174, 0.193, 0.025),
+        (0.063, 0.063, 0.007),
+    ];
+
+    let mut columns = Vec::with_capacity(specs.len());
+    for &(m0, m1, sd) in &specs {
+        let d0 = Normal::new(m0, sd).expect("valid normal");
+        let d1 = Normal::new(m1, sd).expect("valid normal");
+        let col: Vec<f64> = labels
+            .iter()
+            .map(|c| {
+                let raw: f64 = if c.index() == 0 { d0.sample(rng) } else { d1.sample(rng) };
+                // Snap to a 0.01 grid and keep values positive.
+                (raw.max(0.0) * 100.0).round() / 100.0
+            })
+            .collect();
+        columns.push(col);
+    }
+    Dataset::from_columns(schema, columns, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_matches_benchmark() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = wdbc_like(&mut rng, 569);
+        assert_eq!(d.num_rows(), 569);
+        assert_eq!(d.num_attrs(), 10);
+        assert_eq!(d.num_classes(), 2);
+    }
+
+    #[test]
+    fn values_on_centigrid_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let d = wdbc_like(&mut rng, 569);
+        for a in d.schema().attrs() {
+            for &v in d.column(a) {
+                assert!(v >= 0.0);
+                let scaled = v * 100.0;
+                assert!((scaled - scaled.round()).abs() < 1e-9, "{v} off grid");
+            }
+        }
+    }
+
+    #[test]
+    fn malignant_fraction_roughly_37_percent() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = wdbc_like(&mut rng, 5_000);
+        let m = d.labels().iter().filter(|c| c.0 == 1).count() as f64;
+        assert!((m / 5_000.0 - 0.37).abs() < 0.03);
+    }
+
+    #[test]
+    fn area_separates_classes() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let d = wdbc_like(&mut rng, 2_000);
+        let area = d.column(AttrId(3));
+        let mean = |cls: u16| {
+            let (mut s, mut n) = (0.0, 0.0);
+            for (v, c) in area.iter().zip(d.labels()) {
+                if c.0 == cls {
+                    s += v;
+                    n += 1.0;
+                }
+            }
+            s / n
+        };
+        assert!(mean(1) > mean(0) + 300.0);
+    }
+}

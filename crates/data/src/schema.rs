@@ -1,0 +1,165 @@
+//! Schema types: attribute and class identifiers plus name metadata.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a numeric attribute `A_i` in the training relation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The underlying column index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A categorical class label (the attribute `C` of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// The underlying class index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Names for the attributes and classes of a [`crate::Dataset`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attr_names: Vec<String>,
+    class_names: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute and class names.
+    ///
+    /// # Panics
+    /// Panics if there are no attributes or fewer than two classes
+    /// (a classification problem needs at least two labels).
+    pub fn new<S: Into<String>>(
+        attr_names: impl IntoIterator<Item = S>,
+        class_names: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let attr_names: Vec<String> = attr_names.into_iter().map(Into::into).collect();
+        let class_names: Vec<String> = class_names.into_iter().map(Into::into).collect();
+        assert!(!attr_names.is_empty(), "schema needs at least one attribute");
+        assert!(class_names.len() >= 2, "schema needs at least two classes");
+        Schema { attr_names, class_names }
+    }
+
+    /// Creates a schema with generated names: `attr0..attrM`, `class0..classK`.
+    pub fn generated(num_attrs: usize, num_classes: usize) -> Self {
+        Schema::new(
+            (0..num_attrs).map(|i| format!("attr{i}")),
+            (0..num_classes).map(|i| format!("class{i}")),
+        )
+    }
+
+    /// Number of numeric attributes.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Name of attribute `a`.
+    #[inline]
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attr_names[a.0]
+    }
+
+    /// Name of class `c`.
+    #[inline]
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.class_names[c.index()]
+    }
+
+    /// Iterator over all attribute ids.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.num_attrs()).map(AttrId)
+    }
+
+    /// Iterator over all class ids.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.num_classes()).map(|i| ClassId(i as u16))
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attr_names.iter().position(|n| n == name).map(AttrId)
+    }
+
+    /// Looks up a class id by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ClassId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_schema_names() {
+        let s = Schema::generated(3, 2);
+        assert_eq!(s.num_attrs(), 3);
+        assert_eq!(s.num_classes(), 2);
+        assert_eq!(s.attr_name(AttrId(2)), "attr2");
+        assert_eq!(s.class_name(ClassId(1)), "class1");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(["age", "salary"], ["High", "Low"]);
+        assert_eq!(s.attr_by_name("salary"), Some(AttrId(1)));
+        assert_eq!(s.attr_by_name("bogus"), None);
+        assert_eq!(s.class_by_name("Low"), Some(ClassId(1)));
+        assert_eq!(s.class_by_name("Mid"), None);
+    }
+
+    #[test]
+    fn iterators_cover_all_ids() {
+        let s = Schema::generated(4, 3);
+        assert_eq!(s.attrs().count(), 4);
+        assert_eq!(s.classes().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn single_class_rejected() {
+        let _ = Schema::new(["a"], ["only"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one attribute")]
+    fn zero_attrs_rejected() {
+        let _ = Schema::new(Vec::<String>::new(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-attribute statistics — the rows of the paper's Figure 8 and the
+//! first columns of Figure 11.
+
+use crate::dataset::Dataset;
+use crate::mono::{dynamic_range_width, num_discontinuities, MonoAnalysis};
+use crate::schema::AttrId;
+
+/// The statistics the paper reports per attribute (Figures 8 and 11).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrStats {
+    /// The attribute.
+    pub attr: AttrId,
+    /// Least value occurring in the data.
+    pub min: f64,
+    /// Greatest value occurring in the data.
+    pub max: f64,
+    /// Dynamic-range width in grid units (`max - min + 1` for integer
+    /// domains) — Figure 8, column 2.
+    pub range_width: usize,
+    /// Number of distinct values — Figure 8, column 3.
+    pub num_distinct: usize,
+    /// Number of monochromatic pieces — Figure 8, column 4.
+    pub num_mono_pieces: usize,
+    /// Average monochromatic-piece length in distinct values —
+    /// Figure 8, column 5.
+    pub avg_mono_piece_len: f64,
+    /// Fraction of distinct values inside monochromatic pieces —
+    /// Figure 8, column 6.
+    pub pct_mono_values: f64,
+    /// Number of discontinuities in the dynamic range — Figure 11,
+    /// column 2.
+    pub num_discontinuities: usize,
+}
+
+impl AttrStats {
+    /// Computes the statistics of attribute `a`.
+    ///
+    /// `granularity` is the value-grid step (1.0 for integer domains);
+    /// `min_piece_len` is ChooseMaxMP's minimum piece width (the paper
+    /// suggests 5 in practice).
+    pub fn compute(d: &Dataset, a: AttrId, granularity: f64, min_piece_len: usize) -> Self {
+        let sc = d.sorted_column(a);
+        let ma = MonoAnalysis::analyze(&sc, min_piece_len);
+        let (min, max) = d.min_max(a).unwrap_or((f64::NAN, f64::NAN));
+        let (min, max) = if d.num_rows() == 0 { (0.0, 0.0) } else { (min, max) };
+        AttrStats {
+            attr: a,
+            min,
+            max,
+            range_width: dynamic_range_width(&sc, granularity),
+            num_distinct: sc.num_distinct(),
+            num_mono_pieces: ma.num_pieces(),
+            avg_mono_piece_len: ma.avg_piece_len(),
+            pct_mono_values: ma.pct_piece_values(),
+            num_discontinuities: num_discontinuities(&sc, granularity),
+        }
+    }
+
+    /// Computes statistics for every attribute of the dataset.
+    pub fn compute_all(d: &Dataset, granularity: f64, min_piece_len: usize) -> Vec<AttrStats> {
+        d.schema()
+            .attrs()
+            .map(|a| AttrStats::compute(d, a, granularity, min_piece_len))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::schema::{ClassId, Schema};
+
+    #[test]
+    fn stats_of_paper_example() {
+        let schema = Schema::new(["a"], ["H", "L"]);
+        let mut b = DatasetBuilder::new(schema);
+        let rows = [
+            (1.0, 0u16),
+            (2.0, 0),
+            (15.0, 0),
+            (15.0, 0),
+            (27.0, 1),
+            (28.0, 1),
+            (29.0, 1),
+            (29.0, 0),
+            (42.0, 0),
+            (43.0, 0),
+            (44.0, 0),
+        ];
+        for (v, c) in rows {
+            b.push_row(&[v], ClassId(c));
+        }
+        let d = b.build();
+        let s = AttrStats::compute(&d, AttrId(0), 1.0, 1);
+        assert_eq!(s.range_width, 44);
+        assert_eq!(s.num_distinct, 9);
+        assert_eq!(s.num_discontinuities, 35);
+        assert_eq!(s.num_mono_pieces, 3);
+        assert!((s.pct_mono_values - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_all_covers_all_attrs() {
+        let schema = Schema::generated(3, 2);
+        let mut b = DatasetBuilder::new(schema);
+        b.push_row(&[1.0, 5.0, 9.0], ClassId(0));
+        b.push_row(&[2.0, 5.0, 7.0], ClassId(1));
+        let d = b.build();
+        let all = AttrStats::compute_all(&d, 1.0, 1);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[1].num_distinct, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Totally ordered attribute values.
+//!
+//! Attribute values in the original data are integer-valued (as in the
+//! forest covertype benchmark the paper evaluates on), but transformed
+//! values are arbitrary reals (log, sqrt-log, permutation targets...).
+//! We therefore represent every attribute value as an `f64` and wrap it
+//! in [`Value`] to get a total order (`f64::total_cmp`) usable as a
+//! `BTreeMap`/sort key. NaN values are rejected at construction.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A finite, totally ordered attribute value.
+///
+/// Invariant: the wrapped `f64` is never NaN (construction panics on
+/// NaN; infinities are allowed because transformed domains may be
+/// unbounded in principle, although the shipped function families only
+/// produce finite values).
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Value(f64);
+
+impl Value {
+    /// Wraps a raw `f64`.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN — a NaN attribute value has no place in a
+    /// linearly ordered active domain (Section 3.1 of the paper).
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "attribute values must not be NaN");
+        Value(v)
+    }
+
+    /// Returns the wrapped `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for Value {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Value::new(v)
+    }
+}
+
+impl From<Value> for f64 {
+    #[inline]
+    fn from(v: Value) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Compares two raw `f64` attribute values with the same total order
+/// used by [`Value`].
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Sorts a slice of raw `f64` attribute values in ascending order.
+#[inline]
+pub fn sort_f64(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// Deduplicates a **sorted** slice of raw `f64` values into a vector of
+/// distinct values.
+pub fn distinct_sorted(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for &x in xs {
+        if out.last().is_none_or(|&l: &f64| l != x) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_handles_negative_zero_and_infinity() {
+        let mut vs = [Value::new(1.0),
+            Value::new(f64::NEG_INFINITY),
+            Value::new(-0.0),
+            Value::new(0.0),
+            Value::new(f64::INFINITY),
+            Value::new(-3.5)];
+        vs.sort();
+        let raw: Vec<f64> = vs.iter().map(|v| v.get()).collect();
+        assert_eq!(raw[0], f64::NEG_INFINITY);
+        assert_eq!(raw[1], -3.5);
+        assert!(raw[2] == 0.0 && raw[2].is_sign_negative());
+        assert!(raw[3] == 0.0 && raw[3].is_sign_positive());
+        assert_eq!(raw[4], 1.0);
+        assert_eq!(raw[5], f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Value::new(f64::NAN);
+    }
+
+    #[test]
+    fn distinct_sorted_collapses_duplicates() {
+        let xs = [1.0, 1.0, 2.0, 2.0, 2.0, 5.0];
+        assert_eq!(distinct_sorted(&xs), vec![1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn distinct_sorted_empty() {
+        assert!(distinct_sorted(&[]).is_empty());
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::new(42.5);
+        assert_eq!(f64::from(v), 42.5);
+        assert_eq!(Value::from(42.5), v);
+        assert_eq!(format!("{v}"), "42.5");
+    }
+}

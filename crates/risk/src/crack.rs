@@ -1,0 +1,43 @@
+//! The crack predicate (Definition 1) and radius conventions.
+
+use ppdt_data::{AttrId, Dataset};
+
+/// True iff a guess cracks the value: `|guess − truth| ≤ ρ`.
+#[inline]
+pub fn is_crack(guess: f64, truth: f64, rho: f64) -> bool {
+    (guess - truth).abs() <= rho
+}
+
+/// The crack radius for attribute `a`: `rho_frac` (the paper uses 1%,
+/// 2% or 5%) of the attribute's dynamic-range width `max − min`.
+///
+/// Returns 0 for an empty or constant attribute (a guess must then be
+/// exact to crack).
+pub fn rho_for_attr(d: &Dataset, a: AttrId, rho_frac: f64) -> f64 {
+    assert!(rho_frac >= 0.0, "rho fraction must be non-negative");
+    match d.min_max(a) {
+        Some((lo, hi)) => rho_frac * (hi - lo),
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdt_data::gen::figure1;
+
+    #[test]
+    fn crack_predicate_is_inclusive() {
+        assert!(is_crack(10.0, 12.0, 2.0));
+        assert!(!is_crack(10.0, 12.1, 2.0));
+        assert!(is_crack(5.0, 5.0, 0.0));
+    }
+
+    #[test]
+    fn rho_scales_with_range() {
+        let d = figure1();
+        // age range 17..68 -> width 51.
+        assert!((rho_for_attr(&d, AttrId(0), 0.02) - 1.02).abs() < 1e-12);
+        assert_eq!(rho_for_attr(&d, AttrId(0), 0.0), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ppdt-risk
+//!
+//! Disclosure-risk metrics — the evaluation half of the paper
+//! (Definitions 1–3 and every experiment in Section 6):
+//!
+//! * [`crack`] — the crack predicate and radius handling (`ρ` as a
+//!   fraction of the dynamic-range width),
+//! * [`domain`] — domain disclosure risk (Definition 1): fraction of
+//!   distinct transformed values a crack function recovers within `ρ`,
+//! * [`subspace`] — subspace association disclosure risk
+//!   (Definition 2): fraction of S-tuples where *every* projected
+//!   attribute cracks simultaneously,
+//! * [`pattern`] — pattern (output-privacy) disclosure risk
+//!   (Definition 3): fraction of root-to-leaf paths of the mined tree
+//!   whose thresholds all crack,
+//! * [`trials`] — the randomized-trial harness (the paper reports the
+//!   median of 500 random trials), parallelized with crossbeam.
+//!
+//! Single *trials* live here; the experiment drivers that sweep
+//! configurations and print the paper's tables live in `ppdt-bench`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod advisor;
+pub mod crack;
+pub mod domain;
+pub mod pattern;
+pub mod subspace;
+pub mod trials;
+
+pub use advisor::{advise, AttrAdvice, Verdict};
+pub use crack::{is_crack, rho_for_attr};
+pub use domain::{
+    domain_risk_trial, quantile_risk_trial, sorting_risk_trial, sorting_risk_trial_with,
+    DomainScenario,
+};
+pub use pattern::{pattern_risk_trial, tree_reconstruction_trial, PatternReport};
+pub use subspace::{subspace_risk_trial, subspace_risk_trial_with};
+pub use trials::{run_trials, TrialStats};

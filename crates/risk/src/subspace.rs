@@ -1,0 +1,174 @@
+//! Subspace association disclosure risk (Definition 2).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use ppdt_attack::fit_crack;
+use ppdt_data::{AttrId, Dataset};
+use ppdt_transform::{encode_dataset, EncodeConfig};
+
+use crate::crack::{is_crack, rho_for_attr};
+use crate::domain::{scenario_kps, DomainScenario};
+
+/// One randomized subspace-association trial over the attribute set
+/// `subspace`: encode the dataset, fit one crack function per
+/// attribute (same scenario for each), and return the fraction of
+/// S-tuples in `D'` where **every** projected value cracks
+/// simultaneously.
+///
+/// The insight this measures (Section 6.3): even when individual
+/// domains are at risk, the *conjunction* needed to re-identify a
+/// tuple (`Bob, age 45, earning 50K`) is much harder —
+/// `risk(A, B) < risk(A) · risk(B)` thanks to per-attribute
+/// independence of the transforms plus value-association skew.
+///
+/// # Panics
+/// Panics if `subspace` is empty or repeats attributes.
+pub fn subspace_risk_trial<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    subspace: &[AttrId],
+    encode_config: &EncodeConfig,
+    scenario: &DomainScenario,
+) -> f64 {
+    subspace_risk_trial_with(rng, d, subspace, encode_config, scenario, false, 1.0)
+}
+
+/// Like [`subspace_risk_trial`], but when `include_sorting` is set the
+/// hacker additionally runs the worst-case sorting attack (true
+/// min/max known) per attribute and a value counts as cracked if
+/// *either* attack cracks it — the strongest per-attribute hacker the
+/// paper's Figure 12 discussion considers for attributes like #2 where
+/// sorting dominates curve fitting.
+pub fn subspace_risk_trial_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    subspace: &[AttrId],
+    encode_config: &EncodeConfig,
+    scenario: &DomainScenario,
+    include_sorting: bool,
+    granularity: f64,
+) -> f64 {
+    assert!(!subspace.is_empty(), "subspace must name at least one attribute");
+    {
+        let mut seen = subspace.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), subspace.len(), "subspace repeats attributes");
+    }
+    if d.num_rows() == 0 {
+        return 0.0;
+    }
+
+    let (key, d2) = encode_dataset(rng, d, encode_config);
+
+    // Per attribute: crack flag for every distinct transformed value.
+    let mut crack_flags: Vec<HashMap<u64, bool>> = Vec::with_capacity(subspace.len());
+    for &a in subspace {
+        let tr = key.transform(a);
+        let orig_domain = &tr.orig_domain;
+        let transformed_domain: Vec<f64> = orig_domain.iter().map(|&x| tr.encode(x)).collect();
+        let rho = rho_for_attr(d, a, scenario.rho_frac);
+        let (lo, hi) = (orig_domain[0], orig_domain[orig_domain.len() - 1]);
+        let kps = scenario_kps(rng, scenario, &transformed_domain, tr, rho, lo, hi);
+        let g = fit_crack(scenario.method, &kps);
+        let sorter = include_sorting
+            .then(|| ppdt_attack::sorting_attack(&transformed_domain, lo, hi, granularity));
+        let mut flags = HashMap::with_capacity(orig_domain.len());
+        for (&x, &y) in orig_domain.iter().zip(&transformed_domain) {
+            let mut cracked = is_crack(g.guess(y), x, rho);
+            if let Some(s) = &sorter {
+                cracked = cracked || is_crack(s.guess(y), x, rho);
+            }
+            flags.insert(y.to_bits(), cracked);
+        }
+        crack_flags.push(flags);
+    }
+
+    // An S-tuple cracks iff all its projections crack.
+    let mut cracked = 0usize;
+    for row in 0..d2.num_rows() {
+        let all = subspace.iter().zip(&crack_flags).all(|(&a, flags)| {
+            *flags
+                .get(&d2.value(row, a).to_bits())
+                .expect("every tuple value is in the active domain")
+        });
+        if all {
+            cracked += 1;
+        }
+    }
+    cracked as f64 / d2.num_rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdt_attack::HackerProfile;
+    use ppdt_data::gen::{covertype_like, CovertypeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_covertype() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(88);
+        covertype_like(&mut rng, &CovertypeConfig { num_rows: 9_000, ..Default::default() })
+    }
+
+    #[test]
+    fn larger_subspaces_are_safer() {
+        // Figure 12's headline: association risk falls sharply as the
+        // subspace grows.
+        let d = small_covertype();
+        let cfg = EncodeConfig::default();
+        let scenario = DomainScenario::polyline(HackerProfile::Expert);
+        let avg = |attrs: &[usize], seed: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ids: Vec<AttrId> = attrs.iter().map(|&i| AttrId(i)).collect();
+            let n = 7;
+            (0..n)
+                .map(|_| subspace_risk_trial(&mut rng, &d, &ids, &cfg, &scenario))
+                .sum::<f64>()
+                / n as f64
+        };
+        let single = avg(&[3], 1);
+        let pair = avg(&[3, 6], 2);
+        let triple = avg(&[3, 6, 9], 3);
+        assert!(
+            single >= pair && pair >= triple,
+            "risk must fall with subspace size: {single:.3} >= {pair:.3} >= {triple:.3}"
+        );
+    }
+
+    #[test]
+    fn singleton_subspace_close_to_tuple_weighted_domain_risk() {
+        // A singleton subspace is domain risk weighted by tuple counts
+        // (distinct values occurring more often weigh more) — sanity
+        // bound only.
+        let d = small_covertype();
+        let cfg = EncodeConfig::default();
+        let scenario = DomainScenario::polyline(HackerProfile::Expert);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = subspace_risk_trial(&mut rng, &d, &[AttrId(0)], &cfg, &scenario);
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats attributes")]
+    fn duplicate_attrs_rejected() {
+        let d = small_covertype();
+        let cfg = EncodeConfig::default();
+        let scenario = DomainScenario::polyline(HackerProfile::Expert);
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = subspace_risk_trial(&mut rng, &d, &[AttrId(1), AttrId(1)], &cfg, &scenario);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_subspace_rejected() {
+        let d = small_covertype();
+        let cfg = EncodeConfig::default();
+        let scenario = DomainScenario::polyline(HackerProfile::Expert);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = subspace_risk_trial(&mut rng, &d, &[], &cfg, &scenario);
+    }
+}

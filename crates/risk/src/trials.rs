@@ -1,0 +1,144 @@
+//! The randomized-trial harness: the paper reports "the median of 500
+//! random trials" for every disclosure figure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Summary statistics over a set of randomized trials.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialStats {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Median of the trial values (the paper's reporting statistic).
+    pub median: f64,
+    /// Mean.
+    pub mean: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Runs `trials` independent randomized trials of `f` in parallel and
+/// summarizes them. Per-trial seeds derive deterministically from
+/// `base_seed`, so results are reproducible regardless of thread
+/// scheduling.
+///
+/// ```
+/// use ppdt_risk::run_trials;
+/// use rand::Rng;
+///
+/// let stats = run_trials(101, 7, |rng| rng.gen_range(0.0..1.0));
+/// assert!(stats.min <= stats.median && stats.median <= stats.max);
+/// assert_eq!(stats.trials, 101);
+/// // Same seed, same numbers.
+/// assert_eq!(stats, run_trials(101, 7, |rng| rng.gen_range(0.0..1.0)));
+/// ```
+///
+/// # Panics
+/// Panics if `trials` is zero.
+pub fn run_trials<F>(trials: usize, base_seed: u64, f: F) -> TrialStats
+where
+    F: Fn(&mut StdRng) -> f64 + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(trials);
+    let mut values = vec![0.0f64; trials];
+    // Per-trial seeds drawn from a master generator so different base
+    // seeds give fully disjoint randomness (consecutive integers would
+    // share most trial seeds between runs).
+    let seeds: Vec<u64> = {
+        use rand::Rng;
+        let mut master = StdRng::seed_from_u64(base_seed);
+        (0..trials).map(|_| master.gen()).collect()
+    };
+
+    crossbeam::thread::scope(|scope| {
+        let chunk_len = trials.div_ceil(threads);
+        for (t, chunk) in values.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            let seeds = &seeds;
+            let chunk_start = t * chunk_len;
+            scope.spawn(move |_| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(seeds[chunk_start + i]);
+                    *v = f(&mut rng);
+                }
+            });
+        }
+    })
+    .expect("trial thread panicked");
+
+    summarize(&mut values)
+}
+
+fn summarize(values: &mut [f64]) -> TrialStats {
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    let q = |p: f64| -> f64 {
+        let idx = ((n - 1) as f64 * p).round() as usize;
+        values[idx]
+    };
+    TrialStats {
+        trials: n,
+        median: q(0.5),
+        mean: values.iter().sum::<f64>() / n as f64,
+        p10: q(0.1),
+        p90: q(0.9),
+        min: values[0],
+        max: values[n - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let f = |rng: &mut StdRng| rng.gen::<f64>();
+        let a = run_trials(64, 42, f);
+        let b = run_trials(64, 42, f);
+        assert_eq!(a, b);
+        let c = run_trials(64, 43, f);
+        assert_ne!(a.median, c.median);
+    }
+
+    #[test]
+    fn constant_function_statistics() {
+        let s = run_trials(10, 0, |_| 0.25);
+        assert_eq!(s.median, 0.25);
+        assert_eq!(s.mean, 0.25);
+        assert_eq!(s.min, 0.25);
+        assert_eq!(s.max, 0.25);
+        assert_eq!(s.trials, 10);
+    }
+
+    #[test]
+    fn median_of_known_sequence() {
+        // f returns the trial index via the seeded rng trick is
+        // fragile; instead rely on seeds being distinct and check the
+        // ordering properties.
+        let s = run_trials(101, 7, |rng| rng.gen_range(0.0..1.0));
+        assert!(s.min <= s.p10 && s.p10 <= s.median);
+        assert!(s.median <= s.p90 && s.p90 <= s.max);
+    }
+
+    #[test]
+    fn single_trial() {
+        let s = run_trials(1, 9, |_| 0.5);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.trials, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = run_trials(0, 0, |_| 0.0);
+    }
+}

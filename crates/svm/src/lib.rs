@@ -1,0 +1,27 @@
+//! # ppdt-svm
+//!
+//! A small linear SVM substrate for the paper's Section 7 probe.
+//!
+//! The paper's future work asks how the no-outcome-change guarantee
+//! generalizes "from decision trees to SVM and other kernel methods —
+//! the difference is that the dividing planes can have arbitrary
+//! orientations". This crate provides the experimental apparatus for
+//! that question: a Pegasos-style linear SVM (one-vs-rest for
+//! multiclass) plus feature standardization, used by the
+//! `svm_outcome` experiment to demonstrate that the *tree-preserving*
+//! piecewise monotone transformations do **not** preserve an SVM's
+//! outcome — the decision planes mix attributes, so per-attribute
+//! monotone maps change the geometry.
+//!
+//! The implementation is deliberately compact but real: deterministic
+//! given the caller's RNG, standardized features, averaged iterates,
+//! tested on separable and generated data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod scale;
+pub mod svm;
+
+pub use scale::Standardizer;
+pub use svm::{train_binary, train_multiclass, LinearSvm, MulticlassSvm, SvmParams};

@@ -1,0 +1,773 @@
+//! Dataset-level encoding and the custodian's key.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ppdt_data::{AttrId, Dataset, SortedColumn};
+use ppdt_tree::{DecisionTree, ThresholdPolicy};
+
+use crate::breakpoints::{plan_pieces, BreakpointStrategy, PiecePlan};
+use crate::family::FnFamily;
+use crate::func::MonoFunc;
+use crate::piecewise::{Piece, PieceKind, PiecewiseTransform};
+
+/// Configuration of the encoder.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EncodeConfig {
+    /// Breakpoint strategy (shared by all attributes).
+    pub strategy: BreakpointStrategy,
+    /// Function family for non-monochromatic pieces.
+    pub family: FnFamily,
+    /// Probability that an attribute is globally anti-monotone
+    /// (0.0 = always monotone; the paper allows either).
+    ///
+    /// Exactness caveat: with a globally monotone direction the
+    /// decoded tree equals the directly mined tree unconditionally.
+    /// Under an anti-monotone direction the candidate-boundary order
+    /// reverses, so when two boundaries have *exactly* equal impurity
+    /// the miner's deterministic tie-break can pick the mirror
+    /// boundary, yielding an equally optimal but structurally
+    /// different tree. The default is therefore 0.0;
+    /// [`crate::verify::encode_dataset_verified`] lets a custodian use
+    /// anti-monotone directions and redraw until exactness holds.
+    pub anti_monotone_prob: f64,
+    /// Fraction of the total output span reserved for the random gaps
+    /// between piece output intervals; must be strictly positive (a
+    /// zero gap would let adjacent intervals touch and break strict
+    /// output disjointness).
+    pub gap_fraction: f64,
+    /// How piece output-interval widths are drawn. Default (and the
+    /// only sound choice for privacy): [`LayoutKind::Cascade`].
+    /// [`LayoutKind::IidProportional`] exists for the ablation bench —
+    /// it concentrates as the piece count grows and hands curve-fitting
+    /// attacks a nearly linear aggregate map (`DESIGN.md` §4.4).
+    pub layout: LayoutKind,
+}
+
+/// Interval-layout generator for the piecewise transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutKind {
+    /// Binary multiplicative cascade: partial sums fluctuate at every
+    /// scale, keeping the aggregate map non-linear for any piece count.
+    Cascade,
+    /// Widths i.i.d.-jittered proportional to piece size — the naive
+    /// scheme; kept for the `ablation_layout` experiment.
+    IidProportional,
+}
+
+impl Default for EncodeConfig {
+    fn default() -> Self {
+        EncodeConfig {
+            strategy: BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 },
+            family: FnFamily::Mixed,
+            anti_monotone_prob: 0.0,
+            gap_fraction: 0.15,
+            layout: LayoutKind::Cascade,
+        }
+    }
+}
+
+impl EncodeConfig {
+    /// The Figure 9 "no breakpoint" baseline: one monotone function per
+    /// attribute.
+    pub fn baseline(family: FnFamily) -> Self {
+        EncodeConfig {
+            strategy: BreakpointStrategy::None,
+            family,
+            ..Default::default()
+        }
+    }
+}
+
+/// The custodian's key: one [`PiecewiseTransform`] per attribute.
+///
+/// Serializable (`serde`) — this is the "rather minimal" information
+/// of Section 5.4 the custodian must keep to decode the mining result:
+/// breakpoints and per-piece transformations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransformKey {
+    /// Per-attribute transforms, indexed by attribute.
+    pub transforms: Vec<PiecewiseTransform>,
+}
+
+impl TransformKey {
+    /// The transform of attribute `a`.
+    pub fn transform(&self, a: AttrId) -> &PiecewiseTransform {
+        &self.transforms[a.index()]
+    }
+
+    /// Encodes one original value of attribute `a`.
+    pub fn encode_value(&self, a: AttrId, x: f64) -> f64 {
+        self.transform(a).encode(x)
+    }
+
+    /// Inverts one transformed value of attribute `a` (`f⁻¹(ν')`),
+    /// snapped to the original active domain — exact for every value
+    /// appearing in `D'`.
+    pub fn invert_value(&self, a: AttrId, y: f64) -> f64 {
+        self.transform(a).decode_snapped(y)
+    }
+
+    /// Raw analytic inverse (no snapping) — what Definitions 1–3 call
+    /// `f⁻¹` on arbitrary transformed values.
+    pub fn invert_raw(&self, a: AttrId, y: f64) -> f64 {
+        self.transform(a).decode(y)
+    }
+
+    /// Decodes an entire transformed dataset back to the original —
+    /// the custodian's sanity check that the key losslessly inverts
+    /// `D'`. Exact on every value produced by [`encode_dataset`].
+    pub fn decode_dataset(&self, d_prime: &Dataset) -> Dataset {
+        let columns: Vec<Vec<f64>> = d_prime
+            .schema()
+            .attrs()
+            .map(|a| {
+                let tr = self.transform(a);
+                d_prime.column(a).iter().map(|&y| tr.decode_snapped(y)).collect()
+            })
+            .collect();
+        d_prime.with_columns(columns)
+    }
+
+    /// Serializes the key to pretty JSON and writes it to `path`.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("key serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Loads a key previously written with [`TransformKey::save_json`].
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<TransformKey> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Decodes the tree `T'` mined on the transformed data into the
+    /// tree `S` of Theorem 2, replaying the original data `d` (which
+    /// the custodian owns) down the tree. `S` is **bit-exactly** the
+    /// tree mined on `d` directly.
+    ///
+    /// Per node `A' ≤ ν'`:
+    /// * the node's tuple subset is partitioned by `f_A(v) ≤ ν'`;
+    /// * for a globally monotone attribute the decoded threshold is
+    ///   the largest original value on the `≤` side (`DataValue`) or
+    ///   the midpoint across the separation (`Midpoint`);
+    /// * for a globally **anti-monotone** attribute `A' ≤ ν'` means
+    ///   `A ≥ f⁻¹(ν')`, so the children are swapped and the decoded
+    ///   `≤`-threshold comes from the complement side.
+    ///
+    /// Replaying the subset matters: the largest original value on a
+    /// side *within the node's subset* is what the direct miner used,
+    /// and pointwise inversion of `ν'` does not recover it for
+    /// anti-monotone attributes or inside permutation pieces. The
+    /// data-free variant [`TransformKey::decode_tree_blind`] is exact
+    /// whenever every attribute is globally monotone with no
+    /// permutation pieces, and training-equivalent otherwise.
+    ///
+    /// # Panics
+    /// Panics if `d` does not have the attribute/value layout the key
+    /// was built from (values outside the transforms' pieces).
+    pub fn decode_tree(
+        &self,
+        mined: &DecisionTree,
+        policy: ThresholdPolicy,
+        d: &Dataset,
+    ) -> DecisionTree {
+        use ppdt_tree::Node;
+        let midpoint = matches!(policy, ThresholdPolicy::Midpoint);
+
+        struct Ctx<'a> {
+            key: &'a TransformKey,
+            d: &'a Dataset,
+            midpoint: bool,
+        }
+
+        fn rec(ctx: &Ctx<'_>, n: &Node, rows: Vec<u32>) -> Node {
+            match n {
+                Node::Leaf { .. } => n.clone(),
+                Node::Split { attr, threshold, class_counts, left, right } => {
+                    let tr = ctx.key.transform(*attr);
+                    let col = ctx.d.column(*attr);
+                    let mut rows_le = Vec::new();
+                    let mut rows_gt = Vec::new();
+                    let mut le_min = f64::INFINITY;
+                    let mut le_max = f64::NEG_INFINITY;
+                    let mut gt_min = f64::INFINITY;
+                    let mut gt_max = f64::NEG_INFINITY;
+                    for &r in &rows {
+                        let x = col[r as usize];
+                        if tr.encode(x) <= *threshold {
+                            le_min = le_min.min(x);
+                            le_max = le_max.max(x);
+                            rows_le.push(r);
+                        } else {
+                            gt_min = gt_min.min(x);
+                            gt_max = gt_max.max(x);
+                            rows_gt.push(r);
+                        }
+                    }
+                    assert!(
+                        !rows_le.is_empty() && !rows_gt.is_empty(),
+                        "mined split leaves an empty side when replayed on the original data"
+                    );
+                    let left_d = rec(ctx, left, rows_le);
+                    let right_d = rec(ctx, right, rows_gt);
+                    let (t, l, r) = if le_max < gt_min {
+                        // `≤` side is the original-space lower side.
+                        let t = if ctx.midpoint { 0.5 * (le_max + gt_min) } else { le_max };
+                        (t, left_d, right_d)
+                    } else {
+                        // Anti-monotone: `≤` side is the upper side.
+                        let t = if ctx.midpoint { 0.5 * (gt_max + le_min) } else { gt_max };
+                        (t, right_d, left_d)
+                    };
+                    Node::Split {
+                        attr: *attr,
+                        threshold: t,
+                        class_counts: class_counts.clone(),
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    }
+                }
+            }
+        }
+
+        let ctx = Ctx { key: self, d, midpoint };
+        let rows: Vec<u32> = (0..d.num_rows() as u32).collect();
+        DecisionTree {
+            root: rec(&ctx, &mined.root, rows),
+            num_classes: mined.num_classes,
+            criterion: mined.criterion,
+        }
+    }
+
+    /// Data-free decode (the literal Theorem 2 construction): every
+    /// threshold is decoded against the key's recorded active domain,
+    /// with children swapped on anti-monotone attributes. Bit-exact
+    /// when every attribute is globally monotone with no permutation
+    /// pieces; otherwise the result classifies the training data
+    /// identically but thresholds may sit at different (equivalent)
+    /// positions within inter-value gaps.
+    pub fn decode_tree_blind(&self, mined: &DecisionTree, policy: ThresholdPolicy) -> DecisionTree {
+        use ppdt_tree::Node;
+        let midpoint = matches!(policy, ThresholdPolicy::Midpoint);
+        let mut maps: Vec<Option<Vec<(f64, f64)>>> = vec![None; self.transforms.len()];
+
+        fn rec(
+            key: &TransformKey,
+            maps: &mut Vec<Option<Vec<(f64, f64)>>>,
+            n: &Node,
+            midpoint: bool,
+        ) -> Node {
+            match n {
+                Node::Leaf { .. } => n.clone(),
+                Node::Split { attr, threshold, class_counts, left, right } => {
+                    let tr = key.transform(*attr);
+                    let map = maps[attr.index()].get_or_insert_with(|| tr.transformed_domain_map());
+                    let t = crate::piecewise::decode_le_split(map, *threshold, midpoint);
+                    let left_d = rec(key, maps, left, midpoint);
+                    let right_d = rec(key, maps, right, midpoint);
+                    let (l, r) = if tr.increasing { (left_d, right_d) } else { (right_d, left_d) };
+                    Node::Split {
+                        attr: *attr,
+                        threshold: t,
+                        class_counts: class_counts.clone(),
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    }
+                }
+            }
+        }
+        DecisionTree {
+            root: rec(self, &mut maps, &mined.root, midpoint),
+            num_classes: mined.num_classes,
+            criterion: mined.criterion,
+        }
+    }
+}
+
+/// Encodes every attribute of `d`, returning the custodian's key and
+/// the transformed dataset `D'` handed to the miner.
+///
+/// ```
+/// use ppdt_data::gen::figure1;
+/// use ppdt_transform::{encode_dataset, EncodeConfig};
+/// use ppdt_tree::{trees_equal, ThresholdPolicy, TreeBuilder};
+/// use rand::SeedableRng;
+///
+/// let d = figure1();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (key, d_prime) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+///
+/// // The miner's tree decodes to exactly the direct tree (Theorem 2).
+/// let builder = TreeBuilder::default();
+/// let mined = builder.fit(&d_prime);
+/// let decoded = key.decode_tree(&mined, ThresholdPolicy::DataValue, &d);
+/// assert!(trees_equal(&decoded, &builder.fit(&d)));
+/// ```
+///
+/// # Panics
+/// Panics on an empty dataset or invalid configuration fractions.
+pub fn encode_dataset<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    config: &EncodeConfig,
+) -> (TransformKey, Dataset) {
+    assert!(d.num_rows() > 0, "cannot encode an empty dataset");
+    assert!(
+        (0.0..=1.0).contains(&config.anti_monotone_prob),
+        "anti_monotone_prob out of range"
+    );
+    assert!(
+        config.gap_fraction > 0.0 && config.gap_fraction < 0.9,
+        "gap_fraction must be in (0, 0.9): zero-width gaps would let adjacent piece \
+         intervals touch and break strict output disjointness"
+    );
+
+    let mut transforms = Vec::with_capacity(d.num_attrs());
+    let mut columns = Vec::with_capacity(d.num_attrs());
+    for a in d.schema().attrs() {
+        let tr = encode_attribute(rng, d, a, config);
+        let col = d.column(a).iter().map(|&x| tr.encode(x)).collect();
+        transforms.push(tr);
+        columns.push(col);
+    }
+    (TransformKey { transforms }, d.with_columns(columns))
+}
+
+/// Builds the piecewise transform of one attribute.
+pub fn encode_attribute<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    a: AttrId,
+    config: &EncodeConfig,
+) -> PiecewiseTransform {
+    let sc = d.sorted_column(a);
+    assert!(sc.num_distinct() > 0, "attribute {a} has no values");
+    // Redraw on the (rare) numeric validation failure — a cascade can
+    // squeeze a large piece into an interval narrow enough for two f64
+    // outputs to collide.
+    for attempt in 0..16 {
+        let plan = plan_pieces(rng, &sc, config.strategy);
+        let increasing = !rng.gen_bool(config.anti_monotone_prob);
+        let tr = build_transform(rng, &sc, &plan, increasing, config);
+        match tr.validate() {
+            Ok(()) => return tr,
+            Err(e) if attempt == 15 => {
+                panic!("could not draw a valid transform for {a} after 16 attempts: {e}")
+            }
+            Err(_) => continue,
+        }
+    }
+    unreachable!("loop always returns or panics")
+}
+
+/// Materializes a [`PiecewiseTransform`] from a piece plan:
+/// 1. draws the overall output span (randomly scaled and shifted copy
+///    of the input span),
+/// 2. allocates disjoint per-piece output intervals (widths
+///    proportional to piece size with random jitter; random gaps in
+///    between) in input order — reversed when globally anti-monotone,
+///    which realizes the global-(anti-)monotone invariant,
+/// 3. draws each piece's function: a random permutation for
+///    monochromatic pieces, a direction-consistent sample from the
+///    configured family otherwise, renormalized affinely into the
+///    piece's interval.
+fn build_transform<R: Rng + ?Sized>(
+    rng: &mut R,
+    sc: &SortedColumn,
+    plan: &[PiecePlan],
+    increasing: bool,
+    config: &EncodeConfig,
+) -> PiecewiseTransform {
+    let values: Vec<f64> = sc.groups.iter().map(|g| g.value).collect();
+    let in_lo = values[0];
+    let in_hi = values[values.len() - 1];
+    let in_span = (in_hi - in_lo).max(1.0);
+
+    // Overall output span.
+    let out_span = in_span * rng.gen_range(0.6..1.8);
+    let out_origin = in_lo + rng.gen_range(-0.75..0.75) * in_span;
+
+    // Piece widths: a multiplicative cascade (recursive random
+    // splitting) scaled by the square root of the piece's size. Any
+    // i.i.d. jitter scheme concentrates as the piece count grows —
+    // cumulative interval positions would track the input positions
+    // almost linearly, handing curve-fitting attacks an easy target.
+    // The cascade keeps relative fluctuations O(1) at *every* scale,
+    // so the aggregate map stays non-linear no matter how many pieces
+    // ChooseMaxMP produces. (`IidProportional` is the ablation.)
+    let weights: Vec<f64> = match config.layout {
+        LayoutKind::Cascade => cascade_weights(rng, plan.len())
+            .into_iter()
+            .zip(plan)
+            .map(|(w, p)| w * (p.len() as f64).sqrt())
+            .collect(),
+        LayoutKind::IidProportional => plan
+            .iter()
+            .map(|p| (p.len() as f64) * rng.gen_range(0.6..1.6))
+            .collect(),
+    };
+    let weight_sum: f64 = weights.iter().sum();
+    let gaps_total = out_span * config.gap_fraction;
+    let body = out_span - gaps_total;
+    let n_gaps = plan.len().saturating_sub(1);
+    let gap_weights: Vec<f64> = cascade_weights(rng, n_gaps);
+    let gap_weight_sum: f64 = gap_weights.iter().sum::<f64>().max(1e-12);
+
+    // Intervals in *input order*; for an anti-monotone attribute they
+    // are laid out from the top of the output span downward.
+    let mut intervals: Vec<(f64, f64)> = Vec::with_capacity(plan.len());
+    let mut cursor = 0.0; // offset within [0, out_span]
+    for (i, w) in weights.iter().enumerate() {
+        let width = body * w / weight_sum;
+        let (lo_off, hi_off) = (cursor, cursor + width);
+        cursor = hi_off;
+        if i < n_gaps {
+            cursor += gaps_total * gap_weights[i] / gap_weight_sum;
+        }
+        let (lo, hi) = if increasing {
+            (out_origin + lo_off, out_origin + hi_off)
+        } else {
+            (out_origin + out_span - hi_off, out_origin + out_span - lo_off)
+        };
+        intervals.push((lo, hi));
+    }
+
+    let mut pieces = Vec::with_capacity(plan.len());
+    for (p, &(out_lo, out_hi)) in plan.iter().zip(&intervals) {
+        let vals = &values[p.first_group..p.end_group];
+        let input_lo = vals[0];
+        let input_hi = vals[vals.len() - 1];
+        let kind = if p.mono_label.is_some() {
+            PieceKind::Permutation { map: permutation_map(rng, vals, out_lo, out_hi) }
+        } else {
+            let f = config.family.sample(rng, input_lo, input_hi, increasing);
+            let (s, t) = normalize(&f, input_lo, input_hi, out_lo, out_hi);
+            PieceKind::Monotone { f, s, t }
+        };
+        pieces.push(Piece { input_lo, input_hi, output_lo: out_lo, output_hi: out_hi, kind });
+    }
+
+    PiecewiseTransform { pieces, increasing, orig_domain: values }
+}
+
+/// Positive weights summing to 1, drawn from a binary multiplicative
+/// cascade: the budget is split recursively with a uniform fraction in
+/// `[0.15, 0.85]` at each level. Unlike i.i.d. weights, the cascade's
+/// partial sums fluctuate at every scale, which is what keeps many-
+/// piece layouts non-linear (see `build_transform`).
+fn cascade_weights<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    fn rec<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64], budget: f64) {
+        match out.len() {
+            0 => {}
+            1 => out[0] = budget,
+            len => {
+                let mid = len / 2;
+                let frac = rng.gen_range(0.07..0.93);
+                rec(rng, &mut out[..mid], budget * frac);
+                let (_, right) = out.split_at_mut(mid);
+                rec(rng, right, budget * (1.0 - frac));
+            }
+        }
+    }
+    let mut out = vec![0.0; n];
+    rec(rng, &mut out, 1.0);
+    out
+}
+
+/// Affine renormalization `(s, t)` with `s > 0` mapping the raw range
+/// of `f` over `[lo, hi]` onto `[out_lo, out_hi]`.
+fn normalize(f: &MonoFunc, lo: f64, hi: f64, out_lo: f64, out_hi: f64) -> (f64, f64) {
+    let (ra, rb) = (f.eval(lo), f.eval(hi));
+    let (raw_min, raw_max) = (ra.min(rb), ra.max(rb));
+    let raw_span = raw_max - raw_min;
+    if raw_span <= f64::MIN_POSITIVE * 16.0 {
+        // Single-value piece: park the value at the interval's center.
+        return (1.0, 0.5 * (out_lo + out_hi) - raw_min);
+    }
+    let s = (out_hi - out_lo) / raw_span;
+    (s, out_lo - s * raw_min)
+}
+
+/// A random bijection from the piece's distinct values onto jittered
+/// grid positions in `[out_lo, out_hi]` — the `F_bi` of Section 5.3.
+fn permutation_map<R: Rng + ?Sized>(
+    rng: &mut R,
+    vals: &[f64],
+    out_lo: f64,
+    out_hi: f64,
+) -> Vec<(f64, f64)> {
+    let k = vals.len();
+    let span = out_hi - out_lo;
+    let step = span / k as f64;
+    let mut targets: Vec<f64> = (0..k)
+        .map(|i| out_lo + (i as f64 + 0.5) * step + rng.gen_range(-0.4..0.4) * step)
+        .collect();
+    targets.shuffle(rng);
+    vals.iter().copied().zip(targets.drain(..)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdt_data::gen::{covertype_like, figure1, random_dataset, CovertypeConfig, RandomDatasetConfig};
+    use ppdt_data::ClassString;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_strategies() -> Vec<BreakpointStrategy> {
+        vec![
+            BreakpointStrategy::None,
+            BreakpointStrategy::ChooseBP { w: 3 },
+            BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 1 },
+        ]
+    }
+
+    #[test]
+    fn encode_roundtrips_every_domain_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = figure1();
+        for strat in all_strategies() {
+            let config = EncodeConfig { strategy: strat, ..Default::default() };
+            let (key, d2) = encode_dataset(&mut rng, &d, &config);
+            assert_eq!(d2.num_rows(), d.num_rows());
+            for a in d.schema().attrs() {
+                for &x in &d.active_domain(a) {
+                    let y = key.encode_value(a, x);
+                    assert_eq!(key.invert_value(a, y), x, "{strat:?} attr {a} value {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_strings_preserved_or_reversed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 50 };
+        for trial in 0..10 {
+            let d = random_dataset(&mut rng, &cfg);
+            let config = EncodeConfig::default();
+            let (key, d2) = encode_dataset(&mut rng, &d, &config);
+            for a in d.schema().attrs() {
+                // Tie-robust Lemma 1 check (histogram sequence).
+                assert!(
+                    crate::verify::class_strings_preserved(
+                        &d,
+                        &d2,
+                        a,
+                        key.transform(a).increasing
+                    ),
+                    "trial {trial} attr {a}"
+                );
+                // For globally monotone attributes the literal class
+                // string is preserved too.
+                if key.transform(a).increasing {
+                    assert_eq!(
+                        ClassString::of(&d, a),
+                        ClassString::of(&d2, a),
+                        "trial {trial} attr {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_value_is_changed() {
+        // Paper, Section 1: "with the proposed transformations, every
+        // data value is transformed" (contrast with perturbation).
+        // Identity collisions are measure-zero; check none occur here.
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = figure1();
+        let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+        for a in d.schema().attrs() {
+            let changed = d
+                .column(a)
+                .iter()
+                .zip(d2.column(a))
+                .filter(|(x, y)| x != y)
+                .count();
+            assert_eq!(changed, d.num_rows(), "attr {a}");
+        }
+    }
+
+    #[test]
+    fn transforms_validate_on_covertype_like_data() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = CovertypeConfig { num_rows: 8_000, ..Default::default() };
+        let d = covertype_like(&mut rng, &cfg);
+        let config = EncodeConfig::default();
+        let (key, _) = encode_dataset(&mut rng, &d, &config);
+        for tr in &key.transforms {
+            tr.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn key_serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = figure1();
+        let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+        let s = serde_json::to_string(&key).unwrap();
+        let key2: TransformKey = serde_json::from_str(&s).unwrap();
+        assert_eq!(key, key2);
+    }
+
+    #[test]
+    fn decode_tree_recovers_original_datavalue_policy() {
+        use ppdt_tree::{trees_equal, TreeBuilder};
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = figure1();
+        for strat in all_strategies() {
+            let config = EncodeConfig { strategy: strat, ..Default::default() };
+            let (key, d2) = encode_dataset(&mut rng, &d, &config);
+            let builder = TreeBuilder::default();
+            let t = builder.fit(&d);
+            let t2 = builder.fit(&d2);
+            let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d);
+            assert!(
+                trees_equal(&s, &t),
+                "{strat:?}\nmined:\n{}\ndecoded:\n{}\noriginal:\n{}",
+                t2.render(None),
+                s.render(None),
+                t.render(None)
+            );
+        }
+    }
+
+    #[test]
+    fn decode_tree_recovers_original_midpoint_policy() {
+        use ppdt_tree::{trees_equal, TreeBuilder, TreeParams};
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = figure1();
+        let params = TreeParams { threshold_policy: ThresholdPolicy::Midpoint, ..Default::default() };
+        for strat in all_strategies() {
+            let config = EncodeConfig { strategy: strat, ..Default::default() };
+            let (key, d2) = encode_dataset(&mut rng, &d, &config);
+            let builder = TreeBuilder::new(params);
+            let t = builder.fit(&d);
+            let t2 = builder.fit(&d2);
+            let s = key.decode_tree(&t2, ThresholdPolicy::Midpoint, &d);
+            assert!(
+                trees_equal(&s, &t),
+                "{strat:?}\ndecoded:\n{}\noriginal:\n{}",
+                s.render(None),
+                t.render(None)
+            );
+        }
+    }
+
+    #[test]
+    fn decode_dataset_inverts_exactly() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let d = covertype_like(
+            &mut rng,
+            &CovertypeConfig { num_rows: 2_000, ..Default::default() },
+        );
+        let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+        let back = key.decode_dataset(&d2);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn key_file_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let d = figure1();
+        let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+        let path = std::env::temp_dir().join("ppdt_key_roundtrip.json");
+        key.save_json(&path).unwrap();
+        let loaded = TransformKey::load_json(&path).unwrap();
+        assert_eq!(key, loaded);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_json_rejects_garbage() {
+        let path = std::env::temp_dir().join("ppdt_key_garbage.json");
+        std::fs::write(&path, "not a key").unwrap();
+        assert!(TransformKey::load_json(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn try_encode_rejects_unseen_values() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let d = figure1();
+        let config = EncodeConfig {
+            strategy: BreakpointStrategy::ChooseMaxMP { w: 2, min_piece_len: 1 },
+            ..Default::default()
+        };
+        let (key, _) = encode_dataset(&mut rng, &d, &config);
+        let tr = key.transform(AttrId(0));
+        // All domain values encode; a value far outside does not.
+        for &x in &tr.orig_domain {
+            assert_eq!(tr.try_encode(x), Some(tr.encode(x)));
+        }
+        assert_eq!(tr.try_encode(1e9), None);
+    }
+
+    #[test]
+    fn composed_family_roundtrips_exactly_after_snapping() {
+        // The raw analytic inverse of a composed function can be
+        // ill-conditioned, but snapping to the active domain restores
+        // exactness as long as the error is below half a domain gap.
+        use ppdt_data::gen::{random_dataset, RandomDatasetConfig};
+        let mut rng = StdRng::seed_from_u64(35);
+        let cfg = RandomDatasetConfig { num_rows: 200, num_attrs: 2, num_classes: 2, value_range: 50 };
+        for _ in 0..5 {
+            let d = random_dataset(&mut rng, &cfg);
+            let config = EncodeConfig { family: FnFamily::Composed, ..Default::default() };
+            let (key, _) = encode_dataset(&mut rng, &d, &config);
+            for a in d.schema().attrs() {
+                for &x in &d.active_domain(a) {
+                    let y = key.encode_value(a, x);
+                    assert_eq!(key.invert_value(a, y), x, "attr {a} value {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iid_layout_ablation_still_correct() {
+        // The i.i.d. layout is weaker for privacy but must preserve
+        // the guarantee just the same.
+        use ppdt_tree::{trees_equal, TreeBuilder};
+        let mut rng = StdRng::seed_from_u64(34);
+        let d = figure1();
+        let config = EncodeConfig { layout: LayoutKind::IidProportional, ..Default::default() };
+        let (key, d2) = encode_dataset(&mut rng, &d, &config);
+        let builder = TreeBuilder::default();
+        let s = key.decode_tree(&builder.fit(&d2), ThresholdPolicy::DataValue, &d);
+        assert!(trees_equal(&s, &builder.fit(&d)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let d = ppdt_data::Dataset::from_columns(
+            ppdt_data::Schema::generated(1, 2),
+            vec![vec![]],
+            vec![],
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    }
+
+    #[test]
+    fn forced_anti_monotone_reverses_all() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = figure1();
+        let config = EncodeConfig { anti_monotone_prob: 1.0, ..Default::default() };
+        let (key, d2) = encode_dataset(&mut rng, &d, &config);
+        for a in d.schema().attrs() {
+            assert!(!key.transform(a).increasing);
+            assert_eq!(
+                ClassString::of(&d, a).reversed(),
+                ClassString::of(&d2, a),
+                "attr {a}"
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Random samplers over the monotone function family (Section 5.3:
+//! "a randomization step is used to select the transformation").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::func::MonoFunc;
+
+/// Which sub-family of `F_mono` to draw per-piece functions from.
+///
+/// The paper's Section 6.2.2 compares `polynomial`, `log` and
+/// `sqrt(log)`; [`FnFamily::Mixed`] draws a different sub-family per
+/// piece, which is the recommended default (one more thing the hacker
+/// does not know).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FnFamily {
+    /// Linear functions only.
+    Linear,
+    /// Signed-power ("higher-order polynomial") functions.
+    Polynomial,
+    /// Logarithmic functions.
+    Log,
+    /// `sqrt(log)` functions.
+    SqrtLog,
+    /// Exponential functions.
+    Exp,
+    /// Compositions of two random primitives (`F_mono` is closed under
+    /// composition — Section 5.3).
+    Composed,
+    /// A different randomly chosen sub-family per piece (including
+    /// compositions).
+    Mixed,
+}
+
+impl FnFamily {
+    /// The primitive (non-composed, non-`Mixed`) families.
+    pub const CONCRETE: [FnFamily; 5] = [
+        FnFamily::Linear,
+        FnFamily::Polynomial,
+        FnFamily::Log,
+        FnFamily::SqrtLog,
+        FnFamily::Exp,
+    ];
+
+    /// Samples a function of this family that is valid and strictly
+    /// monotone on `[lo, hi]`, with the requested direction.
+    ///
+    /// The absolute scale of the sampled function is irrelevant — the
+    /// piecewise encoder affinely renormalizes each piece's output into
+    /// its target interval — so the sampler only randomizes the
+    /// *shape* (centers, exponents, rates).
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, lo: f64, hi: f64, increasing: bool) -> MonoFunc {
+        assert!(lo <= hi, "invalid domain [{lo}, {hi}]");
+        let width = (hi - lo).max(1.0);
+        let sign = if increasing { 1.0 } else { -1.0 };
+        let f = match self {
+            FnFamily::Mixed => {
+                // One in four pieces gets a composition; the rest a
+                // random primitive.
+                let pick = if rng.gen_bool(0.25) {
+                    FnFamily::Composed
+                } else {
+                    FnFamily::CONCRETE[rng.gen_range(0..FnFamily::CONCRETE.len())]
+                };
+                return pick.sample(rng, lo, hi, increasing);
+            }
+            FnFamily::Composed => {
+                // inner direction random; outer direction chosen so the
+                // composition has the requested direction.
+                let inner_inc = rng.gen_bool(0.5);
+                let inner = FnFamily::CONCRETE[rng.gen_range(0..FnFamily::CONCRETE.len())]
+                    .sample(rng, lo, hi, inner_inc);
+                let (ia, ib) = (inner.eval(lo), inner.eval(hi));
+                let (img_lo, img_hi) = (ia.min(ib), ia.max(ib));
+                let outer_inc = increasing == inner_inc;
+                let outer = FnFamily::CONCRETE[rng.gen_range(0..FnFamily::CONCRETE.len())]
+                    .sample(rng, img_lo, img_hi, outer_inc);
+                return MonoFunc::compose(outer, inner);
+            }
+            FnFamily::Linear => MonoFunc::Linear { a: sign * rng.gen_range(0.2..3.0), b: rng.gen_range(-width..width) },
+            FnFamily::Polynomial => MonoFunc::Power {
+                a: sign * rng.gen_range(0.2..2.0),
+                c: rng.gen_range(lo - width..hi + width),
+                p: *[2.0, 3.0, rng.gen_range(1.2..4.0)]
+                    .get(rng.gen_range(0..3))
+                    .expect("index in range"),
+                b: 0.0,
+            },
+            FnFamily::Log => MonoFunc::Log {
+                a: sign * rng.gen_range(0.5..4.0),
+                c: lo - rng.gen_range(0.05..1.0) * width - 1e-6,
+                b: 0.0,
+            },
+            FnFamily::SqrtLog => MonoFunc::SqrtLog {
+                a: sign * rng.gen_range(0.5..4.0),
+                c: lo - 1.0 - rng.gen_range(0.05..1.0) * width,
+                b: 0.0,
+            },
+            FnFamily::Exp => {
+                let k = rng.gen_range(0.5..3.0) / width;
+                MonoFunc::Exp { a: sign, k, c: lo, b: 0.0 }
+            }
+        };
+        debug_assert!(f.valid_on(lo, hi), "sampled invalid function {f:?} on [{lo}, {hi}]");
+        debug_assert_eq!(f.is_increasing(), increasing);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_valid_and_directed() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for fam in FnFamily::CONCRETE {
+            for &increasing in &[true, false] {
+                for _ in 0..50 {
+                    let (lo, hi) = (3.0, 777.0);
+                    let f = fam.sample(&mut rng, lo, hi, increasing);
+                    assert!(f.valid_on(lo, hi), "{fam:?} {f:?}");
+                    assert_eq!(f.is_increasing(), increasing, "{fam:?} {f:?}");
+                    // Spot-check strict monotonicity over the domain.
+                    let (ya, yb, yc) = (f.eval(lo), f.eval(390.0), f.eval(hi));
+                    if increasing {
+                        assert!(ya < yb && yb < yc, "{fam:?} {f:?}");
+                    } else {
+                        assert!(ya > yb && yb > yc, "{fam:?} {f:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composed_samples_are_valid_and_directed() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for &increasing in &[true, false] {
+            for _ in 0..100 {
+                let (lo, hi) = (2.0, 450.0);
+                let f = FnFamily::Composed.sample(&mut rng, lo, hi, increasing);
+                assert!(f.valid_on(lo, hi), "{f:?}");
+                assert_eq!(f.is_increasing(), increasing, "{f:?}");
+                let (ya, yb, yc) = (f.eval(lo), f.eval(225.0), f.eval(hi));
+                if increasing {
+                    assert!(ya < yb && yb < yc, "{f:?}");
+                } else {
+                    assert!(ya > yb && yb > yc, "{f:?}");
+                }
+                // Inverse round-trips through the composition. The
+                // analytic inverse of a composition can be
+                // ill-conditioned (a power inner stretches the image
+                // over many orders of magnitude; a log-like outer
+                // compresses it back), so the tolerance is absolute
+                // relative to the domain width — far below the unit
+                // grid gap that decode-snapping resolves exactly.
+                for x in [lo, 100.0, hi] {
+                    let back = f.inverse(f.eval(x));
+                    assert!((back - x).abs() < 1e-3 * (hi - lo), "{f:?} at {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_draws_multiple_variants() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let f = FnFamily::Mixed.sample(&mut rng, 0.0, 100.0, true);
+            let tag = match f {
+                MonoFunc::Linear { .. } => 0u8,
+                MonoFunc::Power { .. } => 1,
+                MonoFunc::Log { .. } => 2,
+                MonoFunc::SqrtLog { .. } => 3,
+                MonoFunc::Exp { .. } => 4,
+                MonoFunc::Composed { .. } => 5,
+            };
+            seen.insert(tag);
+        }
+        assert!(seen.len() >= 3, "Mixed should hit several sub-families");
+    }
+
+    #[test]
+    fn degenerate_single_point_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for fam in FnFamily::CONCRETE {
+            let f = fam.sample(&mut rng, 10.0, 10.0, true);
+            assert!(f.eval(10.0).is_finite(), "{fam:?}");
+        }
+    }
+
+    #[test]
+    fn negative_domains_supported() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for fam in FnFamily::CONCRETE {
+            let f = fam.sample(&mut rng, -500.0, -20.0, false);
+            assert!(f.valid_on(-500.0, -20.0), "{fam:?} {f:?}");
+            assert!(f.eval(-500.0) > f.eval(-20.0));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The invertible monotone function family `F_mono` (Section 5.3).
+//!
+//! Every variant is strictly monotone on its stated domain and has a
+//! closed-form inverse — the custodian needs `f⁻¹` to decode the mined
+//! tree (Section 3.1). Whether a function is monotone (increasing) or
+//! anti-monotone (decreasing) is determined by its parameters;
+//! [`MonoFunc::is_increasing`] reports the direction.
+
+use serde::{Deserialize, Serialize};
+
+/// A strictly monotone, invertible scalar function.
+///
+/// Section 5.3 notes that `F_mono` is closed under composition — the
+/// [`MonoFunc::Composed`] variant realizes that closure (composing two
+/// strictly monotone invertible functions is strictly monotone and
+/// invertible, with direction the product of the parts' directions).
+///
+/// ```
+/// use ppdt_transform::MonoFunc;
+///
+/// // The paper's Figure 1 transformation: age' = 0.9·age + 10.
+/// let f = MonoFunc::Linear { a: 0.9, b: 10.0 };
+/// assert!(f.is_increasing());
+/// assert_eq!(f.eval(20.0), 28.0);
+/// assert!((f.inverse(28.0) - 20.0).abs() < 1e-12);
+///
+/// // Compositions stay invertible.
+/// let g = MonoFunc::compose(MonoFunc::Log { a: 1.0, c: 0.0, b: 0.0 }, f);
+/// assert!((g.inverse(g.eval(20.0)) - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MonoFunc {
+    /// `f(x) = a·x + b`, `a ≠ 0`.
+    Linear {
+        /// Slope (sign gives the direction).
+        a: f64,
+        /// Intercept.
+        b: f64,
+    },
+    /// Signed power — the "higher-order polynomial" of the paper with
+    /// an exact inverse: `f(x) = a·sgn(x−c)·|x−c|^p + b`, `a ≠ 0`,
+    /// `p > 0`. Strictly monotone on all of ℝ.
+    Power {
+        /// Scale (sign gives the direction).
+        a: f64,
+        /// Center of the power law.
+        c: f64,
+        /// Exponent (`p = 2, 3, …` mimic polynomial degree).
+        p: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `f(x) = a·ln(x − c) + b`, defined for `x > c`.
+    Log {
+        /// Scale (sign gives the direction).
+        a: f64,
+        /// Horizontal shift; must satisfy `c < min(domain)`.
+        c: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `f(x) = a·√(ln(x − c)) + b`, defined for `x ≥ c + 1` —
+    /// the paper's `sqrt(log)` transformation.
+    SqrtLog {
+        /// Scale (sign gives the direction).
+        a: f64,
+        /// Horizontal shift; must satisfy `c ≤ min(domain) − 1`.
+        c: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `f(x) = a·e^{k(x−c)} + b`, `a ≠ 0`, `k ≠ 0`; increasing iff
+    /// `a·k > 0`.
+    Exp {
+        /// Scale.
+        a: f64,
+        /// Rate.
+        k: f64,
+        /// Horizontal shift (keeps the exponent in a sane range).
+        c: f64,
+        /// Offset.
+        b: f64,
+    },
+    /// `f(x) = outer(inner(x))` — the composition closure of `F_mono`.
+    Composed {
+        /// Applied second.
+        outer: Box<MonoFunc>,
+        /// Applied first.
+        inner: Box<MonoFunc>,
+    },
+}
+
+impl MonoFunc {
+    /// Composes two functions: `outer ∘ inner`.
+    pub fn compose(outer: MonoFunc, inner: MonoFunc) -> MonoFunc {
+        MonoFunc::Composed { outer: Box::new(outer), inner: Box::new(inner) }
+    }
+
+    /// Evaluates the function.
+    pub fn eval(&self, x: f64) -> f64 {
+        match self {
+            MonoFunc::Linear { a, b } => a * x + b,
+            MonoFunc::Power { a, c, p, b } => {
+                let d = x - c;
+                a * d.signum() * d.abs().powf(*p) + b
+            }
+            MonoFunc::Log { a, c, b } => a * (x - c).ln() + b,
+            MonoFunc::SqrtLog { a, c, b } => a * (x - c).ln().sqrt() + b,
+            MonoFunc::Exp { a, k, c, b } => a * (k * (x - c)).exp() + b,
+            MonoFunc::Composed { outer, inner } => outer.eval(inner.eval(x)),
+        }
+    }
+
+    /// Evaluates the closed-form inverse.
+    pub fn inverse(&self, y: f64) -> f64 {
+        match self {
+            MonoFunc::Linear { a, b } => (y - b) / a,
+            MonoFunc::Power { a, c, p, b } => {
+                let u = (y - b) / a;
+                c + u.signum() * u.abs().powf(1.0 / p)
+            }
+            MonoFunc::Log { a, c, b } => c + ((y - b) / a).exp(),
+            MonoFunc::SqrtLog { a, c, b } => {
+                let s = (y - b) / a;
+                c + (s * s).exp()
+            }
+            MonoFunc::Exp { a, k, c, b } => c + ((y - b) / a).ln() / k,
+            MonoFunc::Composed { outer, inner } => inner.inverse(outer.inverse(y)),
+        }
+    }
+
+    /// True iff the function is strictly increasing (monotone in the
+    /// paper's terminology); false iff strictly decreasing
+    /// (anti-monotone).
+    pub fn is_increasing(&self) -> bool {
+        match self {
+            MonoFunc::Linear { a, .. }
+            | MonoFunc::Power { a, .. }
+            | MonoFunc::Log { a, .. }
+            | MonoFunc::SqrtLog { a, .. } => *a > 0.0,
+            MonoFunc::Exp { a, k, .. } => a * k > 0.0,
+            MonoFunc::Composed { outer, inner } => {
+                outer.is_increasing() == inner.is_increasing()
+            }
+        }
+    }
+
+    /// Checks the function is well defined and produces finite values
+    /// over the closed interval `[lo, hi]`.
+    pub fn valid_on(&self, lo: f64, hi: f64) -> bool {
+        let param_ok = match self {
+            MonoFunc::Linear { a, .. } => *a != 0.0,
+            MonoFunc::Power { a, p, .. } => *a != 0.0 && *p > 0.0,
+            MonoFunc::Log { a, c, .. } => *a != 0.0 && *c < lo,
+            MonoFunc::SqrtLog { a, c, .. } => *a != 0.0 && *c <= lo - 1.0,
+            MonoFunc::Exp { a, k, c, .. } => {
+                *a != 0.0
+                    && *k != 0.0
+                    && (k * (lo - c)).abs() < 700.0
+                    && (k * (hi - c)).abs() < 700.0
+            }
+            MonoFunc::Composed { outer, inner } => {
+                if !inner.valid_on(lo, hi) {
+                    return false;
+                }
+                let (ia, ib) = (inner.eval(lo), inner.eval(hi));
+                outer.valid_on(ia.min(ib), ia.max(ib))
+            }
+        };
+        param_ok && self.eval(lo).is_finite() && self.eval(hi).is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(f: &MonoFunc, x: f64, tol: f64) {
+        let y = f.eval(x);
+        assert!(y.is_finite(), "{f:?} at {x}");
+        let back = f.inverse(y);
+        let scale = x.abs().max(1.0);
+        assert!(
+            (back - x).abs() <= tol * scale,
+            "{f:?}: {x} -> {y} -> {back}"
+        );
+    }
+
+    #[test]
+    fn linear_roundtrip_and_direction() {
+        let f = MonoFunc::Linear { a: 0.9, b: 10.0 };
+        assert!(f.is_increasing());
+        roundtrip(&f, 17.0, 1e-12);
+        let g = MonoFunc::Linear { a: -2.0, b: 1.0 };
+        assert!(!g.is_increasing());
+        roundtrip(&g, -5.5, 1e-12);
+    }
+
+    #[test]
+    fn power_handles_both_sides_of_center() {
+        let f = MonoFunc::Power { a: 2.0, c: 10.0, p: 3.0, b: -1.0 };
+        assert!(f.is_increasing());
+        roundtrip(&f, 4.0, 1e-9); // below center
+        roundtrip(&f, 10.0, 1e-9); // at center
+        roundtrip(&f, 25.0, 1e-9); // above center
+        // Strictly increasing across the center.
+        assert!(f.eval(9.0) < f.eval(10.0));
+        assert!(f.eval(10.0) < f.eval(11.0));
+    }
+
+    #[test]
+    fn log_and_sqrtlog_roundtrip() {
+        let f = MonoFunc::Log { a: 3.0, c: -5.0, b: 2.0 };
+        roundtrip(&f, 0.0, 1e-9);
+        roundtrip(&f, 100.0, 1e-9);
+        let g = MonoFunc::SqrtLog { a: -4.0, c: -1.0, b: 0.5 };
+        assert!(!g.is_increasing());
+        roundtrip(&g, 0.0, 1e-9);
+        roundtrip(&g, 57.0, 1e-9);
+    }
+
+    #[test]
+    fn exp_roundtrip_and_direction() {
+        let f = MonoFunc::Exp { a: 1.5, k: 0.01, c: 50.0, b: -3.0 };
+        assert!(f.is_increasing());
+        roundtrip(&f, 0.0, 1e-9);
+        roundtrip(&f, 200.0, 1e-9);
+        let g = MonoFunc::Exp { a: -1.5, k: 0.01, c: 0.0, b: 0.0 };
+        assert!(!g.is_increasing());
+        let h = MonoFunc::Exp { a: -1.5, k: -0.01, c: 0.0, b: 0.0 };
+        assert!(h.is_increasing());
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(MonoFunc::Linear { a: 1.0, b: 0.0 }.valid_on(0.0, 10.0));
+        assert!(!MonoFunc::Linear { a: 0.0, b: 0.0 }.valid_on(0.0, 10.0));
+        assert!(!MonoFunc::Log { a: 1.0, c: 5.0, b: 0.0 }.valid_on(0.0, 10.0));
+        assert!(MonoFunc::Log { a: 1.0, c: -1.0, b: 0.0 }.valid_on(0.0, 10.0));
+        assert!(!MonoFunc::SqrtLog { a: 1.0, c: -0.5, b: 0.0 }.valid_on(0.0, 10.0));
+        assert!(MonoFunc::SqrtLog { a: 1.0, c: -1.0, b: 0.0 }.valid_on(0.0, 10.0));
+        assert!(!MonoFunc::Exp { a: 1.0, k: 100.0, c: 0.0, b: 0.0 }.valid_on(0.0, 10.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = MonoFunc::SqrtLog { a: 2.0, c: -3.0, b: 1.0 };
+        let s = serde_json::to_string(&f).unwrap();
+        let g: MonoFunc = serde_json::from_str(&s).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn composition_roundtrip_and_direction() {
+        // log ∘ linear: increasing ∘ increasing = increasing.
+        let f = MonoFunc::compose(
+            MonoFunc::Log { a: 2.0, c: -1.0, b: 0.5 },
+            MonoFunc::Linear { a: 3.0, b: 10.0 },
+        );
+        assert!(f.is_increasing());
+        assert!(f.valid_on(0.0, 100.0));
+        for x in [0.0, 1.5, 42.0, 100.0] {
+            roundtrip(&f, x, 1e-9);
+            // eval really is outer(inner(x)).
+            let expect = 2.0 * (3.0 * x + 10.0 - (-1.0)).ln() + 0.5;
+            assert!((f.eval(x) - expect).abs() < 1e-12);
+        }
+        // decreasing ∘ increasing = decreasing; decreasing ∘ decreasing
+        // = increasing.
+        let dec = MonoFunc::Linear { a: -1.0, b: 0.0 };
+        let inc = MonoFunc::Linear { a: 2.0, b: 0.0 };
+        assert!(!MonoFunc::compose(dec.clone(), inc.clone()).is_increasing());
+        assert!(MonoFunc::compose(dec.clone(), dec.clone()).is_increasing());
+        let _ = inc;
+    }
+
+    #[test]
+    fn composition_validity_checks_inner_image() {
+        // Inner maps [0, 10] to [-30, -10]; log with c = 0 is invalid
+        // on that image.
+        let f = MonoFunc::compose(
+            MonoFunc::Log { a: 1.0, c: 0.0, b: 0.0 },
+            MonoFunc::Linear { a: -2.0, b: -10.0 },
+        );
+        assert!(!f.valid_on(0.0, 10.0));
+        // With a compatible shift the composition is valid.
+        let g = MonoFunc::compose(
+            MonoFunc::Log { a: 1.0, c: -100.0, b: 0.0 },
+            MonoFunc::Linear { a: -2.0, b: -10.0 },
+        );
+        assert!(g.valid_on(0.0, 10.0));
+        assert!(!g.is_increasing());
+    }
+
+    #[test]
+    fn nested_composition() {
+        let f = MonoFunc::compose(
+            MonoFunc::compose(
+                MonoFunc::Linear { a: 0.5, b: 1.0 },
+                MonoFunc::Power { a: 1.0, c: 0.0, p: 3.0, b: 0.0 },
+            ),
+            MonoFunc::Linear { a: 2.0, b: -1.0 },
+        );
+        roundtrip(&f, 7.0, 1e-9);
+        roundtrip(&f, -4.2, 1e-9);
+        let s = serde_json::to_string(&f).unwrap();
+        let g: MonoFunc = serde_json::from_str(&s).unwrap();
+        assert_eq!(f, g);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linear_roundtrip(a in 0.01f64..100.0, b in -1e3f64..1e3, x in -1e4f64..1e4, neg in any::<bool>()) {
+            let a = if neg { -a } else { a };
+            roundtrip(&MonoFunc::Linear { a, b }, x, 1e-9);
+        }
+
+        #[test]
+        fn prop_power_roundtrip(a in 0.1f64..10.0, c in -100.0f64..100.0, p in 0.5f64..4.0, b in -100.0f64..100.0, x in -500.0f64..500.0) {
+            roundtrip(&MonoFunc::Power { a, c, p, b }, x, 1e-6);
+        }
+
+        #[test]
+        fn prop_log_roundtrip(a in 0.1f64..10.0, off in 0.1f64..100.0, b in -100.0f64..100.0, x in 0.0f64..1e4) {
+            let c = -off; // ensure c < x for x >= 0
+            roundtrip(&MonoFunc::Log { a, c, b }, x, 1e-7);
+        }
+
+        #[test]
+        fn prop_sqrtlog_roundtrip(a in 0.1f64..10.0, off in 1.0f64..50.0, b in -100.0f64..100.0, x in 0.0f64..5e3) {
+            let c = -off; // c <= x - 1 for x >= 0
+            roundtrip(&MonoFunc::SqrtLog { a, c, b }, x, 1e-6);
+        }
+
+        #[test]
+        fn prop_monotonicity(a in 0.1f64..5.0, c in -50.0f64..50.0, p in 0.5f64..3.0, x in -200.0f64..200.0, dx in 0.001f64..10.0) {
+            let f = MonoFunc::Power { a, c, p, b: 0.0 };
+            prop_assert!(f.eval(x) < f.eval(x + dx));
+        }
+
+        #[test]
+        fn prop_direction_flip(x in -100.0f64..100.0, dx in 0.01f64..5.0) {
+            let inc = MonoFunc::SqrtLog { a: 2.0, c: -200.0, b: 0.0 };
+            let dec = MonoFunc::SqrtLog { a: -2.0, c: -200.0, b: 0.0 };
+            prop_assert!(inc.eval(x) < inc.eval(x + dx));
+            prop_assert!(dec.eval(x) > dec.eval(x + dx));
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The recursive decision-tree builder.
+
+use serde::{Deserialize, Serialize};
+
+use ppdt_data::{AttrId, ClassId, Dataset};
+
+use crate::split::{best_split_sorted, AttrSplit, CandidatePolicy, SplitCriterion};
+use crate::tree::{DecisionTree, Node};
+
+/// How the numeric split threshold is materialized from the winning
+/// boundary between two distinct values `v_left < v_right`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdPolicy {
+    /// `threshold = v_left`, as C4.5 does ("the largest value not
+    /// exceeding the midpoint" of the boundary). With this policy the
+    /// threshold is always a data value, so decoding is the pointwise
+    /// inverse transformation and Theorem 2 equality is exact.
+    DataValue,
+    /// `threshold = (v_left + v_right)/2`, as CART does. Decoding a
+    /// midpoint threshold under a nonlinear transformation needs the
+    /// data-aware decoder (`ppdt-transform` provides it).
+    Midpoint,
+}
+
+/// Builder hyperparameters (C4.5-style stopping rules).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Split-selection criterion.
+    pub criterion: SplitCriterion,
+    /// Threshold materialization policy.
+    pub threshold_policy: ThresholdPolicy,
+    /// Candidate-boundary enumeration policy.
+    pub candidate_policy: CandidatePolicy,
+    /// Maximum tree depth (`usize::MAX` for unbounded).
+    pub max_depth: usize,
+    /// Minimum tuples required to attempt a split.
+    pub min_samples_split: u32,
+    /// Minimum tuples in each child.
+    pub min_samples_leaf: u32,
+    /// Minimum impurity decrease required to accept a split.
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            criterion: SplitCriterion::Gini,
+            threshold_policy: ThresholdPolicy::DataValue,
+            candidate_policy: CandidatePolicy::RunBoundaries,
+            max_depth: usize::MAX,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            min_impurity_decrease: 0.0,
+        }
+    }
+}
+
+impl TreeParams {
+    /// Parameters with the given criterion, rest default.
+    pub fn with_criterion(criterion: SplitCriterion) -> Self {
+        TreeParams { criterion, ..Default::default() }
+    }
+}
+
+/// Builds decision trees from a [`Dataset`].
+///
+/// ```
+/// use ppdt_data::gen::figure1;
+/// use ppdt_tree::{SplitCriterion, TreeBuilder, TreeParams};
+///
+/// let d = figure1();
+/// let tree = TreeBuilder::new(TreeParams::with_criterion(SplitCriterion::Gini)).fit(&d);
+/// assert_eq!(tree.accuracy(&d), 1.0);
+/// assert!(tree.paths().len() >= 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TreeBuilder {
+    params: TreeParams,
+}
+
+impl TreeBuilder {
+    /// A builder with the given parameters.
+    pub fn new(params: TreeParams) -> Self {
+        TreeBuilder { params }
+    }
+
+    /// The builder's parameters.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    /// Trains a tree on `d`.
+    ///
+    /// The algorithm is the textbook greedy construction the paper's
+    /// Section 4 reasons about: at each node, for every attribute, sort
+    /// the node's tuples, evaluate candidate boundaries between label
+    /// runs (Lemma 2), pick the attribute/boundary with the lowest
+    /// weighted child impurity (first-wins tie-breaking on exact score
+    /// equality, so the choice is a pure function of class counts), and
+    /// recurse.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset — there is nothing to fit.
+    pub fn fit(&self, d: &Dataset) -> DecisionTree {
+        assert!(d.num_rows() > 0, "cannot fit a tree on an empty dataset");
+        let rows: Vec<u32> = (0..d.num_rows() as u32).collect();
+        let mut scratch = Vec::with_capacity(d.num_rows());
+        let root = self.grow(d, rows, 0, &mut scratch);
+        DecisionTree { root, num_classes: d.num_classes(), criterion: self.params.criterion }
+    }
+
+    fn grow(
+        &self,
+        d: &Dataset,
+        rows: Vec<u32>,
+        depth: usize,
+        scratch: &mut Vec<(f64, ClassId)>,
+    ) -> Node {
+        let p = &self.params;
+        let counts = class_counts(d, &rows);
+        let total = rows.len() as u32;
+        let node_impurity = p.criterion.impurity(&counts, total);
+
+        let stop = node_impurity == 0.0
+            || depth >= p.max_depth
+            || total < p.min_samples_split;
+        if !stop {
+            if let Some((attr, split)) = self.best_split(d, &rows, scratch) {
+                let decrease = node_impurity - split.score;
+                if decrease > p.min_impurity_decrease {
+                    let threshold = match p.threshold_policy {
+                        ThresholdPolicy::DataValue => split.left_value,
+                        ThresholdPolicy::Midpoint => {
+                            0.5 * (split.left_value + split.right_value)
+                        }
+                    };
+                    let (left_rows, right_rows) = partition(d, &rows, attr, split.left_value);
+                    debug_assert_eq!(left_rows.len() as u32, split.left_count);
+                    let left = self.grow(d, left_rows, depth + 1, scratch);
+                    let right = self.grow(d, right_rows, depth + 1, scratch);
+                    return Node::Split {
+                        attr,
+                        threshold,
+                        class_counts: counts,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    };
+                }
+            }
+        }
+
+        let label = majority(&counts);
+        Node::Leaf { label, class_counts: counts }
+    }
+
+    /// Best split over all attributes (first attribute wins score ties).
+    fn best_split(
+        &self,
+        d: &Dataset,
+        rows: &[u32],
+        scratch: &mut Vec<(f64, ClassId)>,
+    ) -> Option<(AttrId, AttrSplit)> {
+        let p = &self.params;
+        let mut best: Option<(AttrId, AttrSplit)> = None;
+        for a in d.schema().attrs() {
+            scratch.clear();
+            let col = d.column(a);
+            scratch.extend(rows.iter().map(|&r| (col[r as usize], d.label(r as usize))));
+            scratch.sort_unstable_by(|x, y| x.0.total_cmp(&y.0));
+            if let Some(s) = best_split_sorted(
+                scratch,
+                d.num_classes(),
+                p.criterion,
+                p.candidate_policy,
+                p.min_samples_leaf,
+            ) {
+                if best.as_ref().is_none_or(|(_, b)| s.score < b.score) {
+                    best = Some((a, s));
+                }
+            }
+        }
+        best
+    }
+}
+
+fn class_counts(d: &Dataset, rows: &[u32]) -> Vec<u32> {
+    let mut counts = vec![0u32; d.num_classes()];
+    for &r in rows {
+        counts[d.label(r as usize).index()] += 1;
+    }
+    counts
+}
+
+fn majority(counts: &[u32]) -> ClassId {
+    let mut best = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    ClassId(best as u16)
+}
+
+/// Partitions `rows` into (≤ left_value, > left_value) on `attr`,
+/// preserving relative row order (determinism).
+fn partition(d: &Dataset, rows: &[u32], attr: AttrId, left_value: f64) -> (Vec<u32>, Vec<u32>) {
+    let col = d.column(attr);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in rows {
+        if col[r as usize] <= left_value {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdt_data::gen::figure1;
+    use ppdt_data::{DatasetBuilder, Schema};
+
+    #[test]
+    fn fits_figure1_exactly() {
+        let d = figure1();
+        let t = TreeBuilder::default().fit(&d);
+        // The tree must classify its own training data perfectly: the
+        // data is separable (no contradictory duplicate tuples).
+        assert_eq!(t.accuracy(&d), 1.0);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        for v in 0..10 {
+            b.push_row(&[v as f64], ClassId(0));
+        }
+        let d = b.build();
+        let t = TreeBuilder::default().fit(&d);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[3.0]), ClassId(0));
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_stump() {
+        let d = figure1();
+        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let t = TreeBuilder::new(params).fit(&d);
+        assert_eq!(t.num_nodes(), 1);
+        // 4 High vs 2 Low -> predicts High everywhere.
+        assert_eq!(t.predict(&[0.0, 0.0]), ClassId(0));
+    }
+
+    #[test]
+    fn min_samples_leaf_bounds_leaf_sizes() {
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        for v in 0..40 {
+            b.push_row(&[v as f64], ClassId((v % 2) as u16));
+        }
+        let d = b.build();
+        let params = TreeParams { min_samples_leaf: 8, ..Default::default() };
+        let t = TreeBuilder::new(params).fit(&d);
+        for p in t.paths() {
+            assert!(p.count >= 8, "leaf with {} tuples", p.count);
+        }
+    }
+
+    #[test]
+    fn threshold_policies_differ_but_agree_on_predictions() {
+        let d = figure1();
+        let t1 = TreeBuilder::new(TreeParams {
+            threshold_policy: ThresholdPolicy::DataValue,
+            ..Default::default()
+        })
+        .fit(&d);
+        let t2 = TreeBuilder::new(TreeParams {
+            threshold_policy: ThresholdPolicy::Midpoint,
+            ..Default::default()
+        })
+        .fit(&d);
+        // Training-data predictions agree (both thresholds separate the
+        // same two data values).
+        assert_eq!(t1.accuracy(&d), 1.0);
+        assert_eq!(t2.accuracy(&d), 1.0);
+    }
+
+    #[test]
+    fn inseparable_duplicates_terminate() {
+        // Identical tuples with conflicting labels: impurity can never
+        // reach 0 and no split exists; the builder must terminate.
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        for _ in 0..5 {
+            b.push_row(&[1.0], ClassId(0));
+            b.push_row(&[1.0], ClassId(1));
+        }
+        let d = b.build();
+        let t = TreeBuilder::default().fit(&d);
+        assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    fn entropy_criterion_builds_consistent_tree() {
+        let d = figure1();
+        let t = TreeBuilder::new(TreeParams::with_criterion(SplitCriterion::Entropy)).fit(&d);
+        assert_eq!(t.accuracy(&d), 1.0);
+        assert_eq!(t.criterion, SplitCriterion::Entropy);
+    }
+
+    #[test]
+    fn min_impurity_decrease_prunes_weak_splits() {
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        // 9 of class 0 on the left, then a mixed zone: a weak split.
+        for v in 0..9 {
+            b.push_row(&[v as f64], ClassId(0));
+        }
+        for v in 9..13 {
+            b.push_row(&[v as f64], ClassId((v % 2) as u16));
+        }
+        let d = b.build();
+        let strict = TreeParams { min_impurity_decrease: 0.45, ..Default::default() };
+        let t = TreeBuilder::new(strict).fit(&d);
+        assert_eq!(t.num_nodes(), 1, "weak splits rejected");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let d = ppdt_data::Dataset::from_columns(Schema::generated(1, 2), vec![vec![]], vec![]);
+        let _ = TreeBuilder::default().fit(&d);
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let d = figure1();
+        let t1 = TreeBuilder::default().fit(&d);
+        let t2 = TreeBuilder::default().fit(&d);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,434 @@
+//! A presorted, breadth-first tree builder (SLIQ/SPRINT style).
+//!
+//! [`TreeBuilder::fit`] re-sorts each node's tuples for every
+//! attribute — `O(depth · m · n log n)` worst case. This module builds
+//! the **same tree, bit for bit**, with each attribute sorted once
+//! globally (`O(m · n log n)` total) and every level evaluated by a
+//! single `O(m · n)` pass over the presorted orders, dispatching rows
+//! to their current node and maintaining per-node split-search state.
+//!
+//! On bushy trees (node subsets shrink geometrically) the recursive
+//! builder's re-sorts are cheap and its cache locality wins — measure
+//! before switching (`benches/tree_build.rs` compares both). The
+//! presorted builder's complexity advantage materializes on deep,
+//! unbalanced trees where large subsets persist across many levels.
+//! Either way, equality with the recursive builder is a tested
+//! invariant (same candidate boundaries, same scores, same first-wins
+//! tie-breaking), so the two implementations cross-validate each
+//! other — the main value of keeping both.
+
+use ppdt_data::{AttrId, ClassId, Dataset};
+
+use crate::builder::{ThresholdPolicy, TreeBuilder, TreeParams};
+use crate::split::CandidatePolicy;
+use crate::tree::{DecisionTree, Node};
+
+/// Split-search state for one active node while scanning one
+/// attribute's sorted order.
+struct ScanState {
+    /// Accumulated class histogram of rows seen so far (left side).
+    left: Vec<u32>,
+    /// Rows seen so far.
+    left_n: u32,
+    /// Value of the group currently being consumed.
+    cur_value: f64,
+    /// Single label of the current group, while it is monochromatic.
+    cur_mono: Option<ClassId>,
+    /// Whether any row has been seen.
+    started: bool,
+    /// Pending boundary between the previous and current group,
+    /// evaluable once the current group completes (the boundary's
+    /// right-group mono status is `cur_mono` at that moment).
+    pending: Option<Pending>,
+}
+
+struct Pending {
+    /// Left histogram snapshot at the boundary.
+    left: Vec<u32>,
+    /// Rows on the left of the boundary.
+    left_n: u32,
+    /// Largest value on the left.
+    left_value: f64,
+    /// Smallest value on the right.
+    right_value: f64,
+    /// Mono label of the group left of the boundary.
+    left_group_mono: Option<ClassId>,
+}
+
+/// Best split found for a node so far (attr-major, then boundary-major
+/// first-wins tie-breaking, matching `best_split_sorted`).
+#[derive(Clone)]
+struct BestSplit {
+    attr: AttrId,
+    score: f64,
+    left_value: f64,
+    right_value: f64,
+}
+
+struct WorkNode {
+    counts: Vec<u32>,
+    depth: usize,
+    /// On the active frontier this level.
+    active: bool,
+    best: Option<BestSplit>,
+    children: Option<(usize, usize)>,
+    split: Option<BestSplit>,
+}
+
+impl TreeBuilder {
+    /// Trains the same tree as [`TreeBuilder::fit`] — bit for bit —
+    /// using the presorted breadth-first algorithm (see the module
+    /// docs for when this wins).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit_presorted(&self, d: &Dataset) -> DecisionTree {
+        assert!(d.num_rows() > 0, "cannot fit a tree on an empty dataset");
+        let p = *self.params();
+        let n = d.num_rows();
+        let k = d.num_classes();
+        let m = d.num_attrs();
+
+        // One global sort per attribute.
+        let orders: Vec<Vec<u32>> = (0..m)
+            .map(|a| {
+                let col = d.column(AttrId(a));
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_unstable_by(|&i, &j| col[i as usize].total_cmp(&col[j as usize]));
+                order
+            })
+            .collect();
+
+        let mut root_counts = vec![0u32; k];
+        for c in d.labels() {
+            root_counts[c.index()] += 1;
+        }
+        let mut nodes: Vec<WorkNode> = vec![WorkNode {
+            counts: root_counts,
+            depth: 0,
+            active: true,
+            best: None,
+            children: None,
+            split: None,
+        }];
+        let mut node_of_row = vec![0u32; n];
+
+        loop {
+            // Frontier: nodes that may still split.
+            let mut any_active = false;
+            for node in nodes.iter_mut() {
+                if node.active {
+                    let total: u32 = node.counts.iter().sum();
+                    let impurity = p.criterion.impurity(&node.counts, total);
+                    if impurity == 0.0 || node.depth >= p.max_depth || total < p.min_samples_split
+                    {
+                        node.active = false;
+                    } else {
+                        node.best = None;
+                        any_active = true;
+                    }
+                }
+            }
+            if !any_active {
+                break;
+            }
+
+            // Scan each attribute once; per-node incremental state.
+            for (a, order) in orders.iter().enumerate() {
+                let col = d.column(AttrId(a));
+                let mut states: Vec<Option<ScanState>> = Vec::with_capacity(nodes.len());
+                states.resize_with(nodes.len(), || None);
+
+                for &row in order {
+                    let nid = node_of_row[row as usize] as usize;
+                    if !nodes[nid].active {
+                        continue;
+                    }
+                    let v = col[row as usize];
+                    let c = d.label(row as usize);
+                    let node_counts_total: u32 = nodes[nid].counts.iter().sum();
+                    let state = states[nid].get_or_insert_with(|| ScanState {
+                        left: vec![0; k],
+                        left_n: 0,
+                        cur_value: f64::NAN,
+                        cur_mono: None,
+                        started: false,
+                        pending: None,
+                    });
+
+                    if state.started && v != state.cur_value {
+                        // The current group just completed: its mono
+                        // status is final, so the pending boundary (to
+                        // its left) is now evaluable.
+                        if let Some(pending) = state.pending.take() {
+                            let WorkNode { counts, best, .. } = &mut nodes[nid];
+                            score_boundary(
+                                &pending,
+                                state.cur_mono,
+                                counts,
+                                node_counts_total,
+                                &p,
+                                AttrId(a),
+                                best,
+                            );
+                        }
+                        // The boundary after the completed group
+                        // becomes pending.
+                        state.pending = Some(Pending {
+                            left: state.left.clone(),
+                            left_n: state.left_n,
+                            left_value: state.cur_value,
+                            right_value: v,
+                            left_group_mono: state.cur_mono,
+                        });
+                        state.cur_value = v;
+                        state.cur_mono = Some(c);
+                    } else if !state.started {
+                        state.started = true;
+                        state.cur_value = v;
+                        state.cur_mono = Some(c);
+                    } else if state.cur_mono != Some(c) {
+                        state.cur_mono = None;
+                    }
+
+                    state.left[c.index()] += 1;
+                    state.left_n += 1;
+                }
+
+                // Scan end: each node's last pending boundary is
+                // evaluable (its right group — the node's final group —
+                // has completed).
+                for (nid, state) in states.iter_mut().enumerate() {
+                    if let Some(state) = state {
+                        if let Some(pending) = state.pending.take() {
+                            let WorkNode { counts, best, .. } = &mut nodes[nid];
+                            let total: u32 = counts.iter().sum();
+                            score_boundary(
+                                &pending,
+                                state.cur_mono,
+                                counts,
+                                total,
+                                &p,
+                                AttrId(a),
+                                best,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Materialize accepted splits, then repartition rows.
+            for nid in 0..nodes.len() {
+                if !nodes[nid].active {
+                    continue;
+                }
+                let total: u32 = nodes[nid].counts.iter().sum();
+                let node_impurity = p.criterion.impurity(&nodes[nid].counts, total);
+                let accept = nodes[nid]
+                    .best
+                    .as_ref()
+                    .is_some_and(|b| node_impurity - b.score > p.min_impurity_decrease);
+                if !accept {
+                    nodes[nid].active = false;
+                    continue;
+                }
+                let best = nodes[nid].best.take().expect("accepted split");
+                let depth = nodes[nid].depth;
+                let left_id = nodes.len();
+                for _ in 0..2 {
+                    nodes.push(WorkNode {
+                        counts: vec![0; k],
+                        depth: depth + 1,
+                        active: true,
+                        best: None,
+                        children: None,
+                        split: None,
+                    });
+                }
+                nodes[nid].children = Some((left_id, left_id + 1));
+                nodes[nid].split = Some(best);
+                nodes[nid].active = false;
+            }
+            for (row, slot) in node_of_row.iter_mut().enumerate() {
+                let nid = *slot as usize;
+                if let (Some((l, r)), Some(split)) =
+                    (nodes[nid].children, nodes[nid].split.as_ref())
+                {
+                    let child = if d.value(row, split.attr) <= split.left_value { l } else { r };
+                    *slot = child as u32;
+                    nodes[child].counts[d.label(row).index()] += 1;
+                }
+            }
+        }
+
+        DecisionTree {
+            root: materialize(&nodes, 0, p.threshold_policy),
+            num_classes: k,
+            criterion: p.criterion,
+        }
+    }
+}
+
+/// Scores one candidate boundary against the node's running best,
+/// replicating `best_split_sorted`'s candidate filter and strict
+/// first-wins tie-breaking (boundaries arrive in order; attributes in
+/// order).
+#[allow(clippy::too_many_arguments)]
+fn score_boundary(
+    pending: &Pending,
+    right_group_mono: Option<ClassId>,
+    node_counts: &[u32],
+    total: u32,
+    p: &TreeParams,
+    attr: AttrId,
+    best: &mut Option<BestSplit>,
+) {
+    let inside_run = match p.candidate_policy {
+        CandidatePolicy::AllBoundaries => false,
+        CandidatePolicy::RunBoundaries => {
+            matches!((pending.left_group_mono, right_group_mono), (Some(a), Some(b)) if a == b)
+        }
+    };
+    let left_n = pending.left_n;
+    let right_n = total - left_n;
+    if inside_run || left_n < p.min_samples_leaf || right_n < p.min_samples_leaf {
+        return;
+    }
+    let right: Vec<u32> = node_counts
+        .iter()
+        .zip(&pending.left)
+        .map(|(&t, &l)| t - l)
+        .collect();
+    let score = (f64::from(left_n) * p.criterion.impurity(&pending.left, left_n)
+        + f64::from(right_n) * p.criterion.impurity(&right, right_n))
+        / f64::from(total);
+    if best.as_ref().is_none_or(|b| score < b.score) {
+        *best = Some(BestSplit {
+            attr,
+            score,
+            left_value: pending.left_value,
+            right_value: pending.right_value,
+        });
+    }
+}
+
+fn materialize(nodes: &[WorkNode], id: usize, policy: ThresholdPolicy) -> Node {
+    let node = &nodes[id];
+    match (&node.children, &node.split) {
+        (Some((l, r)), Some(split)) => {
+            let threshold = match policy {
+                ThresholdPolicy::DataValue => split.left_value,
+                ThresholdPolicy::Midpoint => 0.5 * (split.left_value + split.right_value),
+            };
+            Node::Split {
+                attr: split.attr,
+                threshold,
+                class_counts: node.counts.clone(),
+                left: Box::new(materialize(nodes, *l, policy)),
+                right: Box::new(materialize(nodes, *r, policy)),
+            }
+        }
+        _ => {
+            let mut bestc = 0usize;
+            for (i, &c) in node.counts.iter().enumerate() {
+                if c > node.counts[bestc] {
+                    bestc = i;
+                }
+            }
+            Node::Leaf { label: ClassId(bestc as u16), class_counts: node.counts.clone() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeParams;
+    use crate::compare::{tree_diff, trees_equal};
+    use crate::split::SplitCriterion;
+    use ppdt_data::gen::{census_like, figure1, random_dataset, RandomDatasetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_recursive_builder_on_figure1() {
+        let d = figure1();
+        let b = TreeBuilder::default();
+        assert!(trees_equal(&b.fit(&d), &b.fit_presorted(&d)));
+    }
+
+    #[test]
+    fn matches_recursive_builder_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..30 {
+            let cfg = RandomDatasetConfig {
+                num_rows: 50 + trial * 7,
+                num_attrs: 1 + trial % 4,
+                num_classes: 2 + trial % 3,
+                value_range: 3 + (trial as u64 * 5) % 40,
+            };
+            let d = random_dataset(&mut rng, &cfg);
+            for criterion in [SplitCriterion::Gini, SplitCriterion::Entropy] {
+                for policy in [ThresholdPolicy::DataValue, ThresholdPolicy::Midpoint] {
+                    let params = TreeParams {
+                        criterion,
+                        threshold_policy: policy,
+                        min_samples_leaf: 1 + (trial as u32) % 3,
+                        ..Default::default()
+                    };
+                    let b = TreeBuilder::new(params);
+                    let slow = b.fit(&d);
+                    let fast = b.fit_presorted(&d);
+                    assert!(
+                        trees_equal(&slow, &fast),
+                        "trial {trial} {criterion:?} {policy:?}: {:?}",
+                        tree_diff(&slow, &fast, 0.0)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_recursive_builder_with_stopping_rules() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = census_like(&mut rng, 1_200);
+        for params in [
+            TreeParams { max_depth: 3, ..Default::default() },
+            TreeParams { min_samples_split: 50, ..Default::default() },
+            TreeParams { min_impurity_decrease: 0.05, ..Default::default() },
+            TreeParams { min_samples_leaf: 25, ..Default::default() },
+        ] {
+            let b = TreeBuilder::new(params);
+            let slow = b.fit(&d);
+            let fast = b.fit_presorted(&d);
+            assert!(
+                trees_equal(&slow, &fast),
+                "{params:?}: {:?}",
+                tree_diff(&slow, &fast, 0.0)
+            );
+        }
+    }
+
+    #[test]
+    fn single_class_dataset_is_one_leaf() {
+        let mut b = ppdt_data::DatasetBuilder::new(ppdt_data::Schema::generated(1, 2));
+        for v in 0..10 {
+            b.push_row(&[v as f64], ClassId(0));
+        }
+        let d = b.build();
+        let t = TreeBuilder::default().fit_presorted(&d);
+        assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_rejected() {
+        let d = ppdt_data::Dataset::from_columns(
+            ppdt_data::Schema::generated(1, 2),
+            vec![vec![]],
+            vec![],
+        );
+        let _ = TreeBuilder::default().fit_presorted(&d);
+    }
+}

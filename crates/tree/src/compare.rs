@@ -1,0 +1,125 @@
+//! Tree equality — the check behind every no-outcome-change claim.
+
+use crate::tree::{DecisionTree, Node};
+
+/// Exact equality: identical structure, split attributes, bitwise
+/// thresholds, leaf labels and class histograms.
+pub fn trees_equal(a: &DecisionTree, b: &DecisionTree) -> bool {
+    tree_diff(a, b, 0.0).is_none()
+}
+
+/// Equality up to a threshold tolerance: like [`trees_equal`] but split
+/// thresholds may differ by at most `eps` (useful when the inverse
+/// transformation is analytic and therefore carries floating-point
+/// rounding).
+pub fn trees_equal_eps(a: &DecisionTree, b: &DecisionTree, eps: f64) -> bool {
+    tree_diff(a, b, eps).is_none()
+}
+
+/// Returns a human-readable description of the first structural
+/// difference between the trees, or `None` when they are equal (with
+/// thresholds compared up to `eps`).
+pub fn tree_diff(a: &DecisionTree, b: &DecisionTree, eps: f64) -> Option<String> {
+    if a.num_classes != b.num_classes {
+        return Some(format!(
+            "class counts differ: {} vs {}",
+            a.num_classes, b.num_classes
+        ));
+    }
+    diff_nodes(&a.root, &b.root, eps, "root")
+}
+
+fn diff_nodes(a: &Node, b: &Node, eps: f64, at: &str) -> Option<String> {
+    match (a, b) {
+        (
+            Node::Leaf { label: la, class_counts: ca },
+            Node::Leaf { label: lb, class_counts: cb },
+        ) => {
+            if la != lb {
+                Some(format!("{at}: leaf labels {la} vs {lb}"))
+            } else if ca != cb {
+                Some(format!("{at}: leaf histograms {ca:?} vs {cb:?}"))
+            } else {
+                None
+            }
+        }
+        (
+            Node::Split { attr: aa, threshold: ta, left: lla, right: rra, class_counts: ca },
+            Node::Split { attr: ab, threshold: tb, left: llb, right: rrb, class_counts: cb },
+        ) => {
+            if aa != ab {
+                return Some(format!("{at}: split attrs {aa} vs {ab}"));
+            }
+            let close = if eps == 0.0 {
+                ta.to_bits() == tb.to_bits()
+            } else {
+                (ta - tb).abs() <= eps
+            };
+            if !close {
+                return Some(format!("{at}: thresholds {ta} vs {tb}"));
+            }
+            if ca != cb {
+                return Some(format!("{at}: node histograms {ca:?} vs {cb:?}"));
+            }
+            diff_nodes(lla, llb, eps, &format!("{at}.L"))
+                .or_else(|| diff_nodes(rra, rrb, eps, &format!("{at}.R")))
+        }
+        (Node::Leaf { .. }, Node::Split { .. }) => {
+            Some(format!("{at}: leaf vs split"))
+        }
+        (Node::Split { .. }, Node::Leaf { .. }) => {
+            Some(format!("{at}: split vs leaf"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use ppdt_data::gen::figure1;
+
+    #[test]
+    fn identical_trees_equal() {
+        let d = figure1();
+        let t = TreeBuilder::default().fit(&d);
+        assert!(trees_equal(&t, &t.clone()));
+        assert!(tree_diff(&t, &t, 0.0).is_none());
+    }
+
+    #[test]
+    fn threshold_perturbation_detected() {
+        let d = figure1();
+        let t = TreeBuilder::default().fit(&d);
+        let t2 = t.map_thresholds(|_, v| v + 1e-6);
+        assert!(!trees_equal(&t, &t2));
+        assert!(trees_equal_eps(&t, &t2, 1e-5));
+        assert!(!trees_equal_eps(&t, &t2, 1e-7));
+        let d = tree_diff(&t, &t2, 0.0).unwrap();
+        assert!(d.contains("thresholds"), "{d}");
+    }
+
+    #[test]
+    fn structural_difference_detected() {
+        let d = figure1();
+        let t = TreeBuilder::default().fit(&d);
+        let stump = TreeBuilder::new(crate::builder::TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        })
+        .fit(&d);
+        let diff = tree_diff(&t, &stump, 0.0).unwrap();
+        assert!(diff.contains("split vs leaf") || diff.contains("leaf vs split"));
+    }
+
+    #[test]
+    fn exact_comparison_is_bitwise() {
+        let d = figure1();
+        let t = TreeBuilder::default().fit(&d);
+        // -0.0 vs 0.0 thresholds are different bit patterns.
+        let ta = t.map_thresholds(|_, _| 0.0);
+        let tb = t.map_thresholds(|_, _| -0.0);
+        assert!(!trees_equal(&ta, &tb));
+        assert!(trees_equal_eps(&ta, &tb, 1e-12));
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz DOT export for decision trees — the custodian's "look at
+//! what came back from the miner" tool. The encoded tree `T'` and the
+//! decoded tree `S` render side by side nicely.
+
+use std::fmt::Write as _;
+
+use ppdt_data::Schema;
+
+use crate::tree::{DecisionTree, Node};
+
+/// Renders the tree as a Graphviz `digraph`.
+///
+/// Pass the schema to label nodes with attribute/class names; without
+/// it, `A0`/`c0` style identifiers are used. Thresholds are printed
+/// with up to 4 significant decimals (full precision is available via
+/// the serde representation).
+pub fn to_dot(tree: &DecisionTree, schema: Option<&Schema>) -> String {
+    let mut out = String::from("digraph decision_tree {\n");
+    out.push_str("  node [shape=box, fontname=\"Helvetica\"];\n");
+    let mut next_id = 0usize;
+    emit(&tree.root, schema, &mut next_id, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Emits `node` and its subtree; returns the node's DOT id.
+fn emit(node: &Node, schema: Option<&Schema>, next_id: &mut usize, out: &mut String) -> usize {
+    let id = *next_id;
+    *next_id += 1;
+    match node {
+        Node::Leaf { label, class_counts } => {
+            let name = schema
+                .map(|s| s.class_name(*label).to_string())
+                .unwrap_or_else(|| label.to_string());
+            let _ = writeln!(
+                out,
+                "  n{id} [label=\"{name}\\n{class_counts:?}\", style=filled, fillcolor=lightgrey];"
+            );
+        }
+        Node::Split { attr, threshold, left, right, .. } => {
+            let name = schema
+                .map(|s| s.attr_name(*attr).to_string())
+                .unwrap_or_else(|| attr.to_string());
+            let _ = writeln!(out, "  n{id} [label=\"{name} <= {threshold:.4}\"];");
+            let l = emit(left, schema, next_id, out);
+            let r = emit(right, schema, next_id, out);
+            let _ = writeln!(out, "  n{id} -> n{l} [label=\"yes\"];");
+            let _ = writeln!(out, "  n{id} -> n{r} [label=\"no\"];");
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use ppdt_data::gen::figure1;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let d = figure1();
+        let t = TreeBuilder::default().fit(&d);
+        let dot = to_dot(&t, Some(d.schema()));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        // One DOT node per tree node, one edge per child link.
+        let nodes = dot.matches("\\n").count() + dot.matches(" <= ").count();
+        assert_eq!(nodes, t.num_nodes());
+        let edges = dot.matches(" -> ").count();
+        assert_eq!(edges, t.num_nodes() - 1);
+        assert!(dot.contains("salary <= "));
+        assert!(dot.contains("High"));
+    }
+
+    #[test]
+    fn dot_without_schema_uses_ids() {
+        let d = figure1();
+        let t = TreeBuilder::default().fit(&d);
+        let dot = to_dot(&t, None);
+        assert!(dot.contains("A1 <= ") || dot.contains("A0 <= "));
+        assert!(dot.contains("c0"));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let d = figure1();
+        let t = TreeBuilder::new(crate::builder::TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        })
+        .fit(&d);
+        let dot = to_dot(&t, Some(d.schema()));
+        assert_eq!(dot.matches(" -> ").count(), 0);
+        assert!(dot.contains("High"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Model evaluation utilities: train/test splits, confusion matrices,
+//! k-fold cross-validation.
+//!
+//! These exist so the experiment harness (and downstream users) can
+//! quantify *outcome change* — e.g. how much accuracy the perturbation
+//! baseline loses — with standard methodology. Note they are not
+//! needed for the no-outcome-change guarantee itself, which is exact.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use ppdt_data::{AttrId, ClassId, Dataset};
+
+use crate::builder::TreeBuilder;
+use crate::tree::DecisionTree;
+
+/// A confusion matrix over `k` classes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    /// `counts[actual][predicted]`.
+    counts: Vec<Vec<u32>>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix for `k` classes.
+    pub fn new(k: usize) -> Self {
+        ConfusionMatrix { k, counts: vec![vec![0; k]; k] }
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, actual: ClassId, predicted: ClassId) {
+        self.counts[actual.index()][predicted.index()] += 1;
+    }
+
+    /// `counts[actual][predicted]`.
+    pub fn count(&self, actual: ClassId, predicted: ClassId) -> u32 {
+        self.counts[actual.index()][predicted.index()]
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (1.0 on an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let hits: u32 = (0..self.k).map(|i| self.counts[i][i]).sum();
+        f64::from(hits) / f64::from(total)
+    }
+
+    /// Recall of one class (1.0 when the class never occurs).
+    pub fn recall(&self, class: ClassId) -> f64 {
+        let row: u32 = self.counts[class.index()].iter().sum();
+        if row == 0 {
+            return 1.0;
+        }
+        f64::from(self.counts[class.index()][class.index()]) / f64::from(row)
+    }
+
+    /// Precision of one class (1.0 when the class is never predicted).
+    pub fn precision(&self, class: ClassId) -> f64 {
+        let col: u32 = (0..self.k).map(|i| self.counts[i][class.index()]).sum();
+        if col == 0 {
+            return 1.0;
+        }
+        f64::from(self.counts[class.index()][class.index()]) / f64::from(col)
+    }
+}
+
+/// Evaluates a tree on a dataset, producing the confusion matrix.
+pub fn evaluate(tree: &DecisionTree, d: &Dataset) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::new(d.num_classes());
+    let mut values = vec![0.0; d.num_attrs()];
+    for row in 0..d.num_rows() {
+        for (a, v) in values.iter_mut().enumerate() {
+            *v = d.value(row, AttrId(a));
+        }
+        cm.record(d.label(row), tree.predict(&values));
+    }
+    cm
+}
+
+/// Splits a dataset's rows into a train/test pair by shuffling row
+/// indices (`test_fraction` of the rows go to the test set, at least
+/// one row on each side for non-degenerate inputs).
+///
+/// # Panics
+/// Panics if `test_fraction` is outside `(0, 1)` or the dataset has
+/// fewer than 2 rows.
+pub fn train_test_split<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    test_fraction: f64,
+) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    assert!(d.num_rows() >= 2, "need at least two rows to split");
+    let mut order: Vec<u32> = (0..d.num_rows() as u32).collect();
+    order.shuffle(rng);
+    let n_test = ((d.num_rows() as f64 * test_fraction).round() as usize)
+        .clamp(1, d.num_rows() - 1);
+    let (test_rows, train_rows) = order.split_at(n_test);
+    (subset(d, train_rows), subset(d, test_rows))
+}
+
+/// Materializes a row subset of a dataset.
+pub fn subset(d: &Dataset, rows: &[u32]) -> Dataset {
+    let columns: Vec<Vec<f64>> = (0..d.num_attrs())
+        .map(|a| rows.iter().map(|&r| d.value(r as usize, AttrId(a))).collect())
+        .collect();
+    let labels: Vec<ClassId> = rows.iter().map(|&r| d.label(r as usize)).collect();
+    Dataset::from_columns(d.schema().clone(), columns, labels)
+}
+
+/// K-fold cross-validated accuracy of a tree builder.
+///
+/// # Panics
+/// Panics if `folds < 2` or the dataset has fewer rows than folds.
+pub fn cross_validate<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    builder: &TreeBuilder,
+    folds: usize,
+) -> Vec<f64> {
+    assert!(folds >= 2, "need at least two folds");
+    assert!(d.num_rows() >= folds, "need at least one row per fold");
+    let mut order: Vec<u32> = (0..d.num_rows() as u32).collect();
+    order.shuffle(rng);
+
+    let mut accuracies = Vec::with_capacity(folds);
+    let fold_size = d.num_rows().div_ceil(folds);
+    for f in 0..folds {
+        let lo = f * fold_size;
+        let hi = ((f + 1) * fold_size).min(d.num_rows());
+        if lo >= hi {
+            break;
+        }
+        let test_rows = &order[lo..hi];
+        let train_rows: Vec<u32> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+        let train = subset(d, &train_rows);
+        let test = subset(d, test_rows);
+        let tree = builder.fit(&train);
+        accuracies.push(evaluate(&tree, &test).accuracy());
+    }
+    accuracies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeParams;
+    use ppdt_data::gen::figure1;
+    use ppdt_data::{DatasetBuilder, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::generated(1, 2));
+        for i in 0..n {
+            b.push_row(&[i as f64], ClassId(u16::from(i >= n / 2)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn confusion_matrix_accounting() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(ClassId(0), ClassId(0));
+        cm.record(ClassId(0), ClassId(1));
+        cm.record(ClassId(1), ClassId(1));
+        cm.record(ClassId(1), ClassId(1));
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.accuracy(), 0.75);
+        assert_eq!(cm.recall(ClassId(0)), 0.5);
+        assert_eq!(cm.precision(ClassId(1)), 2.0 / 3.0);
+        assert_eq!(cm.precision(ClassId(0)), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_conventions() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.recall(ClassId(2)), 1.0);
+        assert_eq!(cm.precision(ClassId(1)), 1.0);
+    }
+
+    #[test]
+    fn evaluate_on_training_data_is_perfect_for_separable() {
+        let d = separable(40);
+        let t = TreeBuilder::default().fit(&d);
+        let cm = evaluate(&t, &d);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.total(), 40);
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = separable(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = train_test_split(&mut rng, &d, 0.3);
+        assert_eq!(train.num_rows(), 70);
+        assert_eq!(test.num_rows(), 30);
+        assert_eq!(train.schema(), d.schema());
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_high() {
+        let d = separable(200);
+        let mut rng = StdRng::seed_from_u64(2);
+        let builder = TreeBuilder::new(TreeParams { min_samples_leaf: 2, ..Default::default() });
+        let accs = cross_validate(&mut rng, &d, &builder, 5);
+        assert_eq!(accs.len(), 5);
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!(mean > 0.9, "mean accuracy {mean}");
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = figure1();
+        let s = subset(&d, &[5, 0]);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.value(0, AttrId(0)), 68.0);
+        assert_eq!(s.value(1, AttrId(0)), 17.0);
+        assert_eq!(s.label(0), d.label(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_rejected() {
+        let d = separable(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = train_test_split(&mut rng, &d, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn bad_folds_rejected() {
+        let d = separable(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = cross_validate(&mut rng, &d, &TreeBuilder::default(), 1);
+    }
+}

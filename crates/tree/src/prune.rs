@@ -1,0 +1,280 @@
+//! C4.5-style pessimistic error pruning.
+//!
+//! A subtree is replaced by a leaf when the leaf's pessimistic error
+//! estimate does not exceed the sum of its children's. The estimate is
+//! the upper confidence bound of the binomial error rate at confidence
+//! factor `cf` (C4.5 defaults to 0.25), computed with the Wilson score
+//! interval.
+//!
+//! The estimate is a pure function of the node's class histogram, so
+//! pruning decisions on the transformed data `D'` coincide with those
+//! on the original data `D` — the no-outcome-change guarantee extends
+//! to pruned trees, which the integration tests exercise.
+
+use crate::tree::{DecisionTree, Node};
+
+/// Prunes `tree` with pessimistic error pruning at confidence factor
+/// `cf` in `(0, 0.5]` (C4.5 uses 0.25; smaller prunes more).
+///
+/// ```
+/// use ppdt_data::gen::figure1;
+/// use ppdt_tree::{prune_pessimistic, TreeBuilder};
+///
+/// let d = figure1();
+/// let tree = TreeBuilder::default().fit(&d);
+/// let pruned = prune_pessimistic(&tree, 0.25);
+/// assert!(pruned.num_nodes() <= tree.num_nodes());
+/// ```
+///
+/// # Panics
+/// Panics if `cf` is outside `(0, 0.5]`.
+pub fn prune_pessimistic(tree: &DecisionTree, cf: f64) -> DecisionTree {
+    assert!(cf > 0.0 && cf <= 0.5, "confidence factor must be in (0, 0.5]");
+    let z = z_for_upper_tail(cf);
+    DecisionTree {
+        root: prune_node(&tree.root, z),
+        num_classes: tree.num_classes,
+        criterion: tree.criterion,
+    }
+}
+
+fn prune_node(node: &Node, z: f64) -> Node {
+    match node {
+        Node::Leaf { .. } => node.clone(),
+        Node::Split { attr, threshold, class_counts, left, right } => {
+            let left = prune_node(left, z);
+            let right = prune_node(right, z);
+
+            let leaf_err = pessimistic_errors(class_counts, z);
+            let subtree_err = subtree_errors(&left, z) + subtree_errors(&right, z);
+
+            if leaf_err <= subtree_err + 0.1 {
+                // Collapse: the node as a leaf is (pessimistically) at
+                // least as good. The 0.1 slack mirrors C4.5's bias
+                // towards smaller trees.
+                let mut best = 0usize;
+                for (i, &c) in class_counts.iter().enumerate() {
+                    if c > class_counts[best] {
+                        best = i;
+                    }
+                }
+                Node::Leaf {
+                    label: ppdt_data::ClassId(best as u16),
+                    class_counts: class_counts.clone(),
+                }
+            } else {
+                Node::Split {
+                    attr: *attr,
+                    threshold: *threshold,
+                    class_counts: class_counts.clone(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+        }
+    }
+}
+
+/// Sum of pessimistic error counts over the leaves of `node`.
+fn subtree_errors(node: &Node, z: f64) -> f64 {
+    match node {
+        Node::Leaf { class_counts, .. } => pessimistic_errors(class_counts, z),
+        Node::Split { left, right, .. } => subtree_errors(left, z) + subtree_errors(right, z),
+    }
+}
+
+/// Pessimistic error *count* of a histogram treated as a leaf:
+/// observed errors plus C4.5's `addErrs` upper-confidence correction
+/// (the formula used by Quinlan's C4.5 and Weka's J48).
+fn pessimistic_errors(class_counts: &[u32], z: f64) -> f64 {
+    let n: u32 = class_counts.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let max = class_counts.iter().copied().max().unwrap_or(0);
+    let e = f64::from(n - max); // misclassified at this leaf
+    e + add_errs(f64::from(n), e, z)
+}
+
+/// C4.5's `addErrs(N, e)` at the z corresponding to the confidence
+/// factor: the extra errors granted by the upper confidence bound.
+fn add_errs(n: f64, e: f64, z: f64) -> f64 {
+    // cf is recovered from z only for the e < 1 exact-binomial branch.
+    let cf = 1.0 - normal_cdf(z);
+    if e < 1.0 {
+        // Exact binomial for zero observed errors; linear interpolation
+        // towards the e = 1 case for fractional e (cannot occur here,
+        // but kept for fidelity to the reference implementation).
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e == 0.0 {
+            return base;
+        }
+        return base + e * (add_errs(n, 1.0, z) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let f = (e + 0.5) / n;
+    let z2 = z * z;
+    let r = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt())
+        / (1.0 + z2 / n);
+    r * n - e
+}
+
+/// Standard normal CDF via `erf` (Abramowitz–Stegun 7.1.26 rational
+/// approximation; absolute error < 1.5e-7).
+fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The standard normal upper-tail quantile `z` with `P(Z > z) = cf`,
+/// via the Acklam rational approximation of the inverse normal CDF
+/// (absolute error < 1.2e-9 — far below what pruning can notice).
+fn z_for_upper_tail(cf: f64) -> f64 {
+    inverse_normal_cdf(1.0 - cf)
+}
+
+/// Inverse of the standard normal CDF (Acklam's algorithm).
+fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability out of range");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{TreeBuilder, TreeParams};
+    use ppdt_data::{ClassId, DatasetBuilder, Schema};
+
+    #[test]
+    fn inverse_normal_cdf_known_values() {
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((inverse_normal_cdf(0.75) - 0.674_489_75).abs() < 1e-6);
+        assert!((inverse_normal_cdf(0.01) + 2.326_347_87).abs() < 1e-6);
+        assert!((inverse_normal_cdf(0.001) + 3.090_232_31).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pessimistic_errors_increase_with_confidence() {
+        let counts = vec![8u32, 2u32];
+        let loose = pessimistic_errors(&counts, z_for_upper_tail(0.4));
+        let tight = pessimistic_errors(&counts, z_for_upper_tail(0.05));
+        assert!(tight > loose, "{tight} vs {loose}");
+        assert!(loose >= 2.0, "upper bound never below observed errors");
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // A dominant class with a sprinkle of noise: the unpruned tree
+        // chases the noise; pruning should shrink it.
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        for v in 0..60 {
+            let c = if v % 17 == 3 { 1 } else { 0 };
+            b.push_row(&[v as f64], ClassId(c));
+        }
+        let d = b.build();
+        let t = TreeBuilder::default().fit(&d);
+        assert!(t.num_nodes() > 1);
+        let p = prune_pessimistic(&t, 0.25);
+        assert!(p.num_nodes() < t.num_nodes(), "{} -> {}", t.num_nodes(), p.num_nodes());
+    }
+
+    #[test]
+    fn pruning_keeps_strong_splits() {
+        // A clean separation must survive pruning.
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        for v in 0..30 {
+            b.push_row(&[v as f64], ClassId(u16::from(v >= 15)));
+        }
+        let d = b.build();
+        let t = TreeBuilder::default().fit(&d);
+        let p = prune_pessimistic(&t, 0.25);
+        assert!(p.num_nodes() >= 3, "clean split must not be pruned");
+        assert_eq!(p.accuracy(&d), 1.0);
+    }
+
+    #[test]
+    fn pruned_tree_is_idempotent() {
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        for v in 0..60 {
+            let c = if v % 11 == 5 { 1 } else { 0 };
+            b.push_row(&[v as f64], ClassId(c));
+        }
+        let d = b.build();
+        let t = TreeBuilder::new(TreeParams::default()).fit(&d);
+        let p1 = prune_pessimistic(&t, 0.25);
+        let p2 = prune_pessimistic(&p1, 0.25);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence factor")]
+    fn cf_validated() {
+        let schema = Schema::generated(1, 2);
+        let mut b = DatasetBuilder::new(schema);
+        b.push_row(&[1.0], ClassId(0));
+        b.push_row(&[2.0], ClassId(1));
+        let t = TreeBuilder::default().fit(&b.build());
+        let _ = prune_pessimistic(&t, 0.9);
+    }
+}

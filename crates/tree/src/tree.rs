@@ -1,0 +1,383 @@
+//! The decision-tree structure: nodes, prediction, paths, traversal.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ppdt_data::{AttrId, ClassId, Dataset};
+
+use crate::split::SplitCriterion;
+
+/// A decision-tree node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A leaf predicting `label`.
+    Leaf {
+        /// Majority class at the leaf.
+        label: ClassId,
+        /// Class histogram of the training tuples reaching the leaf.
+        class_counts: Vec<u32>,
+    },
+    /// An internal binary split: tuples with `attr ≤ threshold` go
+    /// left, the rest go right.
+    Split {
+        /// Split attribute.
+        attr: AttrId,
+        /// Split threshold (a data value under
+        /// [`crate::ThresholdPolicy::DataValue`], a midpoint under
+        /// [`crate::ThresholdPolicy::Midpoint`]).
+        threshold: f64,
+        /// Class histogram of the training tuples reaching this node.
+        class_counts: Vec<u32>,
+        /// Left subtree (`attr ≤ threshold`).
+        left: Box<Node>,
+        /// Right subtree (`attr > threshold`).
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Class histogram of the training tuples reaching this node.
+    pub fn class_counts(&self) -> &[u32] {
+        match self {
+            Node::Leaf { class_counts, .. } | Node::Split { class_counts, .. } => class_counts,
+        }
+    }
+
+    /// Number of training tuples reaching this node.
+    pub fn count(&self) -> u32 {
+        self.class_counts().iter().sum()
+    }
+
+    /// Majority class of the tuples reaching this node (ties broken
+    /// towards the lower class id, deterministically).
+    pub fn majority(&self) -> ClassId {
+        let counts = self.class_counts();
+        let mut best = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = i;
+            }
+        }
+        ClassId(best as u16)
+    }
+}
+
+/// A trained decision tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    /// Root node.
+    pub root: Node,
+    /// Number of classes the tree distinguishes.
+    pub num_classes: usize,
+    /// The criterion the tree was trained with.
+    pub criterion: SplitCriterion,
+}
+
+impl DecisionTree {
+    /// Predicts the class of a tuple given by its attribute values.
+    ///
+    /// # Panics
+    /// Panics if `values` is shorter than the largest attribute index
+    /// used by the tree.
+    pub fn predict(&self, values: &[f64]) -> ClassId {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => return *label,
+                Node::Split { attr, threshold, left, right, .. } => {
+                    node = if values[attr.index()] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Fraction of tuples of `d` the tree classifies correctly.
+    pub fn accuracy(&self, d: &Dataset) -> f64 {
+        if d.num_rows() == 0 {
+            return 1.0;
+        }
+        let mut values = vec![0.0; d.num_attrs()];
+        let mut hits = 0usize;
+        for row in 0..d.num_rows() {
+            for (a, v) in values.iter_mut().enumerate() {
+                *v = d.value(row, AttrId(a));
+            }
+            if self.predict(&values) == d.label(row) {
+                hits += 1;
+            }
+        }
+        hits as f64 / d.num_rows() as f64
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => rec(left) + rec(right),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Number of nodes (internal + leaves).
+    pub fn num_nodes(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + rec(left) + rec(right),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Depth of the tree (a lone leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(left).max(rec(right)),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// All root-to-leaf paths. A path of length `h` is the conjunction
+    /// `∧ A_i θ_i v_i` of Definition 3 — the unit of output privacy.
+    pub fn paths(&self) -> Vec<TreePath> {
+        let mut out = Vec::new();
+        let mut conds = Vec::new();
+        fn rec(n: &Node, conds: &mut Vec<PathCondition>, out: &mut Vec<TreePath>) {
+            match n {
+                Node::Leaf { label, class_counts } => out.push(TreePath {
+                    conditions: conds.clone(),
+                    label: *label,
+                    count: class_counts.iter().sum(),
+                }),
+                Node::Split { attr, threshold, left, right, .. } => {
+                    conds.push(PathCondition { attr: *attr, op: PathOp::Le, threshold: *threshold });
+                    rec(left, conds, out);
+                    conds.pop();
+                    conds.push(PathCondition { attr: *attr, op: PathOp::Gt, threshold: *threshold });
+                    rec(right, conds, out);
+                    conds.pop();
+                }
+            }
+        }
+        rec(&self.root, &mut conds, &mut out);
+        out
+    }
+
+    /// Applies `f(attr, threshold)` to every split threshold, returning
+    /// the rewritten tree. This is the workhorse of [`crate::decode`].
+    pub fn map_thresholds(&self, mut f: impl FnMut(AttrId, f64) -> f64) -> DecisionTree {
+        fn rec(n: &Node, f: &mut impl FnMut(AttrId, f64) -> f64) -> Node {
+            match n {
+                Node::Leaf { .. } => n.clone(),
+                Node::Split { attr, threshold, class_counts, left, right } => Node::Split {
+                    attr: *attr,
+                    threshold: f(*attr, *threshold),
+                    class_counts: class_counts.clone(),
+                    left: Box::new(rec(left, f)),
+                    right: Box::new(rec(right, f)),
+                },
+            }
+        }
+        DecisionTree {
+            root: rec(&self.root, &mut f),
+            num_classes: self.num_classes,
+            criterion: self.criterion,
+        }
+    }
+
+    /// Renders the tree as indented ASCII, one node per line.
+    pub fn render(&self, schema: Option<&ppdt_data::Schema>) -> String {
+        let mut s = String::new();
+        fn rec(
+            n: &Node,
+            depth: usize,
+            schema: Option<&ppdt_data::Schema>,
+            s: &mut String,
+        ) {
+            let pad = "  ".repeat(depth);
+            match n {
+                Node::Leaf { label, class_counts } => {
+                    let name = schema
+                        .map(|sc| sc.class_name(*label).to_string())
+                        .unwrap_or_else(|| label.to_string());
+                    s.push_str(&format!("{pad}-> {name} {class_counts:?}\n"));
+                }
+                Node::Split { attr, threshold, left, right, .. } => {
+                    let name = schema
+                        .map(|sc| sc.attr_name(*attr).to_string())
+                        .unwrap_or_else(|| attr.to_string());
+                    s.push_str(&format!("{pad}{name} <= {threshold}\n"));
+                    rec(left, depth + 1, schema, s);
+                    s.push_str(&format!("{pad}{name} > {threshold}\n"));
+                    rec(right, depth + 1, schema, s);
+                }
+            }
+        }
+        rec(&self.root, 0, schema, &mut s);
+        s
+    }
+}
+
+/// Comparison operator on a path condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathOp {
+    /// `attr ≤ threshold` (left branch).
+    Le,
+    /// `attr > threshold` (right branch).
+    Gt,
+}
+
+/// One conjunct `A θ v` of a root-to-leaf path.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathCondition {
+    /// The attribute tested.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: PathOp,
+    /// The threshold.
+    pub threshold: f64,
+}
+
+/// A root-to-leaf path (Definition 3's unit of output privacy).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreePath {
+    /// The conjunction of conditions from root to leaf.
+    pub conditions: Vec<PathCondition>,
+    /// The leaf's predicted class.
+    pub label: ClassId,
+    /// Training tuples reaching the leaf.
+    pub count: u32,
+}
+
+impl TreePath {
+    /// Path length = number of conditions (edges from the root).
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True for the degenerate single-leaf tree's path.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+}
+
+impl fmt::Display for TreePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            let op = match c.op {
+                PathOp::Le => "<=",
+                PathOp::Gt => ">",
+            };
+            write!(f, "{} {} {}", c.attr, op, c.threshold)?;
+        }
+        write!(f, " => {}", self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(label: u16, counts: Vec<u32>) -> Node {
+        Node::Leaf { label: ClassId(label), class_counts: counts }
+    }
+
+    fn sample_tree() -> DecisionTree {
+        // attr0 <= 5 ? (attr1 <= 2 ? c0 : c1) : c1
+        DecisionTree {
+            root: Node::Split {
+                attr: AttrId(0),
+                threshold: 5.0,
+                class_counts: vec![3, 3],
+                left: Box::new(Node::Split {
+                    attr: AttrId(1),
+                    threshold: 2.0,
+                    class_counts: vec![3, 1],
+                    left: Box::new(leaf(0, vec![3, 0])),
+                    right: Box::new(leaf(1, vec![0, 1])),
+                }),
+                right: Box::new(leaf(1, vec![0, 2])),
+            },
+            num_classes: 2,
+            criterion: SplitCriterion::Gini,
+        }
+    }
+
+    #[test]
+    fn predict_follows_branches() {
+        let t = sample_tree();
+        assert_eq!(t.predict(&[4.0, 1.0]), ClassId(0));
+        assert_eq!(t.predict(&[4.0, 3.0]), ClassId(1));
+        assert_eq!(t.predict(&[6.0, 0.0]), ClassId(1));
+        // Boundary goes left.
+        assert_eq!(t.predict(&[5.0, 2.0]), ClassId(0));
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = sample_tree();
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn paths_enumerated_in_order() {
+        let t = sample_tree();
+        let ps = t.paths();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].len(), 2);
+        assert_eq!(ps[0].conditions[0].op, PathOp::Le);
+        assert_eq!(ps[0].label, ClassId(0));
+        assert_eq!(ps[2].len(), 1);
+        assert_eq!(ps[2].conditions[0].op, PathOp::Gt);
+        let total: u32 = ps.iter().map(|p| p.count).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn map_thresholds_rewrites_all_splits() {
+        let t = sample_tree();
+        let t2 = t.map_thresholds(|_, v| v * 10.0);
+        assert_eq!(t2.predict(&[40.0, 10.0]), ClassId(0));
+        match &t2.root {
+            Node::Split { threshold, .. } => assert_eq!(*threshold, 50.0),
+            _ => panic!("root must be a split"),
+        }
+        // Structure and counts preserved.
+        assert_eq!(t2.num_nodes(), t.num_nodes());
+        assert_eq!(t2.root.class_counts(), t.root.class_counts());
+    }
+
+    #[test]
+    fn majority_breaks_ties_low() {
+        let n = leaf(0, vec![2, 2]);
+        assert_eq!(n.majority(), ClassId(0));
+    }
+
+    #[test]
+    fn render_mentions_thresholds() {
+        let t = sample_tree();
+        let s = t.render(None);
+        assert!(s.contains("A0 <= 5"));
+        assert!(s.contains("-> c1"));
+    }
+
+    #[test]
+    fn display_path() {
+        let t = sample_tree();
+        let ps = t.paths();
+        let s = format!("{}", ps[0]);
+        assert!(s.contains("A0 <= 5"));
+        assert!(s.contains("=> c0"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Attack lab: play the hacker against one transformed attribute and
+//! watch how prior knowledge, fitting method and breakpoint strategy
+//! change what leaks.
+//!
+//! ```sh
+//! cargo run --release --example attack_lab
+//! ```
+
+use ppdt::attack::{combine_cracks, fit_crack, generate_kps, sorting_attack};
+use ppdt::prelude::*;
+use ppdt::risk::{is_crack, rho_for_attr};
+use ppdt::transform::encoder::encode_attribute;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    // A census-like table; we attack the wage attribute.
+    let d = ppdt::data::gen::census_like(&mut rng, 5_000);
+    let attr = AttrId(1);
+    println!(
+        "target: '{}' — {} distinct values",
+        d.schema().attr_name(attr),
+        d.active_domain(attr).len()
+    );
+
+    let rho = rho_for_attr(&d, attr, 0.02);
+    println!("crack radius rho = {rho:.0} (2% of the dynamic range)\n");
+
+    for (label, strategy) in [
+        ("no breakpoints (single monotone fn)", BreakpointStrategy::None),
+        ("ChooseBP w=20", BreakpointStrategy::ChooseBP { w: 20 }),
+        ("ChooseMaxMP w=20", BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 }),
+    ] {
+        println!("--- {label} ---");
+        let config = EncodeConfig { strategy, family: FnFamily::SqrtLog, ..Default::default() };
+        let tr = encode_attribute(&mut rng, &d, attr, &config);
+        let orig = tr.orig_domain.clone();
+        let transformed: Vec<f64> = orig.iter().map(|&x| tr.encode(x)).collect();
+
+        // Hacker toolkit 1: curve fitting with growing prior knowledge.
+        for (who, n_good) in [("ignorant*", 0), ("knowledgeable", 2), ("expert", 4), ("insider", 8)]
+        {
+            let cracked: Vec<Vec<bool>> = FitMethod::ALL
+                .iter()
+                .map(|&method| {
+                    let kps = if n_good == 0 {
+                        // The ignorant hacker anchors the transformed
+                        // extremes to a (wrongly) guessed range.
+                        let width = orig[orig.len() - 1] - orig[0];
+                        vec![
+                            ppdt::attack::KnowledgePoint {
+                                transformed: transformed
+                                    .iter()
+                                    .copied()
+                                    .fold(f64::INFINITY, f64::min),
+                                guessed: orig[0] - 0.3 * width,
+                            },
+                            ppdt::attack::KnowledgePoint {
+                                transformed: transformed
+                                    .iter()
+                                    .copied()
+                                    .fold(f64::NEG_INFINITY, f64::max),
+                                guessed: orig[orig.len() - 1] + 0.2 * width,
+                            },
+                        ]
+                    } else {
+                        generate_kps(
+                            &mut rng,
+                            &transformed,
+                            |y| tr.decode_snapped(y),
+                            rho,
+                            n_good,
+                            0,
+                        )
+                    };
+                    let g = fit_crack(method, &kps);
+                    orig.iter()
+                        .zip(&transformed)
+                        .map(|(&x, &y)| is_crack(g.guess(y), x, rho))
+                        .collect()
+                })
+                .collect();
+            let combo = combine_cracks(&cracked);
+            println!(
+                "  {who:>13}: regression {:>5.1}%  spline {:>5.1}%  polyline {:>5.1}%  | consensus {:>5.1}%",
+                100.0 * combo.method_risk(0),
+                100.0 * combo.method_risk(1),
+                100.0 * combo.method_risk(2),
+                100.0 * combo.consensus_risk,
+            );
+        }
+
+        // Hacker toolkit 2: worst-case sorting attack (true min/max known).
+        let atk = sorting_attack(&transformed, orig[0], orig[orig.len() - 1], 1.0);
+        let cracks = orig
+            .iter()
+            .zip(&transformed)
+            .filter(|&(&x, &y)| is_crack(atk.guess(y), x, rho))
+            .count();
+        println!(
+            "  sorting (worst case): {:>5.1}%",
+            100.0 * cracks as f64 / orig.len() as f64
+        );
+        println!();
+    }
+    println!("* the ignorant hacker has no knowledge points and guesses the range");
+}

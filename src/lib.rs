@@ -1,0 +1,74 @@
+//! # ppdt — Preservation of Patterns and Input–Output Privacy
+//!
+//! A Rust implementation of the ICDE 2007 paper *"Preservation Of
+//! Patterns and Input-Output Privacy"* (Bu, Lakshmanan, Ng, Ramesh):
+//! **piecewise (anti-)monotone data transformations** that let a data
+//! custodian outsource decision-tree mining with
+//!
+//! 1. a **no-outcome-change guarantee** — the tree mined on the
+//!    transformed data decodes *exactly* to the tree mined on the
+//!    original data,
+//! 2. **input privacy** — transformed values resist domain and
+//!    subspace-association attacks, and
+//! 3. **output privacy** — the mined tree's thresholds are encoded,
+//!    so its paths resist reconstruction.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! * [`data`] (`ppdt-data`) — datasets, class strings, monochromatic
+//!   analysis, synthetic generators,
+//! * [`tree`] (`ppdt-tree`) — the decision-tree learner and decoder,
+//! * [`transform`] (`ppdt-transform`) — the piecewise transformation
+//!   framework and the custodian's key,
+//! * [`attack`] (`ppdt-attack`) — curve-fitting / sorting /
+//!   combination attacks,
+//! * [`risk`] (`ppdt-risk`) — disclosure-risk metrics and the trial
+//!   harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppdt::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // The custodian owns a training table D.
+//! let d = ppdt::data::gen::figure1();
+//!
+//! // 1. Encode: every attribute gets its own piecewise transform.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let (key, d_prime) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+//!
+//! // 2. The (untrusted) miner builds a tree on D'.
+//! let t_prime = TreeBuilder::default().fit(&d_prime);
+//!
+//! // 3. The custodian decodes the thresholds with the key...
+//! let s = key.decode_tree(&t_prime, ThresholdPolicy::DataValue, &d);
+//!
+//! // ...and gets *exactly* the tree that mining D directly yields.
+//! let t = TreeBuilder::default().fit(&d);
+//! assert!(trees_equal(&s, &t));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use ppdt_attack as attack;
+pub use ppdt_data as data;
+pub use ppdt_risk as risk;
+pub use ppdt_bayes as bayes;
+pub use ppdt_svm as svm;
+pub use ppdt_transform as transform;
+pub use ppdt_tree as tree;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use ppdt_attack::{FitMethod, HackerProfile};
+    pub use ppdt_data::{AttrId, ClassId, Dataset, DatasetBuilder, Schema};
+    pub use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
+    pub use ppdt_transform::{
+        encode_dataset, BreakpointStrategy, EncodeConfig, FnFamily, TransformKey,
+    };
+    pub use ppdt_tree::{
+        trees_equal, DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams,
+    };
+}

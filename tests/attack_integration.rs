@@ -1,0 +1,128 @@
+//! Integration tests on the attack/risk side: the qualitative claims
+//! of Section 6 must hold on freshly generated data.
+
+use ppdt::attack::SortingMapping;
+use ppdt::data::gen::{covertype_like, CovertypeConfig};
+use ppdt::data::AttrId;
+use ppdt::prelude::*;
+use ppdt::risk::{
+    run_trials, sorting_risk_trial_with, subspace_risk_trial, subspace_risk_trial_with,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn covertype(rows: usize, seed: u64) -> ppdt::data::Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    covertype_like(&mut rng, &CovertypeConfig { num_rows: rows, ..Default::default() })
+}
+
+#[test]
+fn dense_attribute_fully_cracked_by_sorting_worst_case() {
+    // Attribute 2: no discontinuities, no monochromatic values —
+    // Figure 11 reports a 100% worst-case sorting crack.
+    let d = covertype(8_000, 11);
+    let cfg = EncodeConfig::default();
+    let risk = run_trials(9, 1, |rng| {
+        sorting_risk_trial_with(rng, &d, AttrId(1), &cfg, 0.02, 1.0, SortingMapping::Consecutive)
+    });
+    assert!(risk.median > 0.95, "attr 2 sorting risk {:.3}", risk.median);
+}
+
+#[test]
+fn discontinuities_defeat_consecutive_sorting() {
+    // Attribute 4: 847 discontinuities — Figure 11 reports ~4%.
+    let d = covertype(8_000, 12);
+    let cfg = EncodeConfig::default();
+    let risk = run_trials(9, 2, |rng| {
+        sorting_risk_trial_with(rng, &d, AttrId(3), &cfg, 0.02, 1.0, SortingMapping::Consecutive)
+    });
+    assert!(risk.median < 0.25, "attr 4 sorting risk {:.3}", risk.median);
+}
+
+#[test]
+fn proportional_sorting_is_strictly_stronger_on_discontinuous_attrs() {
+    // The extension finding: the proportional rank map self-corrects
+    // for evenly spread discontinuities, so the "safe" attribute 4
+    // collapses under it.
+    let d = covertype(8_000, 13);
+    let cfg = EncodeConfig::default();
+    let cons = run_trials(9, 3, |rng| {
+        sorting_risk_trial_with(rng, &d, AttrId(3), &cfg, 0.02, 1.0, SortingMapping::Consecutive)
+    });
+    let prop = run_trials(9, 3, |rng| {
+        sorting_risk_trial_with(rng, &d, AttrId(3), &cfg, 0.02, 1.0, SortingMapping::Proportional)
+    });
+    assert!(
+        prop.median > cons.median + 0.3,
+        "proportional {:.3} should dwarf consecutive {:.3}",
+        prop.median,
+        cons.median
+    );
+}
+
+#[test]
+fn subspace_association_risk_decreases_with_size() {
+    let d = covertype(6_000, 14);
+    let cfg = EncodeConfig::default();
+    let scenario = DomainScenario::polyline(HackerProfile::Expert);
+    let avg = |ids: &[usize], seed: u64| {
+        let attrs: Vec<AttrId> = ids.iter().map(|&i| AttrId(i)).collect();
+        run_trials(9, seed, |rng| subspace_risk_trial(rng, &d, &attrs, &cfg, &scenario)).median
+    };
+    let single = avg(&[6], 4);
+    let pair = avg(&[6, 9], 5);
+    let triple = avg(&[3, 6, 9], 6);
+    assert!(single >= pair, "{single:.3} vs {pair:.3}");
+    assert!(pair >= triple, "{pair:.3} vs {triple:.3}");
+}
+
+#[test]
+fn association_with_best_attack_still_below_product_bound() {
+    // Section 6.3's observation: risk(A,B) < risk(A) * risk(B) would
+    // hold under independence; in practice association skew drives it
+    // even lower. We check the weaker, reliable direction:
+    // joint risk <= min(risk(A), risk(B)).
+    let d = covertype(6_000, 15);
+    let cfg = EncodeConfig::default();
+    let scenario = DomainScenario::polyline(HackerProfile::Expert);
+    // Medians over *independent* randomized encodes, so allow noise
+    // slack on top of the per-trial inequality.
+    let joint = run_trials(15, 7, |rng| {
+        subspace_risk_trial_with(rng, &d, &[AttrId(1), AttrId(9)], &cfg, &scenario, true, 1.0)
+    })
+    .median;
+    let single2 = run_trials(15, 8, |rng| {
+        subspace_risk_trial_with(rng, &d, &[AttrId(1)], &cfg, &scenario, true, 1.0)
+    })
+    .median;
+    let single10 = run_trials(15, 9, |rng| {
+        subspace_risk_trial_with(rng, &d, &[AttrId(9)], &cfg, &scenario, true, 1.0)
+    })
+    .median;
+    assert!(joint <= single2.min(single10) + 0.08, "{joint:.3} vs {single2:.3}/{single10:.3}");
+}
+
+#[test]
+fn knowledge_is_power_for_the_hacker() {
+    // Monotone relationship between prior knowledge and domain risk,
+    // averaged over attributes.
+    let d = covertype(6_000, 16);
+    let cfg = EncodeConfig::default();
+    let risk_for = |profile: HackerProfile, seed: u64| {
+        let mut total = 0.0;
+        for a in [0usize, 4, 8] {
+            let scenario = DomainScenario::polyline(profile);
+            total += run_trials(9, seed + a as u64, |rng| {
+                ppdt::risk::domain_risk_trial(rng, &d, AttrId(a), &cfg, &scenario)
+            })
+            .median;
+        }
+        total / 3.0
+    };
+    let ignorant = risk_for(HackerProfile::Ignorant, 100);
+    let knowledgeable = risk_for(HackerProfile::Knowledgeable, 200);
+    let insider = risk_for(HackerProfile::Insider, 300);
+    assert!(ignorant < 0.10, "ignorant {ignorant:.3}");
+    assert!(ignorant <= knowledgeable + 0.02);
+    assert!(knowledgeable <= insider + 0.05, "{knowledgeable:.3} vs {insider:.3}");
+}
