@@ -47,10 +47,7 @@ pub fn combine_cracks(cracked: &[Vec<bool>]) -> ComboReport {
     assert!(cracked.len() <= 8, "at most 8 methods supported");
     let k = cracked.len();
     let n = cracked[0].len();
-    assert!(
-        cracked.iter().all(|c| c.len() == n),
-        "all methods must cover the same items"
-    );
+    assert!(cracked.iter().all(|c| c.len() == n), "all methods must cover the same items");
 
     let mut venn = vec![0usize; 1 << k];
     for i in 0..n {
@@ -91,7 +88,7 @@ pub fn combine_cracks(cracked: &[Vec<bool>]) -> ComboReport {
 /// How the hacker resolves disagreeing guesses from multiple crack
 /// models into a single guess per item (the paper's discussion of the
 /// combination attack: "one of the three attacks correctly reveals the
-/// identity of item a, [but] the hacker does not know which").
+/// identity of item a, \[but\] the hacker does not know which").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ResolveStrategy {
     /// Trust a fixed method (index into the methods array).
@@ -223,10 +220,7 @@ mod tests {
     #[test]
     fn resolve_strategies() {
         let guesses = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![100.0, 30.0]];
-        assert_eq!(
-            resolve_guesses(&guesses, ResolveStrategy::Single(1)),
-            vec![3.0, 20.0]
-        );
+        assert_eq!(resolve_guesses(&guesses, ResolveStrategy::Single(1)), vec![3.0, 20.0]);
         let avg = resolve_guesses(&guesses, ResolveStrategy::Average);
         assert!((avg[0] - 104.0 / 3.0).abs() < 1e-12);
         assert!((avg[1] - 20.0).abs() < 1e-12);

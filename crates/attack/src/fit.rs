@@ -100,6 +100,7 @@ impl CrackModel {
 /// `ppdt-risk`).
 pub fn fit_crack(method: FitMethod, kps: &[KnowledgePoint]) -> CrackModel {
     assert!(!kps.is_empty(), "curve fitting needs at least one knowledge point");
+    let _t = ppdt_obs::phase("attack");
     let mut pts: Vec<(f64, f64)> = kps.iter().map(|k| (k.transformed, k.guessed)).collect();
     pts.sort_by(|p, q| p.0.total_cmp(&q.0));
     // Collapse duplicate x.
@@ -113,10 +114,7 @@ pub fn fit_crack(method: FitMethod, kps: &[KnowledgePoint]) -> CrackModel {
             _ => merged.push((x, y, 1)),
         }
     }
-    let pts: Vec<(f64, f64)> = merged
-        .into_iter()
-        .map(|(x, y, n)| (x, y / n as f64))
-        .collect();
+    let pts: Vec<(f64, f64)> = merged.into_iter().map(|(x, y, n)| (x, y / n as f64)).collect();
 
     match method {
         FitMethod::LinearRegression => fit_line(&pts),
@@ -187,9 +185,7 @@ fn eval_polyline(points: &[(f64, f64)], x: f64) -> f64 {
         _ => {
             let n = points.len();
             // Segment index: clamp to the end segments for extrapolation.
-            let i = points
-                .partition_point(|&(px, _)| px <= x)
-                .clamp(1, n - 1);
+            let i = points.partition_point(|&(px, _)| px <= x).clamp(1, n - 1);
             let (x0, y0) = points[i - 1];
             let (x1, y1) = points[i];
             let t = (x - x0) / (x1 - x0);
@@ -215,7 +211,8 @@ fn eval_spline(xs: &[f64], ys: &[f64], m: &[f64], x: f64) -> f64 {
     let h = xs[i] - xs[i - 1];
     let t0 = (xs[i] - x) / h;
     let t1 = (x - xs[i - 1]) / h;
-    m[i - 1] * (t0 * t0 * t0) * h * h / 6.0 + m[i] * (t1 * t1 * t1) * h * h / 6.0
+    m[i - 1] * (t0 * t0 * t0) * h * h / 6.0
+        + m[i] * (t1 * t1 * t1) * h * h / 6.0
         + (ys[i - 1] - m[i - 1] * h * h / 6.0) * t0
         + (ys[i] - m[i] * h * h / 6.0) * t1
 }

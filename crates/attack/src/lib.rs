@@ -35,7 +35,7 @@ pub use combo::{combine_cracks, resolve_guesses, ComboReport, ResolveStrategy};
 pub use fit::{fit_crack, CrackModel, FitMethod};
 pub use kp::{generate_kps, HackerProfile, KnowledgePoint};
 pub use quantile::{quantile_attack, QuantileAttack};
-pub use spectral::{spectral_reconstruct, SpectralReconstruction};
 pub use sorting::{
     sorting_attack, sorting_attack_with, sorting_crack_probability, SortingAttack, SortingMapping,
 };
+pub use spectral::{spectral_reconstruct, SpectralReconstruction};

@@ -147,10 +147,8 @@ pub fn eigen_symmetric(a: &SymMatrix) -> (Vec<f64>, Vec<Vec<f64>>) {
     let evs: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
     order.sort_by(|&a, &b| evs[b].total_cmp(&evs[a]));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| evs[i]).collect();
-    let eigenvectors: Vec<Vec<f64>> = order
-        .iter()
-        .map(|&col| (0..n).map(|row| v[row][col]).collect())
-        .collect();
+    let eigenvectors: Vec<Vec<f64>> =
+        order.iter().map(|&col| (0..n).map(|row| v[row][col]).collect()).collect();
     (eigenvalues, eigenvectors)
 }
 
@@ -186,10 +184,7 @@ mod tests {
     #[test]
     fn eigenvectors_reconstruct_matrix() {
         // A = sum_k lambda_k v_k v_k^T for a random-ish symmetric A.
-        let a = SymMatrix::from_rows(
-            3,
-            vec![4.0, 1.0, -2.0, 1.0, 3.0, 0.5, -2.0, 0.5, 5.0],
-        );
+        let a = SymMatrix::from_rows(3, vec![4.0, 1.0, -2.0, 1.0, 3.0, 0.5, -2.0, 0.5, 5.0]);
         let (vals, vecs) = eigen_symmetric(&a);
         for i in 0..3 {
             for j in 0..3 {

@@ -211,8 +211,7 @@ mod tests {
         let original: Vec<f64> = (0..10).map(|i| (2 * i) as f64).collect();
         let transformed: Vec<f64> = original.iter().map(|x| 5.0 * x + 3.0).collect();
         let cons = sorting_attack(&transformed, 0.0, 18.0, 1.0);
-        let prop =
-            sorting_attack_with(&transformed, 0.0, 18.0, 1.0, SortingMapping::Proportional);
+        let prop = sorting_attack_with(&transformed, 0.0, 18.0, 1.0, SortingMapping::Proportional);
         assert_eq!(cons.guess(transformed[9]), 9.0); // off by 9
         assert_eq!(prop.guess(transformed[9]), 18.0); // exact
         for (&x, &y) in original.iter().zip(&transformed) {

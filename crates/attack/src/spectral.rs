@@ -1,5 +1,5 @@
 //! Spectral reconstruction attack against *additive-noise
-//! perturbation* (Kargupta et al., ICDM 2003 — reference [7] of the
+//! perturbation* (Kargupta et al., ICDM 2003 — reference \[7\] of the
 //! reproduced paper).
 //!
 //! Additive i.i.d. noise inflates every eigenvalue of the data
@@ -53,11 +53,7 @@ pub fn spectral_reconstruct(
     // Keep components whose eigenvalue exceeds twice their noise floor.
     let mut keep: Vec<usize> = Vec::new();
     for (k, v) in eigenvectors.iter().enumerate() {
-        let floor: f64 = v
-            .iter()
-            .zip(noise_variances)
-            .map(|(ui, s2)| ui * ui * s2)
-            .sum();
+        let floor: f64 = v.iter().zip(noise_variances).map(|(ui, s2)| ui * ui * s2).sum();
         if eigenvalues[k] > 2.0 * floor {
             keep.push(k);
         }
@@ -116,9 +112,7 @@ mod tests {
                     .map(|&v| {
                         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                         let u2: f64 = rng.gen();
-                        v + sd
-                            * (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos()
+                        v + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
                     })
                     .collect()
             })
@@ -149,10 +143,7 @@ mod tests {
         let err_rec = rms_error(&rec.columns, &original);
         // The signal is rank-1; filtering should cut the error roughly
         // in half (1 of 4 components kept keeps 1/4 of the noise).
-        assert!(
-            err_rec < 0.7 * err_noisy,
-            "reconstruction {err_rec:.3} vs noisy {err_noisy:.3}"
-        );
+        assert!(err_rec < 0.7 * err_noisy, "reconstruction {err_rec:.3} vs noisy {err_noisy:.3}");
         assert_eq!(rec.components_kept, 1, "rank-1 signal detected");
     }
 

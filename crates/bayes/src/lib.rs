@@ -103,10 +103,7 @@ impl QuantileBinnedNb {
                 .enumerate()
                 .map(|(c, row_hist)| {
                     let total = f64::from(counts[c]) + params.alpha * nbins as f64;
-                    row_hist
-                        .iter()
-                        .map(|&h| ((f64::from(h) + params.alpha) / total).ln())
-                        .collect()
+                    row_hist.iter().map(|&h| ((f64::from(h) + params.alpha) / total).ln()).collect()
                 })
                 .collect();
             edges.push(attr_edges);
@@ -234,8 +231,7 @@ mod tests {
     fn beats_majority_on_census() {
         let mut rng = StdRng::seed_from_u64(1);
         let d = census_like(&mut rng, 3_000);
-        let majority =
-            *d.class_counts().iter().max().unwrap() as f64 / d.num_rows() as f64;
+        let majority = *d.class_counts().iter().max().unwrap() as f64 / d.num_rows() as f64;
         let nb = QuantileBinnedNb::fit(&d, &NbParams::default());
         assert!(nb.accuracy(&d) > majority + 0.05);
     }
@@ -245,7 +241,8 @@ mod tests {
         // The headline: the model fitted on D' has identical priors and
         // likelihoods, and predicts identically through the encoding.
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 40 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 40 };
         for trial in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
             let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());

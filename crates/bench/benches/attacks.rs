@@ -26,11 +26,9 @@ fn bench_attacks(c: &mut Criterion) {
             b.iter(|| fit_crack(m, &kps))
         });
         let g = fit_crack(method, &kps);
-        group.bench_with_input(
-            BenchmarkId::new("guess_all", method.name()),
-            &method,
-            |b, _| b.iter(|| transformed.iter().map(|&y| g.guess(y)).sum::<f64>()),
-        );
+        group.bench_with_input(BenchmarkId::new("guess_all", method.name()), &method, |b, _| {
+            b.iter(|| transformed.iter().map(|&y| g.guess(y)).sum::<f64>())
+        });
     }
     group.bench_function("sorting_attack_build", |b| {
         b.iter(|| sorting_attack(&transformed, orig[0], orig[orig.len() - 1], 1.0))

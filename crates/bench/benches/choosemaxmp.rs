@@ -28,16 +28,12 @@ fn bench_choosemaxmp(c: &mut Criterion) {
                 )
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("sort_and_analyze", a + 1),
-            &attr,
-            |b, &attr| {
-                b.iter(|| {
-                    let sc = d.sorted_column(attr);
-                    MonoAnalysis::analyze(&sc, 5)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sort_and_analyze", a + 1), &attr, |b, &attr| {
+            b.iter(|| {
+                let sc = d.sorted_column(attr);
+                MonoAnalysis::analyze(&sc, 5)
+            })
+        });
     }
     group.finish();
 }

@@ -30,9 +30,7 @@ fn bench_encode(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("encode_dataset");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(
-        (d.num_rows() * d.num_attrs()) as u64,
-    ));
+    group.throughput(Throughput::Elements((d.num_rows() * d.num_attrs()) as u64));
     group.bench_function("default_config", |b| {
         let mut rng = StdRng::seed_from_u64(3);
         b.iter(|| encode_dataset(&mut rng, &d, &EncodeConfig::default()))

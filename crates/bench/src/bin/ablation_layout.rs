@@ -2,5 +2,11 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::ablation_layout(&cfg);
+    let rows = ppdt_bench::experiments::ablation_layout(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "ablation_layout");
+    let mean =
+        |f: &dyn Fn(&(usize, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    report.push("ablation_iid_risk_mean", mean(&|r| r.1));
+    report.push("ablation_cascade_risk_mean", mean(&|r| r.2));
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

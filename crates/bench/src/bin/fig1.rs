@@ -2,5 +2,8 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::fig1(&cfg);
+    let ok = ppdt_bench::experiments::fig1(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "fig1");
+    report.push("fig1_decode_exact", if ok { 1.0 } else { 0.0 });
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

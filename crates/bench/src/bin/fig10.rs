@@ -2,5 +2,10 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::fig10(&cfg);
+    let combo = ppdt_bench::experiments::fig10(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "fig10");
+    report.push("fig10_union_risk", combo.union_risk);
+    report.push("fig10_expected_risk", combo.expected_risk);
+    report.push("fig10_consensus_risk", combo.consensus_risk);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

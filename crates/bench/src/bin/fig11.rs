@@ -2,5 +2,11 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::fig11(&cfg);
+    let rows = ppdt_bench::experiments::fig11(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "fig11");
+    let worst = rows.iter().map(|r| r.consecutive_crack).fold(0.0, f64::max);
+    let worst_prop = rows.iter().map(|r| r.proportional_crack).fold(0.0, f64::max);
+    report.push("fig11_sorting_crack_worst", worst);
+    report.push("fig11_sorting_crack_proportional_worst", worst_prop);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

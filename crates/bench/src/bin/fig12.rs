@@ -2,5 +2,9 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::fig12(&cfg);
+    let rows = ppdt_bench::experiments::fig12(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "fig12");
+    let worst = rows.iter().map(|(_, r)| *r).fold(0.0, f64::max);
+    report.push("fig12_subspace_risk_worst", worst);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

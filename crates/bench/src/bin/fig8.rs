@@ -2,5 +2,9 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::fig8(&cfg);
+    let stats = ppdt_bench::experiments::fig8(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "fig8");
+    let mono = stats.iter().map(|s| s.pct_mono_values).sum::<f64>() / stats.len() as f64;
+    report.push("fig8_pct_mono_values_mean", mono);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

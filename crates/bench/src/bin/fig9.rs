@@ -2,5 +2,14 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::fig9(&cfg);
+    let rows = ppdt_bench::experiments::fig9(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "fig9");
+    let mean = |f: &dyn Fn(&ppdt_bench::experiments::Fig9Row) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    report.push("fig9_domain_risk_none_expert_mean", mean(&|r| r.none_expert));
+    report.push("fig9_domain_risk_bp_expert_mean", mean(&|r| r.choosebp_expert));
+    report.push("fig9_domain_risk_maxmp_expert_mean", mean(&|r| r.choosemaxmp_expert));
+    report.push("fig9_domain_risk_maxmp_ignorant_mean", mean(&|r| r.choosemaxmp_ignorant));
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

@@ -2,5 +2,11 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::nb_outcome(&cfg);
+    let rows = ppdt_bench::experiments::nb_outcome(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "nb_outcome");
+    let identical = rows.iter().filter(|r| r.1).count() as f64 / rows.len() as f64;
+    let agree = rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
+    report.push("nb_models_identical_fraction", identical);
+    report.push("nb_prediction_agreement_mean", agree);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

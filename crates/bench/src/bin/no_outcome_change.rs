@@ -2,6 +2,12 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::outcome_sweep(&cfg);
-    ppdt_bench::experiments::perturbation_contrast(&cfg);
+    let sweep = ppdt_bench::experiments::outcome_sweep(&cfg);
+    let contrast = ppdt_bench::experiments::perturbation_contrast(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "no_outcome_change");
+    let (ok, runs) = sweep.iter().fold((0usize, 0usize), |(o, r), row| (o + row.ok, r + row.runs));
+    report.push("outcome_sweep_exact_fraction", ok as f64 / runs.max(1) as f64);
+    let piecewise = contrast.last().expect("piecewise row");
+    report.push("piecewise_unchanged_fraction", piecewise.1);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

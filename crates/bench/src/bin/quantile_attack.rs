@@ -2,5 +2,11 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::quantile_attack(&cfg);
+    let rows = ppdt_bench::experiments::quantile_attack(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "quantile_attack");
+    let worst_baseline = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+    let worst_maxmp = rows.iter().map(|r| r.2).fold(0.0, f64::max);
+    report.push("quantile_crack_baseline_worst", worst_baseline);
+    report.push("quantile_crack_maxmp_worst", worst_maxmp);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

@@ -1,19 +1,51 @@
 //! Runs every experiment (E1-E9) in order. Pass `--trials 500
 //! --scale 0.1` (or `--full`) to approach the paper's setting; the
-//! defaults keep the full run to a few minutes in release mode.
+//! defaults keep the full run to a few minutes in release mode. With
+//! `--json BENCH_ppdt.json` a machine-readable report (phase timings,
+//! counters, headline numbers; see `BENCHMARKS.md`) is written too.
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
     use ppdt_bench::experiments as e;
-    e::fig1(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "repro_all");
+
+    let fig1_ok = e::fig1(&cfg);
+    report.push("fig1_decode_exact", if fig1_ok { 1.0 } else { 0.0 });
+
     e::fig8(&cfg);
-    e::fig9(&cfg);
+
+    let fig9 = e::fig9(&cfg);
+    let mean = |f: &dyn Fn(&e::Fig9Row) -> f64| fig9.iter().map(f).sum::<f64>() / fig9.len() as f64;
+    report.push("fig9_domain_risk_none_expert_mean", mean(&|r| r.none_expert));
+    report.push("fig9_domain_risk_maxmp_expert_mean", mean(&|r| r.choosemaxmp_expert));
+    report.push("fig9_domain_risk_maxmp_ignorant_mean", mean(&|r| r.choosemaxmp_ignorant));
+
     e::table_fit(&cfg);
-    e::fig10(&cfg);
-    e::fig11(&cfg);
-    e::fig12(&cfg);
-    e::table_paths(&cfg);
-    e::outcome_sweep(&cfg);
-    e::perturbation_contrast(&cfg);
+
+    let fig10 = e::fig10(&cfg);
+    report.push("fig10_union_risk", fig10.union_risk);
+    report.push("fig10_consensus_risk", fig10.consensus_risk);
+
+    let fig11 = e::fig11(&cfg);
+    let worst = fig11.iter().map(|r| r.consecutive_crack).fold(0.0, f64::max);
+    report.push("fig11_sorting_crack_worst", worst);
+
+    let fig12 = e::fig12(&cfg);
+    let worst = fig12.iter().map(|(_, r)| *r).fold(0.0, f64::max);
+    report.push("fig12_subspace_risk_worst", worst);
+
+    let paths = e::table_paths(&cfg);
+    report.push("pattern_risk", paths.risk());
+    report.push("pattern_paths_total", paths.total_paths as f64);
+
+    let sweep = e::outcome_sweep(&cfg);
+    let (ok, runs) = sweep.iter().fold((0usize, 0usize), |(o, r), row| (o + row.ok, r + row.runs));
+    report.push("outcome_sweep_exact_fraction", ok as f64 / runs.max(1) as f64);
+
+    let contrast = e::perturbation_contrast(&cfg);
+    let piecewise = contrast.last().expect("piecewise row");
+    report.push("piecewise_unchanged_fraction", piecewise.1);
+
+    report.write_if_requested(&cfg).expect("write benchmark report");
     println!("\nAll experiments complete.");
 }

@@ -4,10 +4,28 @@ fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
     use ppdt_bench::experiments as e;
-    e::ablation_layout(&cfg);   // X1 (includes the gap-fraction sweep)
-    e::quantile_attack(&cfg);   // X3 (X2 is fig11's extra column)
-    e::spectral_attack(&cfg);   // X5
-    e::svm_outcome(&cfg);       // X4
-    e::nb_outcome(&cfg);        // X6
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "repro_extensions");
+
+    let ablation = e::ablation_layout(&cfg); // X1 (includes the gap-fraction sweep)
+    let cascade = ablation.iter().map(|r| r.2).sum::<f64>() / ablation.len() as f64;
+    report.push("ablation_cascade_risk_mean", cascade);
+
+    let quantile = e::quantile_attack(&cfg); // X3 (X2 is fig11's extra column)
+    report.push("quantile_crack_maxmp_worst", quantile.iter().map(|r| r.2).fold(0.0, f64::max));
+
+    let spectral = e::spectral_attack(&cfg); // X5
+    if let Some((_, _, after)) = spectral.first() {
+        report.push("spectral_crack_filtered", *after);
+    }
+
+    let svm = e::svm_outcome(&cfg); // X4
+    let agree = svm.iter().map(|r| r.svm_agreement).sum::<f64>() / svm.len() as f64;
+    report.push("svm_prediction_agreement_mean", agree);
+
+    let nb = e::nb_outcome(&cfg); // X6
+    let identical = nb.iter().filter(|r| r.1).count() as f64 / nb.len() as f64;
+    report.push("nb_models_identical_fraction", identical);
+
+    report.write_if_requested(&cfg).expect("write benchmark report");
     println!("\nAll extension experiments complete.");
 }

@@ -2,5 +2,11 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::spectral_attack(&cfg);
+    let rows = ppdt_bench::experiments::spectral_attack(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "spectral_attack");
+    if let Some((_, before, after)) = rows.first() {
+        report.push("spectral_crack_noisy", *before);
+        report.push("spectral_crack_filtered", *after);
+    }
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

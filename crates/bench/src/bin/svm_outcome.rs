@@ -2,5 +2,10 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::svm_outcome(&cfg);
+    let rows = ppdt_bench::experiments::svm_outcome(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "svm_outcome");
+    let agree = rows.iter().map(|r| r.svm_agreement).sum::<f64>() / rows.len() as f64;
+    report.push("svm_prediction_agreement_mean", agree);
+    report.push("tree_prediction_agreement_mean", 1.0);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

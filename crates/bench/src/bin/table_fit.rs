@@ -2,5 +2,9 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::table_fit(&cfg);
+    let cells = ppdt_bench::experiments::table_fit(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "table_fit");
+    let worst = cells.iter().map(|(_, _, r)| *r).fold(0.0, f64::max);
+    report.push("table_fit_domain_risk_worst", worst);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

@@ -2,5 +2,10 @@
 fn main() {
     let cfg = ppdt_bench::HarnessConfig::from_args();
     eprintln!("config: {cfg:?}");
-    ppdt_bench::experiments::table_paths(&cfg);
+    let paths = ppdt_bench::experiments::table_paths(&cfg);
+    let mut report = ppdt_bench::report::BenchReport::new(&cfg, "table_paths");
+    report.push("pattern_risk", paths.risk());
+    report.push("pattern_paths_total", paths.total_paths as f64);
+    report.push("pattern_cracks_total", paths.total_cracks as f64);
+    report.write_if_requested(&cfg).expect("write benchmark report");
 }

@@ -12,8 +12,8 @@ use ppdt_risk::{
 };
 use ppdt_transform::encoder::encode_attribute;
 use ppdt_transform::{
-    encode_dataset, no_outcome_change, perturb_dataset, BreakpointStrategy, EncodeConfig,
-    FnFamily, PerturbKind,
+    encode_dataset, no_outcome_change, perturb_dataset, BreakpointStrategy, EncodeConfig, FnFamily,
+    PerturbKind,
 };
 use ppdt_tree::{SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams};
 use rand::rngs::StdRng;
@@ -84,7 +84,16 @@ pub fn fig8(cfg: &HarnessConfig) -> Vec<AttrStats> {
     let spec = ppdt_data::gen::covertype_spec();
     println!(
         "{:>5} | {:>7} {:>7} | {:>8} {:>8} | {:>6} {:>6} | {:>8} {:>8} | {:>7} {:>7}",
-        "attr", "widthP", "widthM", "distP", "distM", "mpP", "mpM", "avglenP", "avglenM", "pctP",
+        "attr",
+        "widthP",
+        "widthM",
+        "distP",
+        "distM",
+        "mpP",
+        "mpM",
+        "avglenP",
+        "avglenM",
+        "pctP",
         "pctM"
     );
     for (i, (s, sp)) in stats.iter().zip(&spec).enumerate() {
@@ -244,16 +253,17 @@ pub fn fig10(cfg: &HarnessConfig) -> ComboReport {
         let kps = scenario_kps(&mut rng, &scenario, &transformed, &tr, rho, lo, hi);
         // The hacker applies all three fitting methods to the SAME
         // knowledge points.
-        let cracked: Vec<Vec<bool>> = [FitMethod::LinearRegression, FitMethod::Spline, FitMethod::Polyline]
-            .iter()
-            .map(|&m| {
-                let g = fit_crack(m, &kps);
-                orig.iter()
-                    .zip(&transformed)
-                    .map(|(&x, &y)| is_crack(g.guess(y), x, rho))
-                    .collect()
-            })
-            .collect();
+        let cracked: Vec<Vec<bool>> =
+            [FitMethod::LinearRegression, FitMethod::Spline, FitMethod::Polyline]
+                .iter()
+                .map(|&m| {
+                    let g = fit_crack(m, &kps);
+                    orig.iter()
+                        .zip(&transformed)
+                        .map(|(&x, &y)| is_crack(g.guess(y), x, rho))
+                        .collect()
+                })
+                .collect();
         let report = combine_cracks(&cracked);
         for (i, &v) in report.venn.iter().enumerate() {
             venn_sums[i] += v as f64 / report.num_items as f64;
@@ -265,7 +275,9 @@ pub fn fig10(cfg: &HarnessConfig) -> ComboReport {
     }
     let mut report = agg.expect("at least one trial");
     let n = trials as f64;
-    println!("Venn regions (mean fraction of attacked values; R=regression, S=spline, P=polyline):");
+    println!(
+        "Venn regions (mean fraction of attacked values; R=regression, S=spline, P=polyline):"
+    );
     let names = ["none", "R", "S", "RS", "P", "RP", "SP", "RSP"];
     for (mask, name) in names.iter().enumerate() {
         println!("  {:>5}: {}", name, pct(venn_sums[mask] / n));
@@ -304,10 +316,8 @@ pub fn fig11(cfg: &HarnessConfig) -> Vec<Fig11Row> {
     header("Figure 11: worst-case sorting attack (true min/max known)");
     let d = cfg.covertype();
     let stats = AttrStats::compute_all(&d, 1.0, 5);
-    let encode_config = fig_config(
-        BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 },
-        FnFamily::SqrtLog,
-    );
+    let encode_config =
+        fig_config(BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 }, FnFamily::SqrtLog);
     println!(
         "{:>5} | {:>10} {:>10} {:>14} {:>16}",
         "attr", "#discont", "%mono", "crack% (paper)", "crack% (prop.)"
@@ -360,10 +370,8 @@ pub fn fig12(cfg: &HarnessConfig) -> Vec<(Vec<usize>, f64)> {
         vec![2, 6],
         vec![2, 6, 10],
     ];
-    let encode_config = fig_config(
-        BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 },
-        FnFamily::SqrtLog,
-    );
+    let encode_config =
+        fig_config(BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 }, FnFamily::SqrtLog);
     let scenario = expert_polyline(0.02);
     let mut out = Vec::new();
     for (i, labels) in subspaces.iter().enumerate() {
@@ -373,11 +381,7 @@ pub fn fig12(cfg: &HarnessConfig) -> Vec<(Vec<usize>, f64)> {
             // per attribute (sorting dominates for attribute 2).
             subspace_risk_trial_with(rng, &d, &ids, &encode_config, &scenario, true, 1.0)
         });
-        let label = labels
-            .iter()
-            .map(usize::to_string)
-            .collect::<Vec<_>>()
-            .join(",");
+        let label = labels.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
         println!("  {{{label}}}: {}", pct(stat.median));
         out.push((labels.clone(), stat.median));
     }
@@ -391,10 +395,7 @@ pub fn fig12(cfg: &HarnessConfig) -> Vec<(Vec<usize>, f64)> {
 pub fn table_paths(cfg: &HarnessConfig) -> PatternReport {
     header("Section 6.4: output privacy — paths of the mined tree");
     let d = cfg.covertype();
-    let scenario = DomainScenario {
-        profile: HackerProfile::Insider,
-        ..expert_polyline(0.05)
-    };
+    let scenario = DomainScenario { profile: HackerProfile::Insider, ..expert_polyline(0.05) };
     let encode_config = EncodeConfig::default();
     let params = TreeParams { min_samples_leaf: 5, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6_4000);
@@ -443,10 +444,8 @@ pub struct OutcomeSweepRow {
 pub fn outcome_sweep(cfg: &HarnessConfig) -> Vec<OutcomeSweepRow> {
     header("Theorems 1-2: no-outcome-change sweep");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let covertype = covertype_like(
-        &mut rng,
-        &CovertypeConfig { num_rows: 4_000, ..Default::default() },
-    );
+    let covertype =
+        covertype_like(&mut rng, &CovertypeConfig { num_rows: 4_000, ..Default::default() });
     let census = census_like(&mut rng, 2_000);
     let wdbc = wdbc_like(&mut rng, 569);
     let datasets: Vec<(&'static str, &Dataset)> =
@@ -478,7 +477,9 @@ pub fn outcome_sweep(cfg: &HarnessConfig) -> Vec<OutcomeSweepRow> {
                         if report.all_ok() {
                             ok += 1;
                         } else if let Some(diff) = &report.first_diff {
-                            println!("  MISMATCH [{name} {criterion:?} {policy:?} {strategy:?}]: {diff}");
+                            println!(
+                                "  MISMATCH [{name} {criterion:?} {policy:?} {strategy:?}]: {diff}"
+                            );
                         }
                     }
                 }
@@ -520,13 +521,7 @@ pub fn perturbation_contrast(cfg: &HarnessConfig) -> Vec<(String, f64, bool, f64
         // perturbed data: the custodian's outcome loss.
         let acc_delta = t.accuracy(&d) - tp.accuracy(&d);
         let label = format!("{kind:?} noise {:.1}%", level * 100.0);
-        println!(
-            "{:>26} | {:>11} {:>13} {:>16.4}",
-            label,
-            pct(unchanged),
-            changed,
-            acc_delta
-        );
+        println!("{:>26} | {:>11} {:>13} {:>16.4}", label, pct(unchanged), changed, acc_delta);
         rows.push((label, unchanged, changed, acc_delta));
     }
 
@@ -572,11 +567,8 @@ pub fn ablation_layout(cfg: &HarnessConfig) -> Vec<(usize, f64, f64)> {
     for a in [0usize, 3, 5, 9] {
         let attr = AttrId(a);
         let run = |layout: ppdt_transform::LayoutKind, salt: u64| {
-            let encode_config = EncodeConfig {
-                layout,
-                family: FnFamily::SqrtLog,
-                ..Default::default()
-            };
+            let encode_config =
+                EncodeConfig { layout, family: FnFamily::SqrtLog, ..Default::default() };
             run_trials(cfg.trials, cfg.seed ^ salt ^ (a as u64) << 5, |rng| {
                 domain_risk_trial(rng, &d, attr, &encode_config, &scenario)
             })
@@ -593,17 +585,13 @@ pub fn ablation_layout(cfg: &HarnessConfig) -> Vec<(usize, f64, f64)> {
     println!("{:>6} | {:>12}", "gaps", "risk");
     let attr = AttrId(9);
     for gap_fraction in [0.01, 0.15, 0.4] {
-        let encode_config = EncodeConfig {
-            gap_fraction,
-            family: FnFamily::SqrtLog,
-            ..Default::default()
-        };
-        let risk = run_trials(
-            cfg.trials,
-            cfg.seed ^ 0xAB3 ^ (gap_fraction * 100.0) as u64,
-            |rng| domain_risk_trial(rng, &d, attr, &encode_config, &scenario),
-        )
-        .median;
+        let encode_config =
+            EncodeConfig { gap_fraction, family: FnFamily::SqrtLog, ..Default::default() };
+        let risk =
+            run_trials(cfg.trials, cfg.seed ^ 0xAB3 ^ (gap_fraction * 100.0) as u64, |rng| {
+                domain_risk_trial(rng, &d, attr, &encode_config, &scenario)
+            })
+            .median;
         println!("{:>5.0}% | {:>12}", 100.0 * gap_fraction, pct(risk));
     }
     rows
@@ -629,10 +617,7 @@ pub fn quantile_attack(cfg: &HarnessConfig) -> Vec<(usize, f64, f64)> {
             .median
         };
         let baseline = run(BreakpointStrategy::None, 0xA6);
-        let maxmp = run(
-            BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 },
-            0xA7,
-        );
+        let maxmp = run(BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 }, 0xA7);
         println!("{:>5} | {:>14} {:>14}", a + 1, pct(baseline), pct(maxmp));
         rows.push((a, baseline, maxmp));
     }
@@ -642,7 +627,7 @@ pub fn quantile_attack(cfg: &HarnessConfig) -> Vec<(usize, f64, f64)> {
 // --------------------------------------------------------- spectral attack
 
 /// X5 — the spectral reconstruction attack of the paper's reference
-/// [7], run against the perturbation baseline on correlated data:
+/// \[7\], run against the perturbation baseline on correlated data:
 /// additive noise can be filtered through the signal's principal
 /// subspace, so the baseline's input privacy is weaker than its noise
 /// level suggests. The piecewise framework has no additive noise to
@@ -663,9 +648,8 @@ pub fn spectral_attack(cfg: &HarnessConfig) -> Vec<(f64, f64, f64)> {
     for noise_frac in [0.05, 0.1, 0.2] {
         // Perturb with per-attribute Gaussian noise.
         let p = perturb_dataset(&mut rng, &d, PerturbKind::Gaussian, noise_frac, 1.0);
-        let perturbed: Vec<Vec<f64>> = (0..d.num_attrs())
-            .map(|a| p.dataset.column(AttrId(a)).to_vec())
-            .collect();
+        let perturbed: Vec<Vec<f64>> =
+            (0..d.num_attrs()).map(|a| p.dataset.column(AttrId(a)).to_vec()).collect();
         let noise_vars: Vec<f64> = (0..d.num_attrs())
             .map(|a| {
                 let (lo, hi) = d.min_max(AttrId(a)).expect("nonempty");
@@ -718,10 +702,8 @@ pub fn nb_outcome(cfg: &HarnessConfig) -> Vec<(&'static str, bool, f64)> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBAE5);
     let census = census_like(&mut rng, 3_000);
     let wdbc = ppdt_data::gen::wdbc_like(&mut rng, 569);
-    let covertype = covertype_like(
-        &mut rng,
-        &CovertypeConfig { num_rows: 4_000, ..Default::default() },
-    );
+    let covertype =
+        covertype_like(&mut rng, &CovertypeConfig { num_rows: 4_000, ..Default::default() });
     let datasets: Vec<(&'static str, Dataset)> =
         vec![("census-like", census), ("wdbc-like", wdbc), ("covertype-like", covertype)];
 
@@ -735,8 +717,7 @@ pub fn nb_outcome(cfg: &HarnessConfig) -> Vec<(&'static str, bool, f64)> {
         let params = NbParams::default();
         let m1 = QuantileBinnedNb::fit(&d, &params);
         let m2 = QuantileBinnedNb::fit(&d2, &params);
-        let identical =
-            m1.log_prior == m2.log_prior && m1.log_likelihood == m2.log_likelihood;
+        let identical = m1.log_prior == m2.log_prior && m1.log_likelihood == m2.log_likelihood;
         let mut agree = 0usize;
         let mut x = vec![0.0; d.num_attrs()];
         let mut x2 = vec![0.0; d.num_attrs()];
@@ -854,7 +835,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> HarnessConfig {
-        HarnessConfig { seed: 7, scale: 0.004, trials: 5 }
+        HarnessConfig { seed: 7, scale: 0.004, trials: 5, json: None }
     }
 
     #[test]

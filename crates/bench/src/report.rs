@@ -1,0 +1,144 @@
+//! Machine-readable benchmark reports — the `--json <path>` output.
+//!
+//! Every experiment binary can serialize a [`BenchReport`] (by
+//! convention to `BENCH_ppdt.json`): the harness configuration,
+//! dataset scale, headline result numbers, and the full
+//! [`ppdt_obs::MetricsSnapshot`] — per-phase wall-clock timings
+//! (encode / mine / decode / attack / risk), pipeline counters, and
+//! peak RSS. The field-by-field schema is documented in
+//! `BENCHMARKS.md`; [`SCHEMA_VERSION`] is bumped on any breaking
+//! change so downstream tooling can compare runs safely.
+
+use serde::{Deserialize, Serialize};
+
+use crate::HarnessConfig;
+
+/// Version of the report schema; bumped on breaking layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One named headline result (a risk, an agreement rate, a count).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Headline {
+    /// Stable snake_case metric name (see `BENCHMARKS.md`).
+    pub name: String,
+    /// The value; fractions are reported in `[0, 1]`, not percent.
+    pub value: f64,
+}
+
+/// The complete report a benchmark binary emits under `--json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Name of the emitting binary (e.g. `"repro_all"`).
+    pub binary: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Dataset scale (fraction of the 581,012-row covertype benchmark).
+    pub scale: f64,
+    /// Trials per reported figure.
+    pub trials: u64,
+    /// Rows of the covertype-like dataset at this scale.
+    pub num_rows: u64,
+    /// Attributes of the covertype-like dataset.
+    pub num_attrs: u64,
+    /// Headline result numbers, in emission order.
+    pub headlines: Vec<Headline>,
+    /// Phase timings, counters, and peak RSS captured at write time.
+    pub metrics: ppdt_obs::MetricsSnapshot,
+}
+
+impl BenchReport {
+    /// A report skeleton for `binary` under the given configuration.
+    /// Dataset dimensions are derived from the scale without building
+    /// the dataset.
+    pub fn new(cfg: &HarnessConfig, binary: &str) -> Self {
+        let cover = ppdt_data::gen::CovertypeConfig::at_scale(cfg.scale);
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            binary: binary.to_string(),
+            seed: cfg.seed,
+            scale: cfg.scale,
+            trials: cfg.trials as u64,
+            num_rows: cover.num_rows as u64,
+            num_attrs: ppdt_data::gen::covertype_spec().len() as u64,
+            headlines: Vec::new(),
+            metrics: ppdt_obs::snapshot(),
+        }
+    }
+
+    /// Appends one headline number.
+    pub fn push(&mut self, name: &str, value: f64) {
+        self.headlines.push(Headline { name: name.to_string(), value });
+    }
+
+    /// The value of a headline by name, if present.
+    pub fn headline(&self, name: &str) -> Option<f64> {
+        self.headlines.iter().find(|h| h.name == name).map(|h| h.value)
+    }
+
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Refreshes the metrics snapshot and writes the report to
+    /// `cfg.json`, if the flag was given. Returns whether a file was
+    /// written.
+    pub fn write_if_requested(mut self, cfg: &HarnessConfig) -> std::io::Result<bool> {
+        let Some(path) = &cfg.json else {
+            return Ok(false);
+        };
+        self.metrics = ppdt_obs::snapshot();
+        std::fs::write(path, self.to_json())?;
+        eprintln!("benchmark report -> {path}");
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_roundtrip_is_lossless() {
+        let cfg = HarnessConfig { scale: 0.01, ..Default::default() };
+        let mut r = BenchReport::new(&cfg, "unit_test");
+        r.push("domain_risk", 0.034);
+        r.push("paths_total", 1707.0);
+        let back = BenchReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.headline("paths_total"), Some(1707.0));
+        assert_eq!(back.headline("missing"), None);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn write_if_requested_respects_the_flag() {
+        let cfg = HarnessConfig::default();
+        assert!(cfg.json.is_none());
+        let written = BenchReport::new(&cfg, "x").write_if_requested(&cfg).unwrap();
+        assert!(!written);
+
+        let path =
+            std::env::temp_dir().join(format!("BENCH_ppdt_test_{}.json", std::process::id()));
+        let cfg = HarnessConfig { json: Some(path.display().to_string()), ..Default::default() };
+        let written = BenchReport::new(&cfg, "x").write_if_requested(&cfg).unwrap();
+        assert!(written);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(BenchReport::from_json(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dims_follow_scale() {
+        let r = BenchReport::new(&HarnessConfig { scale: 0.002, ..Default::default() }, "x");
+        assert_eq!(r.num_rows, 1_162);
+        assert_eq!(r.num_attrs, 10);
+    }
+}

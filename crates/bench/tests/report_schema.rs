@@ -1,0 +1,76 @@
+//! Golden-schema test: emit a real `BENCH_ppdt.json` through the
+//! harness (instrumentation on, a genuine encode/mine/decode pass)
+//! and round-trip it through serde, asserting the stable field set
+//! documented in `BENCHMARKS.md`.
+
+use ppdt_bench::report::{BenchReport, SCHEMA_VERSION};
+use ppdt_bench::HarnessConfig;
+
+/// Every `snapshot()` counter name, in emission order — the contract
+/// `BENCHMARKS.md` documents and downstream tooling greps for.
+const GOLDEN_COUNTERS: [&str; 5] =
+    ["rows_encoded", "pieces_drawn", "boundaries_scanned", "trials_run", "nodes_decoded"];
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ppdt_golden_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn emitted_report_round_trips_with_golden_schema() {
+    use rand::SeedableRng;
+    let path = tmp("BENCH_ppdt.json");
+    let cfg = HarnessConfig {
+        seed: 7,
+        scale: 0.002,
+        trials: 3,
+        json: Some(path.to_str().unwrap().to_string()),
+    };
+    ppdt_obs::reset();
+    ppdt_obs::set_enabled(true);
+
+    // A genuine encode -> mine -> decode pass so phases and counters
+    // are populated by the pipeline itself, not by the test.
+    let d = cfg.covertype();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let (key, d_prime) =
+        ppdt_transform::encode_dataset(&mut rng, &d, &ppdt_transform::EncodeConfig::default());
+    let t_prime = ppdt_tree::TreeBuilder::default().fit(&d_prime);
+    let s = key.decode_tree(&t_prime, ppdt_tree::ThresholdPolicy::DataValue, &d);
+
+    let mut report = BenchReport::new(&cfg, "golden_test");
+    report.push("decoded_leaves", s.num_leaves() as f64);
+    assert!(report.write_if_requested(&cfg).unwrap());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = BenchReport::from_json(&text).unwrap();
+
+    assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+    assert_eq!(parsed.binary, "golden_test");
+    assert_eq!(parsed.seed, 7);
+    assert_eq!(parsed.scale, 0.002);
+    assert_eq!(parsed.num_rows, d.num_rows() as u64);
+    assert_eq!(parsed.num_attrs, d.num_attrs() as u64);
+    assert_eq!(parsed.headline("decoded_leaves"), Some(s.num_leaves() as f64));
+
+    // Counter names and order are part of the schema contract.
+    let names: Vec<&str> = parsed.metrics.counters.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, GOLDEN_COUNTERS);
+    assert!(parsed.metrics.enabled);
+
+    // The pipeline pass above must have populated the real metrics.
+    let counter = |n: &str| parsed.metrics.counters.iter().find(|c| c.name == n).unwrap().value;
+    assert_eq!(counter("rows_encoded"), d.num_rows() as u64);
+    assert!(counter("pieces_drawn") > 0);
+    assert!(counter("nodes_decoded") > 0);
+    let phases: Vec<&str> = parsed.metrics.phases.iter().map(|p| p.name.as_str()).collect();
+    for want in ["encode", "mine", "decode"] {
+        assert!(phases.contains(&want), "missing phase {want:?} in {phases:?}");
+    }
+    assert!(parsed.metrics.peak_rss_bytes.unwrap_or(0) > 0);
+
+    // Round-trip stability: serialize the parsed report again and the
+    // JSON text must be unchanged (field order included).
+    assert_eq!(parsed.to_json(), text);
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -5,7 +5,7 @@
 //! ```text
 //! ppdt stats  <data.csv>                      attribute statistics + release verdicts
 //! ppdt encode <data.csv> --out D.csv --key K.json [--seed N]
-//!             [--strategy maxmp|bp|none] [--w N] [--verify]
+//!             [--strategy maxmp|bp|none] [--w N] [--verify] [--parallel]
 //! ppdt decode-dataset <Dprime.csv> --key K.json --out orig.csv
 //! ppdt mine   <data.csv> --out tree.json [--criterion gini|entropy]
 //!             [--min-leaf N]                  (stand-in for the miner)
@@ -20,6 +20,11 @@
 //! key, and audit what a hacker could recover. All subcommand logic
 //! lives in this library so it is unit-testable; `main.rs` only
 //! forwards `std::env::args`.
+//!
+//! Every subcommand also accepts `--metrics`, which enables the
+//! [`ppdt_obs`] instrumentation layer and prints phase timings,
+//! pipeline counters, and peak RSS to stderr on exit (the metric
+//! catalogue is documented in `BENCHMARKS.md`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,9 +37,7 @@ use rand::SeedableRng;
 use ppdt_attack::HackerProfile;
 use ppdt_data::{csv, AttrId, AttrStats, Dataset};
 use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
-use ppdt_transform::{
-    encode_dataset, BreakpointStrategy, EncodeConfig, TransformKey,
-};
+use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig, TransformKey};
 use ppdt_tree::{DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams};
 
 /// CLI failure; rendered to stderr by `main`.
@@ -66,12 +69,13 @@ pub const USAGE: &str = "\
 usage: ppdt <subcommand> [args]
   stats <data.csv>
   encode <data.csv> --out <Dprime.csv> --key <key.json> [--seed N]
-         [--strategy maxmp|bp|none] [--w N] [--verify]
+         [--strategy maxmp|bp|none] [--w N] [--verify] [--parallel]
   decode-dataset <Dprime.csv> --key <key.json> --out <orig.csv>
   mine <data.csv> --out <tree.json> [--criterion gini|entropy] [--min-leaf N]
   decode-tree <tree.json> --key <key.json> --data <orig.csv> --out <decoded.json> [--render]
   report <tree.json> --data <data.csv>
   audit <data.csv> [--trials N] [--seed N]
+any subcommand also accepts --metrics (phase timings + counters on stderr)
 ";
 
 /// Tiny flag parser: positional arguments plus `--flag [value]` pairs.
@@ -100,10 +104,7 @@ impl Args {
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, name: &str) -> bool {
@@ -111,27 +112,27 @@ impl Args {
     }
 
     fn required(&self, name: &str) -> Result<&str, CliError> {
-        self.flag(name)
-            .ok_or_else(|| CliError(format!("missing required --{name} <value>")))
+        self.flag(name).ok_or_else(|| CliError(format!("missing required --{name} <value>")))
     }
 
     fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError(format!("--{name}: cannot parse {v:?}"))),
+            Some(v) => v.parse().map_err(|_| CliError(format!("--{name}: cannot parse {v:?}"))),
         }
     }
 }
 
-/// Entry point: dispatches a full argument vector (without argv[0]).
+/// Entry point: dispatches a full argument vector (without `argv[0]`).
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError(USAGE.into()));
     };
     let a = Args::parse(rest);
-    match cmd.as_str() {
+    if a.has("metrics") {
+        ppdt_obs::set_enabled(true);
+    }
+    let result = match cmd.as_str() {
         "stats" => cmd_stats(&a),
         "encode" => cmd_encode(&a),
         "decode-dataset" => cmd_decode_dataset(&a),
@@ -144,14 +145,31 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
+    };
+    if a.has("metrics") {
+        print_metrics();
+    }
+    result
+}
+
+/// Renders the [`ppdt_obs`] snapshot to stderr (the `--metrics` flag).
+fn print_metrics() {
+    let snap = ppdt_obs::snapshot();
+    eprintln!("-- metrics --");
+    for p in &snap.phases {
+        eprintln!("  phase {:>8}: {:>10.6}s over {} call(s)", p.name, p.seconds, p.calls);
+    }
+    for c in snap.counters.iter().filter(|c| c.value > 0) {
+        eprintln!("  count {:>18}: {}", c.name, c.value);
+    }
+    if let Some(rss) = snap.peak_rss_bytes {
+        eprintln!("  peak rss: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
     }
 }
 
 fn load_data(a: &Args) -> Result<Dataset, CliError> {
-    let path = a
-        .positional
-        .first()
-        .ok_or_else(|| CliError(format!("missing input file\n{USAGE}")))?;
+    let path =
+        a.positional.first().ok_or_else(|| CliError(format!("missing input file\n{USAGE}")))?;
     Ok(csv::read_csv(path)?)
 }
 
@@ -206,6 +224,8 @@ fn cmd_encode(a: &Args) -> Result<(), CliError> {
         );
         eprintln!("verified encode in {attempts} attempt(s)");
         (key, d_prime)
+    } else if a.has("parallel") {
+        ppdt_transform::encode_dataset_parallel(&mut rng, &d, &config)
     } else {
         encode_dataset(&mut rng, &d, &config)
     };
@@ -242,19 +262,13 @@ fn cmd_mine(a: &Args) -> Result<(), CliError> {
     let params = TreeParams { criterion, min_samples_leaf: min_leaf, ..Default::default() };
     let tree = TreeBuilder::new(params).fit(&d);
     std::fs::write(out, serde_json::to_string_pretty(&tree).expect("tree serializes"))?;
-    eprintln!(
-        "mined tree: {} leaves, depth {} -> {out}",
-        tree.num_leaves(),
-        tree.depth()
-    );
+    eprintln!("mined tree: {} leaves, depth {} -> {out}", tree.num_leaves(), tree.depth());
     Ok(())
 }
 
 fn cmd_decode_tree(a: &Args) -> Result<(), CliError> {
-    let tree_path = a
-        .positional
-        .first()
-        .ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
+    let tree_path =
+        a.positional.first().ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
     let tree: DecisionTree = serde_json::from_str(&std::fs::read_to_string(tree_path)?)
         .map_err(|e| CliError(format!("tree json: {e}")))?;
     let key = TransformKey::load_json(a.required("key")?)?;
@@ -270,10 +284,8 @@ fn cmd_decode_tree(a: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_report(a: &Args) -> Result<(), CliError> {
-    let tree_path = a
-        .positional
-        .first()
-        .ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
+    let tree_path =
+        a.positional.first().ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
     let tree: DecisionTree = serde_json::from_str(&std::fs::read_to_string(tree_path)?)
         .map_err(|e| CliError(format!("tree json: {e}")))?;
     let d = csv::read_csv(a.required("data")?)?;
@@ -286,10 +298,7 @@ fn cmd_report(a: &Args) -> Result<(), CliError> {
             println!("  {:>16}: {:.1}%", d.schema().attr_name(attr), 100.0 * score);
         }
     }
-    println!(
-        "\ntraining accuracy on the supplied data: {:.1}%",
-        100.0 * tree.accuracy(&d)
-    );
+    println!("\ntraining accuracy on the supplied data: {:.1}%", 100.0 * tree.accuracy(&d));
     Ok(())
 }
 
@@ -298,10 +307,7 @@ fn cmd_audit(a: &Args) -> Result<(), CliError> {
     let trials: usize = a.parsed("trials", 25)?;
     let seed: u64 = a.parsed("seed", 7)?;
     let config = encode_config(a)?;
-    println!(
-        "{:>16} | {:>10} {:>10} {:>10}",
-        "attribute", "ignorant", "expert", "insider"
-    );
+    println!("{:>16} | {:>10} {:>10} {:>10}", "attribute", "ignorant", "expert", "insider");
     for attr in d.schema().attrs() {
         let risk = |profile: HackerProfile, salt: u64| {
             let scenario = DomainScenario::polyline(profile);
@@ -377,13 +383,8 @@ mod tests {
             "--verify",
         ]))
         .unwrap();
-        run(&s(&[
-            "mine",
-            dprime_csv.to_str().unwrap(),
-            "--out",
-            tprime_json.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(&s(&["mine", dprime_csv.to_str().unwrap(), "--out", tprime_json.to_str().unwrap()]))
+            .unwrap();
         run(&s(&[
             "decode-tree",
             tprime_json.to_str().unwrap(),
@@ -396,13 +397,8 @@ mod tests {
         ]))
         .unwrap();
 
-        run(&s(&[
-            "report",
-            decoded_json.to_str().unwrap(),
-            "--data",
-            data_csv.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(&s(&["report", decoded_json.to_str().unwrap(), "--data", data_csv.to_str().unwrap()]))
+            .unwrap();
 
         // The decoded tree equals direct mining.
         let decoded: DecisionTree =
@@ -429,6 +425,52 @@ mod tests {
         }
 
         for p in [&data_csv, &dprime_csv, &key_json, &tprime_json, &decoded_json, &restored_csv] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn parallel_encode_with_metrics_matches_serial() {
+        let d = figure1();
+        let data_csv = tmp("par.csv");
+        ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
+        let serial_out = tmp("par_serial.csv");
+        let parallel_out = tmp("par_parallel.csv");
+        let serial_key = tmp("par_serial_key.json");
+        let parallel_key = tmp("par_parallel_key.json");
+        run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            serial_out.to_str().unwrap(),
+            "--key",
+            serial_key.to_str().unwrap(),
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            parallel_out.to_str().unwrap(),
+            "--key",
+            parallel_key.to_str().unwrap(),
+            "--seed",
+            "11",
+            "--parallel",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&serial_out).unwrap(),
+            std::fs::read_to_string(&parallel_out).unwrap()
+        );
+        assert_eq!(
+            std::fs::read_to_string(&serial_key).unwrap(),
+            std::fs::read_to_string(&parallel_key).unwrap()
+        );
+        for p in [&data_csv, &serial_out, &parallel_out, &serial_key, &parallel_key] {
             let _ = std::fs::remove_file(p);
         }
     }

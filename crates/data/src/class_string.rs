@@ -79,10 +79,7 @@ impl ClassString {
     /// Renders the string using one character per label (A, B, C, ...),
     /// matching the paper's `HHHLHL` notation for two-class data.
     pub fn render(&self) -> String {
-        self.labels
-            .iter()
-            .map(|c| char::from(b'A' + (c.0 % 26) as u8))
-            .collect()
+        self.labels.iter().map(|c| char::from(b'A' + (c.0 % 26) as u8)).collect()
     }
 }
 
@@ -126,14 +123,7 @@ mod tests {
         // (age, class) rows of Figure 1(a): 23H, 17H, 43L, 68L, 32H, 20H
         // sorted by age: 17H 20H 23H 32H 43L 68L -> wait, paper says
         // sigma_age = HHHLHL, so rows are: 17H 20H 23H 32L 43H 68L.
-        for (v, c) in [
-            (23.0, 0u16),
-            (17.0, 0),
-            (43.0, 0),
-            (68.0, 1),
-            (32.0, 1),
-            (20.0, 0),
-        ] {
+        for (v, c) in [(23.0, 0u16), (17.0, 0), (43.0, 0), (68.0, 1), (32.0, 1), (20.0, 0)] {
             b.push_row(&[v], ClassId(c));
         }
         b.build()
@@ -196,10 +186,7 @@ mod tests {
         let d = figure1_age();
         let col: Vec<f64> = d.column(AttrId(0)).iter().map(|v| 0.9 * v + 10.0).collect();
         let d2 = d.with_column(AttrId(0), col);
-        assert_eq!(
-            ClassString::of(&d, AttrId(0)),
-            ClassString::of(&d2, AttrId(0))
-        );
+        assert_eq!(ClassString::of(&d, AttrId(0)), ClassString::of(&d2, AttrId(0)));
     }
 
     #[test]
@@ -207,9 +194,6 @@ mod tests {
         let d = figure1_age();
         let col: Vec<f64> = d.column(AttrId(0)).iter().map(|v| -v).collect();
         let d2 = d.with_column(AttrId(0), col);
-        assert_eq!(
-            ClassString::of(&d, AttrId(0)).reversed(),
-            ClassString::of(&d2, AttrId(0))
-        );
+        assert_eq!(ClassString::of(&d, AttrId(0)).reversed(), ClassString::of(&d2, AttrId(0)));
     }
 }

@@ -12,9 +12,9 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use crate::dataset::{Dataset, DatasetBuilder};
-use crate::schema::{ClassId, Schema};
 #[cfg(test)]
 use crate::schema::AttrId;
+use crate::schema::{ClassId, Schema};
 
 /// Errors from CSV parsing.
 #[derive(Debug, PartialEq, Eq)]
@@ -68,10 +68,7 @@ impl std::error::Error for CsvError {}
 
 /// Parses a dataset from CSV text. See the module docs for the format.
 pub fn parse_csv(text: &str) -> Result<Dataset, CsvError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
     let names: Vec<&str> = header.split(',').map(str::trim).collect();
     if names.len() < 2 {
@@ -122,10 +119,7 @@ pub fn parse_csv(text: &str) -> Result<Dataset, CsvError> {
         return Err(CsvError::TooFewClasses);
     }
 
-    let schema = Schema::new(
-        names[..num_attrs].iter().map(|s| s.to_string()),
-        class_names,
-    );
+    let schema = Schema::new(names[..num_attrs].iter().map(|s| s.to_string()), class_names);
     let mut b = DatasetBuilder::new(schema);
     for (values, class) in rows {
         b.push_row(&values, class);
@@ -267,10 +261,7 @@ age,salary,class
 
     #[test]
     fn read_missing_file_is_io_error() {
-        assert!(matches!(
-            read_csv("/nonexistent/ppdt.csv"),
-            Err(CsvError::Io(_))
-        ));
+        assert!(matches!(read_csv("/nonexistent/ppdt.csv"), Err(CsvError::Io(_))));
     }
 }
 

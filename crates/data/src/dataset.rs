@@ -39,21 +39,10 @@ impl Dataset {
     /// Panics if column counts/lengths disagree with the schema, if any
     /// value is NaN, or if any label is out of range.
     pub fn from_columns(schema: Schema, columns: Vec<Vec<f64>>, labels: Vec<ClassId>) -> Self {
-        assert_eq!(
-            columns.len(),
-            schema.num_attrs(),
-            "column count must match schema"
-        );
+        assert_eq!(columns.len(), schema.num_attrs(), "column count must match schema");
         for (i, col) in columns.iter().enumerate() {
-            assert_eq!(
-                col.len(),
-                labels.len(),
-                "column {i} length must match label count"
-            );
-            assert!(
-                col.iter().all(|v| !v.is_nan()),
-                "column {i} contains NaN values"
-            );
+            assert_eq!(col.len(), labels.len(), "column {i} length must match label count");
+            assert!(col.iter().all(|v| !v.is_nan()), "column {i} contains NaN values");
         }
         assert!(
             labels.iter().all(|c| c.index() < schema.num_classes()),
@@ -203,11 +192,7 @@ impl Dataset {
     /// Projects the relation onto `(A, C)` — the A-projected tuples of
     /// Section 3.1 — as `(value, label)` pairs in row order.
     pub fn projected(&self, a: AttrId) -> Vec<(f64, ClassId)> {
-        self.column(a)
-            .iter()
-            .zip(&self.labels)
-            .map(|(&v, &c)| (v, c))
-            .collect()
+        self.column(a).iter().zip(&self.labels).map(|(&v, &c)| (v, c)).collect()
     }
 }
 
@@ -331,11 +316,8 @@ mod tests {
     fn sorted_column_orders_and_groups() {
         let d = toy();
         let sc = d.sorted_column(AttrId(0));
-        let sorted_vals: Vec<f64> = sc
-            .order
-            .iter()
-            .map(|&i| d.value(i as usize, AttrId(0)))
-            .collect();
+        let sorted_vals: Vec<f64> =
+            sc.order.iter().map(|&i| d.value(i as usize, AttrId(0))).collect();
         assert_eq!(sorted_vals, vec![1.0, 2.0, 2.0, 3.0, 5.0]);
         assert_eq!(sc.num_distinct(), 4);
         let g2 = &sc.groups[1];
@@ -350,9 +332,7 @@ mod tests {
     fn ties_are_broken_by_label() {
         let schema = Schema::generated(1, 2);
         let mut b = DatasetBuilder::new(schema);
-        b.push_row(&[2.0], ClassId(1))
-            .push_row(&[2.0], ClassId(0))
-            .push_row(&[2.0], ClassId(1));
+        b.push_row(&[2.0], ClassId(1)).push_row(&[2.0], ClassId(0)).push_row(&[2.0], ClassId(1));
         let d = b.build();
         let sc = d.sorted_column(AttrId(0));
         let labels: Vec<ClassId> = sc.order.iter().map(|&i| d.label(i as usize)).collect();

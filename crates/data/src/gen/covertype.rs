@@ -343,12 +343,11 @@ fn plan_segments<R: Rng + ?Sized>(
     let mut piece_class = Vec::with_capacity(pieces);
     let mut prev: Option<usize> = None;
     for &len in &lens {
-        let choice = weighted_pick(rng, class_freqs, |c| {
-            budget[c] >= len as isize && prev != Some(c)
-        })
-        .or_else(|| weighted_pick(rng, class_freqs, |c| budget[c] >= len as isize))
-        .or_else(|| weighted_pick(rng, class_freqs, |_| true))
-        .expect("at least one class exists");
+        let choice =
+            weighted_pick(rng, class_freqs, |c| budget[c] >= len as isize && prev != Some(c))
+                .or_else(|| weighted_pick(rng, class_freqs, |c| budget[c] >= len as isize))
+                .or_else(|| weighted_pick(rng, class_freqs, |_| true))
+                .expect("at least one class exists");
         budget[choice] -= len as isize;
         piece_class.push(ClassId(choice as u16));
         prev = Some(choice);
@@ -391,10 +390,8 @@ fn extend_mixed<R: Rng + ?Sized>(
         let want = if k > 2 && rng.gen_bool(0.3) { 3 } else { 2 };
         let mut classes: Vec<ClassId> = Vec::with_capacity(want);
         while classes.len() < want.min(k) {
-            let c = weighted_pick(rng, class_freqs, |c| {
-                classes.iter().all(|x| x.index() != c)
-            })
-            .expect("classes remain");
+            let c = weighted_pick(rng, class_freqs, |c| classes.iter().all(|x| x.index() != c))
+                .expect("classes remain");
             classes.push(ClassId(c as u16));
         }
         plan.push(ValuePlan::Mixed(classes));
@@ -447,17 +444,9 @@ mod tests {
         let stats = AttrStats::compute_all(&d, 1.0, cfg.min_piece_len);
         for (s, spec) in stats.iter().zip(&cfg.attrs) {
             assert_eq!(s.range_width, spec.range_width, "attr {:?} width", s.attr);
-            assert_eq!(
-                s.num_distinct, spec.num_distinct,
-                "attr {:?} distinct",
-                s.attr
-            );
+            assert_eq!(s.num_distinct, spec.num_distinct, "attr {:?} distinct", s.attr);
             // Piece structure is realized exactly by the seeding pass.
-            assert_eq!(
-                s.num_mono_pieces, spec.num_mono_pieces,
-                "attr {:?} pieces",
-                s.attr
-            );
+            assert_eq!(s.num_mono_pieces, spec.num_mono_pieces, "attr {:?} pieces", s.attr);
             assert!(
                 (s.pct_mono_values - spec.pct_mono_values).abs() < 0.02,
                 "attr {:?}: pct {} vs target {}",

@@ -1,6 +1,6 @@
 //! A latent-factor dataset: attributes share one hidden factor, so
 //! they are strongly correlated — the setting where spectral attacks
-//! against additive-noise perturbation shine (reference [7] of the
+//! against additive-noise perturbation shine (reference \[7\] of the
 //! paper; see `ppdt-attack::spectral`).
 
 use rand::Rng;

@@ -31,11 +31,7 @@ pub fn figure1() -> Dataset {
 /// `age' = 0.9·age + 10` and `salary' = 0.5·salary`.
 pub fn figure1_transformed() -> Dataset {
     let d = figure1();
-    let age: Vec<f64> = d
-        .column(AttrId(0))
-        .iter()
-        .map(|&v| 0.9 * v + 10.0)
-        .collect();
+    let age: Vec<f64> = d.column(AttrId(0)).iter().map(|&v| 0.9 * v + 10.0).collect();
     let salary: Vec<f64> = d.column(AttrId(1)).iter().map(|&v| 0.5 * v).collect();
     d.with_columns(vec![age, salary])
 }

@@ -12,15 +12,15 @@
 //! for property tests.
 
 mod census;
-mod factor;
 mod covertype;
+mod factor;
 mod figure1;
 mod random;
 mod wdbc;
 
 pub use census::census_like;
+pub use covertype::{covertype_like, covertype_spec, CovertypeAttrSpec, CovertypeConfig};
 pub use factor::factor_model;
-pub use covertype::{covertype_like, covertype_spec, CovertypeConfig, CovertypeAttrSpec};
 pub use figure1::{figure1, figure1_transformed};
 pub use random::{random_dataset, RandomDatasetConfig};
 pub use wdbc::wdbc_like;
@@ -59,12 +59,7 @@ pub(crate) fn weighted_pick<R: Rng + ?Sized>(
     weights: &[f64],
     mut allowed: impl FnMut(usize) -> bool,
 ) -> Option<usize> {
-    let total: f64 = weights
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| allowed(i))
-        .map(|(_, &w)| w)
-        .sum();
+    let total: f64 = weights.iter().enumerate().filter(|&(i, _)| allowed(i)).map(|(_, &w)| w).sum();
     if total <= 0.0 {
         return None;
     }

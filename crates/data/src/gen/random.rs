@@ -41,9 +41,7 @@ pub fn random_dataset<R: Rng + ?Sized>(rng: &mut R, config: &RandomDatasetConfig
         .collect();
     let columns: Vec<Vec<f64>> = (0..config.num_attrs)
         .map(|_| {
-            (0..config.num_rows)
-                .map(|_| rng.gen_range(0..config.value_range) as f64)
-                .collect()
+            (0..config.num_rows).map(|_| rng.gen_range(0..config.value_range) as f64).collect()
         })
         .collect();
     Dataset::from_columns(schema, columns, labels)
@@ -59,7 +57,8 @@ mod tests {
     #[test]
     fn respects_config() {
         let mut rng = StdRng::seed_from_u64(31);
-        let cfg = RandomDatasetConfig { num_rows: 77, num_attrs: 4, num_classes: 5, value_range: 10 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 77, num_attrs: 4, num_classes: 5, value_range: 10 };
         let d = random_dataset(&mut rng, &cfg);
         assert_eq!(d.num_rows(), 77);
         assert_eq!(d.num_attrs(), 4);

@@ -16,8 +16,16 @@ use super::sample_labels;
 /// Pass `num_rows = 569` for the benchmark's size.
 pub fn wdbc_like<R: Rng + ?Sized>(rng: &mut R, num_rows: usize) -> Dataset {
     let names = [
-        "radius", "texture", "perimeter", "area", "smoothness", "compactness", "concavity",
-        "concave_points", "symmetry", "fractal_dim",
+        "radius",
+        "texture",
+        "perimeter",
+        "area",
+        "smoothness",
+        "compactness",
+        "concavity",
+        "concave_points",
+        "symmetry",
+        "fractal_dim",
     ];
     let schema = Schema::new(names, ["benign", "malignant"]);
     let labels = sample_labels(rng, num_rows, &[0.63, 0.37]);

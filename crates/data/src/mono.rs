@@ -70,11 +70,8 @@ impl MonoAnalysis {
     /// material for the caller).
     pub fn analyze(sc: &SortedColumn, min_piece_len: usize) -> Self {
         assert!(min_piece_len >= 1, "min_piece_len must be at least 1");
-        let group_labels: Vec<Option<ClassId>> = sc
-            .groups
-            .iter()
-            .map(|g| g.monochromatic_label())
-            .collect();
+        let group_labels: Vec<Option<ClassId>> =
+            sc.groups.iter().map(|g| g.monochromatic_label()).collect();
 
         let mut pieces = Vec::new();
         let mut i = 0usize;
@@ -127,12 +124,8 @@ impl MonoAnalysis {
     /// True iff distinct-value group `g` lies inside some piece.
     pub fn group_in_piece(&self, g: usize) -> bool {
         // Pieces are sorted and disjoint; binary search by start.
-        let idx = self
-            .pieces
-            .partition_point(|p| p.end_group <= g);
-        self.pieces
-            .get(idx)
-            .is_some_and(|p| p.first_group <= g && g < p.end_group)
+        let idx = self.pieces.partition_point(|p| p.end_group <= g);
+        self.pieces.get(idx).is_some_and(|p| p.first_group <= g && g < p.end_group)
     }
 }
 

@@ -115,10 +115,7 @@ impl Schema {
 
     /// Looks up a class id by name.
     pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
-        self.class_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| ClassId(i as u16))
+        self.class_names.iter().position(|n| n == name).map(|i| ClassId(i as u16))
     }
 }
 

@@ -58,10 +58,7 @@ impl AttrStats {
 
     /// Computes statistics for every attribute of the dataset.
     pub fn compute_all(d: &Dataset, granularity: f64, min_piece_len: usize) -> Vec<AttrStats> {
-        d.schema()
-            .attrs()
-            .map(|a| AttrStats::compute(d, a, granularity, min_piece_len))
-            .collect()
+        d.schema().attrs().map(|a| AttrStats::compute(d, a, granularity, min_piece_len)).collect()
     }
 }
 

@@ -114,12 +114,14 @@ mod tests {
 
     #[test]
     fn total_order_handles_negative_zero_and_infinity() {
-        let mut vs = [Value::new(1.0),
+        let mut vs = [
+            Value::new(1.0),
             Value::new(f64::NEG_INFINITY),
             Value::new(-0.0),
             Value::new(0.0),
             Value::new(f64::INFINITY),
-            Value::new(-3.5)];
+            Value::new(-3.5),
+        ];
         vs.sort();
         let raw: Vec<f64> = vs.iter().map(|v| v.get()).collect();
         assert_eq!(raw[0], f64::NEG_INFINITY);

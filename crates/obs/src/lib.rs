@@ -1,0 +1,326 @@
+//! # ppdt-obs
+//!
+//! Lightweight instrumentation for the custodian pipeline: scoped
+//! wall-clock [`phase`] timers, global pipeline [`Counter`]s, and
+//! peak-RSS sampling, all aggregated into a serializable
+//! [`MetricsSnapshot`].
+//!
+//! Instrumentation is **off by default** and costs one relaxed atomic
+//! load per probe while disabled, so library code can stay
+//! instrumented permanently. Benchmarks (and anything else that wants
+//! numbers) opt in with [`set_enabled`]:
+//!
+//! ```
+//! ppdt_obs::reset();
+//! ppdt_obs::set_enabled(true);
+//! {
+//!     let _t = ppdt_obs::phase("encode");
+//!     ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, 1_000);
+//! }
+//! let snap = ppdt_obs::snapshot();
+//! assert_eq!(snap.counters[ppdt_obs::Counter::RowsEncoded.index()].value, 1_000);
+//! assert_eq!(snap.phases[0].name, "encode");
+//! assert!(snap.phases[0].seconds >= 0.0);
+//! ppdt_obs::set_enabled(false);
+//! ```
+//!
+//! Phase timers aggregate by name: every `phase("encode")` guard adds
+//! its elapsed wall-clock time to the same row. Phases freely nest and
+//! overlap — a `"risk"` phase typically contains many `"encode"` and
+//! `"attack"` phases, and guards dropped on worker threads all count —
+//! so per-phase totals are *inclusive* and can exceed both each other
+//! and the process wall-clock. Treat them as "time spent inside this
+//! stage, summed over threads", not as a partition of the run.
+//!
+//! The registry is process-global. Concurrent snapshots are safe, but
+//! benchmark binaries that want per-run numbers should [`reset`]
+//! between runs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Global enable flag; all probes are near-free while this is false.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Pipeline counters, one atomic cell per [`Counter`] variant.
+static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+/// Phase accumulator rows: `(name, total nanoseconds, calls)`.
+/// Locked only when a guard drops or a snapshot is taken, never on
+/// the disabled path.
+static PHASES: Mutex<Vec<(&'static str, u64, u64)>> = Mutex::new(Vec::new());
+
+/// Turns instrumentation on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all counters and phase totals (the enable flag is kept).
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    PHASES.lock().expect("phase registry poisoned").clear();
+}
+
+/// The events the pipeline counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Tuples passed through `encode_dataset` (rows, not cells).
+    RowsEncoded,
+    /// Pieces materialized across all per-attribute transforms.
+    PiecesDrawn,
+    /// Candidate breakpoint positions examined by `plan_pieces`.
+    BoundariesScanned,
+    /// Randomized trials executed by the risk harness.
+    TrialsRun,
+    /// Split nodes decoded by the custodian's key.
+    NodesDecoded,
+}
+
+impl Counter {
+    /// Every counter, in [`Counter::index`] order.
+    pub const ALL: [Counter; 5] = [
+        Counter::RowsEncoded,
+        Counter::PiecesDrawn,
+        Counter::BoundariesScanned,
+        Counter::TrialsRun,
+        Counter::NodesDecoded,
+    ];
+
+    /// Stable position of this counter in [`Counter::ALL`] and in
+    /// [`MetricsSnapshot::counters`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The snake_case name used in snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RowsEncoded => "rows_encoded",
+            Counter::PiecesDrawn => "pieces_drawn",
+            Counter::BoundariesScanned => "boundaries_scanned",
+            Counter::TrialsRun => "trials_run",
+            Counter::NodesDecoded => "nodes_decoded",
+        }
+    }
+}
+
+/// Adds `n` to a counter. No-op while instrumentation is disabled.
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if enabled() {
+        COUNTERS[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Current value of a counter.
+pub fn counter(counter: Counter) -> u64 {
+    COUNTERS[counter.index()].load(Ordering::Relaxed)
+}
+
+/// A scoped phase timer. Created by [`phase`]; on drop it adds the
+/// elapsed wall-clock time to the named row of the global registry.
+#[must_use = "the timer measures until it is dropped; bind it with `let _t = ...`"]
+pub struct PhaseGuard {
+    armed: Option<(&'static str, Instant)>,
+}
+
+/// Starts timing a named phase. While instrumentation is disabled the
+/// guard is inert (no clock read, no lock).
+#[inline]
+pub fn phase(name: &'static str) -> PhaseGuard {
+    let armed = enabled().then(|| (name, Instant::now()));
+    PhaseGuard { armed }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.armed.take() {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let mut rows = PHASES.lock().expect("phase registry poisoned");
+            match rows.iter_mut().find(|(n, _, _)| *n == name) {
+                Some(row) => {
+                    row.1 += nanos;
+                    row.2 += 1;
+                }
+                None => rows.push((name, nanos, 1)),
+            }
+        }
+    }
+}
+
+/// One phase's aggregate in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetric {
+    /// Phase name as passed to [`phase`].
+    pub name: String,
+    /// Total wall-clock seconds across all guards with this name
+    /// (inclusive; sums over threads).
+    pub seconds: f64,
+    /// Number of guards that completed.
+    pub calls: u64,
+}
+
+/// One counter's value in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterMetric {
+    /// Counter name (see [`Counter::name`]).
+    pub name: String,
+    /// Accumulated count.
+    pub value: u64,
+}
+
+/// A point-in-time copy of every metric, ready for serialization.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Whether instrumentation was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// All counters, in [`Counter::ALL`] order (zero entries included
+    /// so the schema is stable).
+    pub counters: Vec<CounterMetric>,
+    /// Phase rows in first-recorded order; empty when nothing ran.
+    pub phases: Vec<PhaseMetric>,
+    /// Peak resident set size of the process in bytes, if the platform
+    /// exposes it (Linux `VmHWM`); `None` elsewhere.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Captures the current counters, phase totals, and peak RSS.
+pub fn snapshot() -> MetricsSnapshot {
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| CounterMetric { name: c.name().to_string(), value: counter(c) })
+        .collect();
+    let phases = PHASES
+        .lock()
+        .expect("phase registry poisoned")
+        .iter()
+        .map(|&(name, nanos, calls)| PhaseMetric {
+            name: name.to_string(),
+            seconds: nanos as f64 / 1e9,
+            calls,
+        })
+        .collect();
+    MetricsSnapshot { enabled: enabled(), counters, phases, peak_rss_bytes: peak_rss_bytes() }
+}
+
+/// Peak resident set size in bytes, read from `/proc/self/status`
+/// (`VmHWM`). Returns `None` on platforms without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and `cargo test` runs tests on
+    // threads of one process, so everything that toggles global state
+    // lives in this single test.
+    #[test]
+    fn counters_phases_and_snapshot() {
+        reset();
+        set_enabled(false);
+
+        // Disabled probes are inert.
+        add(Counter::RowsEncoded, 5);
+        {
+            let _t = phase("encode");
+        }
+        assert_eq!(counter(Counter::RowsEncoded), 0);
+        assert!(snapshot().phases.is_empty());
+
+        set_enabled(true);
+        add(Counter::RowsEncoded, 5);
+        add(Counter::RowsEncoded, 2);
+        add(Counter::TrialsRun, 1);
+        {
+            let _t = phase("encode");
+            let _inner = phase("mine");
+        }
+        {
+            let _t = phase("encode");
+        }
+
+        let snap = snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.counters.len(), Counter::ALL.len());
+        assert_eq!(snap.counters[Counter::RowsEncoded.index()].value, 7);
+        assert_eq!(snap.counters[Counter::TrialsRun.index()].value, 1);
+        assert_eq!(snap.counters[Counter::PiecesDrawn.index()].value, 0);
+
+        let encode = snap.phases.iter().find(|p| p.name == "encode").expect("encode row");
+        assert_eq!(encode.calls, 2);
+        assert!(encode.seconds >= 0.0);
+        assert!(snap.phases.iter().any(|p| p.name == "mine"));
+
+        // Concurrent updates from worker threads all land.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _t = phase("worker");
+                    add(Counter::PiecesDrawn, 10);
+                });
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counters[Counter::PiecesDrawn.index()].value, 40);
+        assert_eq!(snap.phases.iter().find(|p| p.name == "worker").unwrap().calls, 4);
+
+        // Snapshot round-trips through serde.
+        let json = serde_json_roundtrip(&snap);
+        assert_eq!(json, snap);
+
+        reset();
+        set_enabled(false);
+        assert_eq!(counter(Counter::RowsEncoded), 0);
+    }
+
+    fn serde_json_roundtrip(snap: &MetricsSnapshot) -> MetricsSnapshot {
+        use serde::{Deserialize, Serialize};
+        MetricsSnapshot::from_value(&snap.to_value()).expect("snapshot round-trips")
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A running test process surely holds > 64 KiB and < 1 TiB.
+            assert!(bytes > 64 * 1024, "{bytes}");
+            assert!(bytes < 1 << 40, "{bytes}");
+        }
+    }
+
+    #[test]
+    fn counter_names_are_stable() {
+        let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            ["rows_encoded", "pieces_drawn", "boundaries_scanned", "trials_run", "nodes_decoded"]
+        );
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

@@ -156,10 +156,8 @@ mod tests {
         // repo's run at default scale): the estimate should land within
         // ~12 points of the measurement for every attribute.
         let mut rng = StdRng::seed_from_u64(1);
-        let d = covertype_like(
-            &mut rng,
-            &CovertypeConfig { num_rows: 10_000, ..Default::default() },
-        );
+        let d =
+            covertype_like(&mut rng, &CovertypeConfig { num_rows: 10_000, ..Default::default() });
         let advice = advise(&d, 0.02, 1.0);
         let measured = [0.57, 1.0, 0.82, 0.06, 0.19, 0.11, 0.17, 0.21, 0.99, 0.11];
         for (a, &m) in advice.iter().zip(&measured) {
@@ -176,10 +174,8 @@ mod tests {
     #[test]
     fn covertype_verdict_structure() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = covertype_like(
-            &mut rng,
-            &CovertypeConfig { num_rows: 10_000, ..Default::default() },
-        );
+        let d =
+            covertype_like(&mut rng, &CovertypeConfig { num_rows: 10_000, ..Default::default() });
         let advice = advise(&d, 0.02, 1.0);
         // Dense, mono-free attributes are Unsafe (attrs 2, 3, 9 in the
         // paper's Figure 11 analysis).

@@ -5,8 +5,8 @@ use rand::Rng;
 
 use ppdt_attack::{fit_crack, CrackModel};
 use ppdt_data::Dataset;
-use ppdt_tree::{TreeBuilder, TreeParams};
 use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_tree::{TreeBuilder, TreeParams};
 
 use crate::crack::{is_crack, rho_for_attr};
 use crate::domain::{scenario_kps, DomainScenario};
@@ -48,6 +48,23 @@ impl PatternReport {
 /// the transformed data, give the hacker per-attribute crack functions
 /// (fitted from the scenario's knowledge points), and count the paths
 /// whose thresholds *all* crack (Definition 3's conjunction).
+///
+/// # Example
+/// ```
+/// use ppdt_attack::HackerProfile;
+/// use ppdt_risk::{pattern_risk_trial, DomainScenario};
+/// use ppdt_transform::EncodeConfig;
+/// use ppdt_tree::TreeParams;
+/// use rand::SeedableRng;
+///
+/// let d = ppdt_data::gen::figure1();
+/// let scenario = DomainScenario::polyline(HackerProfile::Expert);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let report =
+///     pattern_risk_trial(&mut rng, &d, &EncodeConfig::default(), TreeParams::default(), &scenario);
+/// assert!(report.total_paths > 0);
+/// assert!((0.0..=1.0).contains(&report.risk()));
+/// ```
 pub fn pattern_risk_trial<R: Rng + ?Sized>(
     rng: &mut R,
     d: &Dataset,
@@ -170,10 +187,8 @@ mod tests {
         // hence we assert over several trials: most crack nothing, and
         // even the worst stays far below the per-domain risk.
         let mut rng = StdRng::seed_from_u64(99);
-        let d = covertype_like(
-            &mut rng,
-            &CovertypeConfig { num_rows: 9_000, ..Default::default() },
-        );
+        let d =
+            covertype_like(&mut rng, &CovertypeConfig { num_rows: 9_000, ..Default::default() });
         let mut risks = Vec::new();
         let mut long_paths = 0usize;
         for _ in 0..5 {
@@ -195,10 +210,7 @@ mod tests {
         }
         risks.sort_by(f64::total_cmp);
         assert!(risks[2] < 0.02, "median trial risk {:.4} too high ({risks:?})", risks[2]);
-        assert!(
-            *risks.last().unwrap() < 0.12,
-            "worst trial risk too high ({risks:?})"
-        );
+        assert!(*risks.last().unwrap() < 0.12, "worst trial risk too high ({risks:?})");
         assert!(long_paths > 0, "expected some long paths in the trees");
     }
 
@@ -208,14 +220,15 @@ mod tests {
         // crack functions track the trend) but far from the true model
         // (else output privacy failed).
         let mut rng = StdRng::seed_from_u64(101);
-        let d = covertype_like(
-            &mut rng,
-            &CovertypeConfig { num_rows: 6_000, ..Default::default() },
-        );
-        let majority = *d.class_counts().iter().max().expect("classes") as f64
-            / d.num_rows() as f64;
+        let d =
+            covertype_like(&mut rng, &CovertypeConfig { num_rows: 6_000, ..Default::default() });
+        let majority =
+            *d.class_counts().iter().max().expect("classes") as f64 / d.num_rows() as f64;
+        // Per-trial agreement has a wide spread (roughly 0.2–0.7
+        // depending on how well the crack functions land), so take the
+        // median of enough trials for it to stabilise.
         let mut agreements = Vec::new();
-        for _ in 0..3 {
+        for _ in 0..7 {
             agreements.push(tree_reconstruction_trial(
                 &mut rng,
                 &d,
@@ -225,7 +238,7 @@ mod tests {
             ));
         }
         agreements.sort_by(f64::total_cmp);
-        let median = agreements[1];
+        let median = agreements[3];
         assert!(median < 0.98, "reconstruction too good: {median:.3}");
         assert!(
             median > majority - 0.05,
@@ -236,10 +249,8 @@ mod tests {
     #[test]
     fn histogram_sums_to_totals() {
         let mut rng = StdRng::seed_from_u64(100);
-        let d = covertype_like(
-            &mut rng,
-            &CovertypeConfig { num_rows: 4_000, ..Default::default() },
-        );
+        let d =
+            covertype_like(&mut rng, &CovertypeConfig { num_rows: 4_000, ..Default::default() });
         let report = pattern_risk_trial(
             &mut rng,
             &d,

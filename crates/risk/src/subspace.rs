@@ -23,6 +23,23 @@ use crate::domain::{scenario_kps, DomainScenario};
 /// `risk(A, B) < risk(A) · risk(B)` thanks to per-attribute
 /// independence of the transforms plus value-association skew.
 ///
+/// # Example
+/// ```
+/// use ppdt_attack::HackerProfile;
+/// use ppdt_risk::{subspace_risk_trial, run_trials, DomainScenario};
+/// use ppdt_data::AttrId;
+/// use ppdt_transform::EncodeConfig;
+///
+/// let d = ppdt_data::gen::figure1();
+/// let scenario = DomainScenario::polyline(HackerProfile::Expert);
+/// // Cracking the (age, salary) pair of a tuple is harder than
+/// // cracking either attribute alone.
+/// let stats = run_trials(11, 7, |rng| {
+///     subspace_risk_trial(rng, &d, &[AttrId(0), AttrId(1)], &EncodeConfig::default(), &scenario)
+/// });
+/// assert!((0.0..=1.0).contains(&stats.median));
+/// ```
+///
 /// # Panics
 /// Panics if `subspace` is empty or repeats attributes.
 pub fn subspace_risk_trial<R: Rng + ?Sized>(
@@ -125,9 +142,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let ids: Vec<AttrId> = attrs.iter().map(|&i| AttrId(i)).collect();
             let n = 7;
-            (0..n)
-                .map(|_| subspace_risk_trial(&mut rng, &d, &ids, &cfg, &scenario))
-                .sum::<f64>()
+            (0..n).map(|_| subspace_risk_trial(&mut rng, &d, &ids, &cfg, &scenario)).sum::<f64>()
                 / n as f64
         };
         let single = avg(&[3], 1);

@@ -46,6 +46,8 @@ where
     F: Fn(&mut StdRng) -> f64 + Sync,
 {
     assert!(trials > 0, "need at least one trial");
+    let _t = ppdt_obs::phase("risk");
+    ppdt_obs::add(ppdt_obs::Counter::TrialsRun, trials as u64);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(trials);
     let mut values = vec![0.0f64; trials];
     // Per-trial seeds drawn from a master generator so different base

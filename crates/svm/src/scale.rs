@@ -49,9 +49,8 @@ impl Standardizer {
     pub fn transform_rows(&self, d: &Dataset) -> Vec<Vec<f64>> {
         (0..d.num_rows())
             .map(|row| {
-                let mut values: Vec<f64> = (0..d.num_attrs())
-                    .map(|a| d.value(row, AttrId(a)))
-                    .collect();
+                let mut values: Vec<f64> =
+                    (0..d.num_attrs()).map(|a| d.value(row, AttrId(a))).collect();
                 self.apply(&mut values);
                 values
             })

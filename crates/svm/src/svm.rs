@@ -64,11 +64,8 @@ pub fn train_binary<R: Rng + ?Sized>(
 
     let scaler = Standardizer::fit(d);
     let rows = scaler.transform_rows(d);
-    let labels: Vec<f64> = d
-        .labels()
-        .iter()
-        .map(|&c| if c == positive { 1.0 } else { -1.0 })
-        .collect();
+    let labels: Vec<f64> =
+        d.labels().iter().map(|&c| if c == positive { 1.0 } else { -1.0 }).collect();
 
     let m = d.num_attrs();
     let n = rows.len();
@@ -85,8 +82,8 @@ pub fn train_binary<R: Rng + ?Sized>(
             t += 1;
             let i = rng.gen_range(0..n);
             let eta = 1.0 / (params.lambda * t as f64);
-            let margin = labels[i]
-                * (w.iter().zip(&rows[i]).map(|(wj, xj)| wj * xj).sum::<f64>() + b);
+            let margin =
+                labels[i] * (w.iter().zip(&rows[i]).map(|(wj, xj)| wj * xj).sum::<f64>() + b);
             // w <- (1 - eta*lambda) w [+ eta*y*x if margin violated]
             let shrink = 1.0 - eta * params.lambda;
             for wj in w.iter_mut() {
@@ -162,11 +159,7 @@ pub fn train_multiclass<R: Rng + ?Sized>(
     d: &Dataset,
     params: &SvmParams,
 ) -> MulticlassSvm {
-    let machines = d
-        .schema()
-        .classes()
-        .map(|c| train_binary(rng, d, c, params))
-        .collect();
+    let machines = d.schema().classes().map(|c| train_binary(rng, d, c, params)).collect();
     MulticlassSvm { machines }
 }
 
@@ -222,12 +215,8 @@ mod tests {
     fn beats_majority_on_generated_benchmarks() {
         let mut rng = StdRng::seed_from_u64(4);
         for d in [census_like(&mut rng, 2_000), wdbc_like(&mut rng, 569)] {
-            let majority = d
-                .class_counts()
-                .into_iter()
-                .max()
-                .unwrap_or(0) as f64
-                / d.num_rows() as f64;
+            let majority =
+                d.class_counts().into_iter().max().unwrap_or(0) as f64 / d.num_rows() as f64;
             let m = train_multiclass(&mut rng, &d, &SvmParams::default());
             let acc = m.accuracy(&d);
             assert!(acc > majority + 0.05, "acc {acc:.3} vs majority {majority:.3}");
@@ -275,9 +264,6 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(
-            agree < d.num_rows(),
-            "a nonlinear monotone map must change some predictions"
-        );
+        assert!(agree < d.num_rows(), "a nonlinear monotone map must change some predictions");
     }
 }

@@ -14,6 +14,29 @@ use serde::{Deserialize, Serialize};
 use ppdt_data::{ClassId, MonoAnalysis, SortedColumn};
 
 /// How an attribute's domain is decomposed into pieces.
+///
+/// # Example
+/// ```
+/// use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig};
+/// use rand::SeedableRng;
+///
+/// let d = ppdt_data::gen::figure1();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// // The paper's recommended strategy: maximal monochromatic pieces,
+/// // topped up to at least `w` pieces with random breakpoints.
+/// let config = EncodeConfig {
+///     strategy: BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 2 },
+///     ..Default::default()
+/// };
+/// let (key, _d_prime) = encode_dataset(&mut rng, &d, &config);
+/// // ChooseBP instead draws `w` uniform breakpoints.
+/// let config = EncodeConfig {
+///     strategy: BreakpointStrategy::ChooseBP { w: 4 },
+///     ..Default::default()
+/// };
+/// let (key_bp, _d_prime) = encode_dataset(&mut rng, &d, &config);
+/// # let _ = (key, key_bp);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum BreakpointStrategy {
     /// A single piece over the whole domain (the Figure 9 baseline:
@@ -118,6 +141,7 @@ pub fn plan_pieces<R: Rng + ?Sized>(
                         candidates.extend(p.first_group + 1..p.end_group);
                     }
                 }
+                ppdt_obs::add(ppdt_obs::Counter::BoundariesScanned, candidates.len() as u64);
                 candidates.shuffle(rng);
                 candidates.truncate(deficit);
                 candidates.sort_unstable();
@@ -137,6 +161,7 @@ fn random_cuts<R: Rng + ?Sized>(
     w: usize,
 ) -> Vec<usize> {
     let mut all: Vec<usize> = range.collect();
+    ppdt_obs::add(ppdt_obs::Counter::BoundariesScanned, all.len() as u64);
     all.shuffle(rng);
     all.truncate(w);
     all.sort_unstable();
@@ -262,11 +287,8 @@ mod tests {
         // (L), r3={29} (non-mono), r4={42,43,44} (H).
         let sc = paper_column();
         let mut rng = StdRng::seed_from_u64(4);
-        let plan = plan_pieces(
-            &mut rng,
-            &sc,
-            BreakpointStrategy::ChooseMaxMP { w: 0, min_piece_len: 1 },
-        );
+        let plan =
+            plan_pieces(&mut rng, &sc, BreakpointStrategy::ChooseMaxMP { w: 0, min_piece_len: 1 });
         assert!(plan_is_partition(&plan, sc.num_distinct()));
         let labels: Vec<Option<u16>> = plan.iter().map(|p| p.mono_label.map(|c| c.0)).collect();
         assert_eq!(labels, vec![Some(0), Some(1), None, Some(0)]);
@@ -280,11 +302,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // min_piece_len 10 disables mono pieces entirely, forcing the
         // random-cut fallback over the whole (non-mono) domain.
-        let plan = plan_pieces(
-            &mut rng,
-            &sc,
-            BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 10 },
-        );
+        let plan =
+            plan_pieces(&mut rng, &sc, BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 10 });
         assert!(plan_is_partition(&plan, sc.num_distinct()));
         assert!(plan.len() >= 4, "got {} pieces", plan.len());
         assert!(plan.iter().all(|p| p.mono_label.is_none()));

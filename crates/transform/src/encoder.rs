@@ -1,7 +1,14 @@
 //! Dataset-level encoding and the custodian's key.
+//!
+//! [`encode_dataset`] draws one independent RNG stream per attribute
+//! (seeded from the caller's generator), so the serial path and the
+//! crossbeam-threaded [`encode_dataset_parallel`] produce **bit-
+//! identical** output for the same master seed — parallelism is purely
+//! a wall-clock optimization, never a semantic choice.
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use ppdt_data::{AttrId, Dataset, SortedColumn};
@@ -72,11 +79,7 @@ impl EncodeConfig {
     /// The Figure 9 "no breakpoint" baseline: one monotone function per
     /// attribute.
     pub fn baseline(family: FnFamily) -> Self {
-        EncodeConfig {
-            strategy: BreakpointStrategy::None,
-            family,
-            ..Default::default()
-        }
+        EncodeConfig { strategy: BreakpointStrategy::None, family, ..Default::default() }
     }
 }
 
@@ -165,6 +168,25 @@ impl TransformKey {
     /// whenever every attribute is globally monotone with no
     /// permutation pieces, and training-equivalent otherwise.
     ///
+    /// # Example
+    /// ```
+    /// use ppdt_transform::{encode_dataset, EncodeConfig};
+    /// use ppdt_tree::{ThresholdPolicy, TreeBuilder};
+    /// use rand::SeedableRng;
+    ///
+    /// let d = ppdt_data::gen::figure1();
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let (key, d_prime) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    ///
+    /// // The (untrusted) miner sees only D'.
+    /// let t_prime = TreeBuilder::default().fit(&d_prime);
+    ///
+    /// // Decoding T' with the key recovers the tree mined on D directly.
+    /// let s = key.decode_tree(&t_prime, ThresholdPolicy::DataValue, &d);
+    /// let t = TreeBuilder::default().fit(&d);
+    /// assert!(ppdt_tree::trees_equal(&s, &t));
+    /// ```
+    ///
     /// # Panics
     /// Panics if `d` does not have the attribute/value layout the key
     /// was built from (values outside the transforms' pieces).
@@ -175,6 +197,7 @@ impl TransformKey {
         d: &Dataset,
     ) -> DecisionTree {
         use ppdt_tree::Node;
+        let _t = ppdt_obs::phase("decode");
         let midpoint = matches!(policy, ThresholdPolicy::Midpoint);
 
         struct Ctx<'a> {
@@ -187,6 +210,7 @@ impl TransformKey {
             match n {
                 Node::Leaf { .. } => n.clone(),
                 Node::Split { attr, threshold, class_counts, left, right } => {
+                    ppdt_obs::add(ppdt_obs::Counter::NodesDecoded, 1);
                     let tr = ctx.key.transform(*attr);
                     let col = ctx.d.column(*attr);
                     let mut rows_le = Vec::new();
@@ -314,26 +338,112 @@ pub fn encode_dataset<R: Rng + ?Sized>(
     d: &Dataset,
     config: &EncodeConfig,
 ) -> (TransformKey, Dataset) {
+    validate_encode_inputs(d, config);
+    let _t = ppdt_obs::phase("encode");
+    let seeds = attr_seeds(rng, d.num_attrs());
+    ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, d.num_rows() as u64);
+
+    let mut transforms = Vec::with_capacity(d.num_attrs());
+    let mut columns = Vec::with_capacity(d.num_attrs());
+    for (a, &seed) in d.schema().attrs().zip(&seeds) {
+        let (tr, col) = encode_attribute_seeded(seed, d, a, config);
+        transforms.push(tr);
+        columns.push(col);
+    }
+    (TransformKey { transforms }, d.with_columns(columns))
+}
+
+/// Parallel [`encode_dataset`]: attributes are encoded on crossbeam
+/// scoped threads, one independent seeded RNG stream per attribute.
+///
+/// The output is **bit-identical** to the serial path — both draw the
+/// same per-attribute seeds from `rng` up front, so thread scheduling
+/// cannot reorder any randomness:
+///
+/// ```
+/// use ppdt_data::gen::figure1;
+/// use ppdt_transform::{encode_dataset, encode_dataset_parallel, EncodeConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let d = figure1();
+/// let config = EncodeConfig::default();
+/// let serial = encode_dataset(&mut StdRng::seed_from_u64(7), &d, &config);
+/// let parallel = encode_dataset_parallel(&mut StdRng::seed_from_u64(7), &d, &config);
+/// assert_eq!(serial, parallel);
+/// ```
+///
+/// # Panics
+/// Panics on an empty dataset, invalid configuration fractions, or a
+/// worker-thread panic.
+pub fn encode_dataset_parallel<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    config: &EncodeConfig,
+) -> (TransformKey, Dataset) {
+    validate_encode_inputs(d, config);
+    let _t = ppdt_obs::phase("encode");
+    let seeds = attr_seeds(rng, d.num_attrs());
+    ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, d.num_rows() as u64);
+
+    let n = d.num_attrs();
+    let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(n).max(1);
+    let mut slots: Vec<Option<(PiecewiseTransform, Vec<f64>)>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let chunk_len = n.div_ceil(threads);
+        for (t, chunk) in slots.chunks_mut(chunk_len).enumerate() {
+            let seeds = &seeds;
+            let start = t * chunk_len;
+            scope.spawn(move |_| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let a = AttrId(start + i);
+                    *slot = Some(encode_attribute_seeded(seeds[start + i], d, a, config));
+                }
+            });
+        }
+    })
+    .expect("encode worker thread panicked");
+
+    let mut transforms = Vec::with_capacity(n);
+    let mut columns = Vec::with_capacity(n);
+    for slot in slots {
+        let (tr, col) = slot.expect("every attribute encoded");
+        transforms.push(tr);
+        columns.push(col);
+    }
+    (TransformKey { transforms }, d.with_columns(columns))
+}
+
+fn validate_encode_inputs(d: &Dataset, config: &EncodeConfig) {
     assert!(d.num_rows() > 0, "cannot encode an empty dataset");
-    assert!(
-        (0.0..=1.0).contains(&config.anti_monotone_prob),
-        "anti_monotone_prob out of range"
-    );
+    assert!((0.0..=1.0).contains(&config.anti_monotone_prob), "anti_monotone_prob out of range");
     assert!(
         config.gap_fraction > 0.0 && config.gap_fraction < 0.9,
         "gap_fraction must be in (0, 0.9): zero-width gaps would let adjacent piece \
          intervals touch and break strict output disjointness"
     );
+}
 
-    let mut transforms = Vec::with_capacity(d.num_attrs());
-    let mut columns = Vec::with_capacity(d.num_attrs());
-    for a in d.schema().attrs() {
-        let tr = encode_attribute(rng, d, a, config);
-        let col = d.column(a).iter().map(|&x| tr.encode(x)).collect();
-        transforms.push(tr);
-        columns.push(col);
-    }
-    (TransformKey { transforms }, d.with_columns(columns))
+/// One seed per attribute, drawn in attribute order from the caller's
+/// generator. Pre-drawing is what decouples the per-attribute streams:
+/// any encode order (serial, chunked, threaded) then yields the same
+/// transforms.
+fn attr_seeds<R: Rng + ?Sized>(rng: &mut R, num_attrs: usize) -> Vec<u64> {
+    (0..num_attrs).map(|_| rng.gen()).collect()
+}
+
+/// Encodes one attribute from its own seeded stream and applies the
+/// transform to the attribute's column.
+fn encode_attribute_seeded(
+    seed: u64,
+    d: &Dataset,
+    a: AttrId,
+    config: &EncodeConfig,
+) -> (PiecewiseTransform, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tr = encode_attribute(&mut rng, d, a, config);
+    let col = d.column(a).iter().map(|&x| tr.encode(x)).collect();
+    (tr, col)
 }
 
 /// Builds the piecewise transform of one attribute.
@@ -353,7 +463,10 @@ pub fn encode_attribute<R: Rng + ?Sized>(
         let increasing = !rng.gen_bool(config.anti_monotone_prob);
         let tr = build_transform(rng, &sc, &plan, increasing, config);
         match tr.validate() {
-            Ok(()) => return tr,
+            Ok(()) => {
+                ppdt_obs::add(ppdt_obs::Counter::PiecesDrawn, tr.pieces.len() as u64);
+                return tr;
+            }
             Err(e) if attempt == 15 => {
                 panic!("could not draw a valid transform for {a} after 16 attempts: {e}")
             }
@@ -404,10 +517,9 @@ fn build_transform<R: Rng + ?Sized>(
             .zip(plan)
             .map(|(w, p)| w * (p.len() as f64).sqrt())
             .collect(),
-        LayoutKind::IidProportional => plan
-            .iter()
-            .map(|p| (p.len() as f64) * rng.gen_range(0.6..1.6))
-            .collect(),
+        LayoutKind::IidProportional => {
+            plan.iter().map(|p| (p.len() as f64) * rng.gen_range(0.6..1.6)).collect()
+        }
     };
     let weight_sum: f64 = weights.iter().sum();
     let gaps_total = out_span * config.gap_fraction;
@@ -512,7 +624,9 @@ fn permutation_map<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppdt_data::gen::{covertype_like, figure1, random_dataset, CovertypeConfig, RandomDatasetConfig};
+    use ppdt_data::gen::{
+        covertype_like, figure1, random_dataset, CovertypeConfig, RandomDatasetConfig,
+    };
     use ppdt_data::ClassString;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -545,7 +659,8 @@ mod tests {
     #[test]
     fn class_strings_preserved_or_reversed() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 50 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 50 };
         for trial in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
             let config = EncodeConfig::default();
@@ -553,12 +668,7 @@ mod tests {
             for a in d.schema().attrs() {
                 // Tie-robust Lemma 1 check (histogram sequence).
                 assert!(
-                    crate::verify::class_strings_preserved(
-                        &d,
-                        &d2,
-                        a,
-                        key.transform(a).increasing
-                    ),
+                    crate::verify::class_strings_preserved(&d, &d2, a, key.transform(a).increasing),
                     "trial {trial} attr {a}"
                 );
                 // For globally monotone attributes the literal class
@@ -583,12 +693,7 @@ mod tests {
         let d = figure1();
         let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
         for a in d.schema().attrs() {
-            let changed = d
-                .column(a)
-                .iter()
-                .zip(d2.column(a))
-                .filter(|(x, y)| x != y)
-                .count();
+            let changed = d.column(a).iter().zip(d2.column(a)).filter(|(x, y)| x != y).count();
             assert_eq!(changed, d.num_rows(), "attr {a}");
         }
     }
@@ -642,7 +747,8 @@ mod tests {
         use ppdt_tree::{trees_equal, TreeBuilder, TreeParams};
         let mut rng = StdRng::seed_from_u64(7);
         let d = figure1();
-        let params = TreeParams { threshold_policy: ThresholdPolicy::Midpoint, ..Default::default() };
+        let params =
+            TreeParams { threshold_policy: ThresholdPolicy::Midpoint, ..Default::default() };
         for strat in all_strategies() {
             let config = EncodeConfig { strategy: strat, ..Default::default() };
             let (key, d2) = encode_dataset(&mut rng, &d, &config);
@@ -662,10 +768,8 @@ mod tests {
     #[test]
     fn decode_dataset_inverts_exactly() {
         let mut rng = StdRng::seed_from_u64(31);
-        let d = covertype_like(
-            &mut rng,
-            &CovertypeConfig { num_rows: 2_000, ..Default::default() },
-        );
+        let d =
+            covertype_like(&mut rng, &CovertypeConfig { num_rows: 2_000, ..Default::default() });
         let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
         let back = key.decode_dataset(&d2);
         assert_eq!(back, d);
@@ -715,7 +819,8 @@ mod tests {
         // exactness as long as the error is below half a domain gap.
         use ppdt_data::gen::{random_dataset, RandomDatasetConfig};
         let mut rng = StdRng::seed_from_u64(35);
-        let cfg = RandomDatasetConfig { num_rows: 200, num_attrs: 2, num_classes: 2, value_range: 50 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 200, num_attrs: 2, num_classes: 2, value_range: 50 };
         for _ in 0..5 {
             let d = random_dataset(&mut rng, &cfg);
             let config = EncodeConfig { family: FnFamily::Composed, ..Default::default() };
@@ -763,11 +868,7 @@ mod tests {
         let (key, d2) = encode_dataset(&mut rng, &d, &config);
         for a in d.schema().attrs() {
             assert!(!key.transform(a).increasing);
-            assert_eq!(
-                ClassString::of(&d, a).reversed(),
-                ClassString::of(&d2, a),
-                "attr {a}"
-            );
+            assert_eq!(ClassString::of(&d, a).reversed(), ClassString::of(&d2, a), "attr {a}");
         }
     }
 }

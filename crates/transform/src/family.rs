@@ -34,13 +34,8 @@ pub enum FnFamily {
 
 impl FnFamily {
     /// The primitive (non-composed, non-`Mixed`) families.
-    pub const CONCRETE: [FnFamily; 5] = [
-        FnFamily::Linear,
-        FnFamily::Polynomial,
-        FnFamily::Log,
-        FnFamily::SqrtLog,
-        FnFamily::Exp,
-    ];
+    pub const CONCRETE: [FnFamily; 5] =
+        [FnFamily::Linear, FnFamily::Polynomial, FnFamily::Log, FnFamily::SqrtLog, FnFamily::Exp];
 
     /// Samples a function of this family that is valid and strictly
     /// monotone on `[lo, hi]`, with the requested direction.
@@ -49,7 +44,13 @@ impl FnFamily {
     /// piecewise encoder affinely renormalizes each piece's output into
     /// its target interval — so the sampler only randomizes the
     /// *shape* (centers, exponents, rates).
-    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, lo: f64, hi: f64, increasing: bool) -> MonoFunc {
+    pub fn sample<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        lo: f64,
+        hi: f64,
+        increasing: bool,
+    ) -> MonoFunc {
         assert!(lo <= hi, "invalid domain [{lo}, {hi}]");
         let width = (hi - lo).max(1.0);
         let sign = if increasing { 1.0 } else { -1.0 };
@@ -77,7 +78,10 @@ impl FnFamily {
                     .sample(rng, img_lo, img_hi, outer_inc);
                 return MonoFunc::compose(outer, inner);
             }
-            FnFamily::Linear => MonoFunc::Linear { a: sign * rng.gen_range(0.2..3.0), b: rng.gen_range(-width..width) },
+            FnFamily::Linear => MonoFunc::Linear {
+                a: sign * rng.gen_range(0.2..3.0),
+                b: rng.gen_range(-width..width),
+            },
             FnFamily::Polynomial => MonoFunc::Power {
                 a: sign * rng.gen_range(0.2..2.0),
                 c: rng.gen_range(lo - width..hi + width),

@@ -139,9 +139,7 @@ impl MonoFunc {
             | MonoFunc::Log { a, .. }
             | MonoFunc::SqrtLog { a, .. } => *a > 0.0,
             MonoFunc::Exp { a, k, .. } => a * k > 0.0,
-            MonoFunc::Composed { outer, inner } => {
-                outer.is_increasing() == inner.is_increasing()
-            }
+            MonoFunc::Composed { outer, inner } => outer.is_increasing() == inner.is_increasing(),
         }
     }
 
@@ -181,10 +179,7 @@ mod tests {
         assert!(y.is_finite(), "{f:?} at {x}");
         let back = f.inverse(y);
         let scale = x.abs().max(1.0);
-        assert!(
-            (back - x).abs() <= tol * scale,
-            "{f:?}: {x} -> {y} -> {back}"
-        );
+        assert!((back - x).abs() <= tol * scale, "{f:?}: {x} -> {y} -> {back}");
     }
 
     #[test]
@@ -204,7 +199,7 @@ mod tests {
         roundtrip(&f, 4.0, 1e-9); // below center
         roundtrip(&f, 10.0, 1e-9); // at center
         roundtrip(&f, 25.0, 1e-9); // above center
-        // Strictly increasing across the center.
+                                   // Strictly increasing across the center.
         assert!(f.eval(9.0) < f.eval(10.0));
         assert!(f.eval(10.0) < f.eval(11.0));
     }

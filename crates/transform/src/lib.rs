@@ -51,7 +51,9 @@ pub mod piecewise;
 pub mod verify;
 
 pub use breakpoints::{plan_pieces, BreakpointStrategy, PiecePlan};
-pub use encoder::{encode_dataset, EncodeConfig, LayoutKind, TransformKey};
+pub use encoder::{
+    encode_dataset, encode_dataset_parallel, EncodeConfig, LayoutKind, TransformKey,
+};
 pub use family::FnFamily;
 pub use func::MonoFunc;
 pub use perturb::{perturb_dataset, PerturbKind, Perturbation};

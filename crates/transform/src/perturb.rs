@@ -4,7 +4,7 @@
 //! Perturbation trades outcome fidelity for privacy: the mined tree
 //! changes, and — for discrete domains — a fraction of values survives
 //! unchanged and is revealed outright (the paper cites ~30% unchanged
-//! in [8]'s settings). The experiment harness uses this module to
+//! in \[8\]'s settings). The experiment harness uses this module to
 //! reproduce that contrast: `ppdt`'s transformations change *every*
 //! value and change *no* outcome.
 

@@ -162,12 +162,10 @@ impl PiecewiseTransform {
         let above = (lo < n).then(|| idx_at(lo));
         match (below, above) {
             (Some(b), Some(a)) => {
-                let db = (y - self.pieces[b].output_hi)
-                    .abs()
-                    .min((y - self.pieces[b].output_lo).abs());
-                let da = (y - self.pieces[a].output_lo)
-                    .abs()
-                    .min((y - self.pieces[a].output_hi).abs());
+                let db =
+                    (y - self.pieces[b].output_hi).abs().min((y - self.pieces[b].output_lo).abs());
+                let da =
+                    (y - self.pieces[a].output_lo).abs().min((y - self.pieces[a].output_hi).abs());
                 Err(if db <= da { b } else { a })
             }
             (Some(b), None) => Err(b),
@@ -197,10 +195,9 @@ impl PiecewiseTransform {
         }
         match &p.kind {
             PieceKind::Monotone { f, s, t } => Some(s * f.eval(x) + t),
-            PieceKind::Permutation { map } => map
-                .binary_search_by(|&(v, _)| v.total_cmp(&x))
-                .ok()
-                .map(|j| map[j].1),
+            PieceKind::Permutation { map } => {
+                map.binary_search_by(|&(v, _)| v.total_cmp(&x)).ok().map(|j| map[j].1)
+            }
         }
     }
 
@@ -233,11 +230,8 @@ impl PiecewiseTransform {
     /// sorted by transformed value. Precompute once per attribute when
     /// decoding many thresholds.
     pub fn transformed_domain_map(&self) -> Vec<(f64, f64)> {
-        let mut ty: Vec<(f64, f64)> = self
-            .orig_domain
-            .iter()
-            .map(|&x| (self.encode(x), x))
-            .collect();
+        let mut ty: Vec<(f64, f64)> =
+            self.orig_domain.iter().map(|&x| (self.encode(x), x)).collect();
         ty.sort_by(|a, b| a.0.total_cmp(&b.0));
         ty
     }

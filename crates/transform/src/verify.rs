@@ -61,9 +61,7 @@ pub fn class_strings_preserved(d: &Dataset, d2: &Dataset, a: AttrId, increasing:
 
 /// Checks Lemma 1 for every attribute under `key`'s directions.
 pub fn all_class_strings_preserved(d: &Dataset, d2: &Dataset, key: &TransformKey) -> bool {
-    d.schema()
-        .attrs()
-        .all(|a| class_strings_preserved(d, d2, a, key.transform(a).increasing))
+    d.schema().attrs().all(|a| class_strings_preserved(d, d2, a, key.transform(a).increasing))
 }
 
 /// Outcome of a full no-outcome-change verification run.
@@ -123,6 +121,25 @@ pub fn no_outcome_change<R: Rng + ?Sized>(
 ///
 /// Returns the key, the transformed dataset, and the number of
 /// attempts used.
+///
+/// # Example
+/// ```
+/// use ppdt_transform::verify::encode_dataset_verified;
+/// use ppdt_transform::EncodeConfig;
+/// use ppdt_tree::TreeParams;
+/// use rand::SeedableRng;
+///
+/// let d = ppdt_data::gen::figure1();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (key, d_prime, attempts) =
+///     encode_dataset_verified(&mut rng, &d, &EncodeConfig::default(), TreeParams::default(), 8);
+/// assert!((1..=9).contains(&attempts));
+/// // The guarantee just verified: decoding the tree mined on D'
+/// // reproduces the tree mined on D.
+/// let t_prime = ppdt_tree::TreeBuilder::default().fit(&d_prime);
+/// let s = key.decode_tree(&t_prime, TreeParams::default().threshold_policy, &d);
+/// assert!(ppdt_tree::trees_equal(&s, &ppdt_tree::TreeBuilder::default().fit(&d)));
+/// ```
 pub fn encode_dataset_verified<R: Rng + ?Sized>(
     rng: &mut R,
     d: &Dataset,
@@ -195,7 +212,8 @@ mod tests {
         // The workhorse guarantee test: many random datasets with heavy
         // ties, random strategies and directions.
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = RandomDatasetConfig { num_rows: 150, num_attrs: 3, num_classes: 3, value_range: 25 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 150, num_attrs: 3, num_classes: 3, value_range: 25 };
         for trial in 0..25 {
             let d = random_dataset(&mut rng, &cfg);
             let strat = match trial % 3 {
@@ -203,13 +221,14 @@ mod tests {
                 1 => BreakpointStrategy::ChooseBP { w: 1 + trial % 7 },
                 _ => BreakpointStrategy::ChooseMaxMP { w: trial % 9, min_piece_len: 1 + trial % 3 },
             };
-            let encode_config = EncodeConfig {
-                strategy: strat,
-                family: FnFamily::Mixed,
-                ..Default::default()
-            };
+            let encode_config =
+                EncodeConfig { strategy: strat, family: FnFamily::Mixed, ..Default::default() };
             let params = TreeParams {
-                criterion: if trial % 2 == 0 { SplitCriterion::Gini } else { SplitCriterion::Entropy },
+                criterion: if trial % 2 == 0 {
+                    SplitCriterion::Gini
+                } else {
+                    SplitCriterion::Entropy
+                },
                 ..Default::default()
             };
             let report = no_outcome_change(&mut rng, &d, &encode_config, params);
@@ -224,7 +243,8 @@ mod tests {
         // verified encoder redraws until exactness holds (see the
         // EncodeConfig docs). Heavy-tie random data is the worst case.
         let mut rng = StdRng::seed_from_u64(20);
-        let cfg = RandomDatasetConfig { num_rows: 120, num_attrs: 3, num_classes: 3, value_range: 20 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 120, num_attrs: 3, num_classes: 3, value_range: 20 };
         for trial in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
             let encode_config = EncodeConfig {
@@ -240,11 +260,7 @@ mod tests {
             let t = builder.fit(&d);
             let t2 = builder.fit(&d2);
             let s = key.decode_tree(&t2, params.threshold_policy, &d);
-            assert!(
-                ppdt_tree::trees_equal(&s, &t),
-                "trial {trial}: {:?}",
-                tree_diff(&s, &t, 0.0)
-            );
+            assert!(ppdt_tree::trees_equal(&s, &t), "trial {trial}: {:?}", tree_diff(&s, &t, 0.0));
         }
     }
 
@@ -253,7 +269,8 @@ mod tests {
         // Even when a tie flips the mined tree, Lemma 1 (histogram
         // reversal) must hold for every anti-monotone encode.
         let mut rng = StdRng::seed_from_u64(21);
-        let cfg = RandomDatasetConfig { num_rows: 100, num_attrs: 2, num_classes: 2, value_range: 15 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 100, num_attrs: 2, num_classes: 2, value_range: 15 };
         for _ in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
             let encode_config = EncodeConfig { anti_monotone_prob: 1.0, ..Default::default() };
@@ -268,12 +285,8 @@ mod tests {
         let census = census_like(&mut rng, 1_500);
         let wdbc = wdbc_like(&mut rng, 569);
         for d in [census, wdbc] {
-            let report = no_outcome_change(
-                &mut rng,
-                &d,
-                &EncodeConfig::default(),
-                TreeParams::default(),
-            );
+            let report =
+                no_outcome_change(&mut rng, &d, &EncodeConfig::default(), TreeParams::default());
             assert!(report.all_ok(), "{:?}", report.first_diff);
         }
     }
@@ -325,7 +338,8 @@ mod tests {
         // Pruning is count-based, so prune(decode(T')) == prune(T).
         use ppdt_tree::prune_pessimistic;
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = RandomDatasetConfig { num_rows: 200, num_attrs: 2, num_classes: 2, value_range: 30 };
+        let cfg =
+            RandomDatasetConfig { num_rows: 200, num_attrs: 2, num_classes: 2, value_range: 30 };
         for _ in 0..5 {
             let d = random_dataset(&mut rng, &cfg);
             let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());

@@ -1,0 +1,64 @@
+//! Cross-validation: `encode_dataset_parallel` must be bit-identical
+//! to `encode_dataset` — same `D'`, same key, same decoded tree — for
+//! every seed, because both paths draw each attribute's randomness
+//! from a per-attribute stream seeded by the same master RNG.
+
+use ppdt_data::gen::{census_like, covertype_like, figure1, CovertypeConfig};
+use ppdt_data::Dataset;
+use ppdt_transform::{encode_dataset, encode_dataset_parallel, BreakpointStrategy, EncodeConfig};
+use ppdt_tree::{ThresholdPolicy, TreeBuilder, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bit_identical(d: &Dataset, config: &EncodeConfig, seed: u64) {
+    let (key_s, d_s) = encode_dataset(&mut StdRng::seed_from_u64(seed), d, config);
+    let (key_p, d_p) = encode_dataset_parallel(&mut StdRng::seed_from_u64(seed), d, config);
+
+    for a in d.schema().attrs() {
+        assert_eq!(d_s.column(a), d_p.column(a), "seed {seed}, attr {a}: D' differs");
+    }
+    assert_eq!(
+        serde_json::to_string(&key_s).unwrap(),
+        serde_json::to_string(&key_p).unwrap(),
+        "seed {seed}: keys differ"
+    );
+
+    // Same D' implies the same mined tree; decoding through either key
+    // must then give identical plaintext trees.
+    let builder = TreeBuilder::new(TreeParams { min_samples_leaf: 3, ..Default::default() });
+    let t_prime = builder.fit(&d_s);
+    let s_serial = key_s.decode_tree(&t_prime, ThresholdPolicy::DataValue, d);
+    let s_parallel = key_p.decode_tree(&t_prime, ThresholdPolicy::DataValue, d);
+    assert!(ppdt_tree::trees_equal(&s_serial, &s_parallel), "seed {seed}: decoded trees differ");
+}
+
+#[test]
+fn parallel_matches_serial_across_seeds_figure1() {
+    let d = figure1();
+    for seed in [0, 1, 7, 42, 0xDEAD_BEEF] {
+        assert_bit_identical(&d, &EncodeConfig::default(), seed);
+    }
+}
+
+#[test]
+fn parallel_matches_serial_covertype_all_strategies() {
+    let d = covertype_like(&mut StdRng::seed_from_u64(3), &CovertypeConfig::at_scale(0.002));
+    for seed in [5, 19, 777] {
+        for strategy in [
+            BreakpointStrategy::None,
+            BreakpointStrategy::ChooseBP { w: 10 },
+            BreakpointStrategy::ChooseMaxMP { w: 10, min_piece_len: 5 },
+        ] {
+            let config = EncodeConfig { strategy, ..Default::default() };
+            assert_bit_identical(&d, &config, seed);
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_census() {
+    let d = census_like(&mut StdRng::seed_from_u64(4), 1_000);
+    for seed in [2, 123] {
+        assert_bit_identical(&d, &EncodeConfig::default(), seed);
+    }
+}

@@ -103,6 +103,7 @@ impl TreeBuilder {
     /// Panics on an empty dataset — there is nothing to fit.
     pub fn fit(&self, d: &Dataset) -> DecisionTree {
         assert!(d.num_rows() > 0, "cannot fit a tree on an empty dataset");
+        let _t = ppdt_obs::phase("mine");
         let rows: Vec<u32> = (0..d.num_rows() as u32).collect();
         let mut scratch = Vec::with_capacity(d.num_rows());
         let root = self.grow(d, rows, 0, &mut scratch);
@@ -121,18 +122,14 @@ impl TreeBuilder {
         let total = rows.len() as u32;
         let node_impurity = p.criterion.impurity(&counts, total);
 
-        let stop = node_impurity == 0.0
-            || depth >= p.max_depth
-            || total < p.min_samples_split;
+        let stop = node_impurity == 0.0 || depth >= p.max_depth || total < p.min_samples_split;
         if !stop {
             if let Some((attr, split)) = self.best_split(d, &rows, scratch) {
                 let decrease = node_impurity - split.score;
                 if decrease > p.min_impurity_decrease {
                     let threshold = match p.threshold_policy {
                         ThresholdPolicy::DataValue => split.left_value,
-                        ThresholdPolicy::Midpoint => {
-                            0.5 * (split.left_value + split.right_value)
-                        }
+                        ThresholdPolicy::Midpoint => 0.5 * (split.left_value + split.right_value),
                     };
                     let (left_rows, right_rows) = partition(d, &rows, attr, split.left_value);
                     debug_assert_eq!(left_rows.len() as u32, split.left_count);

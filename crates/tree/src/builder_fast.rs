@@ -120,8 +120,7 @@ impl TreeBuilder {
                 if node.active {
                     let total: u32 = node.counts.iter().sum();
                     let impurity = p.criterion.impurity(&node.counts, total);
-                    if impurity == 0.0 || node.depth >= p.max_depth || total < p.min_samples_split
-                    {
+                    if impurity == 0.0 || node.depth >= p.max_depth || total < p.min_samples_split {
                         node.active = false;
                     } else {
                         node.best = None;
@@ -294,11 +293,7 @@ fn score_boundary(
     if inside_run || left_n < p.min_samples_leaf || right_n < p.min_samples_leaf {
         return;
     }
-    let right: Vec<u32> = node_counts
-        .iter()
-        .zip(&pending.left)
-        .map(|(&t, &l)| t - l)
-        .collect();
+    let right: Vec<u32> = node_counts.iter().zip(&pending.left).map(|(&t, &l)| t - l).collect();
     let score = (f64::from(left_n) * p.criterion.impurity(&pending.left, left_n)
         + f64::from(right_n) * p.criterion.impurity(&right, right_n))
         / f64::from(total);
@@ -402,11 +397,7 @@ mod tests {
             let b = TreeBuilder::new(params);
             let slow = b.fit(&d);
             let fast = b.fit_presorted(&d);
-            assert!(
-                trees_equal(&slow, &fast),
-                "{params:?}: {:?}",
-                tree_diff(&slow, &fast, 0.0)
-            );
+            assert!(trees_equal(&slow, &fast), "{params:?}: {:?}", tree_diff(&slow, &fast, 0.0));
         }
     }
 

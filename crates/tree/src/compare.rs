@@ -21,10 +21,7 @@ pub fn trees_equal_eps(a: &DecisionTree, b: &DecisionTree, eps: f64) -> bool {
 /// thresholds compared up to `eps`).
 pub fn tree_diff(a: &DecisionTree, b: &DecisionTree, eps: f64) -> Option<String> {
     if a.num_classes != b.num_classes {
-        return Some(format!(
-            "class counts differ: {} vs {}",
-            a.num_classes, b.num_classes
-        ));
+        return Some(format!("class counts differ: {} vs {}", a.num_classes, b.num_classes));
     }
     diff_nodes(&a.root, &b.root, eps, "root")
 }
@@ -50,11 +47,8 @@ fn diff_nodes(a: &Node, b: &Node, eps: f64, at: &str) -> Option<String> {
             if aa != ab {
                 return Some(format!("{at}: split attrs {aa} vs {ab}"));
             }
-            let close = if eps == 0.0 {
-                ta.to_bits() == tb.to_bits()
-            } else {
-                (ta - tb).abs() <= eps
-            };
+            let close =
+                if eps == 0.0 { ta.to_bits() == tb.to_bits() } else { (ta - tb).abs() <= eps };
             if !close {
                 return Some(format!("{at}: thresholds {ta} vs {tb}"));
             }
@@ -64,12 +58,8 @@ fn diff_nodes(a: &Node, b: &Node, eps: f64, at: &str) -> Option<String> {
             diff_nodes(lla, llb, eps, &format!("{at}.L"))
                 .or_else(|| diff_nodes(rra, rrb, eps, &format!("{at}.R")))
         }
-        (Node::Leaf { .. }, Node::Split { .. }) => {
-            Some(format!("{at}: leaf vs split"))
-        }
-        (Node::Split { .. }, Node::Leaf { .. }) => {
-            Some(format!("{at}: split vs leaf"))
-        }
+        (Node::Leaf { .. }, Node::Split { .. }) => Some(format!("{at}: leaf vs split")),
+        (Node::Split { .. }, Node::Leaf { .. }) => Some(format!("{at}: split vs leaf")),
     }
 }
 
@@ -103,11 +93,9 @@ mod tests {
     fn structural_difference_detected() {
         let d = figure1();
         let t = TreeBuilder::default().fit(&d);
-        let stump = TreeBuilder::new(crate::builder::TreeParams {
-            max_depth: 0,
-            ..Default::default()
-        })
-        .fit(&d);
+        let stump =
+            TreeBuilder::new(crate::builder::TreeParams { max_depth: 0, ..Default::default() })
+                .fit(&d);
         let diff = tree_diff(&t, &stump, 0.0).unwrap();
         assert!(diff.contains("split vs leaf") || diff.contains("leaf vs split"));
     }

@@ -38,9 +38,8 @@ fn emit(node: &Node, schema: Option<&Schema>, next_id: &mut usize, out: &mut Str
             );
         }
         Node::Split { attr, threshold, left, right, .. } => {
-            let name = schema
-                .map(|s| s.attr_name(*attr).to_string())
-                .unwrap_or_else(|| attr.to_string());
+            let name =
+                schema.map(|s| s.attr_name(*attr).to_string()).unwrap_or_else(|| attr.to_string());
             let _ = writeln!(out, "  n{id} [label=\"{name} <= {threshold:.4}\"];");
             let l = emit(left, schema, next_id, out);
             let r = emit(right, schema, next_id, out);
@@ -85,11 +84,8 @@ mod tests {
     #[test]
     fn single_leaf_tree() {
         let d = figure1();
-        let t = TreeBuilder::new(crate::builder::TreeParams {
-            max_depth: 0,
-            ..Default::default()
-        })
-        .fit(&d);
+        let t = TreeBuilder::new(crate::builder::TreeParams { max_depth: 0, ..Default::default() })
+            .fit(&d);
         let dot = to_dot(&t, Some(d.schema()));
         assert_eq!(dot.matches(" -> ").count(), 0);
         assert!(dot.contains("High"));

@@ -97,15 +97,12 @@ pub fn train_test_split<R: Rng + ?Sized>(
     d: &Dataset,
     test_fraction: f64,
 ) -> (Dataset, Dataset) {
-    assert!(
-        test_fraction > 0.0 && test_fraction < 1.0,
-        "test fraction must be in (0, 1)"
-    );
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
     assert!(d.num_rows() >= 2, "need at least two rows to split");
     let mut order: Vec<u32> = (0..d.num_rows() as u32).collect();
     order.shuffle(rng);
-    let n_test = ((d.num_rows() as f64 * test_fraction).round() as usize)
-        .clamp(1, d.num_rows() - 1);
+    let n_test =
+        ((d.num_rows() as f64 * test_fraction).round() as usize).clamp(1, d.num_rows() - 1);
     let (test_rows, train_rows) = order.split_at(n_test);
     (subset(d, train_rows), subset(d, test_rows))
 }

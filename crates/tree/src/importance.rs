@@ -48,11 +48,8 @@ fn accumulate(node: &Node, tree: &DecisionTree, total: f64, scores: &mut [f64]) 
 /// Attributes ranked by importance, descending (ties by index).
 pub fn importance_ranking(tree: &DecisionTree, num_attrs: usize) -> Vec<(AttrId, f64)> {
     let scores = feature_importance(tree, num_attrs);
-    let mut ranked: Vec<(AttrId, f64)> = scores
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| (AttrId(i), s))
-        .collect();
+    let mut ranked: Vec<(AttrId, f64)> =
+        scores.into_iter().enumerate().map(|(i, s)| (AttrId(i), s)).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked
 }

@@ -27,11 +27,11 @@
 
 pub mod builder;
 pub mod builder_fast;
-pub mod dot;
-pub mod importance;
-pub mod eval;
 pub mod compare;
 pub mod decode;
+pub mod dot;
+pub mod eval;
+pub mod importance;
 pub mod prune;
 pub mod rules;
 pub mod split;

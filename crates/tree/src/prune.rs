@@ -116,8 +116,8 @@ fn add_errs(n: f64, e: f64, z: f64) -> f64 {
     }
     let f = (e + 0.5) / n;
     let z2 = z * z;
-    let r = (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt())
-        / (1.0 + z2 / n);
+    let r =
+        (f + z2 / (2.0 * n) + z * (f / n - f * f / n + z2 / (4.0 * n * n)).sqrt()) / (1.0 + z2 / n);
     r * n - e
 }
 

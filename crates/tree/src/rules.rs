@@ -71,11 +71,8 @@ pub fn render_rules(tree: &DecisionTree, schema: Option<&Schema>) -> String {
     let mut leaf_conf: Vec<f64> = Vec::with_capacity(paths.len());
     collect_confidences(&tree.root, &mut leaf_conf);
 
-    let mut rules: Vec<(Rule, f64)> = paths
-        .iter()
-        .zip(leaf_conf)
-        .map(|(p, conf)| (rule_of_path(p), conf))
-        .collect();
+    let mut rules: Vec<(Rule, f64)> =
+        paths.iter().zip(leaf_conf).map(|(p, conf)| (rule_of_path(p), conf)).collect();
     rules.sort_by(|a, b| b.0.coverage.cmp(&a.0.coverage).then(a.0.class.cmp(&b.0.class)));
 
     let mut out = String::new();
@@ -163,10 +160,7 @@ mod tests {
         let d = b.build();
         let t = TreeBuilder::default().fit(&d);
         let rules = extract_rules(&t);
-        let middle = rules
-            .iter()
-            .find(|r| r.class == 1)
-            .expect("middle-band rule exists");
+        let middle = rules.iter().find(|r| r.class == 1).expect("middle-band rule exists");
         assert_eq!(middle.bounds.len(), 1, "merged into one interval");
         let (_, lo, hi) = middle.bounds[0];
         assert!(lo.is_finite() && hi.is_finite(), "two-sided interval");
@@ -188,11 +182,8 @@ mod tests {
     #[test]
     fn stump_renders_true_rule() {
         let d = figure1();
-        let t = TreeBuilder::new(crate::builder::TreeParams {
-            max_depth: 0,
-            ..Default::default()
-        })
-        .fit(&d);
+        let t = TreeBuilder::new(crate::builder::TreeParams { max_depth: 0, ..Default::default() })
+            .fit(&d);
         let text = render_rules(&t, Some(d.schema()));
         assert!(text.contains("IF true THEN High"));
     }

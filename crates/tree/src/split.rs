@@ -95,10 +95,7 @@ pub fn best_split_sorted(
     if n < 2 {
         return None;
     }
-    debug_assert!(
-        pairs.windows(2).all(|w| w[0].0 <= w[1].0),
-        "pairs must be sorted by value"
-    );
+    debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "pairs must be sorted by value");
 
     let mut left = vec![0u32; num_classes];
     let mut right = vec![0u32; num_classes];
@@ -207,8 +204,9 @@ mod tests {
     fn perfect_split_found() {
         // 1,2 -> class 0; 3,4 -> class 1. Best boundary between 2 and 3.
         let pairs = [(1.0, c(0)), (2.0, c(0)), (3.0, c(1)), (4.0, c(1))];
-        let s = best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
-            .unwrap();
+        let s =
+            best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
+                .unwrap();
         assert_eq!(s.left_value, 2.0);
         assert_eq!(s.right_value, 3.0);
         assert_eq!(s.score, 0.0);
@@ -220,12 +218,14 @@ mod tests {
     fn run_interior_boundaries_skipped() {
         // All one class on the left run: boundary 1|2 is interior.
         let pairs = [(1.0, c(0)), (2.0, c(0)), (3.0, c(1))];
-        let s = best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
-            .unwrap();
+        let s =
+            best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
+                .unwrap();
         assert_eq!(s.left_value, 2.0);
         // And exhaustive search agrees on the optimum (Lemma 2).
-        let s2 = best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::AllBoundaries, 1)
-            .unwrap();
+        let s2 =
+            best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::AllBoundaries, 1)
+                .unwrap();
         assert_eq!(s.score, s2.score);
         assert_eq!(s.left_value, s2.left_value);
     }
@@ -234,19 +234,27 @@ mod tests {
     fn ties_never_split() {
         // All values equal: no boundary at all.
         let pairs = [(5.0, c(0)), (5.0, c(1)), (5.0, c(0))];
-        assert!(best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
-            .is_none());
+        assert!(best_split_sorted(
+            &pairs,
+            2,
+            SplitCriterion::Gini,
+            CandidatePolicy::RunBoundaries,
+            1
+        )
+        .is_none());
     }
 
     #[test]
     fn min_leaf_respected() {
         let pairs = [(1.0, c(0)), (2.0, c(1)), (3.0, c(0)), (4.0, c(1))];
-        let s = best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::AllBoundaries, 2);
+        let s =
+            best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::AllBoundaries, 2);
         if let Some(s) = s {
             assert!(s.left_count >= 2);
             assert!(s.left_count <= 2);
         }
-        let none = best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::AllBoundaries, 3);
+        let none =
+            best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::AllBoundaries, 3);
         assert!(none.is_none());
     }
 
@@ -255,16 +263,10 @@ mod tests {
         // Group at 2.0 has both classes; the boundary after it must be
         // considered even under RunBoundaries — and here it is the
         // strict optimum.
-        let pairs = [
-            (1.0, c(0)),
-            (2.0, c(0)),
-            (2.0, c(0)),
-            (2.0, c(1)),
-            (3.0, c(1)),
-            (3.0, c(1)),
-        ];
-        let s = best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
-            .unwrap();
+        let pairs = [(1.0, c(0)), (2.0, c(0)), (2.0, c(0)), (2.0, c(1)), (3.0, c(1)), (3.0, c(1))];
+        let s =
+            best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
+                .unwrap();
         assert_eq!(s.left_value, 2.0);
         assert_eq!(s.right_value, 3.0);
     }
@@ -274,8 +276,9 @@ mod tests {
         // Boundaries after 1.0 and after 2.0 score identically; the
         // earliest wins so the choice is a pure function of counts.
         let pairs = [(1.0, c(0)), (2.0, c(0)), (2.0, c(1)), (3.0, c(1))];
-        let s = best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
-            .unwrap();
+        let s =
+            best_split_sorted(&pairs, 2, SplitCriterion::Gini, CandidatePolicy::RunBoundaries, 1)
+                .unwrap();
         assert_eq!(s.left_value, 1.0);
     }
 

@@ -156,10 +156,18 @@ impl DecisionTree {
                     count: class_counts.iter().sum(),
                 }),
                 Node::Split { attr, threshold, left, right, .. } => {
-                    conds.push(PathCondition { attr: *attr, op: PathOp::Le, threshold: *threshold });
+                    conds.push(PathCondition {
+                        attr: *attr,
+                        op: PathOp::Le,
+                        threshold: *threshold,
+                    });
                     rec(left, conds, out);
                     conds.pop();
-                    conds.push(PathCondition { attr: *attr, op: PathOp::Gt, threshold: *threshold });
+                    conds.push(PathCondition {
+                        attr: *attr,
+                        op: PathOp::Gt,
+                        threshold: *threshold,
+                    });
                     rec(right, conds, out);
                     conds.pop();
                 }
@@ -194,12 +202,7 @@ impl DecisionTree {
     /// Renders the tree as indented ASCII, one node per line.
     pub fn render(&self, schema: Option<&ppdt_data::Schema>) -> String {
         let mut s = String::new();
-        fn rec(
-            n: &Node,
-            depth: usize,
-            schema: Option<&ppdt_data::Schema>,
-            s: &mut String,
-        ) {
+        fn rec(n: &Node, depth: usize, schema: Option<&ppdt_data::Schema>, s: &mut String) {
             let pad = "  ".repeat(depth);
             match n {
                 Node::Leaf { label, class_counts } => {

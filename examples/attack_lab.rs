@@ -98,10 +98,7 @@ fn main() {
             .zip(&transformed)
             .filter(|&(&x, &y)| is_crack(atk.guess(y), x, rho))
             .count();
-        println!(
-            "  sorting (worst case): {:>5.1}%",
-            100.0 * cracks as f64 / orig.len() as f64
-        );
+        println!("  sorting (worst case): {:>5.1}%", 100.0 * cracks as f64 / orig.len() as f64);
         println!();
     }
     println!("* the ignorant hacker has no knowledge points and guesses the range");

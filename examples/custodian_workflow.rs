@@ -50,11 +50,7 @@ fn main() {
 
     // --- 3. Ship D' to the miner; receive T'. ------------------------
     let t_prime = TreeBuilder::new(params).fit(&d_prime);
-    println!(
-        "miner returns T': {} leaves, depth {}",
-        t_prime.num_leaves(),
-        t_prime.depth()
-    );
+    println!("miner returns T': {} leaves, depth {}", t_prime.num_leaves(), t_prime.depth());
 
     // --- 4. Decode T' using the key loaded from disk. ----------------
     let key_loaded: TransformKey =
@@ -64,10 +60,7 @@ fn main() {
     let t = TreeBuilder::new(params).fit(&d);
     assert!(trees_equal(&s, &t), "decode must reproduce the direct tree");
     println!("decoded tree equals the directly mined tree (exact, bitwise)");
-    println!(
-        "decoded tree classifies the study data at {:.1}% accuracy",
-        100.0 * s.accuracy(&d)
-    );
+    println!("decoded tree classifies the study data at {:.1}% accuracy", 100.0 * s.accuracy(&d));
 
     // --- 5. Self-audit: what could a hacker recover from D'? ---------
     println!("\nself-audit (expert hacker, polyline fitting, rho = 2%):");

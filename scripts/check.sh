@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, docs, tests. A clean exit is the
+# merge bar (referenced from README "Tests and benchmarks").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== all checks passed"

@@ -23,7 +23,9 @@
 //! * [`attack`] (`ppdt-attack`) — curve-fitting / sorting /
 //!   combination attacks,
 //! * [`risk`] (`ppdt-risk`) — disclosure-risk metrics and the trial
-//!   harness.
+//!   harness,
+//! * [`obs`] (`ppdt-obs`) — opt-in phase timers and pipeline counters
+//!   (see `BENCHMARKS.md` for the metric catalogue).
 //!
 //! ## Quickstart
 //!
@@ -53,9 +55,10 @@
 #![warn(rust_2018_idioms)]
 
 pub use ppdt_attack as attack;
-pub use ppdt_data as data;
-pub use ppdt_risk as risk;
 pub use ppdt_bayes as bayes;
+pub use ppdt_data as data;
+pub use ppdt_obs as obs;
+pub use ppdt_risk as risk;
 pub use ppdt_svm as svm;
 pub use ppdt_transform as transform;
 pub use ppdt_tree as tree;
@@ -66,7 +69,8 @@ pub mod prelude {
     pub use ppdt_data::{AttrId, ClassId, Dataset, DatasetBuilder, Schema};
     pub use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
     pub use ppdt_transform::{
-        encode_dataset, BreakpointStrategy, EncodeConfig, FnFamily, TransformKey,
+        encode_dataset, encode_dataset_parallel, BreakpointStrategy, EncodeConfig, FnFamily,
+        TransformKey,
     };
     pub use ppdt_tree::{
         trees_equal, DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams,

@@ -23,19 +23,17 @@ fn strategies() -> [BreakpointStrategy; 3] {
 #[test]
 fn pipeline_exact_on_every_generator() {
     let mut rng = StdRng::seed_from_u64(1);
-    let datasets = [figure1(),
+    let datasets = [
+        figure1(),
         census_like(&mut rng, 800),
         wdbc_like(&mut rng, 400),
-        covertype_like(&mut rng, &CovertypeConfig { num_rows: 2_000, ..Default::default() })];
+        covertype_like(&mut rng, &CovertypeConfig { num_rows: 2_000, ..Default::default() }),
+    ];
     for (i, d) in datasets.iter().enumerate() {
         for strategy in strategies() {
             for criterion in [SplitCriterion::Gini, SplitCriterion::Entropy] {
                 let config = EncodeConfig { strategy, ..Default::default() };
-                let params = TreeParams {
-                    criterion,
-                    min_samples_leaf: 2,
-                    ..Default::default()
-                };
+                let params = TreeParams { criterion, min_samples_leaf: 2, ..Default::default() };
                 let (key, d2) = encode_dataset(&mut rng, d, &config);
                 assert!(all_class_strings_preserved(d, &d2, &key), "ds {i} {strategy:?}");
                 let builder = TreeBuilder::new(params);
@@ -71,11 +69,7 @@ fn midpoint_policy_pipeline_exact() {
         let t = builder.fit(&d);
         let t2 = builder.fit(&d2);
         let s = key.decode_tree(&t2, ThresholdPolicy::Midpoint, &d);
-        assert!(
-            trees_equal(&s, &t),
-            "{strategy:?}: {:?}",
-            ppdt::tree::tree_diff(&s, &t, 0.0)
-        );
+        assert!(trees_equal(&s, &t), "{strategy:?}: {:?}", ppdt::tree::tree_diff(&s, &t, 0.0));
     }
 }
 
@@ -176,12 +170,7 @@ fn every_single_value_is_transformed() {
     let d = covertype_like(&mut rng, &CovertypeConfig { num_rows: 1_500, ..Default::default() });
     let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
     for a in d.schema().attrs() {
-        let same = d
-            .column(a)
-            .iter()
-            .zip(d2.column(a))
-            .filter(|(x, y)| x == y)
-            .count();
+        let same = d.column(a).iter().zip(d2.column(a)).filter(|(x, y)| x == y).count();
         assert_eq!(same, 0, "attr {a}: {same} values unchanged");
     }
 }

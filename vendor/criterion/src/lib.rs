@@ -1,0 +1,266 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the benchmark-definition surface this workspace uses
+//! (groups, [`BenchmarkId`], [`Throughput`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], the `criterion_group!` /
+//! `criterion_main!` macros) over a deliberately simple runner: each
+//! benchmark warms up once, then times `sample_size` batched samples
+//! and prints min / median / mean wall-clock per iteration (plus
+//! throughput when configured). No statistical analysis, outlier
+//! detection, HTML reports, or baseline comparison — for those, run
+//! with real criterion outside the sandbox. When invoked by
+//! `cargo test` (which passes `--test` to `harness = false` bench
+//! targets), each benchmark body executes exactly once as a smoke
+//! test. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered via `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A parameterised id, printed as `name/parameter`.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter (upstream API parity).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (n, Some(p)) => write!(f, "{n}/{p}"),
+            (n, None) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Work-per-iteration declaration, used to print throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    samples: u64,
+    /// Per-iteration durations of each timed sample.
+    sample_times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` once to warm up, then times `samples` further calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        self.sample_times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.sample_times.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs `harness = false` bench targets with
+        // `--test`; real benchmark runs come from `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size, and
+/// throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut b = Bencher { samples, sample_times: Vec::new() };
+        f(&mut b);
+        self.report(&id, &b.sample_times);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream writes reports here; the shim prints
+    /// per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, times: &[Duration]) {
+        if times.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<Duration> = times.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let label =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{id}", self.name) };
+        let mut line = format!(
+            "{label:<50} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+            sorted.len()
+        );
+        if let Some(tp) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  {:.3} Melem/s", n as f64 / secs / 1e6));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(
+                            "  {:.3} MiB/s",
+                            n as f64 / secs / (1 << 20) as f64
+                        ));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with", 7), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        // warmup + one timed sample in test mode
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("fit", "spline").to_string(), "fit/spline");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+    }
+}

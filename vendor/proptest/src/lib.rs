@@ -1,0 +1,319 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(...)]` header), `x in range`
+//! parameter strategies over integer and float ranges, tuple
+//! strategies, [`strategy::any`]`::<bool>()`, [`collection::vec`],
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case panics with the generated inputs
+//!   visible via the assertion message rather than a minimized one;
+//! * the RNG stream is deterministic per test (seeded from the test's
+//!   module path and name), so failures reproduce exactly on re-run;
+//! * `prop_assume!` discards the case without counting it toward
+//!   `ProptestConfig::cases`, like upstream, with a global rejection
+//!   cap to guarantee termination.
+//!
+//! See `vendor/README.md` for the vendoring policy.
+
+#![warn(missing_docs)]
+
+/// Test-runner configuration and the deterministic RNG.
+pub mod test_runner {
+    use std::hash::{Hash, Hasher};
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of upstream's `ProptestConfig`: only `cases` is
+    /// honoured; the struct keeps the `..Default::default()` update
+    /// syntax working.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-discarded) cases to run per test.
+        pub cases: u32,
+        /// Cap on total generated cases including discarded ones.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's full path so
+    /// every run of a given test replays the same case sequence.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for the named test.
+        pub fn deterministic(test_path: &str) -> Self {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            test_path.hash(&mut h);
+            TestRng { rng: StdRng::seed_from_u64(h.finish()) }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of an output type from an RNG stream.
+    ///
+    /// Upstream proptest's `Strategy` produces shrinkable value trees;
+    /// this shim generates plain values (no shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!((0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+    /// Always produces a clone of the given value (upstream `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.rng.gen()
+        }
+    }
+
+    macro_rules! arbitrary_full_range {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+    arbitrary_full_range!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+    /// Strategy form of [`Arbitrary`]; built by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` — e.g. `any::<bool>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with a length drawn from a range; built by
+    /// [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy: each case draws a length in `len`, then that
+    /// many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// item becomes a plain test function that loops over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __accepted: u32 = 0;
+            let mut __generated: u32 = 0;
+            while __accepted < __config.cases {
+                __generated += 1;
+                assert!(
+                    __generated <= __config.max_global_rejects,
+                    "proptest shim: too many cases discarded by prop_assume! in `{}`",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // A `prop_assume!` failure in the body `continue`s past
+                // this bookkeeping, so discarded cases don't count.
+                $body
+                __accepted += 1;
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics like `assert!`;
+/// no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Discards the current case (without counting it) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in -2.5f64..2.5, n in 1usize..9) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn assume_discards_without_hanging(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x = {}", x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((0.0f64..1.0, 0u8..4), 2..12),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((2..12).contains(&v.len()));
+            for (f, u) in &v {
+                prop_assert!((0.0..1.0).contains(f));
+                prop_assert!(*u < 4);
+            }
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_replays() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let mut r1 = crate::test_runner::TestRng::deterministic("t");
+        let mut r2 = crate::test_runner::TestRng::deterministic("t");
+        let a: Vec<u64> = (0..16).map(|_| s.generate(&mut r1)).collect();
+        let b: Vec<u64> = (0..16).map(|_| s.generate(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+}

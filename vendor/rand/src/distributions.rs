@@ -1,0 +1,194 @@
+//! Distributions: the [`Distribution`] trait, [`Standard`], and the
+//! uniform-range machinery backing `Rng::gen_range`.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution of a type: full range for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+/// `[0, 1)` with 53 random mantissa bits.
+#[inline]
+pub(crate) fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),*) => {
+        $(impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        })*
+    };
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+              usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              i64 => next_u64, isize => next_u64);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use super::unit_f64;
+    use crate::Rng;
+
+    /// A range that `Rng::gen_range` can sample from.
+    ///
+    /// Implemented once, generically, for `Range<T>` and
+    /// `RangeInclusive<T>` over every [`SampleUniform`] element type —
+    /// mirroring upstream's impl structure so type inference can flow
+    /// from the range literal to the sampled value.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Element types uniform ranges can produce.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from the half-open `[lo, hi)`.
+        fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform draw from the closed `[lo, hi]`.
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty range");
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    /// Unbiased-enough uniform integer in `[0, span)` via the
+    /// widening multiply-shift (Lemire). `span > 0`.
+    #[inline]
+    fn below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty : $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                    lo.wrapping_add(below(rng, span) as $t)
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                 i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let u = unit_f64(rng) as $t;
+                    let v = lo + (hi - lo) * u;
+                    // Guard the open upper bound against rounding.
+                    if v >= hi {
+                        <$t>::max(lo, hi - (hi - lo) * <$t>::EPSILON)
+                    } else {
+                        v
+                    }
+                }
+                #[inline]
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    // Closed interval: scale by 1 / (2^53 - 1).
+                    let u = ((rng.next_u64() >> 11) as f64
+                        / ((1u64 << 53) - 1) as f64) as $t;
+                    (lo + (hi - lo) * u).clamp(lo, hi)
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    /// Minimal `Uniform` distribution for API parity.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl Uniform<f64> {
+        /// Uniform over the half-open `[low, high)`.
+        pub fn new(low: f64, high: f64) -> Self {
+            assert!(low < high, "Uniform::new: empty range");
+            Uniform { low, high }
+        }
+    }
+
+    impl super::Distribution<f64> for Uniform<f64> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            (self.low..self.high).sample_single(rng)
+        }
+    }
+}
+
+pub use uniform::Uniform;

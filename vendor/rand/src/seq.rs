@@ -1,0 +1,62 @@
+//! Sequence utilities: shuffling and choosing.
+
+use crate::distributions::uniform::SampleRange;
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // `gen_range` needs `Self: Sized`, so sample the range
+        // directly — same code path, works for unsized `R`.
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(&mut *rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_single(rng)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let v: Vec<u32> = vec![];
+        assert!(v.choose(&mut rng).is_none());
+        assert_eq!(*[42].choose(&mut rng).unwrap(), 42);
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline, API-compatible subset of the `rand_distr` crate: only the
+//! [`Normal`] distribution, which is all this workspace uses. See
+//! `vendor/README.md` for why this exists.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+use rand::distributions::Standard;
+use rand::Rng;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid normal-distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+///
+/// Sampling uses the Box–Muller transform (two uniforms per draw, no
+/// cached spare), so the draw sequence is a pure function of the RNG
+/// stream — the determinism contract the generators rely on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Constructs `N(mean, std_dev²)`. Errors when `std_dev` is
+    /// negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1], u2 in [0, 1). Sampled through
+        // `Standard` directly because `Rng::gen` needs `Self: Sized`.
+        let u1 = 1.0 - Distribution::<f64>::sample(&Standard, &mut *rng);
+        let u2 = Distribution::<f64>::sample(&Standard, rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(3.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Offline subset of `serde_derive`, written against `proc_macro`
+//! directly (no `syn`/`quote` — they are not available in this
+//! network-restricted build environment).
+//!
+//! Supported input shapes — everything this workspace derives on:
+//!
+//! * structs with named fields, tuple structs (a 1-field tuple struct
+//!   serializes as its inner value, matching upstream newtype-struct
+//!   behaviour), and unit structs;
+//! * enums with unit, tuple, and struct variants using serde's
+//!   externally tagged representation;
+//! * the container attribute `#[serde(transparent)]`.
+//!
+//! Not supported (none are used in this workspace): generic types,
+//! lifetimes, `where` clauses, field-level serde attributes, and
+//! function-pointer field types (whose `->` would confuse the
+//! angle-bracket depth tracking in the type skipper).
+//!
+//! The generated impls target the vendored `serde` shim's value-tree
+//! model: `Serialize::to_value` / `Deserialize::from_value`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input).parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ----------------------------------------------------------- parsing
+
+struct Input {
+    name: String,
+    kind: Kind,
+    transparent: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Container attributes (doc comments arrive as `#[doc = "..."]`).
+    while is_punct(tokens.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            transparent |= attr_is_serde_transparent(g);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if is_punct(tokens.get(i), '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Input { name, kind, transparent }
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while is_punct(tokens.get(*i), '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if is_ident(tokens.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn attr_is_serde_transparent(g: &Group) -> bool {
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        if !is_punct(toks.get(i), ':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the field-separating comma (or
+/// at end of stream). Commas inside `<...>` belong to the type; commas
+/// inside parenthesised groups are invisible at this token depth.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(fg)) if fg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(fg))
+            }
+            Some(TokenTree::Group(fg)) if fg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(fg))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while i < toks.len() && !is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ----------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) if input.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),")
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![\
+                             ({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                                 ({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![\
+                                 ({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) if input.transparent && fields.len() == 1 => {
+            let f = &fields[0];
+            format!("Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})")
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field_from_object(obj, {f:?})?"))
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"{name}: expected object, found {{}}\", v.kind())))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?")).collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"{name}: expected array, found {{}}\", v.kind())))?;\n\
+                 if arr.len() != {n} {{\n\
+                     return Err(::serde::DeError::custom(format!(\
+                         \"{name}: expected {n} elements, found {{}}\", arr.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 other => Err(::serde::DeError::custom(\
+                     format!(\"{name}: expected null, found {{}}\", other.kind()))),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let arr = inner.as_array().ok_or_else(|| \
+                                         ::serde::DeError::custom(format!(\
+                                         \"{name}::{vn}: expected array, found {{}}\", inner.kind())))?;\n\
+                                     if arr.len() != {n} {{\n\
+                                         return Err(::serde::DeError::custom(format!(\
+                                             \"{name}::{vn}: expected {n} elements, found {{}}\", arr.len())));\n\
+                                     }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field_from_object(obj, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let obj = inner.as_object().ok_or_else(|| \
+                                         ::serde::DeError::custom(format!(\
+                                         \"{name}::{vn}: expected object, found {{}}\", inner.kind())))?;\n\
+                                     Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::DeError::custom(format!(\
+                             \"{name}: unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::DeError::custom(format!(\
+                                 \"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::custom(format!(\
+                         \"{name}: invalid enum representation ({{}})\", other.kind()))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
