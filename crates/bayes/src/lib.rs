@@ -245,7 +245,7 @@ mod tests {
             RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 40 };
         for trial in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
-            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
             let params = NbParams { bins: 4 + trial % 5, alpha: 1.0 };
             let m1 = QuantileBinnedNb::fit(&d, &params);
             let m2 = QuantileBinnedNb::fit(&d2, &params);
@@ -285,7 +285,7 @@ mod tests {
             }
             let d = b.build();
             let _ = trial;
-            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
             // Raw quantile edges: the value at rank n/2.
             let raw_edge = |dd: &ppdt_data::Dataset| {
                 let mut col = dd.column(AttrId(0)).to_vec();

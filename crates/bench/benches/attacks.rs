@@ -14,10 +14,18 @@ fn bench_attacks(c: &mut Criterion) {
     let cfg = HarnessConfig { scale: 0.02, ..Default::default() };
     let d = cfg.covertype();
     let mut rng = StdRng::seed_from_u64(5);
-    let tr = encode_attribute(&mut rng, &d, AttrId(9), &EncodeConfig::default());
+    let tr = encode_attribute(&mut rng, &d, AttrId(9), &EncodeConfig::default()).expect("encode");
     let orig = tr.orig_domain.clone();
-    let transformed: Vec<f64> = orig.iter().map(|&x| tr.encode(x)).collect();
-    let kps = generate_kps(&mut rng, &transformed, |y| tr.decode_snapped(y), 143.0, 8, 0);
+    let transformed: Vec<f64> =
+        orig.iter().map(|&x| tr.encode(x).expect("in-domain value")).collect();
+    let kps = generate_kps(
+        &mut rng,
+        &transformed,
+        |y| tr.decode_snapped(y).unwrap_or(f64::NAN),
+        143.0,
+        8,
+        0,
+    );
 
     let mut group = c.benchmark_group("fit_and_guess");
     group.throughput(Throughput::Elements(transformed.len() as u64));

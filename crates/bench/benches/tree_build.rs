@@ -13,7 +13,7 @@ fn bench_tree(c: &mut Criterion) {
     let cfg = HarnessConfig { scale: 0.005, ..Default::default() };
     let d = cfg.covertype();
     let mut rng = StdRng::seed_from_u64(4);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
     let params = TreeParams { min_samples_leaf: 5, ..Default::default() };
     let builder = TreeBuilder::new(params);
 

@@ -7,8 +7,8 @@ use ppdt_data::gen::{census_like, covertype_like, figure1, wdbc_like, CovertypeC
 use ppdt_data::{AttrId, AttrStats, Dataset};
 use ppdt_risk::domain::{scenario_kps, DomainScenario};
 use ppdt_risk::{
-    domain_risk_trial, is_crack, pattern_risk_trial, rho_for_attr, run_trials,
-    sorting_risk_trial_with, subspace_risk_trial_with, PatternReport,
+    domain_risk_trial, is_crack, pattern_risk_trial, rho_for_attr, sorting_risk_trial_with,
+    subspace_risk_trial_with, try_run_trials, PatternReport,
 };
 use ppdt_transform::encoder::encode_attribute;
 use ppdt_transform::{
@@ -159,9 +159,10 @@ pub fn fig9(cfg: &HarnessConfig) -> Vec<Fig9Row> {
         let run = |strategy: BreakpointStrategy, profile: HackerProfile, salt: u64| -> f64 {
             let encode_config = fig_config(strategy, FnFamily::SqrtLog);
             let scenario = DomainScenario { profile, ..expert_polyline(0.02) };
-            run_trials(cfg.trials, cfg.seed ^ salt ^ (a as u64) << 8, |rng| {
+            try_run_trials(cfg.trials, cfg.seed ^ salt ^ (a as u64) << 8, |rng| {
                 domain_risk_trial(rng, &d, attr, &encode_config, &scenario)
             })
+            .expect("domain risk trial")
             .median
         };
         let maxmp = BreakpointStrategy::ChooseMaxMP { w, min_piece_len: 5 };
@@ -205,11 +206,12 @@ pub fn table_fit(cfg: &HarnessConfig) -> Vec<(FitMethod, FnFamily, f64)> {
             let encode_config =
                 fig_config(BreakpointStrategy::ChooseMaxMP { w: 20, min_piece_len: 5 }, family);
             let scenario = DomainScenario { method, ..expert_polyline(0.02) };
-            let stat = run_trials(
+            let stat = try_run_trials(
                 cfg.trials,
                 cfg.seed ^ (method as u64 + 1) << 4 ^ (family as u64) << 9,
                 |rng| domain_risk_trial(rng, &d, attr, &encode_config, &scenario),
-            );
+            )
+            .expect("domain risk trial");
             cells.push(stat.median);
             out.push((method, family, stat.median));
         }
@@ -245,9 +247,10 @@ pub fn fig10(cfg: &HarnessConfig) -> ComboReport {
     let mut sums = (0.0, 0.0, 0.0);
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF16_0000 ^ t as u64);
-        let tr = encode_attribute(&mut rng, &d, attr, &encode_config);
+        let tr = encode_attribute(&mut rng, &d, attr, &encode_config).expect("encode attribute");
         let orig = &tr.orig_domain;
-        let transformed: Vec<f64> = orig.iter().map(|&x| tr.encode(x)).collect();
+        let transformed: Vec<f64> =
+            orig.iter().map(|&x| tr.encode(x).expect("in-domain value")).collect();
         let rho = rho_for_attr(&d, attr, scenario.rho_frac);
         let (lo, hi) = (orig[0], orig[orig.len() - 1]);
         let kps = scenario_kps(&mut rng, &scenario, &transformed, &tr, rho, lo, hi);
@@ -326,9 +329,10 @@ pub fn fig11(cfg: &HarnessConfig) -> Vec<Fig11Row> {
     for (a, stat) in stats.iter().enumerate() {
         let attr = AttrId(a);
         let run = |mapping: ppdt_attack::SortingMapping, salt: u64| {
-            run_trials(cfg.trials, cfg.seed ^ salt ^ (a as u64) << 3, |rng| {
+            try_run_trials(cfg.trials, cfg.seed ^ salt ^ (a as u64) << 3, |rng| {
                 sorting_risk_trial_with(rng, &d, attr, &encode_config, 0.02, 1.0, mapping)
             })
+            .expect("sorting risk trial")
             .median
         };
         let row = Fig11Row {
@@ -376,11 +380,13 @@ pub fn fig12(cfg: &HarnessConfig) -> Vec<(Vec<usize>, f64)> {
     let mut out = Vec::new();
     for (i, labels) in subspaces.iter().enumerate() {
         let ids: Vec<AttrId> = labels.iter().map(|&l| AttrId(l - 1)).collect();
-        let stat = run_trials(cfg.trials.min(25), cfg.seed ^ 0xF12_0000 ^ (i as u64) << 3, |rng| {
-            // The hacker runs both curve fitting and worst-case sorting
-            // per attribute (sorting dominates for attribute 2).
-            subspace_risk_trial_with(rng, &d, &ids, &encode_config, &scenario, true, 1.0)
-        });
+        let stat =
+            try_run_trials(cfg.trials.min(25), cfg.seed ^ 0xF12_0000 ^ (i as u64) << 3, |rng| {
+                // The hacker runs both curve fitting and worst-case sorting
+                // per attribute (sorting dominates for attribute 2).
+                subspace_risk_trial_with(rng, &d, &ids, &encode_config, &scenario, true, 1.0)
+            })
+            .expect("subspace risk trial");
         let label = labels.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
         println!("  {{{label}}}: {}", pct(stat.median));
         out.push((labels.clone(), stat.median));
@@ -399,7 +405,8 @@ pub fn table_paths(cfg: &HarnessConfig) -> PatternReport {
     let encode_config = EncodeConfig::default();
     let params = TreeParams { min_samples_leaf: 5, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6_4000);
-    let report = pattern_risk_trial(&mut rng, &d, &encode_config, params, &scenario);
+    let report =
+        pattern_risk_trial(&mut rng, &d, &encode_config, params, &scenario).expect("pattern trial");
 
     // The paper buckets lengths 1..6 and "> 6".
     let mut buckets = vec![(0usize, 0usize); 7];
@@ -472,7 +479,8 @@ pub fn outcome_sweep(cfg: &HarnessConfig) -> Vec<OutcomeSweepRow> {
                             min_samples_leaf: 3,
                             ..Default::default()
                         };
-                        let report = no_outcome_change(&mut rng, d, &encode_config, params);
+                        let report = no_outcome_change(&mut rng, d, &encode_config, params)
+                            .expect("verification run");
                         runs += 1;
                         if report.all_ok() {
                             ok += 1;
@@ -526,9 +534,9 @@ pub fn perturbation_contrast(cfg: &HarnessConfig) -> Vec<(String, f64, bool, f64
     }
 
     // The piecewise transform row.
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
     let t2 = builder.fit(&d2);
-    let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d);
+    let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d).expect("decode tree");
     let changed = !ppdt_tree::trees_equal(&s, &t);
     let unchanged_vals = d
         .schema()
@@ -569,9 +577,10 @@ pub fn ablation_layout(cfg: &HarnessConfig) -> Vec<(usize, f64, f64)> {
         let run = |layout: ppdt_transform::LayoutKind, salt: u64| {
             let encode_config =
                 EncodeConfig { layout, family: FnFamily::SqrtLog, ..Default::default() };
-            run_trials(cfg.trials, cfg.seed ^ salt ^ (a as u64) << 5, |rng| {
+            try_run_trials(cfg.trials, cfg.seed ^ salt ^ (a as u64) << 5, |rng| {
                 domain_risk_trial(rng, &d, attr, &encode_config, &scenario)
             })
+            .expect("domain risk trial")
             .median
         };
         let iid = run(ppdt_transform::LayoutKind::IidProportional, 0xAB1);
@@ -588,9 +597,10 @@ pub fn ablation_layout(cfg: &HarnessConfig) -> Vec<(usize, f64, f64)> {
         let encode_config =
             EncodeConfig { gap_fraction, family: FnFamily::SqrtLog, ..Default::default() };
         let risk =
-            run_trials(cfg.trials, cfg.seed ^ 0xAB3 ^ (gap_fraction * 100.0) as u64, |rng| {
+            try_run_trials(cfg.trials, cfg.seed ^ 0xAB3 ^ (gap_fraction * 100.0) as u64, |rng| {
                 domain_risk_trial(rng, &d, attr, &encode_config, &scenario)
             })
+            .expect("domain risk trial")
             .median;
         println!("{:>5.0}% | {:>12}", 100.0 * gap_fraction, pct(risk));
     }
@@ -611,9 +621,10 @@ pub fn quantile_attack(cfg: &HarnessConfig) -> Vec<(usize, f64, f64)> {
         let attr = AttrId(a);
         let run = |strategy: BreakpointStrategy, salt: u64| {
             let encode_config = fig_config(strategy, FnFamily::SqrtLog);
-            run_trials(cfg.trials.min(25), cfg.seed ^ salt ^ (a as u64) << 6, |rng| {
+            try_run_trials(cfg.trials.min(25), cfg.seed ^ salt ^ (a as u64) << 6, |rng| {
                 ppdt_risk::quantile_risk_trial(rng, &d, attr, &encode_config, 0.02, 0.1, 0.0)
             })
+            .expect("quantile risk trial")
             .median
         };
         let baseline = run(BreakpointStrategy::None, 0xA6);
@@ -713,7 +724,7 @@ pub fn nb_outcome(cfg: &HarnessConfig) -> Vec<(&'static str, bool, f64)> {
     );
     let mut rows = Vec::new();
     for (name, d) in datasets {
-        let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+        let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
         let params = NbParams::default();
         let m1 = QuantileBinnedNb::fit(&d, &params);
         let m2 = QuantileBinnedNb::fit(&d2, &params);
@@ -781,12 +792,14 @@ pub fn svm_outcome(cfg: &HarnessConfig) -> Vec<SvmProbeRow> {
     );
     let mut rows = Vec::new();
     for (name, d) in datasets {
-        let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+        let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
 
         // Trees: exact by Theorem 2.
         let builder = TreeBuilder::new(TreeParams { min_samples_leaf: 3, ..Default::default() });
         let t = builder.fit(&d);
-        let s = key.decode_tree(&builder.fit(&d2), ThresholdPolicy::DataValue, &d);
+        let s = key
+            .decode_tree(&builder.fit(&d2), ThresholdPolicy::DataValue, &d)
+            .expect("decode tree");
         assert!(ppdt_tree::trees_equal(&s, &t));
 
         // SVMs: train with identical seeds on D and D'.

@@ -8,8 +8,16 @@ use ppdt_bench::HarnessConfig;
 
 /// Every `snapshot()` counter name, in emission order — the contract
 /// `BENCHMARKS.md` documents and downstream tooling greps for.
-const GOLDEN_COUNTERS: [&str; 5] =
-    ["rows_encoded", "pieces_drawn", "boundaries_scanned", "trials_run", "nodes_decoded"];
+const GOLDEN_COUNTERS: [&str; 8] = [
+    "rows_encoded",
+    "pieces_drawn",
+    "boundaries_scanned",
+    "trials_run",
+    "nodes_decoded",
+    "draw_retries",
+    "verify_retries",
+    "audit_violations",
+];
 
 fn tmp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("ppdt_golden_{name}_{}", std::process::id()))
@@ -33,9 +41,10 @@ fn emitted_report_round_trips_with_golden_schema() {
     let d = cfg.covertype();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let (key, d_prime) =
-        ppdt_transform::encode_dataset(&mut rng, &d, &ppdt_transform::EncodeConfig::default());
+        ppdt_transform::encode_dataset(&mut rng, &d, &ppdt_transform::EncodeConfig::default())
+            .expect("encode");
     let t_prime = ppdt_tree::TreeBuilder::default().fit(&d_prime);
-    let s = key.decode_tree(&t_prime, ppdt_tree::ThresholdPolicy::DataValue, &d);
+    let s = key.decode_tree(&t_prime, ppdt_tree::ThresholdPolicy::DataValue, &d).expect("decode");
 
     let mut report = BenchReport::new(&cfg, "golden_test");
     report.push("decoded_leaves", s.num_leaves() as f64);

@@ -12,7 +12,8 @@
 //! ppdt decode-tree <tree.json> --key K.json --data orig.csv
 //!             --out decoded.json [--render]
 //! ppdt report <tree.json> --data <data.csv>   rules, importance, rendering
-//! ppdt audit  <data.csv> [--trials N] [--seed N]
+//! ppdt audit  <data.csv> [--key K.json] [--json report.json]
+//!             [--trials N] [--seed N]
 //! ```
 //!
 //! The command surface mirrors the custodian workflow of the paper's
@@ -25,6 +26,21 @@
 //! [`ppdt_obs`] instrumentation layer and prints phase timings,
 //! pipeline counters, and peak RSS to stderr on exit (the metric
 //! catalogue is documented in `BENCHMARKS.md`).
+//!
+//! ## Exit codes
+//!
+//! Failures carry a typed [`PpdtError`]; `main` maps its
+//! [`ErrorCategory`](ppdt_error::ErrorCategory) to a stable exit code
+//! (see the README error-code table):
+//!
+//! | exit | meaning |
+//! |-----:|---------|
+//! | 1 | internal error (a bug) |
+//! | 2 | usage / invalid configuration |
+//! | 3 | I/O failure |
+//! | 4 | corrupt key (audit failure, key/data mismatch) |
+//! | 5 | incompatible mined tree |
+//! | 6 | corrupt dataset |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,13 +52,35 @@ use rand::SeedableRng;
 
 use ppdt_attack::HackerProfile;
 use ppdt_data::{csv, AttrId, AttrStats, Dataset};
-use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
-use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig, TransformKey};
+use ppdt_error::PpdtError;
+use ppdt_risk::{domain_risk_trial, try_run_trials, DomainScenario};
+use ppdt_transform::{
+    encode_dataset_parallel_with, encode_dataset_with, BreakpointStrategy, EncodeConfig,
+    RetryPolicy, Severity, TransformKey,
+};
 use ppdt_tree::{DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams};
 
-/// CLI failure; rendered to stderr by `main`.
+/// CLI failure: a typed [`PpdtError`] whose category determines the
+/// process exit code. Rendered to stderr by `main`.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError(pub PpdtError);
+
+impl CliError {
+    /// A usage error (exit code 2).
+    fn usage(detail: impl Into<String>) -> Self {
+        CliError(PpdtError::InvalidConfig { param: "usage".into(), detail: detail.into() })
+    }
+
+    /// The documented process exit code for this failure.
+    pub fn exit_code(&self) -> i32 {
+        self.0.category().exit_code()
+    }
+
+    /// The stable category name (`usage`, `io`, `corrupt_key`, ...).
+    pub fn category_name(&self) -> &'static str {
+        self.0.category().name()
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -52,15 +90,21 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+impl From<PpdtError> for CliError {
+    fn from(e: PpdtError) -> Self {
+        CliError(e)
+    }
+}
+
 impl From<csv::CsvError> for CliError {
     fn from(e: csv::CsvError) -> Self {
-        CliError(format!("csv: {e}"))
+        CliError(e.into())
     }
 }
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        CliError(format!("io: {e}"))
+        CliError(e.into())
     }
 }
 
@@ -70,12 +114,15 @@ usage: ppdt <subcommand> [args]
   stats <data.csv>
   encode <data.csv> --out <Dprime.csv> --key <key.json> [--seed N]
          [--strategy maxmp|bp|none] [--w N] [--verify] [--parallel]
+         [--attempts N] [--on-exhaust fail|fallback]
   decode-dataset <Dprime.csv> --key <key.json> --out <orig.csv>
   mine <data.csv> --out <tree.json> [--criterion gini|entropy] [--min-leaf N]
   decode-tree <tree.json> --key <key.json> --data <orig.csv> --out <decoded.json> [--render]
   report <tree.json> --data <data.csv>
-  audit <data.csv> [--trials N] [--seed N]
-any subcommand also accepts --metrics (phase timings + counters on stderr)
+  audit <data.csv> [--key <key.json>] [--json <report.json>] [--trials N] [--seed N]
+any subcommand accepts --metrics (phase timings + counters on stderr)
+and --lenient (skip malformed CSV rows instead of failing)
+exit codes: 1 internal, 2 usage, 3 io, 4 corrupt key, 5 incompatible tree, 6 corrupt data
 ";
 
 /// Tiny flag parser: positional arguments plus `--flag [value]` pairs.
@@ -112,13 +159,15 @@ impl Args {
     }
 
     fn required(&self, name: &str) -> Result<&str, CliError> {
-        self.flag(name).ok_or_else(|| CliError(format!("missing required --{name} <value>")))
+        self.flag(name).ok_or_else(|| CliError::usage(format!("missing required --{name} <value>")))
     }
 
     fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| CliError(format!("--{name}: cannot parse {v:?}"))),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::usage(format!("--{name}: cannot parse {v:?}")))
+            }
         }
     }
 }
@@ -126,7 +175,7 @@ impl Args {
 /// Entry point: dispatches a full argument vector (without `argv[0]`).
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err(CliError(USAGE.into()));
+        return Err(CliError::usage(USAGE));
     };
     let a = Args::parse(rest);
     if a.has("metrics") {
@@ -144,7 +193,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
+        other => Err(CliError::usage(format!("unknown subcommand {other:?}\n{USAGE}"))),
     };
     if a.has("metrics") {
         print_metrics();
@@ -168,9 +217,19 @@ fn print_metrics() {
 }
 
 fn load_data(a: &Args) -> Result<Dataset, CliError> {
-    let path =
-        a.positional.first().ok_or_else(|| CliError(format!("missing input file\n{USAGE}")))?;
-    Ok(csv::read_csv(path)?)
+    let path = a
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage(format!("missing input file\n{USAGE}")))?;
+    let opts = csv::CsvOptions { lenient: a.has("lenient") };
+    let (d, skips) = csv::read_csv_opts(path, opts)?;
+    if !skips.is_clean() {
+        eprintln!("warning: skipped {} malformed row(s) of {path}", skips.total_skipped);
+        for row in skips.skipped.iter().take(5) {
+            eprintln!("  line {}: {}", row.line, row.reason);
+        }
+    }
+    Ok(d)
 }
 
 fn cmd_stats(a: &Args) -> Result<(), CliError> {
@@ -201,9 +260,20 @@ fn encode_config(a: &Args) -> Result<EncodeConfig, CliError> {
         "maxmp" => BreakpointStrategy::ChooseMaxMP { w, min_piece_len: 5 },
         "bp" => BreakpointStrategy::ChooseBP { w },
         "none" => BreakpointStrategy::None,
-        other => return Err(CliError(format!("--strategy: unknown {other:?}"))),
+        other => return Err(CliError::usage(format!("--strategy: unknown {other:?}"))),
     };
     Ok(EncodeConfig { strategy, ..Default::default() })
+}
+
+fn retry_policy(a: &Args, default_attempts: usize) -> Result<RetryPolicy, CliError> {
+    let attempts: usize = a.parsed("attempts", default_attempts)?;
+    match a.flag("on-exhaust").unwrap_or("fail") {
+        "fail" => Ok(RetryPolicy::failing(attempts)),
+        "fallback" => Ok(RetryPolicy::with_fallback(attempts)),
+        other => {
+            Err(CliError::usage(format!("--on-exhaust: expected fail|fallback, got {other:?}")))
+        }
+    }
 }
 
 fn cmd_encode(a: &Args) -> Result<(), CliError> {
@@ -215,19 +285,20 @@ fn cmd_encode(a: &Args) -> Result<(), CliError> {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let (key, d_prime) = if a.has("verify") {
+        let policy = retry_policy(a, 8)?;
         let (key, d_prime, attempts) = ppdt_transform::verify::encode_dataset_verified(
             &mut rng,
             &d,
             &config,
             TreeParams::default(),
-            8,
-        );
+            policy,
+        )?;
         eprintln!("verified encode in {attempts} attempt(s)");
         (key, d_prime)
     } else if a.has("parallel") {
-        ppdt_transform::encode_dataset_parallel(&mut rng, &d, &config)
+        encode_dataset_parallel_with(&mut rng, &d, &config, retry_policy(a, 16)?)?
     } else {
-        encode_dataset(&mut rng, &d, &config)
+        encode_dataset_with(&mut rng, &d, &config, retry_policy(a, 16)?)?
     };
 
     csv::write_csv(&d_prime, out)?;
@@ -244,7 +315,7 @@ fn cmd_decode_dataset(a: &Args) -> Result<(), CliError> {
     let d_prime = load_data(a)?;
     let key = TransformKey::load_json(a.required("key")?)?;
     let out = a.required("out")?;
-    let d = key.decode_dataset(&d_prime);
+    let d = key.decode_dataset(&d_prime)?;
     csv::write_csv(&d, out)?;
     eprintln!("decoded {} tuples -> {out}", d.num_rows());
     Ok(())
@@ -256,26 +327,40 @@ fn cmd_mine(a: &Args) -> Result<(), CliError> {
     let criterion = match a.flag("criterion").unwrap_or("gini") {
         "gini" => SplitCriterion::Gini,
         "entropy" => SplitCriterion::Entropy,
-        other => return Err(CliError(format!("--criterion: unknown {other:?}"))),
+        other => return Err(CliError::usage(format!("--criterion: unknown {other:?}"))),
     };
     let min_leaf: u32 = a.parsed("min-leaf", 1)?;
     let params = TreeParams { criterion, min_samples_leaf: min_leaf, ..Default::default() };
     let tree = TreeBuilder::new(params).fit(&d);
-    std::fs::write(out, serde_json::to_string_pretty(&tree).expect("tree serializes"))?;
+    let json = serde_json::to_string_pretty(&tree)
+        .map_err(|e| PpdtError::internal(format!("tree serialization: {e}")))?;
+    std::fs::write(out, json)?;
     eprintln!("mined tree: {} leaves, depth {} -> {out}", tree.num_leaves(), tree.depth());
     Ok(())
 }
 
+fn load_tree(path: &str) -> Result<DecisionTree, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| PpdtError::io(path, e))?;
+    let tree: DecisionTree = serde_json::from_str(&text).map_err(|e| {
+        PpdtError::TreeIncompatible { detail: format!("cannot parse tree json {path}: {e}") }
+    })?;
+    Ok(tree)
+}
+
 fn cmd_decode_tree(a: &Args) -> Result<(), CliError> {
-    let tree_path =
-        a.positional.first().ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
-    let tree: DecisionTree = serde_json::from_str(&std::fs::read_to_string(tree_path)?)
-        .map_err(|e| CliError(format!("tree json: {e}")))?;
+    let tree_path = a
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage(format!("missing tree file\n{USAGE}")))?;
+    let tree = load_tree(tree_path)?;
     let key = TransformKey::load_json(a.required("key")?)?;
     let d = csv::read_csv(a.required("data")?)?;
     let out = a.required("out")?;
-    let decoded = key.decode_tree(&tree, ThresholdPolicy::DataValue, &d);
-    std::fs::write(out, serde_json::to_string_pretty(&decoded).expect("tree serializes"))?;
+    tree.validate(Some(d.num_attrs()))?;
+    let decoded = key.decode_tree(&tree, ThresholdPolicy::DataValue, &d)?;
+    let json = serde_json::to_string_pretty(&decoded)
+        .map_err(|e| PpdtError::internal(format!("tree serialization: {e}")))?;
+    std::fs::write(out, json)?;
     if a.has("render") {
         println!("{}", decoded.render(Some(d.schema())));
     }
@@ -284,10 +369,11 @@ fn cmd_decode_tree(a: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_report(a: &Args) -> Result<(), CliError> {
-    let tree_path =
-        a.positional.first().ok_or_else(|| CliError(format!("missing tree file\n{USAGE}")))?;
-    let tree: DecisionTree = serde_json::from_str(&std::fs::read_to_string(tree_path)?)
-        .map_err(|e| CliError(format!("tree json: {e}")))?;
+    let tree_path = a
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage(format!("missing tree file\n{USAGE}")))?;
+    let tree = load_tree(tree_path)?;
     let d = csv::read_csv(a.required("data")?)?;
     println!("tree: {} leaves, depth {}", tree.num_leaves(), tree.depth());
     println!("\n{}", tree.render(Some(d.schema())));
@@ -304,28 +390,79 @@ fn cmd_report(a: &Args) -> Result<(), CliError> {
 
 fn cmd_audit(a: &Args) -> Result<(), CliError> {
     let d = load_data(a)?;
+    if let Some(key_path) = a.flag("key") {
+        return audit_key_mode(a, &d, key_path);
+    }
     let trials: usize = a.parsed("trials", 25)?;
     let seed: u64 = a.parsed("seed", 7)?;
     let config = encode_config(a)?;
     println!("{:>16} | {:>10} {:>10} {:>10}", "attribute", "ignorant", "expert", "insider");
     for attr in d.schema().attrs() {
-        let risk = |profile: HackerProfile, salt: u64| {
+        let risk = |profile: HackerProfile, salt: u64| -> Result<f64, CliError> {
             let scenario = DomainScenario::polyline(profile);
-            run_trials(trials, seed ^ salt ^ (attr.index() as u64) << 8, |rng| {
+            let stats = try_run_trials(trials, seed ^ salt ^ (attr.index() as u64) << 8, |rng| {
                 domain_risk_trial(rng, &d, attr, &config, &scenario)
-            })
-            .median
+            })?;
+            Ok(stats.median)
         };
         println!(
             "{:>16} | {:>9.1}% {:>9.1}% {:>9.1}%",
             d.schema().attr_name(attr),
-            100.0 * risk(HackerProfile::Ignorant, 1),
-            100.0 * risk(HackerProfile::Expert, 2),
-            100.0 * risk(HackerProfile::Insider, 3),
+            100.0 * risk(HackerProfile::Ignorant, 1)?,
+            100.0 * risk(HackerProfile::Expert, 2)?,
+            100.0 * risk(HackerProfile::Insider, 3)?,
         );
     }
     let _ = AttrId(0);
     Ok(())
+}
+
+/// `ppdt audit <data.csv> --key K.json [--json report.json]`: the
+/// structural key/dataset audit. Prints a human summary, optionally
+/// writes the machine-readable [`ppdt_transform::AuditReport`], and
+/// fails (exit code 4) when the audit finds errors.
+fn audit_key_mode(a: &Args, d: &Dataset, key_path: &str) -> Result<(), CliError> {
+    let key = TransformKey::load_json(key_path)?;
+    let report = ppdt_transform::audit_key_against(&key, d);
+    if let Some(json_path) = a.flag("json") {
+        std::fs::write(json_path, report.to_json_pretty())
+            .map_err(|e| PpdtError::io(json_path, e))?;
+        eprintln!("audit report -> {json_path}");
+    }
+    println!(
+        "audit of {key_path}: {} attribute(s), {} row(s): {} error(s), {} warning(s){}",
+        report.attrs_checked,
+        report.rows_checked.unwrap_or(0),
+        report.errors,
+        report.warnings,
+        if report.truncated { " (findings truncated)" } else { "" },
+    );
+    for f in &report.findings {
+        let sev = match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        print!("  [{sev}] {}: {}", f.code, f.message);
+        if let Some(attr) = f.attr {
+            print!(" [attribute {attr}");
+            if let Some(piece) = f.piece {
+                print!(", piece {piece}");
+            }
+            if let Some(row) = f.row {
+                print!(", row {row}");
+            }
+            print!("]");
+        }
+        println!();
+    }
+    if report.passed() {
+        println!("audit passed");
+        Ok(())
+    } else {
+        Err(CliError(
+            report.first_error().unwrap_or_else(|| PpdtError::key_corrupt("audit failed")),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -481,7 +618,8 @@ mod tests {
         let data_csv = tmp("noargs.csv");
         ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
         let err = run(&s(&["encode", data_csv.to_str().unwrap()])).unwrap_err();
-        assert!(err.0.contains("--out"));
+        assert!(err.to_string().contains("--out"));
+        assert_eq!(err.exit_code(), 2, "missing flags are usage errors");
         let _ = std::fs::remove_file(&data_csv);
     }
 
@@ -501,7 +639,191 @@ mod tests {
             "bogus",
         ]))
         .unwrap_err();
-        assert!(err.0.contains("strategy"));
+        assert!(err.to_string().contains("strategy"));
+        assert_eq!(err.exit_code(), 2);
+        let _ = std::fs::remove_file(&data_csv);
+    }
+
+    #[test]
+    fn missing_input_file_is_io_error() {
+        let err = run(&s(&["stats", "/nonexistent/ppdt_cli.csv"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn lenient_flag_skips_bad_rows() {
+        let path = tmp("lenient.csv");
+        std::fs::write(
+            &path,
+            "a,class
+1,x
+bogus,y
+2,y
+",
+        )
+        .unwrap();
+        // Strict parse fails with a corrupt-data exit code...
+        let err = run(&s(&["stats", path.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        // ...lenient parse skips the bad row and proceeds.
+        run(&s(&["stats", path.to_str().unwrap(), "--lenient"])).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn audit_detects_corrupted_key_with_structured_report() {
+        let d = figure1();
+        let data_csv = tmp("audit_data.csv");
+        let dprime_csv = tmp("audit_dprime.csv");
+        let key_json = tmp("audit_key.json");
+        let report_json = tmp("audit_report.json");
+        ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
+        run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            dprime_csv.to_str().unwrap(),
+            "--key",
+            key_json.to_str().unwrap(),
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+
+        // A sound key passes the audit.
+        run(&s(&["audit", data_csv.to_str().unwrap(), "--key", key_json.to_str().unwrap()]))
+            .unwrap();
+
+        // A bit-rotted key fails with exit code 4 and a JSON report.
+        // Flipping digits until the audit trips keeps the test robust
+        // to which digit the seed lands on (some flips are harmless,
+        // e.g. inside an unused domain tail).
+        let good = std::fs::read_to_string(&key_json).unwrap();
+        let mut failed = None;
+        for seed in 0..40u64 {
+            let bad = ppdt_data::corrupt::flip_ascii_digit(&good, seed);
+            std::fs::write(&key_json, &bad).unwrap();
+            let r = run(&s(&[
+                "audit",
+                data_csv.to_str().unwrap(),
+                "--key",
+                key_json.to_str().unwrap(),
+                "--json",
+                report_json.to_str().unwrap(),
+            ]));
+            if let Err(e) = r {
+                failed = Some(e);
+                break;
+            }
+        }
+        let err = failed.expect("some digit flip should corrupt the key");
+        assert_eq!(err.exit_code(), 4, "{err}");
+        let report = std::fs::read_to_string(&report_json).unwrap();
+        assert!(report.contains("\"findings\""), "structured report written: {report}");
+
+        // A truncated key is caught at load time (corrupt key too).
+        std::fs::write(&key_json, ppdt_data::corrupt::truncate_at(&good, 0.5)).unwrap();
+        let err =
+            run(&s(&["audit", data_csv.to_str().unwrap(), "--key", key_json.to_str().unwrap()]))
+                .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+
+        for p in [&data_csv, &dprime_csv, &key_json, &report_json] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn tampered_tree_is_an_incompatible_tree_error() {
+        let d = figure1();
+        let data_csv = tmp("tamper_data.csv");
+        let dprime_csv = tmp("tamper_dprime.csv");
+        let key_json = tmp("tamper_key.json");
+        let tree_json = tmp("tamper_tree.json");
+        let out_json = tmp("tamper_out.json");
+        ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
+        run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            dprime_csv.to_str().unwrap(),
+            "--key",
+            key_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["mine", dprime_csv.to_str().unwrap(), "--out", tree_json.to_str().unwrap()]))
+            .unwrap();
+
+        // Point the tree at an attribute the dataset does not have.
+        let tree_text = std::fs::read_to_string(&tree_json).unwrap();
+        let mut tree: DecisionTree = serde_json::from_str(&tree_text).unwrap();
+        if let ppdt_tree::Node::Split { attr, .. } = &mut tree.root {
+            *attr = AttrId(99);
+        }
+        std::fs::write(&tree_json, serde_json::to_string_pretty(&tree).unwrap()).unwrap();
+        let err = run(&s(&[
+            "decode-tree",
+            tree_json.to_str().unwrap(),
+            "--key",
+            key_json.to_str().unwrap(),
+            "--data",
+            data_csv.to_str().unwrap(),
+            "--out",
+            out_json.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+
+        // Unparseable tree JSON is also an incompatible-tree failure.
+        std::fs::write(&tree_json, "{not json").unwrap();
+        let err = run(&s(&[
+            "decode-tree",
+            tree_json.to_str().unwrap(),
+            "--key",
+            key_json.to_str().unwrap(),
+            "--data",
+            data_csv.to_str().unwrap(),
+            "--out",
+            out_json.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+
+        for p in [&data_csv, &dprime_csv, &key_json, &tree_json, &out_json] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn retry_flags_are_validated() {
+        let d = figure1();
+        let data_csv = tmp("retry.csv");
+        ppdt_data::csv::write_csv(&d, &data_csv).unwrap();
+        let err = run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            "/tmp/ppdt_retry_out.csv",
+            "--key",
+            "/tmp/ppdt_retry_key.json",
+            "--on-exhaust",
+            "explode",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        // Zero attempts is rejected by RetryPolicy::validate.
+        let err = run(&s(&[
+            "encode",
+            data_csv.to_str().unwrap(),
+            "--out",
+            "/tmp/ppdt_retry_out.csv",
+            "--key",
+            "/tmp/ppdt_retry_key.json",
+            "--attempts",
+            "0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
         let _ = std::fs::remove_file(&data_csv);
     }
 }

@@ -3,7 +3,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = ppdt_cli::run(&args) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        eprintln!("error ({}): {e}", e.category_name());
+        std::process::exit(e.exit_code());
     }
 }

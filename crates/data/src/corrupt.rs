@@ -1,0 +1,248 @@
+//! Deterministic corruptors for fault-injection testing.
+//!
+//! The hardening work needs *reproducible* hostile inputs: every test
+//! corruption is a pure function of `(input, corruption kind, seed)`,
+//! so a failing case replays exactly from its seed. Two families:
+//!
+//! * [`corrupt_csv`] — structured CSV mutations (NaN/Inf/empty cells,
+//!   ragged rows, duplicate or dropped header columns, out-of-domain
+//!   values) exercising [`crate::csv`] and downstream schema/audit
+//!   checks;
+//! * [`truncate_at`] / [`flip_ascii_digit`] — generic text mutations
+//!   for serialized artifacts such as transform-key JSON (truncation
+//!   models a torn write, a digit flip models silent bit rot that
+//!   keeps the file parseable).
+//!
+//! Nothing here touches the filesystem or global RNG state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One structured way to damage a CSV table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsvCorruption {
+    /// Replace a random attribute cell with `NaN`.
+    NanCell,
+    /// Replace a random attribute cell with `inf`.
+    InfCell,
+    /// Replace a random attribute cell with an empty field.
+    EmptyCell,
+    /// Drop the last field of a random data row (wrong arity).
+    RaggedRow,
+    /// Rename the second header column to the first one's name.
+    DuplicateHeaderColumn,
+    /// Remove the first attribute column from the header and all rows.
+    DropColumn,
+    /// Replace a random attribute cell with a value far outside any
+    /// plausible active domain (parses fine; caught by key audit).
+    OutOfDomainValue,
+}
+
+impl CsvCorruption {
+    /// Stable lowercase name (used in test labels and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CsvCorruption::NanCell => "nan_cell",
+            CsvCorruption::InfCell => "inf_cell",
+            CsvCorruption::EmptyCell => "empty_cell",
+            CsvCorruption::RaggedRow => "ragged_row",
+            CsvCorruption::DuplicateHeaderColumn => "duplicate_header_column",
+            CsvCorruption::DropColumn => "drop_column",
+            CsvCorruption::OutOfDomainValue => "out_of_domain_value",
+        }
+    }
+
+    /// Whether the damaged text still parses as CSV (the corruption is
+    /// only detectable against a transform key / schema, not by the
+    /// parser itself).
+    pub fn parses_clean(self) -> bool {
+        matches!(self, CsvCorruption::DropColumn | CsvCorruption::OutOfDomainValue)
+    }
+}
+
+/// Every [`CsvCorruption`] variant, for exhaustive fault sweeps.
+pub const ALL_CSV_CORRUPTIONS: [CsvCorruption; 7] = [
+    CsvCorruption::NanCell,
+    CsvCorruption::InfCell,
+    CsvCorruption::EmptyCell,
+    CsvCorruption::RaggedRow,
+    CsvCorruption::DuplicateHeaderColumn,
+    CsvCorruption::DropColumn,
+    CsvCorruption::OutOfDomainValue,
+];
+
+/// Applies `corruption` to CSV `text`, deterministically from `seed`.
+///
+/// The input must have a header line and at least one data row with at
+/// least two columns (header + rows as produced by
+/// [`crate::csv::to_csv`]); anything smaller is returned unchanged.
+pub fn corrupt_csv(text: &str, corruption: CsvCorruption, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ (corruption as u64).wrapping_mul(0x9e37_79b9));
+    let mut lines: Vec<Vec<String>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split(',').map(|f| f.trim().to_string()).collect())
+        .collect();
+    if lines.len() < 2 || lines[0].len() < 2 {
+        return text.to_string();
+    }
+    let num_cols = lines[0].len();
+    let num_attrs = num_cols - 1;
+    let data_rows = lines.len() - 1;
+    let pick_row = |rng: &mut StdRng| 1 + rng.gen_range(0..data_rows);
+    // Column picks need at least one attribute column; with none, the
+    // cell-level corruptions degrade to touching the label column.
+    let pick_col = |rng: &mut StdRng| rng.gen_range(0..num_attrs.max(1));
+
+    match corruption {
+        CsvCorruption::NanCell => {
+            let (r, c) = (pick_row(&mut rng), pick_col(&mut rng));
+            lines[r][c] = "NaN".to_string();
+        }
+        CsvCorruption::InfCell => {
+            let (r, c) = (pick_row(&mut rng), pick_col(&mut rng));
+            lines[r][c] = "inf".to_string();
+        }
+        CsvCorruption::EmptyCell => {
+            let (r, c) = (pick_row(&mut rng), pick_col(&mut rng));
+            lines[r][c] = String::new();
+        }
+        CsvCorruption::RaggedRow => {
+            let r = pick_row(&mut rng);
+            lines[r].pop();
+        }
+        CsvCorruption::DuplicateHeaderColumn => {
+            let first = lines[0][0].clone();
+            lines[0][1] = first;
+        }
+        CsvCorruption::DropColumn => {
+            for row in &mut lines {
+                row.remove(0);
+            }
+        }
+        CsvCorruption::OutOfDomainValue => {
+            let (r, c) = (pick_row(&mut rng), pick_col(&mut rng));
+            lines[r][c] = "999999999".to_string();
+        }
+    }
+
+    let mut out = String::with_capacity(text.len() + 8);
+    for row in &lines {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Truncates `text` to `frac` (clamped to `[0, 1]`) of its byte length,
+/// snapping down to a UTF-8 boundary. Models a torn write of a
+/// serialized artifact.
+pub fn truncate_at(text: &str, frac: f64) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let mut cut = (text.len() as f64 * frac) as usize;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    text[..cut].to_string()
+}
+
+/// Replaces one ASCII digit of `text` with a *different* digit, chosen
+/// deterministically from `seed`. The result is still syntactically
+/// valid JSON when the input was — the damage is semantic (a changed
+/// number), modeling silent bit rot. Returns the input unchanged when
+/// it contains no digits.
+pub fn flip_ascii_digit(text: &str, seed: u64) -> String {
+    let digit_positions: Vec<usize> =
+        text.bytes().enumerate().filter(|(_, b)| b.is_ascii_digit()).map(|(i, _)| i).collect();
+    if digit_positions.is_empty() {
+        return text.to_string();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos = digit_positions[rng.gen_range(0..digit_positions.len())];
+    let old = text.as_bytes()[pos] - b'0';
+    let new = (old + 1 + rng.gen_range(0..9) % 9) % 10;
+    let mut bytes = text.as_bytes().to_vec();
+    bytes[pos] = b'0' + new;
+    String::from_utf8(bytes).expect("digit swap preserves UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::{parse_csv, CsvError};
+
+    const SAMPLE: &str = "\
+age,salary,class
+17,30000,High
+20,35000,High
+32,50000,Low
+68,55000,Low
+";
+
+    #[test]
+    fn deterministic_from_seed() {
+        for c in ALL_CSV_CORRUPTIONS {
+            let a = corrupt_csv(SAMPLE, c, 42);
+            let b = corrupt_csv(SAMPLE, c, 42);
+            assert_eq!(a, b, "{}", c.name());
+            assert_ne!(a, SAMPLE, "{} must change the text", c.name());
+        }
+        assert_eq!(flip_ascii_digit(SAMPLE, 7), flip_ascii_digit(SAMPLE, 7));
+    }
+
+    #[test]
+    fn parser_detectable_corruptions_fail_parse() {
+        for c in ALL_CSV_CORRUPTIONS {
+            let damaged = corrupt_csv(SAMPLE, c, 1);
+            let parsed = parse_csv(&damaged);
+            if c.parses_clean() {
+                assert!(parsed.is_ok(), "{} should still parse: {parsed:?}", c.name());
+            } else {
+                assert!(parsed.is_err(), "{} should fail parse", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn specific_corruptions_yield_expected_errors() {
+        let nan = corrupt_csv(SAMPLE, CsvCorruption::NanCell, 3);
+        assert!(matches!(parse_csv(&nan), Err(CsvError::BadNumber { .. })));
+        let ragged = corrupt_csv(SAMPLE, CsvCorruption::RaggedRow, 3);
+        assert!(matches!(parse_csv(&ragged), Err(CsvError::BadArity { .. })));
+        let dup = corrupt_csv(SAMPLE, CsvCorruption::DuplicateHeaderColumn, 3);
+        assert!(matches!(parse_csv(&dup), Err(CsvError::DuplicateHeader { column: 1, .. })));
+        let dropped = corrupt_csv(SAMPLE, CsvCorruption::DropColumn, 3);
+        assert_eq!(parse_csv(&dropped).unwrap().num_attrs(), 1);
+    }
+
+    #[test]
+    fn truncation_respects_utf8_and_bounds() {
+        assert_eq!(truncate_at("hello", 0.0), "");
+        assert_eq!(truncate_at("hello", 1.0), "hello");
+        assert_eq!(truncate_at("hello", 0.5), "he");
+        // Multi-byte boundary: never panics, always a prefix.
+        let s = "aé€b";
+        for i in 0..=10 {
+            let t = truncate_at(s, i as f64 / 10.0);
+            assert!(s.starts_with(&t));
+        }
+    }
+
+    #[test]
+    fn digit_flip_changes_exactly_one_byte() {
+        let text = r#"{"x": 123, "y": 4.5}"#;
+        let flipped = flip_ascii_digit(text, 99);
+        assert_eq!(text.len(), flipped.len());
+        let diffs: Vec<usize> = text
+            .bytes()
+            .zip(flipped.bytes())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert!(text.as_bytes()[diffs[0]].is_ascii_digit());
+        assert!(flipped.as_bytes()[diffs[0]].is_ascii_digit());
+        assert!(flip_ascii_digit("no digits here", 1) == "no digits here");
+    }
+}

@@ -7,22 +7,50 @@
 //! in first-appearance order). No quoting or escaping: attribute data
 //! in this domain is numeric and labels are identifiers. Fields are
 //! trimmed of surrounding whitespace.
+//!
+//! ## Hostile files
+//!
+//! Files arrive from outside the trust boundary, so parsing never
+//! panics: every malformation is a typed [`CsvError`] carrying the
+//! 1-based source line and column (convertible to
+//! [`ppdt_error::PpdtError`]). Two modes:
+//!
+//! * **strict** (default, [`parse_csv`] / [`read_csv`]) — the first
+//!   bad cell or ragged row aborts the parse with its position;
+//! * **lenient** ([`CsvOptions { lenient: true }`](CsvOptions)) — bad
+//!   *rows* are skipped and tallied in a [`SkipReport`]; structural
+//!   problems (missing/duplicate header, too few columns or classes)
+//!   still fail.
+//!
+//! [`read_csv`] streams through a [`std::io::BufRead`] line by line,
+//! so multi-gigabyte tables parse without materializing the file text
+//! (see the million-row smoke test).
 
 use std::fmt::Write as _;
+use std::io::BufRead;
 use std::path::Path;
 
 use crate::dataset::{Dataset, DatasetBuilder};
 #[cfg(test)]
 use crate::schema::AttrId;
 use crate::schema::{ClassId, Schema};
+use ppdt_error::PpdtError;
 
 /// Errors from CSV parsing.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CsvError {
     /// The input had no header row.
     MissingHeader,
     /// The header had fewer than two columns (need ≥1 attribute + label).
     TooFewColumns,
+    /// Two header columns carry the same name — the attribute/key
+    /// correspondence would be ambiguous.
+    DuplicateHeader {
+        /// 0-based index of the second occurrence.
+        column: usize,
+        /// The repeated name.
+        name: String,
+    },
     /// A data row had the wrong number of fields.
     BadArity {
         /// 1-based line number.
@@ -52,6 +80,9 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::MissingHeader => write!(f, "missing header row"),
             CsvError::TooFewColumns => write!(f, "need at least one attribute and a label column"),
+            CsvError::DuplicateHeader { column, name } => {
+                write!(f, "column {column}: duplicate header name {name:?}")
+            }
             CsvError::BadArity { line, got, expected } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
@@ -66,71 +97,217 @@ impl std::fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
-/// Parses a dataset from CSV text. See the module docs for the format.
-pub fn parse_csv(text: &str) -> Result<Dataset, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
-    let names: Vec<&str> = header.split(',').map(str::trim).collect();
-    if names.len() < 2 {
-        return Err(CsvError::TooFewColumns);
+impl From<CsvError> for PpdtError {
+    fn from(e: CsvError) -> Self {
+        match e {
+            CsvError::MissingHeader => {
+                PpdtError::DataCorrupt { row: None, column: None, detail: e.to_string() }
+            }
+            CsvError::TooFewColumns | CsvError::TooFewClasses => {
+                PpdtError::DataCorrupt { row: None, column: None, detail: e.to_string() }
+            }
+            CsvError::DuplicateHeader { column, .. } => {
+                PpdtError::DataCorrupt { row: Some(1), column: Some(column), detail: e.to_string() }
+            }
+            CsvError::BadArity { line, .. } => {
+                PpdtError::DataCorrupt { row: Some(line), column: None, detail: e.to_string() }
+            }
+            CsvError::BadNumber { line, column, ref field } => PpdtError::DataCorrupt {
+                row: Some(line),
+                column: Some(column),
+                detail: format!("not a finite number: {field:?}"),
+            },
+            CsvError::Io(detail) => PpdtError::Io { path: None, detail },
+        }
     }
-    let num_attrs = names.len() - 1;
+}
 
-    // First pass: collect rows and intern labels in appearance order.
-    let mut class_names: Vec<String> = Vec::new();
-    let mut rows: Vec<(Vec<f64>, ClassId)> = Vec::new();
-    for (idx, line) in lines {
-        let line_no = idx + 1;
+/// Parse-mode options.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CsvOptions {
+    /// When true, rows with a bad cell or wrong arity are skipped and
+    /// tallied instead of aborting the parse.
+    pub lenient: bool,
+}
+
+/// Cap on per-row details retained in a [`SkipReport`] (the total
+/// count stays exact).
+pub const MAX_SKIP_DETAILS: usize = 100;
+
+/// One skipped row in lenient mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkippedRow {
+    /// 1-based source line number.
+    pub line: usize,
+    /// 0-based column, when the problem was cell-level.
+    pub column: Option<usize>,
+    /// Why it was skipped.
+    pub reason: String,
+}
+
+/// Tally of rows skipped by a lenient parse.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SkipReport {
+    /// Exact number of skipped rows.
+    pub total_skipped: usize,
+    /// Details of the first [`MAX_SKIP_DETAILS`] skipped rows.
+    pub skipped: Vec<SkippedRow>,
+}
+
+impl SkipReport {
+    /// True when no row was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.total_skipped == 0
+    }
+}
+
+/// Incremental CSV accumulator shared by the in-memory and streaming
+/// entry points.
+struct CsvAccum {
+    attr_names: Vec<String>,
+    num_cols: usize,
+    lenient: bool,
+    class_names: Vec<String>,
+    rows: Vec<(Vec<f64>, ClassId)>,
+    report: SkipReport,
+}
+
+impl CsvAccum {
+    fn new(header: &str, opts: CsvOptions) -> Result<Self, CsvError> {
+        let names: Vec<&str> = header.split(',').map(str::trim).collect();
+        if names.len() < 2 {
+            return Err(CsvError::TooFewColumns);
+        }
+        for (i, n) in names.iter().enumerate() {
+            if let Some(_j) = names[..i].iter().position(|m| m == n) {
+                return Err(CsvError::DuplicateHeader { column: i, name: (*n).to_string() });
+            }
+        }
+        Ok(CsvAccum {
+            attr_names: names[..names.len() - 1].iter().map(|s| (*s).to_string()).collect(),
+            num_cols: names.len(),
+            lenient: opts.lenient,
+            class_names: Vec::new(),
+            rows: Vec::new(),
+            report: SkipReport::default(),
+        })
+    }
+
+    fn skip(&mut self, line: usize, column: Option<usize>, reason: String) {
+        self.report.total_skipped += 1;
+        if self.report.skipped.len() < MAX_SKIP_DETAILS {
+            self.report.skipped.push(SkippedRow { line, column, reason });
+        }
+    }
+
+    fn push_line(&mut self, line_no: usize, line: &str) -> Result<(), CsvError> {
+        let num_attrs = self.num_cols - 1;
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != names.len() {
-            return Err(CsvError::BadArity {
-                line: line_no,
-                got: fields.len(),
-                expected: names.len(),
-            });
+        if fields.len() != self.num_cols {
+            let e =
+                CsvError::BadArity { line: line_no, got: fields.len(), expected: self.num_cols };
+            if self.lenient {
+                self.skip(line_no, None, e.to_string());
+                return Ok(());
+            }
+            return Err(e);
         }
         let mut values = Vec::with_capacity(num_attrs);
         for (col, field) in fields[..num_attrs].iter().enumerate() {
-            let v: f64 = field.parse().map_err(|_| CsvError::BadNumber {
-                line: line_no,
-                column: col,
-                field: (*field).to_string(),
-            })?;
-            if !v.is_finite() {
-                return Err(CsvError::BadNumber {
-                    line: line_no,
-                    column: col,
-                    field: (*field).to_string(),
-                });
+            let parsed: Option<f64> = field.parse().ok().filter(|v: &f64| v.is_finite());
+            match parsed {
+                Some(v) => values.push(v),
+                None => {
+                    let e = CsvError::BadNumber {
+                        line: line_no,
+                        column: col,
+                        field: (*field).to_string(),
+                    };
+                    if self.lenient {
+                        self.skip(line_no, Some(col), e.to_string());
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
             }
-            values.push(v);
         }
         let label_text = fields[num_attrs];
-        let class = match class_names.iter().position(|n| n == label_text) {
+        let class = match self.class_names.iter().position(|n| n == label_text) {
             Some(i) => ClassId(i as u16),
             None => {
-                class_names.push(label_text.to_string());
-                ClassId((class_names.len() - 1) as u16)
+                self.class_names.push(label_text.to_string());
+                ClassId((self.class_names.len() - 1) as u16)
             }
         };
-        rows.push((values, class));
-    }
-    if class_names.len() < 2 {
-        return Err(CsvError::TooFewClasses);
+        self.rows.push((values, class));
+        Ok(())
     }
 
-    let schema = Schema::new(names[..num_attrs].iter().map(|s| s.to_string()), class_names);
-    let mut b = DatasetBuilder::new(schema);
-    for (values, class) in rows {
-        b.push_row(&values, class);
+    fn finish(self) -> Result<(Dataset, SkipReport), CsvError> {
+        if self.class_names.len() < 2 {
+            return Err(CsvError::TooFewClasses);
+        }
+        let schema = Schema::new(self.attr_names, self.class_names);
+        let mut b = DatasetBuilder::new(schema);
+        for (values, class) in self.rows {
+            b.push_row(&values, class);
+        }
+        Ok((b.build(), self.report))
     }
-    Ok(b.build())
 }
 
-/// Reads a dataset from a CSV file.
+/// Parses a dataset from CSV text with explicit [`CsvOptions`],
+/// returning the dataset and the lenient-mode [`SkipReport`] (always
+/// clean in strict mode).
+pub fn parse_csv_opts(text: &str, opts: CsvOptions) -> Result<(Dataset, SkipReport), CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let mut acc = CsvAccum::new(header, opts)?;
+    for (idx, line) in lines {
+        acc.push_line(idx + 1, line)?;
+    }
+    acc.finish()
+}
+
+/// Parses a dataset from CSV text (strict mode). See the module docs
+/// for the format.
+pub fn parse_csv(text: &str) -> Result<Dataset, CsvError> {
+    parse_csv_opts(text, CsvOptions::default()).map(|(d, _)| d)
+}
+
+/// Reads a dataset from any buffered reader, streaming line by line
+/// (the file text is never materialized in memory as a whole).
+pub fn read_csv_from(
+    reader: impl BufRead,
+    opts: CsvOptions,
+) -> Result<(Dataset, SkipReport), CsvError> {
+    let mut acc: Option<CsvAccum> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| CsvError::Io(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match &mut acc {
+            None => acc = Some(CsvAccum::new(&line, opts)?),
+            Some(acc) => acc.push_line(idx + 1, &line)?,
+        }
+    }
+    acc.ok_or(CsvError::MissingHeader)?.finish()
+}
+
+/// Reads a dataset from a CSV file (strict mode, streaming).
 pub fn read_csv(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
-    let text = std::fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
-    parse_csv(&text)
+    read_csv_opts(path, CsvOptions::default()).map(|(d, _)| d)
+}
+
+/// Reads a dataset from a CSV file with explicit [`CsvOptions`],
+/// streaming through a buffered reader.
+pub fn read_csv_opts(
+    path: impl AsRef<Path>,
+    opts: CsvOptions,
+) -> Result<(Dataset, SkipReport), CsvError> {
+    let file = std::fs::File::open(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    read_csv_from(std::io::BufReader::new(file), opts)
 }
 
 /// Serializes a dataset to CSV text (inverse of [`parse_csv`]).
@@ -232,8 +409,13 @@ age,salary,class
 
     #[test]
     fn error_nonfinite_rejected() {
-        let text = "a,class\ninf,x\n2,y\n";
-        assert!(matches!(parse_csv(text), Err(CsvError::BadNumber { .. })));
+        for cell in ["inf", "-inf", "NaN", "nan", ""] {
+            let text = format!("a,class\n{cell},x\n2,y\n");
+            assert!(
+                matches!(parse_csv(&text), Err(CsvError::BadNumber { line: 2, column: 0, .. })),
+                "cell {cell:?}"
+            );
+        }
     }
 
     #[test]
@@ -250,6 +432,48 @@ age,salary,class
     }
 
     #[test]
+    fn error_duplicate_header() {
+        let text = "age,age,class\n1,2,x\n3,4,y\n";
+        match parse_csv(text) {
+            Err(CsvError::DuplicateHeader { column: 1, name }) => assert_eq!(name, "age"),
+            other => panic!("{other:?}"),
+        }
+        // Lenient mode does not excuse structural problems.
+        assert!(parse_csv_opts(text, CsvOptions { lenient: true }).is_err());
+    }
+
+    #[test]
+    fn lenient_skips_and_reports_positions() {
+        let text = "a,b,class\n\
+                    1,2,x\n\
+                    oops,2,x\n\
+                    3,nan,y\n\
+                    4\n\
+                    5,6,y\n";
+        let (d, report) = parse_csv_opts(text, CsvOptions { lenient: true }).unwrap();
+        assert_eq!(d.num_rows(), 2);
+        assert_eq!(report.total_skipped, 3);
+        assert_eq!(report.skipped.len(), 3);
+        assert_eq!((report.skipped[0].line, report.skipped[0].column), (3, Some(0)));
+        assert_eq!((report.skipped[1].line, report.skipped[1].column), (4, Some(1)));
+        assert_eq!((report.skipped[2].line, report.skipped[2].column), (5, None));
+        // Strict mode fails on the first bad row instead.
+        assert!(matches!(parse_csv(text), Err(CsvError::BadNumber { line: 3, .. })));
+    }
+
+    #[test]
+    fn lenient_detail_cap_keeps_exact_count() {
+        let mut text = String::from("a,class\n1,x\n2,y\n");
+        for _ in 0..(MAX_SKIP_DETAILS + 25) {
+            text.push_str("bogus,z\n");
+        }
+        let (_, report) = parse_csv_opts(&text, CsvOptions { lenient: true }).unwrap();
+        assert_eq!(report.total_skipped, MAX_SKIP_DETAILS + 25);
+        assert_eq!(report.skipped.len(), MAX_SKIP_DETAILS);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
     fn file_roundtrip() {
         let d = figure1();
         let path = std::env::temp_dir().join("ppdt_csv_test.csv");
@@ -262,6 +486,36 @@ age,salary,class
     #[test]
     fn read_missing_file_is_io_error() {
         assert!(matches!(read_csv("/nonexistent/ppdt.csv"), Err(CsvError::Io(_))));
+    }
+
+    #[test]
+    fn csv_errors_convert_to_typed_data_errors() {
+        let e: PpdtError = CsvError::BadNumber { line: 7, column: 2, field: "x".into() }.into();
+        match e {
+            PpdtError::DataCorrupt { row: Some(7), column: Some(2), .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let e: PpdtError = CsvError::Io("gone".into()).into();
+        assert!(matches!(e, PpdtError::Io { .. }));
+        assert_eq!(PpdtError::from(CsvError::TooFewClasses).category().exit_code(), 6);
+    }
+
+    #[test]
+    fn streaming_million_row_smoke() {
+        // >1M rows through the buffered line-by-line path. Build the
+        // text once (two attrs, alternating labels) and parse from a
+        // cursor — same code path as a file, no temp file needed.
+        let n: usize = 1_000_001;
+        let mut text = String::with_capacity(n * 12 + 16);
+        text.push_str("a,b,class\n");
+        for i in 0..n {
+            let _ = writeln!(text, "{},{},{}", i % 997, i % 89, if i % 2 == 0 { "x" } else { "y" });
+        }
+        let (d, report) =
+            read_csv_from(std::io::Cursor::new(text.as_bytes()), CsvOptions::default()).unwrap();
+        assert_eq!(d.num_rows(), n);
+        assert_eq!(d.num_attrs(), 2);
+        assert!(report.is_clean());
     }
 }
 

@@ -26,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod class_string;
+pub mod corrupt;
 pub mod csv;
 pub mod dataset;
 pub mod gen;
@@ -35,7 +36,11 @@ pub mod stats;
 pub mod value;
 
 pub use class_string::{ClassString, LabelRun};
-pub use csv::{parse_csv, read_csv, to_csv, write_csv, CsvError};
+pub use corrupt::{corrupt_csv, flip_ascii_digit, truncate_at, CsvCorruption, ALL_CSV_CORRUPTIONS};
+pub use csv::{
+    parse_csv, parse_csv_opts, read_csv, read_csv_from, read_csv_opts, to_csv, write_csv, CsvError,
+    CsvOptions, SkipReport, SkippedRow,
+};
 pub use dataset::{Dataset, DatasetBuilder, DistinctGroup, SortedColumn};
 pub use mono::{MonoAnalysis, MonoPiece};
 pub use schema::{AttrId, ClassId, Schema};

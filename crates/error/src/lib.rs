@@ -1,0 +1,385 @@
+//! # ppdt-error
+//!
+//! The workspace-wide typed error taxonomy. The paper's custodian
+//! scenario is built around an *untrusted* boundary: the custodian
+//! ships `D'` to a miner she does not trust and later receives `T'`
+//! back, so corrupted keys, tampered trees, and malformed CSVs are the
+//! expected case, not the exception. Every crate in the workspace
+//! reports hostile-input failures as a [`PpdtError`] carrying the
+//! attribute / piece / row context needed to act on the report,
+//! instead of panicking mid-pipeline.
+//!
+//! Errors are grouped into [`ErrorCategory`]s, each with a stable,
+//! documented process [`ErrorCategory::exit_code`] used by the `ppdt`
+//! CLI (see the README error-code table):
+//!
+//! | exit | category | meaning |
+//! |-----:|----------|---------|
+//! | 1    | internal | unexpected internal failure (a bug) |
+//! | 2    | usage    | bad arguments / invalid configuration |
+//! | 3    | io       | file system or serialization I/O |
+//! | 4    | corrupt-key | key fails audit, or key/data mismatch |
+//! | 5    | incompatible-tree | mined tree does not fit key or data |
+//! | 6    | corrupt-data | malformed dataset cells / schema |
+//!
+//! `PpdtError` is `Serialize`/`Deserialize` so structured reports
+//! (e.g. the audit subsystem's `AuditReport`) can embed errors
+//! verbatim.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse failure class, stable across [`PpdtError`] refactors. The
+/// CLI maps each category to a distinct exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorCategory {
+    /// Bad arguments or invalid configuration values.
+    Usage,
+    /// File-system or serialization I/O failure.
+    Io,
+    /// A transform key failed validation, or does not match the data
+    /// it is applied to.
+    CorruptKey,
+    /// A mined tree is incompatible with the key or the replay data.
+    IncompatibleTree,
+    /// Malformed dataset contents (cells, rows, headers, schema).
+    CorruptData,
+    /// An internal invariant failed — a bug, not a hostile input.
+    Internal,
+}
+
+impl ErrorCategory {
+    /// The documented process exit code for this category.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorCategory::Internal => 1,
+            ErrorCategory::Usage => 2,
+            ErrorCategory::Io => 3,
+            ErrorCategory::CorruptKey => 4,
+            ErrorCategory::IncompatibleTree => 5,
+            ErrorCategory::CorruptData => 6,
+        }
+    }
+
+    /// Stable snake_case name used in structured reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCategory::Usage => "usage",
+            ErrorCategory::Io => "io",
+            ErrorCategory::CorruptKey => "corrupt_key",
+            ErrorCategory::IncompatibleTree => "incompatible_tree",
+            ErrorCategory::CorruptData => "corrupt_data",
+            ErrorCategory::Internal => "internal",
+        }
+    }
+}
+
+/// The workspace error type. Variants carry the attribute / piece /
+/// row context of the failure so callers (and the CLI's stderr
+/// rendering) can point at the offending part of the input.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PpdtError {
+    /// A value lies outside the domain a transform is defined on —
+    /// outside every piece's input range, or inside a permutation
+    /// piece without being one of its recorded values.
+    DomainViolation {
+        /// Attribute index, when known at the failure site.
+        attr: Option<usize>,
+        /// Piece index within the attribute's transform, when known.
+        piece: Option<usize>,
+        /// The offending value.
+        value: f64,
+    },
+    /// A transform key violates its structural invariants (interval
+    /// overlap, broken bijection, non-finite entries, …).
+    KeyCorrupt {
+        /// Attribute index, when known.
+        attr: Option<usize>,
+        /// Piece index, when known.
+        piece: Option<usize>,
+        /// What invariant broke.
+        detail: String,
+    },
+    /// A bounded-retry draw loop ran out of attempts.
+    DrawExhausted {
+        /// Attribute index, when the exhaustion is per-attribute.
+        attr: Option<usize>,
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// Per-attempt failure reasons, in attempt order.
+        reasons: Vec<String>,
+    },
+    /// Two artifacts that must agree structurally do not (e.g. a key
+    /// with 3 transforms applied to a 5-attribute dataset).
+    SchemaMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// A mined tree cannot be decoded against this key/data (unknown
+    /// attribute id, non-finite threshold, split that leaves a side
+    /// empty on replay, …).
+    TreeIncompatible {
+        /// What made the tree incompatible.
+        detail: String,
+    },
+    /// Malformed dataset contents: a bad cell, a ragged row, a
+    /// duplicated header.
+    DataCorrupt {
+        /// 1-based source line / row number, when known.
+        row: Option<usize>,
+        /// 0-based column index, when known.
+        column: Option<usize>,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// An input that must be non-empty was empty.
+    EmptyInput {
+        /// What was empty ("dataset", "attribute 3", …).
+        what: String,
+    },
+    /// A configuration value is out of its documented range.
+    InvalidConfig {
+        /// The offending parameter.
+        param: String,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// An I/O failure (message form, so the error stays `Clone` and
+    /// serializable).
+    Io {
+        /// The path involved, when known.
+        path: Option<String>,
+        /// The underlying error message.
+        detail: String,
+    },
+    /// An internal invariant failed; report as a bug.
+    Internal {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl PpdtError {
+    /// The coarse category of this error (drives the CLI exit code).
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            PpdtError::DomainViolation { .. } | PpdtError::KeyCorrupt { .. } => {
+                ErrorCategory::CorruptKey
+            }
+            PpdtError::SchemaMismatch { .. } => ErrorCategory::CorruptKey,
+            PpdtError::TreeIncompatible { .. } => ErrorCategory::IncompatibleTree,
+            PpdtError::DataCorrupt { .. } | PpdtError::EmptyInput { .. } => {
+                ErrorCategory::CorruptData
+            }
+            PpdtError::InvalidConfig { .. } => ErrorCategory::Usage,
+            PpdtError::Io { .. } => ErrorCategory::Io,
+            PpdtError::DrawExhausted { .. } | PpdtError::Internal { .. } => ErrorCategory::Internal,
+        }
+    }
+
+    /// Fills in the attribute index on variants that carry one and do
+    /// not have it yet (context enrichment as an error propagates up
+    /// from piece level to key level).
+    pub fn with_attr(mut self, a: usize) -> Self {
+        match &mut self {
+            PpdtError::DomainViolation { attr, .. }
+            | PpdtError::KeyCorrupt { attr, .. }
+            | PpdtError::DrawExhausted { attr, .. } => {
+                attr.get_or_insert(a);
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Fills in the piece index on variants that carry one and do not
+    /// have it yet.
+    pub fn with_piece(mut self, p: usize) -> Self {
+        match &mut self {
+            PpdtError::DomainViolation { piece, .. } | PpdtError::KeyCorrupt { piece, .. } => {
+                piece.get_or_insert(p);
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Convenience constructor for [`PpdtError::Io`] from a path and
+    /// any displayable error.
+    pub fn io(path: impl Into<String>, err: impl fmt::Display) -> Self {
+        PpdtError::Io { path: Some(path.into()), detail: err.to_string() }
+    }
+
+    /// Convenience constructor for [`PpdtError::KeyCorrupt`] without
+    /// positional context.
+    pub fn key_corrupt(detail: impl Into<String>) -> Self {
+        PpdtError::KeyCorrupt { attr: None, piece: None, detail: detail.into() }
+    }
+
+    /// Convenience constructor for [`PpdtError::Internal`].
+    pub fn internal(detail: impl Into<String>) -> Self {
+        PpdtError::Internal { detail: detail.into() }
+    }
+}
+
+/// Renders `Some(i)` as ` <label> <i>` and `None` as nothing.
+fn opt(f: &mut fmt::Formatter<'_>, label: &str, v: Option<usize>) -> fmt::Result {
+    match v {
+        Some(i) => write!(f, " {label} {i}"),
+        None => Ok(()),
+    }
+}
+
+impl fmt::Display for PpdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpdtError::DomainViolation { attr, piece, value } => {
+                write!(f, "domain violation: value {value} not covered by the transform")?;
+                opt(f, "of attribute", *attr)?;
+                opt(f, "(piece", *piece)?;
+                if piece.is_some() {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            PpdtError::KeyCorrupt { attr, piece, detail } => {
+                write!(f, "corrupt key: {detail}")?;
+                opt(f, "[attribute", *attr)?;
+                opt(f, "piece", *piece)?;
+                if attr.is_some() || piece.is_some() {
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            PpdtError::DrawExhausted { attr, attempts, reasons } => {
+                write!(f, "draw exhausted after {attempts} attempt(s)")?;
+                opt(f, "on attribute", *attr)?;
+                if let Some(last) = reasons.last() {
+                    write!(f, "; last failure: {last}")?;
+                }
+                Ok(())
+            }
+            PpdtError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            PpdtError::TreeIncompatible { detail } => write!(f, "incompatible tree: {detail}"),
+            PpdtError::DataCorrupt { row, column, detail } => {
+                write!(f, "corrupt data: {detail}")?;
+                opt(f, "[row", *row)?;
+                opt(f, "column", *column)?;
+                if row.is_some() || column.is_some() {
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            PpdtError::EmptyInput { what } => write!(f, "empty input: {what}"),
+            PpdtError::InvalidConfig { param, detail } => {
+                write!(f, "invalid configuration: {param}: {detail}")
+            }
+            PpdtError::Io { path, detail } => match path {
+                Some(p) => write!(f, "io error on {p}: {detail}"),
+                None => write!(f, "io error: {detail}"),
+            },
+            PpdtError::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PpdtError {}
+
+impl From<std::io::Error> for PpdtError {
+    fn from(e: std::io::Error) -> Self {
+        PpdtError::Io { path: None, detail: e.to_string() }
+    }
+}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, PpdtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_have_distinct_exit_codes() {
+        let cats = [
+            ErrorCategory::Usage,
+            ErrorCategory::Io,
+            ErrorCategory::CorruptKey,
+            ErrorCategory::IncompatibleTree,
+            ErrorCategory::CorruptData,
+            ErrorCategory::Internal,
+        ];
+        let mut codes: Vec<i32> = cats.iter().map(|c| c.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), cats.len(), "exit codes must be distinct");
+        assert!(codes.iter().all(|&c| (1..=6).contains(&c)));
+    }
+
+    #[test]
+    fn variant_categories_match_the_documented_table() {
+        let dv = PpdtError::DomainViolation { attr: Some(1), piece: Some(2), value: 3.0 };
+        assert_eq!(dv.category().exit_code(), 4);
+        assert_eq!(PpdtError::key_corrupt("x").category().exit_code(), 4);
+        assert_eq!(PpdtError::TreeIncompatible { detail: "x".into() }.category().exit_code(), 5);
+        assert_eq!(
+            PpdtError::DataCorrupt { row: None, column: None, detail: "x".into() }
+                .category()
+                .exit_code(),
+            6
+        );
+        assert_eq!(
+            PpdtError::InvalidConfig { param: "w".into(), detail: "x".into() }
+                .category()
+                .exit_code(),
+            2
+        );
+        assert_eq!(PpdtError::io("f.csv", "gone").category().exit_code(), 3);
+        assert_eq!(PpdtError::internal("bug").category().exit_code(), 1);
+        assert_eq!(
+            PpdtError::DrawExhausted { attr: None, attempts: 16, reasons: vec![] }
+                .category()
+                .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn context_enrichment_fills_only_missing_fields() {
+        let e = PpdtError::DomainViolation { attr: None, piece: Some(7), value: 1.0 };
+        let e = e.with_attr(3).with_piece(9);
+        assert_eq!(e, PpdtError::DomainViolation { attr: Some(3), piece: Some(7), value: 1.0 });
+        // Variants without the field are untouched.
+        let s = PpdtError::SchemaMismatch { detail: "d".into() }.with_attr(1);
+        assert_eq!(s, PpdtError::SchemaMismatch { detail: "d".into() });
+    }
+
+    #[test]
+    fn display_carries_positional_context() {
+        let e = PpdtError::DomainViolation { attr: Some(2), piece: Some(0), value: 41.5 };
+        let s = e.to_string();
+        assert!(s.contains("41.5") && s.contains("attribute 2") && s.contains("piece 0"), "{s}");
+        let d = PpdtError::DataCorrupt {
+            row: Some(12),
+            column: Some(3),
+            detail: "not a finite number".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("row 12") && s.contains("column 3"), "{s}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = PpdtError::DrawExhausted {
+            attr: Some(1),
+            attempts: 16,
+            reasons: vec!["overlap".into(), "collision".into()],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: PpdtError = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

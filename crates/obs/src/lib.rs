@@ -49,8 +49,11 @@ use serde::{Deserialize, Serialize};
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Pipeline counters, one atomic cell per [`Counter`] variant.
-static COUNTERS: [AtomicU64; Counter::ALL.len()] =
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+#[allow(clippy::declare_interior_mutable_const)]
+static COUNTERS: [AtomicU64; Counter::ALL.len()] = {
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; Counter::ALL.len()]
+};
 
 /// Phase accumulator rows: `(name, total nanoseconds, calls)`.
 /// Locked only when a guard drops or a snapshot is taken, never on
@@ -89,16 +92,27 @@ pub enum Counter {
     TrialsRun,
     /// Split nodes decoded by the custodian's key.
     NodesDecoded,
+    /// Extra transform-draw attempts consumed by the bounded-retry
+    /// loop in `encode_attribute` (0 when every first draw validates).
+    DrawRetries,
+    /// Whole-dataset redraws consumed by `encode_dataset_verified`
+    /// (0 when the first encode verifies).
+    VerifyRetries,
+    /// Error-severity findings raised by the key/dataset audit.
+    AuditViolations,
 }
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 8] = [
         Counter::RowsEncoded,
         Counter::PiecesDrawn,
         Counter::BoundariesScanned,
         Counter::TrialsRun,
         Counter::NodesDecoded,
+        Counter::DrawRetries,
+        Counter::VerifyRetries,
+        Counter::AuditViolations,
     ];
 
     /// Stable position of this counter in [`Counter::ALL`] and in
@@ -116,6 +130,9 @@ impl Counter {
             Counter::BoundariesScanned => "boundaries_scanned",
             Counter::TrialsRun => "trials_run",
             Counter::NodesDecoded => "nodes_decoded",
+            Counter::DrawRetries => "draw_retries",
+            Counter::VerifyRetries => "verify_retries",
+            Counter::AuditViolations => "audit_violations",
         }
     }
 }
@@ -317,7 +334,16 @@ mod tests {
         let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            ["rows_encoded", "pieces_drawn", "boundaries_scanned", "trials_run", "nodes_decoded"]
+            [
+                "rows_encoded",
+                "pieces_drawn",
+                "boundaries_scanned",
+                "trials_run",
+                "nodes_decoded",
+                "draw_retries",
+                "verify_retries",
+                "audit_violations"
+            ]
         );
         for (i, c) in Counter::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);

@@ -4,6 +4,7 @@ use rand::Rng;
 
 use ppdt_attack::{fit_crack, generate_kps, FitMethod, HackerProfile, KnowledgePoint};
 use ppdt_data::{AttrId, Dataset};
+use ppdt_error::PpdtError;
 use ppdt_transform::encoder::encode_attribute;
 use ppdt_transform::{EncodeConfig, PiecewiseTransform};
 
@@ -55,7 +56,16 @@ pub fn scenario_kps<R: Rng + ?Sized>(
 ) -> Vec<KnowledgePoint> {
     let (good, bad) = scenario.profile.kp_counts();
     if good + bad > 0 {
-        generate_kps(rng, transformed_domain, |y| tr.decode_snapped(y), rho, good, bad)
+        // A decode failure poisons that knowledge point with NaN (the
+        // hacker gains nothing from it) instead of aborting the trial.
+        generate_kps(
+            rng,
+            transformed_domain,
+            |y| tr.decode_snapped(y).unwrap_or(f64::NAN),
+            rho,
+            good,
+            bad,
+        )
     } else {
         // Ignorant hacker: anchor the observed transformed extremes to
         // a guessed original range (assuming a monotone mapping).
@@ -83,16 +93,17 @@ pub fn scenario_kps<R: Rng + ?Sized>(
 /// # Example
 /// ```
 /// use ppdt_attack::HackerProfile;
-/// use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
+/// use ppdt_risk::{domain_risk_trial, try_run_trials, DomainScenario};
 /// use ppdt_data::AttrId;
 /// use ppdt_transform::EncodeConfig;
 ///
 /// let d = ppdt_data::gen::figure1();
 /// let scenario = DomainScenario::polyline(HackerProfile::Expert);
 /// // Median over independent trials, as the paper reports (§6.2).
-/// let stats = run_trials(11, 7, |rng| {
+/// let stats = try_run_trials(11, 7, |rng| {
 ///     domain_risk_trial(rng, &d, AttrId(0), &EncodeConfig::default(), &scenario)
-/// });
+/// })
+/// .unwrap();
 /// assert!((0.0..=1.0).contains(&stats.median));
 /// ```
 pub fn domain_risk_trial<R: Rng + ?Sized>(
@@ -101,11 +112,14 @@ pub fn domain_risk_trial<R: Rng + ?Sized>(
     a: AttrId,
     encode_config: &EncodeConfig,
     scenario: &DomainScenario,
-) -> f64 {
-    let tr = encode_attribute(rng, d, a, encode_config);
+) -> Result<f64, PpdtError> {
+    let tr = encode_attribute(rng, d, a, encode_config)?;
     let orig_domain = &tr.orig_domain;
-    assert!(!orig_domain.is_empty(), "attribute {a} has no values");
-    let transformed_domain: Vec<f64> = orig_domain.iter().map(|&x| tr.encode(x)).collect();
+    if orig_domain.is_empty() {
+        return Err(PpdtError::EmptyInput { what: format!("attribute {a} has no values") });
+    }
+    let transformed_domain: Vec<f64> =
+        orig_domain.iter().map(|&x| tr.encode(x)).collect::<Result<_, _>>()?;
     let rho = rho_for_attr(d, a, scenario.rho_frac);
     let (true_min, true_max) = (orig_domain[0], orig_domain[orig_domain.len() - 1]);
 
@@ -118,7 +132,7 @@ pub fn domain_risk_trial<R: Rng + ?Sized>(
             cracks += 1;
         }
     }
-    cracks as f64 / orig_domain.len() as f64
+    Ok(cracks as f64 / orig_domain.len() as f64)
 }
 
 /// One randomized worst-case sorting-attack trial for attribute `a`:
@@ -132,7 +146,7 @@ pub fn sorting_risk_trial<R: Rng + ?Sized>(
     encode_config: &EncodeConfig,
     rho_frac: f64,
     granularity: f64,
-) -> f64 {
+) -> Result<f64, PpdtError> {
     sorting_risk_trial_with(
         rng,
         d,
@@ -155,11 +169,14 @@ pub fn sorting_risk_trial_with<R: Rng + ?Sized>(
     rho_frac: f64,
     granularity: f64,
     mapping: ppdt_attack::SortingMapping,
-) -> f64 {
-    let tr = encode_attribute(rng, d, a, encode_config);
+) -> Result<f64, PpdtError> {
+    let tr = encode_attribute(rng, d, a, encode_config)?;
     let orig_domain = &tr.orig_domain;
-    assert!(!orig_domain.is_empty(), "attribute {a} has no values");
-    let transformed_domain: Vec<f64> = orig_domain.iter().map(|&x| tr.encode(x)).collect();
+    if orig_domain.is_empty() {
+        return Err(PpdtError::EmptyInput { what: format!("attribute {a} has no values") });
+    }
+    let transformed_domain: Vec<f64> =
+        orig_domain.iter().map(|&x| tr.encode(x)).collect::<Result<_, _>>()?;
     let rho = rho_for_attr(d, a, rho_frac);
     let (true_min, true_max) = (orig_domain[0], orig_domain[orig_domain.len() - 1]);
 
@@ -176,7 +193,7 @@ pub fn sorting_risk_trial_with<R: Rng + ?Sized>(
             cracks += 1;
         }
     }
-    cracks as f64 / orig_domain.len() as f64
+    Ok(cracks as f64 / orig_domain.len() as f64)
 }
 
 /// One randomized quantile-matching-attack trial for attribute `a`
@@ -193,12 +210,21 @@ pub fn quantile_risk_trial<R: Rng + ?Sized>(
     rho_frac: f64,
     sample_frac: f64,
     sample_noise_frac: f64,
-) -> f64 {
-    assert!((0.0..=1.0).contains(&sample_frac) && sample_frac > 0.0, "sample fraction");
-    let tr = encode_attribute(rng, d, a, encode_config);
+) -> Result<f64, PpdtError> {
+    if !((0.0..=1.0).contains(&sample_frac) && sample_frac > 0.0) {
+        return Err(PpdtError::InvalidConfig {
+            param: "sample_frac".into(),
+            detail: format!("must be in (0, 1], got {sample_frac}"),
+        });
+    }
+    let tr = encode_attribute(rng, d, a, encode_config)?;
     let orig_domain = &tr.orig_domain;
+    if orig_domain.is_empty() {
+        return Err(PpdtError::EmptyInput { what: format!("attribute {a} has no values") });
+    }
     let column = d.column(a);
-    let transformed_column: Vec<f64> = column.iter().map(|&x| tr.encode(x)).collect();
+    let transformed_column: Vec<f64> =
+        column.iter().map(|&x| tr.encode(x)).collect::<Result<_, _>>()?;
     let rho = rho_for_attr(d, a, rho_frac);
     let width = orig_domain[orig_domain.len() - 1] - orig_domain[0];
 
@@ -215,12 +241,12 @@ pub fn quantile_risk_trial<R: Rng + ?Sized>(
     let atk = ppdt_attack::quantile_attack(&transformed_column, &sample);
     let mut cracks = 0usize;
     for &x in orig_domain {
-        let y = tr.encode(x);
+        let y = tr.encode(x)?;
         if is_crack(atk.guess(y), x, rho) {
             cracks += 1;
         }
     }
-    cracks as f64 / orig_domain.len() as f64
+    Ok(cracks as f64 / orig_domain.len() as f64)
 }
 
 #[cfg(test)]
@@ -252,7 +278,9 @@ mod tests {
                 ..Default::default()
             };
             let n = 15;
-            (0..n).map(|_| domain_risk_trial(&mut rng, &d, a, &cfg, &scenario)).sum::<f64>()
+            (0..n)
+                .map(|_| domain_risk_trial(&mut rng, &d, a, &cfg, &scenario).unwrap())
+                .sum::<f64>()
                 / n as f64
         };
         let baseline = avg(BreakpointStrategy::None, 1);
@@ -273,7 +301,8 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let sc = DomainScenario::polyline(profile);
             let n = 9;
-            (0..n).map(|_| domain_risk_trial(&mut rng, &d, a, &cfg, &sc)).sum::<f64>() / n as f64
+            (0..n).map(|_| domain_risk_trial(&mut rng, &d, a, &cfg, &sc).unwrap()).sum::<f64>()
+                / n as f64
         };
         let ignorant = avg(HackerProfile::Ignorant, 4);
         let expert = avg(HackerProfile::Expert, 5);
@@ -291,7 +320,7 @@ mod tests {
         let a = AttrId(1);
         let mut rng = StdRng::seed_from_u64(6);
         let cfg = EncodeConfig { strategy: BreakpointStrategy::None, ..Default::default() };
-        let risk = sorting_risk_trial(&mut rng, &d, a, &cfg, 0.0, 1.0);
+        let risk = sorting_risk_trial(&mut rng, &d, a, &cfg, 0.0, 1.0).unwrap();
         assert!(risk > 0.99, "dense attribute should crack fully, got {risk}");
     }
 
@@ -301,7 +330,7 @@ mod tests {
         let a = AttrId(0); // 74% mono values + 22 discontinuities
         let mut rng = StdRng::seed_from_u64(7);
         let cfg = EncodeConfig::default();
-        let risk = sorting_risk_trial(&mut rng, &d, a, &cfg, 0.02, 1.0);
+        let risk = sorting_risk_trial(&mut rng, &d, a, &cfg, 0.02, 1.0).unwrap();
         assert!(risk < 0.6, "mono-rich attribute should resist sorting, got {risk}");
     }
 
@@ -313,7 +342,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = 7;
             (0..n)
-                .map(|_| quantile_risk_trial(&mut rng, &d, AttrId(a), &cfg, 0.02, 0.1, 0.0))
+                .map(|_| {
+                    quantile_risk_trial(&mut rng, &d, AttrId(a), &cfg, 0.02, 0.1, 0.0).unwrap()
+                })
                 .sum::<f64>()
                 / n as f64
         };
@@ -333,7 +364,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = 7;
             (0..n)
-                .map(|_| quantile_risk_trial(&mut rng, &d, AttrId(1), &cfg, 0.02, 0.1, noise))
+                .map(|_| {
+                    quantile_risk_trial(&mut rng, &d, AttrId(1), &cfg, 0.02, 0.1, noise).unwrap()
+                })
                 .sum::<f64>()
                 / n as f64
         };
@@ -353,7 +386,8 @@ mod tests {
             // Enough trials that the per-trial spread (~±0.05) averages
             // out and the comparison below is about the means.
             let n = 25;
-            (0..n).map(|_| domain_risk_trial(&mut rng, &d, a, &cfg, &sc)).sum::<f64>() / n as f64
+            (0..n).map(|_| domain_risk_trial(&mut rng, &d, a, &cfg, &sc).unwrap()).sum::<f64>()
+                / n as f64
         };
         let four_good = avg(HackerProfile::Expert, 8);
         let with_bad = avg(HackerProfile::Custom { good: 4, bad: 1 }, 9);

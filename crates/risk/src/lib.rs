@@ -37,4 +37,4 @@ pub use domain::{
 };
 pub use pattern::{pattern_risk_trial, tree_reconstruction_trial, PatternReport};
 pub use subspace::{subspace_risk_trial, subspace_risk_trial_with};
-pub use trials::{run_trials, TrialStats};
+pub use trials::{run_trials, try_run_trials, TrialStats};

@@ -5,6 +5,7 @@ use rand::Rng;
 
 use ppdt_attack::{fit_crack, CrackModel};
 use ppdt_data::Dataset;
+use ppdt_error::PpdtError;
 use ppdt_transform::{encode_dataset, EncodeConfig};
 use ppdt_tree::{TreeBuilder, TreeParams};
 
@@ -61,7 +62,8 @@ impl PatternReport {
 /// let scenario = DomainScenario::polyline(HackerProfile::Expert);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 /// let report =
-///     pattern_risk_trial(&mut rng, &d, &EncodeConfig::default(), TreeParams::default(), &scenario);
+///     pattern_risk_trial(&mut rng, &d, &EncodeConfig::default(), TreeParams::default(), &scenario)
+///         .unwrap();
 /// assert!(report.total_paths > 0);
 /// assert!((0.0..=1.0).contains(&report.risk()));
 /// ```
@@ -71,16 +73,17 @@ pub fn pattern_risk_trial<R: Rng + ?Sized>(
     encode_config: &EncodeConfig,
     tree_params: TreeParams,
     scenario: &DomainScenario,
-) -> PatternReport {
-    let (key, d2) = encode_dataset(rng, d, encode_config);
+) -> Result<PatternReport, PpdtError> {
+    let (key, d2) = encode_dataset(rng, d, encode_config)?;
     let t_prime = TreeBuilder::new(tree_params).fit(&d2);
 
     // One crack function and radius per attribute.
     let mut models: Vec<(CrackModel, f64)> = Vec::with_capacity(d.num_attrs());
     for a in d.schema().attrs() {
-        let tr = key.transform(a);
+        let tr = key.try_transform(a)?;
         let orig_domain = &tr.orig_domain;
-        let transformed_domain: Vec<f64> = orig_domain.iter().map(|&x| tr.encode(x)).collect();
+        let transformed_domain: Vec<f64> =
+            orig_domain.iter().map(|&x| tr.encode(x)).collect::<Result<_, _>>()?;
         let rho = rho_for_attr(d, a, scenario.rho_frac);
         let (lo, hi) = (orig_domain[0], orig_domain[orig_domain.len() - 1]);
         let kps = scenario_kps(rng, scenario, &transformed_domain, tr, rho, lo, hi);
@@ -90,11 +93,15 @@ pub fn pattern_risk_trial<R: Rng + ?Sized>(
     let mut report = PatternReport::default();
     let mut hist: std::collections::BTreeMap<usize, (usize, usize)> = Default::default();
     for path in t_prime.paths() {
-        let cracked = path.conditions.iter().all(|c| {
+        let mut cracked = true;
+        for c in &path.conditions {
             let (model, rho) = &models[c.attr.index()];
-            let truth = key.transform(c.attr).decode_snapped(c.threshold);
-            is_crack(model.guess(c.threshold), truth, *rho)
-        });
+            let truth = key.try_transform(c.attr)?.decode_snapped(c.threshold)?;
+            if !is_crack(model.guess(c.threshold), truth, *rho) {
+                cracked = false;
+                break;
+            }
+        }
         let e = hist.entry(path.len()).or_insert((0, 0));
         e.0 += 1;
         if cracked {
@@ -104,7 +111,7 @@ pub fn pattern_risk_trial<R: Rng + ?Sized>(
         report.total_paths += 1;
     }
     report.by_length = hist.into_iter().map(|(l, (p, c))| (l, p, c)).collect();
-    report
+    Ok(report)
 }
 
 /// Convenience: pattern risk trial restricted to specific attributes
@@ -127,17 +134,18 @@ pub fn tree_reconstruction_trial<R: Rng + ?Sized>(
     encode_config: &EncodeConfig,
     tree_params: TreeParams,
     scenario: &DomainScenario,
-) -> f64 {
-    let (key, d2) = encode_dataset(rng, d, encode_config);
+) -> Result<f64, PpdtError> {
+    let (key, d2) = encode_dataset(rng, d, encode_config)?;
     let t_prime = TreeBuilder::new(tree_params).fit(&d2);
-    let truth = key.decode_tree(&t_prime, tree_params.threshold_policy, d);
+    let truth = key.decode_tree(&t_prime, tree_params.threshold_policy, d)?;
 
     // The hacker's per-attribute crack functions.
     let mut models: Vec<CrackModel> = Vec::with_capacity(d.num_attrs());
     for a in d.schema().attrs() {
-        let tr = key.transform(a);
+        let tr = key.try_transform(a)?;
         let orig_domain = &tr.orig_domain;
-        let transformed_domain: Vec<f64> = orig_domain.iter().map(|&x| tr.encode(x)).collect();
+        let transformed_domain: Vec<f64> =
+            orig_domain.iter().map(|&x| tr.encode(x)).collect::<Result<_, _>>()?;
         let rho = rho_for_attr(d, a, scenario.rho_frac);
         let (lo, hi) = (orig_domain[0], orig_domain[orig_domain.len() - 1]);
         let kps = scenario_kps(rng, scenario, &transformed_domain, tr, rho, lo, hi);
@@ -158,7 +166,7 @@ pub fn tree_reconstruction_trial<R: Rng + ?Sized>(
             agree += 1;
         }
     }
-    agree as f64 / d.num_rows().max(1) as f64
+    Ok(agree as f64 / d.num_rows().max(1) as f64)
 }
 
 #[cfg(test)]
@@ -198,7 +206,8 @@ mod tests {
                 &EncodeConfig::default(),
                 default_tree_params_for_pattern(),
                 &scenario(HackerProfile::Insider, 0.05),
-            );
+            )
+            .unwrap();
             assert!(report.total_paths > 20, "tree too small: {}", report.total_paths);
             long_paths += report
                 .by_length
@@ -229,13 +238,16 @@ mod tests {
         // median of enough trials for it to stabilise.
         let mut agreements = Vec::new();
         for _ in 0..7 {
-            agreements.push(tree_reconstruction_trial(
-                &mut rng,
-                &d,
-                &EncodeConfig::default(),
-                default_tree_params_for_pattern(),
-                &scenario(HackerProfile::Expert, 0.05),
-            ));
+            agreements.push(
+                tree_reconstruction_trial(
+                    &mut rng,
+                    &d,
+                    &EncodeConfig::default(),
+                    default_tree_params_for_pattern(),
+                    &scenario(HackerProfile::Expert, 0.05),
+                )
+                .unwrap(),
+            );
         }
         agreements.sort_by(f64::total_cmp);
         let median = agreements[3];
@@ -257,7 +269,8 @@ mod tests {
             &EncodeConfig::default(),
             default_tree_params_for_pattern(),
             &scenario(HackerProfile::Expert, 0.05),
-        );
+        )
+        .unwrap();
         let paths: usize = report.by_length.iter().map(|&(_, p, _)| p).sum();
         let cracks: usize = report.by_length.iter().map(|&(_, _, c)| c).sum();
         assert_eq!(paths, report.total_paths);

@@ -6,6 +6,7 @@ use rand::Rng;
 
 use ppdt_attack::fit_crack;
 use ppdt_data::{AttrId, Dataset};
+use ppdt_error::PpdtError;
 use ppdt_transform::{encode_dataset, EncodeConfig};
 
 use crate::crack::{is_crack, rho_for_attr};
@@ -26,7 +27,7 @@ use crate::domain::{scenario_kps, DomainScenario};
 /// # Example
 /// ```
 /// use ppdt_attack::HackerProfile;
-/// use ppdt_risk::{subspace_risk_trial, run_trials, DomainScenario};
+/// use ppdt_risk::{subspace_risk_trial, try_run_trials, DomainScenario};
 /// use ppdt_data::AttrId;
 /// use ppdt_transform::EncodeConfig;
 ///
@@ -34,21 +35,23 @@ use crate::domain::{scenario_kps, DomainScenario};
 /// let scenario = DomainScenario::polyline(HackerProfile::Expert);
 /// // Cracking the (age, salary) pair of a tuple is harder than
 /// // cracking either attribute alone.
-/// let stats = run_trials(11, 7, |rng| {
+/// let stats = try_run_trials(11, 7, |rng| {
 ///     subspace_risk_trial(rng, &d, &[AttrId(0), AttrId(1)], &EncodeConfig::default(), &scenario)
-/// });
+/// })
+/// .unwrap();
 /// assert!((0.0..=1.0).contains(&stats.median));
 /// ```
 ///
-/// # Panics
-/// Panics if `subspace` is empty or repeats attributes.
+/// # Errors
+/// Returns [`PpdtError::InvalidConfig`] if `subspace` is empty or
+/// repeats attributes, and propagates any encoding failure.
 pub fn subspace_risk_trial<R: Rng + ?Sized>(
     rng: &mut R,
     d: &Dataset,
     subspace: &[AttrId],
     encode_config: &EncodeConfig,
     scenario: &DomainScenario,
-) -> f64 {
+) -> Result<f64, PpdtError> {
     subspace_risk_trial_with(rng, d, subspace, encode_config, scenario, false, 1.0)
 }
 
@@ -66,26 +69,37 @@ pub fn subspace_risk_trial_with<R: Rng + ?Sized>(
     scenario: &DomainScenario,
     include_sorting: bool,
     granularity: f64,
-) -> f64 {
-    assert!(!subspace.is_empty(), "subspace must name at least one attribute");
+) -> Result<f64, PpdtError> {
+    if subspace.is_empty() {
+        return Err(PpdtError::InvalidConfig {
+            param: "subspace".into(),
+            detail: "must name at least one attribute".into(),
+        });
+    }
     {
         let mut seen = subspace.to_vec();
         seen.sort_unstable();
         seen.dedup();
-        assert_eq!(seen.len(), subspace.len(), "subspace repeats attributes");
+        if seen.len() != subspace.len() {
+            return Err(PpdtError::InvalidConfig {
+                param: "subspace".into(),
+                detail: "repeats attributes".into(),
+            });
+        }
     }
     if d.num_rows() == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
 
-    let (key, d2) = encode_dataset(rng, d, encode_config);
+    let (key, d2) = encode_dataset(rng, d, encode_config)?;
 
     // Per attribute: crack flag for every distinct transformed value.
     let mut crack_flags: Vec<HashMap<u64, bool>> = Vec::with_capacity(subspace.len());
     for &a in subspace {
-        let tr = key.transform(a);
+        let tr = key.try_transform(a)?;
         let orig_domain = &tr.orig_domain;
-        let transformed_domain: Vec<f64> = orig_domain.iter().map(|&x| tr.encode(x)).collect();
+        let transformed_domain: Vec<f64> =
+            orig_domain.iter().map(|&x| tr.encode(x)).collect::<Result<_, _>>()?;
         let rho = rho_for_attr(d, a, scenario.rho_frac);
         let (lo, hi) = (orig_domain[0], orig_domain[orig_domain.len() - 1]);
         let kps = scenario_kps(rng, scenario, &transformed_domain, tr, rho, lo, hi);
@@ -106,16 +120,25 @@ pub fn subspace_risk_trial_with<R: Rng + ?Sized>(
     // An S-tuple cracks iff all its projections crack.
     let mut cracked = 0usize;
     for row in 0..d2.num_rows() {
-        let all = subspace.iter().zip(&crack_flags).all(|(&a, flags)| {
-            *flags
-                .get(&d2.value(row, a).to_bits())
-                .expect("every tuple value is in the active domain")
-        });
+        let mut all = true;
+        for (&a, flags) in subspace.iter().zip(&crack_flags) {
+            // We just encoded d2 ourselves, so every value must be in
+            // the active domain — a miss is a bug, not hostile input.
+            let flag = flags.get(&d2.value(row, a).to_bits()).ok_or_else(|| {
+                PpdtError::internal(format!(
+                    "encoded value of attribute {a} in row {row} missing from active domain"
+                ))
+            })?;
+            if !*flag {
+                all = false;
+                break;
+            }
+        }
         if all {
             cracked += 1;
         }
     }
-    cracked as f64 / d2.num_rows() as f64
+    Ok(cracked as f64 / d2.num_rows() as f64)
 }
 
 #[cfg(test)]
@@ -142,7 +165,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let ids: Vec<AttrId> = attrs.iter().map(|&i| AttrId(i)).collect();
             let n = 7;
-            (0..n).map(|_| subspace_risk_trial(&mut rng, &d, &ids, &cfg, &scenario)).sum::<f64>()
+            (0..n)
+                .map(|_| subspace_risk_trial(&mut rng, &d, &ids, &cfg, &scenario).unwrap())
+                .sum::<f64>()
                 / n as f64
         };
         let single = avg(&[3], 1);
@@ -163,27 +188,20 @@ mod tests {
         let cfg = EncodeConfig::default();
         let scenario = DomainScenario::polyline(HackerProfile::Expert);
         let mut rng = StdRng::seed_from_u64(4);
-        let r = subspace_risk_trial(&mut rng, &d, &[AttrId(0)], &cfg, &scenario);
+        let r = subspace_risk_trial(&mut rng, &d, &[AttrId(0)], &cfg, &scenario).unwrap();
         assert!((0.0..=1.0).contains(&r));
     }
 
     #[test]
-    #[should_panic(expected = "repeats attributes")]
-    fn duplicate_attrs_rejected() {
+    fn bad_subspaces_are_typed_usage_errors() {
         let d = small_covertype();
         let cfg = EncodeConfig::default();
         let scenario = DomainScenario::polyline(HackerProfile::Expert);
         let mut rng = StdRng::seed_from_u64(5);
-        let _ = subspace_risk_trial(&mut rng, &d, &[AttrId(1), AttrId(1)], &cfg, &scenario);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one attribute")]
-    fn empty_subspace_rejected() {
-        let d = small_covertype();
-        let cfg = EncodeConfig::default();
-        let scenario = DomainScenario::polyline(HackerProfile::Expert);
-        let mut rng = StdRng::seed_from_u64(6);
-        let _ = subspace_risk_trial(&mut rng, &d, &[], &cfg, &scenario);
+        let dup = subspace_risk_trial(&mut rng, &d, &[AttrId(1), AttrId(1)], &cfg, &scenario)
+            .unwrap_err();
+        assert_eq!(dup.category().exit_code(), 2, "{dup}");
+        let empty = subspace_risk_trial(&mut rng, &d, &[], &cfg, &scenario).unwrap_err();
+        assert!(matches!(empty, PpdtError::InvalidConfig { .. }));
     }
 }

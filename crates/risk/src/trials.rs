@@ -78,6 +78,63 @@ where
     summarize(&mut values)
 }
 
+/// Fallible variant of [`run_trials`] for trial closures that return
+/// `Result` (every risk trial in this crate does). Trials still run in
+/// parallel with deterministic per-trial seeds; the first error (by
+/// trial index, not completion order) aborts the summary.
+///
+/// ```
+/// use ppdt_risk::try_run_trials;
+/// use rand::Rng;
+///
+/// let stats = try_run_trials(11, 7, |rng| Ok(rng.gen_range(0.0..1.0))).unwrap();
+/// assert_eq!(stats.trials, 11);
+/// ```
+///
+/// # Panics
+/// Panics if `trials` is zero.
+pub fn try_run_trials<F>(
+    trials: usize,
+    base_seed: u64,
+    f: F,
+) -> Result<TrialStats, ppdt_error::PpdtError>
+where
+    F: Fn(&mut StdRng) -> Result<f64, ppdt_error::PpdtError> + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let _t = ppdt_obs::phase("risk");
+    ppdt_obs::add(ppdt_obs::Counter::TrialsRun, trials as u64);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(trials);
+    let mut results: Vec<Result<f64, ppdt_error::PpdtError>> = vec![Ok(0.0); trials];
+    let seeds: Vec<u64> = {
+        use rand::Rng;
+        let mut master = StdRng::seed_from_u64(base_seed);
+        (0..trials).map(|_| master.gen()).collect()
+    };
+
+    crossbeam::thread::scope(|scope| {
+        let chunk_len = trials.div_ceil(threads);
+        for (t, chunk) in results.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            let seeds = &seeds;
+            let chunk_start = t * chunk_len;
+            scope.spawn(move |_| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(seeds[chunk_start + i]);
+                    *v = f(&mut rng);
+                }
+            });
+        }
+    })
+    .expect("trial thread panicked");
+
+    let mut values = Vec::with_capacity(trials);
+    for r in results {
+        values.push(r?);
+    }
+    Ok(summarize(&mut values))
+}
+
 fn summarize(values: &mut [f64]) -> TrialStats {
     values.sort_by(f64::total_cmp);
     let n = values.len();
@@ -142,5 +199,24 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         let _ = run_trials(0, 0, |_| 0.0);
+    }
+
+    #[test]
+    fn try_run_trials_matches_run_trials_and_propagates_errors() {
+        let f = |rng: &mut StdRng| rng.gen::<f64>();
+        let a = run_trials(32, 5, f);
+        let b = try_run_trials(32, 5, |rng| Ok(f(rng))).unwrap();
+        assert_eq!(a, b, "same seeds, same statistics");
+
+        let err = try_run_trials(8, 5, |rng| {
+            let v: f64 = rng.gen();
+            if v > 0.0 {
+                Err(ppdt_error::PpdtError::internal("boom"))
+            } else {
+                Ok(v)
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("boom"));
     }
 }

@@ -28,13 +28,13 @@ use ppdt_data::{ClassId, MonoAnalysis, SortedColumn};
 ///     strategy: BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 2 },
 ///     ..Default::default()
 /// };
-/// let (key, _d_prime) = encode_dataset(&mut rng, &d, &config);
+/// let (key, _d_prime) = encode_dataset(&mut rng, &d, &config).unwrap();
 /// // ChooseBP instead draws `w` uniform breakpoints.
 /// let config = EncodeConfig {
 ///     strategy: BreakpointStrategy::ChooseBP { w: 4 },
 ///     ..Default::default()
 /// };
-/// let (key_bp, _d_prime) = encode_dataset(&mut rng, &d, &config);
+/// let (key_bp, _d_prime) = encode_dataset(&mut rng, &d, &config).unwrap();
 /// # let _ = (key, key_bp);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]

@@ -27,6 +27,9 @@
 //!   custodian [`TransformKey`],
 //! * [`verify`] — class-string-preservation and no-outcome-change
 //!   checkers (Lemma 1, Theorems 1–2),
+//! * [`audit`] — structural audit of a loaded [`TransformKey`]
+//!   (alone, or against a dataset), producing a machine-readable
+//!   [`AuditReport`] for the untrusted custodian boundary,
 //! * [`perturb`] — the random-perturbation baseline the paper contrasts
 //!   against (Section 2).
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod breakpoints;
 pub mod encoder;
 pub mod family;
@@ -50,12 +54,15 @@ pub mod perturb;
 pub mod piecewise;
 pub mod verify;
 
+pub use audit::{audit_key, audit_key_against, AuditFinding, AuditReport, Severity};
 pub use breakpoints::{plan_pieces, BreakpointStrategy, PiecePlan};
 pub use encoder::{
-    encode_dataset, encode_dataset_parallel, EncodeConfig, LayoutKind, TransformKey,
+    encode_dataset, encode_dataset_parallel, encode_dataset_parallel_with, encode_dataset_with,
+    EncodeConfig, LayoutKind, OnExhaust, RetryPolicy, TransformKey,
 };
 pub use family::FnFamily;
 pub use func::MonoFunc;
 pub use perturb::{perturb_dataset, PerturbKind, Perturbation};
-pub use piecewise::{Piece, PieceKind, PiecewiseTransform};
+pub use piecewise::{OutputLocation, Piece, PieceKind, PiecewiseTransform};
+pub use ppdt_error::{ErrorCategory, PpdtError};
 pub use verify::{class_strings_preserved, no_outcome_change, OutcomeReport};

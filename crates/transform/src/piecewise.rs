@@ -12,7 +12,17 @@
 //! functions this preserves the class string (globally monotone) or
 //! reverses it (globally anti-monotone), so by Lemma 1 / Theorem 1 the
 //! decision tree's outcome is unchanged.
+//!
+//! ## Hostile inputs
+//!
+//! Keys cross the paper's untrusted custodian/miner boundary, so every
+//! transform operation here is **fallible**: an out-of-domain value, a
+//! truncated permutation table, or an empty piece list yields a typed
+//! [`PpdtError`] (never a panic). Structural invariants are checked
+//! wholesale by [`PiecewiseTransform::validate`] / the
+//! [`crate::audit`] subsystem before a loaded key is trusted.
 
+use ppdt_error::PpdtError;
 use serde::{Deserialize, Serialize};
 
 use crate::func::MonoFunc;
@@ -62,43 +72,63 @@ pub struct Piece {
 impl Piece {
     /// Transforms an original value belonging to this piece.
     ///
-    /// # Panics
-    /// For permutation pieces, panics if `x` is not one of the piece's
-    /// recorded distinct values (encode is only defined on the active
-    /// domain).
-    pub fn encode(&self, x: f64) -> f64 {
+    /// For permutation pieces, returns
+    /// [`PpdtError::DomainViolation`] when `x` is not one of the
+    /// piece's recorded distinct values (encode is only defined on the
+    /// active domain).
+    pub fn encode(&self, x: f64) -> Result<f64, PpdtError> {
         match &self.kind {
-            PieceKind::Monotone { f, s, t } => s * f.eval(x) + t,
-            PieceKind::Permutation { map } => {
-                let i = map
-                    .binary_search_by(|&(v, _)| v.total_cmp(&x))
-                    .unwrap_or_else(|_| panic!("value {x} not in permutation piece"));
-                map[i].1
-            }
+            PieceKind::Monotone { f, s, t } => Ok(s * f.eval(x) + t),
+            PieceKind::Permutation { map } => map
+                .binary_search_by(|&(v, _)| v.total_cmp(&x))
+                .map(|i| map[i].1)
+                .map_err(|_| PpdtError::DomainViolation { attr: None, piece: None, value: x }),
         }
     }
 
     /// Inverts a transformed value belonging to this piece's output
     /// interval. Exact for permutation pieces; analytic (subject to
-    /// floating-point rounding) for monotone pieces.
-    pub fn decode(&self, y: f64) -> f64 {
+    /// floating-point rounding) for monotone pieces. An empty
+    /// permutation table yields [`PpdtError::KeyCorrupt`].
+    pub fn decode(&self, y: f64) -> Result<f64, PpdtError> {
         match &self.kind {
-            PieceKind::Monotone { f, s, t } => f.inverse((y - t) / s),
+            PieceKind::Monotone { f, s, t } => Ok(f.inverse((y - t) / s)),
             PieceKind::Permutation { map } => {
                 // Exact match first; otherwise the nearest recorded
                 // output (thresholds decoded through a permutation
                 // piece are always exact data values).
-                let mut best = 0usize;
-                let mut best_d = f64::INFINITY;
+                let mut best: Option<(usize, f64)> = None;
                 for (i, &(_, out)) in map.iter().enumerate() {
                     let d = (out - y).abs();
-                    if d < best_d {
-                        best_d = d;
-                        best = i;
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
                     }
                 }
-                map[best].0
+                match best {
+                    Some((i, _)) => Ok(map[i].0),
+                    None => Err(PpdtError::key_corrupt("empty permutation table")),
+                }
             }
+        }
+    }
+}
+
+/// Where a transformed value lands among a transform's output
+/// intervals (see [`PiecewiseTransform::locate_output`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputLocation {
+    /// Inside the output interval of the piece at this index.
+    Inside(usize),
+    /// In an inter-piece gap; the index names the nearest piece by
+    /// output distance.
+    Gap(usize),
+}
+
+impl OutputLocation {
+    /// The piece index, regardless of inside/gap.
+    pub fn piece(self) -> usize {
+        match self {
+            OutputLocation::Inside(i) | OutputLocation::Gap(i) => i,
         }
     }
 }
@@ -121,27 +151,27 @@ pub struct PiecewiseTransform {
 }
 
 impl PiecewiseTransform {
-    /// Index of the piece whose input range contains `x`.
-    ///
-    /// # Panics
-    /// Panics if `x` is outside every piece (not in the active domain's
-    /// span).
-    pub fn piece_for_input(&self, x: f64) -> usize {
+    /// Index of the piece whose input range contains `x`, or
+    /// [`PpdtError::DomainViolation`] when `x` is outside every piece.
+    pub fn piece_for_input(&self, x: f64) -> Result<usize, PpdtError> {
         let i = self.pieces.partition_point(|p| p.input_hi < x);
-        assert!(
-            i < self.pieces.len() && self.pieces[i].input_lo <= x,
-            "value {x} outside the transform's input pieces"
-        );
-        i
+        if i < self.pieces.len() && self.pieces[i].input_lo <= x {
+            Ok(i)
+        } else {
+            Err(PpdtError::DomainViolation { attr: None, piece: None, value: x })
+        }
     }
 
-    /// Index of the piece whose output interval contains `y`, or the
-    /// piece nearest to `y` when `y` falls in an inter-piece gap
-    /// (`Err(nearest)`).
-    pub fn piece_for_output(&self, y: f64) -> Result<usize, usize> {
+    /// Locates `y` among the output intervals: inside a piece's
+    /// interval, or in an inter-piece gap (nearest piece reported).
+    /// A transform with no pieces yields [`PpdtError::KeyCorrupt`].
+    pub fn locate_output(&self, y: f64) -> Result<OutputLocation, PpdtError> {
         // Pieces are ordered by output ascending or descending
         // depending on the global direction; normalize the search.
         let n = self.pieces.len();
+        if n == 0 {
+            return Err(PpdtError::key_corrupt("transform has no pieces"));
+        }
         let idx_at = |rank: usize| if self.increasing { rank } else { n - 1 - rank };
         // Binary search over output-ascending ranks.
         let mut lo = 0usize;
@@ -154,7 +184,7 @@ impl PiecewiseTransform {
             } else if y > p.output_hi {
                 lo = mid + 1;
             } else {
-                return Ok(idx_at(mid));
+                return Ok(OutputLocation::Inside(idx_at(mid)));
             }
         }
         // In a gap: pick the nearer neighbour by output distance.
@@ -166,39 +196,39 @@ impl PiecewiseTransform {
                     (y - self.pieces[b].output_hi).abs().min((y - self.pieces[b].output_lo).abs());
                 let da =
                     (y - self.pieces[a].output_lo).abs().min((y - self.pieces[a].output_hi).abs());
-                Err(if db <= da { b } else { a })
+                Ok(OutputLocation::Gap(if db <= da { b } else { a }))
             }
-            (Some(b), None) => Err(b),
-            (None, Some(a)) => Err(a),
-            (None, None) => panic!("transform has no pieces"),
+            (Some(i), None) | (None, Some(i)) => Ok(OutputLocation::Gap(i)),
+            (None, None) => Err(PpdtError::key_corrupt("transform has no pieces")),
         }
     }
 
     /// Transforms an original value (must lie in the active domain for
-    /// permutation pieces).
-    pub fn encode(&self, x: f64) -> f64 {
-        self.pieces[self.piece_for_input(x)].encode(x)
+    /// permutation pieces). Out-of-domain values yield
+    /// [`PpdtError::DomainViolation`] with the piece context; a
+    /// corrupt piece that produces a non-finite output yields
+    /// [`PpdtError::KeyCorrupt`].
+    pub fn encode(&self, x: f64) -> Result<f64, PpdtError> {
+        let i = self.piece_for_input(x)?;
+        let y = self.pieces[i].encode(x).map_err(|e| e.with_piece(i))?;
+        if y.is_finite() {
+            Ok(y)
+        } else {
+            Err(PpdtError::KeyCorrupt {
+                attr: None,
+                piece: Some(i),
+                detail: format!("value {x} encodes to non-finite {y}"),
+            })
+        }
     }
 
-    /// Checked variant of [`Self::encode`]: returns `None` when `x`
-    /// lies outside every piece's input range, or inside a permutation
-    /// piece without being one of its recorded values. Use this when
-    /// encoding data that may contain values unseen at key-creation
-    /// time (new tuples cannot, in general, be encoded consistently —
-    /// a fresh value inside a monochromatic piece has no defined image
-    /// under the recorded bijection).
+    /// Checked variant of [`Self::encode`] returning `None` on any
+    /// failure: use this when encoding data that may contain values
+    /// unseen at key-creation time (new tuples cannot, in general, be
+    /// encoded consistently — a fresh value inside a monochromatic
+    /// piece has no defined image under the recorded bijection).
     pub fn try_encode(&self, x: f64) -> Option<f64> {
-        let i = self.pieces.partition_point(|p| p.input_hi < x);
-        let p = self.pieces.get(i)?;
-        if p.input_lo > x {
-            return None;
-        }
-        match &p.kind {
-            PieceKind::Monotone { f, s, t } => Some(s * f.eval(x) + t),
-            PieceKind::Permutation { map } => {
-                map.binary_search_by(|&(v, _)| v.total_cmp(&x)).ok().map(|j| map[j].1)
-            }
-        }
+        self.encode(x).ok()
     }
 
     /// Inverts a transformed value. Exact for values produced by
@@ -207,33 +237,36 @@ impl PiecewiseTransform {
     /// the nearest piece. The result is clamped to the decoding
     /// piece's input range (the analytic inverse can shoot far outside
     /// it for gap values under strongly nonlinear functions).
-    pub fn decode(&self, y: f64) -> f64 {
-        match self.piece_for_output(y) {
-            Ok(i) | Err(i) => {
-                let p = &self.pieces[i];
-                p.decode(y).clamp(p.input_lo, p.input_hi)
-            }
-        }
+    pub fn decode(&self, y: f64) -> Result<f64, PpdtError> {
+        let i = self.locate_output(y)?.piece();
+        let p = &self.pieces[i];
+        let x = p.decode(y).map_err(|e| e.with_piece(i))?;
+        Ok(x.clamp(p.input_lo, p.input_hi))
     }
 
     /// Inverts a transformed value and snaps the result to the nearest
     /// value of the original active domain. For thresholds produced
     /// under `ThresholdPolicy::DataValue` this recovers the original
     /// data value **bit-exactly** (the analytic inverse lands within
-    /// half a domain gap of it).
-    pub fn decode_snapped(&self, y: f64) -> f64 {
-        let raw = self.decode(y);
+    /// half a domain gap of it). An empty recorded domain yields
+    /// [`PpdtError::KeyCorrupt`].
+    pub fn decode_snapped(&self, y: f64) -> Result<f64, PpdtError> {
+        let raw = self.decode(y)?;
         nearest(&self.orig_domain, raw)
+            .ok_or_else(|| PpdtError::key_corrupt("empty recorded original domain"))
     }
 
     /// The `(transformed, original)` pairs of the active domain,
     /// sorted by transformed value. Precompute once per attribute when
-    /// decoding many thresholds.
-    pub fn transformed_domain_map(&self) -> Vec<(f64, f64)> {
-        let mut ty: Vec<(f64, f64)> =
-            self.orig_domain.iter().map(|&x| (self.encode(x), x)).collect();
+    /// decoding many thresholds. Fails when a recorded domain value is
+    /// not encodable under the (corrupt) transform.
+    pub fn transformed_domain_map(&self) -> Result<Vec<(f64, f64)>, PpdtError> {
+        let mut ty = Vec::with_capacity(self.orig_domain.len());
+        for &x in &self.orig_domain {
+            ty.push((self.encode(x)?, x));
+        }
         ty.sort_by(|a, b| a.0.total_cmp(&b.0));
-        ty
+        Ok(ty)
     }
 
     /// Data-aware decode of a split threshold (Theorem 2's workhorse):
@@ -247,12 +280,12 @@ impl PiecewiseTransform {
     /// (`midpoint = false`, matching `ThresholdPolicy::DataValue`) or
     /// the midpoint across the separation (`midpoint = true`, matching
     /// `ThresholdPolicy::Midpoint`).
-    pub fn decode_split(&self, y: f64, midpoint: bool) -> f64 {
-        decode_le_split(&self.transformed_domain_map(), y, midpoint)
+    pub fn decode_split(&self, y: f64, midpoint: bool) -> Result<f64, PpdtError> {
+        decode_le_split(&self.transformed_domain_map()?, y, midpoint)
     }
 
     /// Backwards-compatible alias: midpoint split decode.
-    pub fn decode_midpoint(&self, y: f64) -> f64 {
+    pub fn decode_midpoint(&self, y: f64) -> Result<f64, PpdtError> {
         self.decode_split(y, true)
     }
 
@@ -265,99 +298,43 @@ impl PiecewiseTransform {
     /// Validates the invariants: pieces cover ascending input ranges;
     /// output intervals are disjoint and ordered by the global
     /// direction; non-monochromatic (monotone) pieces move in the
-    /// global direction; every original domain value encodes into its
+    /// global direction; permutation tables are bijections within
+    /// their interval; every original domain value encodes into its
     /// piece's output interval, and the full map over the active
     /// domain is injective.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.pieces.is_empty() {
-            return Err("no pieces".into());
-        }
-        for w in self.pieces.windows(2) {
-            if w[0].input_hi >= w[1].input_lo {
-                return Err(format!(
-                    "input ranges overlap: [{}, {}] then [{}, {}]",
-                    w[0].input_lo, w[0].input_hi, w[1].input_lo, w[1].input_hi
-                ));
-            }
-            let ordered = if self.increasing {
-                w[0].output_hi < w[1].output_lo
-            } else {
-                w[0].output_lo > w[1].output_hi
-            };
-            if !ordered {
-                return Err(format!(
-                    "output intervals violate the global-{} invariant: [{}, {}] then [{}, {}]",
-                    if self.increasing { "monotone" } else { "anti-monotone" },
-                    w[0].output_lo,
-                    w[0].output_hi,
-                    w[1].output_lo,
-                    w[1].output_hi
-                ));
-            }
-        }
-        for (i, p) in self.pieces.iter().enumerate() {
-            if p.output_lo > p.output_hi {
-                return Err(format!("piece {i}: empty output interval"));
-            }
-            if let PieceKind::Monotone { f, s, .. } = &p.kind {
-                if *s <= 0.0 {
-                    return Err(format!("piece {i}: non-positive scale"));
-                }
-                if f.is_increasing() != self.increasing {
-                    return Err(format!(
-                        "piece {i}: monotone piece direction disagrees with global direction"
-                    ));
-                }
-                if !f.valid_on(p.input_lo, p.input_hi) {
-                    return Err(format!("piece {i}: function invalid on its input range"));
-                }
-            }
-        }
-        // Injectivity + interval containment over the active domain.
-        let mut outputs: Vec<f64> = Vec::with_capacity(self.orig_domain.len());
-        for &x in &self.orig_domain {
-            let i = self.piece_for_input(x);
-            let y = self.pieces[i].encode(x);
-            if !y.is_finite() {
-                return Err(format!("value {x} encodes to non-finite {y}"));
-            }
-            let p = &self.pieces[i];
-            if y < p.output_lo - 1e-9 || y > p.output_hi + 1e-9 {
-                return Err(format!(
-                    "value {x} encodes to {y} outside its piece interval [{}, {}]",
-                    p.output_lo, p.output_hi
-                ));
-            }
-            outputs.push(y);
-        }
-        let mut sorted = outputs.clone();
-        sorted.sort_by(f64::total_cmp);
-        if sorted.windows(2).any(|w| w[0] == w[1]) {
-            return Err("transform is not injective on the active domain".into());
-        }
-        Ok(())
+    ///
+    /// This is the boundary check: validate once when a key is drawn
+    /// or loaded, then trust the transform on the hot paths. The
+    /// [`crate::audit`] subsystem runs the same checks but reports
+    /// *all* violations as a structured [`crate::audit::AuditReport`]
+    /// instead of the first one.
+    pub fn validate(&self) -> Result<(), PpdtError> {
+        crate::audit::transform_first_error(self)
     }
 }
 
 /// Decodes a `≤ y` split against a precomputed
 /// [`PiecewiseTransform::transformed_domain_map`]. See
-/// [`PiecewiseTransform::decode_split`] for the semantics.
-pub fn decode_le_split(map: &[(f64, f64)], y: f64, midpoint: bool) -> f64 {
-    assert!(!map.is_empty(), "empty domain map");
+/// [`PiecewiseTransform::decode_split`] for the semantics. An empty
+/// map yields [`PpdtError::EmptyInput`].
+pub fn decode_le_split(map: &[(f64, f64)], y: f64, midpoint: bool) -> Result<f64, PpdtError> {
+    if map.is_empty() {
+        return Err(PpdtError::EmptyInput { what: "transformed domain map".into() });
+    }
     let i = map.partition_point(|&(t, _)| t <= y);
     if i == 0 {
         // Degenerate: nothing on the transformed-low side. No real
         // split produces this; answer "below everything".
-        return map.iter().map(|&(_, x)| x).fold(f64::INFINITY, f64::min) - 1.0;
+        return Ok(map.iter().map(|&(_, x)| x).fold(f64::INFINITY, f64::min) - 1.0);
     }
     if i == map.len() {
-        return map.iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
+        return Ok(map.iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max));
     }
     let a_max = map[..i].iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
     let a_min = map[..i].iter().map(|&(_, x)| x).fold(f64::INFINITY, f64::min);
     let b_max = map[i..].iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
     let b_min = map[i..].iter().map(|&(_, x)| x).fold(f64::INFINITY, f64::min);
-    if a_max < b_min {
+    Ok(if a_max < b_min {
         // S is the lower interval (globally monotone transform).
         if midpoint {
             0.5 * (a_max + b_min)
@@ -372,14 +349,16 @@ pub fn decode_le_split(map: &[(f64, f64)], y: f64, midpoint: bool) -> f64 {
         } else {
             b_max
         }
-    }
+    })
 }
 
-/// Nearest element of a sorted slice.
-fn nearest(sorted: &[f64], x: f64) -> f64 {
-    assert!(!sorted.is_empty(), "empty domain");
+/// Nearest element of a sorted slice; `None` when empty.
+fn nearest(sorted: &[f64], x: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     let i = sorted.partition_point(|&v| v < x);
-    if i == 0 {
+    Some(if i == 0 {
         sorted[0]
     } else if i == sorted.len() {
         sorted[sorted.len() - 1]
@@ -390,7 +369,7 @@ fn nearest(sorted: &[f64], x: f64) -> f64 {
         } else {
             b
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -427,6 +406,10 @@ mod tests {
         }
     }
 
+    fn enc(tr: &PiecewiseTransform, x: f64) -> f64 {
+        tr.encode(x).unwrap()
+    }
+
     #[test]
     fn validate_accepts_sample() {
         sample_transform().validate().unwrap();
@@ -436,29 +419,29 @@ mod tests {
     fn encode_decode_roundtrip_on_domain() {
         let tr = sample_transform();
         for &x in &tr.orig_domain {
-            let y = tr.encode(x);
-            assert_eq!(tr.decode_snapped(y), x, "roundtrip of {x}");
+            let y = enc(&tr, x);
+            assert_eq!(tr.decode_snapped(y).unwrap(), x, "roundtrip of {x}");
         }
     }
 
     #[test]
     fn permutation_blocks_order_but_stays_in_interval() {
         let tr = sample_transform();
-        let y27 = tr.encode(27.0);
-        let y28 = tr.encode(28.0);
+        let y27 = enc(&tr, 27.0);
+        let y28 = enc(&tr, 28.0);
         assert!(y27 > y28, "within-piece order scrambled");
         assert!((30.0..=40.0).contains(&y27));
         assert!((30.0..=40.0).contains(&y28));
         // But the global invariant holds: everything in piece 2 is
         // above everything in piece 1.
-        assert!(y28 > tr.encode(15.0));
+        assert!(y28 > enc(&tr, 15.0));
     }
 
     #[test]
     fn gap_outputs_decode_via_nearest_piece() {
         let tr = sample_transform();
         // 25.0 sits in the output gap (20, 30).
-        let x = tr.decode_snapped(25.0);
+        let x = tr.decode_snapped(25.0).unwrap();
         assert!(x == 15.0 || x == 27.0);
     }
 
@@ -468,8 +451,8 @@ mod tests {
         // Midpoint of the transformed values of 15 (=20.0) and the
         // smallest transformed value in piece 2 (28 -> 31.0): y=25.5
         // must decode to the original midpoint (15+27)/2 = 21.
-        let y = 0.5 * (tr.encode(15.0) + tr.encode(28.0));
-        assert_eq!(tr.decode_midpoint(y), 21.0);
+        let y = 0.5 * (enc(&tr, 15.0) + enc(&tr, 28.0));
+        assert_eq!(tr.decode_midpoint(y).unwrap(), 21.0);
     }
 
     #[test]
@@ -524,28 +507,49 @@ mod tests {
         };
         tr.validate().unwrap();
         // Global anti-monotone: later inputs map strictly below.
-        assert!(tr.encode(27.0) < tr.encode(15.0));
-        assert!(tr.encode(1.0) > tr.encode(15.0));
+        assert!(enc(&tr, 27.0) < enc(&tr, 15.0));
+        assert!(enc(&tr, 1.0) > enc(&tr, 15.0));
         for &x in &tr.orig_domain {
-            assert_eq!(tr.decode_snapped(tr.encode(x)), x);
+            assert_eq!(tr.decode_snapped(enc(&tr, x)).unwrap(), x);
         }
     }
 
     #[test]
     fn nearest_picks_closest() {
         let dom = [1.0, 5.0, 9.0];
-        assert_eq!(nearest(&dom, -3.0), 1.0);
-        assert_eq!(nearest(&dom, 2.9), 1.0);
-        assert_eq!(nearest(&dom, 3.1), 5.0);
-        assert_eq!(nearest(&dom, 42.0), 9.0);
-        assert_eq!(nearest(&dom, 5.0), 5.0);
+        assert_eq!(nearest(&dom, -3.0), Some(1.0));
+        assert_eq!(nearest(&dom, 2.9), Some(1.0));
+        assert_eq!(nearest(&dom, 3.1), Some(5.0));
+        assert_eq!(nearest(&dom, 42.0), Some(9.0));
+        assert_eq!(nearest(&dom, 5.0), Some(5.0));
+        assert_eq!(nearest(&[], 5.0), None);
     }
 
     #[test]
-    #[should_panic(expected = "outside")]
-    fn encode_outside_domain_panics() {
+    fn encode_outside_domain_is_typed_error() {
         let tr = sample_transform();
-        let _ = tr.encode(100.0);
+        match tr.encode(100.0) {
+            Err(PpdtError::DomainViolation { value, .. }) => assert_eq!(value, 100.0),
+            other => panic!("expected DomainViolation, got {other:?}"),
+        }
+        // Inside a permutation piece's range but not a recorded value.
+        match tr.encode(27.5) {
+            Err(PpdtError::DomainViolation { value, piece, .. }) => {
+                assert_eq!(value, 27.5);
+                assert_eq!(piece, Some(1));
+            }
+            other => panic!("expected DomainViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_transform_is_typed_error_everywhere() {
+        let tr = PiecewiseTransform { pieces: vec![], increasing: true, orig_domain: vec![] };
+        assert!(matches!(tr.encode(1.0), Err(PpdtError::DomainViolation { .. })));
+        assert!(matches!(tr.decode(1.0), Err(PpdtError::KeyCorrupt { .. })));
+        assert!(matches!(tr.decode_snapped(1.0), Err(PpdtError::KeyCorrupt { .. })));
+        assert!(matches!(tr.validate(), Err(PpdtError::KeyCorrupt { .. })));
+        assert!(matches!(decode_le_split(&[], 0.0, false), Err(PpdtError::EmptyInput { .. })));
     }
 
     #[test]

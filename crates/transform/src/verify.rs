@@ -17,12 +17,13 @@
 //! group-wise (anti-monotone). This is precisely what the tree's
 //! split search consumes.
 
+use ppdt_error::PpdtError;
 use rand::Rng;
 
 use ppdt_data::{AttrId, Dataset};
 use ppdt_tree::{tree_diff, TreeBuilder, TreeParams};
 
-use crate::encoder::{encode_dataset, EncodeConfig, TransformKey};
+use crate::encoder::{encode_dataset, EncodeConfig, OnExhaust, RetryPolicy, TransformKey};
 
 /// The per-distinct-value class histograms of attribute `a`, in
 /// ascending value order — the tie-robust form of the class string.
@@ -93,51 +94,63 @@ pub fn no_outcome_change<R: Rng + ?Sized>(
     d: &Dataset,
     encode_config: &EncodeConfig,
     params: TreeParams,
-) -> OutcomeReport {
-    let (key, d2) = encode_dataset(rng, d, encode_config);
+) -> Result<OutcomeReport, PpdtError> {
+    let (key, d2) = encode_dataset(rng, d, encode_config)?;
     let class_strings_ok = all_class_strings_preserved(d, &d2, &key);
 
     let builder = TreeBuilder::new(params);
     let t = builder.fit(d);
     let t2 = builder.fit(&d2);
-    let s = key.decode_tree(&t2, params.threshold_policy, d);
+    let s = key.decode_tree(&t2, params.threshold_policy, d)?;
     let first_diff = tree_diff(&s, &t, 0.0);
 
-    OutcomeReport {
+    Ok(OutcomeReport {
         class_strings_ok,
         trees_equal: first_diff.is_none(),
         first_diff,
         num_leaves: t.num_leaves(),
         depth: t.depth(),
-    }
+    })
 }
 
 /// Custodian-side verified encoding: draws transformations and checks
-/// the no-outcome-change guarantee end-to-end, redrawing (up to
-/// `max_attempts`) if a metric tie under an anti-monotone direction
-/// broke exactness, and finally falling back to all-monotone
-/// directions (for which exactness is unconditional under the default
-/// run-boundary candidate policy).
+/// the no-outcome-change guarantee end-to-end, redrawing (bounded by
+/// `policy.max_attempts`) if a metric tie under an anti-monotone
+/// direction broke exactness.
+///
+/// When the attempts run out, [`OnExhaust::Fallback`] re-encodes with
+/// all-monotone directions (for which exactness is unconditional under
+/// the default run-boundary candidate policy), while
+/// [`OnExhaust::Fail`] returns [`PpdtError::DrawExhausted`] carrying
+/// the first tree difference observed on every failed attempt.
+/// Redraws beyond the first attempt are counted on
+/// [`ppdt_obs::Counter::VerifyRetries`].
 ///
 /// Returns the key, the transformed dataset, and the number of
-/// attempts used.
+/// attempts used (fallback counts as one extra attempt).
 ///
 /// # Example
 /// ```
 /// use ppdt_transform::verify::encode_dataset_verified;
-/// use ppdt_transform::EncodeConfig;
+/// use ppdt_transform::{EncodeConfig, RetryPolicy};
 /// use ppdt_tree::TreeParams;
 /// use rand::SeedableRng;
 ///
 /// let d = ppdt_data::gen::figure1();
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let (key, d_prime, attempts) =
-///     encode_dataset_verified(&mut rng, &d, &EncodeConfig::default(), TreeParams::default(), 8);
+/// let (key, d_prime, attempts) = encode_dataset_verified(
+///     &mut rng,
+///     &d,
+///     &EncodeConfig::default(),
+///     TreeParams::default(),
+///     RetryPolicy::with_fallback(8),
+/// )
+/// .unwrap();
 /// assert!((1..=9).contains(&attempts));
 /// // The guarantee just verified: decoding the tree mined on D'
 /// // reproduces the tree mined on D.
 /// let t_prime = ppdt_tree::TreeBuilder::default().fit(&d_prime);
-/// let s = key.decode_tree(&t_prime, TreeParams::default().threshold_policy, &d);
+/// let s = key.decode_tree(&t_prime, TreeParams::default().threshold_policy, &d).unwrap();
 /// assert!(ppdt_tree::trees_equal(&s, &ppdt_tree::TreeBuilder::default().fit(&d)));
 /// ```
 pub fn encode_dataset_verified<R: Rng + ?Sized>(
@@ -145,27 +158,38 @@ pub fn encode_dataset_verified<R: Rng + ?Sized>(
     d: &Dataset,
     encode_config: &EncodeConfig,
     params: TreeParams,
-    max_attempts: usize,
-) -> (TransformKey, Dataset, usize) {
+    policy: RetryPolicy,
+) -> Result<(TransformKey, Dataset, usize), PpdtError> {
+    policy.validate()?;
     let builder = TreeBuilder::new(params);
     let t = builder.fit(d);
-    for attempt in 1..=max_attempts.max(1) {
-        let (key, d2) = encode_dataset(rng, d, encode_config);
+    let mut reasons: Vec<String> = Vec::new();
+    for attempt in 1..=policy.max_attempts {
+        if attempt > 1 {
+            ppdt_obs::add(ppdt_obs::Counter::VerifyRetries, 1);
+        }
+        let (key, d2) = encode_dataset(rng, d, encode_config)?;
         let t2 = builder.fit(&d2);
-        let s = key.decode_tree(&t2, params.threshold_policy, d);
-        if ppdt_tree::trees_equal(&s, &t) {
-            return (key, d2, attempt);
+        let s = key.decode_tree(&t2, params.threshold_policy, d)?;
+        match tree_diff(&s, &t, 0.0) {
+            None => return Ok((key, d2, attempt)),
+            Some(diff) => reasons.push(format!("attempt {attempt}: decoded tree differs: {diff}")),
         }
     }
-    // Monotone directions cannot flip tie-breaks; this always verifies.
-    let fallback = EncodeConfig { anti_monotone_prob: 0.0, ..*encode_config };
-    let (key, d2) = encode_dataset(rng, d, &fallback);
-    debug_assert!({
+    if policy.on_exhaust == OnExhaust::Fallback {
+        // Monotone directions cannot flip tie-breaks; this always
+        // verifies.
+        ppdt_obs::add(ppdt_obs::Counter::VerifyRetries, 1);
+        let fallback = EncodeConfig { anti_monotone_prob: 0.0, ..*encode_config };
+        let (key, d2) = encode_dataset(rng, d, &fallback)?;
         let t2 = builder.fit(&d2);
-        let s = key.decode_tree(&t2, params.threshold_policy, d);
-        ppdt_tree::trees_equal(&s, &t)
-    });
-    (key, d2, max_attempts.max(1) + 1)
+        let s = key.decode_tree(&t2, params.threshold_policy, d)?;
+        match tree_diff(&s, &t, 0.0) {
+            None => return Ok((key, d2, policy.max_attempts + 1)),
+            Some(diff) => reasons.push(format!("fallback: decoded tree differs: {diff}")),
+        }
+    }
+    Err(PpdtError::DrawExhausted { attr: None, attempts: policy.max_attempts, reasons })
 }
 
 #[cfg(test)]
@@ -196,7 +220,7 @@ mod tests {
                         threshold_policy: policy,
                         ..Default::default()
                     };
-                    let report = no_outcome_change(&mut rng, &d, &cfg, params);
+                    let report = no_outcome_change(&mut rng, &d, &cfg, params).unwrap();
                     assert!(
                         report.all_ok(),
                         "{strat:?} {crit:?} {policy:?}: {:?}",
@@ -231,7 +255,7 @@ mod tests {
                 },
                 ..Default::default()
             };
-            let report = no_outcome_change(&mut rng, &d, &encode_config, params);
+            let report = no_outcome_change(&mut rng, &d, &encode_config, params).unwrap();
             assert!(report.all_ok(), "trial {trial} ({strat:?}): {:?}", report.first_diff);
         }
     }
@@ -253,13 +277,19 @@ mod tests {
                 ..Default::default()
             };
             let params = TreeParams::default();
-            let (key, d2, attempts) =
-                encode_dataset_verified(&mut rng, &d, &encode_config, params, 8);
+            let (key, d2, attempts) = encode_dataset_verified(
+                &mut rng,
+                &d,
+                &encode_config,
+                params,
+                RetryPolicy::with_fallback(8),
+            )
+            .unwrap();
             assert!(attempts >= 1);
             let builder = TreeBuilder::new(params);
             let t = builder.fit(&d);
             let t2 = builder.fit(&d2);
-            let s = key.decode_tree(&t2, params.threshold_policy, &d);
+            let s = key.decode_tree(&t2, params.threshold_policy, &d).unwrap();
             assert!(ppdt_tree::trees_equal(&s, &t), "trial {trial}: {:?}", tree_diff(&s, &t, 0.0));
         }
     }
@@ -274,7 +304,7 @@ mod tests {
         for _ in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
             let encode_config = EncodeConfig { anti_monotone_prob: 1.0, ..Default::default() };
-            let (key, d2) = encode_dataset(&mut rng, &d, &encode_config);
+            let (key, d2) = encode_dataset(&mut rng, &d, &encode_config).unwrap();
             assert!(all_class_strings_preserved(&d, &d2, &key));
         }
     }
@@ -286,7 +316,8 @@ mod tests {
         let wdbc = wdbc_like(&mut rng, 569);
         for d in [census, wdbc] {
             let report =
-                no_outcome_change(&mut rng, &d, &EncodeConfig::default(), TreeParams::default());
+                no_outcome_change(&mut rng, &d, &EncodeConfig::default(), TreeParams::default())
+                    .unwrap();
             assert!(report.all_ok(), "{:?}", report.first_diff);
         }
     }
@@ -342,11 +373,11 @@ mod tests {
             RandomDatasetConfig { num_rows: 200, num_attrs: 2, num_classes: 2, value_range: 30 };
         for _ in 0..5 {
             let d = random_dataset(&mut rng, &cfg);
-            let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+            let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).unwrap();
             let builder = TreeBuilder::default();
             let t = prune_pessimistic(&builder.fit(&d), 0.25);
             let t2 = prune_pessimistic(&builder.fit(&d2), 0.25);
-            let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d);
+            let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d).unwrap();
             assert!(ppdt_tree::trees_equal(&s, &t), "{:?}", tree_diff(&s, &t, 0.0));
         }
     }

@@ -1,0 +1,218 @@
+//! Fault-injection harness: mutate serialized keys, datasets and mined
+//! trees and assert that every mutation surfaces as a *typed* error —
+//! never a panic, never silent acceptance of a detectably-corrupt
+//! artifact.
+//!
+//! Every mutation is a pure function of `(input, kind, seed)`, so a
+//! failing case reproduces from its printed seed. The base seed can be
+//! overridden with the `PPDT_FAULT_SEED` environment variable to run
+//! the sweep over a different corruption population.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ppdt_data::corrupt::{corrupt_csv, flip_ascii_digit, truncate_at, ALL_CSV_CORRUPTIONS};
+use ppdt_data::csv::{parse_csv, to_csv};
+use ppdt_data::gen::census_like;
+use ppdt_data::{AttrId, Dataset};
+use ppdt_transform::{
+    audit_key_against, encode_dataset, EncodeConfig, ErrorCategory, PpdtError, TransformKey,
+};
+use ppdt_tree::{DecisionTree, ThresholdPolicy, TreeBuilder, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Base seed for the corruption sweeps; override with `PPDT_FAULT_SEED`.
+fn fault_seed() -> u64 {
+    std::env::var("PPDT_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xF417)
+}
+
+fn study() -> (Dataset, TransformKey, Dataset) {
+    let mut rng = StdRng::seed_from_u64(fault_seed());
+    let d = census_like(&mut rng, 300);
+    let (key, d_prime) =
+        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode clean data");
+    (d, key, d_prime)
+}
+
+// ---------------------------------------------------------------- keys
+
+#[test]
+fn corrupted_key_json_never_panics_and_is_detected() {
+    let (d, key, d_prime) = study();
+    let good = serde_json::to_string_pretty(&key).expect("serialize key");
+    let base = fault_seed();
+
+    let mut detected = 0usize;
+    let sweeps = 120u64;
+    for i in 0..sweeps {
+        let seed = base ^ i;
+        let bad = flip_ascii_digit(&good, seed);
+        assert_ne!(bad, good, "seed {seed}: corruptor must change the key");
+        match serde_json::from_str::<TransformKey>(&bad) {
+            // A digit flip can break JSON semantics (e.g. a repeated
+            // digit in a map key) — a parse error is a detection.
+            Err(_) => detected += 1,
+            Ok(tampered) => {
+                // The loaded key is hostile: every downstream use must
+                // return a typed error or a (possibly wrong but
+                // well-formed) value — never panic.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let report = audit_key_against(&tampered, &d);
+                    let audit_failed = !report.passed();
+                    let decode_failed = tampered.decode_dataset(&d_prime).is_err();
+                    audit_failed || decode_failed
+                }));
+                match outcome {
+                    Ok(caught) => {
+                        if caught {
+                            detected += 1;
+                        }
+                    }
+                    Err(_) => panic!("seed {seed}: tampered key caused a panic"),
+                }
+            }
+        }
+    }
+    // Flips that hit piece geometry or permutation tables must be
+    // caught; a sizeable residue lands in harmless places (a
+    // low-significance mantissa digit still encodes/decodes within
+    // audit tolerance), so the floor is a third of the sweep rather
+    // than all of it.
+    assert!(detected * 3 > sweeps as usize, "only {detected}/{sweeps} corruptions detected");
+}
+
+#[test]
+fn truncated_key_file_is_a_corrupt_key_error() {
+    let (_, key, _) = study();
+    let good = serde_json::to_string_pretty(&key).expect("serialize key");
+    let dir = std::env::temp_dir();
+    for (i, frac) in [0.2, 0.5, 0.9].into_iter().enumerate() {
+        let path = dir.join(format!("ppdt_fault_key_{i}.json"));
+        std::fs::write(&path, truncate_at(&good, frac)).expect("write truncated key");
+        let err = TransformKey::load_json(&path).expect_err("truncated key must not load");
+        assert_eq!(err.category(), ErrorCategory::CorruptKey, "frac {frac}: {err}");
+        assert_eq!(err.category().exit_code(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn missing_key_file_is_an_io_error() {
+    let err = TransformKey::load_json("/nonexistent/ppdt/key.json")
+        .expect_err("missing file must not load");
+    assert_eq!(err.category(), ErrorCategory::Io);
+}
+
+// ------------------------------------------------------------- datasets
+
+#[test]
+fn csv_corruption_sweep_yields_typed_errors() {
+    let (d, key, _) = study();
+    let good = to_csv(&d);
+    let base = fault_seed();
+
+    for kind in ALL_CSV_CORRUPTIONS {
+        for i in 0..8u64 {
+            let seed = base ^ (i << 32);
+            let bad = corrupt_csv(&good, kind, seed);
+            assert_ne!(bad, good, "{} seed {seed}: corruptor must change the CSV", kind.name());
+            match parse_csv(&bad) {
+                Err(e) => {
+                    assert!(
+                        !kind.parses_clean(),
+                        "{} seed {seed}: audit-only corruption rejected by the parser: {e}",
+                        kind.name()
+                    );
+                    let typed: PpdtError = e.into();
+                    assert_eq!(
+                        typed.category(),
+                        ErrorCategory::CorruptData,
+                        "{} seed {seed}: {typed}",
+                        kind.name()
+                    );
+                    assert_eq!(typed.category().exit_code(), 6);
+                }
+                Ok(parsed) => {
+                    assert!(
+                        kind.parses_clean(),
+                        "{} seed {seed}: parser-detectable corruption parsed clean",
+                        kind.name()
+                    );
+                    // Structurally valid but semantically hostile data:
+                    // auditing the original key against it must report,
+                    // not panic.
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| audit_key_against(&key, &parsed)));
+                    let report = outcome
+                        .unwrap_or_else(|_| panic!("{} seed {seed}: audit panicked", kind.name()));
+                    if parsed.num_attrs() != d.num_attrs() {
+                        assert!(
+                            !report.passed(),
+                            "{} seed {seed}: arity change must fail the audit",
+                            kind.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_csv_never_panics() {
+    let (d, _, _) = study();
+    let good = to_csv(&d);
+    for frac in [0.0, 0.1, 0.33, 0.5, 0.77, 0.95] {
+        let bad = truncate_at(&good, frac);
+        let outcome = catch_unwind(AssertUnwindSafe(|| parse_csv(&bad).map(|_| ())));
+        assert!(outcome.is_ok(), "frac {frac}: parser panicked on truncated CSV");
+    }
+}
+
+// ---------------------------------------------------------------- trees
+
+#[test]
+fn tampered_tree_json_never_panics_when_decoded() {
+    let (d, key, d_prime) = study();
+    let mined =
+        TreeBuilder::new(TreeParams { min_samples_leaf: 5, ..Default::default() }).fit(&d_prime);
+    let good = serde_json::to_string(&mined).expect("serialize tree");
+    let base = fault_seed();
+
+    for i in 0..100u64 {
+        let seed = base ^ (i << 16);
+        let bad = flip_ascii_digit(&good, seed);
+        let Ok(tampered) = serde_json::from_str::<DecisionTree>(&bad) else {
+            continue; // parse-level detection
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = tampered.validate(Some(d.num_attrs()));
+            let _ = key.decode_tree(&tampered, ThresholdPolicy::DataValue, &d);
+        }));
+        assert!(outcome.is_ok(), "seed {seed}: tampered tree caused a panic");
+    }
+}
+
+#[test]
+fn tree_splitting_on_unknown_attribute_is_incompatible() {
+    let (d, key, d_prime) = study();
+    let mined = TreeBuilder::default().fit(&d_prime);
+    // Retarget every split to an attribute the key has never seen.
+    let tampered = mined.map_split_attrs(|_| AttrId(99));
+    let err = key
+        .decode_tree(&tampered, ThresholdPolicy::DataValue, &d)
+        .expect_err("unknown attribute must not decode");
+    assert_eq!(err.category(), ErrorCategory::IncompatibleTree, "{err}");
+    assert_eq!(err.category().exit_code(), 5);
+}
+
+#[test]
+fn tree_with_nonfinite_threshold_is_incompatible() {
+    let (d, key, d_prime) = study();
+    let mined = TreeBuilder::default().fit(&d_prime);
+    let tampered = mined.map_thresholds(|_, _| f64::NAN);
+    let err = key
+        .decode_tree(&tampered, ThresholdPolicy::DataValue, &d)
+        .expect_err("NaN threshold must not decode");
+    assert_eq!(err.category(), ErrorCategory::IncompatibleTree, "{err}");
+}

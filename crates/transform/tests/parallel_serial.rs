@@ -11,8 +11,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn assert_bit_identical(d: &Dataset, config: &EncodeConfig, seed: u64) {
-    let (key_s, d_s) = encode_dataset(&mut StdRng::seed_from_u64(seed), d, config);
-    let (key_p, d_p) = encode_dataset_parallel(&mut StdRng::seed_from_u64(seed), d, config);
+    let (key_s, d_s) =
+        encode_dataset(&mut StdRng::seed_from_u64(seed), d, config).expect("serial encode");
+    let (key_p, d_p) = encode_dataset_parallel(&mut StdRng::seed_from_u64(seed), d, config)
+        .expect("parallel encode");
 
     for a in d.schema().attrs() {
         assert_eq!(d_s.column(a), d_p.column(a), "seed {seed}, attr {a}: D' differs");
@@ -27,8 +29,8 @@ fn assert_bit_identical(d: &Dataset, config: &EncodeConfig, seed: u64) {
     // must then give identical plaintext trees.
     let builder = TreeBuilder::new(TreeParams { min_samples_leaf: 3, ..Default::default() });
     let t_prime = builder.fit(&d_s);
-    let s_serial = key_s.decode_tree(&t_prime, ThresholdPolicy::DataValue, d);
-    let s_parallel = key_p.decode_tree(&t_prime, ThresholdPolicy::DataValue, d);
+    let s_serial = key_s.decode_tree(&t_prime, ThresholdPolicy::DataValue, d).expect("decode");
+    let s_parallel = key_p.decode_tree(&t_prime, ThresholdPolicy::DataValue, d).expect("decode");
     assert!(ppdt_tree::trees_equal(&s_serial, &s_parallel), "seed {seed}: decoded trees differ");
 }
 

@@ -5,6 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use ppdt_data::{AttrId, ClassId, Dataset};
+use ppdt_error::PpdtError;
 
 use crate::split::SplitCriterion;
 
@@ -199,6 +200,93 @@ impl DecisionTree {
         }
     }
 
+    /// Applies `f(attr)` to every split attribute, returning the
+    /// rewritten tree. Used by fault-injection tooling to build trees
+    /// that reference attributes a key or dataset does not have.
+    pub fn map_split_attrs(&self, mut f: impl FnMut(AttrId) -> AttrId) -> DecisionTree {
+        fn rec(n: &Node, f: &mut impl FnMut(AttrId) -> AttrId) -> Node {
+            match n {
+                Node::Leaf { .. } => n.clone(),
+                Node::Split { attr, threshold, class_counts, left, right } => Node::Split {
+                    attr: f(*attr),
+                    threshold: *threshold,
+                    class_counts: class_counts.clone(),
+                    left: Box::new(rec(left, f)),
+                    right: Box::new(rec(right, f)),
+                },
+            }
+        }
+        DecisionTree {
+            root: rec(&self.root, &mut f),
+            num_classes: self.num_classes,
+            criterion: self.criterion,
+        }
+    }
+
+    /// Structural validation for trees that cross the trust boundary
+    /// (e.g. a mined tree returned by the untrusted miner and loaded
+    /// from disk).
+    ///
+    /// Checks, at every node: split thresholds are finite, attribute
+    /// indices are below `num_attrs` (when given), class histograms
+    /// have exactly `num_classes` entries, and leaf labels are in
+    /// range. Returns the first violation as a typed
+    /// [`PpdtError::TreeIncompatible`].
+    pub fn validate(&self, num_attrs: Option<usize>) -> Result<(), PpdtError> {
+        fn bad(detail: String) -> Result<(), PpdtError> {
+            Err(PpdtError::TreeIncompatible { detail })
+        }
+        fn rec(
+            n: &Node,
+            num_attrs: Option<usize>,
+            k: usize,
+            depth: usize,
+        ) -> Result<(), PpdtError> {
+            if n.class_counts().len() != k {
+                return bad(format!(
+                    "node at depth {depth} has {} class counts, expected {k}",
+                    n.class_counts().len()
+                ));
+            }
+            match n {
+                Node::Leaf { label, .. } => {
+                    if label.index() >= k {
+                        return bad(format!(
+                            "leaf at depth {depth} predicts class {} of {k}",
+                            label.index()
+                        ));
+                    }
+                    Ok(())
+                }
+                Node::Split { attr, threshold, left, right, .. } => {
+                    if !threshold.is_finite() {
+                        return bad(format!(
+                            "split on attribute {} at depth {depth} has non-finite threshold {threshold}",
+                            attr.index()
+                        ));
+                    }
+                    if let Some(m) = num_attrs {
+                        if attr.index() >= m {
+                            return bad(format!(
+                                "split at depth {depth} tests unknown attribute {} (dataset has {m})",
+                                attr.index()
+                            ));
+                        }
+                    }
+                    rec(left, num_attrs, k, depth + 1)?;
+                    rec(right, num_attrs, k, depth + 1)
+                }
+            }
+        }
+        if self.num_classes < 2 {
+            return bad(format!(
+                "tree distinguishes {} class(es), need at least 2",
+                self.num_classes
+            ));
+        }
+        rec(&self.root, num_attrs, self.num_classes, 0)
+    }
+
     /// Renders the tree as indented ASCII, one node per line.
     pub fn render(&self, schema: Option<&ppdt_data::Schema>) -> String {
         let mut s = String::new();
@@ -373,6 +461,44 @@ mod tests {
         let s = t.render(None);
         assert!(s.contains("A0 <= 5"));
         assert!(s.contains("-> c1"));
+    }
+
+    #[test]
+    fn validate_accepts_sound_trees_and_rejects_tampered_ones() {
+        let t = sample_tree();
+        t.validate(Some(2)).unwrap();
+        t.validate(None).unwrap();
+
+        // Unknown attribute.
+        let mut bad = t.clone();
+        if let Node::Split { attr, .. } = &mut bad.root {
+            *attr = AttrId(9);
+        }
+        assert!(matches!(bad.validate(Some(2)), Err(PpdtError::TreeIncompatible { .. })));
+        // ...but passes without a schema to check against.
+        bad.validate(None).unwrap();
+
+        // Non-finite threshold.
+        let mut bad = t.clone();
+        if let Node::Split { threshold, .. } = &mut bad.root {
+            *threshold = f64::NAN;
+        }
+        assert!(bad.validate(None).is_err());
+
+        // Histogram arity.
+        let mut bad = t.clone();
+        if let Node::Split { class_counts, .. } = &mut bad.root {
+            class_counts.push(0);
+        }
+        assert!(bad.validate(None).is_err());
+
+        // Out-of-range leaf label.
+        let mut bad = t.clone();
+        if let Node::Split { right, .. } = &mut bad.root {
+            **right = leaf(7, vec![0, 2]);
+        }
+        let err = bad.validate(None).unwrap_err();
+        assert_eq!(err.category().exit_code(), 5);
     }
 
     #[test]

@@ -34,9 +34,10 @@ fn main() {
     ] {
         println!("--- {label} ---");
         let config = EncodeConfig { strategy, family: FnFamily::SqrtLog, ..Default::default() };
-        let tr = encode_attribute(&mut rng, &d, attr, &config);
+        let tr = encode_attribute(&mut rng, &d, attr, &config).expect("encode attribute");
         let orig = tr.orig_domain.clone();
-        let transformed: Vec<f64> = orig.iter().map(|&x| tr.encode(x)).collect();
+        let transformed: Vec<f64> =
+            orig.iter().map(|&x| tr.encode(x).expect("in-domain value")).collect();
 
         // Hacker toolkit 1: curve fitting with growing prior knowledge.
         for (who, n_good) in [("ignorant*", 0), ("knowledgeable", 2), ("expert", 4), ("insider", 8)]
@@ -68,7 +69,7 @@ fn main() {
                         generate_kps(
                             &mut rng,
                             &transformed,
-                            |y| tr.decode_snapped(y),
+                            |y| tr.decode_snapped(y).unwrap_or(f64::NAN),
                             rho,
                             n_good,
                             0,

@@ -13,6 +13,7 @@
 
 use ppdt::prelude::*;
 use ppdt::transform::verify::encode_dataset_verified;
+use ppdt::transform::{audit_key_against, RetryPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,7 +40,9 @@ fn main() {
         ..Default::default()
     };
     let params = TreeParams { min_samples_leaf: 5, ..Default::default() };
-    let (key, d_prime, attempts) = encode_dataset_verified(&mut rng, &d, &config, params, 8);
+    let (key, d_prime, attempts) =
+        encode_dataset_verified(&mut rng, &d, &config, params, RetryPolicy::failing(8))
+            .expect("verified encode");
     println!("encoded in {attempts} attempt(s); every value transformed");
 
     // --- 2. Persist the key (Section 5.4: "rather minimal"). ---------
@@ -56,7 +59,14 @@ fn main() {
     let key_loaded: TransformKey =
         serde_json::from_str(&std::fs::read_to_string(&key_path).expect("read key"))
             .expect("key deserializes");
-    let s = key_loaded.decode_tree(&t_prime, params.threshold_policy, &d);
+    // A loaded key is untrusted until audited against the data it
+    // claims to cover (hostile-input hardening: corrupt keys are
+    // reported, not panicked on).
+    let audit = audit_key_against(&key_loaded, &d);
+    assert!(audit.passed(), "key audit failed:\n{}", audit.to_json_pretty());
+    println!("key audit: {} attribute(s) checked, no findings", audit.attrs_checked);
+
+    let s = key_loaded.decode_tree(&t_prime, params.threshold_policy, &d).expect("decode tree");
     let t = TreeBuilder::new(params).fit(&d);
     assert!(trees_equal(&s, &t), "decode must reproduce the direct tree");
     println!("decoded tree equals the directly mined tree (exact, bitwise)");
@@ -67,7 +77,7 @@ fn main() {
     let scenario = DomainScenario::polyline(HackerProfile::Expert);
     for a in d.schema().attrs() {
         let stats = run_trials(25, 1000 + a.index() as u64, |rng| {
-            domain_risk_trial(rng, &d, a, &config, &scenario)
+            domain_risk_trial(rng, &d, a, &config, &scenario).expect("trial")
         });
         println!(
             "  {:>15}: median domain disclosure {:>5.1}%  (p90 {:>5.1}%)",

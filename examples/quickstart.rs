@@ -29,7 +29,8 @@ fn main() {
     // mixed function families, random permutations on monochromatic
     // pieces.
     let mut rng = StdRng::seed_from_u64(7);
-    let (key, d_prime) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    let (key, d_prime) =
+        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode dataset");
     println!("\ntransformed data D' (what the miner sees):");
     for row in 0..d_prime.num_rows() {
         println!(
@@ -45,7 +46,7 @@ fn main() {
     println!("\nmined tree T' (encoded thresholds):\n{}", t_prime.render(Some(d.schema())));
 
     // The custodian decodes with the key.
-    let s = key.decode_tree(&t_prime, ThresholdPolicy::DataValue, &d);
+    let s = key.decode_tree(&t_prime, ThresholdPolicy::DataValue, &d).expect("decode tree");
     println!("decoded tree S:\n{}", s.render(Some(d.schema())));
 
     // No outcome change: S equals the tree mined on D directly.

@@ -42,6 +42,7 @@ fn main() {
         let measure = |mapping: SortingMapping, salt: u64| {
             run_trials(11, 40 + salt + i as u64, |rng| {
                 sorting_risk_trial_with(rng, &d, AttrId(i), &config, rho_frac, 1.0, mapping)
+                    .expect("trial")
             })
             .median
         };

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Pre-merge gate: formatting, lints, docs, tests. A clean exit is the
-# merge bar (referenced from README "Tests and benchmarks").
+# Pre-merge gate: formatting, lints, docs, tests, fault injection and
+# the panic-free-library gate. A clean exit is the merge bar
+# (referenced from README "Tests and benchmarks").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +16,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== fault injection"
+cargo test -p ppdt-transform --test fault_injection -q
+
+echo "== panic gate (library code must use typed errors)"
+python3 scripts/panic_gate.py
 
 echo "== all checks passed"

@@ -38,13 +38,13 @@
 //!
 //! // 1. Encode: every attribute gets its own piecewise transform.
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let (key, d_prime) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+//! let (key, d_prime) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).unwrap();
 //!
 //! // 2. The (untrusted) miner builds a tree on D'.
 //! let t_prime = TreeBuilder::default().fit(&d_prime);
 //!
 //! // 3. The custodian decodes the thresholds with the key...
-//! let s = key.decode_tree(&t_prime, ThresholdPolicy::DataValue, &d);
+//! let s = key.decode_tree(&t_prime, ThresholdPolicy::DataValue, &d).unwrap();
 //!
 //! // ...and gets *exactly* the tree that mining D directly yields.
 //! let t = TreeBuilder::default().fit(&d);

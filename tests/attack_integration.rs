@@ -24,6 +24,7 @@ fn dense_attribute_fully_cracked_by_sorting_worst_case() {
     let cfg = EncodeConfig::default();
     let risk = run_trials(9, 1, |rng| {
         sorting_risk_trial_with(rng, &d, AttrId(1), &cfg, 0.02, 1.0, SortingMapping::Consecutive)
+            .expect("trial")
     });
     assert!(risk.median > 0.95, "attr 2 sorting risk {:.3}", risk.median);
 }
@@ -35,6 +36,7 @@ fn discontinuities_defeat_consecutive_sorting() {
     let cfg = EncodeConfig::default();
     let risk = run_trials(9, 2, |rng| {
         sorting_risk_trial_with(rng, &d, AttrId(3), &cfg, 0.02, 1.0, SortingMapping::Consecutive)
+            .expect("trial")
     });
     assert!(risk.median < 0.25, "attr 4 sorting risk {:.3}", risk.median);
 }
@@ -48,9 +50,11 @@ fn proportional_sorting_is_strictly_stronger_on_discontinuous_attrs() {
     let cfg = EncodeConfig::default();
     let cons = run_trials(9, 3, |rng| {
         sorting_risk_trial_with(rng, &d, AttrId(3), &cfg, 0.02, 1.0, SortingMapping::Consecutive)
+            .expect("trial")
     });
     let prop = run_trials(9, 3, |rng| {
         sorting_risk_trial_with(rng, &d, AttrId(3), &cfg, 0.02, 1.0, SortingMapping::Proportional)
+            .expect("trial")
     });
     assert!(
         prop.median > cons.median + 0.3,
@@ -67,7 +71,10 @@ fn subspace_association_risk_decreases_with_size() {
     let scenario = DomainScenario::polyline(HackerProfile::Expert);
     let avg = |ids: &[usize], seed: u64| {
         let attrs: Vec<AttrId> = ids.iter().map(|&i| AttrId(i)).collect();
-        run_trials(9, seed, |rng| subspace_risk_trial(rng, &d, &attrs, &cfg, &scenario)).median
+        run_trials(9, seed, |rng| {
+            subspace_risk_trial(rng, &d, &attrs, &cfg, &scenario).expect("trial")
+        })
+        .median
     };
     let single = avg(&[6], 4);
     let pair = avg(&[6, 9], 5);
@@ -89,14 +96,15 @@ fn association_with_best_attack_still_below_product_bound() {
     // slack on top of the per-trial inequality.
     let joint = run_trials(15, 7, |rng| {
         subspace_risk_trial_with(rng, &d, &[AttrId(1), AttrId(9)], &cfg, &scenario, true, 1.0)
+            .expect("trial")
     })
     .median;
     let single2 = run_trials(15, 8, |rng| {
-        subspace_risk_trial_with(rng, &d, &[AttrId(1)], &cfg, &scenario, true, 1.0)
+        subspace_risk_trial_with(rng, &d, &[AttrId(1)], &cfg, &scenario, true, 1.0).expect("trial")
     })
     .median;
     let single10 = run_trials(15, 9, |rng| {
-        subspace_risk_trial_with(rng, &d, &[AttrId(9)], &cfg, &scenario, true, 1.0)
+        subspace_risk_trial_with(rng, &d, &[AttrId(9)], &cfg, &scenario, true, 1.0).expect("trial")
     })
     .median;
     assert!(joint <= single2.min(single10) + 0.08, "{joint:.3} vs {single2:.3}/{single10:.3}");
@@ -113,7 +121,7 @@ fn knowledge_is_power_for_the_hacker() {
         for a in [0usize, 4, 8] {
             let scenario = DomainScenario::polyline(profile);
             total += run_trials(9, seed + a as u64, |rng| {
-                ppdt::risk::domain_risk_trial(rng, &d, AttrId(a), &cfg, &scenario)
+                ppdt::risk::domain_risk_trial(rng, &d, AttrId(a), &cfg, &scenario).expect("trial")
             })
             .median;
         }

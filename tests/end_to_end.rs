@@ -8,6 +8,7 @@ use ppdt::data::gen::{
 };
 use ppdt::prelude::*;
 use ppdt::transform::verify::{all_class_strings_preserved, encode_dataset_verified};
+use ppdt::transform::RetryPolicy;
 use ppdt::tree::prune_pessimistic;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,12 +35,12 @@ fn pipeline_exact_on_every_generator() {
             for criterion in [SplitCriterion::Gini, SplitCriterion::Entropy] {
                 let config = EncodeConfig { strategy, ..Default::default() };
                 let params = TreeParams { criterion, min_samples_leaf: 2, ..Default::default() };
-                let (key, d2) = encode_dataset(&mut rng, d, &config);
+                let (key, d2) = encode_dataset(&mut rng, d, &config).expect("encode");
                 assert!(all_class_strings_preserved(d, &d2, &key), "ds {i} {strategy:?}");
                 let builder = TreeBuilder::new(params);
                 let t = builder.fit(d);
                 let t2 = builder.fit(&d2);
-                let s = key.decode_tree(&t2, params.threshold_policy, d);
+                let s = key.decode_tree(&t2, params.threshold_policy, d).expect("decode");
                 assert!(
                     trees_equal(&s, &t),
                     "ds {i} {strategy:?} {criterion:?}: {:?}",
@@ -64,11 +65,11 @@ fn midpoint_policy_pipeline_exact() {
     };
     for strategy in strategies() {
         let config = EncodeConfig { strategy, ..Default::default() };
-        let (key, d2) = encode_dataset(&mut rng, &d, &config);
+        let (key, d2) = encode_dataset(&mut rng, &d, &config).expect("encode");
         let builder = TreeBuilder::new(params);
         let t = builder.fit(&d);
         let t2 = builder.fit(&d2);
-        let s = key.decode_tree(&t2, ThresholdPolicy::Midpoint, &d);
+        let s = key.decode_tree(&t2, ThresholdPolicy::Midpoint, &d).expect("decode");
         assert!(trees_equal(&s, &t), "{strategy:?}: {:?}", ppdt::tree::tree_diff(&s, &t, 0.0));
     }
 }
@@ -79,12 +80,12 @@ fn pruning_commutes_with_decoding() {
     let cfg = RandomDatasetConfig { num_rows: 400, num_attrs: 3, num_classes: 2, value_range: 40 };
     for _ in 0..5 {
         let d = random_dataset(&mut rng, &cfg);
-        let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+        let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
         let builder = TreeBuilder::default();
         // prune(decode(T')) == prune(T): pruning is count-based.
         let pruned_direct = prune_pessimistic(&builder.fit(&d), 0.25);
         let pruned_decoded = prune_pessimistic(
-            &key.decode_tree(&builder.fit(&d2), ThresholdPolicy::DataValue, &d),
+            &key.decode_tree(&builder.fit(&d2), ThresholdPolicy::DataValue, &d).expect("decode"),
             0.25,
         );
         assert!(trees_equal(&pruned_direct, &pruned_decoded));
@@ -97,10 +98,12 @@ fn verified_encode_with_anti_monotone_directions() {
     let d = wdbc_like(&mut rng, 300);
     let config = EncodeConfig { anti_monotone_prob: 1.0, ..Default::default() };
     let params = TreeParams::default();
-    let (key, d2, attempts) = encode_dataset_verified(&mut rng, &d, &config, params, 8);
+    let (key, d2, attempts) =
+        encode_dataset_verified(&mut rng, &d, &config, params, RetryPolicy::failing(8))
+            .expect("verified encode");
     assert!(attempts >= 1);
     let builder = TreeBuilder::new(params);
-    let s = key.decode_tree(&builder.fit(&d2), params.threshold_policy, &d);
+    let s = key.decode_tree(&builder.fit(&d2), params.threshold_policy, &d).expect("decode");
     assert!(trees_equal(&s, &builder.fit(&d)));
 }
 
@@ -108,13 +111,13 @@ fn verified_encode_with_anti_monotone_directions() {
 fn key_survives_json_roundtrip_and_still_decodes() {
     let mut rng = StdRng::seed_from_u64(5);
     let d = census_like(&mut rng, 500);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
     let json = serde_json::to_string(&key).expect("serialize key");
     let key2: TransformKey = serde_json::from_str(&json).expect("deserialize key");
     assert_eq!(key, key2);
     let builder = TreeBuilder::default();
     let t2 = builder.fit(&d2);
-    let s = key2.decode_tree(&t2, ThresholdPolicy::DataValue, &d);
+    let s = key2.decode_tree(&t2, ThresholdPolicy::DataValue, &d).expect("decode");
     assert!(trees_equal(&s, &builder.fit(&d)));
 }
 
@@ -124,10 +127,10 @@ fn predictions_through_the_key_match_on_unseen_tuples() {
     // when the input is encoded first: predict_T'(f(x)) == predict_S(x).
     let mut rng = StdRng::seed_from_u64(6);
     let d = census_like(&mut rng, 700);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
     let builder = TreeBuilder::default();
     let t2 = builder.fit(&d2);
-    let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d);
+    let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d).expect("decode");
     // Use the training tuples themselves as the "query" set (their
     // encodings are defined; arbitrary reals would not be, because
     // permutation pieces are defined on the active domain only).
@@ -152,11 +155,11 @@ fn feature_importance_is_invariant_under_the_transform() {
     use ppdt::tree::feature_importance;
     let mut rng = StdRng::seed_from_u64(8);
     let d = census_like(&mut rng, 1_000);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
     let builder = TreeBuilder::default();
     let t = builder.fit(&d);
     let t2 = builder.fit(&d2);
-    let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d);
+    let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d).expect("decode");
     let m = d.num_attrs();
     assert_eq!(feature_importance(&t, m), feature_importance(&s, m));
     assert_eq!(feature_importance(&t, m), feature_importance(&t2, m));
@@ -168,7 +171,7 @@ fn every_single_value_is_transformed() {
     // changes every value.
     let mut rng = StdRng::seed_from_u64(7);
     let d = covertype_like(&mut rng, &CovertypeConfig { num_rows: 1_500, ..Default::default() });
-    let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default());
+    let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
     for a in d.schema().attrs() {
         let same = d.column(a).iter().zip(d2.column(a)).filter(|(x, y)| x == y).count();
         assert_eq!(same, 0, "attr {a}: {same} values unchanged");

@@ -54,13 +54,13 @@ proptest! {
             min_samples_leaf: min_leaf,
             ..Default::default()
         };
-        let (key, d2) = encode_dataset(&mut rng, &d, &config);
+        let (key, d2) = encode_dataset(&mut rng, &d, &config).expect("encode");
         prop_assert!(all_class_strings_preserved(&d, &d2, &key));
 
         let builder = TreeBuilder::new(params);
         let t = builder.fit(&d);
         let t2 = builder.fit(&d2);
-        let s = key.decode_tree(&t2, params.threshold_policy, &d);
+        let s = key.decode_tree(&t2, params.threshold_policy, &d).expect("decode tree");
         prop_assert!(
             trees_equal(&s, &t),
             "diff: {:?}",
@@ -91,12 +91,12 @@ proptest! {
             anti_monotone_prob: 0.5, // round-trips hold either way
             ..Default::default()
         };
-        let (key, _) = encode_dataset(&mut rng, &d, &config);
+        let (key, _) = encode_dataset(&mut rng, &d, &config).expect("encode");
         for a in d.schema().attrs() {
             for &x in &d.active_domain(a) {
-                let y = key.encode_value(a, x);
+                let y = key.encode_value(a, x).expect("in-domain value");
                 prop_assert!(y.is_finite());
-                prop_assert_eq!(key.invert_value(a, y), x);
+                prop_assert_eq!(key.decode_value(a, y).expect("decode"), x);
             }
         }
     }
@@ -123,7 +123,7 @@ proptest! {
             anti_monotone_prob: if anti { 1.0 } else { 0.0 },
             ..Default::default()
         };
-        let (key, _) = encode_dataset(&mut rng, &d, &config);
+        let (key, _) = encode_dataset(&mut rng, &d, &config).expect("encode");
         let a = AttrId(0);
         let tr = key.transform(a);
         prop_assert_eq!(tr.increasing, !anti);
@@ -132,7 +132,8 @@ proptest! {
         // Across pieces (here: across any two values in different
         // pieces) the global direction must hold.
         let domain = d.active_domain(a);
-        let encoded: Vec<f64> = domain.iter().map(|&x| tr.encode(x)).collect();
+        let encoded: Vec<f64> =
+            domain.iter().map(|&x| tr.encode(x).expect("in-domain value")).collect();
         let mut sorted = encoded.clone();
         sorted.sort_by(f64::total_cmp);
         sorted.dedup();

@@ -58,6 +58,93 @@ pub mod test_runner {
             test_path.hash(&mut h);
             TestRng { rng: StdRng::seed_from_u64(h.finish()) }
         }
+
+        /// Builds the RNG for one case from its persisted seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { rng: StdRng::seed_from_u64(seed) }
+        }
+
+        /// Draws the next case seed from this (master) stream.
+        pub fn next_case_seed(&mut self) -> u64 {
+            use rand::Rng;
+            self.rng.gen()
+        }
+    }
+}
+
+/// Regression-seed persistence: failing case seeds are written to
+/// `proptest-regressions/<module__test>.txt` (one `cc <seed>` line per
+/// case, mirroring upstream's `cc <hex>` format) and replayed before
+/// any novel cases on subsequent runs.
+pub mod regression {
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past.
+# It is automatically read, and these particular cases re-run before
+# any novel cases are generated. Commit this file so regressions stay
+# pinned for everyone. Format: one `cc <u64 seed>` per line.
+";
+
+    /// Path of the regression file for a test, under the crate's
+    /// manifest directory (pass `env!("CARGO_MANIFEST_DIR")`).
+    pub fn file_for(manifest_dir: &str, test_path: &str) -> PathBuf {
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{}.txt", test_path.replace("::", "__")))
+    }
+
+    /// Loads the persisted seeds for a test; missing file means none.
+    pub fn load(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| l.trim().strip_prefix("cc "))
+            .filter_map(|s| s.trim().parse().ok())
+            .collect()
+    }
+
+    /// Appends `seed` to the regression file (creating it, with a
+    /// header, if needed), unless it is already present.
+    pub fn persist(path: &Path, seed: u64) {
+        if load(path).contains(&seed) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let fresh = !path.exists();
+        let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return;
+        };
+        if fresh {
+            let _ = f.write_all(HEADER.as_bytes());
+        }
+        let _ = writeln!(f, "cc {seed}");
+    }
+
+    /// Armed while a case runs; if the case panics, the seed is
+    /// persisted on unwind so the next run replays it first.
+    pub struct PersistOnPanic {
+        /// Regression file of the owning test.
+        pub path: PathBuf,
+        /// Seed of the in-flight case.
+        pub seed: u64,
+    }
+
+    impl Drop for PersistOnPanic {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                persist(&self.path, self.seed);
+                eprintln!(
+                    "proptest shim: persisted failing seed {} to {}",
+                    self.seed,
+                    self.path.display()
+                );
+            }
+        }
     }
 }
 
@@ -221,23 +308,45 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
-            let mut __rng = $crate::test_runner::TestRng::deterministic(
-                concat!(module_path!(), "::", stringify!($name)),
-            );
+            let __test_path = concat!(module_path!(), "::", stringify!($name));
+            let __reg_path =
+                $crate::regression::file_for(env!("CARGO_MANIFEST_DIR"), __test_path);
+            let __persisted = $crate::regression::load(&__reg_path);
+            let mut __master = $crate::test_runner::TestRng::deterministic(__test_path);
             let mut __accepted: u32 = 0;
             let mut __generated: u32 = 0;
-            while __accepted < __config.cases {
-                __generated += 1;
-                assert!(
-                    __generated <= __config.max_global_rejects,
-                    "proptest shim: too many cases discarded by prop_assume! in `{}`",
-                    stringify!($name),
-                );
+            let mut __case: usize = 0;
+            // Persisted regression seeds replay first, then the
+            // deterministic sweep runs its full budget of novel cases.
+            while __case < __persisted.len() || __accepted < __config.cases {
+                let __replaying = __case < __persisted.len();
+                let __seed = if __replaying {
+                    __persisted[__case]
+                } else {
+                    __generated += 1;
+                    assert!(
+                        __generated <= __config.max_global_rejects,
+                        "proptest shim: too many cases discarded by prop_assume! in `{}`",
+                        stringify!($name),
+                    );
+                    __master.next_case_seed()
+                };
+                __case += 1;
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                // Dropped on unwind: a panicking case writes its seed
+                // to the regression file before the test dies.
+                let __guard = $crate::regression::PersistOnPanic {
+                    path: __reg_path.clone(),
+                    seed: __seed,
+                };
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
                 // A `prop_assume!` failure in the body `continue`s past
                 // this bookkeeping, so discarded cases don't count.
                 $body
-                __accepted += 1;
+                ::core::mem::forget(__guard);
+                if !__replaying {
+                    __accepted += 1;
+                }
             }
         }
         $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
@@ -304,6 +413,44 @@ mod tests {
             }
             let _ = flag;
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        // Has a committed regression file (proptest-regressions/) whose
+        // seeds replay before the sweep; all must pass.
+        #[test]
+        fn replayed_regression_seeds_pass(x in 0u64..1_000_000, y in 0.0f64..1.0) {
+            prop_assert!(x < 1_000_000);
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn regression_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ppdt_proptest_{}", std::process::id()));
+        let path = crate::regression::file_for(dir.to_str().unwrap(), "a::b::c");
+        assert!(path.ends_with("proptest-regressions/a__b__c.txt"));
+        assert_eq!(crate::regression::load(&path), Vec::<u64>::new());
+        crate::regression::persist(&path, 7);
+        crate::regression::persist(&path, 99);
+        crate::regression::persist(&path, 7); // deduped
+        assert_eq!(crate::regression::load(&path), vec![7, 99]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"), "header missing:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_on_panic_guard_is_inert_without_panic() {
+        let dir = std::env::temp_dir().join(format!("ppdt_proptest_g_{}", std::process::id()));
+        let path = crate::regression::file_for(dir.to_str().unwrap(), "t::guard");
+        {
+            let _guard = crate::regression::PersistOnPanic { path: path.clone(), seed: 5 };
+        }
+        assert!(!path.exists(), "guard must not write unless panicking");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -463,7 +463,7 @@ fn gen_deserialize(input: &Input) -> String {
     format!(
         "#[automatically_derived]\n\
          impl ::serde::Deserialize for {name} {{\n\
-             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
                  {body}\n\
              }}\n\
          }}"
