@@ -74,6 +74,14 @@ impl CrackModel {
             CrackModel::Spline { xs, ys, m } => eval_spline(xs, ys, m, x),
         }
     }
+
+    /// [`guess`](CrackModel::guess) over a whole column, fanned out
+    /// over scoped worker threads for large inputs. Bit-identical to
+    /// mapping `guess` serially — each guess is a pure function of the
+    /// fitted model (see `PPDT_THREADS` in `ppdt_obs::threads`).
+    pub fn guess_all(&self, xs: &[f64]) -> Vec<f64> {
+        crate::par::par_map_f64(xs, |x| self.guess(x))
+    }
 }
 
 /// Fits a crack function through the knowledge points.
@@ -101,11 +109,17 @@ impl CrackModel {
 pub fn fit_crack(method: FitMethod, kps: &[KnowledgePoint]) -> CrackModel {
     assert!(!kps.is_empty(), "curve fitting needs at least one knowledge point");
     let _t = ppdt_obs::phase("attack");
-    let mut pts: Vec<(f64, f64)> = kps.iter().map(|k| (k.transformed, k.guessed)).collect();
-    pts.sort_by(|p, q| p.0.total_cmp(&q.0));
+    let pts: Vec<(f64, f64)> = kps.iter().map(|k| (k.transformed, k.guessed)).collect();
+    // Stable ascending order over x (the shared `ppdt_data` helper's
+    // index tie-break preserves input order on duplicates, which
+    // matters below: duplicate-x guesses are summed in input order and
+    // float addition is order-sensitive).
+    let mut order = Vec::new();
+    ppdt_data::sorted_order_by_value(&pts, |p| p.0, &mut order)
+        .expect("knowledge point count fits u32");
     // Collapse duplicate x.
     let mut merged: Vec<(f64, f64, usize)> = Vec::with_capacity(pts.len());
-    for (x, y) in pts {
+    for (x, y) in order.iter().map(|&i| pts[i as usize]) {
         match merged.last_mut() {
             Some((mx, my, n)) if *mx == x => {
                 *my += y;
@@ -310,6 +324,18 @@ mod tests {
     #[should_panic(expected = "at least one knowledge point")]
     fn empty_kps_rejected() {
         let _ = fit_crack(FitMethod::Polyline, &[]);
+    }
+
+    #[test]
+    fn guess_all_matches_serial_guesses() {
+        let kps = [kp(0.0, 1.0), kp(1.0, 3.0), kp(2.0, 2.0), kp(4.0, 8.0)];
+        // Large enough to cross the parallel gate when cores allow.
+        let xs: Vec<f64> = (0..5_000).map(|i| i as f64 * 0.01 - 5.0).collect();
+        for m in FitMethod::ALL {
+            let g = fit_crack(m, &kps);
+            let serial: Vec<f64> = xs.iter().map(|&x| g.guess(x)).collect();
+            assert_eq!(g.guess_all(&xs), serial, "{m:?}");
+        }
     }
 
     proptest! {

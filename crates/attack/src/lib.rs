@@ -27,6 +27,7 @@ pub mod combo;
 pub mod fit;
 pub mod kp;
 pub mod linalg;
+mod par;
 pub mod quantile;
 pub mod sorting;
 pub mod spectral;

@@ -1,0 +1,72 @@
+//! Scoped-thread fan-out for the attack hot loops.
+//!
+//! Per-value guessing (`CrackModel::guess_all`,
+//! `QuantileAttack::guess_all`, `SortingAttack::guess_all`) and the
+//! spectral reconstruction passes are embarrassingly parallel: every
+//! output element is a pure function of read-only fitted state. The
+//! fan-out pattern mirrors `encode_dataset_parallel` — contiguous
+//! input chunks map onto disjoint `chunks_mut` output slices — so the
+//! result is trivially bit-identical to the serial loop: the same
+//! float operations run in the same order per element; only which OS
+//! thread runs them changes.
+
+/// Below this many elements the per-thread spawn cost exceeds the map
+/// itself and the helpers run serial regardless of available cores.
+pub(crate) const PAR_MIN_ITEMS: usize = 2_048;
+
+/// Maps `f` over `xs` with scoped worker threads, bit-identical to
+/// `xs.iter().map(|&x| f(x)).collect()`. The thread count comes from
+/// [`ppdt_obs::threads`] (the `PPDT_THREADS` override, then hardware
+/// parallelism); small inputs stay serial.
+pub(crate) fn par_map_f64<F>(xs: &[f64], f: F) -> Vec<f64>
+where
+    F: Fn(f64) -> f64 + Sync,
+{
+    let n = xs.len();
+    let threads = ppdt_obs::threads(None).min(n).max(1);
+    if threads == 1 || n < PAR_MIN_ITEMS {
+        return xs.iter().map(|&x| f(x)).collect();
+    }
+    let mut out = vec![0.0f64; n];
+    let chunk_len = n.div_ceil(threads);
+    let result = crossbeam::thread::scope(|scope| {
+        for (src, dst) in xs.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = f(*s);
+                }
+            });
+        }
+    });
+    if let Err(payload) = result {
+        // The guess functions are panicking APIs; surface a worker's
+        // panic payload unchanged on the caller thread.
+        std::panic::resume_unwind(payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_above_and_below_the_gate() {
+        for n in [0usize, 1, 7, PAR_MIN_ITEMS + 31] {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 3.0).collect();
+            let serial: Vec<f64> = xs.iter().map(|&x| x.mul_add(2.0, 1.0)).collect();
+            let parallel = par_map_f64(&xs, |x| x.mul_add(2.0, 1.0));
+            assert_eq!(serial, parallel, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let xs = vec![1.0; PAR_MIN_ITEMS + 1];
+        let r = std::panic::catch_unwind(|| {
+            par_map_f64(&xs, |_| panic!("guess exploded"));
+        });
+        assert!(r.is_err());
+    }
+}

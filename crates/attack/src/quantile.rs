@@ -77,6 +77,13 @@ impl QuantileAttack {
             self.sample_sorted[i] * (1.0 - frac) + self.sample_sorted[i + 1] * frac
         }
     }
+
+    /// [`guess`](QuantileAttack::guess) over a whole column, fanned
+    /// out over scoped worker threads for large inputs — bit-identical
+    /// to the serial map (each guess only reads the fitted state).
+    pub fn guess_all(&self, v_primes: &[f64]) -> Vec<f64> {
+        crate::par::par_map_f64(v_primes, |v| self.guess(v))
+    }
 }
 
 #[cfg(test)]

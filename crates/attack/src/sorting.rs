@@ -115,6 +115,13 @@ impl SortingAttack {
         (raw / self.granularity).round() * self.granularity
     }
 
+    /// [`guess`](SortingAttack::guess) over a whole column, fanned out
+    /// over scoped worker threads for large inputs — bit-identical to
+    /// the serial map (each guess only reads the fitted state).
+    pub fn guess_all(&self, v_primes: &[f64]) -> Vec<f64> {
+        crate::par::par_map_f64(v_primes, |v| self.guess(v))
+    }
+
     /// Number of distinct values the attack ranks over.
     pub fn num_values(&self) -> usize {
         self.sorted.len()

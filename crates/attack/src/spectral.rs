@@ -64,21 +64,74 @@ pub fn spectral_reconstruct(
         keep.push(0);
     }
 
-    // Project every centered tuple onto the kept subspace.
-    let mut columns = vec![vec![0.0f64; n]; m];
-    let mut centered = vec![0.0f64; m];
-    for r in 0..n {
-        for (i, col) in perturbed.iter().enumerate() {
-            centered[i] = col[r] - means[i];
-        }
-        for (i, out) in columns.iter_mut().enumerate() {
-            let mut rec = means[i];
-            for &k in &keep {
-                let v = &eigenvectors[k];
-                let coeff: f64 = v.iter().zip(&centered).map(|(vi, xi)| vi * xi).sum();
-                rec += coeff * v[i];
+    // Project every centered tuple onto the kept subspace, in two
+    // passes fanned out over scoped worker threads. Pass 1 computes
+    // each row's projection coefficients onto the kept eigenvectors
+    // (parallel over row ranges); pass 2 reconstructs each attribute
+    // column from those coefficients (parallel over attributes). Both
+    // passes run the exact float operations of the serial one-pass
+    // loop in the same per-element order — the old code recomputed the
+    // same row coefficient once per column — so the reconstruction is
+    // bit-identical regardless of thread count, and `O(n·m·kept)`
+    // redundant dot products cheaper.
+    let kk = keep.len();
+    let mut coeffs = vec![0.0f64; n * kk];
+    let fill_coeffs = |rows: std::ops::Range<usize>, chunk: &mut [f64]| {
+        let mut centered = vec![0.0f64; m];
+        for (r, row_coeffs) in rows.zip(chunk.chunks_mut(kk)) {
+            for (i, col) in perturbed.iter().enumerate() {
+                centered[i] = col[r] - means[i];
             }
-            out[r] = rec;
+            for (c, &k) in row_coeffs.iter_mut().zip(&keep) {
+                *c = eigenvectors[k].iter().zip(&centered).map(|(vi, xi)| vi * xi).sum();
+            }
+        }
+    };
+    let row_threads = ppdt_obs::threads(None).min(n).max(1);
+    if row_threads == 1 || n < crate::par::PAR_MIN_ITEMS {
+        fill_coeffs(0..n, &mut coeffs);
+    } else {
+        let row_chunk = n.div_ceil(row_threads);
+        let result = crossbeam::thread::scope(|scope| {
+            for (t, chunk) in coeffs.chunks_mut(row_chunk * kk).enumerate() {
+                let fill_coeffs = &fill_coeffs;
+                scope.spawn(move |_| {
+                    let start = t * row_chunk;
+                    fill_coeffs(start..(start + row_chunk).min(n), chunk);
+                });
+            }
+        });
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    let mut columns = vec![vec![0.0f64; n]; m];
+    let coeffs = &coeffs;
+    let rec_columns = |start: usize, cols: &mut [Vec<f64>]| {
+        for (i, out) in cols.iter_mut().enumerate().map(|(off, c)| (start + off, c)) {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let mut rec = means[i];
+                for (c, &k) in coeffs[r * kk..(r + 1) * kk].iter().zip(&keep) {
+                    rec += c * eigenvectors[k][i];
+                }
+                *slot = rec;
+            }
+        }
+    };
+    let col_threads = ppdt_obs::threads(None).min(m).max(1);
+    if col_threads == 1 || n * m < crate::par::PAR_MIN_ITEMS {
+        rec_columns(0, &mut columns);
+    } else {
+        let col_chunk = m.div_ceil(col_threads);
+        let result = crossbeam::thread::scope(|scope| {
+            for (t, cols) in columns.chunks_mut(col_chunk).enumerate() {
+                let rec_columns = &rec_columns;
+                scope.spawn(move |_| rec_columns(t * col_chunk, cols));
+            }
+        });
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
         }
     }
 
@@ -178,5 +231,47 @@ mod tests {
     #[should_panic(expected = "one noise variance per attribute")]
     fn variance_count_checked() {
         let _ = spectral_reconstruct(&[vec![1.0, 2.0]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_pass_reconstruction_is_bit_identical_to_naive_loop() {
+        // Reference implementation: the original single-pass loop that
+        // recomputed each row coefficient once per column. The shipped
+        // two-pass version must agree bit for bit (same float ops in
+        // the same per-element order), with any thread count.
+        let mut rng = StdRng::seed_from_u64(5);
+        let original = correlated(&mut rng, 3_000);
+        let noisy = add_noise(&mut rng, &original, 1.5);
+        let variances = [1.5 * 1.5; 4];
+        let rec = spectral_reconstruct(&noisy, &variances);
+
+        let (means, cov) = crate::linalg::covariance(&noisy);
+        let (eigenvalues, eigenvectors) = crate::linalg::eigen_symmetric(&cov);
+        let mut keep: Vec<usize> = Vec::new();
+        for (k, v) in eigenvectors.iter().enumerate() {
+            let floor: f64 = v.iter().zip(&variances).map(|(ui, s2)| ui * ui * s2).sum();
+            if eigenvalues[k] > 2.0 * floor {
+                keep.push(k);
+            }
+        }
+        if keep.is_empty() {
+            keep.push(0);
+        }
+        let (m, n) = (noisy.len(), noisy[0].len());
+        let mut centered = vec![0.0f64; m];
+        for r in 0..n {
+            for (i, col) in noisy.iter().enumerate() {
+                centered[i] = col[r] - means[i];
+            }
+            for (i, out) in rec.columns.iter().enumerate() {
+                let mut want = means[i];
+                for &k in &keep {
+                    let v = &eigenvectors[k];
+                    let coeff: f64 = v.iter().zip(&centered).map(|(vi, xi)| vi * xi).sum();
+                    want += coeff * v[i];
+                }
+                assert_eq!(out[r], want, "row {r}, attr {i}");
+            }
+        }
     }
 }

@@ -1,0 +1,216 @@
+//! `mining_speed` — the committed mining benchmark trajectory.
+//!
+//! Times the recursive ([`TreeBuilder::fit`]) and presorted
+//! ([`TreeBuilder::fit_presorted`]) miners at several dataset shapes
+//! and thread counts, verifies every variant produces a bit-identical
+//! tree, and emits a machine-readable trajectory report (its own
+//! schema, versioned independently of `BenchReport` — see
+//! `BENCHMARKS.md` §Trajectory). `scripts/bench_trajectory.sh` wraps
+//! this binary and `scripts/bench_compare.py` diffs two reports.
+//!
+//! Usage: `mining_speed [--smoke] [--seed N] [--json PATH]`
+//!
+//! `--smoke` shrinks datasets and repetitions for CI; `--json` writes
+//! the report (stdout always gets the human-readable table).
+
+use std::time::Instant;
+
+use ppdt_data::gen::{
+    census_like, covertype_like, random_dataset, CovertypeConfig, RandomDatasetConfig,
+};
+use ppdt_data::Dataset;
+use ppdt_tree::{trees_equal, TreeBuilder, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Version of the trajectory report layout; independent of
+/// `ppdt_bench::report::SCHEMA_VERSION` (a different artifact).
+const TRAJECTORY_SCHEMA_VERSION: u64 = 1;
+
+/// One timed (builder, thread-count) measurement within a case.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Timing {
+    /// `"recursive"` (`fit`) or `"presorted"` (`fit_presorted`).
+    builder: String,
+    /// Worker threads requested via `TreeBuilder::with_threads`.
+    threads: u64,
+    /// Best-of-`reps` wall-clock milliseconds.
+    millis: f64,
+}
+
+/// One dataset shape with its full measurement grid.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Case {
+    /// Stable case name (`dataset@shape`), the comparison key.
+    dataset: String,
+    rows: u64,
+    attrs: u64,
+    timings: Vec<Timing>,
+    /// serial-ms / best-parallel-ms for the recursive builder.
+    speedup_recursive: f64,
+    /// serial-ms / best-parallel-ms for the presorted builder.
+    speedup_presorted: f64,
+    /// Every variant's tree was bit-identical to the serial recursive
+    /// baseline (the run aborts if not, so a written report is `true`).
+    trees_equal: bool,
+}
+
+/// The whole trajectory report (`BENCH_PR3.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Trajectory {
+    trajectory_schema_version: u64,
+    generated_by: String,
+    seed: u64,
+    /// `std::thread::available_parallelism()` on the machine that ran
+    /// the benchmark — speedups are only meaningful relative to this.
+    cores: u64,
+    smoke: bool,
+    cases: Vec<Case>,
+}
+
+fn time_fit(
+    build: impl Fn() -> ppdt_tree::DecisionTree,
+    reps: usize,
+) -> (ppdt_tree::DecisionTree, f64) {
+    let mut best = f64::INFINITY;
+    let mut tree = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let t = build();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        tree = Some(t);
+    }
+    (tree.expect("reps >= 1"), best)
+}
+
+fn run_case(name: &str, d: &Dataset, thread_counts: &[usize], reps: usize) -> Case {
+    let params = TreeParams::default();
+    let mut timings = Vec::new();
+    let mut equal = true;
+
+    let (baseline, serial_rec_ms) =
+        time_fit(|| TreeBuilder::new(params).with_threads(Some(1)).fit(d), reps);
+    timings.push(Timing { builder: "recursive".into(), threads: 1, millis: serial_rec_ms });
+
+    let (serial_pre, serial_pre_ms) =
+        time_fit(|| TreeBuilder::new(params).with_threads(Some(1)).fit_presorted(d), reps);
+    equal &= trees_equal(&baseline, &serial_pre);
+    timings.push(Timing { builder: "presorted".into(), threads: 1, millis: serial_pre_ms });
+
+    let mut best_par_rec = f64::INFINITY;
+    let mut best_par_pre = f64::INFINITY;
+    for &t in thread_counts.iter().filter(|&&t| t > 1) {
+        let (tree, ms) = time_fit(|| TreeBuilder::new(params).with_threads(Some(t)).fit(d), reps);
+        equal &= trees_equal(&baseline, &tree);
+        best_par_rec = best_par_rec.min(ms);
+        timings.push(Timing { builder: "recursive".into(), threads: t as u64, millis: ms });
+
+        let (tree, ms) =
+            time_fit(|| TreeBuilder::new(params).with_threads(Some(t)).fit_presorted(d), reps);
+        equal &= trees_equal(&baseline, &tree);
+        best_par_pre = best_par_pre.min(ms);
+        timings.push(Timing { builder: "presorted".into(), threads: t as u64, millis: ms });
+    }
+
+    let speedup = |serial: f64, par: f64| if par.is_finite() { serial / par } else { 1.0 };
+    Case {
+        dataset: name.to_string(),
+        rows: d.num_rows() as u64,
+        attrs: d.num_attrs() as u64,
+        timings,
+        speedup_recursive: speedup(serial_rec_ms, best_par_rec),
+        speedup_presorted: speedup(serial_pre_ms, best_par_pre),
+        trees_equal: equal,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut seed = 7u64;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a u64 value"))
+            }
+            "--json" => json = Some(args.next().unwrap_or_else(|| usage("--json needs a path"))),
+            "--help" | "-h" => {
+                eprintln!("usage: mining_speed [--smoke] [--seed N] [--json PATH]");
+                return;
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Serial, two workers, and everything the machine has; deduped.
+    let mut thread_counts = vec![1usize, 2, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let reps = if smoke { 1 } else { 3 };
+    let scale = if smoke { 0.005 } else { 0.02 };
+    let census_rows = if smoke { 1_500 } else { 8_000 };
+    let wide = RandomDatasetConfig {
+        num_rows: if smoke { 1_000 } else { 4_000 },
+        num_attrs: 24,
+        num_classes: 4,
+        value_range: 64,
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cases_in: Vec<(String, Dataset)> = vec![
+        (format!("covertype@{scale}"), covertype_like(&mut rng, &CovertypeConfig::at_scale(scale))),
+        (format!("census@{census_rows}"), census_like(&mut rng, census_rows)),
+        (
+            format!("random_wide@{}x{}", wide.num_rows, wide.num_attrs),
+            random_dataset(&mut rng, &wide),
+        ),
+    ];
+
+    println!("mining_speed: {} cores, threads {:?}, reps {}", cores, thread_counts, reps);
+    let mut cases = Vec::new();
+    for (name, d) in &cases_in {
+        let case = run_case(name, d, &thread_counts, reps);
+        assert!(
+            case.trees_equal,
+            "{name}: a parallel or presorted variant diverged from the serial tree"
+        );
+        for t in &case.timings {
+            println!(
+                "  {:<28} {:>9} threads={} {:>9.2} ms",
+                case.dataset, t.builder, t.threads, t.millis
+            );
+        }
+        println!(
+            "  {:<28} speedup recursive {:.2}x, presorted {:.2}x",
+            case.dataset, case.speedup_recursive, case.speedup_presorted
+        );
+        cases.push(case);
+    }
+
+    let report = Trajectory {
+        trajectory_schema_version: TRAJECTORY_SCHEMA_VERSION,
+        generated_by: "mining_speed".into(),
+        seed,
+        cores: cores as u64,
+        smoke,
+        cases,
+    };
+    if let Some(path) = json {
+        let text = serde_json::to_string_pretty(&report).expect("trajectory serializes");
+        std::fs::write(&path, text).expect("trajectory report written");
+        eprintln!("trajectory report -> {path}");
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}; usage: mining_speed [--smoke] [--seed N] [--json PATH]");
+    std::process::exit(2);
+}

@@ -14,7 +14,13 @@ use serde::{Deserialize, Serialize};
 use crate::HarnessConfig;
 
 /// Version of the report schema; bumped on breaking layout changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 (PR 1) — initial layout; v2 (PR 3) — added the
+/// `threads` field and the three mining counters (`split_scan_rows`,
+/// `mining_threads`, `pool_reuse_hits`) to the counter list. v1
+/// reports still parse (`threads` reads back as `None`; the counter
+/// list was always order-stable but open-ended).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One named headline result (a risk, an agreement rate, a count).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,6 +50,11 @@ pub struct BenchReport {
     pub num_attrs: u64,
     /// Headline result numbers, in emission order.
     pub headlines: Vec<Headline>,
+    /// Worker-thread count the parallel stages resolved for this run
+    /// (`ppdt_obs::threads(None)`: the `PPDT_THREADS` override, else
+    /// hardware parallelism). `None` when parsing reports from schema
+    /// v1 binaries, which did not record it.
+    pub threads: Option<u64>,
     /// Phase timings, counters, and peak RSS captured at write time.
     pub metrics: ppdt_obs::MetricsSnapshot,
 }
@@ -63,6 +74,7 @@ impl BenchReport {
             num_rows: cover.num_rows as u64,
             num_attrs: ppdt_data::gen::covertype_spec().len() as u64,
             headlines: Vec::new(),
+            threads: Some(ppdt_obs::threads(None) as u64),
             metrics: ppdt_obs::snapshot(),
         }
     }

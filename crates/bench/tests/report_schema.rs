@@ -8,7 +8,7 @@ use ppdt_bench::HarnessConfig;
 
 /// Every `snapshot()` counter name, in emission order — the contract
 /// `BENCHMARKS.md` documents and downstream tooling greps for.
-const GOLDEN_COUNTERS: [&str; 8] = [
+const GOLDEN_COUNTERS: [&str; 11] = [
     "rows_encoded",
     "pieces_drawn",
     "boundaries_scanned",
@@ -17,6 +17,9 @@ const GOLDEN_COUNTERS: [&str; 8] = [
     "draw_retries",
     "verify_retries",
     "audit_violations",
+    "split_scan_rows",
+    "mining_threads",
+    "pool_reuse_hits",
 ];
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -71,6 +74,9 @@ fn emitted_report_round_trips_with_golden_schema() {
     assert_eq!(counter("rows_encoded"), d.num_rows() as u64);
     assert!(counter("pieces_drawn") > 0);
     assert!(counter("nodes_decoded") > 0);
+    assert!(counter("split_scan_rows") > 0, "fit ran with metrics on");
+    assert!(counter("mining_threads") >= 1);
+    assert!(parsed.threads.unwrap_or(0) >= 1, "v2 reports record the thread count");
     let phases: Vec<&str> = parsed.metrics.phases.iter().map(|p| p.name.as_str()).collect();
     for want in ["encode", "mine", "decode"] {
         assert!(phases.contains(&want), "missing phase {want:?} in {phases:?}");
@@ -82,4 +88,22 @@ fn emitted_report_round_trips_with_golden_schema() {
     assert_eq!(parsed.to_json(), text);
 
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn schema_v1_reports_without_threads_still_parse() {
+    // Schema v1 reports predate the `threads` field. Reconstruct one
+    // by stripping that line from a freshly emitted report; it must
+    // still parse, with `threads` reading back as `None`.
+    let cfg = HarnessConfig { seed: 1, scale: 0.002, trials: 1, json: None };
+    let report = BenchReport::new(&cfg, "v1_compat");
+    let v2_text = report.to_json();
+    assert!(v2_text.contains("\"threads\""), "v2 reports carry the field");
+
+    let v1_text: String =
+        v2_text.lines().filter(|l| !l.contains("\"threads\"")).collect::<Vec<_>>().join("\n");
+    let parsed = BenchReport::from_json(&v1_text).expect("v1-era report parses");
+    assert_eq!(parsed.threads, None, "missing field reads back as None");
+    assert_eq!(parsed.binary, "v1_compat");
+    assert_eq!(parsed.seed, report.seed);
 }

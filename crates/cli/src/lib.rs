@@ -117,6 +117,7 @@ usage: ppdt <subcommand> [args]
          [--attempts N] [--on-exhaust fail|fallback]
   decode-dataset <Dprime.csv> --key <key.json> --out <orig.csv>
   mine <data.csv> --out <tree.json> [--criterion gini|entropy] [--min-leaf N]
+       [--mining-threads N]
   decode-tree <tree.json> --key <key.json> --data <orig.csv> --out <decoded.json> [--render]
   report <tree.json> --data <data.csv>
   audit <data.csv> [--key <key.json>] [--json <report.json>] [--trials N] [--seed N]
@@ -330,8 +331,21 @@ fn cmd_mine(a: &Args) -> Result<(), CliError> {
         other => return Err(CliError::usage(format!("--criterion: unknown {other:?}"))),
     };
     let min_leaf: u32 = a.parsed("min-leaf", 1)?;
+    // Worker threads for split search; the emitted tree is identical
+    // at any count. Default: PPDT_THREADS, else hardware parallelism.
+    let mining_threads = match a.flag("mining-threads") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                return Err(CliError::usage(format!(
+                    "--mining-threads: expected a positive integer, got {v:?}"
+                )))
+            }
+        },
+    };
     let params = TreeParams { criterion, min_samples_leaf: min_leaf, ..Default::default() };
-    let tree = TreeBuilder::new(params).fit(&d);
+    let tree = TreeBuilder::new(params).with_threads(mining_threads).fit(&d);
     let json = serde_json::to_string_pretty(&tree)
         .map_err(|e| PpdtError::internal(format!("tree serialization: {e}")))?;
     std::fs::write(out, json)?;

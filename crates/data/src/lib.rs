@@ -45,4 +45,4 @@ pub use dataset::{Dataset, DatasetBuilder, DistinctGroup, SortedColumn};
 pub use mono::{MonoAnalysis, MonoPiece};
 pub use schema::{AttrId, ClassId, Schema};
 pub use stats::AttrStats;
-pub use value::Value;
+pub use value::{cmp_f64, distinct_sorted, sort_f64, sorted_order_by_value, Value};

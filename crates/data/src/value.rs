@@ -10,6 +10,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use ppdt_error::PpdtError;
 use serde::{Deserialize, Serialize};
 
 /// A finite, totally ordered attribute value.
@@ -96,6 +97,47 @@ pub fn sort_f64(xs: &mut [f64]) {
     xs.sort_by(|a, b| a.total_cmp(b));
 }
 
+/// Fills `out` with the indices `0..items.len()` sorted so that
+/// `key(items[out[0]]) <= key(items[out[1]]) <= ...` under the same
+/// total order as [`Value`] (`f64::total_cmp`).
+///
+/// This is the one order-building primitive shared by the tree
+/// builders' per-attribute scans and the attack fitter, replacing the
+/// hand-rolled `sort_by(total_cmp)` sites that each re-derived it. The
+/// sort is **stable** (equal keys keep their input order — enforced by
+/// an index tie-break rather than an allocating stable sort), because
+/// `fit_crack` sums duplicate-key values in input order and float
+/// addition is not associative.
+///
+/// `out` is a reusable buffer: it is cleared and refilled, so callers
+/// in hot loops amortize the allocation across calls.
+///
+/// # Errors
+/// Returns [`PpdtError::InvalidConfig`] if `items.len()` exceeds
+/// `u32::MAX` — the `u32` row indices used throughout the mining layer
+/// would silently truncate beyond that.
+pub fn sorted_order_by_value<T, K>(items: &[T], key: K, out: &mut Vec<u32>) -> Result<(), PpdtError>
+where
+    K: Fn(&T) -> f64,
+{
+    if items.len() > u32::MAX as usize {
+        return Err(PpdtError::InvalidConfig {
+            param: "items.len()".into(),
+            detail: format!(
+                "{} rows exceed the u32 index space ({} max) used for sorted orders",
+                items.len(),
+                u32::MAX
+            ),
+        });
+    }
+    out.clear();
+    out.extend(0..items.len() as u32);
+    out.sort_unstable_by(|&i, &j| {
+        key(&items[i as usize]).total_cmp(&key(&items[j as usize])).then(i.cmp(&j))
+    });
+    Ok(())
+}
+
 /// Deduplicates a **sorted** slice of raw `f64` values into a vector of
 /// distinct values.
 pub fn distinct_sorted(xs: &[f64]) -> Vec<f64> {
@@ -147,6 +189,24 @@ mod tests {
     #[test]
     fn distinct_sorted_empty() {
         assert!(distinct_sorted(&[]).is_empty());
+    }
+
+    #[test]
+    fn sorted_order_is_ascending_and_stable() {
+        let items = [(3.0, 'a'), (1.0, 'b'), (3.0, 'c'), (-0.0, 'd'), (0.0, 'e')];
+        let mut out = Vec::new();
+        sorted_order_by_value(&items, |p| p.0, &mut out).expect("fits u32");
+        // -0.0 sorts before +0.0 under total_cmp; duplicate 3.0 keys
+        // keep input order (index 0 before index 2).
+        assert_eq!(out, vec![3, 4, 1, 0, 2]);
+
+        // The buffer is reusable: refilling replaces, not appends.
+        sorted_order_by_value(&items[..2], |p| p.0, &mut out).expect("fits u32");
+        assert_eq!(out, vec![1, 0]);
+
+        out.clear();
+        sorted_order_by_value::<f64, _>(&[], |&x| x, &mut out).expect("fits u32");
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -100,11 +100,22 @@ pub enum Counter {
     VerifyRetries,
     /// Error-severity findings raised by the key/dataset audit.
     AuditViolations,
+    /// Tuple visits performed by the tree builders' split-search scans
+    /// (one per `(row, attribute)` pair examined — the miner's true
+    /// workload, robust against timer resolution on fast hardware).
+    SplitScanRows,
+    /// Widest worker fan-out used by a mining call in this process
+    /// (a high-water mark maintained with [`record_max`], not a sum).
+    MiningThreads,
+    /// Buffers served from a reuse pool instead of a fresh allocation
+    /// (partition row vectors in the recursive builder, per-level scan
+    /// arenas in the presorted builder).
+    PoolReuseHits,
 }
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::RowsEncoded,
         Counter::PiecesDrawn,
         Counter::BoundariesScanned,
@@ -113,6 +124,9 @@ impl Counter {
         Counter::DrawRetries,
         Counter::VerifyRetries,
         Counter::AuditViolations,
+        Counter::SplitScanRows,
+        Counter::MiningThreads,
+        Counter::PoolReuseHits,
     ];
 
     /// Stable position of this counter in [`Counter::ALL`] and in
@@ -133,6 +147,9 @@ impl Counter {
             Counter::DrawRetries => "draw_retries",
             Counter::VerifyRetries => "verify_retries",
             Counter::AuditViolations => "audit_violations",
+            Counter::SplitScanRows => "split_scan_rows",
+            Counter::MiningThreads => "mining_threads",
+            Counter::PoolReuseHits => "pool_reuse_hits",
         }
     }
 }
@@ -145,9 +162,51 @@ pub fn add(counter: Counter, n: u64) {
     }
 }
 
+/// Raises a counter to at least `n` (a high-water mark for gauge-like
+/// counters such as [`Counter::MiningThreads`]). No-op while
+/// instrumentation is disabled.
+#[inline]
+pub fn record_max(counter: Counter, n: u64) {
+    if enabled() {
+        COUNTERS[counter.index()].fetch_max(n, Ordering::Relaxed);
+    }
+}
+
 /// Current value of a counter.
 pub fn counter(counter: Counter) -> u64 {
     COUNTERS[counter.index()].load(Ordering::Relaxed)
+}
+
+/// Resolves the worker-thread count for a parallel stage. This is the
+/// single thread-count policy for the whole workspace — the parallel
+/// encoder, the risk Monte Carlo, the tree miners, and the attack
+/// fan-outs all route through it, so one knob controls them all:
+///
+/// 1. `requested` — an explicit caller choice (e.g. the CLI's
+///    `--mining-threads`) wins, clamped to at least 1;
+/// 2. the `PPDT_THREADS` environment variable (a positive integer)
+///    overrides the hardware default for every stage at once, which is
+///    how nested parallel stages are kept from oversubscribing cores;
+/// 3. otherwise [`std::thread::available_parallelism`], falling back
+///    to 1 when the platform cannot report it (running serial is
+///    always correct; guessing a wider fan-out is not).
+///
+/// Thread counts never influence results anywhere in the workspace —
+/// every parallel stage is bit-identical to its serial path — so this
+/// choice is purely a performance knob.
+pub fn threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("PPDT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        // Malformed or zero values fall through to the hardware default.
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// A scoped phase timer. Created by [`phase`]; on drop it adds the
@@ -293,6 +352,26 @@ mod tests {
         assert!(encode.seconds >= 0.0);
         assert!(snap.phases.iter().any(|p| p.name == "mine"));
 
+        // record_max is a high-water mark, not a sum.
+        record_max(Counter::MiningThreads, 3);
+        record_max(Counter::MiningThreads, 2);
+        assert_eq!(counter(Counter::MiningThreads), 3);
+
+        // threads(): explicit request wins; PPDT_THREADS overrides the
+        // hardware default; malformed values fall through. The env var
+        // is process-global, so this probe lives in the single
+        // global-state test too. Thread counts never change outputs,
+        // so other tests racing a read here can at worst run serial.
+        assert_eq!(threads(Some(3)), 3);
+        assert_eq!(threads(Some(0)), 1);
+        std::env::set_var("PPDT_THREADS", "2");
+        assert_eq!(threads(None), 2);
+        assert_eq!(threads(Some(5)), 5);
+        std::env::set_var("PPDT_THREADS", "zero");
+        assert!(threads(None) >= 1);
+        std::env::remove_var("PPDT_THREADS");
+        assert!(threads(None) >= 1);
+
         // Concurrent updates from worker threads all land.
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -342,7 +421,10 @@ mod tests {
                 "nodes_decoded",
                 "draw_retries",
                 "verify_retries",
-                "audit_violations"
+                "audit_violations",
+                "split_scan_rows",
+                "mining_threads",
+                "pool_reuse_hits"
             ]
         );
         for (i, c) in Counter::ALL.iter().enumerate() {

@@ -48,7 +48,7 @@ where
     assert!(trials > 0, "need at least one trial");
     let _t = ppdt_obs::phase("risk");
     ppdt_obs::add(ppdt_obs::Counter::TrialsRun, trials as u64);
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(trials);
+    let threads = ppdt_obs::threads(None).min(trials);
     let mut values = vec![0.0f64; trials];
     // Per-trial seeds drawn from a master generator so different base
     // seeds give fully disjoint randomness (consecutive integers would
@@ -59,7 +59,7 @@ where
         (0..trials).map(|_| master.gen()).collect()
     };
 
-    crossbeam::thread::scope(|scope| {
+    let result = crossbeam::thread::scope(|scope| {
         let chunk_len = trials.div_ceil(threads);
         for (t, chunk) in values.chunks_mut(chunk_len).enumerate() {
             let f = &f;
@@ -72,8 +72,12 @@ where
                 }
             });
         }
-    })
-    .expect("trial thread panicked");
+    });
+    if let Err(payload) = result {
+        // A panicking trial closure panics `run_trials` too, with the
+        // original payload rather than a generic join message.
+        std::panic::resume_unwind(payload);
+    }
 
     summarize(&mut values)
 }
@@ -104,7 +108,7 @@ where
     assert!(trials > 0, "need at least one trial");
     let _t = ppdt_obs::phase("risk");
     ppdt_obs::add(ppdt_obs::Counter::TrialsRun, trials as u64);
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(trials);
+    let threads = ppdt_obs::threads(None).min(trials);
     let mut results: Vec<Result<f64, ppdt_error::PpdtError>> = vec![Ok(0.0); trials];
     let seeds: Vec<u64> = {
         use rand::Rng;
@@ -112,7 +116,7 @@ where
         (0..trials).map(|_| master.gen()).collect()
     };
 
-    crossbeam::thread::scope(|scope| {
+    let result = crossbeam::thread::scope(|scope| {
         let chunk_len = trials.div_ceil(threads);
         for (t, chunk) in results.chunks_mut(chunk_len).enumerate() {
             let f = &f;
@@ -125,8 +129,10 @@ where
                 }
             });
         }
-    })
-    .expect("trial thread panicked");
+    });
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
 
     let mut values = Vec::with_capacity(trials);
     for r in results {

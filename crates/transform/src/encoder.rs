@@ -563,7 +563,7 @@ pub fn encode_dataset_parallel_with<R: Rng + ?Sized>(
     ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, d.num_rows() as u64);
 
     let n = d.num_attrs();
-    let threads = std::thread::available_parallelism().map_or(4, |t| t.get()).min(n).max(1);
+    let threads = ppdt_obs::threads(None).min(n).max(1);
     type Slot = Option<Result<(PiecewiseTransform, Vec<f64>), PpdtError>>;
     let mut slots: Vec<Slot> = (0..n).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {

@@ -76,12 +76,36 @@ impl TreeParams {
 #[derive(Clone, Debug, Default)]
 pub struct TreeBuilder {
     params: TreeParams,
+    /// Explicit worker-thread count for the parallel split search;
+    /// `None` resolves through [`ppdt_obs::threads`] (the
+    /// `PPDT_THREADS` override, then hardware parallelism).
+    pub(crate) threads: Option<usize>,
 }
+
+/// Below this many histogram cells (`rows × attributes`) per split
+/// search, thread-spawn overhead exceeds the scan itself and the
+/// builders stay serial even when more workers are available. The
+/// emitted tree never depends on this gate — only wall-clock does.
+pub(crate) const PARALLEL_MIN_CELLS: usize = 8192;
 
 impl TreeBuilder {
     /// A builder with the given parameters.
     pub fn new(params: TreeParams) -> Self {
-        TreeBuilder { params }
+        TreeBuilder { params, threads: None }
+    }
+
+    /// Sets the worker-thread count for split search in [`fit`] and
+    /// [`fit_presorted`]. `None` (the default) resolves via
+    /// [`ppdt_obs::threads`]: the `PPDT_THREADS` environment override,
+    /// else available hardware parallelism. Thread count never changes
+    /// the emitted tree — parallel split search is bit-identical to
+    /// serial (see `tests/parallel_serial.rs`).
+    ///
+    /// [`fit`]: TreeBuilder::fit
+    /// [`fit_presorted`]: TreeBuilder::fit_presorted
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The builder's parameters.
@@ -99,24 +123,35 @@ impl TreeBuilder {
     /// equality, so the choice is a pure function of class counts), and
     /// recurse.
     ///
+    /// The split search fans out **attribute-wise** over scoped worker
+    /// threads (the same pattern as `encode_dataset_parallel`): each
+    /// worker scans a contiguous ascending range of attributes and
+    /// records its best candidate, and a serial reduction merges the
+    /// per-range winners in ascending attribute order with the same
+    /// strict `<` comparison — so the attr-major first-wins tie-break
+    /// is preserved bit for bit and the emitted tree is independent of
+    /// the thread count (see `tests/parallel_serial.rs`).
+    ///
     /// # Panics
     /// Panics on an empty dataset — there is nothing to fit.
     pub fn fit(&self, d: &Dataset) -> DecisionTree {
         assert!(d.num_rows() > 0, "cannot fit a tree on an empty dataset");
+        assert!(
+            d.num_rows() <= u32::MAX as usize,
+            "row count exceeds the u32 index space used by the mining layer"
+        );
         let _t = ppdt_obs::phase("mine");
+        let threads = ppdt_obs::threads(self.threads).min(d.num_attrs()).max(1);
+        ppdt_obs::record_max(ppdt_obs::Counter::MiningThreads, threads as u64);
+        let mut ctx = MineCtx::new(threads);
         let rows: Vec<u32> = (0..d.num_rows() as u32).collect();
-        let mut scratch = Vec::with_capacity(d.num_rows());
-        let root = self.grow(d, rows, 0, &mut scratch);
+        let root = self.grow(d, rows, 0, &mut ctx);
+        ppdt_obs::add(ppdt_obs::Counter::SplitScanRows, ctx.scan_rows);
+        ppdt_obs::add(ppdt_obs::Counter::PoolReuseHits, ctx.pool_hits);
         DecisionTree { root, num_classes: d.num_classes(), criterion: self.params.criterion }
     }
 
-    fn grow(
-        &self,
-        d: &Dataset,
-        rows: Vec<u32>,
-        depth: usize,
-        scratch: &mut Vec<(f64, ClassId)>,
-    ) -> Node {
+    fn grow(&self, d: &Dataset, rows: Vec<u32>, depth: usize, ctx: &mut MineCtx) -> Node {
         let p = &self.params;
         let counts = class_counts(d, &rows);
         let total = rows.len() as u32;
@@ -124,17 +159,18 @@ impl TreeBuilder {
 
         let stop = node_impurity == 0.0 || depth >= p.max_depth || total < p.min_samples_split;
         if !stop {
-            if let Some((attr, split)) = self.best_split(d, &rows, scratch) {
+            if let Some((attr, split)) = self.best_split(d, &rows, ctx) {
                 let decrease = node_impurity - split.score;
                 if decrease > p.min_impurity_decrease {
                     let threshold = match p.threshold_policy {
                         ThresholdPolicy::DataValue => split.left_value,
                         ThresholdPolicy::Midpoint => 0.5 * (split.left_value + split.right_value),
                     };
-                    let (left_rows, right_rows) = partition(d, &rows, attr, split.left_value);
+                    let (left_rows, right_rows) = partition(d, &rows, attr, split.left_value, ctx);
+                    ctx.recycle(rows);
                     debug_assert_eq!(left_rows.len() as u32, split.left_count);
-                    let left = self.grow(d, left_rows, depth + 1, scratch);
-                    let right = self.grow(d, right_rows, depth + 1, scratch);
+                    let left = self.grow(d, left_rows, depth + 1, ctx);
+                    let right = self.grow(d, right_rows, depth + 1, ctx);
                     return Node::Split {
                         attr,
                         threshold,
@@ -146,38 +182,147 @@ impl TreeBuilder {
             }
         }
 
+        ctx.recycle(rows);
         let label = majority(&counts);
         Node::Leaf { label, class_counts: counts }
     }
 
-    /// Best split over all attributes (first attribute wins score ties).
+    /// Best split over all attributes (first attribute wins score
+    /// ties). Large nodes fan the attribute loop out over scoped
+    /// threads; the serial merge below visits the per-range winners in
+    /// ascending attribute order with strict `<`, which is exactly the
+    /// serial loop's first-wins order.
     fn best_split(
         &self,
         d: &Dataset,
         rows: &[u32],
-        scratch: &mut Vec<(f64, ClassId)>,
+        ctx: &mut MineCtx,
     ) -> Option<(AttrId, AttrSplit)> {
         let p = &self.params;
+        let m = d.num_attrs();
+        ctx.scan_rows += (rows.len() * m) as u64;
+        let threads = ctx.threads.min(m);
+        if threads <= 1 || rows.len() * m < PARALLEL_MIN_CELLS {
+            return best_split_range(d, rows, 0..m, p, &mut ctx.scratch[0]);
+        }
+
+        let chunk_len = m.div_ceil(threads);
+        let num_chunks = m.div_ceil(chunk_len);
+        let mut slots: Vec<Option<(AttrId, AttrSplit)>> = (0..num_chunks).map(|_| None).collect();
+        let result = crossbeam::thread::scope(|scope| {
+            for ((t, slot), scratch) in slots.iter_mut().enumerate().zip(ctx.scratch.iter_mut()) {
+                let start = t * chunk_len;
+                let end = (start + chunk_len).min(m);
+                scope.spawn(move |_| {
+                    *slot = best_split_range(d, rows, start..end, p, scratch);
+                });
+            }
+        });
+        if let Err(payload) = result {
+            // Re-raise the worker's panic on the caller thread: `fit`
+            // is a panicking API, so the payload (e.g. a NaN value
+            // assertion) must surface unchanged, not be swallowed or
+            // wrapped.
+            std::panic::resume_unwind(payload);
+        }
+
         let mut best: Option<(AttrId, AttrSplit)> = None;
-        for a in d.schema().attrs() {
-            scratch.clear();
-            let col = d.column(a);
-            scratch.extend(rows.iter().map(|&r| (col[r as usize], d.label(r as usize))));
-            scratch.sort_unstable_by(|x, y| x.0.total_cmp(&y.0));
-            if let Some(s) = best_split_sorted(
-                scratch,
-                d.num_classes(),
-                p.criterion,
-                p.candidate_policy,
-                p.min_samples_leaf,
-            ) {
-                if best.as_ref().is_none_or(|(_, b)| s.score < b.score) {
-                    best = Some((a, s));
-                }
+        for cand in slots.into_iter().flatten() {
+            if best.as_ref().is_none_or(|(_, b)| cand.1.score < b.score) {
+                best = Some(cand);
             }
         }
         best
     }
+}
+
+/// Reusable working memory for one `fit` call: per-worker sort
+/// scratch and a pool of retired row-index vectors, so the recursive
+/// partitioning allocates O(tree depth) vectors instead of O(nodes).
+struct MineCtx {
+    /// Resolved worker count (≥ 1).
+    threads: usize,
+    /// One sort scratch per worker.
+    scratch: Vec<SplitScratch>,
+    /// Retired row-index vectors awaiting reuse by `partition`.
+    row_pool: Vec<Vec<u32>>,
+    /// `(row, attribute)` pairs visited by split search.
+    scan_rows: u64,
+    /// Buffers served from `row_pool` instead of a fresh allocation.
+    pool_hits: u64,
+}
+
+impl MineCtx {
+    fn new(threads: usize) -> Self {
+        let mut scratch = Vec::new();
+        scratch.resize_with(threads, SplitScratch::default);
+        MineCtx { threads, scratch, row_pool: Vec::new(), scan_rows: 0, pool_hits: 0 }
+    }
+
+    /// A cleared row-index vector, recycled from the pool when one is
+    /// available.
+    fn take_rows(&mut self) -> Vec<u32> {
+        match self.row_pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                self.pool_hits += 1;
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a row-index vector to the pool once its node is done.
+    fn recycle(&mut self, v: Vec<u32>) {
+        if v.capacity() > 0 {
+            self.row_pool.push(v);
+        }
+    }
+}
+
+/// Per-worker sort scratch for one attribute scan.
+#[derive(Default)]
+struct SplitScratch {
+    /// `(value, label)` pairs gathered in row order.
+    pairs: Vec<(f64, ClassId)>,
+    /// Sorted-order index buffer (`ppdt_data::sorted_order_by_value`).
+    order: Vec<u32>,
+    /// Pairs permuted into ascending value order.
+    sorted: Vec<(f64, ClassId)>,
+}
+
+/// The serial split search over a contiguous attribute range,
+/// ascending, first-wins on exact score ties.
+fn best_split_range(
+    d: &Dataset,
+    rows: &[u32],
+    attrs: std::ops::Range<usize>,
+    p: &TreeParams,
+    scratch: &mut SplitScratch,
+) -> Option<(AttrId, AttrSplit)> {
+    let mut best: Option<(AttrId, AttrSplit)> = None;
+    for a in attrs {
+        let a = AttrId(a);
+        let col = d.column(a);
+        scratch.pairs.clear();
+        scratch.pairs.extend(rows.iter().map(|&r| (col[r as usize], d.label(r as usize))));
+        ppdt_data::sorted_order_by_value(&scratch.pairs, |pr| pr.0, &mut scratch.order)
+            .expect("row count fits u32 (asserted at fit entry)");
+        scratch.sorted.clear();
+        scratch.sorted.extend(scratch.order.iter().map(|&i| scratch.pairs[i as usize]));
+        if let Some(s) = best_split_sorted(
+            &scratch.sorted,
+            d.num_classes(),
+            p.criterion,
+            p.candidate_policy,
+            p.min_samples_leaf,
+        ) {
+            if best.as_ref().is_none_or(|(_, b)| s.score < b.score) {
+                best = Some((a, s));
+            }
+        }
+    }
+    best
 }
 
 fn class_counts(d: &Dataset, rows: &[u32]) -> Vec<u32> {
@@ -199,11 +344,18 @@ fn majority(counts: &[u32]) -> ClassId {
 }
 
 /// Partitions `rows` into (≤ left_value, > left_value) on `attr`,
-/// preserving relative row order (determinism).
-fn partition(d: &Dataset, rows: &[u32], attr: AttrId, left_value: f64) -> (Vec<u32>, Vec<u32>) {
+/// preserving relative row order (determinism). The output vectors
+/// come from the context's reuse pool when available.
+fn partition(
+    d: &Dataset,
+    rows: &[u32],
+    attr: AttrId,
+    left_value: f64,
+    ctx: &mut MineCtx,
+) -> (Vec<u32>, Vec<u32>) {
     let col = d.column(attr);
-    let mut left = Vec::new();
-    let mut right = Vec::new();
+    let mut left = ctx.take_rows();
+    let mut right = ctx.take_rows();
     for &r in rows {
         if col[r as usize] <= left_value {
             left.push(r);

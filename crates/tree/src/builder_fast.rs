@@ -7,6 +7,18 @@
 //! single `O(m · n)` pass over the presorted orders, dispatching rows
 //! to their current node and maintaining per-node split-search state.
 //!
+//! The per-level pass is parallelized **attribute-wise**, exactly as
+//! the SLIQ/SPRINT papers prescribe: attributes are split into
+//! contiguous ascending ranges, one scoped worker thread per range,
+//! and each worker keeps its per-node scan state in disjoint
+//! `chunks_mut` slices of flat arenas (class histograms as one
+//! `workers × active_nodes × classes` `Vec<u32>`, reused across
+//! levels). Because every worker scans its attributes in ascending
+//! order with strict `<` first-wins, and the serial merge visits the
+//! per-worker winners in ascending attribute-range order with the same
+//! strict `<`, the global attr-major first-wins tie-break is preserved
+//! bit for bit — the tree is independent of the thread count.
+//!
 //! On bushy trees (node subsets shrink geometrically) the recursive
 //! builder's re-sorts are cheap and its cache locality wins — measure
 //! before switching (`benches/tree_build.rs` compares both). The
@@ -17,17 +29,21 @@
 //! tie-breaking), so the two implementations cross-validate each
 //! other — the main value of keeping both.
 
+use std::ops::Range;
+
 use ppdt_data::{AttrId, ClassId, Dataset};
 
-use crate::builder::{ThresholdPolicy, TreeBuilder, TreeParams};
+use crate::builder::{ThresholdPolicy, TreeBuilder, TreeParams, PARALLEL_MIN_CELLS};
 use crate::split::CandidatePolicy;
 use crate::tree::{DecisionTree, Node};
 
 /// Split-search state for one active node while scanning one
-/// attribute's sorted order.
-struct ScanState {
-    /// Accumulated class histogram of rows seen so far (left side).
-    left: Vec<u32>,
+/// attribute's sorted order. `Copy` so a level's states live in one
+/// flat arena refilled with `slice::fill` — no per-node allocation.
+/// The class histograms that the old per-node `ScanState` carried as
+/// `Vec`s live in separate flat arenas indexed by the same slot.
+#[derive(Clone, Copy)]
+struct NodeScan {
     /// Rows seen so far.
     left_n: u32,
     /// Value of the group currently being consumed.
@@ -39,12 +55,18 @@ struct ScanState {
     /// Pending boundary between the previous and current group,
     /// evaluable once the current group completes (the boundary's
     /// right-group mono status is `cur_mono` at that moment).
-    pending: Option<Pending>,
+    pending: Option<PendingMeta>,
 }
 
-struct Pending {
-    /// Left histogram snapshot at the boundary.
-    left: Vec<u32>,
+impl NodeScan {
+    const EMPTY: NodeScan =
+        NodeScan { left_n: 0, cur_value: f64::NAN, cur_mono: None, started: false, pending: None };
+}
+
+/// A pending boundary's scalar state; its left-histogram snapshot
+/// lives in the pending arena at the node's slot.
+#[derive(Clone, Copy)]
+struct PendingMeta {
     /// Rows on the left of the boundary.
     left_n: u32,
     /// Largest value on the left.
@@ -57,7 +79,7 @@ struct Pending {
 
 /// Best split found for a node so far (attr-major, then boundary-major
 /// first-wins tie-breaking, matching `best_split_sorted`).
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 struct BestSplit {
     attr: AttrId,
     score: f64,
@@ -75,26 +97,47 @@ struct WorkNode {
     split: Option<BestSplit>,
 }
 
+/// Clears and refills a reusable arena, counting a pool hit when the
+/// existing capacity was enough (no fresh allocation).
+fn reuse_arena<T: Copy>(arena: &mut Vec<T>, len: usize, fill: T, pool_hits: &mut u64) {
+    if arena.capacity() >= len && !arena.is_empty() {
+        *pool_hits += 1;
+    }
+    arena.clear();
+    arena.resize(len, fill);
+}
+
 impl TreeBuilder {
     /// Trains the same tree as [`TreeBuilder::fit`] — bit for bit —
     /// using the presorted breadth-first algorithm (see the module
-    /// docs for when this wins).
+    /// docs for when this wins, and for why the attribute-wise worker
+    /// fan-out cannot change the result).
     ///
     /// # Panics
     /// Panics on an empty dataset.
     pub fn fit_presorted(&self, d: &Dataset) -> DecisionTree {
         assert!(d.num_rows() > 0, "cannot fit a tree on an empty dataset");
+        assert!(
+            d.num_rows() <= u32::MAX as usize,
+            "row count exceeds the u32 index space used by the mining layer"
+        );
+        let _t = ppdt_obs::phase("mine");
         let p = *self.params();
         let n = d.num_rows();
         let k = d.num_classes();
         let m = d.num_attrs();
+        let threads = ppdt_obs::threads(self.threads).min(m).max(1);
+        ppdt_obs::record_max(ppdt_obs::Counter::MiningThreads, threads as u64);
 
-        // One global sort per attribute.
+        // One global sort per attribute. Stability does not matter for
+        // the scan (only group histograms are consumed), so the shared
+        // helper's index tie-break is merely a determinism bonus.
         let orders: Vec<Vec<u32>> = (0..m)
             .map(|a| {
                 let col = d.column(AttrId(a));
-                let mut order: Vec<u32> = (0..n as u32).collect();
-                order.sort_unstable_by(|&i, &j| col[i as usize].total_cmp(&col[j as usize]));
+                let mut order = Vec::new();
+                ppdt_data::sorted_order_by_value(col, |&v| v, &mut order)
+                    .expect("row count fits u32 (asserted at fit entry)");
                 order
             })
             .collect();
@@ -113,107 +156,138 @@ impl TreeBuilder {
         }];
         let mut node_of_row = vec![0u32; n];
 
+        // Per-level working memory, reused (not reallocated) across
+        // levels. The histogram/meta/best arenas hold `workers`
+        // disjoint sub-arenas split via `chunks_mut`.
+        let workers = if threads > 1 && n * m >= PARALLEL_MIN_CELLS { threads } else { 1 };
+        let chunk_len = m.div_ceil(workers);
+        let nw = m.div_ceil(chunk_len);
+        let mut active_ids: Vec<u32> = Vec::new();
+        let mut slot_of_node: Vec<u32> = Vec::new();
+        let mut totals: Vec<u32> = Vec::new();
+        let mut left_arena: Vec<u32> = Vec::new();
+        let mut pending_arena: Vec<u32> = Vec::new();
+        let mut meta_arena: Vec<NodeScan> = Vec::new();
+        let mut best_arena: Vec<Option<BestSplit>> = Vec::new();
+        let mut scan_slots: Vec<u64> = vec![0; nw];
+        let mut right_buf = Vec::with_capacity(k);
+        let mut pool_hits = 0u64;
+        let mut scan_rows = 0u64;
+
         loop {
             // Frontier: nodes that may still split.
-            let mut any_active = false;
-            for node in nodes.iter_mut() {
-                if node.active {
-                    let total: u32 = node.counts.iter().sum();
-                    let impurity = p.criterion.impurity(&node.counts, total);
-                    if impurity == 0.0 || node.depth >= p.max_depth || total < p.min_samples_split {
-                        node.active = false;
-                    } else {
-                        node.best = None;
-                        any_active = true;
-                    }
+            active_ids.clear();
+            for (id, node) in nodes.iter_mut().enumerate() {
+                if !node.active {
+                    continue;
+                }
+                let total: u32 = node.counts.iter().sum();
+                let impurity = p.criterion.impurity(&node.counts, total);
+                if impurity == 0.0 || node.depth >= p.max_depth || total < p.min_samples_split {
+                    node.active = false;
+                } else {
+                    node.best = None;
+                    active_ids.push(id as u32);
                 }
             }
-            if !any_active {
+            if active_ids.is_empty() {
                 break;
             }
+            let n_active = active_ids.len();
+            slot_of_node.clear();
+            slot_of_node.resize(nodes.len(), u32::MAX);
+            for (slot, &nid) in active_ids.iter().enumerate() {
+                slot_of_node[nid as usize] = slot as u32;
+            }
+            totals.clear();
+            totals.extend(
+                active_ids.iter().map(|&nid| nodes[nid as usize].counts.iter().sum::<u32>()),
+            );
+
+            reuse_arena(&mut left_arena, nw * n_active * k, 0, &mut pool_hits);
+            reuse_arena(&mut pending_arena, nw * n_active * k, 0, &mut pool_hits);
+            reuse_arena(&mut meta_arena, nw * n_active, NodeScan::EMPTY, &mut pool_hits);
+            reuse_arena(&mut best_arena, nw * n_active, None, &mut pool_hits);
 
             // Scan each attribute once; per-node incremental state.
-            for (a, order) in orders.iter().enumerate() {
-                let col = d.column(AttrId(a));
-                let mut states: Vec<Option<ScanState>> = Vec::with_capacity(nodes.len());
-                states.resize_with(nodes.len(), || None);
-
-                for &row in order {
-                    let nid = node_of_row[row as usize] as usize;
-                    if !nodes[nid].active {
-                        continue;
-                    }
-                    let v = col[row as usize];
-                    let c = d.label(row as usize);
-                    let node_counts_total: u32 = nodes[nid].counts.iter().sum();
-                    let state = states[nid].get_or_insert_with(|| ScanState {
-                        left: vec![0; k],
-                        left_n: 0,
-                        cur_value: f64::NAN,
-                        cur_mono: None,
-                        started: false,
-                        pending: None,
-                    });
-
-                    if state.started && v != state.cur_value {
-                        // The current group just completed: its mono
-                        // status is final, so the pending boundary (to
-                        // its left) is now evaluable.
-                        if let Some(pending) = state.pending.take() {
-                            let WorkNode { counts, best, .. } = &mut nodes[nid];
-                            score_boundary(
-                                &pending,
-                                state.cur_mono,
-                                counts,
-                                node_counts_total,
-                                &p,
-                                AttrId(a),
+            // One worker per contiguous ascending attribute range,
+            // each confined to its own arena slices.
+            if nw == 1 {
+                scan_slots[0] = scan_attr_range(
+                    d,
+                    &p,
+                    &orders,
+                    0..m,
+                    &node_of_row,
+                    &slot_of_node,
+                    &nodes,
+                    &totals,
+                    &active_ids,
+                    &mut left_arena,
+                    &mut pending_arena,
+                    &mut meta_arena,
+                    &mut best_arena,
+                    &mut right_buf,
+                    k,
+                );
+            } else {
+                let result = crossbeam::thread::scope(|scope| {
+                    let iter = left_arena
+                        .chunks_mut(n_active * k)
+                        .zip(pending_arena.chunks_mut(n_active * k))
+                        .zip(meta_arena.chunks_mut(n_active))
+                        .zip(best_arena.chunks_mut(n_active))
+                        .zip(scan_slots.iter_mut())
+                        .enumerate();
+                    for (t, ((((left, pending), meta), best), scanned)) in iter {
+                        let start = t * chunk_len;
+                        let end = (start + chunk_len).min(m);
+                        let (orders, node_of_row) = (&orders, &node_of_row);
+                        let (slot_of_node, nodes) = (&slot_of_node, &nodes);
+                        let (totals, active_ids, p) = (&totals, &active_ids, &p);
+                        scope.spawn(move |_| {
+                            let mut right_buf = Vec::with_capacity(k);
+                            *scanned = scan_attr_range(
+                                d,
+                                p,
+                                orders,
+                                start..end,
+                                node_of_row,
+                                slot_of_node,
+                                nodes,
+                                totals,
+                                active_ids,
+                                left,
+                                pending,
+                                meta,
                                 best,
+                                &mut right_buf,
+                                k,
                             );
-                        }
-                        // The boundary after the completed group
-                        // becomes pending.
-                        state.pending = Some(Pending {
-                            left: state.left.clone(),
-                            left_n: state.left_n,
-                            left_value: state.cur_value,
-                            right_value: v,
-                            left_group_mono: state.cur_mono,
                         });
-                        state.cur_value = v;
-                        state.cur_mono = Some(c);
-                    } else if !state.started {
-                        state.started = true;
-                        state.cur_value = v;
-                        state.cur_mono = Some(c);
-                    } else if state.cur_mono != Some(c) {
-                        state.cur_mono = None;
                     }
-
-                    state.left[c.index()] += 1;
-                    state.left_n += 1;
+                });
+                if let Err(payload) = result {
+                    // `fit_presorted` is a panicking API: surface the
+                    // worker's payload unchanged on this thread.
+                    std::panic::resume_unwind(payload);
                 }
+            }
+            scan_rows += scan_slots.iter().sum::<u64>();
 
-                // Scan end: each node's last pending boundary is
-                // evaluable (its right group — the node's final group —
-                // has completed).
-                for (nid, state) in states.iter_mut().enumerate() {
-                    if let Some(state) = state {
-                        if let Some(pending) = state.pending.take() {
-                            let WorkNode { counts, best, .. } = &mut nodes[nid];
-                            let total: u32 = counts.iter().sum();
-                            score_boundary(
-                                &pending,
-                                state.cur_mono,
-                                counts,
-                                total,
-                                &p,
-                                AttrId(a),
-                                best,
-                            );
+            // Serial reduction: merge per-worker winners in ascending
+            // attribute-range order with the same strict `<`, which is
+            // the serial attr-major first-wins order.
+            for (slot, &nid) in active_ids.iter().enumerate() {
+                let mut merged: Option<BestSplit> = None;
+                for w in 0..nw {
+                    if let Some(cand) = best_arena[w * n_active + slot] {
+                        if merged.as_ref().is_none_or(|b| cand.score < b.score) {
+                            merged = Some(cand);
                         }
                     }
                 }
+                nodes[nid as usize].best = merged;
             }
 
             // Materialize accepted splits, then repartition rows.
@@ -260,6 +334,8 @@ impl TreeBuilder {
             }
         }
 
+        ppdt_obs::add(ppdt_obs::Counter::SplitScanRows, scan_rows);
+        ppdt_obs::add(ppdt_obs::Counter::PoolReuseHits, pool_hits);
         DecisionTree {
             root: materialize(&nodes, 0, p.threshold_policy),
             num_classes: k,
@@ -268,42 +344,146 @@ impl TreeBuilder {
     }
 }
 
+/// One worker's per-level scan: every attribute in `attrs` (ascending),
+/// dispatching each presorted row to its node's slot and maintaining
+/// the incremental group/boundary state in the worker's arena slices.
+/// Returns the number of `(row, attribute)` visits performed.
+#[allow(clippy::too_many_arguments)]
+fn scan_attr_range(
+    d: &Dataset,
+    p: &TreeParams,
+    orders: &[Vec<u32>],
+    attrs: Range<usize>,
+    node_of_row: &[u32],
+    slot_of_node: &[u32],
+    nodes: &[WorkNode],
+    totals: &[u32],
+    active_ids: &[u32],
+    left: &mut [u32],
+    pending_left: &mut [u32],
+    meta: &mut [NodeScan],
+    best: &mut [Option<BestSplit>],
+    right_buf: &mut Vec<u32>,
+    k: usize,
+) -> u64 {
+    let mut scanned = 0u64;
+    for a in attrs {
+        let attr = AttrId(a);
+        let col = d.column(attr);
+        left.fill(0);
+        meta.fill(NodeScan::EMPTY);
+
+        for &row in &orders[a] {
+            let nid = node_of_row[row as usize] as usize;
+            let slot = slot_of_node[nid];
+            if slot == u32::MAX {
+                continue;
+            }
+            let slot = slot as usize;
+            scanned += 1;
+            let v = col[row as usize];
+            let c = d.label(row as usize);
+            let hist = slot * k..(slot + 1) * k;
+            let st = &mut meta[slot];
+
+            if st.started && v != st.cur_value {
+                // The current group just completed: its mono status is
+                // final, so the pending boundary (to its left) is now
+                // evaluable.
+                if let Some(pm) = st.pending.take() {
+                    score_boundary(
+                        &pending_left[hist.clone()],
+                        &pm,
+                        st.cur_mono,
+                        &nodes[nid].counts,
+                        totals[slot],
+                        p,
+                        attr,
+                        &mut best[slot],
+                        right_buf,
+                    );
+                }
+                // The boundary after the completed group becomes
+                // pending; snapshot the left histogram at this point.
+                pending_left[hist.clone()].copy_from_slice(&left[hist.clone()]);
+                st.pending = Some(PendingMeta {
+                    left_n: st.left_n,
+                    left_value: st.cur_value,
+                    right_value: v,
+                    left_group_mono: st.cur_mono,
+                });
+                st.cur_value = v;
+                st.cur_mono = Some(c);
+            } else if !st.started {
+                st.started = true;
+                st.cur_value = v;
+                st.cur_mono = Some(c);
+            } else if st.cur_mono != Some(c) {
+                st.cur_mono = None;
+            }
+
+            left[slot * k + c.index()] += 1;
+            st.left_n += 1;
+        }
+
+        // Scan end: each node's last pending boundary is evaluable
+        // (its right group — the node's final group — has completed).
+        for slot in 0..meta.len() {
+            let st = &mut meta[slot];
+            if let Some(pm) = st.pending.take() {
+                let nid = active_ids[slot] as usize;
+                score_boundary(
+                    &pending_left[slot * k..(slot + 1) * k],
+                    &pm,
+                    st.cur_mono,
+                    &nodes[nid].counts,
+                    totals[slot],
+                    p,
+                    attr,
+                    &mut best[slot],
+                    right_buf,
+                );
+            }
+        }
+    }
+    scanned
+}
+
 /// Scores one candidate boundary against the node's running best,
 /// replicating `best_split_sorted`'s candidate filter and strict
 /// first-wins tie-breaking (boundaries arrive in order; attributes in
-/// order).
+/// order within each worker; workers merge in order).
 #[allow(clippy::too_many_arguments)]
 fn score_boundary(
-    pending: &Pending,
+    pending_left: &[u32],
+    pm: &PendingMeta,
     right_group_mono: Option<ClassId>,
     node_counts: &[u32],
     total: u32,
     p: &TreeParams,
     attr: AttrId,
     best: &mut Option<BestSplit>,
+    right_buf: &mut Vec<u32>,
 ) {
     let inside_run = match p.candidate_policy {
         CandidatePolicy::AllBoundaries => false,
         CandidatePolicy::RunBoundaries => {
-            matches!((pending.left_group_mono, right_group_mono), (Some(a), Some(b)) if a == b)
+            matches!((pm.left_group_mono, right_group_mono), (Some(a), Some(b)) if a == b)
         }
     };
-    let left_n = pending.left_n;
+    let left_n = pm.left_n;
     let right_n = total - left_n;
     if inside_run || left_n < p.min_samples_leaf || right_n < p.min_samples_leaf {
         return;
     }
-    let right: Vec<u32> = node_counts.iter().zip(&pending.left).map(|(&t, &l)| t - l).collect();
-    let score = (f64::from(left_n) * p.criterion.impurity(&pending.left, left_n)
-        + f64::from(right_n) * p.criterion.impurity(&right, right_n))
+    right_buf.clear();
+    right_buf.extend(node_counts.iter().zip(pending_left).map(|(&t, &l)| t - l));
+    let score = (f64::from(left_n) * p.criterion.impurity(pending_left, left_n)
+        + f64::from(right_n) * p.criterion.impurity(right_buf, right_n))
         / f64::from(total);
     if best.as_ref().is_none_or(|b| score < b.score) {
-        *best = Some(BestSplit {
-            attr,
-            score,
-            left_value: pending.left_value,
-            right_value: pending.right_value,
-        });
+        *best =
+            Some(BestSplit { attr, score, left_value: pm.left_value, right_value: pm.right_value });
     }
 }
 

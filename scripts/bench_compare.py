@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two mining-trajectory reports (see scripts/bench_trajectory.sh).
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
+    bench_compare.py --self-check
+
+Exits nonzero when any timing shared by both reports regressed by more
+than the tolerance (candidate slower than baseline * (1 + tolerance)).
+Timings are matched on (dataset, builder, threads); cases or thread
+counts present in only one report are listed but not gated, so the
+trajectory can grow new shapes without breaking old baselines.
+
+``--self-check`` verifies the gate itself: a report compared against
+itself must pass, and a synthetic 20%-regressed copy must fail.
+"""
+
+import copy
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("trajectory_schema_version") != 1:
+        sys.exit(f"{path}: unsupported trajectory_schema_version "
+                 f"{report.get('trajectory_schema_version')!r}")
+    return report
+
+
+def timing_map(report):
+    """{(dataset, builder, threads): millis} over all cases."""
+    out = {}
+    for case in report["cases"]:
+        for t in case["timings"]:
+            out[(case["dataset"], t["builder"], t["threads"])] = t["millis"]
+    return out
+
+
+def compare(baseline, candidate, tolerance):
+    """Returns a list of human-readable regression strings."""
+    base = timing_map(baseline)
+    cand = timing_map(candidate)
+    regressions = []
+    for key in sorted(base.keys() & cand.keys()):
+        b, c = base[key], cand[key]
+        if c > b * (1.0 + tolerance):
+            dataset, builder, threads = key
+            regressions.append(
+                f"{dataset} {builder} threads={threads}: "
+                f"{b:.2f} ms -> {c:.2f} ms (+{100.0 * (c / b - 1.0):.1f}%)")
+    for key in sorted(base.keys() ^ cand.keys()):
+        side = "baseline" if key in base else "candidate"
+        print(f"note: {key} only in {side}; not gated")
+    return regressions
+
+
+def self_check():
+    report = {
+        "trajectory_schema_version": 1,
+        "cases": [{
+            "dataset": "synthetic@1",
+            "timings": [
+                {"builder": "recursive", "threads": 1, "millis": 100.0},
+                {"builder": "presorted", "threads": 2, "millis": 40.0},
+            ],
+        }],
+    }
+    if compare(report, report, 0.10):
+        sys.exit("self-check FAILED: identical reports flagged a regression")
+    slow = copy.deepcopy(report)
+    for t in slow["cases"][0]["timings"]:
+        t["millis"] *= 1.20
+    if not compare(report, slow, 0.10):
+        sys.exit("self-check FAILED: 20% regression not flagged at 10% tolerance")
+    print("self-check passed: identity clean, 20% regression flagged")
+
+
+def main(argv):
+    if argv == ["--self-check"]:
+        self_check()
+        return
+    tolerance = 0.10
+    if "--tolerance" in argv:
+        i = argv.index("--tolerance")
+        tolerance = float(argv[i + 1])
+        del argv[i:i + 2]
+    if len(argv) != 2:
+        sys.exit(__doc__.strip())
+    baseline, candidate = load(argv[0]), load(argv[1])
+    regressions = compare(baseline, candidate, tolerance)
+    if regressions:
+        print(f"REGRESSIONS (> {100 * tolerance:.0f}% over baseline):")
+        for r in regressions:
+            print(f"  {r}")
+        sys.exit(1)
+    print(f"ok: no timing regressed more than {100 * tolerance:.0f}%")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the committed mining benchmark trajectory
+# (BENCH_PR3.json) via the `mining_speed` binary. See BENCHMARKS.md
+# "Trajectory" for the schema and the regression gate
+# (scripts/bench_compare.py).
+#
+# Usage: scripts/bench_trajectory.sh [--smoke] [--out PATH]
+#
+#   --smoke   tiny datasets / single repetition (CI wiring check;
+#             numbers are not comparable to a full run)
+#   --out     report path (default: BENCH_PR3.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_PR3.json"
+smoke=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=(--smoke); shift ;;
+    --out) out="${2:?--out needs a path}"; shift 2 ;;
+    *) echo "unknown argument $1; usage: $0 [--smoke] [--out PATH]" >&2; exit 2 ;;
+  esac
+done
+
+cargo build --release -q -p ppdt-bench --bin mining_speed
+./target/release/mining_speed "${smoke[@]}" --json "$out"
+echo "trajectory written to $out"

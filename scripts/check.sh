@@ -23,4 +23,11 @@ cargo test -p ppdt-transform --test fault_injection -q
 echo "== panic gate (library code must use typed errors)"
 python3 scripts/panic_gate.py
 
+echo "== bench trajectory (smoke) + regression gate self-check"
+python3 scripts/bench_compare.py --self-check
+smoke_out="$(mktemp /tmp/ppdt_traj_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+scripts/bench_trajectory.sh --smoke --out "$smoke_out"
+python3 scripts/bench_compare.py BENCH_PR3.json BENCH_PR3.json
+
 echo "== all checks passed"
