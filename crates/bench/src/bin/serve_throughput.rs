@@ -1,0 +1,190 @@
+//! `serve_throughput` — loopback throughput of the `ppdt-serve`
+//! custodian daemon.
+//!
+//! Starts an in-process [`ppdt_serve::Server`], stores a key, then
+//! drives batched `POST /v1/encode` (CSV datasets) and
+//! `POST /v1/classify` (raw query rows against the mined `T'`) from
+//! several concurrent loopback clients, reporting rows/second and the
+//! serve-layer counters. Emits a [`ppdt_bench::report::BenchReport`]
+//! (schema v2) under `--json` — `BENCH_PR4.json` at the repo root is
+//! the committed run; `scripts/bench_trajectory.sh --serve` wraps this
+//! binary and `scripts/bench_compare.py` gates `_per_sec` headlines.
+//!
+//! Usage: `serve_throughput [--smoke] [--seed N] [--clients N]
+//! [--iters N] [--json PATH]`
+
+use std::time::Instant;
+
+use ppdt_bench::report::BenchReport;
+use ppdt_bench::HarnessConfig;
+use ppdt_data::csv::{parse_csv, to_csv};
+use ppdt_data::gen::{covertype_like, CovertypeConfig};
+use ppdt_data::Dataset;
+use ppdt_serve::handlers::{ClassifyRequest, EncodeRequest, StoreKeyRequest, StoreKeyResponse};
+use ppdt_serve::{request, KeyStore, Server, ServerConfig};
+use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_tree::TreeBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Opts {
+    smoke: bool,
+    seed: u64,
+    clients: usize,
+    iters: usize,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_throughput [--smoke] [--seed N] [--clients N] [--iters N] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts { smoke: false, seed: 7, clients: 4, iters: 0, json: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => usage(),
+            },
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => opts.clients = v,
+                _ => usage(),
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => opts.iters = v,
+                _ => usage(),
+            },
+            "--json" => match it.next() {
+                Some(v) => opts.json = Some(v),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if opts.iters == 0 {
+        opts.iters = if opts.smoke { 2 } else { 12 };
+    }
+    opts
+}
+
+fn rows_of(d: &Dataset) -> Vec<Vec<f64>> {
+    (0..d.num_rows()).map(|i| d.schema().attrs().map(|a| d.column(a)[i]).collect()).collect()
+}
+
+/// Fans `opts.clients` loopback clients out over `opts.iters`
+/// sequential requests each, panicking on any non-200, and returns
+/// elapsed seconds.
+fn drive(addr: std::net::SocketAddr, clients: usize, iters: usize, path: &str, body: &str) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                for _ in 0..iters {
+                    let (status, text) =
+                        request(addr, "POST", path, body).expect("loopback request");
+                    assert_eq!(status, 200, "POST {path}: {text}");
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = parse_args();
+    ppdt_obs::set_enabled(true);
+
+    let scale = if opts.smoke { 0.001 } else { 0.01 };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let d = covertype_like(&mut rng, &CovertypeConfig::at_scale(scale));
+    let (key, d_prime) =
+        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode dataset");
+    let t_prime = TreeBuilder::default().fit(&d_prime);
+
+    let dir = std::env::temp_dir().join(format!("ppdt-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = KeyStore::open(dir.clone()).expect("open keystore");
+    let cfg = ServerConfig { queue_capacity: 4 * opts.clients.max(16), ..ServerConfig::default() };
+    let server = Server::bind(cfg, store).expect("bind server");
+    let addr = server.addr();
+    let workers = server.workers();
+    let metrics = server.metrics();
+    let shutdown = server.shutdown_flag();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let payload = serde_json::to_string(&StoreKeyRequest { key }).expect("serialize key request");
+    let (status, text) = request(addr, "POST", "/v1/keys", &payload).expect("store key");
+    assert_eq!(status, 201, "{text}");
+    let stored: StoreKeyResponse = serde_json::from_str(&text).expect("store response");
+
+    // Batched encode: each request carries the whole CSV relation.
+    let encode_body = serde_json::to_string(&EncodeRequest {
+        key_id: stored.key_id.clone(),
+        csv: Some(to_csv(&d)),
+        rows: None,
+    })
+    .expect("serialize encode request");
+    let encode_secs = drive(addr, opts.clients, opts.iters, "/v1/encode", &encode_body);
+    let encode_requests = (opts.clients * opts.iters) as f64;
+    let encode_rows = encode_requests * d.num_rows() as f64;
+
+    // Batched classify: each request carries every query row.
+    let classify_body = serde_json::to_string(&ClassifyRequest {
+        key_id: stored.key_id.clone(),
+        tree: t_prime,
+        rows: rows_of(&d),
+    })
+    .expect("serialize classify request");
+    let classify_secs = drive(addr, opts.clients, opts.iters, "/v1/classify", &classify_body);
+    let classify_requests = (opts.clients * opts.iters) as f64;
+    let classify_rows = classify_requests * d.num_rows() as f64;
+
+    // Sanity: one encoded batch parses back to the right shape.
+    let (status, text) = request(addr, "POST", "/v1/encode", &encode_body).expect("final encode");
+    assert_eq!(status, 200);
+    let echoed: serde::Value = serde_json::from_str(&text).expect("encode response");
+    let csv_back = echoed.get("csv").and_then(|c| c.as_str()).expect("csv in response");
+    let d_back = parse_csv(csv_back).expect("transformed CSV parses");
+    assert_eq!(d_back.num_rows(), d.num_rows());
+
+    let snap = metrics.snapshot();
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon.join().expect("daemon thread").expect("daemon run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let encode_rps = encode_rows / encode_secs;
+    let classify_rps = classify_rows / classify_secs;
+    println!(
+        "serve_throughput: {} rows x {} attrs, {} workers, {} clients x {} iters",
+        d.num_rows(),
+        d.num_attrs(),
+        workers,
+        opts.clients,
+        opts.iters
+    );
+    println!(
+        "  encode:   {encode_requests:>6} requests, {encode_rows:>9} rows in {encode_secs:>7.3}s  -> {encode_rps:>12.0} rows/s"
+    );
+    println!(
+        "  classify: {classify_requests:>6} requests, {classify_rows:>9} rows in {classify_secs:>7.3}s  -> {classify_rps:>12.0} rows/s"
+    );
+    println!("  serve counters: rejected={} in_flight_peak={}", snap.rejected, snap.in_flight_peak);
+
+    let cfg = HarnessConfig { seed: opts.seed, scale, trials: opts.iters, json: opts.json.clone() };
+    let mut report = BenchReport::new(&cfg, "serve_throughput");
+    report.push("serve_encode_rows_per_sec", encode_rps);
+    report.push("serve_classify_rows_per_sec", classify_rps);
+    report.push("serve_clients", opts.clients as f64);
+    report.push("serve_workers", workers as f64);
+    report.push("serve_requests_encode", encode_requests);
+    report.push("serve_requests_classify", classify_requests);
+    report.push("serve_rejected", snap.rejected as f64);
+    report.push("serve_in_flight_peak", snap.in_flight_peak as f64);
+    report.write_if_requested(&cfg).expect("write report");
+}

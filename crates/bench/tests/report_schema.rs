@@ -8,7 +8,7 @@ use ppdt_bench::HarnessConfig;
 
 /// Every `snapshot()` counter name, in emission order — the contract
 /// `BENCHMARKS.md` documents and downstream tooling greps for.
-const GOLDEN_COUNTERS: [&str; 11] = [
+const GOLDEN_COUNTERS: [&str; 15] = [
     "rows_encoded",
     "pieces_drawn",
     "boundaries_scanned",
@@ -20,6 +20,10 @@ const GOLDEN_COUNTERS: [&str; 11] = [
     "split_scan_rows",
     "mining_threads",
     "pool_reuse_hits",
+    "http_requests",
+    "http_rejected",
+    "http_errors",
+    "http_in_flight_peak",
 ];
 
 fn tmp(name: &str) -> std::path::PathBuf {

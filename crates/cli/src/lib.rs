@@ -14,6 +14,9 @@
 //! ppdt report <tree.json> --data <data.csv>   rules, importance, rendering
 //! ppdt audit  <data.csv> [--key K.json] [--json report.json]
 //!             [--trials N] [--seed N]
+//! ppdt serve  --keystore-dir <dir> [--addr 127.0.0.1:7070]
+//!             [--workers N] [--queue N] [--deadline-ms N]
+//!             [--max-body-mb N] [--debug-endpoints]
 //! ```
 //!
 //! The command surface mirrors the custodian workflow of the paper's
@@ -31,16 +34,19 @@
 //!
 //! Failures carry a typed [`PpdtError`]; `main` maps its
 //! [`ErrorCategory`](ppdt_error::ErrorCategory) to a stable exit code
+//! via [`ErrorCategory::exit_code`](ppdt_error::ErrorCategory::exit_code),
+//! and `ppdt serve` maps the same categories to HTTP statuses via
+//! [`ErrorCategory::http_status`](ppdt_error::ErrorCategory::http_status)
 //! (see the README error-code table):
 //!
-//! | exit | meaning |
-//! |-----:|---------|
-//! | 1 | internal error (a bug) |
-//! | 2 | usage / invalid configuration |
-//! | 3 | I/O failure |
-//! | 4 | corrupt key (audit failure, key/data mismatch) |
-//! | 5 | incompatible mined tree |
-//! | 6 | corrupt dataset |
+//! | exit | HTTP | meaning |
+//! |-----:|-----:|---------|
+//! | 1 | 500 | internal error (a bug) |
+//! | 2 | 400 | usage / invalid configuration |
+//! | 3 | 500 | I/O failure |
+//! | 4 | 409 | corrupt key (audit failure, key/data mismatch) |
+//! | 5 | 424 | incompatible mined tree |
+//! | 6 | 422 | corrupt dataset |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -121,6 +127,8 @@ usage: ppdt <subcommand> [args]
   decode-tree <tree.json> --key <key.json> --data <orig.csv> --out <decoded.json> [--render]
   report <tree.json> --data <data.csv>
   audit <data.csv> [--key <key.json>] [--json <report.json>] [--trials N] [--seed N]
+  serve --keystore-dir <dir> [--addr 127.0.0.1:7070] [--workers N] [--queue N]
+        [--deadline-ms N] [--max-body-mb N] [--debug-endpoints]
 any subcommand accepts --metrics (phase timings + counters on stderr)
 and --lenient (skip malformed CSV rows instead of failing)
 exit codes: 1 internal, 2 usage, 3 io, 4 corrupt key, 5 incompatible tree, 6 corrupt data
@@ -190,6 +198,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "decode-tree" => cmd_decode_tree(&a),
         "report" => cmd_report(&a),
         "audit" => cmd_audit(&a),
+        "serve" => cmd_serve(&a),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -477,6 +486,53 @@ fn audit_key_mode(a: &Args, d: &Dataset, key_path: &str) -> Result<(), CliError>
             report.first_error().unwrap_or_else(|| PpdtError::key_corrupt("audit failed")),
         ))
     }
+}
+
+/// `ppdt serve`: run the custodian daemon until SIGINT/SIGTERM, then
+/// drain gracefully. Prints one parseable line to stdout once bound:
+/// `ppdt-serve listening on <addr> ...` — scripts read the address
+/// from it (`--addr 127.0.0.1:0` binds an OS-assigned port).
+fn cmd_serve(a: &Args) -> Result<(), CliError> {
+    let keystore_dir = a.required("keystore-dir")?;
+    let addr = a.flag("addr").unwrap_or("127.0.0.1:7070").to_string();
+    let workers: usize = a.parsed("workers", 0)?;
+    let queue: usize = a.parsed("queue", 64)?;
+    let deadline_ms: u64 = a.parsed("deadline-ms", 10_000)?;
+    let max_body_mb: usize = a.parsed("max-body-mb", 16)?;
+    if queue == 0 {
+        return Err(CliError::usage("--queue must be at least 1"));
+    }
+    if deadline_ms == 0 {
+        return Err(CliError::usage("--deadline-ms must be at least 1"));
+    }
+    if max_body_mb == 0 {
+        return Err(CliError::usage("--max-body-mb must be at least 1"));
+    }
+    let cfg = ppdt_serve::ServerConfig {
+        addr,
+        workers,
+        queue_capacity: queue,
+        request_deadline: std::time::Duration::from_millis(deadline_ms),
+        max_body_bytes: max_body_mb * 1024 * 1024,
+        debug_endpoints: a.has("debug-endpoints"),
+        ..Default::default()
+    };
+    let store = ppdt_serve::KeyStore::open(keystore_dir)?;
+    ppdt_serve::signal::install();
+    let server = ppdt_serve::Server::bind(cfg, store)?;
+    println!(
+        "ppdt-serve listening on {} (workers={}, queue={}, keystore={})",
+        server.addr(),
+        server.workers(),
+        queue,
+        keystore_dir
+    );
+    // Scripts wait for the line above before sending requests.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run()?;
+    eprintln!("ppdt-serve drained and stopped");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -806,6 +862,34 @@ bogus,y
         for p in [&data_csv, &dprime_csv, &key_json, &tree_json, &out_json] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        // Missing keystore dir is a usage error before anything binds.
+        let err = run(&s(&["serve"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("keystore-dir"), "{err}");
+        // Degenerate pool/queue/body settings are rejected up front.
+        for bad in
+            [["--queue", "0"], ["--deadline-ms", "0"], ["--max-body-mb", "0"], ["--workers", "x"]]
+        {
+            let mut args = s(&["serve", "--keystore-dir", "/tmp/ppdt-serve-flags"]);
+            args.extend(s(&bad));
+            let err = run(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+        }
+        // An unbindable address surfaces as an I/O failure, not a panic.
+        let err = run(&s(&[
+            "serve",
+            "--keystore-dir",
+            "/tmp/ppdt-serve-flags",
+            "--addr",
+            "256.256.256.256:1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let _ = std::fs::remove_dir_all("/tmp/ppdt-serve-flags");
     }
 
     #[test]

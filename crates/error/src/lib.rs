@@ -11,16 +11,17 @@
 //!
 //! Errors are grouped into [`ErrorCategory`]s, each with a stable,
 //! documented process [`ErrorCategory::exit_code`] used by the `ppdt`
-//! CLI (see the README error-code table):
+//! CLI and a stable [`ErrorCategory::http_status`] used by the
+//! `ppdt-serve` daemon (see the README error-code table):
 //!
-//! | exit | category | meaning |
-//! |-----:|----------|---------|
-//! | 1    | internal | unexpected internal failure (a bug) |
-//! | 2    | usage    | bad arguments / invalid configuration |
-//! | 3    | io       | file system or serialization I/O |
-//! | 4    | corrupt-key | key fails audit, or key/data mismatch |
-//! | 5    | incompatible-tree | mined tree does not fit key or data |
-//! | 6    | corrupt-data | malformed dataset cells / schema |
+//! | exit | HTTP | category | meaning |
+//! |-----:|-----:|----------|---------|
+//! | 1    | 500  | internal | unexpected internal failure (a bug) |
+//! | 2    | 400  | usage    | bad arguments / invalid configuration |
+//! | 3    | 500  | io       | file system or serialization I/O |
+//! | 4    | 409  | corrupt-key | key fails audit, or key/data mismatch |
+//! | 5    | 424  | incompatible-tree | mined tree does not fit key or data |
+//! | 6    | 422  | corrupt-data | malformed dataset cells / schema |
 //!
 //! `PpdtError` is `Serialize`/`Deserialize` so structured reports
 //! (e.g. the audit subsystem's `AuditReport`) can embed errors
@@ -62,6 +63,34 @@ impl ErrorCategory {
             ErrorCategory::CorruptKey => 4,
             ErrorCategory::IncompatibleTree => 5,
             ErrorCategory::CorruptData => 6,
+        }
+    }
+
+    /// The documented HTTP status the `ppdt-serve` daemon answers with
+    /// when a request fails with this category. This is the single
+    /// category→status table for the workspace (the serve crate layers
+    /// transport-level statuses — 404, 405, 413, 431, 503 — on top,
+    /// but never remaps these):
+    ///
+    /// * usage → **400 Bad Request** — the client sent something the
+    ///   endpoint cannot accept;
+    /// * corrupt-data → **422 Unprocessable Content** — the request
+    ///   parsed, but the dataset payload inside it is malformed;
+    /// * corrupt-key → **409 Conflict** — the named server-side key is
+    ///   corrupt or does not match the payload, so the request
+    ///   conflicts with stored state;
+    /// * incompatible-tree → **424 Failed Dependency** — the supplied
+    ///   tree cannot be decoded/routed against the named key;
+    /// * io / internal → **500 Internal Server Error** — the server's
+    ///   own fault, never the client's.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCategory::Usage => 400,
+            ErrorCategory::CorruptData => 422,
+            ErrorCategory::CorruptKey => 409,
+            ErrorCategory::IncompatibleTree => 424,
+            ErrorCategory::Io => 500,
+            ErrorCategory::Internal => 500,
         }
     }
 
@@ -317,6 +346,34 @@ mod tests {
         codes.dedup();
         assert_eq!(codes.len(), cats.len(), "exit codes must be distinct");
         assert!(codes.iter().all(|&c| (1..=6).contains(&c)));
+    }
+
+    #[test]
+    fn every_category_maps_to_the_documented_http_status() {
+        // Exhaustive: consume each category through a match so adding
+        // a variant forces this test (and the table) to be revisited.
+        let all = [
+            ErrorCategory::Usage,
+            ErrorCategory::Io,
+            ErrorCategory::CorruptKey,
+            ErrorCategory::IncompatibleTree,
+            ErrorCategory::CorruptData,
+            ErrorCategory::Internal,
+        ];
+        for cat in all {
+            let expected = match cat {
+                ErrorCategory::Usage => 400,
+                ErrorCategory::CorruptData => 422,
+                ErrorCategory::CorruptKey => 409,
+                ErrorCategory::IncompatibleTree => 424,
+                ErrorCategory::Io | ErrorCategory::Internal => 500,
+            };
+            assert_eq!(cat.http_status(), expected, "{}", cat.name());
+            // Client faults are 4xx, server faults 5xx — nothing else.
+            assert!((400..600).contains(&cat.http_status()), "{}", cat.name());
+            let server_fault = matches!(cat, ErrorCategory::Io | ErrorCategory::Internal);
+            assert_eq!(cat.http_status() >= 500, server_fault, "{}", cat.name());
+        }
     }
 
     #[test]

@@ -111,11 +111,25 @@ pub enum Counter {
     /// (partition row vectors in the recursive builder, per-level scan
     /// arenas in the presorted builder).
     PoolReuseHits,
+    /// HTTP requests fully parsed by the `ppdt-serve` daemon
+    /// (including inline `/healthz` and `/metrics` hits; malformed
+    /// requests that never parse are counted as [`Counter::HttpErrors`]
+    /// only).
+    HttpRequests,
+    /// Requests rejected with `503 Retry-After` by the serve daemon —
+    /// queue-full backpressure plus queue-deadline expiries.
+    HttpRejected,
+    /// Error responses (4xx/5xx other than overload 503s) written by
+    /// the serve daemon.
+    HttpErrors,
+    /// Widest number of requests simultaneously inside the serve
+    /// worker pool (a high-water mark via [`record_max`], not a sum).
+    HttpInFlightPeak,
 }
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 15] = [
         Counter::RowsEncoded,
         Counter::PiecesDrawn,
         Counter::BoundariesScanned,
@@ -127,6 +141,10 @@ impl Counter {
         Counter::SplitScanRows,
         Counter::MiningThreads,
         Counter::PoolReuseHits,
+        Counter::HttpRequests,
+        Counter::HttpRejected,
+        Counter::HttpErrors,
+        Counter::HttpInFlightPeak,
     ];
 
     /// Stable position of this counter in [`Counter::ALL`] and in
@@ -150,6 +168,10 @@ impl Counter {
             Counter::SplitScanRows => "split_scan_rows",
             Counter::MiningThreads => "mining_threads",
             Counter::PoolReuseHits => "pool_reuse_hits",
+            Counter::HttpRequests => "http_requests",
+            Counter::HttpRejected => "http_rejected",
+            Counter::HttpErrors => "http_errors",
+            Counter::HttpInFlightPeak => "http_in_flight_peak",
         }
     }
 }
@@ -424,7 +446,11 @@ mod tests {
                 "audit_violations",
                 "split_scan_rows",
                 "mining_threads",
-                "pool_reuse_hits"
+                "pool_reuse_hits",
+                "http_requests",
+                "http_rejected",
+                "http_errors",
+                "http_in_flight_peak"
             ]
         );
         for (i, c) in Counter::ALL.iter().enumerate() {

@@ -1,0 +1,512 @@
+//! The custodian API: request/response payloads and the pooled
+//! endpoint handlers.
+//!
+//! Every body is JSON; CSV datasets ride inside JSON strings (the
+//! same text `ppdt encode`/`mine` read and write). Handlers never
+//! panic on hostile input — every failure path surfaces as an
+//! [`HttpError`] whose status comes from the workspace category table
+//! ([`ppdt_error::ErrorCategory::http_status`]), plus transport-level
+//! 404/405 for unknown keys and routes.
+
+use ppdt_data::{csv, AttrId, Dataset};
+use ppdt_error::PpdtError;
+use ppdt_transform::{AuditReport, TransformKey};
+use ppdt_tree::{DecisionTree, ThresholdPolicy};
+use serde::{Deserialize, Serialize};
+
+use crate::http::{HttpError, Request, Response};
+use crate::keystore::{KeyEntry, KeyStore};
+
+/// The routable endpoints, used for dispatch, per-endpoint counters,
+/// and phase-timer names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/keys` — store a key, get its content address.
+    StoreKey,
+    /// `GET /v1/keys` — list stored keys with validity.
+    ListKeys,
+    /// `POST /v1/encode` — transform CSV text or raw rows under a key.
+    Encode,
+    /// `POST /v1/classify` — encode query rows and route them through
+    /// a mined tree (custodian-side inference).
+    Classify,
+    /// `POST /v1/decode-tree` — decode a mined tree with a stored key.
+    DecodeTree,
+    /// `POST /v1/audit` — structural audit of a stored key.
+    Audit,
+    /// `GET /healthz` — liveness (answered inline, never queued).
+    Healthz,
+    /// `GET /metrics` — counters (answered inline, never queued).
+    Metrics,
+    /// `POST /v1/debug/sleep` — test-only worker occupier; routed only
+    /// when `ServerConfig::debug_endpoints` is set.
+    DebugSleep,
+}
+
+/// All endpoints, for metrics table construction.
+pub const ENDPOINTS: [Endpoint; 9] = [
+    Endpoint::StoreKey,
+    Endpoint::ListKeys,
+    Endpoint::Encode,
+    Endpoint::Classify,
+    Endpoint::DecodeTree,
+    Endpoint::Audit,
+    Endpoint::Healthz,
+    Endpoint::Metrics,
+    Endpoint::DebugSleep,
+];
+
+impl Endpoint {
+    /// Stable snake_case name used in `/metrics`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::StoreKey => "store_key",
+            Endpoint::ListKeys => "list_keys",
+            Endpoint::Encode => "encode",
+            Endpoint::Classify => "classify",
+            Endpoint::DecodeTree => "decode_tree",
+            Endpoint::Audit => "audit",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::DebugSleep => "debug_sleep",
+        }
+    }
+
+    /// The `ppdt_obs` phase-timer name for this endpoint.
+    pub fn phase_name(self) -> &'static str {
+        match self {
+            Endpoint::StoreKey => "serve.store_key",
+            Endpoint::ListKeys => "serve.list_keys",
+            Endpoint::Encode => "serve.encode",
+            Endpoint::Classify => "serve.classify",
+            Endpoint::DecodeTree => "serve.decode_tree",
+            Endpoint::Audit => "serve.audit",
+            Endpoint::Healthz => "serve.healthz",
+            Endpoint::Metrics => "serve.metrics",
+            Endpoint::DebugSleep => "serve.debug_sleep",
+        }
+    }
+
+    /// Position in [`ENDPOINTS`] (stable metrics index).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether the acceptor answers this endpoint directly instead of
+    /// queueing it: liveness and metrics must keep responding while
+    /// the worker pool is saturated.
+    pub fn is_inline(self) -> bool {
+        matches!(self, Endpoint::Healthz | Endpoint::Metrics)
+    }
+}
+
+/// Routes a parsed request to an endpoint. `debug` enables the
+/// test-only routes.
+pub fn route(req: &Request, debug: bool) -> Result<Endpoint, HttpError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/keys") => Ok(Endpoint::StoreKey),
+        ("GET", "/v1/keys") => Ok(Endpoint::ListKeys),
+        ("POST", "/v1/encode") => Ok(Endpoint::Encode),
+        ("POST", "/v1/classify") => Ok(Endpoint::Classify),
+        ("POST", "/v1/decode-tree") => Ok(Endpoint::DecodeTree),
+        ("POST", "/v1/audit") => Ok(Endpoint::Audit),
+        ("GET", "/healthz") => Ok(Endpoint::Healthz),
+        ("GET", "/metrics") => Ok(Endpoint::Metrics),
+        ("POST", "/v1/debug/sleep") if debug => Ok(Endpoint::DebugSleep),
+        (
+            _,
+            p @ ("/v1/keys" | "/v1/encode" | "/v1/classify" | "/v1/decode-tree" | "/v1/audit"
+            | "/healthz" | "/metrics"),
+        ) => Err(HttpError::method_not_allowed(p)),
+        _ => Err(HttpError::not_found("unknown_route", format!("no such route: {}", req.path))),
+    }
+}
+
+// ---------------------------------------------------------- payloads
+
+/// `POST /v1/keys` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreKeyRequest {
+    /// The key to store (the same JSON `TransformKey::save_json`
+    /// writes).
+    pub key: TransformKey,
+}
+
+/// `POST /v1/keys` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreKeyResponse {
+    /// Content address of the stored key.
+    pub key_id: String,
+    /// Attribute count of the stored key.
+    pub num_attrs: usize,
+    /// False when the identical key was already stored.
+    pub created: bool,
+}
+
+/// `GET /v1/keys` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ListKeysResponse {
+    /// One row per stored envelope.
+    pub keys: Vec<KeyEntry>,
+}
+
+/// `POST /v1/encode` request: exactly one of `csv` / `rows`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EncodeRequest {
+    /// Key to encode under.
+    pub key_id: String,
+    /// A labelled CSV dataset (header + label column, like `ppdt
+    /// encode` reads).
+    pub csv: Option<String>,
+    /// Raw attribute rows (no labels), for batched point encoding.
+    pub rows: Option<Vec<Vec<f64>>>,
+}
+
+/// `POST /v1/encode` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EncodeResponse {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// Rows transformed.
+    pub rows_encoded: u64,
+    /// Transformed CSV (when the request sent `csv`).
+    pub csv: Option<String>,
+    /// Transformed rows (when the request sent `rows`).
+    pub rows: Option<Vec<Vec<f64>>>,
+}
+
+/// `POST /v1/classify` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassifyRequest {
+    /// Key the tree was mined under.
+    pub key_id: String,
+    /// The tree `T'` mined on the transformed data.
+    pub tree: DecisionTree,
+    /// Plaintext query rows (original space, one value per attribute).
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// `POST /v1/classify` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassifyResponse {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// Predicted class ids, one per query row.
+    pub labels: Vec<u16>,
+}
+
+/// `POST /v1/decode-tree` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecodeTreeRequest {
+    /// Key the tree was mined under.
+    pub key_id: String,
+    /// The tree `T'` mined on the transformed data.
+    pub tree: DecisionTree,
+    /// The custodian's original dataset; with it the decode replays
+    /// the data (bit-exact, Theorem 2), without it the blind decode
+    /// is used (training-equivalent).
+    pub csv: Option<String>,
+}
+
+/// `POST /v1/decode-tree` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecodeTreeResponse {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// Whether the replayed (data-backed) decode ran.
+    pub replayed: bool,
+    /// The decoded tree `S`.
+    pub tree: DecisionTree,
+}
+
+/// `POST /v1/audit` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AuditRequestBody {
+    /// Key to audit.
+    pub key_id: String,
+    /// Optional dataset to audit the key against (domain coverage).
+    pub csv: Option<String>,
+}
+
+/// `POST /v1/audit` response. Audit findings are a *report*, not a
+/// failure: a 200 with `passed = false` means the audit ran and the
+/// key is bad.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AuditResponseBody {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// `report.passed()`.
+    pub passed: bool,
+    /// The full structural report (`AuditReport` schema v1).
+    pub report: AuditReport,
+}
+
+/// `POST /v1/debug/sleep` request (test-only).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SleepRequest {
+    /// Milliseconds to hold a worker, capped at 10 000.
+    pub ms: u64,
+}
+
+// ---------------------------------------------------------- handlers
+
+fn parse_body<T: Deserialize>(req: &Request) -> Result<T, HttpError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|e| HttpError::bad_request("invalid_utf8", format!("body is not UTF-8: {e}")))?;
+    serde_json::from_str(text)
+        .map_err(|e| HttpError::bad_request("invalid_json", format!("body does not parse: {e}")))
+}
+
+fn json_response<T: Serialize>(status: u16, value: &T) -> Result<Response, HttpError> {
+    let body = serde_json::to_string(value).map_err(|e| {
+        HttpError::from(PpdtError::internal(format!("response serialization: {e}")))
+    })?;
+    Ok(Response::with_status(status, body))
+}
+
+fn load_key(store: &KeyStore, key_id: &str) -> Result<TransformKey, HttpError> {
+    match store.get(key_id) {
+        Ok(Some(key)) => Ok(key),
+        Ok(None) => {
+            Err(HttpError::not_found("unknown_key", format!("no key stored under {key_id:?}")))
+        }
+        Err(e) => Err(HttpError::from(e)),
+    }
+}
+
+fn parse_csv_body(csv_text: &str) -> Result<Dataset, HttpError> {
+    csv::parse_csv(csv_text).map_err(|e| HttpError::from(PpdtError::from(e)))
+}
+
+fn check_arity(key: &TransformKey, num_attrs: usize) -> Result<(), HttpError> {
+    if key.transforms.len() != num_attrs {
+        return Err(HttpError::from(PpdtError::SchemaMismatch {
+            detail: format!(
+                "key has {} transform(s) but the payload has {} attribute(s)",
+                key.transforms.len(),
+                num_attrs
+            ),
+        }));
+    }
+    Ok(())
+}
+
+/// Encodes one plaintext row in place of the caller's buffer.
+fn encode_row(key: &TransformKey, row: &[f64], row_idx: usize) -> Result<Vec<f64>, HttpError> {
+    if row.len() != key.transforms.len() {
+        return Err(HttpError::from(PpdtError::DataCorrupt {
+            row: Some(row_idx + 1),
+            column: None,
+            detail: format!(
+                "row has {} value(s) but the key has {} transform(s)",
+                row.len(),
+                key.transforms.len()
+            ),
+        }));
+    }
+    row.iter()
+        .enumerate()
+        .map(|(a, &x)| key.encode_value(AttrId(a), x).map_err(HttpError::from))
+        .collect()
+}
+
+/// Dispatches a pooled request. `Endpoint::Healthz`/`Metrics` never
+/// arrive here (the acceptor answers them inline); routing them in is
+/// an internal error by construction.
+pub fn handle(endpoint: Endpoint, req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+    match endpoint {
+        Endpoint::StoreKey => store_key(req, store),
+        Endpoint::ListKeys => list_keys(store),
+        Endpoint::Encode => encode(req, store),
+        Endpoint::Classify => classify(req, store),
+        Endpoint::DecodeTree => decode_tree(req, store),
+        Endpoint::Audit => audit(req, store),
+        Endpoint::DebugSleep => debug_sleep(req),
+        Endpoint::Healthz | Endpoint::Metrics => {
+            Err(HttpError::from(PpdtError::internal("inline endpoint reached the worker pool")))
+        }
+    }
+}
+
+fn store_key(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+    let body: StoreKeyRequest = parse_body(req)?;
+    let num_attrs = body.key.transforms.len();
+    let (key_id, created) = store.put(&body.key).map_err(HttpError::from)?;
+    let status = if created { 201 } else { 200 };
+    json_response(status, &StoreKeyResponse { key_id, num_attrs, created })
+}
+
+fn list_keys(store: &KeyStore) -> Result<Response, HttpError> {
+    let keys = store.list().map_err(HttpError::from)?;
+    json_response(200, &ListKeysResponse { keys })
+}
+
+fn encode(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+    let body: EncodeRequest = parse_body(req)?;
+    // Shape errors are usage errors regardless of whether the key
+    // exists, so validate the payload before touching the store.
+    if body.csv.is_some() == body.rows.is_some() {
+        return Err(HttpError::bad_request(
+            "invalid_payload",
+            "send exactly one of `csv` (a labelled dataset) or `rows` (raw attribute rows)",
+        ));
+    }
+    let key = load_key(store, &body.key_id)?;
+    match (body.csv, body.rows) {
+        (Some(csv_text), None) => {
+            let d = parse_csv_body(&csv_text)?;
+            check_arity(&key, d.num_attrs())?;
+            let mut columns = Vec::with_capacity(d.num_attrs());
+            for a in d.schema().attrs() {
+                let mut col = Vec::with_capacity(d.num_rows());
+                for &x in d.column(a) {
+                    col.push(key.encode_value(a, x).map_err(HttpError::from)?);
+                }
+                columns.push(col);
+            }
+            let d_prime = d.with_columns(columns);
+            ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, d.num_rows() as u64);
+            json_response(
+                200,
+                &EncodeResponse {
+                    key_id: body.key_id,
+                    rows_encoded: d.num_rows() as u64,
+                    csv: Some(csv::to_csv(&d_prime)),
+                    rows: None,
+                },
+            )
+        }
+        (None, Some(rows)) => {
+            let encoded: Vec<Vec<f64>> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| encode_row(&key, row, i))
+                .collect::<Result<_, _>>()?;
+            ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, encoded.len() as u64);
+            json_response(
+                200,
+                &EncodeResponse {
+                    key_id: body.key_id,
+                    rows_encoded: encoded.len() as u64,
+                    csv: None,
+                    rows: Some(encoded),
+                },
+            )
+        }
+        _ => Err(HttpError::bad_request(
+            "invalid_payload",
+            "send exactly one of `csv` (a labelled dataset) or `rows` (raw attribute rows)",
+        )),
+    }
+}
+
+fn classify(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+    let body: ClassifyRequest = parse_body(req)?;
+    let key = load_key(store, &body.key_id)?;
+    body.tree.validate(Some(key.transforms.len())).map_err(HttpError::from)?;
+    key.check_tree(&body.tree).map_err(HttpError::from)?;
+    let mut labels = Vec::with_capacity(body.rows.len());
+    for (i, row) in body.rows.iter().enumerate() {
+        // The custodian encodes the plaintext query point and routes
+        // it through the miner's tree T' — inference without ever
+        // decoding the tree (§5 custodian workflow).
+        let encoded = encode_row(&key, row, i)?;
+        labels.push(body.tree.predict(&encoded).0);
+    }
+    json_response(200, &ClassifyResponse { key_id: body.key_id, labels })
+}
+
+fn decode_tree(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+    let body: DecodeTreeRequest = parse_body(req)?;
+    let key = load_key(store, &body.key_id)?;
+    body.tree.validate(Some(key.transforms.len())).map_err(HttpError::from)?;
+    let (decoded, replayed) = match body.csv {
+        Some(csv_text) => {
+            let d = parse_csv_body(&csv_text)?;
+            check_arity(&key, d.num_attrs())?;
+            (
+                key.decode_tree(&body.tree, ThresholdPolicy::DataValue, &d)
+                    .map_err(HttpError::from)?,
+                true,
+            )
+        }
+        None => (
+            key.decode_tree_blind(&body.tree, ThresholdPolicy::DataValue)
+                .map_err(HttpError::from)?,
+            false,
+        ),
+    };
+    json_response(200, &DecodeTreeResponse { key_id: body.key_id, replayed, tree: decoded })
+}
+
+fn audit(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+    let body: AuditRequestBody = parse_body(req)?;
+    let key = match store.get(&body.key_id) {
+        Ok(Some(key)) => key,
+        Ok(None) => {
+            return Err(HttpError::not_found(
+                "unknown_key",
+                format!("no key stored under {:?}", body.key_id),
+            ))
+        }
+        // get() refuses to *serve* a corrupt key, but the audit
+        // endpoint's whole point is to report on it: fall back to the
+        // raw envelope read failing with the typed error.
+        Err(e) => return Err(HttpError::from(e)),
+    };
+    let report = match body.csv {
+        Some(csv_text) => {
+            let d = parse_csv_body(&csv_text)?;
+            ppdt_transform::audit_key_against(&key, &d)
+        }
+        None => ppdt_transform::audit_key(&key),
+    };
+    let passed = report.passed();
+    json_response(200, &AuditResponseBody { key_id: body.key_id, passed, report })
+}
+
+fn debug_sleep(req: &Request) -> Result<Response, HttpError> {
+    let body: SleepRequest = parse_body(req)?;
+    let ms = body.ms.min(10_000);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    json_response(200, &SleepRequest { ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), body: Vec::new() }
+    }
+
+    fn post(path: &str) -> Request {
+        Request { method: "POST".into(), path: path.into(), body: Vec::new() }
+    }
+
+    #[test]
+    fn routing_table() {
+        assert_eq!(route(&post("/v1/encode"), false).unwrap(), Endpoint::Encode);
+        assert_eq!(route(&get("/healthz"), false).unwrap(), Endpoint::Healthz);
+        assert_eq!(route(&get("/v1/keys"), false).unwrap(), Endpoint::ListKeys);
+        assert_eq!(route(&post("/v1/keys"), false).unwrap(), Endpoint::StoreKey);
+        // Wrong method on a known path is 405, unknown path 404.
+        assert_eq!(route(&get("/v1/encode"), false).unwrap_err().status, 405);
+        assert_eq!(route(&post("/healthz"), false).unwrap_err().status, 405);
+        assert_eq!(route(&get("/nope"), false).unwrap_err().status, 404);
+        // Debug routes exist only when enabled.
+        assert_eq!(route(&post("/v1/debug/sleep"), false).unwrap_err().status, 404);
+        assert_eq!(route(&post("/v1/debug/sleep"), true).unwrap(), Endpoint::DebugSleep);
+    }
+
+    #[test]
+    fn endpoint_names_and_indices_are_stable() {
+        for (i, e) in ENDPOINTS.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert!(e.phase_name().starts_with("serve."));
+            assert!(e.phase_name().ends_with(e.name()));
+        }
+        assert!(Endpoint::Healthz.is_inline() && Endpoint::Metrics.is_inline());
+        assert!(!Endpoint::Encode.is_inline());
+    }
+}

@@ -1,0 +1,425 @@
+//! Minimal HTTP/1.1 framing over stdlib TCP.
+//!
+//! The daemon speaks just enough HTTP for its JSON API: one request
+//! per connection (`Connection: close` semantics), `Content-Length`
+//! bodies only (no chunked encoding), and hard caps on head and body
+//! size so a hostile peer cannot make the server buffer unbounded
+//! input. Parsing failures are typed [`HttpError`]s carrying the
+//! status code to answer with — a malformed request is an expected
+//! input, never a panic.
+//!
+//! The module also ships the tiny blocking [`request`] client used by
+//! the integration tests, the loopback throughput benchmark, and the
+//! smoke script.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ppdt_error::PpdtError;
+
+/// Hard cap on the request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on a request body, bytes (overridable per server via
+/// `ServerConfig::max_body_bytes`).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed request: method, path (query string stripped), and the
+/// raw body bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Absolute path with any `?query` suffix removed.
+    pub path: String,
+    /// Raw body (exactly `Content-Length` bytes; empty without one).
+    pub body: Vec<u8>,
+}
+
+/// A transport-level failure answered with a plain HTTP status.
+///
+/// `code` is a stable snake_case token mirrored into the JSON error
+/// body; `detail` carries a typed [`PpdtError`] when the failure came
+/// from the domain layer rather than the wire.
+#[derive(Clone, Debug)]
+pub struct HttpError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Stable machine-readable error token (`unknown_key`, ...).
+    pub code: &'static str,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// The underlying typed error, when one exists.
+    pub detail: Option<PpdtError>,
+}
+
+impl HttpError {
+    /// A 400 with a stable code and message.
+    pub fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        HttpError { status: 400, code, message: message.into(), detail: None }
+    }
+
+    /// 404 for an unknown route or key id.
+    pub fn not_found(code: &'static str, message: impl Into<String>) -> Self {
+        HttpError { status: 404, code, message: message.into(), detail: None }
+    }
+
+    /// 405 for a known path with the wrong method.
+    pub fn method_not_allowed(path: &str) -> Self {
+        HttpError {
+            status: 405,
+            code: "method_not_allowed",
+            message: format!("method not allowed on {path}"),
+            detail: None,
+        }
+    }
+
+    /// 503 with `Retry-After` semantics (overload / shutdown).
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        HttpError { status: 503, code: "overloaded", message: message.into(), detail: None }
+    }
+}
+
+impl HttpError {
+    /// Renders the structured JSON error body:
+    /// `{"error": {"status", "code", "message", "detail"?}}` where
+    /// `detail` is the serialized [`PpdtError`] when one exists.
+    pub fn to_response(&self) -> Response {
+        use serde::{Serialize as _, Value};
+        let mut fields = vec![
+            ("status".to_string(), Value::UInt(u64::from(self.status))),
+            ("code".to_string(), Value::Str(self.code.to_string())),
+            ("message".to_string(), Value::Str(self.message.clone())),
+        ];
+        if let Some(e) = &self.detail {
+            fields.push(("detail".to_string(), e.to_value()));
+        }
+        let envelope = Value::Object(vec![("error".to_string(), Value::Object(fields))]);
+        let body = serde_json::to_string(&envelope)
+            .unwrap_or_else(|_| format!("{{\"error\":{{\"status\":{}}}}}", self.status));
+        let retry_after = if self.status == 503 { Some(1) } else { None };
+        Response { status: self.status, body, retry_after }
+    }
+}
+
+impl From<PpdtError> for HttpError {
+    /// Maps a domain error onto the workspace category→status table
+    /// ([`ppdt_error::ErrorCategory::http_status`]).
+    fn from(e: PpdtError) -> Self {
+        let cat = e.category();
+        HttpError {
+            status: cat.http_status(),
+            code: cat.name(),
+            message: e.to_string(),
+            detail: Some(e),
+        }
+    }
+}
+
+/// Reads one request from `reader`, enforcing the head cap and
+/// `max_body` on `Content-Length`.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let mut head = String::new();
+    let mut line = String::new();
+    // Request line + headers, terminated by an empty line.
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| HttpError::bad_request("truncated_head", format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad_request(
+                "truncated_head",
+                "connection closed before the header terminator",
+            ));
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError {
+                status: 431,
+                code: "head_too_large",
+                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                detail: None,
+            });
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Err(HttpError::bad_request(
+                "malformed_request_line",
+                format!("cannot parse request line {request_line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request(
+            "unsupported_version",
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+
+    let mut content_length: usize = 0;
+    for h in lines {
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Err(HttpError::bad_request(
+                "malformed_header",
+                format!("header line without a colon: {h:?}"),
+            ));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().map_err(|_| {
+                HttpError::bad_request(
+                    "bad_content_length",
+                    format!("Content-Length is not a non-negative integer: {:?}", value.trim()),
+                )
+            })?;
+        }
+        if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError {
+                status: 411,
+                code: "length_required",
+                message: "chunked bodies are not supported; send Content-Length".into(),
+                detail: None,
+            });
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError {
+            status: 413,
+            code: "payload_too_large",
+            message: format!("Content-Length {content_length} exceeds the {max_body}-byte cap"),
+            detail: None,
+        });
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        HttpError::bad_request(
+            "truncated_body",
+            format!("body shorter than Content-Length {content_length}: {e}"),
+        )
+    })?;
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request { method: method.to_ascii_uppercase(), path, body })
+}
+
+/// A response ready to be written to the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// UTF-8 body (the API is JSON throughout).
+    pub body: String,
+    /// Seconds for a `Retry-After` header (503 answers).
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A 200 with a JSON body.
+    pub fn ok(body: String) -> Self {
+        Response { status: 200, body, retry_after: None }
+    }
+
+    /// An arbitrary-status JSON response.
+    pub fn with_status(status: u16, body: String) -> Self {
+        Response { status, body, retry_after: None }
+    }
+}
+
+/// Reason phrases for the statuses this API emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Content",
+        424 => "Failed Dependency",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Serializes and writes `resp`; the caller closes the connection
+/// (every response carries `Connection: close`). Write failures are
+/// reported but routinely ignored by callers — the peer may be gone.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len()
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking loopback client: one request, one `(status, body)` answer.
+///
+/// Used by the integration tests, `serve_throughput`, and anything
+/// else that wants to poke the daemon without an external tool.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), PpdtError> {
+    let err = |what: &str, e: &dyn std::fmt::Display| PpdtError::Io {
+        path: Some(format!("http://{addr}{path}")),
+        detail: format!("{what}: {e}"),
+    };
+    let mut stream = TcpStream::connect(addr).map_err(|e| err("connect", &e))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| err("timeout", &e))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30))).map_err(|e| err("timeout", &e))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| err("write", &e))?;
+    stream.write_all(body.as_bytes()).map_err(|e| err("write", &e))?;
+    stream.flush().map_err(|e| err("flush", &e))?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| err("read", &e))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, tail) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| err("parse", &"no header terminator in response"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err("parse", &"no status code in response"))?;
+    Ok((status, tail.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            // Keep the socket open until the server is done parsing.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let out = read_request(&mut reader, max_body);
+        // Close the server side first or the client's `read_to_end`
+        // never sees EOF and the join deadlocks.
+        drop(reader);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(b"POST /v1/encode HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello", 1024)
+            .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/encode");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn strips_query_and_uppercases_method() {
+        let req = roundtrip(b"get /healthz?verbose=1 HTTP/1.1\r\n\r\n", 1024).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_body_is_a_400() {
+        let err = roundtrip(b"POST /x HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort", 1024)
+            .expect_err("must fail");
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "truncated_body");
+    }
+
+    #[test]
+    fn oversized_content_length_is_a_413() {
+        let err = roundtrip(b"POST /x HTTP/1.1\r\ncontent-length: 99999\r\n\r\n", 1024)
+            .expect_err("must fail");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn garbage_request_line_is_a_400() {
+        let err = roundtrip(b"NOT-HTTP\r\n\r\n", 1024).expect_err("must fail");
+        assert_eq!(err.status, 400);
+        let err = roundtrip(b"GET / SPDY/9\r\n\r\n", 1024).expect_err("must fail");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn bad_content_length_and_chunked_are_rejected() {
+        let err = roundtrip(b"POST /x HTTP/1.1\r\ncontent-length: -4\r\n\r\n", 1024)
+            .expect_err("must fail");
+        assert_eq!(err.status, 400);
+        let err = roundtrip(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", 1024)
+            .expect_err("must fail");
+        assert_eq!(err.status, 411);
+    }
+
+    #[test]
+    fn error_bodies_are_structured_json() {
+        let resp = HttpError::from(PpdtError::key_corrupt("bit rot")).to_response();
+        assert_eq!(resp.status, 409);
+        let v: serde::Value = serde_json::from_str(&resp.body).expect("valid JSON");
+        let err = v.get("error").expect("error envelope");
+        assert_eq!(err.get("status").and_then(|s| s.as_f64()), Some(409.0));
+        assert_eq!(err.get("code").and_then(|s| s.as_str()), Some("corrupt_key"));
+        assert!(err.get("detail").is_some(), "typed detail is serialized");
+        // Overload answers advertise Retry-After.
+        let resp = HttpError::overloaded("queue full").to_response();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(1));
+    }
+
+    #[test]
+    fn ppdt_errors_map_through_the_category_table() {
+        let e = PpdtError::DataCorrupt { row: Some(3), column: None, detail: "ragged".into() };
+        let h = HttpError::from(e);
+        assert_eq!(h.status, 422);
+        assert_eq!(h.code, "corrupt_data");
+        assert!(h.detail.is_some());
+        assert_eq!(HttpError::from(PpdtError::key_corrupt("x")).status, 409);
+        assert_eq!(HttpError::from(PpdtError::internal("x")).status, 500);
+    }
+}

@@ -1,0 +1,316 @@
+//! Persistent, versioned, content-addressed store for
+//! [`TransformKey`]s.
+//!
+//! Every key is serialized inside a schema-versioned [`KeyEnvelope`]
+//! and stored under `<key_id>.json`, where `key_id` is a 128-bit
+//! FNV-1a digest of the key's canonical JSON. Content addressing *is*
+//! the versioning story: a key is immutable under its id, re-storing
+//! the same key is a no-op, and any edit produces a new id — there is
+//! nothing to overwrite and therefore nothing to corrupt in place.
+//!
+//! Durability and trust:
+//!
+//! * writes go to a temp file in the same directory followed by an
+//!   atomic `rename`, so a crashed daemon never leaves a half-written
+//!   envelope under a valid id;
+//! * loads re-derive the digest from the stored key and require it to
+//!   match both the envelope's recorded id and the file name, so
+//!   bit-rot or tampering is detected before the key is trusted;
+//! * loads then run [`ppdt_transform::audit_key`] and refuse to serve
+//!   a key whose structural invariants fail — a corrupted key can
+//!   never reach a request handler.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ppdt_error::PpdtError;
+use ppdt_transform::TransformKey;
+use serde::{Deserialize, Serialize};
+
+/// Version of the on-disk envelope layout. Bumped on breaking
+/// changes; [`KeyStore::get`] rejects versions it does not know.
+pub const KEYSTORE_SCHEMA_VERSION: u64 = 1;
+
+/// The on-disk wrapper around a stored key.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KeyEnvelope {
+    /// Envelope layout version ([`KEYSTORE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Content address of `key` (also the file stem).
+    pub key_id: String,
+    /// Attribute count, denormalized for cheap listings.
+    pub num_attrs: usize,
+    /// The key itself.
+    pub key: TransformKey,
+}
+
+/// One row of a [`KeyStore::list`] listing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KeyEntry {
+    /// Content address.
+    pub key_id: String,
+    /// Attribute count, when the envelope was readable.
+    pub num_attrs: Option<usize>,
+    /// Whether the entry passes the full load-time validation
+    /// (digest match + structural audit). Invalid entries are listed —
+    /// an operator needs to see them — but can never be served.
+    pub valid: bool,
+}
+
+/// A directory of content-addressed key envelopes.
+#[derive(Debug)]
+pub struct KeyStore {
+    dir: PathBuf,
+}
+
+/// 128-bit FNV-1a over `bytes`, rendered as 32 hex chars: two 64-bit
+/// passes with distinct offset bases (the second seeded from the
+/// first), which is plenty for content addressing a custodian's key
+/// ring and keeps the workspace dependency-free.
+fn content_id(bytes: &[u8]) -> String {
+    fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
+        let mut h = seed;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+    let a = fnv64(0xcbf2_9ce4_8422_2325, bytes);
+    let b = fnv64(a ^ 0x9e37_79b9_7f4a_7c15, bytes);
+    format!("{a:016x}{b:016x}")
+}
+
+/// A syntactically valid id: exactly 32 lowercase hex chars. Gates
+/// every id that arrives over the wire before it touches the file
+/// system (path traversal is unrepresentable).
+fn valid_id(id: &str) -> bool {
+    id.len() == 32 && id.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+impl KeyStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<KeyStore, PpdtError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| PpdtError::io(dir.display().to_string(), e))?;
+        Ok(KeyStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content address `put` would store `key` under.
+    pub fn key_id(key: &TransformKey) -> Result<String, PpdtError> {
+        let canonical = serde_json::to_string(key)
+            .map_err(|e| PpdtError::internal(format!("key serialization failed: {e}")))?;
+        Ok(content_id(canonical.as_bytes()))
+    }
+
+    fn path_for(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.json"))
+    }
+
+    /// Stores `key`, returning `(key_id, created)`. The key is audited
+    /// first — a structurally corrupt key is rejected with the audit's
+    /// first error rather than persisted. Re-storing an existing key
+    /// is a no-op (`created = false`).
+    pub fn put(&self, key: &TransformKey) -> Result<(String, bool), PpdtError> {
+        let report = ppdt_transform::audit_key(key);
+        if !report.passed() {
+            return Err(report
+                .first_error()
+                .unwrap_or_else(|| PpdtError::key_corrupt("key failed audit")));
+        }
+        let id = Self::key_id(key)?;
+        let path = self.path_for(&id);
+        if path.exists() {
+            return Ok((id, false));
+        }
+        let envelope = KeyEnvelope {
+            schema_version: KEYSTORE_SCHEMA_VERSION,
+            key_id: id.clone(),
+            num_attrs: key.transforms.len(),
+            key: key.clone(),
+        };
+        let text = serde_json::to_string_pretty(&envelope)
+            .map_err(|e| PpdtError::internal(format!("envelope serialization failed: {e}")))?;
+        // Write-then-rename: a crash mid-write leaves only a temp file
+        // that no valid id ever resolves to.
+        let tmp = self.dir.join(format!(".tmp-{id}-{}", std::process::id()));
+        fs::write(&tmp, text).map_err(|e| PpdtError::io(tmp.display().to_string(), e))?;
+        fs::rename(&tmp, &path).map_err(|e| PpdtError::io(path.display().to_string(), e))?;
+        Ok((id, true))
+    }
+
+    /// Loads and fully validates the key stored under `id`.
+    ///
+    /// Returns `Ok(None)` when no such id exists (the HTTP layer turns
+    /// that into a 404); every corruption path — unparseable envelope,
+    /// unknown schema version, digest mismatch, failed audit — is a
+    /// typed [`PpdtError::KeyCorrupt`].
+    pub fn get(&self, id: &str) -> Result<Option<TransformKey>, PpdtError> {
+        if !valid_id(id) {
+            return Err(PpdtError::key_corrupt(format!(
+                "malformed key id {id:?}: expected 32 lowercase hex characters"
+            )));
+        }
+        let path = self.path_for(id);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(PpdtError::io(path.display().to_string(), e)),
+        };
+        let envelope: KeyEnvelope = serde_json::from_str(&text).map_err(|e| {
+            PpdtError::key_corrupt(format!("envelope for {id} does not parse: {e}"))
+        })?;
+        if envelope.schema_version != KEYSTORE_SCHEMA_VERSION {
+            return Err(PpdtError::key_corrupt(format!(
+                "envelope for {id} has schema version {} but this daemon speaks {}",
+                envelope.schema_version, KEYSTORE_SCHEMA_VERSION
+            )));
+        }
+        let digest = Self::key_id(&envelope.key)?;
+        if digest != id || envelope.key_id != id {
+            return Err(PpdtError::key_corrupt(format!(
+                "content digest mismatch for {id}: stored key hashes to {digest} \
+                 (envelope says {}) — the envelope was tampered with or bit-rotted",
+                envelope.key_id
+            )));
+        }
+        let report = ppdt_transform::audit_key(&envelope.key);
+        if !report.passed() {
+            return Err(report
+                .first_error()
+                .unwrap_or_else(|| PpdtError::key_corrupt(format!("key {id} failed audit"))));
+        }
+        Ok(Some(envelope.key))
+    }
+
+    /// Lists every `*.json` entry in the store with its validation
+    /// status. Unreadable or corrupt entries appear with
+    /// `valid = false`; they are diagnosable but unservable.
+    pub fn list(&self) -> Result<Vec<KeyEntry>, PpdtError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| PpdtError::io(self.dir.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| PpdtError::io(self.dir.display().to_string(), e))?;
+            let name = entry.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                continue;
+            };
+            if !valid_id(stem) {
+                continue; // temp files and foreign debris are not entries
+            }
+            let (valid, num_attrs) = match self.get(stem) {
+                Ok(Some(key)) => (true, Some(key.transforms.len())),
+                Ok(None) | Err(_) => (false, None),
+            };
+            out.push(KeyEntry { key_id: stem.to_string(), num_attrs, valid });
+        }
+        out.sort_by(|a, b| a.key_id.cmp(&b.key_id));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppdt_transform::{encode_dataset, EncodeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_key(seed: u64) -> TransformKey {
+        let d = ppdt_data::gen::figure1();
+        let mut rng = StdRng::seed_from_u64(seed);
+        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encodes").0
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("ppdt_keystore_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_dedupe() {
+        let dir = tmp_dir("roundtrip");
+        let store = KeyStore::open(&dir).unwrap();
+        let key = sample_key(7);
+        let (id, created) = store.put(&key).unwrap();
+        assert!(created);
+        assert!(valid_id(&id), "{id}");
+        let (id2, created2) = store.put(&key).unwrap();
+        assert_eq!(id, id2);
+        assert!(!created2, "second put of the same key is a no-op");
+        let back = store.get(&id).unwrap().expect("present");
+        assert_eq!(back, key);
+        // A different key gets a different address.
+        let other = sample_key(8);
+        let (other_id, _) = store.put(&other).unwrap();
+        assert_ne!(other_id, id);
+        assert_eq!(store.list().unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_id_is_none_and_malformed_id_is_corrupt() {
+        let dir = tmp_dir("unknown");
+        let store = KeyStore::open(&dir).unwrap();
+        assert_eq!(store.get(&"0".repeat(32)).unwrap(), None);
+        // Path traversal shapes never reach the file system.
+        for bad in ["../../etc/passwd", "short", "ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ", ""] {
+            let err = store.get(bad).expect_err("malformed id must be rejected");
+            assert_eq!(err.category(), ppdt_error::ErrorCategory::CorruptKey, "{bad:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_envelope_never_serves() {
+        let dir = tmp_dir("tamper");
+        let store = KeyStore::open(&dir).unwrap();
+        let (id, _) = store.put(&sample_key(9)).unwrap();
+        let path = store.path_for(&id);
+        let good = fs::read_to_string(&path).unwrap();
+
+        // A flipped digit breaks the content digest.
+        let mut flipped = None;
+        for seed in 0..40 {
+            let bad = ppdt_data::corrupt::flip_ascii_digit(&good, seed);
+            if bad != good {
+                flipped = Some(bad);
+                break;
+            }
+        }
+        fs::write(&path, flipped.expect("some digit flips")).unwrap();
+        let err = store.get(&id).expect_err("tampered envelope must not serve");
+        assert_eq!(err.category(), ppdt_error::ErrorCategory::CorruptKey, "{err}");
+
+        // Truncation (crash mid-copy, disk trouble) must not serve.
+        fs::write(&path, ppdt_data::corrupt::truncate_at(&good, 0.5)).unwrap();
+        assert!(store.get(&id).is_err());
+
+        // An envelope from a future schema must not serve.
+        fs::write(&path, good.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1))
+            .unwrap();
+        let err = store.get(&id).expect_err("future schema must not serve");
+        assert!(err.to_string().contains("schema version"), "{err}");
+
+        // The listing still surfaces the broken entry as invalid.
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].valid);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn content_id_is_stable_and_order_sensitive() {
+        assert_eq!(content_id(b"abc"), content_id(b"abc"));
+        assert_ne!(content_id(b"abc"), content_id(b"acb"));
+        assert_eq!(content_id(b"").len(), 32);
+        assert!(valid_id(&content_id(b"anything")));
+    }
+}

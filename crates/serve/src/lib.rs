@@ -1,0 +1,45 @@
+//! # ppdt-serve
+//!
+//! The custodian as a **long-running daemon**: the paper's workflow
+//! (encode the relation, ship `D'` to the miner, decode the mined
+//! tree, answer classification queries) exposed as a small JSON API
+//! over hand-rolled HTTP/1.1 on stdlib TCP — no web framework, per
+//! the vendored-dependencies-only policy.
+//!
+//! Modules:
+//!
+//! * [`http`] — minimal HTTP/1.1 framing: one request per connection,
+//!   `Content-Length` bodies, hard head/body caps, typed
+//!   [`HttpError`]s, plus the blocking loopback [`request`] client,
+//! * [`keystore`] — the persistent versioned key store:
+//!   [`TransformKey`](ppdt_transform::TransformKey)s under
+//!   content-addressed ids in schema-versioned envelopes, written
+//!   atomically (write-then-rename) and audited on load so a
+//!   corrupted key can never serve,
+//! * [`handlers`] — the API surface: `POST /v1/keys`, `/v1/encode`,
+//!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, and the inline
+//!   `GET /healthz` / `GET /metrics`,
+//! * [`server`] — the daemon: bounded worker pool over a bounded
+//!   queue, `503 + Retry-After` backpressure, per-request deadlines,
+//!   graceful drain,
+//! * [`signal`] — SIGINT/SIGTERM latching without a libc dependency.
+//!
+//! Error mapping is the workspace table
+//! ([`ppdt_error::ErrorCategory::http_status`]): usage → 400, corrupt
+//! data → 422, corrupt key → 409, incompatible tree → 424, io/internal
+//! → 500, with transport-level 404/405/411/413/431/503 on top. Every
+//! failure is a structured JSON body — hostile input gets a typed
+//! 4xx, never a panic.
+
+#![warn(missing_docs)]
+
+pub mod handlers;
+pub mod http;
+pub mod keystore;
+pub mod server;
+pub mod signal;
+
+pub use handlers::Endpoint;
+pub use http::{request, HttpError, Request, Response};
+pub use keystore::{KeyEntry, KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,455 @@
+//! The daemon: bounded worker pool, bounded request queue, graceful
+//! drain.
+//!
+//! The acceptor thread parses and routes each connection. Liveness
+//! (`/healthz`) and `/metrics` are answered inline so they keep
+//! responding while the pool is saturated; everything else is pushed
+//! onto a bounded queue. When the queue is full the acceptor answers
+//! `503` with `Retry-After` immediately instead of buffering — the
+//! backpressure is visible to the client, not hidden in latency.
+//! Workers drop requests that waited past the per-request deadline
+//! (the client has likely given up; doing the work anyway is wasted
+//! CPU under overload).
+//!
+//! Shutdown is cooperative: a SIGINT/SIGTERM (or a programmatic
+//! [`Server::shutdown_flag`] store) makes the acceptor stop accepting
+//! and drop the queue sender; workers drain what was already queued,
+//! finish their in-flight requests, and [`Server::run`] returns.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ppdt_error::PpdtError;
+use ppdt_obs::Counter;
+use serde::Serialize;
+
+use crate::handlers::{self, Endpoint, ENDPOINTS};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::keystore::KeyStore;
+
+/// Everything tunable about a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads; `0` resolves via [`ppdt_obs::threads`]
+    /// (`PPDT_THREADS` / available parallelism).
+    pub workers: usize,
+    /// Bounded queue depth between the acceptor and the pool; a full
+    /// queue answers `503` immediately.
+    pub queue_capacity: usize,
+    /// Queued requests older than this are answered `503` instead of
+    /// being processed.
+    pub request_deadline: Duration,
+    /// Per-request body cap, bytes.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Routes the test-only `POST /v1/debug/sleep` endpoint.
+    pub debug_endpoints: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            request_deadline: Duration::from_secs(10),
+            max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
+            io_timeout: Duration::from_secs(30),
+            debug_endpoints: false,
+        }
+    }
+}
+
+/// Per-endpoint request/error/latency counters, readable while the
+/// server runs.
+#[derive(Debug, Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_micros: AtomicU64,
+}
+
+/// Live serve-side metrics (lock-free; rendered by `/metrics`).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    per_endpoint: [EndpointStats; ENDPOINTS.len()],
+    rejected: AtomicU64,
+    in_flight: AtomicU64,
+    in_flight_peak: AtomicU64,
+}
+
+impl ServeMetrics {
+    fn requested(&self, e: Endpoint) {
+        self.per_endpoint[e.index()].requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn errored(&self, e: Endpoint) {
+        self.per_endpoint[e.index()].errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn timed(&self, e: Endpoint, elapsed: Duration) {
+        self.per_endpoint[e.index()]
+            .latency_micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Requests answered `503` (queue full or deadline expired).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently processed requests.
+    pub fn in_flight_peak(&self) -> u64 {
+        self.in_flight_peak.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy for `/metrics` and reports.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            rejected: self.rejected(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            in_flight_peak: self.in_flight_peak(),
+            endpoints: ENDPOINTS
+                .iter()
+                .map(|&e| {
+                    let s = &self.per_endpoint[e.index()];
+                    EndpointSnapshot {
+                        endpoint: e.name().to_string(),
+                        requests: s.requests.load(Ordering::Relaxed),
+                        errors: s.errors.load(Ordering::Relaxed),
+                        latency_micros: s.latency_micros.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One `/metrics` row.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct EndpointSnapshot {
+    /// Stable endpoint name ([`Endpoint::name`]).
+    pub endpoint: String,
+    /// Requests routed to the endpoint (including rejected ones).
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx.
+    pub errors: u64,
+    /// Summed handler latency, microseconds (inline endpoints included).
+    pub latency_micros: u64,
+}
+
+/// The `serve` half of the `/metrics` body.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct ServeSnapshot {
+    /// `503` answers (queue full + deadline expiries).
+    pub rejected: u64,
+    /// Requests being processed right now.
+    pub in_flight: u64,
+    /// High-water mark of `in_flight`.
+    pub in_flight_peak: u64,
+    /// Per-endpoint counters, [`ENDPOINTS`] order.
+    pub endpoints: Vec<EndpointSnapshot>,
+}
+
+/// `GET /healthz` body.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct HealthzBody {
+    /// Always `"ok"` while the daemon answers at all.
+    pub status: String,
+    /// Resolved worker-pool size.
+    pub workers: usize,
+    /// Configured queue depth.
+    pub queue_capacity: usize,
+}
+
+/// `GET /metrics` body.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct MetricsBody {
+    /// Serve-layer counters.
+    pub serve: ServeSnapshot,
+    /// Process-wide [`ppdt_obs`] counters and phase timings.
+    pub process: ppdt_obs::MetricsSnapshot,
+}
+
+/// One queued unit of work: the parsed request plus the socket to
+/// answer on.
+struct Job {
+    stream: TcpStream,
+    req: Request,
+    endpoint: Endpoint,
+    enqueued: Instant,
+}
+
+/// A bound, not-yet-running custodian daemon.
+pub struct Server {
+    cfg: ServerConfig,
+    listener: TcpListener,
+    addr: SocketAddr,
+    workers: usize,
+    store: KeyStore,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl Server {
+    /// Binds the listener (so the final address — including an
+    /// OS-assigned port for `:0` — is known before [`Server::run`]).
+    pub fn bind(cfg: ServerConfig, store: KeyStore) -> Result<Server, PpdtError> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| PpdtError::Io {
+            path: Some(cfg.addr.clone()),
+            detail: format!("bind: {e}"),
+        })?;
+        let addr = listener.local_addr().map_err(|e| PpdtError::Io {
+            path: Some(cfg.addr.clone()),
+            detail: format!("local_addr: {e}"),
+        })?;
+        // Non-blocking accept lets the loop poll the shutdown flag.
+        listener.set_nonblocking(true).map_err(|e| PpdtError::Io {
+            path: Some(cfg.addr.clone()),
+            detail: format!("set_nonblocking: {e}"),
+        })?;
+        let workers = if cfg.workers == 0 { ppdt_obs::threads(None) } else { cfg.workers };
+        Ok(Server {
+            cfg,
+            listener,
+            addr,
+            workers,
+            store,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: Arc::new(ServeMetrics::default()),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cooperative shutdown handle: store `true` and [`Server::run`]
+    /// drains and returns.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Live metrics handle (shared with `/metrics`).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Resolved worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || crate::signal::signalled()
+    }
+
+    /// Accepts and serves until shutdown, then drains. Blocks the
+    /// calling thread for the daemon's whole life.
+    pub fn run(self) -> Result<(), PpdtError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.cfg.queue_capacity);
+        let rx = Mutex::new(rx);
+        let joined = crossbeam::thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|_| self.worker_loop(&rx));
+            }
+            self.accept_loop(&tx);
+            // Dropping the only sender wakes every worker out of
+            // `recv()` once the queue is empty: the drain barrier.
+            drop(tx);
+        });
+        joined.map_err(|_| PpdtError::internal("a server thread panicked"))
+    }
+
+    fn accept_loop(&self, tx: &SyncSender<Job>) {
+        while !self.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.handle_conn(stream, tx),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE); back off
+                    // rather than spinning.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Parses, routes, and either answers inline or enqueues.
+    fn handle_conn(&self, stream: TcpStream, tx: &SyncSender<Job>) {
+        let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut stream = stream;
+        let mut reader = BufReader::new(read_half);
+        let req = match read_request(&mut reader, self.cfg.max_body_bytes) {
+            Ok(req) => req,
+            Err(e) => {
+                self.answer_error(&mut stream, None, &e);
+                return;
+            }
+        };
+        ppdt_obs::add(Counter::HttpRequests, 1);
+        let endpoint = match handlers::route(&req, self.cfg.debug_endpoints) {
+            Ok(e) => e,
+            Err(e) => {
+                self.answer_error(&mut stream, None, &e);
+                return;
+            }
+        };
+        self.metrics.requested(endpoint);
+
+        if endpoint.is_inline() {
+            // Liveness and metrics bypass the queue so they stay
+            // responsive while the pool is saturated.
+            let start = Instant::now();
+            let resp = match endpoint {
+                Endpoint::Healthz => self.render_healthz(),
+                _ => self.render_metrics(),
+            };
+            self.metrics.timed(endpoint, start.elapsed());
+            self.answer(&mut stream, endpoint, resp);
+            return;
+        }
+
+        let job = Job { stream, req, endpoint, enqueued: Instant::now() };
+        match tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut job)) => {
+                self.reject(&mut job.stream, job.endpoint, "request queue is full");
+            }
+            Err(TrySendError::Disconnected(mut job)) => {
+                self.reject(&mut job.stream, job.endpoint, "server is shutting down");
+            }
+        }
+    }
+
+    fn worker_loop(&self, rx: &Mutex<Receiver<Job>>) {
+        loop {
+            // Lock only around `recv` so workers take turns pulling
+            // jobs; processing runs unlocked.
+            let job = {
+                let Ok(guard) = rx.lock() else { return };
+                match guard.recv() {
+                    Ok(job) => job,
+                    Err(_) => return, // sender dropped: drain complete
+                }
+            };
+            self.process(job);
+        }
+    }
+
+    fn process(&self, mut job: Job) {
+        if job.enqueued.elapsed() > self.cfg.request_deadline {
+            self.reject(&mut job.stream, job.endpoint, "request waited past its deadline");
+            return;
+        }
+        let in_flight = self.metrics.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.in_flight_peak.fetch_max(in_flight, Ordering::SeqCst);
+        ppdt_obs::record_max(Counter::HttpInFlightPeak, in_flight);
+
+        let _t = ppdt_obs::phase(job.endpoint.phase_name());
+        let start = Instant::now();
+        let outcome = handlers::handle(job.endpoint, &job.req, &self.store);
+        self.metrics.timed(job.endpoint, start.elapsed());
+        match outcome {
+            Ok(resp) => self.answer(&mut job.stream, job.endpoint, resp),
+            Err(e) => self.answer_error(&mut job.stream, Some(job.endpoint), &e),
+        }
+        self.metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Writes a `503 + Retry-After` and books it as backpressure, not
+    /// as an endpoint failure.
+    fn reject(&self, stream: &mut TcpStream, endpoint: Endpoint, why: &str) {
+        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        self.metrics.errored(endpoint);
+        ppdt_obs::add(Counter::HttpRejected, 1);
+        let _ = write_response(stream, &HttpError::overloaded(why).to_response());
+    }
+
+    fn answer(&self, stream: &mut TcpStream, endpoint: Endpoint, resp: Response) {
+        if resp.status >= 400 {
+            self.metrics.errored(endpoint);
+            ppdt_obs::add(Counter::HttpErrors, 1);
+        }
+        let _ = write_response(stream, &resp);
+    }
+
+    fn answer_error(&self, stream: &mut TcpStream, endpoint: Option<Endpoint>, e: &HttpError) {
+        if let Some(ep) = endpoint {
+            self.metrics.errored(ep);
+        }
+        if e.status == 503 {
+            ppdt_obs::add(Counter::HttpRejected, 1);
+            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ppdt_obs::add(Counter::HttpErrors, 1);
+        }
+        let _ = write_response(stream, &e.to_response());
+    }
+
+    fn render_healthz(&self) -> Response {
+        let body = HealthzBody {
+            status: "ok".to_string(),
+            workers: self.workers,
+            queue_capacity: self.cfg.queue_capacity,
+        };
+        match serde_json::to_string(&body) {
+            Ok(s) => Response::ok(s),
+            Err(e) => HttpError::from(PpdtError::internal(format!("healthz: {e}"))).to_response(),
+        }
+    }
+
+    fn render_metrics(&self) -> Response {
+        let body = MetricsBody { serve: self.metrics.snapshot(), process: ppdt_obs::snapshot() };
+        match serde_json::to_string(&body) {
+            Ok(s) => Response::ok(s),
+            Err(e) => HttpError::from(PpdtError::internal(format!("metrics: {e}"))).to_response(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = ServerConfig::default();
+        assert_eq!(cfg.workers, 0, "0 means auto-resolve");
+        assert!(cfg.queue_capacity > 0);
+        assert!(cfg.request_deadline > Duration::ZERO);
+        assert_eq!(cfg.max_body_bytes, crate::http::DEFAULT_MAX_BODY_BYTES);
+    }
+
+    #[test]
+    fn serve_snapshot_shape_is_stable() {
+        let m = ServeMetrics::default();
+        m.requested(Endpoint::Encode);
+        m.errored(Endpoint::Encode);
+        m.timed(Endpoint::Encode, Duration::from_micros(42));
+        let snap = m.snapshot();
+        assert_eq!(snap.endpoints.len(), ENDPOINTS.len());
+        let enc =
+            snap.endpoints.iter().find(|s| s.endpoint == "encode").expect("encode row present");
+        assert_eq!((enc.requests, enc.errors, enc.latency_micros), (1, 1, 42));
+        // Round-trips through the JSON body type.
+        let body = MetricsBody { serve: snap, process: ppdt_obs::snapshot() };
+        let text = serde_json::to_string(&body).expect("serializes");
+        let back: MetricsBody = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back.serve.endpoints.len(), ENDPOINTS.len());
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared scaffolding for the serve integration tests: start a real
+//! daemon on a loopback port with a throwaway keystore directory,
+//! stop it with the cooperative shutdown flag.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ppdt_error::PpdtError;
+use ppdt_serve::{KeyStore, Server, ServerConfig};
+
+/// A running daemon plus the handles needed to talk to it and tear it
+/// down.
+pub struct TestServer {
+    /// Bound loopback address.
+    pub addr: SocketAddr,
+    /// Cooperative shutdown flag (`Server::shutdown_flag`).
+    pub shutdown: Arc<AtomicBool>,
+    /// The `Server::run` thread.
+    pub handle: JoinHandle<Result<(), PpdtError>>,
+    /// Throwaway keystore directory, removed on `stop`.
+    pub dir: PathBuf,
+}
+
+/// Binds and runs a daemon on `127.0.0.1:0` with a fresh keystore
+/// under the system temp dir. `tag` keeps concurrent tests apart.
+pub fn start(mut cfg: ServerConfig, tag: &str) -> TestServer {
+    let dir = std::env::temp_dir().join(format!("ppdt-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = KeyStore::open(dir.clone()).expect("open keystore");
+    cfg.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(cfg, store).expect("bind server");
+    let addr = server.addr();
+    let shutdown = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    TestServer { addr, shutdown, handle, dir }
+}
+
+impl TestServer {
+    /// Requests the graceful drain and joins the server thread.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle.join().expect("server thread completes").expect("run returns Ok");
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}

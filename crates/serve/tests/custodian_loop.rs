@@ -1,0 +1,217 @@
+//! The full custodian loop, over the wire (the ISSUE 4 acceptance
+//! test): store a key, encode a dataset through `POST /v1/encode`,
+//! mine a tree on the transformed output, decode it through
+//! `POST /v1/decode-tree`, and verify `POST /v1/classify` answers
+//! match plaintext `ppdt_tree` predictions on every test row.
+
+mod common;
+
+use ppdt_data::csv::{parse_csv, to_csv};
+use ppdt_data::gen::census_like;
+use ppdt_data::Dataset;
+use ppdt_serve::handlers::{
+    AuditRequestBody, AuditResponseBody, ClassifyRequest, ClassifyResponse, DecodeTreeRequest,
+    DecodeTreeResponse, EncodeRequest, EncodeResponse, ListKeysResponse, StoreKeyRequest,
+    StoreKeyResponse,
+};
+use ppdt_serve::request;
+use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_tree::{trees_equal, TreeBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rows_of(d: &Dataset) -> Vec<Vec<f64>> {
+    (0..d.num_rows()).map(|i| d.schema().attrs().map(|a| d.column(a)[i]).collect()).collect()
+}
+
+fn post<T: serde::Serialize, R: serde::Deserialize>(
+    srv: &common::TestServer,
+    path: &str,
+    body: &T,
+    want_status: u16,
+) -> R {
+    let payload = serde_json::to_string(body).expect("serialize request");
+    let (status, text) = request(srv.addr, "POST", path, &payload).expect("request succeeds");
+    assert_eq!(status, want_status, "POST {path} answered {status}: {text}");
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("POST {path} body: {e}\n{text}"))
+}
+
+#[test]
+fn full_custodian_loop_over_the_wire() {
+    let srv = common::start(ppdt_serve::ServerConfig::default(), "loop");
+
+    // The custodian's plaintext relation and key, produced locally.
+    let mut rng = StdRng::seed_from_u64(41);
+    let d = census_like(&mut rng, 240);
+    let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+
+    // 1. Store the key; storing it again dedupes to the same id.
+    let stored: StoreKeyResponse =
+        post(&srv, "/v1/keys", &StoreKeyRequest { key: key.clone() }, 201);
+    assert!(stored.created);
+    assert_eq!(stored.num_attrs, d.num_attrs());
+    let again: StoreKeyResponse = post(&srv, "/v1/keys", &StoreKeyRequest { key }, 200);
+    assert!(!again.created);
+    assert_eq!(again.key_id, stored.key_id);
+    let (status, text) = request(srv.addr, "GET", "/v1/keys", "").expect("list keys");
+    assert_eq!(status, 200);
+    let listing: ListKeysResponse = serde_json::from_str(&text).expect("listing parses");
+    assert!(listing.keys.iter().any(|k| k.key_id == stored.key_id && k.valid));
+
+    // 2. Encode the relation over the wire.
+    let enc: EncodeResponse = post(
+        &srv,
+        "/v1/encode",
+        &EncodeRequest { key_id: stored.key_id.clone(), csv: Some(to_csv(&d)), rows: None },
+        200,
+    );
+    assert_eq!(enc.rows_encoded, d.num_rows() as u64);
+    let d_prime = parse_csv(&enc.csv.expect("csv came back")).expect("transformed CSV parses");
+    assert_eq!(d_prime.num_rows(), d.num_rows());
+
+    // 3. The (untrusted) miner fits a tree on the transformed data.
+    let t_prime = TreeBuilder::default().fit(&d_prime);
+
+    // 4. Decode the mined tree through the daemon (data-backed replay).
+    let dec: DecodeTreeResponse = post(
+        &srv,
+        "/v1/decode-tree",
+        &DecodeTreeRequest {
+            key_id: stored.key_id.clone(),
+            tree: t_prime.clone(),
+            csv: Some(to_csv(&d)),
+        },
+        200,
+    );
+    assert!(dec.replayed);
+
+    // Theorem 2: the decoded tree is the tree mined directly on the
+    // plaintext.
+    let t_direct = TreeBuilder::default().fit(&d);
+    assert!(trees_equal(&dec.tree, &t_direct), "decoded tree must equal the directly-mined tree");
+
+    // 5. Custodian-side inference: /v1/classify answers must match
+    //    plaintext predictions for every row.
+    let rows = rows_of(&d);
+    let cls: ClassifyResponse = post(
+        &srv,
+        "/v1/classify",
+        &ClassifyRequest { key_id: stored.key_id.clone(), tree: t_prime, rows: rows.clone() },
+        200,
+    );
+    assert_eq!(cls.labels.len(), rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            cls.labels[i],
+            t_direct.predict(row).0,
+            "row {i}: classify answer diverged from the plaintext prediction"
+        );
+    }
+
+    // 6. The stored key audits clean, with and without data.
+    let audit: AuditResponseBody = post(
+        &srv,
+        "/v1/audit",
+        &AuditRequestBody { key_id: stored.key_id.clone(), csv: Some(to_csv(&d)) },
+        200,
+    );
+    assert!(audit.passed, "stored key must audit clean: {:?}", audit.report.first_error());
+
+    // 7. Liveness + metrics reflect the traffic.
+    let (status, text) = request(srv.addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    assert!(text.contains("\"ok\""));
+    let (status, text) = request(srv.addr, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    let v: serde::Value = serde_json::from_str(&text).expect("metrics parses");
+    let endpoints = v
+        .get("serve")
+        .and_then(|s| s.get("endpoints"))
+        .and_then(|e| e.as_array())
+        .expect("serve.endpoints array");
+    let requests_for = |name: &str| -> f64 {
+        endpoints
+            .iter()
+            .find(|e| e.get("endpoint").and_then(|n| n.as_str()) == Some(name))
+            .and_then(|e| e.get("requests"))
+            .and_then(|r| r.as_f64())
+            .unwrap_or(0.0)
+    };
+    assert!(requests_for("encode") >= 1.0);
+    assert!(requests_for("classify") >= 1.0);
+    assert!(requests_for("decode_tree") >= 1.0);
+
+    srv.stop();
+}
+
+#[test]
+fn blind_decode_is_training_equivalent() {
+    let srv = common::start(ppdt_serve::ServerConfig::default(), "blind");
+    let mut rng = StdRng::seed_from_u64(43);
+    let d = census_like(&mut rng, 160);
+    // Data-free decoding is exact only without permutation pieces
+    // (see `decode_tree_blind`), so use the single-piece baseline.
+    let cfg = EncodeConfig::baseline(ppdt_transform::FnFamily::Mixed);
+    let (key, d_prime) = encode_dataset(&mut rng, &d, &cfg).expect("encode");
+
+    let stored: StoreKeyResponse = post(&srv, "/v1/keys", &StoreKeyRequest { key }, 201);
+    let t_prime = TreeBuilder::default().fit(&d_prime);
+    let dec: DecodeTreeResponse = post(
+        &srv,
+        "/v1/decode-tree",
+        &DecodeTreeRequest { key_id: stored.key_id, tree: t_prime, csv: None },
+        200,
+    );
+    assert!(!dec.replayed, "no data sent, so the blind decode must run");
+
+    // Blind-decoded tree classifies the training data exactly like
+    // the directly-mined tree.
+    let t_direct = TreeBuilder::default().fit(&d);
+    for row in rows_of(&d) {
+        assert_eq!(dec.tree.predict(&row), t_direct.predict(&row));
+    }
+    srv.stop();
+}
+
+#[test]
+fn keys_persist_across_daemon_restarts() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let d = census_like(&mut rng, 120);
+    let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+
+    let dir = std::env::temp_dir().join(format!("ppdt-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First daemon stores the key …
+    let store = ppdt_serve::KeyStore::open(dir.clone()).expect("open");
+    let server =
+        ppdt_serve::Server::bind(ppdt_serve::ServerConfig::default(), store).expect("bind");
+    let addr = server.addr();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    let payload = serde_json::to_string(&StoreKeyRequest { key: key.clone() }).expect("serialize");
+    let (status, text) = request(addr, "POST", "/v1/keys", &payload).expect("store");
+    assert_eq!(status, 201, "{text}");
+    let stored: StoreKeyResponse = serde_json::from_str(&text).expect("parses");
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("join").expect("run ok");
+
+    // … and a second daemon over the same directory serves it.
+    let store = ppdt_serve::KeyStore::open(dir.clone()).expect("reopen");
+    let server =
+        ppdt_serve::Server::bind(ppdt_serve::ServerConfig::default(), store).expect("bind");
+    let addr = server.addr();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    let body = serde_json::to_string(&EncodeRequest {
+        key_id: stored.key_id,
+        csv: Some(to_csv(&d)),
+        rows: None,
+    })
+    .expect("serialize");
+    let (status, text) = request(addr, "POST", "/v1/encode", &body).expect("encode");
+    assert_eq!(status, 200, "restarted daemon must serve the persisted key: {text}");
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("join").expect("run ok");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,182 @@
+//! Hostile-request tests: malformed wire input and corrupted payloads
+//! must come back as *typed 4xx responses* — never a panic, never a
+//! hung daemon. Reuses the `ppdt_data::corrupt` mutators so the same
+//! corruption population that exercises the CLI fault-injection
+//! harness also exercises the HTTP surface.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use ppdt_data::corrupt::{corrupt_csv, ALL_CSV_CORRUPTIONS};
+use ppdt_data::csv::to_csv;
+use ppdt_data::gen::census_like;
+use ppdt_serve::handlers::{EncodeRequest, StoreKeyRequest, StoreKeyResponse};
+use ppdt_serve::{request, ServerConfig};
+use ppdt_transform::{encode_dataset, EncodeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Writes raw bytes to the daemon and returns the full response text
+/// (status line + headers + body).
+fn raw(srv: &common::TestServer, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(srv.addr).expect("connect");
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("timeout");
+    s.write_all(bytes).expect("write");
+    s.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"))
+}
+
+fn assert_healthy(srv: &common::TestServer) {
+    let (status, _) = request(srv.addr, "GET", "/healthz", "").expect("healthz reachable");
+    assert_eq!(status, 200, "daemon must stay healthy after hostile input");
+}
+
+#[test]
+fn wire_level_garbage_gets_typed_4xx() {
+    let srv = common::start(ServerConfig::default(), "wire");
+
+    // Truncated body: Content-Length promises more than arrives.
+    let r = raw(&srv, b"POST /v1/encode HTTP/1.1\r\ncontent-length: 500\r\n\r\n{\"a\":");
+    assert_eq!(status_of(&r), 400);
+    assert!(r.contains("truncated_body"), "{r}");
+
+    // Content-Length beyond the body cap is refused before buffering.
+    let r = raw(&srv, b"POST /v1/encode HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n");
+    assert!(matches!(status_of(&r), 400 | 413), "{r}");
+
+    // Garbage request line.
+    let r = raw(&srv, b"\x01\x02\x03 nonsense\r\n\r\n");
+    assert_eq!(status_of(&r), 400);
+
+    // Oversized head.
+    let mut big = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    big.extend(std::iter::repeat_n(b'x', 20 * 1024));
+    big.extend_from_slice(b": y\r\n\r\n");
+    let r = raw(&srv, &big);
+    assert_eq!(status_of(&r), 431);
+
+    // Chunked transfer is refused with 411.
+    let r = raw(&srv, b"POST /v1/encode HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
+    assert_eq!(status_of(&r), 411);
+
+    // Unknown route and wrong method.
+    let (status, body) = request(srv.addr, "GET", "/nope", "").expect("request");
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown_route"), "{body}");
+    let (status, _) = request(srv.addr, "GET", "/v1/encode", "").expect("request");
+    assert_eq!(status, 405);
+    // Debug endpoints are not routable unless enabled.
+    let (status, _) = request(srv.addr, "POST", "/v1/debug/sleep", "{\"ms\":1}").expect("request");
+    assert_eq!(status, 404);
+
+    assert_healthy(&srv);
+    srv.stop();
+}
+
+#[test]
+fn malformed_payloads_get_typed_4xx() {
+    let srv = common::start(ServerConfig::default(), "payload");
+
+    // Non-UTF-8 body.
+    let r = raw(&srv, b"POST /v1/encode HTTP/1.1\r\ncontent-length: 4\r\n\r\n\xff\xfe\x00\x01");
+    assert_eq!(status_of(&r), 400);
+    assert!(r.contains("invalid_utf8"), "{r}");
+
+    // Valid UTF-8, invalid JSON.
+    let (status, body) = request(srv.addr, "POST", "/v1/encode", "{not json").expect("request");
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid_json"), "{body}");
+
+    // Valid JSON, wrong shape.
+    let (status, _) = request(srv.addr, "POST", "/v1/encode", "{\"x\": 3}").expect("request");
+    assert_eq!(status, 400);
+
+    // Both csv and rows (ambiguous) is a usage error.
+    let (status, body) = request(
+        srv.addr,
+        "POST",
+        "/v1/encode",
+        "{\"key_id\": \"00000000000000000000000000000000\", \"csv\": \"a\", \"rows\": [[1.0]]}",
+    )
+    .expect("request");
+    assert_eq!(status, 400, "{body}");
+
+    // Unknown (well-formed) key id is a 404, malformed id a 409.
+    let (status, body) = request(
+        srv.addr,
+        "POST",
+        "/v1/encode",
+        "{\"key_id\": \"00000000000000000000000000000000\", \"csv\": \"a,label\\n1,x\\n\"}",
+    )
+    .expect("request");
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown_key"), "{body}");
+    let (status, _) = request(
+        srv.addr,
+        "POST",
+        "/v1/encode",
+        "{\"key_id\": \"../../etc/passwd\", \"csv\": \"a,label\\n1,x\\n\"}",
+    )
+    .expect("request");
+    assert_eq!(status, 409, "path-traversal ids are corrupt-key errors");
+
+    assert_healthy(&srv);
+    srv.stop();
+}
+
+#[test]
+fn corrupted_csv_bodies_never_break_the_daemon() {
+    let srv = common::start(ServerConfig::default(), "corrupt");
+
+    let mut rng = StdRng::seed_from_u64(0xF417);
+    let d = census_like(&mut rng, 80);
+    let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let payload = serde_json::to_string(&StoreKeyRequest { key }).expect("serialize");
+    let (status, text) = request(srv.addr, "POST", "/v1/keys", &payload).expect("store key");
+    assert_eq!(status, 201, "{text}");
+    let stored: StoreKeyResponse = serde_json::from_str(&text).expect("parses");
+
+    let good = to_csv(&d);
+    let mut rejected = 0usize;
+    for (k, kind) in ALL_CSV_CORRUPTIONS.iter().enumerate() {
+        for i in 0..6u64 {
+            let seed = 0xBAD_5EED ^ ((k as u64) << 8) ^ i;
+            let bad = corrupt_csv(&good, *kind, seed);
+            let body = serde_json::to_string(&EncodeRequest {
+                key_id: stored.key_id.clone(),
+                csv: Some(bad),
+                rows: None,
+            })
+            .expect("serialize");
+            let (status, text) =
+                request(srv.addr, "POST", "/v1/encode", &body).expect("daemon answers");
+            // A mutation can leave the CSV parseable-and-in-domain
+            // (a flipped digit), so success is legal; a server error
+            // or a hang is not.
+            assert!(
+                status == 200 || (400..500).contains(&status),
+                "corruption {kind:?} seed {seed}: unexpected {status}: {text}"
+            );
+            if status != 200 {
+                rejected += 1;
+                assert!(text.contains("\"error\""), "typed error body expected: {text}");
+            }
+        }
+    }
+    assert!(rejected > 0, "at least some corruptions must be rejected");
+
+    assert_healthy(&srv);
+    srv.stop();
+}

@@ -1,0 +1,130 @@
+//! Backpressure and graceful-drain behaviour (the ISSUE 4 overload
+//! acceptance test): with the pool saturated, excess requests get
+//! `503 + Retry-After` promptly, the daemon stays healthy, and a
+//! shutdown lets in-flight requests finish.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use ppdt_serve::{request, ServerConfig};
+
+fn tiny_config() -> ServerConfig {
+    ServerConfig { workers: 1, queue_capacity: 1, debug_endpoints: true, ..ServerConfig::default() }
+}
+
+fn sleep_req(srv: &common::TestServer, ms: u64) -> (u16, String) {
+    request(srv.addr, "POST", "/v1/debug/sleep", &format!("{{\"ms\": {ms}}}"))
+        .expect("daemon answers")
+}
+
+/// Occupies the single worker (and then the single queue slot) with
+/// debug sleeps, returning the client threads.
+fn saturate(srv: &common::TestServer, ms: u64) -> Vec<std::thread::JoinHandle<(u16, String)>> {
+    let mut clients = Vec::new();
+    for _ in 0..2 {
+        let addr = srv.addr;
+        clients.push(std::thread::spawn(move || {
+            ppdt_serve::request(addr, "POST", "/v1/debug/sleep", &format!("{{\"ms\": {ms}}}"))
+                .expect("long request completes")
+        }));
+        // Give the request time to reach the worker / queue slot.
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    clients
+}
+
+#[test]
+fn saturated_pool_answers_503_with_retry_after_and_stays_healthy() {
+    let srv = common::start(tiny_config(), "overload");
+    let clients = saturate(&srv, 1500);
+
+    // Pool and queue are now full: the next request must be rejected
+    // promptly (not after the sleeps finish) with a Retry-After.
+    let started = Instant::now();
+    let mut s = TcpStream::connect(srv.addr).expect("connect");
+    s.write_all(b"POST /v1/debug/sleep HTTP/1.1\r\ncontent-length: 9\r\n\r\n{\"ms\": 1}")
+        .expect("write");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(started.elapsed() < Duration::from_millis(900), "503 must not wait for the pool");
+    assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+    assert!(text.to_ascii_lowercase().contains("retry-after: 1"), "{text}");
+    assert!(text.contains("overloaded"), "{text}");
+
+    // Liveness and metrics are answered inline, so they still work.
+    let (status, _) = request(srv.addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    let (status, text) = request(srv.addr, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    let v: serde::Value = serde_json::from_str(&text).expect("metrics parses");
+    let rejected = v
+        .get("serve")
+        .and_then(|s| s.get("rejected"))
+        .and_then(|r| r.as_f64())
+        .expect("serve.rejected");
+    assert!(rejected >= 1.0, "the 503 must be booked as a rejection");
+
+    // The saturating requests themselves complete fine.
+    for c in clients {
+        let (status, _) = c.join().expect("client thread");
+        assert_eq!(status, 200);
+    }
+    srv.stop();
+}
+
+#[test]
+fn queued_request_past_its_deadline_is_rejected_not_processed() {
+    let cfg = ServerConfig { request_deadline: Duration::from_millis(200), ..tiny_config() };
+    let srv = common::start(cfg, "deadline");
+
+    // One 800 ms sleep occupies the worker; a second goes into the
+    // queue and will be 600 ms stale by the time the worker frees up —
+    // past the 200 ms deadline, so it must come back 503.
+    let addr = srv.addr;
+    let busy = std::thread::spawn(move || {
+        ppdt_serve::request(addr, "POST", "/v1/debug/sleep", "{\"ms\": 800}").expect("completes")
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, body) = sleep_req(&srv, 1);
+    assert_eq!(status, 503, "stale queued request must be dropped: {body}");
+    assert!(body.contains("deadline"), "{body}");
+
+    let (status, _) = busy.join().expect("client thread");
+    assert_eq!(status, 200);
+
+    // A fresh request after the congestion clears succeeds.
+    let (status, _) = sleep_req(&srv, 1);
+    assert_eq!(status, 200);
+    srv.stop();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_requests() {
+    let srv = common::start(tiny_config(), "drain");
+
+    // Put a long request in flight and one in the queue, then ask for
+    // shutdown while both are outstanding.
+    let clients = saturate(&srv, 1000);
+    srv.shutdown.store(true, Ordering::SeqCst);
+
+    // Both outstanding requests complete with real answers (the
+    // queued one was accepted before shutdown, so it is drained, not
+    // dropped).
+    for c in clients {
+        let (status, body) = c.join().expect("client thread");
+        assert_eq!(status, 200, "in-flight work must finish during drain: {body}");
+    }
+
+    // The daemon exits cleanly and stops accepting.
+    srv.handle.join().expect("server thread").expect("run returns Ok");
+    assert!(
+        TcpStream::connect(srv.addr).is_err() || request(srv.addr, "GET", "/healthz", "").is_err(),
+        "daemon must stop accepting after the drain"
+    );
+    let _ = std::fs::remove_dir_all(&srv.dir);
+}

@@ -1,0 +1,94 @@
+//! Property test: a [`TransformKey`] survives
+//! serialize → deserialize → serialize **bit-identically** — the JSON
+//! text is byte-equal and the reloaded key compares equal, across
+//! breakpoint strategies, permutation pieces, and anti-monotone
+//! directions. The custodian's key file is the only way back from
+//! `D'` to `D`, so its serialization must be a fixed point.
+
+use ppdt_data::gen::census_like;
+use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig, PieceKind, TransformKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts both fixed-point properties for one key: byte-stable JSON
+/// (pretty and compact) and value-equality after reload.
+fn assert_roundtrip(key: &TransformKey) {
+    let pretty1 = serde_json::to_string_pretty(key).expect("serialize");
+    let back: TransformKey = serde_json::from_str(&pretty1).expect("deserialize");
+    let pretty2 = serde_json::to_string_pretty(&back).expect("re-serialize");
+    assert_eq!(pretty1, pretty2, "pretty JSON must be a fixed point");
+    assert_eq!(key, &back, "reloaded key must compare equal");
+
+    let compact1 = serde_json::to_string(key).expect("serialize");
+    let compact2 = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(compact1, compact2, "compact JSON must be a fixed point");
+}
+
+proptest! {
+    #[test]
+    fn prop_key_serialization_is_a_fixed_point(
+        seed in 0u64..u64::from(u32::MAX),
+        rows in 40usize..140,
+        anti in 0.0f64..1.0,
+        force_anti in any::<bool>(),
+        strategy_pick in 0usize..3,
+    ) {
+        // `force_anti` guarantees fully anti-monotone keys appear in
+        // every run rather than relying on the float draw.
+        let anti = if force_anti { 1.0 } else { anti };
+        let strategy = match strategy_pick {
+            0 => BreakpointStrategy::None,
+            1 => BreakpointStrategy::ChooseBP { w: 6 },
+            _ => BreakpointStrategy::ChooseMaxMP { w: 8, min_piece_len: 3 },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = census_like(&mut rng, rows);
+        let cfg = EncodeConfig { strategy, anti_monotone_prob: anti, ..Default::default() };
+        let (key, _) = encode_dataset(&mut rng, &d, &cfg).expect("encode clean data");
+        assert_roundtrip(&key);
+
+        // The round-tripped key is not just equal — it encodes
+        // identically (spot-check every recorded domain value of the
+        // first attribute).
+        let back: TransformKey = serde_json::from_str(
+            &serde_json::to_string(&key).expect("serialize"),
+        ).expect("deserialize");
+        let attr = ppdt_data::AttrId(0);
+        for &x in &key.transforms[0].orig_domain {
+            let y1 = key.encode_value(attr, x).expect("encode");
+            let y2 = back.encode_value(attr, x).expect("encode via reloaded key");
+            prop_assert!(y1.to_bits() == y2.to_bits(), "encode({x}) diverged: {y1} vs {y2}");
+        }
+    }
+}
+
+/// Deterministic companion: pin a configuration that provably
+/// contains the hard cases — permutation pieces (ChooseMaxMP on
+/// monochromatic runs) and anti-monotone directions — and check the
+/// round-trip on it, so the property above cannot silently lose
+/// coverage if the generators drift.
+#[test]
+fn key_with_permutation_pieces_and_anti_monotone_directions_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let d = census_like(&mut rng, 200);
+    let cfg = EncodeConfig {
+        strategy: BreakpointStrategy::ChooseMaxMP { w: 10, min_piece_len: 3 },
+        anti_monotone_prob: 1.0,
+        ..Default::default()
+    };
+    let (key, _) = encode_dataset(&mut rng, &d, &cfg).expect("encode");
+
+    assert!(
+        key.transforms.iter().all(|t| !t.increasing),
+        "anti_monotone_prob = 1.0 must make every attribute anti-monotone"
+    );
+    let has_permutation = key
+        .transforms
+        .iter()
+        .flat_map(|t| &t.pieces)
+        .any(|p| matches!(p.kind, PieceKind::Permutation { .. }));
+    assert!(has_permutation, "ChooseMaxMP on census-like data must yield permutation pieces");
+
+    assert_roundtrip(&key);
+}

@@ -1,18 +1,30 @@
 #!/usr/bin/env python3
-"""Compare two mining-trajectory reports (see scripts/bench_trajectory.sh).
+"""Compare two benchmark reports and gate on regressions.
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
     bench_compare.py --self-check
 
-Exits nonzero when any timing shared by both reports regressed by more
-than the tolerance (candidate slower than baseline * (1 + tolerance)).
-Timings are matched on (dataset, builder, threads); cases or thread
-counts present in only one report are listed but not gated, so the
-trajectory can grow new shapes without breaking old baselines.
+Two report shapes are understood, detected from the file contents:
 
-``--self-check`` verifies the gate itself: a report compared against
-itself must pass, and a synthetic 20%-regressed copy must fail.
+* **trajectory** reports (``trajectory_schema_version: 1``, written by
+  ``mining_speed`` via scripts/bench_trajectory.sh): timings matched on
+  (dataset, builder, threads); a timing regresses when the candidate is
+  slower than ``baseline * (1 + tolerance)``.
+* **BenchReport** (``schema_version: 2`` with ``headlines``, written by
+  e.g. ``serve_throughput``): headlines matched on name. Only
+  ``*_per_sec`` headlines are gated — higher is better, so a headline
+  regresses when the candidate falls below
+  ``baseline * (1 - tolerance)``. Other headlines (configuration echoes
+  like client counts) are informational.
+
+Both reports must be the same shape; mixing them is an error. Cases or
+headlines present in only one report are listed but not gated, so
+reports can grow new shapes without breaking old baselines.
+
+``--self-check`` verifies the gate itself in both modes: a report
+compared against itself must pass, and a synthetic 20%-regressed copy
+must fail.
 """
 
 import copy
@@ -23,10 +35,12 @@ import sys
 def load(path):
     with open(path) as fh:
         report = json.load(fh)
-    if report.get("trajectory_schema_version") != 1:
-        sys.exit(f"{path}: unsupported trajectory_schema_version "
-                 f"{report.get('trajectory_schema_version')!r}")
-    return report
+    if report.get("trajectory_schema_version") == 1:
+        return "trajectory", report
+    if report.get("schema_version") == 2 and "headlines" in report:
+        return "bench_report", report
+    sys.exit(f"{path}: unrecognised report shape (expected "
+             f"trajectory_schema_version=1 or schema_version=2 with headlines)")
 
 
 def timing_map(report):
@@ -38,8 +52,20 @@ def timing_map(report):
     return out
 
 
+def headline_map(report):
+    """{name: value} over the gated (``*_per_sec``) headlines."""
+    return {h["name"]: h["value"] for h in report["headlines"]
+            if h["name"].endswith("_per_sec")}
+
+
+def note_unshared(base, cand):
+    for key in sorted(base.keys() ^ cand.keys()):
+        side = "baseline" if key in base else "candidate"
+        print(f"note: {key} only in {side}; not gated")
+
+
 def compare(baseline, candidate, tolerance):
-    """Returns a list of human-readable regression strings."""
+    """Lower-is-better timing compare; returns regression strings."""
     base = timing_map(baseline)
     cand = timing_map(candidate)
     regressions = []
@@ -50,9 +76,21 @@ def compare(baseline, candidate, tolerance):
             regressions.append(
                 f"{dataset} {builder} threads={threads}: "
                 f"{b:.2f} ms -> {c:.2f} ms (+{100.0 * (c / b - 1.0):.1f}%)")
-    for key in sorted(base.keys() ^ cand.keys()):
-        side = "baseline" if key in base else "candidate"
-        print(f"note: {key} only in {side}; not gated")
+    note_unshared(base, cand)
+    return regressions
+
+
+def compare_headlines(baseline, candidate, tolerance):
+    """Higher-is-better throughput compare; returns regression strings."""
+    base = headline_map(baseline)
+    cand = headline_map(candidate)
+    regressions = []
+    for name in sorted(base.keys() & cand.keys()):
+        b, c = base[name], cand[name]
+        if b > 0 and c < b * (1.0 - tolerance):
+            regressions.append(
+                f"{name}: {b:.0f} -> {c:.0f} (-{100.0 * (1.0 - c / b):.1f}%)")
+    note_unshared(base, cand)
     return regressions
 
 
@@ -74,7 +112,28 @@ def self_check():
         t["millis"] *= 1.20
     if not compare(report, slow, 0.10):
         sys.exit("self-check FAILED: 20% regression not flagged at 10% tolerance")
-    print("self-check passed: identity clean, 20% regression flagged")
+
+    bench = {
+        "schema_version": 2,
+        "binary": "serve_throughput",
+        "headlines": [
+            {"name": "serve_encode_rows_per_sec", "value": 100000.0},
+            {"name": "serve_clients", "value": 4.0},
+        ],
+    }
+    if compare_headlines(bench, bench, 0.10):
+        sys.exit("self-check FAILED: identical BenchReports flagged a regression")
+    slower = copy.deepcopy(bench)
+    slower["headlines"][0]["value"] *= 0.80
+    if not compare_headlines(bench, slower, 0.10):
+        sys.exit("self-check FAILED: 20% throughput drop not flagged "
+                 "at 10% tolerance")
+    config_only = copy.deepcopy(bench)
+    config_only["headlines"][1]["value"] = 1.0
+    if compare_headlines(bench, config_only, 0.10):
+        sys.exit("self-check FAILED: non-_per_sec headline was gated")
+    print("self-check passed: identity clean, 20% regression flagged "
+          "in both report modes")
 
 
 def main(argv):
@@ -88,14 +147,20 @@ def main(argv):
         del argv[i:i + 2]
     if len(argv) != 2:
         sys.exit(__doc__.strip())
-    baseline, candidate = load(argv[0]), load(argv[1])
-    regressions = compare(baseline, candidate, tolerance)
+    (base_kind, baseline), (cand_kind, candidate) = load(argv[0]), load(argv[1])
+    if base_kind != cand_kind:
+        sys.exit(f"cannot compare a {base_kind} report against a "
+                 f"{cand_kind} report")
+    if base_kind == "trajectory":
+        regressions = compare(baseline, candidate, tolerance)
+    else:
+        regressions = compare_headlines(baseline, candidate, tolerance)
     if regressions:
         print(f"REGRESSIONS (> {100 * tolerance:.0f}% over baseline):")
         for r in regressions:
             print(f"  {r}")
         sys.exit(1)
-    print(f"ok: no timing regressed more than {100 * tolerance:.0f}%")
+    print(f"ok: nothing regressed more than {100 * tolerance:.0f}%")
 
 
 if __name__ == "__main__":

@@ -1,27 +1,40 @@
 #!/usr/bin/env bash
-# Regenerates the committed mining benchmark trajectory
-# (BENCH_PR3.json) via the `mining_speed` binary. See BENCHMARKS.md
-# "Trajectory" for the schema and the regression gate
+# Regenerates the committed benchmark reports: the mining trajectory
+# (BENCH_PR3.json, via `mining_speed`) and the custodian-daemon
+# throughput report (BENCH_PR4.json, via `serve_throughput`). See
+# BENCHMARKS.md for the schemas and the regression gate
 # (scripts/bench_compare.py).
 #
 # Usage: scripts/bench_trajectory.sh [--smoke] [--out PATH]
+#                                    [--serve-out PATH] [--no-serve]
 #
-#   --smoke   tiny datasets / single repetition (CI wiring check;
-#             numbers are not comparable to a full run)
-#   --out     report path (default: BENCH_PR3.json at the repo root)
+#   --smoke      tiny datasets / single repetition (CI wiring check;
+#                numbers are not comparable to a full run)
+#   --out        mining trajectory path (default: BENCH_PR3.json)
+#   --serve-out  serve throughput path (default: BENCH_PR4.json)
+#   --no-serve   skip the serve_throughput scenario
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_PR3.json"
+serve_out="BENCH_PR4.json"
+serve=1
 smoke=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) smoke=(--smoke); shift ;;
     --out) out="${2:?--out needs a path}"; shift 2 ;;
-    *) echo "unknown argument $1; usage: $0 [--smoke] [--out PATH]" >&2; exit 2 ;;
+    --serve-out) serve_out="${2:?--serve-out needs a path}"; shift 2 ;;
+    --no-serve) serve=0; shift ;;
+    *) echo "unknown argument $1; usage: $0 [--smoke] [--out PATH] [--serve-out PATH] [--no-serve]" >&2; exit 2 ;;
   esac
 done
 
-cargo build --release -q -p ppdt-bench --bin mining_speed
+cargo build --release -q -p ppdt-bench --bin mining_speed --bin serve_throughput
 ./target/release/mining_speed "${smoke[@]}" --json "$out"
 echo "trajectory written to $out"
+
+if [[ "$serve" -eq 1 ]]; then
+  ./target/release/serve_throughput "${smoke[@]}" --json "$serve_out"
+  echo "serve throughput written to $serve_out"
+fi

@@ -26,8 +26,14 @@ python3 scripts/panic_gate.py
 echo "== bench trajectory (smoke) + regression gate self-check"
 python3 scripts/bench_compare.py --self-check
 smoke_out="$(mktemp /tmp/ppdt_traj_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
-scripts/bench_trajectory.sh --smoke --out "$smoke_out"
+serve_smoke_out="$(mktemp /tmp/ppdt_serve_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$serve_smoke_out"' EXIT
+scripts/bench_trajectory.sh --smoke --out "$smoke_out" --serve-out "$serve_smoke_out"
 python3 scripts/bench_compare.py BENCH_PR3.json BENCH_PR3.json
+python3 scripts/bench_compare.py BENCH_PR4.json BENCH_PR4.json
+
+echo "== serve daemon smoke (healthz, encode/classify round-trip, SIGTERM)"
+cargo build --release -q -p ppdt-cli
+python3 scripts/serve_smoke.py target/release/ppdt
 
 echo "== all checks passed"

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the `ppdt serve` daemon.
+
+Starts `ppdt serve --addr 127.0.0.1:0 --keystore-dir <tmp>`, parses the
+bound address from the daemon's listen line, then over real loopback
+HTTP:
+
+1. GET  /healthz           -> 200 with status "ok"
+2. POST /v1/keys           -> 201, storing a key produced by
+                              `ppdt encode`
+3. POST /v1/encode (CSV)   -> 200, transformed relation comes back
+4. POST /v1/classify       -> 200, one label per query row (through a
+                              tree mined on the daemon-encoded D')
+5. GET  /metrics           -> 200, encode/classify counters advanced
+6. SIGTERM                 -> daemon drains and exits 0
+
+Usage: serve_smoke.py PPDT_BINARY
+
+Run from the repo root by scripts/check.sh; exits nonzero on any
+failure.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+TIMEOUT = 10  # seconds, per HTTP call and per wait
+
+
+def http(method, url, body=None):
+    """Returns (status, parsed-JSON body); HTTP errors are not raised."""
+    data = body.encode() if isinstance(body, str) else body
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=TIMEOUT) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode())
+
+
+def write_training_csv(path, rows=80):
+    """Two numeric attributes, label decided by a simple threshold rule
+    (so the mined tree is non-trivial), deterministic across runs."""
+    with open(path, "w") as fh:
+        fh.write("age,balance,label\n")
+        for i in range(rows):
+            age = 20 + (i * 7) % 50
+            balance = 100 + (i * 131) % 4000
+            label = "yes" if age < 45 and balance > 1500 else "no"
+            fh.write(f"{age},{balance},{label}\n")
+
+
+def fail(daemon, msg):
+    daemon.kill()
+    out, _ = daemon.communicate(timeout=TIMEOUT)
+    sys.exit(f"serve_smoke FAILED: {msg}\n--- daemon output ---\n{out}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    ppdt = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="ppdt-serve-smoke-") as tmp:
+        # Produce a key + plaintext CSV with the CLI itself so the smoke
+        # test exercises the same artifacts a real custodian would ship.
+        csv = os.path.join(tmp, "d.csv")
+        key = os.path.join(tmp, "key.json")
+        out_csv = os.path.join(tmp, "d_prime.csv")
+        write_training_csv(csv)
+        subprocess.run([ppdt, "encode", csv, "--out", out_csv,
+                        "--key", key, "--seed", "7"],
+                       check=True, timeout=60)
+
+        daemon = subprocess.Popen(
+            [ppdt, "serve", "--addr", "127.0.0.1:0",
+             "--keystore-dir", os.path.join(tmp, "keys")],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            # `ppdt serve` prints exactly one parseable line on startup:
+            #   ppdt-serve listening on <addr> (workers=.., ...)
+            line = daemon.stdout.readline()
+            if "listening on" not in line:
+                fail(daemon, f"unexpected startup line: {line!r}")
+            addr = line.split("listening on", 1)[1].split()[0]
+            base = f"http://{addr}"
+
+            status, body = http("GET", f"{base}/healthz")
+            if status != 200 or body.get("status") != "ok":
+                fail(daemon, f"healthz: {status} {body}")
+
+            with open(key) as fh:
+                key_json = fh.read()
+            status, body = http("POST", f"{base}/v1/keys",
+                                json.dumps({"key": json.loads(key_json)}))
+            if status != 201:
+                fail(daemon, f"store key: {status} {body}")
+            key_id = body["key_id"]
+
+            with open(csv) as fh:
+                plain = fh.read()
+            status, body = http("POST", f"{base}/v1/encode",
+                                json.dumps({"key_id": key_id, "csv": plain,
+                                            "rows": None}))
+            if status != 200 or not body.get("csv"):
+                fail(daemon, f"encode: {status} {body}")
+
+            # Classify through a tree mined from the daemon's own D'.
+            tree = os.path.join(tmp, "t_prime.json")
+            with open(os.path.join(tmp, "served.csv"), "w") as fh:
+                fh.write(body["csv"])
+            subprocess.run([ppdt, "mine", os.path.join(tmp, "served.csv"),
+                            "--out", tree], check=True, timeout=60)
+            rows = [[float(v) for v in ln.split(",")[:-1]]
+                    for ln in plain.strip().splitlines()[1:]][:5]
+            with open(tree) as fh:
+                tree_json = json.load(fh)
+            status, body = http("POST", f"{base}/v1/classify",
+                                json.dumps({"key_id": key_id,
+                                            "tree": tree_json, "rows": rows}))
+            if status != 200 or len(body.get("labels", [])) != len(rows):
+                fail(daemon, f"classify: {status} {body}")
+
+            status, body = http("GET", f"{base}/metrics")
+            served = {e["endpoint"]: e["requests"]
+                      for e in body["serve"]["endpoints"]}
+            if status != 200 or served.get("encode", 0) < 1 \
+                    or served.get("classify", 0) < 1:
+                fail(daemon, f"metrics: {status} {body}")
+
+            daemon.send_signal(signal.SIGTERM)
+            deadline = time.monotonic() + TIMEOUT
+            while daemon.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.05)
+            if daemon.poll() != 0:
+                fail(daemon, f"SIGTERM exit code {daemon.poll()!r} "
+                             f"(want clean 0)")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=TIMEOUT)
+
+    print("serve_smoke passed: healthz, key store, encode, classify, "
+          "metrics, graceful SIGTERM")
+
+
+if __name__ == "__main__":
+    main()
