@@ -41,10 +41,14 @@ pub enum Endpoint {
     /// `POST /v1/debug/sleep` — test-only worker occupier; routed only
     /// when `ServerConfig::debug_endpoints` is set.
     DebugSleep,
+    /// `POST /v1/debug/panic` — test-only deliberate handler panic
+    /// (exercises the worker pool's panic containment); routed only
+    /// when `ServerConfig::debug_endpoints` is set.
+    DebugPanic,
 }
 
 /// All endpoints, for metrics table construction.
-pub const ENDPOINTS: [Endpoint; 9] = [
+pub const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::StoreKey,
     Endpoint::ListKeys,
     Endpoint::Encode,
@@ -54,6 +58,7 @@ pub const ENDPOINTS: [Endpoint; 9] = [
     Endpoint::Healthz,
     Endpoint::Metrics,
     Endpoint::DebugSleep,
+    Endpoint::DebugPanic,
 ];
 
 impl Endpoint {
@@ -69,6 +74,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::DebugSleep => "debug_sleep",
+            Endpoint::DebugPanic => "debug_panic",
         }
     }
 
@@ -84,6 +90,7 @@ impl Endpoint {
             Endpoint::Healthz => "serve.healthz",
             Endpoint::Metrics => "serve.metrics",
             Endpoint::DebugSleep => "serve.debug_sleep",
+            Endpoint::DebugPanic => "serve.debug_panic",
         }
     }
 
@@ -92,9 +99,9 @@ impl Endpoint {
         self as usize
     }
 
-    /// Whether the acceptor answers this endpoint directly instead of
-    /// queueing it: liveness and metrics must keep responding while
-    /// the worker pool is saturated.
+    /// Whether the parser threads answer this endpoint directly
+    /// instead of queueing it: liveness and metrics must keep
+    /// responding while the worker pool is saturated.
     pub fn is_inline(self) -> bool {
         matches!(self, Endpoint::Healthz | Endpoint::Metrics)
     }
@@ -113,6 +120,7 @@ pub fn route(req: &Request, debug: bool) -> Result<Endpoint, HttpError> {
         ("GET", "/healthz") => Ok(Endpoint::Healthz),
         ("GET", "/metrics") => Ok(Endpoint::Metrics),
         ("POST", "/v1/debug/sleep") if debug => Ok(Endpoint::DebugSleep),
+        ("POST", "/v1/debug/panic") if debug => Ok(Endpoint::DebugPanic),
         (
             _,
             p @ ("/v1/keys" | "/v1/encode" | "/v1/classify" | "/v1/decode-tree" | "/v1/audit"
@@ -264,7 +272,22 @@ fn json_response<T: Serialize>(status: u16, value: &T) -> Result<Response, HttpE
     Ok(Response::with_status(status, body))
 }
 
+/// Rejects ids that are not 32 lowercase hex chars with a `400`: a
+/// malformed id is a client usage error, not a corrupt stored key —
+/// `409 corrupt_key` is reserved for envelopes that fail validation
+/// on disk.
+fn check_key_id(key_id: &str) -> Result<(), HttpError> {
+    if !crate::keystore::valid_id(key_id) {
+        return Err(HttpError::bad_request(
+            "invalid_key_id",
+            format!("malformed key id {key_id:?}: expected 32 lowercase hex characters"),
+        ));
+    }
+    Ok(())
+}
+
 fn load_key(store: &KeyStore, key_id: &str) -> Result<TransformKey, HttpError> {
+    check_key_id(key_id)?;
     match store.get(key_id) {
         Ok(Some(key)) => Ok(key),
         Ok(None) => {
@@ -322,6 +345,7 @@ pub fn handle(endpoint: Endpoint, req: &Request, store: &KeyStore) -> Result<Res
         Endpoint::DecodeTree => decode_tree(req, store),
         Endpoint::Audit => audit(req, store),
         Endpoint::DebugSleep => debug_sleep(req),
+        Endpoint::DebugPanic => panic!("debug panic endpoint: deliberate handler panic"),
         Endpoint::Healthz | Endpoint::Metrics => {
             Err(HttpError::from(PpdtError::internal("inline endpoint reached the worker pool")))
         }
@@ -441,6 +465,7 @@ fn decode_tree(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
 
 fn audit(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
     let body: AuditRequestBody = parse_body(req)?;
+    check_key_id(&body.key_id)?;
     let key = match store.get(&body.key_id) {
         Ok(Some(key)) => key,
         Ok(None) => {
@@ -497,6 +522,18 @@ mod tests {
         // Debug routes exist only when enabled.
         assert_eq!(route(&post("/v1/debug/sleep"), false).unwrap_err().status, 404);
         assert_eq!(route(&post("/v1/debug/sleep"), true).unwrap(), Endpoint::DebugSleep);
+        assert_eq!(route(&post("/v1/debug/panic"), false).unwrap_err().status, 404);
+        assert_eq!(route(&post("/v1/debug/panic"), true).unwrap(), Endpoint::DebugPanic);
+    }
+
+    #[test]
+    fn malformed_key_ids_are_client_errors() {
+        for bad in ["../../etc/passwd", "short", "", &"A".repeat(32)] {
+            let err = check_key_id(bad).expect_err("malformed id must be rejected");
+            assert_eq!(err.status, 400, "{bad:?}");
+            assert_eq!(err.code, "invalid_key_id", "{bad:?}");
+        }
+        assert!(check_key_id(&"0a".repeat(16)).is_ok());
     }
 
     #[test]

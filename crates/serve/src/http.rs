@@ -12,9 +12,9 @@
 //! the integration tests, the loopback throughput benchmark, and the
 //! smoke script.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ppdt_error::PpdtError;
 
@@ -117,12 +117,57 @@ impl From<PpdtError> for HttpError {
     }
 }
 
+/// Wraps a socket so the *total* time spent delivering one request is
+/// bounded: every read gets `deadline - now` as its timeout, and a
+/// read at or past the deadline fails with `TimedOut`. A per-read
+/// timeout alone lets a slow-loris peer reset the clock with one byte
+/// per interval; this deadline cannot be reset.
+#[derive(Debug)]
+pub struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    /// Bounds all reads on `stream` by `deadline`.
+    pub fn new(stream: TcpStream, deadline: Instant) -> Self {
+        DeadlineStream { stream, deadline }
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request parse deadline exceeded",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
+
+/// Maps a failed request read to its status: a timed-out read is the
+/// peer being too slow (`408`), anything else is a truncated request
+/// (`400`).
+fn read_failed(code: &'static str, what: &str, e: &std::io::Error) -> HttpError {
+    if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) {
+        HttpError {
+            status: 408,
+            code: "request_timeout",
+            message: format!("{what}: connection too slow delivering the request"),
+            detail: None,
+        }
+    } else {
+        HttpError::bad_request(code, format!("{what}: {e}"))
+    }
+}
+
 /// Reads one request from `reader`, enforcing the head cap and
 /// `max_body` on `Content-Length`.
-pub fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Request, HttpError> {
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
     let mut head = String::new();
     let mut line = String::new();
     // Request line + headers, terminated by an empty line.
@@ -130,7 +175,7 @@ pub fn read_request(
         line.clear();
         let n = reader
             .read_line(&mut line)
-            .map_err(|e| HttpError::bad_request("truncated_head", format!("read failed: {e}")))?;
+            .map_err(|e| read_failed("truncated_head", "head read failed", &e))?;
         if n == 0 {
             return Err(HttpError::bad_request(
                 "truncated_head",
@@ -209,9 +254,10 @@ pub fn read_request(
 
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| {
-        HttpError::bad_request(
+        read_failed(
             "truncated_body",
-            format!("body shorter than Content-Length {content_length}: {e}"),
+            &format!("body shorter than Content-Length {content_length}"),
+            &e,
         )
     })?;
 
@@ -250,6 +296,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
@@ -323,6 +370,7 @@ pub fn request(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::BufReader;
     use std::net::TcpListener;
 
     fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {

@@ -10,9 +10,10 @@
 //!
 //! Durability and trust:
 //!
-//! * writes go to a temp file in the same directory followed by an
-//!   atomic `rename`, so a crashed daemon never leaves a half-written
-//!   envelope under a valid id;
+//! * writes go to a per-call-unique temp file in the same directory,
+//!   are fsynced, and land via an atomic `rename`, so neither a
+//!   crashed daemon nor two threads storing concurrently can leave a
+//!   half-written envelope under a valid id;
 //! * loads re-derive the digest from the stored key and require it to
 //!   match both the envelope's recorded id and the file name, so
 //!   bit-rot or tampering is detected before the key is trusted;
@@ -21,7 +22,9 @@
 //!   never reach a request handler.
 
 use std::fs;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ppdt_error::PpdtError;
 use ppdt_transform::TransformKey;
@@ -84,9 +87,16 @@ fn content_id(bytes: &[u8]) -> String {
 /// A syntactically valid id: exactly 32 lowercase hex chars. Gates
 /// every id that arrives over the wire before it touches the file
 /// system (path traversal is unrepresentable).
-fn valid_id(id: &str) -> bool {
+pub fn valid_id(id: &str) -> bool {
     id.len() == 32 && id.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
 }
+
+/// Distinguishes concurrent `put` temp files: the pid alone is shared
+/// by every worker thread of one daemon, so two simultaneous stores of
+/// the same key would otherwise collide on one temp path and can
+/// rename a half-written envelope into the final content-addressed
+/// file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl KeyStore {
     /// Opens (creating if needed) the store directory.
@@ -136,25 +146,42 @@ impl KeyStore {
         };
         let text = serde_json::to_string_pretty(&envelope)
             .map_err(|e| PpdtError::internal(format!("envelope serialization failed: {e}")))?;
-        // Write-then-rename: a crash mid-write leaves only a temp file
-        // that no valid id ever resolves to.
-        let tmp = self.dir.join(format!(".tmp-{id}-{}", std::process::id()));
-        fs::write(&tmp, text).map_err(|e| PpdtError::io(tmp.display().to_string(), e))?;
-        fs::rename(&tmp, &path).map_err(|e| PpdtError::io(path.display().to_string(), e))?;
-        Ok((id, true))
+        // Write-then-rename onto a per-call-unique temp path: a crash
+        // mid-write leaves only a temp file that no valid id ever
+        // resolves to, and concurrent puts of the same key each own
+        // their temp file (the last rename wins with identical bytes).
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(".tmp-{id}-{}-{seq}", std::process::id()));
+        let result = (|| {
+            let mut f =
+                fs::File::create(&tmp).map_err(|e| PpdtError::io(tmp.display().to_string(), e))?;
+            f.write_all(text.as_bytes())
+                .map_err(|e| PpdtError::io(tmp.display().to_string(), e))?;
+            // fsync before rename: the envelope is durable before it
+            // becomes reachable under its id.
+            f.sync_all().map_err(|e| PpdtError::io(tmp.display().to_string(), e))?;
+            drop(f);
+            fs::rename(&tmp, &path).map_err(|e| PpdtError::io(path.display().to_string(), e))
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result.map(|()| (id, true))
     }
 
     /// Loads and fully validates the key stored under `id`.
     ///
-    /// Returns `Ok(None)` when no such id exists (the HTTP layer turns
-    /// that into a 404); every corruption path — unparseable envelope,
+    /// Returns `Ok(None)` when no such id exists — including ids that
+    /// are not [`valid_id`]-shaped, which cannot name any stored key
+    /// and never touch the file system (path traversal is
+    /// unrepresentable). The HTTP layer answers 404 for unknown ids
+    /// and pre-validates the shape for a more precise 400. Every
+    /// corruption path on a *stored* envelope — unparseable JSON,
     /// unknown schema version, digest mismatch, failed audit — is a
     /// typed [`PpdtError::KeyCorrupt`].
     pub fn get(&self, id: &str) -> Result<Option<TransformKey>, PpdtError> {
         if !valid_id(id) {
-            return Err(PpdtError::key_corrupt(format!(
-                "malformed key id {id:?}: expected 32 lowercase hex characters"
-            )));
+            return Ok(None);
         }
         let path = self.path_for(id);
         let text = match fs::read_to_string(&path) {
@@ -256,15 +283,48 @@ mod tests {
     }
 
     #[test]
-    fn unknown_id_is_none_and_malformed_id_is_corrupt() {
+    fn unknown_and_malformed_ids_are_none() {
         let dir = tmp_dir("unknown");
         let store = KeyStore::open(&dir).unwrap();
         assert_eq!(store.get(&"0".repeat(32)).unwrap(), None);
-        // Path traversal shapes never reach the file system.
+        // Malformed shapes (including path traversal) cannot name any
+        // stored key and never reach the file system.
         for bad in ["../../etc/passwd", "short", "ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ", ""] {
-            let err = store.get(bad).expect_err("malformed id must be rejected");
-            assert_eq!(err.category(), ppdt_error::ErrorCategory::CorruptKey, "{bad:?}");
+            assert!(!valid_id(bad), "{bad:?}");
+            assert_eq!(store.get(bad).unwrap(), None, "{bad:?}");
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_puts_never_corrupt_the_store() {
+        let dir = tmp_dir("race");
+        let store = KeyStore::open(&dir).unwrap();
+        // Several threads race to store the same small set of keys:
+        // with a shared temp path one thread's rename could ship
+        // another's half-written envelope.
+        let keys: Vec<TransformKey> = (0..4).map(|s| sample_key(100 + s)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for key in &keys {
+                        let (id, _) = store.put(key).expect("put succeeds");
+                        let back = store.get(&id).expect("no corruption").expect("present");
+                        assert_eq!(&back, key);
+                    }
+                });
+            }
+        });
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), keys.len());
+        assert!(entries.iter().all(|e| e.valid), "{entries:?}");
+        // No temp-file debris survives the racing puts.
+        let debris: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(debris.is_empty(), "{debris:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -19,17 +19,21 @@
 //! * [`handlers`] — the API surface: `POST /v1/keys`, `/v1/encode`,
 //!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, and the inline
 //!   `GET /healthz` / `GET /metrics`,
-//! * [`server`] — the daemon: bounded worker pool over a bounded
-//!   queue, `503 + Retry-After` backpressure, per-request deadlines,
-//!   graceful drain,
+//! * [`server`] — the daemon: an accept → parse → work pipeline with
+//!   bounded queues, a never-reading acceptor, dedicated parser
+//!   threads under a slow-loris-proof parse deadline, `503 +
+//!   Retry-After` backpressure, per-request deadlines, panic-contained
+//!   workers, graceful drain,
 //! * [`signal`] — SIGINT/SIGTERM latching without a libc dependency.
 //!
 //! Error mapping is the workspace table
 //! ([`ppdt_error::ErrorCategory::http_status`]): usage → 400, corrupt
 //! data → 422, corrupt key → 409, incompatible tree → 424, io/internal
-//! → 500, with transport-level 404/405/411/413/431/503 on top. Every
-//! failure is a structured JSON body — hostile input gets a typed
-//! 4xx, never a panic.
+//! → 500, with transport-level 404/405/408/411/413/431/503 on top
+//! (and a `400 invalid_key_id` for ids that are not 32 lowercase hex
+//! chars — 409 is reserved for keys corrupt *on disk*). Every failure
+//! is a structured JSON body — hostile input gets a typed 4xx, never
+//! a panic.
 
 #![warn(missing_docs)]
 

@@ -1,20 +1,29 @@
-//! The daemon: bounded worker pool, bounded request queue, graceful
-//! drain.
+//! The daemon: a three-stage pipeline — accept, parse, work — with
+//! bounded queues between the stages and graceful drain.
 //!
-//! The acceptor thread parses and routes each connection. Liveness
-//! (`/healthz`) and `/metrics` are answered inline so they keep
-//! responding while the pool is saturated; everything else is pushed
-//! onto a bounded queue. When the queue is full the acceptor answers
-//! `503` with `Retry-After` immediately instead of buffering — the
-//! backpressure is visible to the client, not hidden in latency.
-//! Workers drop requests that waited past the per-request deadline
-//! (the client has likely given up; doing the work anyway is wasted
-//! CPU under overload).
+//! The acceptor thread does nothing but `accept()` and hand the raw
+//! socket to a bounded connection queue; it never reads from a peer,
+//! so a slow or hostile connection cannot stall accepting. A small
+//! dedicated parser pool reads and routes each connection under an
+//! overall per-connection parse deadline ([`ServerConfig::
+//! parse_deadline`], enforced by [`DeadlineStream`]) — a slow-loris
+//! trickling bytes cannot reset it and is cut off with `408`.
+//! Liveness (`/healthz`) and `/metrics` are answered by the parser
+//! threads directly so they keep responding while the worker pool is
+//! saturated; everything else is pushed onto the bounded job queue.
+//! When a queue is full the request is answered `503` with
+//! `Retry-After` immediately instead of buffering — the backpressure
+//! is visible to the client, not hidden in latency. Workers drop jobs
+//! that waited past the per-request deadline (the client has likely
+//! given up; doing the work anyway is wasted CPU under overload), and
+//! a panicking handler is caught, answered `500`, and the worker
+//! lives on.
 //!
 //! Shutdown is cooperative: a SIGINT/SIGTERM (or a programmatic
 //! [`Server::shutdown_flag`] store) makes the acceptor stop accepting
-//! and drop the queue sender; workers drain what was already queued,
-//! finish their in-flight requests, and [`Server::run`] returns.
+//! and drop the connection sender; parsers drain the accepted
+//! connections, workers drain the queued jobs and finish their
+//! in-flight requests, and [`Server::run`] returns.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -28,7 +37,7 @@ use ppdt_obs::Counter;
 use serde::Serialize;
 
 use crate::handlers::{self, Endpoint, ENDPOINTS};
-use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::http::{read_request, write_response, DeadlineStream, HttpError, Request, Response};
 use crate::keystore::KeyStore;
 
 /// Everything tunable about a [`Server`].
@@ -49,7 +58,16 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
-    /// Routes the test-only `POST /v1/debug/sleep` endpoint.
+    /// Dedicated parse/inline threads; `0` resolves to `2`. They read
+    /// requests off accepted connections and answer `/healthz` and
+    /// `/metrics`, so slow peers and a saturated worker pool cannot
+    /// stall liveness.
+    pub parser_threads: usize,
+    /// Hard ceiling on the total time a connection may take to deliver
+    /// one complete request (head + body). Unlike `io_timeout` it is
+    /// not reset by each byte, so it bounds slow-loris peers.
+    pub parse_deadline: Duration,
+    /// Routes the test-only `POST /v1/debug/*` endpoints.
     pub debug_endpoints: bool,
 }
 
@@ -62,6 +80,8 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(10),
             max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
             io_timeout: Duration::from_secs(30),
+            parser_threads: 0,
+            parse_deadline: Duration::from_secs(5),
             debug_endpoints: false,
         }
     }
@@ -178,6 +198,11 @@ pub struct MetricsBody {
     pub process: ppdt_obs::MetricsSnapshot,
 }
 
+/// An accepted, not-yet-parsed connection awaiting a parser thread.
+struct Conn {
+    stream: TcpStream,
+}
+
 /// One queued unit of work: the parsed request plus the socket to
 /// answer on.
 struct Job {
@@ -193,6 +218,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     workers: usize,
+    parsers: usize,
     store: KeyStore,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
@@ -216,11 +242,13 @@ impl Server {
             detail: format!("set_nonblocking: {e}"),
         })?;
         let workers = if cfg.workers == 0 { ppdt_obs::threads(None) } else { cfg.workers };
+        let parsers = if cfg.parser_threads == 0 { 2 } else { cfg.parser_threads };
         Ok(Server {
             cfg,
             listener,
             addr,
             workers,
+            parsers,
             store,
             shutdown: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(ServeMetrics::default()),
@@ -255,24 +283,56 @@ impl Server {
     /// Accepts and serves until shutdown, then drains. Blocks the
     /// calling thread for the daemon's whole life.
     pub fn run(self) -> Result<(), PpdtError> {
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.cfg.queue_capacity);
-        let rx = Mutex::new(rx);
+        // Two bounded hand-offs: accepted sockets to the parsers,
+        // parsed jobs to the workers. Either queue being full is
+        // answered 503 by the stage that fails to enqueue.
+        let (conn_tx, conn_rx) =
+            std::sync::mpsc::sync_channel::<Conn>(self.cfg.queue_capacity.max(self.parsers));
+        let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(self.cfg.queue_capacity);
+        let conn_rx = Mutex::new(conn_rx);
+        let job_rx = Mutex::new(job_rx);
+        let this = &self;
         let joined = crossbeam::thread::scope(|s| {
-            for _ in 0..self.workers {
-                s.spawn(|_| self.worker_loop(&rx));
+            for _ in 0..this.workers {
+                let job_rx = &job_rx;
+                s.spawn(move |_| this.worker_loop(job_rx));
             }
-            self.accept_loop(&tx);
-            // Dropping the only sender wakes every worker out of
-            // `recv()` once the queue is empty: the drain barrier.
-            drop(tx);
+            for _ in 0..this.parsers {
+                let conn_rx = &conn_rx;
+                let tx = job_tx.clone();
+                s.spawn(move |_| this.parser_loop(conn_rx, tx));
+            }
+            // Each parser owns a job-sender clone; dropping the
+            // original here means the workers' `recv()` unblocks as
+            // soon as the last parser exits and the queue is empty.
+            drop(job_tx);
+            this.accept_loop(&conn_tx);
+            // Dropping the only connection sender wakes every parser
+            // out of `recv()` once the backlog is empty: the drain
+            // barrier cascades parser → worker.
+            drop(conn_tx);
         });
         joined.map_err(|_| PpdtError::internal("a server thread panicked"))
     }
 
-    fn accept_loop(&self, tx: &SyncSender<Job>) {
+    /// Accepts sockets and hands them off; never reads from a peer, so
+    /// no connection — however slow or hostile — can stall `accept()`.
+    fn accept_loop(&self, tx: &SyncSender<Conn>) {
         while !self.stopping() {
             match self.listener.accept() {
-                Ok((stream, _peer)) => self.handle_conn(stream, tx),
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+                    let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
+                    match tx.try_send(Conn { stream }) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut c)) => {
+                            self.reject_conn(&mut c.stream, "connection backlog is full");
+                        }
+                        Err(TrySendError::Disconnected(mut c)) => {
+                            self.reject_conn(&mut c.stream, "server is shutting down");
+                        }
+                    }
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
@@ -285,15 +345,28 @@ impl Server {
         }
     }
 
-    /// Parses, routes, and either answers inline or enqueues.
+    fn parser_loop(&self, rx: &Mutex<Receiver<Conn>>, tx: SyncSender<Job>) {
+        loop {
+            let conn = {
+                let Ok(guard) = rx.lock() else { return };
+                match guard.recv() {
+                    Ok(conn) => conn,
+                    Err(_) => return, // sender dropped: drain complete
+                }
+            };
+            self.handle_conn(conn.stream, &tx);
+        }
+    }
+
+    /// Parses, routes, and either answers inline or enqueues. Runs on
+    /// a parser thread under the per-connection parse deadline.
     fn handle_conn(&self, stream: TcpStream, tx: &SyncSender<Job>) {
-        let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
-        let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
         let Ok(read_half) = stream.try_clone() else {
             return;
         };
         let mut stream = stream;
-        let mut reader = BufReader::new(read_half);
+        let deadline = Instant::now() + self.cfg.parse_deadline;
+        let mut reader = BufReader::new(DeadlineStream::new(read_half, deadline));
         let req = match read_request(&mut reader, self.cfg.max_body_bytes) {
             Ok(req) => req,
             Err(e) => {
@@ -359,16 +432,34 @@ impl Server {
         let in_flight = self.metrics.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         self.metrics.in_flight_peak.fetch_max(in_flight, Ordering::SeqCst);
         ppdt_obs::record_max(Counter::HttpInFlightPeak, in_flight);
+        // RAII so a panicking handler cannot leak the in-flight gauge.
+        struct InFlight<'a>(&'a ServeMetrics);
+        impl Drop for InFlight<'_> {
+            fn drop(&mut self) {
+                self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _in_flight = InFlight(&self.metrics);
 
         let _t = ppdt_obs::phase(job.endpoint.phase_name());
         let start = Instant::now();
-        let outcome = handlers::handle(job.endpoint, &job.req, &self.store);
+        // A handler panic is a bug, but it must cost one 500, not a
+        // worker thread for the daemon's remaining lifetime.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handlers::handle(job.endpoint, &job.req, &self.store)
+        }));
         self.metrics.timed(job.endpoint, start.elapsed());
         match outcome {
-            Ok(resp) => self.answer(&mut job.stream, job.endpoint, resp),
-            Err(e) => self.answer_error(&mut job.stream, Some(job.endpoint), &e),
+            Ok(Ok(resp)) => self.answer(&mut job.stream, job.endpoint, resp),
+            Ok(Err(e)) => self.answer_error(&mut job.stream, Some(job.endpoint), &e),
+            Err(_) => {
+                let e = HttpError::from(PpdtError::internal(format!(
+                    "handler for {} panicked",
+                    job.endpoint.name()
+                )));
+                self.answer_error(&mut job.stream, Some(job.endpoint), &e);
+            }
         }
-        self.metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Writes a `503 + Retry-After` and books it as backpressure, not
@@ -376,6 +467,16 @@ impl Server {
     fn reject(&self, stream: &mut TcpStream, endpoint: Endpoint, why: &str) {
         self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
         self.metrics.errored(endpoint);
+        ppdt_obs::add(Counter::HttpRejected, 1);
+        let _ = write_response(stream, &HttpError::overloaded(why).to_response());
+    }
+
+    /// Writes a `503` to a connection rejected before parsing (the
+    /// backlog is full or the daemon is draining). The response is a
+    /// few hundred bytes into a fresh socket's empty send buffer, so
+    /// it cannot stall the acceptor beyond the write timeout.
+    fn reject_conn(&self, stream: &mut TcpStream, why: &str) {
+        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
         ppdt_obs::add(Counter::HttpRejected, 1);
         let _ = write_response(stream, &HttpError::overloaded(why).to_response());
     }

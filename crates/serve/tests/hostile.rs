@@ -113,7 +113,8 @@ fn malformed_payloads_get_typed_4xx() {
     .expect("request");
     assert_eq!(status, 400, "{body}");
 
-    // Unknown (well-formed) key id is a 404, malformed id a 409.
+    // Unknown (well-formed) key id is a 404, malformed id a 400:
+    // the client sent garbage, no stored key is corrupt.
     let (status, body) = request(
         srv.addr,
         "POST",
@@ -123,16 +124,95 @@ fn malformed_payloads_get_typed_4xx() {
     .expect("request");
     assert_eq!(status, 404);
     assert!(body.contains("unknown_key"), "{body}");
-    let (status, _) = request(
+    let (status, body) = request(
         srv.addr,
         "POST",
         "/v1/encode",
         "{\"key_id\": \"../../etc/passwd\", \"csv\": \"a,label\\n1,x\\n\"}",
     )
     .expect("request");
-    assert_eq!(status, 409, "path-traversal ids are corrupt-key errors");
+    assert_eq!(status, 400, "path-traversal ids are client usage errors: {body}");
+    assert!(body.contains("invalid_key_id"), "{body}");
 
     assert_healthy(&srv);
+    srv.stop();
+}
+
+/// The REVIEW-1 regression: a connection that accepts and then stalls
+/// mid-request (slow-loris) must not stall the daemon. The acceptor
+/// never reads, parsing happens on dedicated threads under an overall
+/// parse deadline, so `/healthz` keeps answering promptly and the
+/// loris is cut off with `408`.
+#[test]
+fn slow_connections_cannot_stall_liveness() {
+    use std::time::{Duration, Instant};
+    let cfg =
+        ServerConfig { parse_deadline: Duration::from_millis(700), ..ServerConfig::default() };
+    let srv = common::start(cfg, "loris");
+
+    // Partial head, then silence. The connection stays open.
+    let mut loris = TcpStream::connect(srv.addr).expect("connect");
+    loris.write_all(b"POST /v1/encode HTTP/1.1\r\ncontent-le").expect("write");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // While the loris dangles, liveness answers promptly.
+    let started = Instant::now();
+    let (status, _) = request(srv.addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    assert!(
+        started.elapsed() < Duration::from_millis(600),
+        "healthz must not wait on a slow connection ({:?})",
+        started.elapsed()
+    );
+
+    // A slow *body* (full head, Content-Length never delivered) is
+    // bounded by the same deadline.
+    let mut slow_body = TcpStream::connect(srv.addr).expect("connect");
+    slow_body
+        .write_all(b"POST /v1/encode HTTP/1.1\r\ncontent-length: 100000\r\n\r\n{\"key_id")
+        .expect("write");
+
+    // Both are cut off at the parse deadline with 408.
+    for mut conn in [loris, slow_body] {
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("timeout");
+        let mut out = Vec::new();
+        conn.read_to_end(&mut out).expect("read");
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        assert!(text.contains("request_timeout"), "{text}");
+    }
+
+    assert_healthy(&srv);
+    srv.stop();
+}
+
+/// A panicking handler costs one `500`, not a worker thread: with a
+/// single worker, a dead worker would hang every later request, and a
+/// leaked in-flight increment would pin the gauge above zero forever.
+#[test]
+fn handler_panic_answers_500_and_the_worker_survives() {
+    let cfg = ServerConfig { workers: 1, debug_endpoints: true, ..ServerConfig::default() };
+    let srv = common::start(cfg, "panic");
+
+    let (status, body) = request(srv.addr, "POST", "/v1/debug/panic", "").expect("answered");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("panicked"), "{body}");
+
+    // The single worker is still alive and serving.
+    let (status, _) = request(srv.addr, "GET", "/v1/keys", "").expect("daemon alive");
+    assert_eq!(status, 200);
+
+    // The in-flight gauge was not leaked by the panic path.
+    let (status, text) = request(srv.addr, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    let v: serde::Value = serde_json::from_str(&text).expect("metrics parses");
+    let in_flight = v
+        .get("serve")
+        .and_then(|s| s.get("in_flight"))
+        .and_then(|x| x.as_f64())
+        .expect("serve.in_flight");
+    assert_eq!(in_flight, 0.0, "panic must not leak the in-flight count");
+
     srv.stop();
 }
 
