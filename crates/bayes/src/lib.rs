@@ -216,7 +216,7 @@ fn run_boundary_edges(sc: &ppdt_data::SortedColumn, bins: usize) -> Vec<f64> {
 mod tests {
     use super::*;
     use ppdt_data::gen::{census_like, figure1, random_dataset, RandomDatasetConfig};
-    use ppdt_transform::{encode_dataset, EncodeConfig};
+    use ppdt_transform::{EncodeConfig, Encoder};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -245,7 +245,10 @@ mod tests {
             RandomDatasetConfig { num_rows: 300, num_attrs: 3, num_classes: 3, value_range: 40 };
         for trial in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
-            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+            let (_, d2) = Encoder::new(EncodeConfig::default())
+                .encode(&mut rng, &d)
+                .expect("encode")
+                .into_parts();
             let params = NbParams { bins: 4 + trial % 5, alpha: 1.0 };
             let m1 = QuantileBinnedNb::fit(&d, &params);
             let m2 = QuantileBinnedNb::fit(&d2, &params);
@@ -285,7 +288,10 @@ mod tests {
             }
             let d = b.build();
             let _ = trial;
-            let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+            let (_, d2) = Encoder::new(EncodeConfig::default())
+                .encode(&mut rng, &d)
+                .expect("encode")
+                .into_parts();
             // Raw quantile edges: the value at rank n/2.
             let raw_edge = |dd: &ppdt_data::Dataset| {
                 let mut col = dd.column(AttrId(0)).to_vec();

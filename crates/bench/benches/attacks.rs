@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use ppdt_attack::{fit_crack, generate_kps, sorting_attack, FitMethod};
 use ppdt_bench::HarnessConfig;
 use ppdt_data::AttrId;
-use ppdt_transform::encoder::encode_attribute;
-use ppdt_transform::EncodeConfig;
+use ppdt_transform::{EncodeConfig, Encoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,7 +13,9 @@ fn bench_attacks(c: &mut Criterion) {
     let cfg = HarnessConfig { scale: 0.02, ..Default::default() };
     let d = cfg.covertype();
     let mut rng = StdRng::seed_from_u64(5);
-    let tr = encode_attribute(&mut rng, &d, AttrId(9), &EncodeConfig::default()).expect("encode");
+    let tr = Encoder::new(EncodeConfig::default())
+        .encode_attribute(&mut rng, &d, AttrId(9))
+        .expect("encode");
     let orig = tr.orig_domain.clone();
     let transformed: Vec<f64> =
         orig.iter().map(|&x| tr.encode(x).expect("in-domain value")).collect();

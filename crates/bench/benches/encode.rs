@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ppdt_bench::HarnessConfig;
 use ppdt_data::AttrId;
-use ppdt_transform::encoder::encode_attribute;
-use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig};
+use ppdt_transform::{BreakpointStrategy, EncodeConfig, Encoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,7 +22,8 @@ fn bench_encode(c: &mut Criterion) {
         let config = EncodeConfig { strategy, ..Default::default() };
         group.bench_with_input(BenchmarkId::new(name, "attr10"), &config, |b, config| {
             let mut rng = StdRng::seed_from_u64(2);
-            b.iter(|| encode_attribute(&mut rng, &d, AttrId(9), config))
+            let enc = Encoder::new(*config);
+            b.iter(|| enc.encode_attribute(&mut rng, &d, AttrId(9)))
         });
     }
     group.finish();
@@ -33,7 +33,8 @@ fn bench_encode(c: &mut Criterion) {
     group.throughput(Throughput::Elements((d.num_rows() * d.num_attrs()) as u64));
     group.bench_function("default_config", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| encode_dataset(&mut rng, &d, &EncodeConfig::default()))
+        let enc = Encoder::new(EncodeConfig::default());
+        b.iter(|| enc.encode(&mut rng, &d))
     });
     group.finish();
 }

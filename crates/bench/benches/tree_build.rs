@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ppdt_bench::HarnessConfig;
-use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_transform::{EncodeConfig, Encoder};
 use ppdt_tree::{ThresholdPolicy, TreeBuilder, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,7 +13,8 @@ fn bench_tree(c: &mut Criterion) {
     let cfg = HarnessConfig { scale: 0.005, ..Default::default() };
     let d = cfg.covertype();
     let mut rng = StdRng::seed_from_u64(4);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, d2) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
     let params = TreeParams { min_samples_leaf: 5, ..Default::default() };
     let builder = TreeBuilder::new(params);
 

@@ -18,7 +18,8 @@ use std::time::Instant;
 use ppdt_data::gen::{
     census_like, covertype_like, random_dataset, CovertypeConfig, RandomDatasetConfig,
 };
-use ppdt_data::Dataset;
+use ppdt_data::{AttrId, Dataset};
+use ppdt_transform::{CompiledKey, EncodeConfig, Encoder};
 use ppdt_tree::{trees_equal, TreeBuilder, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -125,6 +126,75 @@ fn run_case(name: &str, d: &Dataset, thread_counts: &[usize], reps: usize) -> Ca
     }
 }
 
+/// Times the custodian's cell-level encode hot path two ways — the
+/// interpreted [`ppdt_transform::TransformKey`] (per-value piece
+/// lookup + enum dispatch) against the lowered [`CompiledKey`] column
+/// encoder — reusing the `Case`/`Timing` grid so
+/// `scripts/bench_compare.py` gates both series. `trees_equal` here
+/// records that the two paths produced bit-identical columns (the run
+/// aborts if not, mirroring the mining cases).
+fn run_encode_case(name: &str, d: &Dataset, seed: u64, reps: usize) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (key, d_prime) = Encoder::new(EncodeConfig::default())
+        .encode(&mut rng, d)
+        .expect("encode for compiled-plan case")
+        .into_parts();
+    let plan = CompiledKey::compile(&key).expect("audited key compiles");
+
+    let attrs: Vec<AttrId> = d.schema().attrs().collect();
+    let time_best = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+
+    let mut interp_cols: Vec<Vec<f64>> = Vec::new();
+    let interp_ms = time_best(&mut || {
+        interp_cols = attrs
+            .iter()
+            .map(|&a| {
+                d.column(a)
+                    .iter()
+                    .map(|&x| key.encode_value(a, x).expect("in-domain value"))
+                    .collect()
+            })
+            .collect();
+    });
+
+    let mut compiled_cols: Vec<Vec<f64>> = vec![Vec::new(); attrs.len()];
+    let compiled_ms = time_best(&mut || {
+        for (buf, &a) in compiled_cols.iter_mut().zip(&attrs) {
+            plan.encode_column(a, d.column(a), buf).expect("in-domain column");
+        }
+    });
+
+    let identical = attrs.iter().enumerate().all(|(i, &a)| {
+        interp_cols[i].iter().zip(&compiled_cols[i]).all(|(x, y)| x.to_bits() == y.to_bits())
+            && compiled_cols[i]
+                .iter()
+                .zip(d_prime.column(a))
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    });
+
+    let speedup = interp_ms / compiled_ms;
+    Case {
+        dataset: name.to_string(),
+        rows: d.num_rows() as u64,
+        attrs: d.num_attrs() as u64,
+        timings: vec![
+            Timing { builder: "encode_interpreted".into(), threads: 1, millis: interp_ms },
+            Timing { builder: "encode_compiled".into(), threads: 1, millis: compiled_ms },
+        ],
+        speedup_recursive: speedup,
+        speedup_presorted: speedup,
+        trees_equal: identical,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut seed = 7u64;
@@ -194,6 +264,23 @@ fn main() {
         );
         cases.push(case);
     }
+
+    // The custodian-side encode hot path: interpreted key vs. the
+    // compiled plan the serve daemon caches (cold vs. warm substrate).
+    let encode_case =
+        run_encode_case(&format!("encode@covertype@{scale}"), &cases_in[0].1, seed, reps);
+    assert!(encode_case.trees_equal, "compiled encode diverged bit-wise from the interpreted path");
+    for t in &encode_case.timings {
+        println!(
+            "  {:<28} {:>18} threads={} {:>9.2} ms",
+            encode_case.dataset, t.builder, t.threads, t.millis
+        );
+    }
+    println!(
+        "  {:<28} compiled-plan speedup {:.2}x",
+        encode_case.dataset, encode_case.speedup_recursive
+    );
+    cases.push(encode_case);
 
     let report = Trajectory {
         trajectory_schema_version: TRAJECTORY_SCHEMA_VERSION,

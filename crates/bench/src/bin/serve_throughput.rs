@@ -1,14 +1,23 @@
 //! `serve_throughput` — loopback throughput of the `ppdt-serve`
-//! custodian daemon.
+//! custodian daemon, cold path vs. warm path.
 //!
-//! Starts an in-process [`ppdt_serve::Server`], stores a key, then
-//! drives batched `POST /v1/encode` (CSV datasets) and
-//! `POST /v1/classify` (raw query rows against the mined `T'`) from
-//! several concurrent loopback clients, reporting rows/second and the
-//! serve-layer counters. Emits a [`ppdt_bench::report::BenchReport`]
-//! (schema v2) under `--json` — `BENCH_PR4.json` at the repo root is
-//! the committed run; `scripts/bench_trajectory.sh --serve` wraps this
-//! binary and `scripts/bench_compare.py` gates `_per_sec` headlines.
+//! Runs the same batched workload against **two** in-process
+//! [`ppdt_serve::Server`] instances: a *cold* daemon with the plan and
+//! tree caches disabled (every request re-loads, re-audits, and
+//! re-compiles the key envelope; every classify re-validates the
+//! tree), and a *warm* daemon with the default cache capacities (the
+//! steady state a long-lived custodian actually runs in). Each daemon
+//! stores a key, then serves batched `POST /v1/encode` (CSV datasets)
+//! and `POST /v1/classify` (raw query rows against the mined `T'`)
+//! from several concurrent loopback clients.
+//!
+//! Emits a [`ppdt_bench::report::BenchReport`] (schema v2) under
+//! `--json` — `BENCH_PR5.json` at the repo root is the committed run
+//! (`BENCH_PR4.json` is the PR 4 era, pre-cache). The legacy
+//! `serve_encode_rows_per_sec` / `serve_classify_rows_per_sec`
+//! headlines continue the old series and report the warm path; the
+//! `*_cold_*` / `*_warm_*` pairs are gated by
+//! `scripts/bench_compare.py --warm-ratio` (see BENCHMARKS.md).
 //!
 //! Usage: `serve_throughput [--smoke] [--seed N] [--clients N]
 //! [--iters N] [--json PATH]`
@@ -22,8 +31,8 @@ use ppdt_data::gen::{covertype_like, CovertypeConfig};
 use ppdt_data::Dataset;
 use ppdt_serve::handlers::{ClassifyRequest, EncodeRequest, StoreKeyRequest, StoreKeyResponse};
 use ppdt_serve::{request, KeyStore, Server, ServerConfig};
-use ppdt_transform::{encode_dataset, EncodeConfig};
-use ppdt_tree::TreeBuilder;
+use ppdt_transform::{EncodeConfig, Encoder, TransformKey};
+use ppdt_tree::{DecisionTree, TreeBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,9 +86,9 @@ fn rows_of(d: &Dataset) -> Vec<Vec<f64>> {
     (0..d.num_rows()).map(|i| d.schema().attrs().map(|a| d.column(a)[i]).collect()).collect()
 }
 
-/// Fans `opts.clients` loopback clients out over `opts.iters`
-/// sequential requests each, panicking on any non-200, and returns
-/// elapsed seconds.
+/// Fans `clients` loopback clients out over `iters` sequential
+/// requests each, panicking on any non-200, and returns elapsed
+/// seconds.
 fn drive(addr: std::net::SocketAddr, clients: usize, iters: usize, path: &str, body: &str) -> f64 {
     let t0 = Instant::now();
     std::thread::scope(|s| {
@@ -96,21 +105,35 @@ fn drive(addr: std::net::SocketAddr, clients: usize, iters: usize, path: &str, b
     t0.elapsed().as_secs_f64()
 }
 
-fn main() {
-    let opts = parse_args();
-    ppdt_obs::set_enabled(true);
+/// One daemon's worth of measurements.
+struct ScenarioResult {
+    encode_rps: f64,
+    classify_rps: f64,
+    workers: usize,
+    rejected: u64,
+    in_flight_peak: u64,
+}
 
-    let scale = if opts.smoke { 0.001 } else { 0.01 };
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let d = covertype_like(&mut rng, &CovertypeConfig::at_scale(scale));
-    let (key, d_prime) =
-        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode dataset");
-    let t_prime = TreeBuilder::default().fit(&d_prime);
-
-    let dir = std::env::temp_dir().join(format!("ppdt-serve-bench-{}", std::process::id()));
+/// Boots a daemon with the given cache capacities, stores `key`, and
+/// drives the batched encode + classify workload against it.
+fn run_scenario(
+    label: &str,
+    opts: &Opts,
+    plan_cache_capacity: usize,
+    tree_cache_capacity: usize,
+    d: &Dataset,
+    key: &TransformKey,
+    t_prime: &DecisionTree,
+) -> ScenarioResult {
+    let dir = std::env::temp_dir().join(format!("ppdt-serve-bench-{label}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store = KeyStore::open(dir.clone()).expect("open keystore");
-    let cfg = ServerConfig { queue_capacity: 4 * opts.clients.max(16), ..ServerConfig::default() };
+    let cfg = ServerConfig {
+        queue_capacity: 4 * opts.clients.max(16),
+        plan_cache_capacity,
+        tree_cache_capacity,
+        ..ServerConfig::default()
+    };
     let server = Server::bind(cfg, store).expect("bind server");
     let addr = server.addr();
     let workers = server.workers();
@@ -118,7 +141,8 @@ fn main() {
     let shutdown = server.shutdown_flag();
     let daemon = std::thread::spawn(move || server.run());
 
-    let payload = serde_json::to_string(&StoreKeyRequest { key }).expect("serialize key request");
+    let payload =
+        serde_json::to_string(&StoreKeyRequest { key: key.clone() }).expect("serialize key");
     let (status, text) = request(addr, "POST", "/v1/keys", &payload).expect("store key");
     assert_eq!(status, 201, "{text}");
     let stored: StoreKeyResponse = serde_json::from_str(&text).expect("store response");
@@ -126,24 +150,22 @@ fn main() {
     // Batched encode: each request carries the whole CSV relation.
     let encode_body = serde_json::to_string(&EncodeRequest {
         key_id: stored.key_id.clone(),
-        csv: Some(to_csv(&d)),
+        csv: Some(to_csv(d)),
         rows: None,
     })
     .expect("serialize encode request");
     let encode_secs = drive(addr, opts.clients, opts.iters, "/v1/encode", &encode_body);
-    let encode_requests = (opts.clients * opts.iters) as f64;
-    let encode_rows = encode_requests * d.num_rows() as f64;
+    let encode_rows = (opts.clients * opts.iters) as f64 * d.num_rows() as f64;
 
     // Batched classify: each request carries every query row.
     let classify_body = serde_json::to_string(&ClassifyRequest {
         key_id: stored.key_id.clone(),
-        tree: t_prime,
-        rows: rows_of(&d),
+        tree: t_prime.clone(),
+        rows: rows_of(d),
     })
     .expect("serialize classify request");
     let classify_secs = drive(addr, opts.clients, opts.iters, "/v1/classify", &classify_body);
-    let classify_requests = (opts.clients * opts.iters) as f64;
-    let classify_rows = classify_requests * d.num_rows() as f64;
+    let classify_rows = (opts.clients * opts.iters) as f64 * d.num_rows() as f64;
 
     // Sanity: one encoded batch parses back to the right shape.
     let (status, text) = request(addr, "POST", "/v1/encode", &encode_body).expect("final encode");
@@ -158,33 +180,93 @@ fn main() {
     daemon.join().expect("daemon thread").expect("daemon run");
     let _ = std::fs::remove_dir_all(&dir);
 
-    let encode_rps = encode_rows / encode_secs;
-    let classify_rps = classify_rows / classify_secs;
+    ScenarioResult {
+        encode_rps: encode_rows / encode_secs,
+        classify_rps: classify_rows / classify_secs,
+        workers,
+        rejected: snap.rejected,
+        in_flight_peak: snap.in_flight_peak,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    ppdt_obs::set_enabled(true);
+
+    let scale = if opts.smoke { 0.001 } else { 0.01 };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let d = covertype_like(&mut rng, &CovertypeConfig::at_scale(scale));
+    let (key, d_prime) = Encoder::new(EncodeConfig::default())
+        .encode(&mut rng, &d)
+        .expect("encode dataset")
+        .into_parts();
+    let t_prime = TreeBuilder::default().fit(&d_prime);
+
     println!(
-        "serve_throughput: {} rows x {} attrs, {} workers, {} clients x {} iters",
+        "serve_throughput: {} rows x {} attrs, {} clients x {} iters",
         d.num_rows(),
         d.num_attrs(),
-        workers,
         opts.clients,
         opts.iters
     );
-    println!(
-        "  encode:   {encode_requests:>6} requests, {encode_rows:>9} rows in {encode_secs:>7.3}s  -> {encode_rps:>12.0} rows/s"
+
+    // Cold: caches disabled — every request re-loads, re-audits, and
+    // re-compiles the envelope (and re-validates the tree).
+    let cold = run_scenario("cold", &opts, 0, 0, &d, &key, &t_prime);
+    // Warm: default cache capacities — the steady state of a
+    // long-lived custodian serving the same key and table.
+    let defaults = ServerConfig::default();
+    let warm = run_scenario(
+        "warm",
+        &opts,
+        defaults.plan_cache_capacity,
+        defaults.tree_cache_capacity,
+        &d,
+        &key,
+        &t_prime,
     );
+
+    let ratio = |w: f64, c: f64| if c > 0.0 { w / c } else { f64::INFINITY };
+    let encode_ratio = ratio(warm.encode_rps, cold.encode_rps);
+    let classify_ratio = ratio(warm.classify_rps, cold.classify_rps);
+    for (name, s) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "  {name:<5} encode {:>12.0} rows/s  classify {:>12.0} rows/s  \
+             (workers={} rejected={} in_flight_peak={})",
+            s.encode_rps, s.classify_rps, s.workers, s.rejected, s.in_flight_peak
+        );
+    }
+    println!("  warm/cold: encode {encode_ratio:.2}x, classify {classify_ratio:.2}x");
+    let obs = ppdt_obs::snapshot();
+    let obs_counter = |n: &str| obs.counters.iter().find(|c| c.name == n).map_or(0, |c| c.value);
     println!(
-        "  classify: {classify_requests:>6} requests, {classify_rows:>9} rows in {classify_secs:>7.3}s  -> {classify_rps:>12.0} rows/s"
+        "  caches: plan hits={} misses={} evictions={}, tree hits={}",
+        obs_counter("plan_cache_hits"),
+        obs_counter("plan_cache_misses"),
+        obs_counter("plan_cache_evictions"),
+        obs_counter("tree_cache_hits"),
     );
-    println!("  serve counters: rejected={} in_flight_peak={}", snap.rejected, snap.in_flight_peak);
 
     let cfg = HarnessConfig { seed: opts.seed, scale, trials: opts.iters, json: opts.json.clone() };
     let mut report = BenchReport::new(&cfg, "serve_throughput");
-    report.push("serve_encode_rows_per_sec", encode_rps);
-    report.push("serve_classify_rows_per_sec", classify_rps);
+    // Legacy series (PR 4 reports): the warm path, which is what a
+    // long-lived daemon serves. Kept so old baselines still gate.
+    report.push("serve_encode_rows_per_sec", warm.encode_rps);
+    report.push("serve_classify_rows_per_sec", warm.classify_rps);
+    // Cold-vs-warm pairs; `bench_compare.py --warm-ratio` gates these.
+    report.push("serve_encode_cold_rows_per_sec", cold.encode_rps);
+    report.push("serve_encode_warm_rows_per_sec", warm.encode_rps);
+    report.push("serve_classify_cold_rows_per_sec", cold.classify_rps);
+    report.push("serve_classify_warm_rows_per_sec", warm.classify_rps);
+    report.push("serve_encode_warm_over_cold", encode_ratio);
+    report.push("serve_classify_warm_over_cold", classify_ratio);
     report.push("serve_clients", opts.clients as f64);
-    report.push("serve_workers", workers as f64);
-    report.push("serve_requests_encode", encode_requests);
-    report.push("serve_requests_classify", classify_requests);
-    report.push("serve_rejected", snap.rejected as f64);
-    report.push("serve_in_flight_peak", snap.in_flight_peak as f64);
+    report.push("serve_workers", warm.workers as f64);
+    report.push("serve_requests_per_path", (opts.clients * opts.iters) as f64);
+    report.push("serve_rejected", (cold.rejected + warm.rejected) as f64);
+    report.push("serve_in_flight_peak", cold.in_flight_peak.max(warm.in_flight_peak) as f64);
+    report.push("plan_cache_hits", obs_counter("plan_cache_hits") as f64);
+    report.push("plan_cache_misses", obs_counter("plan_cache_misses") as f64);
+    report.push("tree_cache_hits", obs_counter("tree_cache_hits") as f64);
     report.write_if_requested(&cfg).expect("write report");
 }

@@ -10,9 +10,8 @@ use ppdt_risk::{
     domain_risk_trial, is_crack, pattern_risk_trial, rho_for_attr, sorting_risk_trial_with,
     subspace_risk_trial_with, try_run_trials, PatternReport,
 };
-use ppdt_transform::encoder::encode_attribute;
 use ppdt_transform::{
-    encode_dataset, no_outcome_change, perturb_dataset, BreakpointStrategy, EncodeConfig, FnFamily,
+    no_outcome_change, perturb_dataset, BreakpointStrategy, EncodeConfig, Encoder, FnFamily,
     PerturbKind,
 };
 use ppdt_tree::{SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams};
@@ -247,7 +246,9 @@ pub fn fig10(cfg: &HarnessConfig) -> ComboReport {
     let mut sums = (0.0, 0.0, 0.0);
     for t in 0..trials {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF16_0000 ^ t as u64);
-        let tr = encode_attribute(&mut rng, &d, attr, &encode_config).expect("encode attribute");
+        let tr = Encoder::new(encode_config)
+            .encode_attribute(&mut rng, &d, attr)
+            .expect("encode attribute");
         let orig = &tr.orig_domain;
         let transformed: Vec<f64> =
             orig.iter().map(|&x| tr.encode(x).expect("in-domain value")).collect();
@@ -534,7 +535,8 @@ pub fn perturbation_contrast(cfg: &HarnessConfig) -> Vec<(String, f64, bool, f64
     }
 
     // The piecewise transform row.
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, d2) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
     let t2 = builder.fit(&d2);
     let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d).expect("decode tree");
     let changed = !ppdt_tree::trees_equal(&s, &t);
@@ -724,7 +726,10 @@ pub fn nb_outcome(cfg: &HarnessConfig) -> Vec<(&'static str, bool, f64)> {
     );
     let mut rows = Vec::new();
     for (name, d) in datasets {
-        let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+        let (_, d2) = Encoder::new(EncodeConfig::default())
+            .encode(&mut rng, &d)
+            .expect("encode")
+            .into_parts();
         let params = NbParams::default();
         let m1 = QuantileBinnedNb::fit(&d, &params);
         let m2 = QuantileBinnedNb::fit(&d2, &params);
@@ -792,7 +797,10 @@ pub fn svm_outcome(cfg: &HarnessConfig) -> Vec<SvmProbeRow> {
     );
     let mut rows = Vec::new();
     for (name, d) in datasets {
-        let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+        let (key, d2) = Encoder::new(EncodeConfig::default())
+            .encode(&mut rng, &d)
+            .expect("encode")
+            .into_parts();
 
         // Trees: exact by Theorem 2.
         let builder = TreeBuilder::new(TreeParams { min_samples_leaf: 3, ..Default::default() });

@@ -8,7 +8,7 @@ use ppdt_bench::HarnessConfig;
 
 /// Every `snapshot()` counter name, in emission order — the contract
 /// `BENCHMARKS.md` documents and downstream tooling greps for.
-const GOLDEN_COUNTERS: [&str; 15] = [
+const GOLDEN_COUNTERS: [&str; 19] = [
     "rows_encoded",
     "pieces_drawn",
     "boundaries_scanned",
@@ -24,6 +24,10 @@ const GOLDEN_COUNTERS: [&str; 15] = [
     "http_rejected",
     "http_errors",
     "http_in_flight_peak",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_evictions",
+    "tree_cache_hits",
 ];
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -47,9 +51,10 @@ fn emitted_report_round_trips_with_golden_schema() {
     // are populated by the pipeline itself, not by the test.
     let d = cfg.covertype();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-    let (key, d_prime) =
-        ppdt_transform::encode_dataset(&mut rng, &d, &ppdt_transform::EncodeConfig::default())
-            .expect("encode");
+    let (key, d_prime) = ppdt_transform::Encoder::new(ppdt_transform::EncodeConfig::default())
+        .encode(&mut rng, &d)
+        .expect("encode")
+        .into_parts();
     let t_prime = ppdt_tree::TreeBuilder::default().fit(&d_prime);
     let s = key.decode_tree(&t_prime, ppdt_tree::ThresholdPolicy::DataValue, &d).expect("decode");
 
@@ -92,6 +97,14 @@ fn emitted_report_round_trips_with_golden_schema() {
     assert_eq!(parsed.to_json(), text);
 
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn serve_api_pins_the_bench_report_schema_version() {
+    // `GET /v1/version` advertises which bench-report schema the
+    // daemon's tooling understands. That advertisement must track the
+    // actual emitter, or clients negotiating on it read stale reports.
+    assert_eq!(ppdt_serve::BENCH_REPORT_SCHEMA_VERSION, SCHEMA_VERSION);
 }
 
 #[test]

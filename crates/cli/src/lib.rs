@@ -16,7 +16,8 @@
 //!             [--trials N] [--seed N]
 //! ppdt serve  --keystore-dir <dir> [--addr 127.0.0.1:7070]
 //!             [--workers N] [--queue N] [--deadline-ms N]
-//!             [--max-body-mb N] [--debug-endpoints]
+//!             [--max-body-mb N] [--plan-cache N] [--tree-cache N]
+//!             [--debug-endpoints]
 //! ```
 //!
 //! The command surface mirrors the custodian workflow of the paper's
@@ -61,8 +62,7 @@ use ppdt_data::{csv, AttrId, AttrStats, Dataset};
 use ppdt_error::PpdtError;
 use ppdt_risk::{domain_risk_trial, try_run_trials, DomainScenario};
 use ppdt_transform::{
-    encode_dataset_parallel_with, encode_dataset_with, BreakpointStrategy, EncodeConfig,
-    RetryPolicy, Severity, TransformKey,
+    BreakpointStrategy, EncodeConfig, Encoder, RetryPolicy, Severity, TransformKey,
 };
 use ppdt_tree::{DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams};
 
@@ -128,7 +128,8 @@ usage: ppdt <subcommand> [args]
   report <tree.json> --data <data.csv>
   audit <data.csv> [--key <key.json>] [--json <report.json>] [--trials N] [--seed N]
   serve --keystore-dir <dir> [--addr 127.0.0.1:7070] [--workers N] [--queue N]
-        [--deadline-ms N] [--max-body-mb N] [--debug-endpoints]
+        [--deadline-ms N] [--max-body-mb N] [--plan-cache N] [--tree-cache N]
+        [--debug-endpoints]
 any subcommand accepts --metrics (phase timings + counters on stderr)
 and --lenient (skip malformed CSV rows instead of failing)
 exit codes: 1 internal, 2 usage, 3 io, 4 corrupt key, 5 incompatible tree, 6 corrupt data
@@ -295,20 +296,21 @@ fn cmd_encode(a: &Args) -> Result<(), CliError> {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let (key, d_prime) = if a.has("verify") {
-        let policy = retry_policy(a, 8)?;
-        let (key, d_prime, attempts) = ppdt_transform::verify::encode_dataset_verified(
-            &mut rng,
-            &d,
-            &config,
-            TreeParams::default(),
-            policy,
-        )?;
-        eprintln!("verified encode in {attempts} attempt(s)");
-        (key, d_prime)
-    } else if a.has("parallel") {
-        encode_dataset_parallel_with(&mut rng, &d, &config, retry_policy(a, 16)?)?
+        let encoded = Encoder::new(config)
+            .retry(retry_policy(a, 8)?)
+            .verify_with(TreeParams::default())
+            .encode(&mut rng, &d)?;
+        eprintln!("verified encode in {} attempt(s)", encoded.attempts);
+        (encoded.key, encoded.dataset)
     } else {
-        encode_dataset_with(&mut rng, &d, &config, retry_policy(a, 16)?)?
+        // `.threads(1)` is the serial default; `--parallel` resolves
+        // the pool via PPDT_THREADS / available parallelism.
+        let threads = if a.has("parallel") { 0 } else { 1 };
+        Encoder::new(config)
+            .retry(retry_policy(a, 16)?)
+            .threads(threads)
+            .encode(&mut rng, &d)?
+            .into_parts()
     };
 
     csv::write_csv(&d_prime, out)?;
@@ -499,6 +501,10 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
     let queue: usize = a.parsed("queue", 64)?;
     let deadline_ms: u64 = a.parsed("deadline-ms", 10_000)?;
     let max_body_mb: usize = a.parsed("max-body-mb", 16)?;
+    let cache_defaults = ppdt_serve::ServerConfig::default();
+    // 0 disables a cache (every request reloads + recompiles).
+    let plan_cache: usize = a.parsed("plan-cache", cache_defaults.plan_cache_capacity)?;
+    let tree_cache: usize = a.parsed("tree-cache", cache_defaults.tree_cache_capacity)?;
     if queue == 0 {
         return Err(CliError::usage("--queue must be at least 1"));
     }
@@ -515,6 +521,8 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
         request_deadline: std::time::Duration::from_millis(deadline_ms),
         max_body_bytes: max_body_mb * 1024 * 1024,
         debug_endpoints: a.has("debug-endpoints"),
+        plan_cache_capacity: plan_cache,
+        tree_cache_capacity: tree_cache,
         ..Default::default()
     };
     let store = ppdt_serve::KeyStore::open(keystore_dir)?;

@@ -125,11 +125,24 @@ pub enum Counter {
     /// Widest number of requests simultaneously inside the serve
     /// worker pool (a high-water mark via [`record_max`], not a sum).
     HttpInFlightPeak,
+    /// Serve requests that found a compiled plan already in the
+    /// daemon's plan cache (no key re-load, re-audit, or re-compile).
+    PlanCacheHits,
+    /// Serve requests that had to load, audit, and compile a key
+    /// because no cached plan existed for its content id.
+    PlanCacheMisses,
+    /// Compiled plans evicted from the bounded plan cache to make room
+    /// for a newer key.
+    PlanCacheEvictions,
+    /// Classify/decode-tree requests that reused a mined tree cached
+    /// under the same `(key id, dataset digest)` pair instead of
+    /// re-mining.
+    TreeCacheHits,
 }
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 19] = [
         Counter::RowsEncoded,
         Counter::PiecesDrawn,
         Counter::BoundariesScanned,
@@ -145,6 +158,10 @@ impl Counter {
         Counter::HttpRejected,
         Counter::HttpErrors,
         Counter::HttpInFlightPeak,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
+        Counter::TreeCacheHits,
     ];
 
     /// Stable position of this counter in [`Counter::ALL`] and in
@@ -172,6 +189,10 @@ impl Counter {
             Counter::HttpRejected => "http_rejected",
             Counter::HttpErrors => "http_errors",
             Counter::HttpInFlightPeak => "http_in_flight_peak",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
+            Counter::TreeCacheHits => "tree_cache_hits",
         }
     }
 }
@@ -450,7 +471,11 @@ mod tests {
                 "http_requests",
                 "http_rejected",
                 "http_errors",
-                "http_in_flight_peak"
+                "http_in_flight_peak",
+                "plan_cache_hits",
+                "plan_cache_misses",
+                "plan_cache_evictions",
+                "tree_cache_hits"
             ]
         );
         for (i, c) in Counter::ALL.iter().enumerate() {

@@ -5,8 +5,7 @@ use rand::Rng;
 use ppdt_attack::{fit_crack, generate_kps, FitMethod, HackerProfile, KnowledgePoint};
 use ppdt_data::{AttrId, Dataset};
 use ppdt_error::PpdtError;
-use ppdt_transform::encoder::encode_attribute;
-use ppdt_transform::{EncodeConfig, PiecewiseTransform};
+use ppdt_transform::{EncodeConfig, Encoder, PiecewiseTransform};
 
 use crate::crack::{is_crack, rho_for_attr};
 
@@ -113,7 +112,7 @@ pub fn domain_risk_trial<R: Rng + ?Sized>(
     encode_config: &EncodeConfig,
     scenario: &DomainScenario,
 ) -> Result<f64, PpdtError> {
-    let tr = encode_attribute(rng, d, a, encode_config)?;
+    let tr = Encoder::new(*encode_config).encode_attribute(rng, d, a)?;
     let orig_domain = &tr.orig_domain;
     if orig_domain.is_empty() {
         return Err(PpdtError::EmptyInput { what: format!("attribute {a} has no values") });
@@ -170,7 +169,7 @@ pub fn sorting_risk_trial_with<R: Rng + ?Sized>(
     granularity: f64,
     mapping: ppdt_attack::SortingMapping,
 ) -> Result<f64, PpdtError> {
-    let tr = encode_attribute(rng, d, a, encode_config)?;
+    let tr = Encoder::new(*encode_config).encode_attribute(rng, d, a)?;
     let orig_domain = &tr.orig_domain;
     if orig_domain.is_empty() {
         return Err(PpdtError::EmptyInput { what: format!("attribute {a} has no values") });
@@ -217,7 +216,7 @@ pub fn quantile_risk_trial<R: Rng + ?Sized>(
             detail: format!("must be in (0, 1], got {sample_frac}"),
         });
     }
-    let tr = encode_attribute(rng, d, a, encode_config)?;
+    let tr = Encoder::new(*encode_config).encode_attribute(rng, d, a)?;
     let orig_domain = &tr.orig_domain;
     if orig_domain.is_empty() {
         return Err(PpdtError::EmptyInput { what: format!("attribute {a} has no values") });

@@ -6,7 +6,7 @@ use rand::Rng;
 use ppdt_attack::{fit_crack, CrackModel};
 use ppdt_data::Dataset;
 use ppdt_error::PpdtError;
-use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_transform::{EncodeConfig, Encoder};
 use ppdt_tree::{TreeBuilder, TreeParams};
 
 use crate::crack::{is_crack, rho_for_attr};
@@ -74,7 +74,7 @@ pub fn pattern_risk_trial<R: Rng + ?Sized>(
     tree_params: TreeParams,
     scenario: &DomainScenario,
 ) -> Result<PatternReport, PpdtError> {
-    let (key, d2) = encode_dataset(rng, d, encode_config)?;
+    let (key, d2) = Encoder::new(*encode_config).encode(rng, d)?.into_parts();
     let t_prime = TreeBuilder::new(tree_params).fit(&d2);
 
     // One crack function and radius per attribute.
@@ -135,7 +135,7 @@ pub fn tree_reconstruction_trial<R: Rng + ?Sized>(
     tree_params: TreeParams,
     scenario: &DomainScenario,
 ) -> Result<f64, PpdtError> {
-    let (key, d2) = encode_dataset(rng, d, encode_config)?;
+    let (key, d2) = Encoder::new(*encode_config).encode(rng, d)?.into_parts();
     let t_prime = TreeBuilder::new(tree_params).fit(&d2);
     let truth = key.decode_tree(&t_prime, tree_params.threshold_policy, d)?;
 

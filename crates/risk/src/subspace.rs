@@ -7,7 +7,7 @@ use rand::Rng;
 use ppdt_attack::fit_crack;
 use ppdt_data::{AttrId, Dataset};
 use ppdt_error::PpdtError;
-use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_transform::{EncodeConfig, Encoder};
 
 use crate::crack::{is_crack, rho_for_attr};
 use crate::domain::{scenario_kps, DomainScenario};
@@ -91,7 +91,7 @@ pub fn subspace_risk_trial_with<R: Rng + ?Sized>(
         return Ok(0.0);
     }
 
-    let (key, d2) = encode_dataset(rng, d, encode_config)?;
+    let (key, d2) = Encoder::new(*encode_config).encode(rng, d)?.into_parts();
 
     // Per attribute: crack flag for every distinct transformed value.
     let mut crack_flags: Vec<HashMap<u64, bool>> = Vec::with_capacity(subspace.len());

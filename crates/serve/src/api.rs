@@ -1,0 +1,165 @@
+//! The custodian daemon's wire types: request/response payloads for
+//! every `/v1/*` endpoint, plus the schema-version constants clients
+//! use to negotiate (`GET /v1/version`).
+//!
+//! Every body is JSON; CSV datasets ride inside JSON strings (the
+//! same text `ppdt encode`/`mine` read and write). These types are
+//! public so clients, benches, and tests can build payloads without
+//! string-templating JSON by hand.
+
+use ppdt_transform::{AuditReport, TransformKey};
+use ppdt_tree::DecisionTree;
+use serde::{Deserialize, Serialize};
+
+use crate::keystore::KeyEntry;
+
+/// Version of the request/response payload schema in this module.
+/// Bumped on any breaking change to a wire type; clients compare it
+/// via `GET /v1/version` before relying on field shapes.
+pub const API_SCHEMA_VERSION: u64 = 1;
+
+/// The `BenchReport` schema version the daemon's metrics flow into
+/// (`ppdt_bench::report::SCHEMA_VERSION`; duplicated here because the
+/// dependency points the other way — a cross-crate test in
+/// `crates/bench` pins the two constants equal).
+pub const BENCH_REPORT_SCHEMA_VERSION: u64 = 2;
+
+/// `GET /v1/version` response: everything a client needs to decide
+/// whether it speaks this daemon's dialect.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VersionResponse {
+    /// The `ppdt-serve` crate version.
+    pub crate_version: String,
+    /// Wire-payload schema ([`API_SCHEMA_VERSION`]).
+    pub api_schema_version: u64,
+    /// On-disk key-envelope schema
+    /// ([`crate::keystore::KEYSTORE_SCHEMA_VERSION`]).
+    pub keystore_schema_version: u64,
+    /// `BenchReport` schema the daemon's metrics flow into
+    /// ([`BENCH_REPORT_SCHEMA_VERSION`]).
+    pub bench_report_schema_version: u64,
+}
+
+/// `POST /v1/keys` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreKeyRequest {
+    /// The key to store (the same JSON `TransformKey::save_json`
+    /// writes).
+    pub key: TransformKey,
+}
+
+/// `POST /v1/keys` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreKeyResponse {
+    /// Content address of the stored key.
+    pub key_id: String,
+    /// Attribute count of the stored key.
+    pub num_attrs: usize,
+    /// False when the identical key was already stored.
+    pub created: bool,
+}
+
+/// `GET /v1/keys` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ListKeysResponse {
+    /// One row per stored envelope.
+    pub keys: Vec<KeyEntry>,
+}
+
+/// `POST /v1/encode` request: exactly one of `csv` / `rows`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EncodeRequest {
+    /// Key to encode under.
+    pub key_id: String,
+    /// A labelled CSV dataset (header + label column, like `ppdt
+    /// encode` reads).
+    pub csv: Option<String>,
+    /// Raw attribute rows (no labels), for batched point encoding.
+    pub rows: Option<Vec<Vec<f64>>>,
+}
+
+/// `POST /v1/encode` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EncodeResponse {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// Rows transformed.
+    pub rows_encoded: u64,
+    /// Transformed CSV (when the request sent `csv`).
+    pub csv: Option<String>,
+    /// Transformed rows (when the request sent `rows`).
+    pub rows: Option<Vec<Vec<f64>>>,
+}
+
+/// `POST /v1/classify` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassifyRequest {
+    /// Key the tree was mined under.
+    pub key_id: String,
+    /// The tree `T'` mined on the transformed data.
+    pub tree: DecisionTree,
+    /// Plaintext query rows (original space, one value per attribute).
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// `POST /v1/classify` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassifyResponse {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// Predicted class ids, one per query row.
+    pub labels: Vec<u16>,
+}
+
+/// `POST /v1/decode-tree` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecodeTreeRequest {
+    /// Key the tree was mined under.
+    pub key_id: String,
+    /// The tree `T'` mined on the transformed data.
+    pub tree: DecisionTree,
+    /// The custodian's original dataset; with it the decode replays
+    /// the data (bit-exact, Theorem 2), without it the blind decode
+    /// is used (training-equivalent).
+    pub csv: Option<String>,
+}
+
+/// `POST /v1/decode-tree` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecodeTreeResponse {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// Whether the replayed (data-backed) decode ran.
+    pub replayed: bool,
+    /// The decoded tree `S`.
+    pub tree: DecisionTree,
+}
+
+/// `POST /v1/audit` request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AuditRequestBody {
+    /// Key to audit.
+    pub key_id: String,
+    /// Optional dataset to audit the key against (domain coverage).
+    pub csv: Option<String>,
+}
+
+/// `POST /v1/audit` response. Audit findings are a *report*, not a
+/// failure: a 200 with `passed = false` means the audit ran and the
+/// key is bad.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AuditResponseBody {
+    /// Echo of the request key.
+    pub key_id: String,
+    /// `report.passed()`.
+    pub passed: bool,
+    /// The full structural report (`AuditReport` schema v1).
+    pub report: AuditReport,
+}
+
+/// `POST /v1/debug/sleep` request (test-only).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SleepRequest {
+    /// Milliseconds to hold a worker, capped at 10 000.
+    pub ms: u64,
+}

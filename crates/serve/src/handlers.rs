@@ -1,21 +1,35 @@
-//! The custodian API: request/response payloads and the pooled
-//! endpoint handlers.
+//! The pooled endpoint handlers and the routing table.
 //!
-//! Every body is JSON; CSV datasets ride inside JSON strings (the
-//! same text `ppdt encode`/`mine` read and write). Handlers never
-//! panic on hostile input — every failure path surfaces as an
-//! [`HttpError`] whose status comes from the workspace category table
-//! ([`ppdt_error::ErrorCategory::http_status`]), plus transport-level
-//! 404/405 for unknown keys and routes.
+//! Wire payloads live in [`crate::api`]; this module consumes them.
+//! Handlers never panic on hostile input — every failure path
+//! surfaces as an [`HttpError`] whose status comes from the workspace
+//! category table ([`ppdt_error::ErrorCategory::http_status`]), plus
+//! transport-level 404/405 for unknown keys and routes.
+//!
+//! Hot-path requests (`/v1/encode`, `/v1/classify`,
+//! `/v1/decode-tree`) go through the [`Caches`]: the key is loaded,
+//! audited, and lowered to a [`CompiledKey`]
+//! once per content id, and repeated tree payloads skip
+//! re-validation/re-decoding.
+
+use std::sync::Arc;
 
 use ppdt_data::{csv, AttrId, Dataset};
 use ppdt_error::PpdtError;
-use ppdt_transform::{AuditReport, TransformKey};
+use ppdt_transform::{CompiledKey, TransformKey};
 use ppdt_tree::{DecisionTree, ThresholdPolicy};
 use serde::{Deserialize, Serialize};
 
+// Re-exported so existing `handlers::*` paths keep working; the wire
+// types canonically live in [`crate::api`].
+pub use crate::api::{
+    AuditRequestBody, AuditResponseBody, ClassifyRequest, ClassifyResponse, DecodeTreeRequest,
+    DecodeTreeResponse, EncodeRequest, EncodeResponse, ListKeysResponse, SleepRequest,
+    StoreKeyRequest, StoreKeyResponse,
+};
+use crate::cache::{CachedPlan, Caches, TreeCache};
 use crate::http::{HttpError, Request, Response};
-use crate::keystore::{KeyEntry, KeyStore};
+use crate::keystore::KeyStore;
 
 /// The routable endpoints, used for dispatch, per-endpoint counters,
 /// and phase-timer names.
@@ -38,6 +52,9 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics` — counters (answered inline, never queued).
     Metrics,
+    /// `GET /v1/version` — crate + schema versions (answered inline,
+    /// never queued: clients probe it before committing to a dialect).
+    Version,
     /// `POST /v1/debug/sleep` — test-only worker occupier; routed only
     /// when `ServerConfig::debug_endpoints` is set.
     DebugSleep,
@@ -48,7 +65,7 @@ pub enum Endpoint {
 }
 
 /// All endpoints, for metrics table construction.
-pub const ENDPOINTS: [Endpoint; 10] = [
+pub const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::StoreKey,
     Endpoint::ListKeys,
     Endpoint::Encode,
@@ -57,6 +74,7 @@ pub const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::Audit,
     Endpoint::Healthz,
     Endpoint::Metrics,
+    Endpoint::Version,
     Endpoint::DebugSleep,
     Endpoint::DebugPanic,
 ];
@@ -73,6 +91,7 @@ impl Endpoint {
             Endpoint::Audit => "audit",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Version => "version",
             Endpoint::DebugSleep => "debug_sleep",
             Endpoint::DebugPanic => "debug_panic",
         }
@@ -89,6 +108,7 @@ impl Endpoint {
             Endpoint::Audit => "serve.audit",
             Endpoint::Healthz => "serve.healthz",
             Endpoint::Metrics => "serve.metrics",
+            Endpoint::Version => "serve.version",
             Endpoint::DebugSleep => "serve.debug_sleep",
             Endpoint::DebugPanic => "serve.debug_panic",
         }
@@ -100,10 +120,11 @@ impl Endpoint {
     }
 
     /// Whether the parser threads answer this endpoint directly
-    /// instead of queueing it: liveness and metrics must keep
-    /// responding while the worker pool is saturated.
+    /// instead of queueing it: liveness, metrics, and version
+    /// negotiation must keep responding while the worker pool is
+    /// saturated.
     pub fn is_inline(self) -> bool {
-        matches!(self, Endpoint::Healthz | Endpoint::Metrics)
+        matches!(self, Endpoint::Healthz | Endpoint::Metrics | Endpoint::Version)
     }
 }
 
@@ -119,141 +140,16 @@ pub fn route(req: &Request, debug: bool) -> Result<Endpoint, HttpError> {
         ("POST", "/v1/audit") => Ok(Endpoint::Audit),
         ("GET", "/healthz") => Ok(Endpoint::Healthz),
         ("GET", "/metrics") => Ok(Endpoint::Metrics),
+        ("GET", "/v1/version") => Ok(Endpoint::Version),
         ("POST", "/v1/debug/sleep") if debug => Ok(Endpoint::DebugSleep),
         ("POST", "/v1/debug/panic") if debug => Ok(Endpoint::DebugPanic),
         (
             _,
             p @ ("/v1/keys" | "/v1/encode" | "/v1/classify" | "/v1/decode-tree" | "/v1/audit"
-            | "/healthz" | "/metrics"),
+            | "/v1/version" | "/healthz" | "/metrics"),
         ) => Err(HttpError::method_not_allowed(p)),
         _ => Err(HttpError::not_found("unknown_route", format!("no such route: {}", req.path))),
     }
-}
-
-// ---------------------------------------------------------- payloads
-
-/// `POST /v1/keys` request.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct StoreKeyRequest {
-    /// The key to store (the same JSON `TransformKey::save_json`
-    /// writes).
-    pub key: TransformKey,
-}
-
-/// `POST /v1/keys` response.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct StoreKeyResponse {
-    /// Content address of the stored key.
-    pub key_id: String,
-    /// Attribute count of the stored key.
-    pub num_attrs: usize,
-    /// False when the identical key was already stored.
-    pub created: bool,
-}
-
-/// `GET /v1/keys` response.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ListKeysResponse {
-    /// One row per stored envelope.
-    pub keys: Vec<KeyEntry>,
-}
-
-/// `POST /v1/encode` request: exactly one of `csv` / `rows`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct EncodeRequest {
-    /// Key to encode under.
-    pub key_id: String,
-    /// A labelled CSV dataset (header + label column, like `ppdt
-    /// encode` reads).
-    pub csv: Option<String>,
-    /// Raw attribute rows (no labels), for batched point encoding.
-    pub rows: Option<Vec<Vec<f64>>>,
-}
-
-/// `POST /v1/encode` response.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct EncodeResponse {
-    /// Echo of the request key.
-    pub key_id: String,
-    /// Rows transformed.
-    pub rows_encoded: u64,
-    /// Transformed CSV (when the request sent `csv`).
-    pub csv: Option<String>,
-    /// Transformed rows (when the request sent `rows`).
-    pub rows: Option<Vec<Vec<f64>>>,
-}
-
-/// `POST /v1/classify` request.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ClassifyRequest {
-    /// Key the tree was mined under.
-    pub key_id: String,
-    /// The tree `T'` mined on the transformed data.
-    pub tree: DecisionTree,
-    /// Plaintext query rows (original space, one value per attribute).
-    pub rows: Vec<Vec<f64>>,
-}
-
-/// `POST /v1/classify` response.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct ClassifyResponse {
-    /// Echo of the request key.
-    pub key_id: String,
-    /// Predicted class ids, one per query row.
-    pub labels: Vec<u16>,
-}
-
-/// `POST /v1/decode-tree` request.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct DecodeTreeRequest {
-    /// Key the tree was mined under.
-    pub key_id: String,
-    /// The tree `T'` mined on the transformed data.
-    pub tree: DecisionTree,
-    /// The custodian's original dataset; with it the decode replays
-    /// the data (bit-exact, Theorem 2), without it the blind decode
-    /// is used (training-equivalent).
-    pub csv: Option<String>,
-}
-
-/// `POST /v1/decode-tree` response.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct DecodeTreeResponse {
-    /// Echo of the request key.
-    pub key_id: String,
-    /// Whether the replayed (data-backed) decode ran.
-    pub replayed: bool,
-    /// The decoded tree `S`.
-    pub tree: DecisionTree,
-}
-
-/// `POST /v1/audit` request.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct AuditRequestBody {
-    /// Key to audit.
-    pub key_id: String,
-    /// Optional dataset to audit the key against (domain coverage).
-    pub csv: Option<String>,
-}
-
-/// `POST /v1/audit` response. Audit findings are a *report*, not a
-/// failure: a 200 with `passed = false` means the audit ran and the
-/// key is bad.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct AuditResponseBody {
-    /// Echo of the request key.
-    pub key_id: String,
-    /// `report.passed()`.
-    pub passed: bool,
-    /// The full structural report (`AuditReport` schema v1).
-    pub report: AuditReport,
-}
-
-/// `POST /v1/debug/sleep` request (test-only).
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct SleepRequest {
-    /// Milliseconds to hold a worker, capped at 10 000.
-    pub ms: u64,
 }
 
 // ---------------------------------------------------------- handlers
@@ -286,10 +182,17 @@ fn check_key_id(key_id: &str) -> Result<(), HttpError> {
     Ok(())
 }
 
-fn load_key(store: &KeyStore, key_id: &str) -> Result<TransformKey, HttpError> {
+/// Resolves `key_id` to its compiled plan: a cache hit skips the disk
+/// read, digest check, audit, and lowering entirely; a miss performs
+/// all of them once and caches the result.
+fn load_plan(
+    store: &KeyStore,
+    caches: &Caches,
+    key_id: &str,
+) -> Result<Arc<CachedPlan>, HttpError> {
     check_key_id(key_id)?;
-    match store.get(key_id) {
-        Ok(Some(key)) => Ok(key),
+    match caches.plans.get_or_compile(store, key_id) {
+        Ok(Some(plan)) => Ok(plan),
         Ok(None) => {
             Err(HttpError::not_found("unknown_key", format!("no key stored under {key_id:?}")))
         }
@@ -314,48 +217,83 @@ fn check_arity(key: &TransformKey, num_attrs: usize) -> Result<(), HttpError> {
     Ok(())
 }
 
-/// Encodes one plaintext row in place of the caller's buffer.
-fn encode_row(key: &TransformKey, row: &[f64], row_idx: usize) -> Result<Vec<f64>, HttpError> {
-    if row.len() != key.transforms.len() {
+/// Encodes one plaintext row through the compiled plan.
+fn encode_row(plan: &CompiledKey, row: &[f64], row_idx: usize) -> Result<Vec<f64>, HttpError> {
+    if row.len() != plan.num_attrs() {
         return Err(HttpError::from(PpdtError::DataCorrupt {
             row: Some(row_idx + 1),
             column: None,
             detail: format!(
                 "row has {} value(s) but the key has {} transform(s)",
                 row.len(),
-                key.transforms.len()
+                plan.num_attrs()
             ),
         }));
     }
     row.iter()
         .enumerate()
-        .map(|(a, &x)| key.encode_value(AttrId(a), x).map_err(HttpError::from))
+        .map(|(a, &x)| plan.encode_value(AttrId(a), x).map_err(HttpError::from))
         .collect()
 }
 
-/// Dispatches a pooled request. `Endpoint::Healthz`/`Metrics` never
-/// arrive here (the acceptor answers them inline); routing them in is
-/// an internal error by construction.
-pub fn handle(endpoint: Endpoint, req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+/// Validates (and `check_tree`s, when `check` is set) a request tree,
+/// serving repeats from the tree cache: the composite cache key is
+/// `(key id, digest of the tree JSON)`, so a hit proves this exact
+/// payload already passed validation against this exact key.
+fn validated_tree(
+    caches: &Caches,
+    key_id: &str,
+    plan: &CachedPlan,
+    tree: &DecisionTree,
+    check: bool,
+) -> Result<Arc<DecisionTree>, HttpError> {
+    let tree_json = serde_json::to_string(tree)
+        .map_err(|e| HttpError::from(PpdtError::internal(format!("tree re-serialization: {e}"))))?;
+    let composite = TreeCache::cache_key(key_id, tree_json.as_bytes());
+    if let Some(cached) = caches.trees.get(&composite) {
+        return Ok(cached);
+    }
+    tree.validate(Some(plan.key.transforms.len())).map_err(HttpError::from)?;
+    if check {
+        plan.key.check_tree(tree).map_err(HttpError::from)?;
+    }
+    let validated = Arc::new(tree.clone());
+    caches.trees.put(composite, Arc::clone(&validated));
+    Ok(validated)
+}
+
+/// Dispatches a pooled request. Inline endpoints
+/// (`Endpoint::Healthz`/`Metrics`/`Version`) never arrive here (the
+/// parser threads answer them directly); routing them in is an
+/// internal error by construction.
+pub fn handle(
+    endpoint: Endpoint,
+    req: &Request,
+    store: &KeyStore,
+    caches: &Caches,
+) -> Result<Response, HttpError> {
     match endpoint {
-        Endpoint::StoreKey => store_key(req, store),
+        Endpoint::StoreKey => store_key(req, store, caches),
         Endpoint::ListKeys => list_keys(store),
-        Endpoint::Encode => encode(req, store),
-        Endpoint::Classify => classify(req, store),
-        Endpoint::DecodeTree => decode_tree(req, store),
+        Endpoint::Encode => encode(req, store, caches),
+        Endpoint::Classify => classify(req, store, caches),
+        Endpoint::DecodeTree => decode_tree(req, store, caches),
         Endpoint::Audit => audit(req, store),
         Endpoint::DebugSleep => debug_sleep(req),
         Endpoint::DebugPanic => panic!("debug panic endpoint: deliberate handler panic"),
-        Endpoint::Healthz | Endpoint::Metrics => {
+        Endpoint::Healthz | Endpoint::Metrics | Endpoint::Version => {
             Err(HttpError::from(PpdtError::internal("inline endpoint reached the worker pool")))
         }
     }
 }
 
-fn store_key(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+fn store_key(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
     let body: StoreKeyRequest = parse_body(req)?;
     let num_attrs = body.key.transforms.len();
     let (key_id, created) = store.put(&body.key).map_err(HttpError::from)?;
+    // Compile at store time so the first encode/classify under this
+    // key is already warm (no-op when the plan cache is disabled).
+    caches.plans.warm(store, &key_id);
     let status = if created { 201 } else { 200 };
     json_response(status, &StoreKeyResponse { key_id, num_attrs, created })
 }
@@ -365,7 +303,7 @@ fn list_keys(store: &KeyStore) -> Result<Response, HttpError> {
     json_response(200, &ListKeysResponse { keys })
 }
 
-fn encode(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+fn encode(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
     let body: EncodeRequest = parse_body(req)?;
     // Shape errors are usage errors regardless of whether the key
     // exists, so validate the payload before touching the store.
@@ -375,17 +313,15 @@ fn encode(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
             "send exactly one of `csv` (a labelled dataset) or `rows` (raw attribute rows)",
         ));
     }
-    let key = load_key(store, &body.key_id)?;
+    let plan = load_plan(store, caches, &body.key_id)?;
     match (body.csv, body.rows) {
         (Some(csv_text), None) => {
             let d = parse_csv_body(&csv_text)?;
-            check_arity(&key, d.num_attrs())?;
+            check_arity(&plan.key, d.num_attrs())?;
             let mut columns = Vec::with_capacity(d.num_attrs());
             for a in d.schema().attrs() {
-                let mut col = Vec::with_capacity(d.num_rows());
-                for &x in d.column(a) {
-                    col.push(key.encode_value(a, x).map_err(HttpError::from)?);
-                }
+                let mut col = Vec::new();
+                plan.plan.encode_column(a, d.column(a), &mut col).map_err(HttpError::from)?;
                 columns.push(col);
             }
             let d_prime = d.with_columns(columns);
@@ -404,7 +340,7 @@ fn encode(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
             let encoded: Vec<Vec<f64>> = rows
                 .iter()
                 .enumerate()
-                .map(|(i, row)| encode_row(&key, row, i))
+                .map(|(i, row)| encode_row(&plan.plan, row, i))
                 .collect::<Result<_, _>>()?;
             ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, encoded.len() as u64);
             json_response(
@@ -424,48 +360,67 @@ fn encode(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
     }
 }
 
-fn classify(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+fn classify(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
     let body: ClassifyRequest = parse_body(req)?;
-    let key = load_key(store, &body.key_id)?;
-    body.tree.validate(Some(key.transforms.len())).map_err(HttpError::from)?;
-    key.check_tree(&body.tree).map_err(HttpError::from)?;
+    let plan = load_plan(store, caches, &body.key_id)?;
+    let tree = validated_tree(caches, &body.key_id, &plan, &body.tree, true)?;
     let mut labels = Vec::with_capacity(body.rows.len());
     for (i, row) in body.rows.iter().enumerate() {
         // The custodian encodes the plaintext query point and routes
         // it through the miner's tree T' — inference without ever
         // decoding the tree (§5 custodian workflow).
-        let encoded = encode_row(&key, row, i)?;
-        labels.push(body.tree.predict(&encoded).0);
+        let encoded = encode_row(&plan.plan, row, i)?;
+        labels.push(tree.predict(&encoded).0);
     }
     json_response(200, &ClassifyResponse { key_id: body.key_id, labels })
 }
 
-fn decode_tree(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+fn decode_tree(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
     let body: DecodeTreeRequest = parse_body(req)?;
-    let key = load_key(store, &body.key_id)?;
-    body.tree.validate(Some(key.transforms.len())).map_err(HttpError::from)?;
-    let (decoded, replayed) = match body.csv {
+    let plan = load_plan(store, caches, &body.key_id)?;
+    let replayed = body.csv.is_some();
+    // The cached artifact here is the *decoded* tree, so the cache key
+    // digests everything the decode depends on: the mined tree AND the
+    // dataset text (a replayed decode over different data is a
+    // different result).
+    let tree_json = serde_json::to_string(&body.tree)
+        .map_err(|e| HttpError::from(PpdtError::internal(format!("tree re-serialization: {e}"))))?;
+    let mut payload = tree_json.into_bytes();
+    if let Some(csv_text) = &body.csv {
+        payload.push(b'\n');
+        payload.extend_from_slice(csv_text.as_bytes());
+    }
+    let composite = TreeCache::cache_key(&body.key_id, &payload);
+    if let Some(decoded) = caches.trees.get(&composite) {
+        return json_response(
+            200,
+            &DecodeTreeResponse { key_id: body.key_id, replayed, tree: (*decoded).clone() },
+        );
+    }
+    body.tree.validate(Some(plan.key.transforms.len())).map_err(HttpError::from)?;
+    let decoded = match body.csv {
         Some(csv_text) => {
             let d = parse_csv_body(&csv_text)?;
-            check_arity(&key, d.num_attrs())?;
-            (
-                key.decode_tree(&body.tree, ThresholdPolicy::DataValue, &d)
-                    .map_err(HttpError::from)?,
-                true,
-            )
+            check_arity(&plan.key, d.num_attrs())?;
+            plan.key
+                .decode_tree(&body.tree, ThresholdPolicy::DataValue, &d)
+                .map_err(HttpError::from)?
         }
-        None => (
-            key.decode_tree_blind(&body.tree, ThresholdPolicy::DataValue)
-                .map_err(HttpError::from)?,
-            false,
-        ),
+        None => plan
+            .key
+            .decode_tree_blind(&body.tree, ThresholdPolicy::DataValue)
+            .map_err(HttpError::from)?,
     };
+    caches.trees.put(composite, Arc::new(decoded.clone()));
     json_response(200, &DecodeTreeResponse { key_id: body.key_id, replayed, tree: decoded })
 }
 
 fn audit(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
     let body: AuditRequestBody = parse_body(req)?;
     check_key_id(&body.key_id)?;
+    // The audit endpoint deliberately bypasses the plan cache: its job
+    // is to re-examine the envelope as stored *right now*, not a
+    // previously-blessed compiled form.
     let key = match store.get(&body.key_id) {
         Ok(Some(key)) => key,
         Ok(None) => {
@@ -515,9 +470,11 @@ mod tests {
         assert_eq!(route(&get("/healthz"), false).unwrap(), Endpoint::Healthz);
         assert_eq!(route(&get("/v1/keys"), false).unwrap(), Endpoint::ListKeys);
         assert_eq!(route(&post("/v1/keys"), false).unwrap(), Endpoint::StoreKey);
+        assert_eq!(route(&get("/v1/version"), false).unwrap(), Endpoint::Version);
         // Wrong method on a known path is 405, unknown path 404.
         assert_eq!(route(&get("/v1/encode"), false).unwrap_err().status, 405);
         assert_eq!(route(&post("/healthz"), false).unwrap_err().status, 405);
+        assert_eq!(route(&post("/v1/version"), false).unwrap_err().status, 405);
         assert_eq!(route(&get("/nope"), false).unwrap_err().status, 404);
         // Debug routes exist only when enabled.
         assert_eq!(route(&post("/v1/debug/sleep"), false).unwrap_err().status, 404);
@@ -544,6 +501,7 @@ mod tests {
             assert!(e.phase_name().ends_with(e.name()));
         }
         assert!(Endpoint::Healthz.is_inline() && Endpoint::Metrics.is_inline());
+        assert!(Endpoint::Version.is_inline(), "version must answer while workers are busy");
         assert!(!Endpoint::Encode.is_inline());
     }
 }

@@ -69,8 +69,9 @@ pub struct KeyStore {
 /// 128-bit FNV-1a over `bytes`, rendered as 32 hex chars: two 64-bit
 /// passes with distinct offset bases (the second seeded from the
 /// first), which is plenty for content addressing a custodian's key
-/// ring and keeps the workspace dependency-free.
-fn content_id(bytes: &[u8]) -> String {
+/// ring and keeps the workspace dependency-free. Also used by the
+/// serve-side caches to digest request payloads.
+pub(crate) fn content_id(bytes: &[u8]) -> String {
     fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
         let mut h = seed;
         for &b in bytes {
@@ -120,6 +121,18 @@ impl KeyStore {
 
     fn path_for(&self, id: &str) -> PathBuf {
         self.dir.join(format!("{id}.json"))
+    }
+
+    /// Cheap freshness stamp (length + mtime) of the envelope file for
+    /// `id`, or `None` when no such envelope exists (including
+    /// malformed ids). The plan cache compares stamps to detect
+    /// on-disk replacement of a cached key without re-reading bytes.
+    pub(crate) fn stamp(&self, id: &str) -> Option<crate::cache::FileStamp> {
+        if !valid_id(id) {
+            return None;
+        }
+        let meta = fs::metadata(self.path_for(id)).ok()?;
+        Some(crate::cache::FileStamp { len: meta.len(), mtime: meta.modified().ok() })
     }
 
     /// Stores `key`, returning `(key_id, created)`. The key is audited
@@ -245,14 +258,14 @@ impl KeyStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppdt_transform::{encode_dataset, EncodeConfig};
+    use ppdt_transform::{EncodeConfig, Encoder};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn sample_key(seed: u64) -> TransformKey {
         let d = ppdt_data::gen::figure1();
         let mut rng = StdRng::seed_from_u64(seed);
-        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encodes").0
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encodes").key
     }
 
     fn tmp_dir(name: &str) -> PathBuf {

@@ -11,14 +11,20 @@
 //! * [`http`] — minimal HTTP/1.1 framing: one request per connection,
 //!   `Content-Length` bodies, hard head/body caps, typed
 //!   [`HttpError`]s, plus the blocking loopback [`request`] client,
+//! * [`api`] — the public wire types (request/response payloads) and
+//!   the schema-version constants reported by `GET /v1/version`,
 //! * [`keystore`] — the persistent versioned key store:
 //!   [`TransformKey`](ppdt_transform::TransformKey)s under
 //!   content-addressed ids in schema-versioned envelopes, written
 //!   atomically (write-then-rename) and audited on load so a
 //!   corrupted key can never serve,
+//! * [`cache`] — the hot-path caches: audited keys lowered once into
+//!   [`CompiledKey`](ppdt_transform::CompiledKey) plans (stamp-checked
+//!   against the envelope file so on-disk replacement invalidates),
+//!   plus a mined-tree cache keyed by `(key id, payload digest)`,
 //! * [`handlers`] — the API surface: `POST /v1/keys`, `/v1/encode`,
 //!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, and the inline
-//!   `GET /healthz` / `GET /metrics`,
+//!   `GET /healthz` / `GET /metrics` / `GET /v1/version`,
 //! * [`server`] — the daemon: an accept → parse → work pipeline with
 //!   bounded queues, a never-reading acceptor, dedicated parser
 //!   threads under a slow-loris-proof parse deadline, `503 +
@@ -37,12 +43,16 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod cache;
 pub mod handlers;
 pub mod http;
 pub mod keystore;
 pub mod server;
 pub mod signal;
 
+pub use api::{VersionResponse, API_SCHEMA_VERSION, BENCH_REPORT_SCHEMA_VERSION};
+pub use cache::{Caches, PlanCache, TreeCache};
 pub use handlers::Endpoint;
 pub use http::{request, HttpError, Request, Response};
 pub use keystore::{KeyEntry, KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};

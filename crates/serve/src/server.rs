@@ -36,6 +36,7 @@ use ppdt_error::PpdtError;
 use ppdt_obs::Counter;
 use serde::Serialize;
 
+use crate::cache::Caches;
 use crate::handlers::{self, Endpoint, ENDPOINTS};
 use crate::http::{read_request, write_response, DeadlineStream, HttpError, Request, Response};
 use crate::keystore::KeyStore;
@@ -69,6 +70,12 @@ pub struct ServerConfig {
     pub parse_deadline: Duration,
     /// Routes the test-only `POST /v1/debug/*` endpoints.
     pub debug_endpoints: bool,
+    /// Compiled-plan cache capacity (keys held at once); `0` disables
+    /// the cache and every request re-loads, re-audits, and
+    /// re-compiles its key (the benches use this for the cold path).
+    pub plan_cache_capacity: usize,
+    /// Validated/decoded tree cache capacity; `0` disables it.
+    pub tree_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,17 +90,37 @@ impl Default for ServerConfig {
             parser_threads: 0,
             parse_deadline: Duration::from_secs(5),
             debug_endpoints: false,
+            plan_cache_capacity: 64,
+            tree_cache_capacity: 32,
         }
     }
 }
 
 /// Per-endpoint request/error/latency counters, readable while the
 /// server runs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct EndpointStats {
     requests: AtomicU64,
     errors: AtomicU64,
     latency_micros: AtomicU64,
+    min_micros: AtomicU64,
+    max_micros: AtomicU64,
+    timed_count: AtomicU64,
+}
+
+impl Default for EndpointStats {
+    fn default() -> Self {
+        EndpointStats {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_micros: AtomicU64::new(0),
+            // MAX sentinel so the first sample's fetch_min wins; the
+            // snapshot renders it as 0 when no request was timed.
+            min_micros: AtomicU64::new(u64::MAX),
+            max_micros: AtomicU64::new(0),
+            timed_count: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Live serve-side metrics (lock-free; rendered by `/metrics`).
@@ -115,9 +142,12 @@ impl ServeMetrics {
     }
 
     fn timed(&self, e: Endpoint, elapsed: Duration) {
-        self.per_endpoint[e.index()]
-            .latency_micros
-            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        let micros = elapsed.as_micros() as u64;
+        let s = &self.per_endpoint[e.index()];
+        s.latency_micros.fetch_add(micros, Ordering::Relaxed);
+        s.min_micros.fetch_min(micros, Ordering::Relaxed);
+        s.max_micros.fetch_max(micros, Ordering::Relaxed);
+        s.timed_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Requests answered `503` (queue full or deadline expired).
@@ -140,11 +170,17 @@ impl ServeMetrics {
                 .iter()
                 .map(|&e| {
                     let s = &self.per_endpoint[e.index()];
+                    let sum = s.latency_micros.load(Ordering::Relaxed);
+                    let count = s.timed_count.load(Ordering::Relaxed);
+                    let min = s.min_micros.load(Ordering::Relaxed);
                     EndpointSnapshot {
                         endpoint: e.name().to_string(),
                         requests: s.requests.load(Ordering::Relaxed),
                         errors: s.errors.load(Ordering::Relaxed),
-                        latency_micros: s.latency_micros.load(Ordering::Relaxed),
+                        latency_micros: sum,
+                        min_micros: if count == 0 { 0 } else { min },
+                        mean_micros: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+                        max_micros: s.max_micros.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
@@ -163,6 +199,12 @@ pub struct EndpointSnapshot {
     pub errors: u64,
     /// Summed handler latency, microseconds (inline endpoints included).
     pub latency_micros: u64,
+    /// Fastest timed request, microseconds (0 when nothing was timed).
+    pub min_micros: u64,
+    /// Mean handler latency, microseconds (0 when nothing was timed).
+    pub mean_micros: f64,
+    /// Slowest timed request, microseconds.
+    pub max_micros: u64,
 }
 
 /// The `serve` half of the `/metrics` body.
@@ -220,6 +262,7 @@ pub struct Server {
     workers: usize,
     parsers: usize,
     store: KeyStore,
+    caches: Caches,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
 }
@@ -243,6 +286,7 @@ impl Server {
         })?;
         let workers = if cfg.workers == 0 { ppdt_obs::threads(None) } else { cfg.workers };
         let parsers = if cfg.parser_threads == 0 { 2 } else { cfg.parser_threads };
+        let caches = Caches::new(cfg.plan_cache_capacity, cfg.tree_cache_capacity);
         Ok(Server {
             cfg,
             listener,
@@ -250,6 +294,7 @@ impl Server {
             workers,
             parsers,
             store,
+            caches,
             shutdown: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(ServeMetrics::default()),
         })
@@ -385,11 +430,13 @@ impl Server {
         self.metrics.requested(endpoint);
 
         if endpoint.is_inline() {
-            // Liveness and metrics bypass the queue so they stay
-            // responsive while the pool is saturated.
+            // Liveness, metrics, and version negotiation bypass the
+            // queue so they stay responsive while the pool is
+            // saturated.
             let start = Instant::now();
             let resp = match endpoint {
                 Endpoint::Healthz => self.render_healthz(),
+                Endpoint::Version => self.render_version(),
                 _ => self.render_metrics(),
             };
             self.metrics.timed(endpoint, start.elapsed());
@@ -446,7 +493,7 @@ impl Server {
         // A handler panic is a bug, but it must cost one 500, not a
         // worker thread for the daemon's remaining lifetime.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handlers::handle(job.endpoint, &job.req, &self.store)
+            handlers::handle(job.endpoint, &job.req, &self.store, &self.caches)
         }));
         self.metrics.timed(job.endpoint, start.elapsed());
         match outcome {
@@ -514,6 +561,19 @@ impl Server {
         }
     }
 
+    fn render_version(&self) -> Response {
+        let body = crate::api::VersionResponse {
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            api_schema_version: crate::api::API_SCHEMA_VERSION,
+            keystore_schema_version: crate::keystore::KEYSTORE_SCHEMA_VERSION,
+            bench_report_schema_version: crate::api::BENCH_REPORT_SCHEMA_VERSION,
+        };
+        match serde_json::to_string(&body) {
+            Ok(s) => Response::ok(s),
+            Err(e) => HttpError::from(PpdtError::internal(format!("version: {e}"))).to_response(),
+        }
+    }
+
     fn render_metrics(&self) -> Response {
         let body = MetricsBody { serve: self.metrics.snapshot(), process: ppdt_obs::snapshot() };
         match serde_json::to_string(&body) {
@@ -542,11 +602,18 @@ mod tests {
         m.requested(Endpoint::Encode);
         m.errored(Endpoint::Encode);
         m.timed(Endpoint::Encode, Duration::from_micros(42));
+        m.timed(Endpoint::Encode, Duration::from_micros(8));
         let snap = m.snapshot();
         assert_eq!(snap.endpoints.len(), ENDPOINTS.len());
         let enc =
             snap.endpoints.iter().find(|s| s.endpoint == "encode").expect("encode row present");
-        assert_eq!((enc.requests, enc.errors, enc.latency_micros), (1, 1, 42));
+        assert_eq!((enc.requests, enc.errors, enc.latency_micros), (1, 1, 50));
+        assert_eq!((enc.min_micros, enc.max_micros), (8, 42));
+        assert!((enc.mean_micros - 25.0).abs() < 1e-9, "{}", enc.mean_micros);
+        // Untouched endpoints render zeros, not the MAX sentinel.
+        let idle = snap.endpoints.iter().find(|s| s.endpoint == "classify").expect("classify row");
+        assert_eq!((idle.min_micros, idle.max_micros), (0, 0));
+        assert_eq!(idle.mean_micros, 0.0);
         // Round-trips through the JSON body type.
         let body = MetricsBody { serve: snap, process: ppdt_obs::snapshot() };
         let text = serde_json::to_string(&body).expect("serializes");

@@ -15,7 +15,7 @@ use ppdt_serve::handlers::{
     StoreKeyResponse,
 };
 use ppdt_serve::request;
-use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_transform::{EncodeConfig, Encoder};
 use ppdt_tree::{trees_equal, TreeBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,7 +43,8 @@ fn full_custodian_loop_over_the_wire() {
     // The custodian's plaintext relation and key, produced locally.
     let mut rng = StdRng::seed_from_u64(41);
     let d = census_like(&mut rng, 240);
-    let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, _) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
 
     // 1. Store the key; storing it again dedupes to the same id.
     let stored: StoreKeyResponse =
@@ -152,7 +153,7 @@ fn blind_decode_is_training_equivalent() {
     // Data-free decoding is exact only without permutation pieces
     // (see `decode_tree_blind`), so use the single-piece baseline.
     let cfg = EncodeConfig::baseline(ppdt_transform::FnFamily::Mixed);
-    let (key, d_prime) = encode_dataset(&mut rng, &d, &cfg).expect("encode");
+    let (key, d_prime) = Encoder::new(cfg).encode(&mut rng, &d).expect("encode").into_parts();
 
     let stored: StoreKeyResponse = post(&srv, "/v1/keys", &StoreKeyRequest { key }, 201);
     let t_prime = TreeBuilder::default().fit(&d_prime);
@@ -177,7 +178,8 @@ fn blind_decode_is_training_equivalent() {
 fn keys_persist_across_daemon_restarts() {
     let mut rng = StdRng::seed_from_u64(47);
     let d = census_like(&mut rng, 120);
-    let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, _) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
 
     let dir = std::env::temp_dir().join(format!("ppdt-serve-restart-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

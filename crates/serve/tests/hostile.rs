@@ -14,7 +14,7 @@ use ppdt_data::csv::to_csv;
 use ppdt_data::gen::census_like;
 use ppdt_serve::handlers::{EncodeRequest, StoreKeyRequest, StoreKeyResponse};
 use ppdt_serve::{request, ServerConfig};
-use ppdt_transform::{encode_dataset, EncodeConfig};
+use ppdt_transform::{EncodeConfig, Encoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -222,7 +222,8 @@ fn corrupted_csv_bodies_never_break_the_daemon() {
 
     let mut rng = StdRng::seed_from_u64(0xF417);
     let d = census_like(&mut rng, 80);
-    let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, _) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
     let payload = serde_json::to_string(&StoreKeyRequest { key }).expect("serialize");
     let (status, text) = request(srv.addr, "POST", "/v1/keys", &payload).expect("store key");
     assert_eq!(status, 201, "{text}");

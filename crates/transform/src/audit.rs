@@ -559,7 +559,7 @@ pub(crate) fn transform_first_error(tr: &PiecewiseTransform) -> Result<(), PpdtE
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encoder::{encode_dataset, EncodeConfig};
+    use crate::encoder::{EncodeConfig, Encoder};
     use ppdt_data::{ClassId, DatasetBuilder, Schema};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -586,7 +586,8 @@ mod tests {
     fn sample_key() -> (TransformKey, Dataset) {
         let d = sample_dataset();
         let mut rng = StdRng::seed_from_u64(7);
-        let (key, _) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).unwrap();
+        let (key, _) =
+            Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).unwrap().into_parts();
         (key, d)
     }
 

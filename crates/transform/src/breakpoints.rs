@@ -17,7 +17,7 @@ use ppdt_data::{ClassId, MonoAnalysis, SortedColumn};
 ///
 /// # Example
 /// ```
-/// use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig};
+/// use ppdt_transform::{BreakpointStrategy, EncodeConfig, Encoder};
 /// use rand::SeedableRng;
 ///
 /// let d = ppdt_data::gen::figure1();
@@ -28,13 +28,13 @@ use ppdt_data::{ClassId, MonoAnalysis, SortedColumn};
 ///     strategy: BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 2 },
 ///     ..Default::default()
 /// };
-/// let (key, _d_prime) = encode_dataset(&mut rng, &d, &config).unwrap();
+/// let (key, _d_prime) = Encoder::new(config).encode(&mut rng, &d).unwrap().into_parts();
 /// // ChooseBP instead draws `w` uniform breakpoints.
 /// let config = EncodeConfig {
 ///     strategy: BreakpointStrategy::ChooseBP { w: 4 },
 ///     ..Default::default()
 /// };
-/// let (key_bp, _d_prime) = encode_dataset(&mut rng, &d, &config).unwrap();
+/// let (key_bp, _d_prime) = Encoder::new(config).encode(&mut rng, &d).unwrap().into_parts();
 /// # let _ = (key, key_bp);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]

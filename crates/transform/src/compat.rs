@@ -1,0 +1,109 @@
+//! Deprecated free-function shims over [`Encoder`].
+//!
+//! The historical encode entry points sprawled into five
+//! near-duplicate dataset functions plus two attribute-level ones; the
+//! [`Encoder`] builder is now the one front door. These
+//! wrappers keep old callers compiling (with a deprecation warning)
+//! and are the only module allowed to call them — a grep gate in
+//! `scripts/check.sh` (`deprecated_gate.py`) fails the build on any
+//! use outside this file.
+
+#![allow(deprecated)]
+
+use rand::Rng;
+
+use ppdt_data::{AttrId, Dataset};
+use ppdt_error::PpdtError;
+use ppdt_tree::TreeParams;
+
+use crate::encoder::{EncodeConfig, Encoded, Encoder, RetryPolicy, TransformKey};
+use crate::piecewise::PiecewiseTransform;
+
+/// Encodes every attribute of `d` serially with the default
+/// [`RetryPolicy`].
+#[deprecated(note = "use `Encoder::new(*config).encode(rng, d)` instead")]
+pub fn encode_dataset<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    config: &EncodeConfig,
+) -> Result<(TransformKey, Dataset), PpdtError> {
+    Encoder::new(*config).encode(rng, d).map(Encoded::into_parts)
+}
+
+/// Encodes every attribute of `d` serially with an explicit
+/// [`RetryPolicy`].
+#[deprecated(note = "use `Encoder::new(*config).retry(policy).encode(rng, d)` instead")]
+pub fn encode_dataset_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    config: &EncodeConfig,
+    policy: RetryPolicy,
+) -> Result<(TransformKey, Dataset), PpdtError> {
+    Encoder::new(*config).retry(policy).encode(rng, d).map(Encoded::into_parts)
+}
+
+/// Encodes attributes on an auto-sized crossbeam pool; bit-identical
+/// to the serial path.
+#[deprecated(note = "use `Encoder::new(*config).threads(0).encode(rng, d)` instead")]
+pub fn encode_dataset_parallel<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    config: &EncodeConfig,
+) -> Result<(TransformKey, Dataset), PpdtError> {
+    Encoder::new(*config).threads(0).encode(rng, d).map(Encoded::into_parts)
+}
+
+/// Parallel encode with an explicit [`RetryPolicy`].
+#[deprecated(note = "use `Encoder::new(*config).threads(0).retry(policy).encode(rng, d)` instead")]
+pub fn encode_dataset_parallel_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    config: &EncodeConfig,
+    policy: RetryPolicy,
+) -> Result<(TransformKey, Dataset), PpdtError> {
+    Encoder::new(*config).threads(0).retry(policy).encode(rng, d).map(Encoded::into_parts)
+}
+
+/// Custodian-side verified encoding (see
+/// [`Encoder::verify`](crate::Encoder::verify)); returns the attempt
+/// count as the third element.
+#[deprecated(
+    note = "use `Encoder::new(*config).retry(policy).verify_with(params).encode(rng, d)` instead"
+)]
+pub fn encode_dataset_verified<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    encode_config: &EncodeConfig,
+    params: TreeParams,
+    policy: RetryPolicy,
+) -> Result<(TransformKey, Dataset, usize), PpdtError> {
+    let e = Encoder::new(*encode_config).retry(policy).verify_with(params).encode(rng, d)?;
+    Ok((e.key, e.dataset, e.attempts))
+}
+
+/// Builds the piecewise transform of one attribute with the default
+/// [`RetryPolicy`].
+#[deprecated(note = "use `Encoder::new(*config).encode_attribute(rng, d, a)` instead")]
+pub fn encode_attribute<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    a: AttrId,
+    config: &EncodeConfig,
+) -> Result<PiecewiseTransform, PpdtError> {
+    Encoder::new(*config).encode_attribute(rng, d, a)
+}
+
+/// Builds the piecewise transform of one attribute with an explicit
+/// [`RetryPolicy`].
+#[deprecated(
+    note = "use `Encoder::new(*config).retry(policy).encode_attribute(rng, d, a)` instead"
+)]
+pub fn encode_attribute_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    d: &Dataset,
+    a: AttrId,
+    config: &EncodeConfig,
+    policy: RetryPolicy,
+) -> Result<PiecewiseTransform, PpdtError> {
+    Encoder::new(*config).retry(policy).encode_attribute(rng, d, a)
+}

@@ -1,0 +1,479 @@
+//! Compiled encode/decode plans: a flat, cache-friendly lowering of a
+//! validated [`TransformKey`].
+//!
+//! The interpreted path ([`PiecewiseTransform`]) walks a `Vec<Piece>`
+//! of enum variants and, for composed functions, a `Box` tree — fine
+//! for one-shot CLI runs, wasteful inside a daemon encoding millions
+//! of cells against the same key. [`CompiledKey::compile`] lowers each
+//! attribute into struct-of-arrays form:
+//!
+//! * one sorted breakpoint array (`input_hi`) per attribute, so piece
+//!   lookup is a branch-predictable `partition_point` over a flat
+//!   `&[f64]`,
+//! * per-piece function parameters unpacked out of the
+//!   [`MonoFunc`] enum into a flat opcode
+//!   program pool (compositions are flattened inner-first, so
+//!   evaluation is a sequential scan instead of pointer-chasing),
+//! * permutation tables for monochromatic pieces packed into shared
+//!   lookup pools (`perm_orig` / `perm_out`) indexed by per-piece
+//!   ranges.
+//!
+//! The compiled methods are **bit-identical** to the interpreted path
+//! (every floating-point operation happens in the same order — see the
+//! `compiled_matches_interpreted` proptest) but allocation-free and
+//! dispatch-free per value. Compilation audits the key first: a
+//! [`CompiledKey`] is always a *trusted* artifact, which is what lets
+//! a server skip per-request auditing entirely.
+
+use ppdt_data::AttrId;
+use ppdt_error::PpdtError;
+
+use crate::encoder::TransformKey;
+use crate::func::MonoFunc;
+use crate::piecewise::{nearest, PieceKind, PiecewiseTransform};
+
+/// One primitive of a flattened monotone-function program. Mirrors the
+/// non-composed [`MonoFunc`] variants with the
+/// exact same formulas; [`MonoFunc::Composed`](crate::func::MonoFunc)
+/// lowers to a sequence of these.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// `a·x + b`.
+    Linear { a: f64, b: f64 },
+    /// `a·sgn(x−c)·|x−c|^p + b`.
+    Power { a: f64, c: f64, p: f64, b: f64 },
+    /// `a·ln(x − c) + b`.
+    Log { a: f64, c: f64, b: f64 },
+    /// `a·√(ln(x − c)) + b`.
+    SqrtLog { a: f64, c: f64, b: f64 },
+    /// `a·e^{k(x−c)} + b`.
+    Exp { a: f64, k: f64, c: f64, b: f64 },
+}
+
+impl Op {
+    /// Same expression, same operation order as
+    /// [`MonoFunc::eval`](crate::func::MonoFunc::eval).
+    #[inline]
+    fn eval(self, x: f64) -> f64 {
+        match self {
+            Op::Linear { a, b } => a * x + b,
+            Op::Power { a, c, p, b } => {
+                let d = x - c;
+                a * d.signum() * d.abs().powf(p) + b
+            }
+            Op::Log { a, c, b } => a * (x - c).ln() + b,
+            Op::SqrtLog { a, c, b } => a * (x - c).ln().sqrt() + b,
+            Op::Exp { a, k, c, b } => a * (k * (x - c)).exp() + b,
+        }
+    }
+
+    /// Same expression, same operation order as
+    /// [`MonoFunc::inverse`](crate::func::MonoFunc::inverse).
+    #[inline]
+    fn inverse(self, y: f64) -> f64 {
+        match self {
+            Op::Linear { a, b } => (y - b) / a,
+            Op::Power { a, c, p, b } => {
+                let u = (y - b) / a;
+                c + u.signum() * u.abs().powf(1.0 / p)
+            }
+            Op::Log { a, c, b } => c + ((y - b) / a).exp(),
+            Op::SqrtLog { a, c, b } => {
+                let s = (y - b) / a;
+                c + (s * s).exp()
+            }
+            Op::Exp { a, k, c, b } => c + ((y - b) / a).ln() / k,
+        }
+    }
+}
+
+/// Flattens a function tree into a sequential program, inner-first, so
+/// `eval` = apply ops left-to-right and `inverse` = apply inverses
+/// right-to-left. Bit-identical to the recursive evaluation because
+/// `Composed::eval(x)` *is* `outer.eval(inner.eval(x))` — each
+/// primitive sees exactly the same scalar input either way.
+fn flatten(f: &MonoFunc, out: &mut Vec<Op>) {
+    match f {
+        MonoFunc::Linear { a, b } => out.push(Op::Linear { a: *a, b: *b }),
+        MonoFunc::Power { a, c, p, b } => out.push(Op::Power { a: *a, c: *c, p: *p, b: *b }),
+        MonoFunc::Log { a, c, b } => out.push(Op::Log { a: *a, c: *c, b: *b }),
+        MonoFunc::SqrtLog { a, c, b } => out.push(Op::SqrtLog { a: *a, c: *c, b: *b }),
+        MonoFunc::Exp { a, k, c, b } => out.push(Op::Exp { a: *a, k: *k, c: *c, b: *b }),
+        MonoFunc::Composed { outer, inner } => {
+            flatten(inner, out);
+            flatten(outer, out);
+        }
+    }
+}
+
+/// Per-piece program descriptor: either an affine-renormalized op
+/// range, or a range into the permutation pools.
+#[derive(Clone, Copy, Debug)]
+enum PieceProgram {
+    /// `y = s·(ops applied to x) + t`; `ops` is `(start, len)` into
+    /// [`CompiledTransform::ops`].
+    Monotone { s: f64, t: f64, ops: (u32, u32) },
+    /// `(start, len)` into `perm_orig` / `perm_out` (sorted by
+    /// original value, mirroring the interpreted map).
+    Permutation { perm: (u32, u32) },
+}
+
+/// One attribute's transform in compiled (struct-of-arrays) form.
+#[derive(Clone, Debug)]
+pub struct CompiledTransform {
+    increasing: bool,
+    /// Per-piece input range bounds; `input_hi` doubles as the sorted
+    /// breakpoint array for piece lookup.
+    input_lo: Vec<f64>,
+    input_hi: Vec<f64>,
+    /// Per-piece output interval bounds (ascending when `increasing`,
+    /// descending otherwise — same layout as the interpreted key).
+    output_lo: Vec<f64>,
+    output_hi: Vec<f64>,
+    prog: Vec<PieceProgram>,
+    /// Shared flattened function-program pool.
+    ops: Vec<Op>,
+    /// Shared permutation pools: original values (sorted within each
+    /// piece's range) and their transformed images.
+    perm_orig: Vec<f64>,
+    perm_out: Vec<f64>,
+    /// The attribute's recorded active domain, for threshold snapping.
+    orig_domain: Vec<f64>,
+}
+
+impl CompiledTransform {
+    fn lower(tr: &PiecewiseTransform) -> CompiledTransform {
+        let n = tr.pieces.len();
+        let mut out = CompiledTransform {
+            increasing: tr.increasing,
+            input_lo: Vec::with_capacity(n),
+            input_hi: Vec::with_capacity(n),
+            output_lo: Vec::with_capacity(n),
+            output_hi: Vec::with_capacity(n),
+            prog: Vec::with_capacity(n),
+            ops: Vec::new(),
+            perm_orig: Vec::new(),
+            perm_out: Vec::new(),
+            orig_domain: tr.orig_domain.clone(),
+        };
+        for p in &tr.pieces {
+            out.input_lo.push(p.input_lo);
+            out.input_hi.push(p.input_hi);
+            out.output_lo.push(p.output_lo);
+            out.output_hi.push(p.output_hi);
+            match &p.kind {
+                PieceKind::Monotone { f, s, t } => {
+                    let start = out.ops.len() as u32;
+                    flatten(f, &mut out.ops);
+                    let len = out.ops.len() as u32 - start;
+                    out.prog.push(PieceProgram::Monotone { s: *s, t: *t, ops: (start, len) });
+                }
+                PieceKind::Permutation { map } => {
+                    let start = out.perm_orig.len() as u32;
+                    for &(orig, image) in map {
+                        out.perm_orig.push(orig);
+                        out.perm_out.push(image);
+                    }
+                    out.prog.push(PieceProgram::Permutation { perm: (start, map.len() as u32) });
+                }
+            }
+        }
+        out
+    }
+
+    /// Piece lookup over the flat breakpoint array — the compiled twin
+    /// of [`PiecewiseTransform::piece_for_input`].
+    #[inline]
+    fn piece_for_input(&self, x: f64) -> Result<usize, PpdtError> {
+        let i = self.input_hi.partition_point(|&hi| hi < x);
+        if i < self.input_hi.len() && self.input_lo[i] <= x {
+            Ok(i)
+        } else {
+            Err(PpdtError::DomainViolation { attr: None, piece: None, value: x })
+        }
+    }
+
+    /// The compiled twin of `Piece::encode`.
+    #[inline]
+    fn encode_piece(&self, i: usize, x: f64) -> Result<f64, PpdtError> {
+        match self.prog[i] {
+            PieceProgram::Monotone { s, t, ops: (start, len) } => {
+                let mut v = x;
+                for op in &self.ops[start as usize..(start + len) as usize] {
+                    v = op.eval(v);
+                }
+                Ok(s * v + t)
+            }
+            PieceProgram::Permutation { perm: (start, len) } => {
+                let orig = &self.perm_orig[start as usize..(start + len) as usize];
+                orig.binary_search_by(|v| v.total_cmp(&x))
+                    .map(|j| self.perm_out[start as usize + j])
+                    .map_err(|_| PpdtError::DomainViolation { attr: None, piece: None, value: x })
+            }
+        }
+    }
+
+    /// The compiled twin of `Piece::decode`.
+    #[inline]
+    fn decode_piece(&self, i: usize, y: f64) -> Result<f64, PpdtError> {
+        match self.prog[i] {
+            PieceProgram::Monotone { s, t, ops: (start, len) } => {
+                let mut v = (y - t) / s;
+                for op in self.ops[start as usize..(start + len) as usize].iter().rev() {
+                    v = op.inverse(v);
+                }
+                Ok(v)
+            }
+            PieceProgram::Permutation { perm: (start, len) } => {
+                // Nearest recorded output, earliest index on exact
+                // ties — same scan as the interpreted path.
+                let outs = &self.perm_out[start as usize..(start + len) as usize];
+                let mut best: Option<(usize, f64)> = None;
+                for (j, &out) in outs.iter().enumerate() {
+                    let d = (out - y).abs();
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((j, d));
+                    }
+                }
+                match best {
+                    Some((j, _)) => Ok(self.perm_orig[start as usize + j]),
+                    None => Err(PpdtError::key_corrupt("empty permutation table")),
+                }
+            }
+        }
+    }
+
+    /// The compiled twin of [`PiecewiseTransform::locate_output`]:
+    /// returns the owning (or, for gap values, nearest) piece index.
+    fn locate_output(&self, y: f64) -> Result<usize, PpdtError> {
+        let n = self.prog.len();
+        if n == 0 {
+            return Err(PpdtError::key_corrupt("transform has no pieces"));
+        }
+        let idx_at = |rank: usize| if self.increasing { rank } else { n - 1 - rank };
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let i = idx_at(mid);
+            if y < self.output_lo[i] {
+                hi = mid;
+            } else if y > self.output_hi[i] {
+                lo = mid + 1;
+            } else {
+                return Ok(i);
+            }
+        }
+        let below = lo.checked_sub(1).map(idx_at);
+        let above = (lo < n).then(|| idx_at(lo));
+        match (below, above) {
+            (Some(b), Some(a)) => {
+                let db = (y - self.output_hi[b]).abs().min((y - self.output_lo[b]).abs());
+                let da = (y - self.output_lo[a]).abs().min((y - self.output_hi[a]).abs());
+                Ok(if db <= da { b } else { a })
+            }
+            (Some(i), None) | (None, Some(i)) => Ok(i),
+            (None, None) => Err(PpdtError::key_corrupt("transform has no pieces")),
+        }
+    }
+
+    /// Compiled encode of one value — bit-identical to
+    /// [`PiecewiseTransform::encode`].
+    pub fn encode(&self, x: f64) -> Result<f64, PpdtError> {
+        let i = self.piece_for_input(x)?;
+        let y = self.encode_piece(i, x).map_err(|e| e.with_piece(i))?;
+        if y.is_finite() {
+            Ok(y)
+        } else {
+            Err(PpdtError::KeyCorrupt {
+                attr: None,
+                piece: Some(i),
+                detail: format!("value {x} encodes to non-finite {y}"),
+            })
+        }
+    }
+
+    /// Compiled decode of one value — bit-identical to
+    /// [`PiecewiseTransform::decode`].
+    pub fn decode(&self, y: f64) -> Result<f64, PpdtError> {
+        let i = self.locate_output(y)?;
+        let x = self.decode_piece(i, y).map_err(|e| e.with_piece(i))?;
+        Ok(x.clamp(self.input_lo[i], self.input_hi[i]))
+    }
+
+    /// Compiled decode snapped to the recorded active domain —
+    /// bit-identical to [`PiecewiseTransform::decode_snapped`].
+    pub fn decode_snapped(&self, y: f64) -> Result<f64, PpdtError> {
+        let raw = self.decode(y)?;
+        nearest(&self.orig_domain, raw)
+            .ok_or_else(|| PpdtError::key_corrupt("empty recorded original domain"))
+    }
+
+    /// The attribute's global direction.
+    pub fn increasing(&self) -> bool {
+        self.increasing
+    }
+}
+
+/// A [`TransformKey`] lowered into flat per-attribute
+/// [`CompiledTransform`]s. Construction audits the key, so holding a
+/// `CompiledKey` certifies the key passed its structural audit — hot
+/// paths can encode without re-validating.
+#[derive(Clone, Debug)]
+pub struct CompiledKey {
+    attrs: Vec<CompiledTransform>,
+}
+
+impl CompiledKey {
+    /// Audits `key` ([`crate::audit::audit_key`]) and lowers it.
+    /// Returns the audit's first error when the key is corrupt.
+    pub fn compile(key: &TransformKey) -> Result<CompiledKey, PpdtError> {
+        if let Some(e) = crate::audit::audit_key(key).first_error() {
+            return Err(e);
+        }
+        Ok(Self::compile_trusted(key))
+    }
+
+    /// Lowers a key **without** auditing it. Only for callers that
+    /// just audited the same bytes themselves (e.g. a key store whose
+    /// load path always audits); everyone else wants
+    /// [`CompiledKey::compile`].
+    pub fn compile_trusted(key: &TransformKey) -> CompiledKey {
+        CompiledKey { attrs: key.transforms.iter().map(CompiledTransform::lower).collect() }
+    }
+
+    /// Number of attributes the key covers.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The compiled transform of attribute `a`, or
+    /// [`PpdtError::SchemaMismatch`] — same contract (and message) as
+    /// [`TransformKey::try_transform`].
+    pub fn try_transform(&self, a: AttrId) -> Result<&CompiledTransform, PpdtError> {
+        self.attrs.get(a.index()).ok_or_else(|| PpdtError::SchemaMismatch {
+            detail: format!(
+                "attribute {a} out of range for a key with {} transform(s)",
+                self.attrs.len()
+            ),
+        })
+    }
+
+    /// Compiled twin of [`TransformKey::encode_value`].
+    pub fn encode_value(&self, a: AttrId, x: f64) -> Result<f64, PpdtError> {
+        self.try_transform(a)?.encode(x).map_err(|e| e.with_attr(a.index()))
+    }
+
+    /// Compiled twin of [`TransformKey::decode_value`] (snapped).
+    pub fn decode_value(&self, a: AttrId, y: f64) -> Result<f64, PpdtError> {
+        self.try_transform(a)?.decode_snapped(y).map_err(|e| e.with_attr(a.index()))
+    }
+
+    /// Compiled twin of [`TransformKey::decode_value_raw`].
+    pub fn decode_value_raw(&self, a: AttrId, y: f64) -> Result<f64, PpdtError> {
+        self.try_transform(a)?.decode(y).map_err(|e| e.with_attr(a.index()))
+    }
+
+    /// Encodes a whole column into `dst` (cleared first). One
+    /// reservation up front, then no per-value allocation or dispatch.
+    pub fn encode_column(
+        &self,
+        a: AttrId,
+        src: &[f64],
+        dst: &mut Vec<f64>,
+    ) -> Result<(), PpdtError> {
+        let tr = self.try_transform(a)?;
+        dst.clear();
+        dst.reserve(src.len());
+        for &x in src {
+            dst.push(tr.encode(x).map_err(|e| e.with_attr(a.index()))?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakpoints::BreakpointStrategy;
+    use crate::encoder::{EncodeConfig, Encoder};
+    use crate::family::FnFamily;
+    use ppdt_data::gen::{random_dataset, RandomDatasetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_key(
+        seed: u64,
+        anti: f64,
+        family: FnFamily,
+    ) -> (crate::TransformKey, ppdt_data::Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg =
+            RandomDatasetConfig { num_rows: 120, num_attrs: 3, num_classes: 3, value_range: 18 };
+        let d = random_dataset(&mut rng, &cfg);
+        let config = EncodeConfig {
+            strategy: BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 1 },
+            family,
+            anti_monotone_prob: anti,
+            ..Default::default()
+        };
+        let (key, _) = Encoder::new(config).encode(&mut rng, &d).unwrap().into_parts();
+        (key, d)
+    }
+
+    #[test]
+    fn compiled_encode_decode_bit_identical_on_domain() {
+        for (seed, anti, family) in
+            [(1, 0.0, FnFamily::Mixed), (2, 1.0, FnFamily::Mixed), (3, 0.5, FnFamily::Composed)]
+        {
+            let (key, d) = sample_key(seed, anti, family);
+            let compiled = CompiledKey::compile(&key).unwrap();
+            for a in d.schema().attrs() {
+                for &x in &d.active_domain(a) {
+                    let y_i = key.encode_value(a, x).unwrap();
+                    let y_c = compiled.encode_value(a, x).unwrap();
+                    assert_eq!(y_i.to_bits(), y_c.to_bits(), "encode attr {a} value {x}");
+                    let x_i = key.decode_value(a, y_i).unwrap();
+                    let x_c = compiled.decode_value(a, y_c).unwrap();
+                    assert_eq!(x_i.to_bits(), x_c.to_bits(), "decode attr {a} value {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_errors_match_interpreted() {
+        let (key, _) = sample_key(7, 0.0, FnFamily::Mixed);
+        let compiled = CompiledKey::compile(&key).unwrap();
+        // Out-of-range attribute: same SchemaMismatch.
+        assert_eq!(
+            key.encode_value(AttrId(99), 1.0).unwrap_err(),
+            compiled.encode_value(AttrId(99), 1.0).unwrap_err(),
+        );
+        // Out-of-domain value: same DomainViolation with attr context.
+        assert_eq!(
+            key.encode_value(AttrId(0), 1e12).unwrap_err(),
+            compiled.encode_value(AttrId(0), 1e12).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn compile_rejects_corrupt_keys() {
+        let (mut key, _) = sample_key(9, 0.0, FnFamily::Mixed);
+        key.transforms[0].pieces.clear();
+        assert!(CompiledKey::compile(&key).is_err());
+    }
+
+    #[test]
+    fn encode_column_matches_per_value() {
+        let (key, d) = sample_key(11, 1.0, FnFamily::Mixed);
+        let compiled = CompiledKey::compile(&key).unwrap();
+        let mut out = Vec::new();
+        for a in d.schema().attrs() {
+            compiled.encode_column(a, d.column(a), &mut out).unwrap();
+            for (&x, &y) in d.column(a).iter().zip(&out) {
+                assert_eq!(key.encode_value(a, x).unwrap().to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -23,8 +23,14 @@
 //!   random permutation by default), disjoint output intervals
 //!   enforcing the global-(anti-)monotone invariant (Definition 8),
 //!   exact encode/decode,
-//! * [`encoder`] — dataset-level encoding and the serializable
-//!   custodian [`TransformKey`],
+//! * [`encoder`] — dataset-level encoding via the [`Encoder`] builder
+//!   and the serializable custodian [`TransformKey`],
+//! * [`compiled`] — [`CompiledKey`], an audited [`TransformKey`]
+//!   lowered into flat cache-friendly arrays for allocation-free,
+//!   dispatch-free per-value encode/decode (bit-identical to the
+//!   interpreted path),
+//! * [`compat`] — deprecated free-function shims
+//!   (`encode_dataset` & co.) over the [`Encoder`] builder,
 //! * [`verify`] — class-string-preservation and no-outcome-change
 //!   checkers (Lemma 1, Theorems 1–2),
 //! * [`audit`] — structural audit of a loaded [`TransformKey`]
@@ -47,6 +53,8 @@
 
 pub mod audit;
 pub mod breakpoints;
+pub mod compat;
+pub mod compiled;
 pub mod encoder;
 pub mod family;
 pub mod func;
@@ -56,9 +64,13 @@ pub mod verify;
 
 pub use audit::{audit_key, audit_key_against, AuditFinding, AuditReport, Severity};
 pub use breakpoints::{plan_pieces, BreakpointStrategy, PiecePlan};
-pub use encoder::{
+#[allow(deprecated)]
+pub use compat::{
     encode_dataset, encode_dataset_parallel, encode_dataset_parallel_with, encode_dataset_with,
-    EncodeConfig, LayoutKind, OnExhaust, RetryPolicy, TransformKey,
+};
+pub use compiled::{CompiledKey, CompiledTransform};
+pub use encoder::{
+    EncodeConfig, Encoded, Encoder, LayoutKind, OnExhaust, RetryPolicy, TransformKey,
 };
 pub use family::FnFamily;
 pub use func::MonoFunc;

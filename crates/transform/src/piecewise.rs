@@ -352,8 +352,10 @@ pub fn decode_le_split(map: &[(f64, f64)], y: f64, midpoint: bool) -> Result<f64
     })
 }
 
-/// Nearest element of a sorted slice; `None` when empty.
-fn nearest(sorted: &[f64], x: f64) -> Option<f64> {
+/// Nearest element of a sorted slice; `None` when empty. Shared with
+/// the compiled path (`crate::compiled`) so snapping stays
+/// bit-identical between the two.
+pub(crate) fn nearest(sorted: &[f64], x: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }

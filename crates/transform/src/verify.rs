@@ -23,7 +23,7 @@ use rand::Rng;
 use ppdt_data::{AttrId, Dataset};
 use ppdt_tree::{tree_diff, TreeBuilder, TreeParams};
 
-use crate::encoder::{encode_dataset, EncodeConfig, OnExhaust, RetryPolicy, TransformKey};
+use crate::encoder::{EncodeConfig, Encoder, RetryPolicy, TransformKey};
 
 /// The per-distinct-value class histograms of attribute `a`, in
 /// ascending value order — the tie-robust form of the class string.
@@ -95,7 +95,7 @@ pub fn no_outcome_change<R: Rng + ?Sized>(
     encode_config: &EncodeConfig,
     params: TreeParams,
 ) -> Result<OutcomeReport, PpdtError> {
-    let (key, d2) = encode_dataset(rng, d, encode_config)?;
+    let (key, d2) = Encoder::new(*encode_config).encode(rng, d)?.into_parts();
     let class_strings_ok = all_class_strings_preserved(d, &d2, &key);
 
     let builder = TreeBuilder::new(params);
@@ -118,41 +118,36 @@ pub fn no_outcome_change<R: Rng + ?Sized>(
 /// `policy.max_attempts`) if a metric tie under an anti-monotone
 /// direction broke exactness.
 ///
-/// When the attempts run out, [`OnExhaust::Fallback`] re-encodes with
-/// all-monotone directions (for which exactness is unconditional under
-/// the default run-boundary candidate policy), while
-/// [`OnExhaust::Fail`] returns [`PpdtError::DrawExhausted`] carrying
-/// the first tree difference observed on every failed attempt.
-/// Redraws beyond the first attempt are counted on
-/// [`ppdt_obs::Counter::VerifyRetries`].
+/// Deprecated shim over the builder; the replacement is
 ///
-/// Returns the key, the transformed dataset, and the number of
-/// attempts used (fallback counts as one extra attempt).
-///
-/// # Example
 /// ```
-/// use ppdt_transform::verify::encode_dataset_verified;
-/// use ppdt_transform::{EncodeConfig, RetryPolicy};
+/// use ppdt_transform::{EncodeConfig, Encoder, RetryPolicy};
 /// use ppdt_tree::TreeParams;
 /// use rand::SeedableRng;
 ///
 /// let d = ppdt_data::gen::figure1();
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let (key, d_prime, attempts) = encode_dataset_verified(
-///     &mut rng,
-///     &d,
-///     &EncodeConfig::default(),
-///     TreeParams::default(),
-///     RetryPolicy::with_fallback(8),
-/// )
-/// .unwrap();
-/// assert!((1..=9).contains(&attempts));
+/// let encoded = Encoder::new(EncodeConfig::default())
+///     .retry(RetryPolicy::with_fallback(8))
+///     .verify_with(TreeParams::default())
+///     .encode(&mut rng, &d)
+///     .unwrap();
+/// assert!((1..=9).contains(&encoded.attempts));
 /// // The guarantee just verified: decoding the tree mined on D'
 /// // reproduces the tree mined on D.
-/// let t_prime = ppdt_tree::TreeBuilder::default().fit(&d_prime);
-/// let s = key.decode_tree(&t_prime, TreeParams::default().threshold_policy, &d).unwrap();
+/// let t_prime = ppdt_tree::TreeBuilder::default().fit(&encoded.dataset);
+/// let s = encoded
+///     .key
+///     .decode_tree(&t_prime, TreeParams::default().threshold_policy, &d)
+///     .unwrap();
 /// assert!(ppdt_tree::trees_equal(&s, &ppdt_tree::TreeBuilder::default().fit(&d)));
 /// ```
+///
+/// Returns the key, the transformed dataset, and the number of
+/// attempts used (fallback counts as one extra attempt).
+#[deprecated(
+    note = "use `Encoder::new(*config).retry(policy).verify_with(params).encode(rng, d)` instead"
+)]
 pub fn encode_dataset_verified<R: Rng + ?Sized>(
     rng: &mut R,
     d: &Dataset,
@@ -160,36 +155,8 @@ pub fn encode_dataset_verified<R: Rng + ?Sized>(
     params: TreeParams,
     policy: RetryPolicy,
 ) -> Result<(TransformKey, Dataset, usize), PpdtError> {
-    policy.validate()?;
-    let builder = TreeBuilder::new(params);
-    let t = builder.fit(d);
-    let mut reasons: Vec<String> = Vec::new();
-    for attempt in 1..=policy.max_attempts {
-        if attempt > 1 {
-            ppdt_obs::add(ppdt_obs::Counter::VerifyRetries, 1);
-        }
-        let (key, d2) = encode_dataset(rng, d, encode_config)?;
-        let t2 = builder.fit(&d2);
-        let s = key.decode_tree(&t2, params.threshold_policy, d)?;
-        match tree_diff(&s, &t, 0.0) {
-            None => return Ok((key, d2, attempt)),
-            Some(diff) => reasons.push(format!("attempt {attempt}: decoded tree differs: {diff}")),
-        }
-    }
-    if policy.on_exhaust == OnExhaust::Fallback {
-        // Monotone directions cannot flip tie-breaks; this always
-        // verifies.
-        ppdt_obs::add(ppdt_obs::Counter::VerifyRetries, 1);
-        let fallback = EncodeConfig { anti_monotone_prob: 0.0, ..*encode_config };
-        let (key, d2) = encode_dataset(rng, d, &fallback)?;
-        let t2 = builder.fit(&d2);
-        let s = key.decode_tree(&t2, params.threshold_policy, d)?;
-        match tree_diff(&s, &t, 0.0) {
-            None => return Ok((key, d2, policy.max_attempts + 1)),
-            Some(diff) => reasons.push(format!("fallback: decoded tree differs: {diff}")),
-        }
-    }
-    Err(PpdtError::DrawExhausted { attr: None, attempts: policy.max_attempts, reasons })
+    let e = Encoder::new(*encode_config).retry(policy).verify_with(params).encode(rng, d)?;
+    Ok((e.key, e.dataset, e.attempts))
 }
 
 #[cfg(test)]
@@ -277,14 +244,12 @@ mod tests {
                 ..Default::default()
             };
             let params = TreeParams::default();
-            let (key, d2, attempts) = encode_dataset_verified(
-                &mut rng,
-                &d,
-                &encode_config,
-                params,
-                RetryPolicy::with_fallback(8),
-            )
-            .unwrap();
+            let encoded = Encoder::new(encode_config)
+                .retry(RetryPolicy::with_fallback(8))
+                .verify_with(params)
+                .encode(&mut rng, &d)
+                .unwrap();
+            let (key, d2, attempts) = (encoded.key, encoded.dataset, encoded.attempts);
             assert!(attempts >= 1);
             let builder = TreeBuilder::new(params);
             let t = builder.fit(&d);
@@ -304,7 +269,7 @@ mod tests {
         for _ in 0..10 {
             let d = random_dataset(&mut rng, &cfg);
             let encode_config = EncodeConfig { anti_monotone_prob: 1.0, ..Default::default() };
-            let (key, d2) = encode_dataset(&mut rng, &d, &encode_config).unwrap();
+            let (key, d2) = Encoder::new(encode_config).encode(&mut rng, &d).unwrap().into_parts();
             assert!(all_class_strings_preserved(&d, &d2, &key));
         }
     }
@@ -373,7 +338,8 @@ mod tests {
             RandomDatasetConfig { num_rows: 200, num_attrs: 2, num_classes: 2, value_range: 30 };
         for _ in 0..5 {
             let d = random_dataset(&mut rng, &cfg);
-            let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).unwrap();
+            let (key, d2) =
+                Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).unwrap().into_parts();
             let builder = TreeBuilder::default();
             let t = prune_pessimistic(&builder.fit(&d), 0.25);
             let t2 = prune_pessimistic(&builder.fit(&d2), 0.25);

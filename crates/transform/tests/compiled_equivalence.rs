@@ -1,0 +1,154 @@
+//! Property test: the compiled plan ([`CompiledKey`]) is
+//! **bit-identical** to the interpreted [`TransformKey`] path — for
+//! encode, snapped decode, and raw decode — over random keys covering
+//! every breakpoint strategy, anti-monotone directions, and
+//! permutation pieces. The compiled layer exists purely for speed; any
+//! observable difference, down to the last mantissa bit, is a bug.
+
+use ppdt_data::gen::census_like;
+use ppdt_data::AttrId;
+use ppdt_transform::{BreakpointStrategy, CompiledKey, EncodeConfig, Encoder, PieceKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Asserts every observable of the compiled plan matches the
+/// interpreted key on `probe` values for attribute `a`.
+fn assert_equivalent(
+    key: &ppdt_transform::TransformKey,
+    plan: &CompiledKey,
+    a: AttrId,
+    probes: &[f64],
+) {
+    for &x in probes {
+        let interp = key.encode_value(a, x);
+        let compiled = plan.encode_value(a, x);
+        match (interp, compiled) {
+            (Ok(yi), Ok(yc)) => {
+                assert_eq!(
+                    yi.to_bits(),
+                    yc.to_bits(),
+                    "attr {}: encode({x}) diverged: {yi} vs {yc}",
+                    a.index()
+                );
+                // Decode the encoded value back through both paths.
+                let di = key.decode_value(a, yi).expect("interpreted decode");
+                let dc = plan.decode_value(a, yc).expect("compiled decode");
+                assert_eq!(
+                    di.to_bits(),
+                    dc.to_bits(),
+                    "attr {}: decode({yi}) diverged: {di} vs {dc}",
+                    a.index()
+                );
+                let ri = key.decode_value_raw(a, yi).expect("interpreted raw decode");
+                let rc = plan.decode_value_raw(a, yc).expect("compiled raw decode");
+                assert_eq!(
+                    ri.to_bits(),
+                    rc.to_bits(),
+                    "attr {}: raw decode({yi}) diverged: {ri} vs {rc}",
+                    a.index()
+                );
+            }
+            (Err(_), Err(_)) => {} // both reject: out-of-domain probe
+            (i, c) => panic!(
+                "attr {}: paths disagree on whether {x} encodes: interpreted {i:?}, compiled {c:?}",
+                a.index()
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #[test]
+    fn prop_compiled_plan_is_bit_identical_to_interpreted(
+        seed in 0u64..u64::from(u32::MAX),
+        rows in 40usize..140,
+        anti in 0.0f64..1.0,
+        force_anti in any::<bool>(),
+        strategy_pick in 0usize..3,
+    ) {
+        let anti = if force_anti { 1.0 } else { anti };
+        let strategy = match strategy_pick {
+            0 => BreakpointStrategy::None,
+            1 => BreakpointStrategy::ChooseBP { w: 6 },
+            _ => BreakpointStrategy::ChooseMaxMP { w: 8, min_piece_len: 3 },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = census_like(&mut rng, rows);
+        let cfg = EncodeConfig { strategy, anti_monotone_prob: anti, ..Default::default() };
+        let (key, d_prime) =
+            Encoder::new(cfg).encode(&mut rng, &d).expect("encode clean data").into_parts();
+        let plan = CompiledKey::compile(&key).expect("audited key must compile");
+        prop_assert!(plan.num_attrs() == key.transforms.len());
+
+        for (i, t) in key.transforms.iter().enumerate() {
+            let a = AttrId(i);
+            // Probe every recorded domain value plus off-grid points:
+            // midpoints between neighbors and values outside the
+            // domain hull (which both paths must reject identically).
+            let mut probes = t.orig_domain.clone();
+            for w in t.orig_domain.windows(2) {
+                probes.push((w[0] + w[1]) / 2.0);
+            }
+            if let (Some(&lo), Some(&hi)) = (t.orig_domain.first(), t.orig_domain.last()) {
+                probes.push(lo - 1.0);
+                probes.push(hi + 1.0);
+            }
+            probes.push(rng.gen_range(-1e6..1e6));
+            assert_equivalent(&key, &plan, a, &probes);
+
+            // Column encode agrees with the interpreted per-value loop.
+            let src = d.column(a);
+            let mut dst = Vec::new();
+            plan.encode_column(a, src, &mut dst).expect("column encode");
+            prop_assert!(dst.len() == src.len());
+            for (j, (&x, &y)) in src.iter().zip(&dst).enumerate() {
+                let yi = key.encode_value(a, x).expect("interpreted encode");
+                prop_assert!(
+                    yi.to_bits() == y.to_bits(),
+                    "attr {i} row {j}: column encode diverged: {yi} vs {y}"
+                );
+            }
+        }
+
+        // Whole-dataset check: the compiled columns reproduce D'.
+        for (i, t) in key.transforms.iter().enumerate() {
+            let a = AttrId(i);
+            let mut dst = Vec::new();
+            plan.encode_column(a, d.column(a), &mut dst).expect("column encode");
+            prop_assert!(
+                dst.iter().zip(d_prime.column(a)).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "attr {i}: compiled columns must reproduce the encoder's D'"
+            );
+            let _ = t;
+        }
+    }
+}
+
+/// Deterministic companion pinning the hard cases — permutation
+/// pieces and fully anti-monotone keys — so the property above cannot
+/// silently lose coverage if the generators drift.
+#[test]
+fn compiled_matches_interpreted_on_permutation_and_anti_monotone_key() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let d = census_like(&mut rng, 200);
+    let cfg = EncodeConfig {
+        strategy: BreakpointStrategy::ChooseMaxMP { w: 10, min_piece_len: 3 },
+        anti_monotone_prob: 1.0,
+        ..Default::default()
+    };
+    let (key, _) = Encoder::new(cfg).encode(&mut rng, &d).expect("encode").into_parts();
+    assert!(key.transforms.iter().all(|t| !t.increasing));
+    assert!(
+        key.transforms
+            .iter()
+            .flat_map(|t| &t.pieces)
+            .any(|p| matches!(p.kind, PieceKind::Permutation { .. })),
+        "fixture must contain permutation pieces"
+    );
+    let plan = CompiledKey::compile(&key).expect("compiles");
+    for (i, t) in key.transforms.iter().enumerate() {
+        assert_equivalent(&key, &plan, AttrId(i), &t.orig_domain);
+    }
+}

@@ -15,7 +15,7 @@ use ppdt_data::csv::{parse_csv, to_csv};
 use ppdt_data::gen::census_like;
 use ppdt_data::{AttrId, Dataset};
 use ppdt_transform::{
-    audit_key_against, encode_dataset, EncodeConfig, ErrorCategory, PpdtError, TransformKey,
+    audit_key_against, EncodeConfig, Encoder, ErrorCategory, PpdtError, TransformKey,
 };
 use ppdt_tree::{DecisionTree, ThresholdPolicy, TreeBuilder, TreeParams};
 use rand::rngs::StdRng;
@@ -29,8 +29,10 @@ fn fault_seed() -> u64 {
 fn study() -> (Dataset, TransformKey, Dataset) {
     let mut rng = StdRng::seed_from_u64(fault_seed());
     let d = census_like(&mut rng, 300);
-    let (key, d_prime) =
-        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode clean data");
+    let (key, d_prime) = Encoder::new(EncodeConfig::default())
+        .encode(&mut rng, &d)
+        .expect("encode clean data")
+        .into_parts();
     (d, key, d_prime)
 }
 

@@ -6,7 +6,7 @@
 //! `D'` to `D`, so its serialization must be a fixed point.
 
 use ppdt_data::gen::census_like;
-use ppdt_transform::{encode_dataset, BreakpointStrategy, EncodeConfig, PieceKind, TransformKey};
+use ppdt_transform::{BreakpointStrategy, EncodeConfig, Encoder, PieceKind, TransformKey};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,7 +45,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let d = census_like(&mut rng, rows);
         let cfg = EncodeConfig { strategy, anti_monotone_prob: anti, ..Default::default() };
-        let (key, _) = encode_dataset(&mut rng, &d, &cfg).expect("encode clean data");
+        let (key, _) = Encoder::new(cfg).encode(&mut rng, &d).expect("encode clean data").into_parts();
         assert_roundtrip(&key);
 
         // The round-tripped key is not just equal — it encodes
@@ -77,7 +77,7 @@ fn key_with_permutation_pieces_and_anti_monotone_directions_roundtrips() {
         anti_monotone_prob: 1.0,
         ..Default::default()
     };
-    let (key, _) = encode_dataset(&mut rng, &d, &cfg).expect("encode");
+    let (key, _) = Encoder::new(cfg).encode(&mut rng, &d).expect("encode").into_parts();
 
     assert!(
         key.transforms.iter().all(|t| !t.increasing),

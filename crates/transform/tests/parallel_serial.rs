@@ -1,20 +1,26 @@
-//! Cross-validation: `encode_dataset_parallel` must be bit-identical
-//! to `encode_dataset` — same `D'`, same key, same decoded tree — for
-//! every seed, because both paths draw each attribute's randomness
-//! from a per-attribute stream seeded by the same master RNG.
+//! Cross-validation: the parallel `Encoder` path (`.threads(0)`) must
+//! be bit-identical to the serial one — same `D'`, same key, same
+//! decoded tree — for every seed, because both paths draw each
+//! attribute's randomness from a per-attribute stream seeded by the
+//! same master RNG.
 
 use ppdt_data::gen::{census_like, covertype_like, figure1, CovertypeConfig};
 use ppdt_data::Dataset;
-use ppdt_transform::{encode_dataset, encode_dataset_parallel, BreakpointStrategy, EncodeConfig};
+use ppdt_transform::{BreakpointStrategy, EncodeConfig, Encoder};
 use ppdt_tree::{ThresholdPolicy, TreeBuilder, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn assert_bit_identical(d: &Dataset, config: &EncodeConfig, seed: u64) {
-    let (key_s, d_s) =
-        encode_dataset(&mut StdRng::seed_from_u64(seed), d, config).expect("serial encode");
-    let (key_p, d_p) = encode_dataset_parallel(&mut StdRng::seed_from_u64(seed), d, config)
-        .expect("parallel encode");
+    let (key_s, d_s) = Encoder::new(*config)
+        .encode(&mut StdRng::seed_from_u64(seed), d)
+        .expect("serial encode")
+        .into_parts();
+    let (key_p, d_p) = Encoder::new(*config)
+        .threads(0)
+        .encode(&mut StdRng::seed_from_u64(seed), d)
+        .expect("parallel encode")
+        .into_parts();
 
     for a in d.schema().attrs() {
         assert_eq!(d_s.column(a), d_p.column(a), "seed {seed}, attr {a}: D' differs");

@@ -9,7 +9,6 @@
 use ppdt::attack::{combine_cracks, fit_crack, generate_kps, sorting_attack};
 use ppdt::prelude::*;
 use ppdt::risk::{is_crack, rho_for_attr};
-use ppdt::transform::encoder::encode_attribute;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +33,8 @@ fn main() {
     ] {
         println!("--- {label} ---");
         let config = EncodeConfig { strategy, family: FnFamily::SqrtLog, ..Default::default() };
-        let tr = encode_attribute(&mut rng, &d, attr, &config).expect("encode attribute");
+        let tr =
+            Encoder::new(config).encode_attribute(&mut rng, &d, attr).expect("encode attribute");
         let orig = tr.orig_domain.clone();
         let transformed: Vec<f64> =
             orig.iter().map(|&x| tr.encode(x).expect("in-domain value")).collect();

@@ -12,7 +12,6 @@
 //! quick disclosure-risk self-audit before release.
 
 use ppdt::prelude::*;
-use ppdt::transform::verify::encode_dataset_verified;
 use ppdt::transform::{audit_key_against, RetryPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,9 +39,12 @@ fn main() {
         ..Default::default()
     };
     let params = TreeParams { min_samples_leaf: 5, ..Default::default() };
-    let (key, d_prime, attempts) =
-        encode_dataset_verified(&mut rng, &d, &config, params, RetryPolicy::failing(8))
-            .expect("verified encode");
+    let encoded = Encoder::new(config)
+        .retry(RetryPolicy::failing(8))
+        .verify_with(params)
+        .encode(&mut rng, &d)
+        .expect("verified encode");
+    let (key, d_prime, attempts) = (encoded.key, encoded.dataset, encoded.attempts);
     println!("encoded in {attempts} attempt(s); every value transformed");
 
     // --- 2. Persist the key (Section 5.4: "rather minimal"). ---------

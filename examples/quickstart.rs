@@ -29,8 +29,10 @@ fn main() {
     // mixed function families, random permutations on monochromatic
     // pieces.
     let mut rng = StdRng::seed_from_u64(7);
-    let (key, d_prime) =
-        encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode dataset");
+    let (key, d_prime) = Encoder::new(EncodeConfig::default())
+        .encode(&mut rng, &d)
+        .expect("encode dataset")
+        .into_parts();
     println!("\ntransformed data D' (what the miner sees):");
     for row in 0..d_prime.num_rows() {
         println!(

@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
+    bench_compare.py --warm-ratio 1.5 REPORT.json
     bench_compare.py --self-check
 
 Two report shapes are understood, detected from the file contents:
@@ -22,9 +23,17 @@ Both reports must be the same shape; mixing them is an error. Cases or
 headlines present in only one report are listed but not gated, so
 reports can grow new shapes without breaking old baselines.
 
-``--self-check`` verifies the gate itself in both modes: a report
-compared against itself must pass, and a synthetic 20%-regressed copy
-must fail.
+``--warm-ratio R REPORT.json`` gates a single BenchReport on its
+cold-vs-warm headline pairs: for every ``*_warm_*_per_sec`` headline
+with a ``*_cold_*_per_sec`` sibling (same name with ``_warm_``
+swapped for ``_cold_``), the warm value must be at least ``R`` times
+the cold value. A report with no such pairs is an error — the gate
+must never pass vacuously.
+
+``--self-check`` verifies the gate itself in all modes: a report
+compared against itself must pass, a synthetic 20%-regressed copy
+must fail, and the warm-ratio gate must accept/reject synthetic
+cold/warm pairs on the right side of the threshold.
 """
 
 import copy
@@ -94,6 +103,47 @@ def compare_headlines(baseline, candidate, tolerance):
     return regressions
 
 
+def warm_ratio_failures(report, ratio):
+    """Cold/warm pair check; returns (pairs_seen, failure strings)."""
+    headlines = {h["name"]: h["value"] for h in report["headlines"]}
+    pairs = 0
+    failures = []
+    for name in sorted(headlines):
+        if "_warm_" not in name or not name.endswith("_per_sec"):
+            continue
+        cold_name = name.replace("_warm_", "_cold_")
+        if cold_name not in headlines:
+            continue
+        pairs += 1
+        warm, cold = headlines[name], headlines[cold_name]
+        achieved = warm / cold if cold > 0 else float("inf")
+        verdict = "ok" if achieved >= ratio else "FAIL"
+        print(f"  {verdict}: {name} {warm:.0f} vs {cold_name} {cold:.0f} "
+              f"-> {achieved:.2f}x (need >= {ratio:.2f}x)")
+        if achieved < ratio:
+            failures.append(
+                f"{name}: warm {warm:.0f} is only {achieved:.2f}x cold "
+                f"{cold:.0f} (need >= {ratio:.2f}x)")
+    return pairs, failures
+
+
+def gate_warm_ratio(path, ratio):
+    kind, report = load(path)
+    if kind != "bench_report":
+        sys.exit(f"{path}: --warm-ratio needs a BenchReport, got {kind}")
+    print(f"warm-ratio gate (>= {ratio:.2f}x) on {path}:")
+    pairs, failures = warm_ratio_failures(report, ratio)
+    if pairs == 0:
+        sys.exit(f"{path}: no *_warm_*_per_sec / *_cold_*_per_sec pairs; "
+                 "the warm-ratio gate would pass vacuously")
+    if failures:
+        print("WARM-RATIO FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(f"ok: all {pairs} warm/cold pairs meet the {ratio:.2f}x floor")
+
+
 def self_check():
     report = {
         "trajectory_schema_version": 1,
@@ -132,13 +182,44 @@ def self_check():
     config_only["headlines"][1]["value"] = 1.0
     if compare_headlines(bench, config_only, 0.10):
         sys.exit("self-check FAILED: non-_per_sec headline was gated")
+
+    paired = {
+        "schema_version": 2,
+        "binary": "serve_throughput",
+        "headlines": [
+            {"name": "serve_encode_cold_rows_per_sec", "value": 100.0},
+            {"name": "serve_encode_warm_rows_per_sec", "value": 200.0},
+        ],
+    }
+    pairs, failures = warm_ratio_failures(paired, 1.5)
+    if pairs != 1 or failures:
+        sys.exit("self-check FAILED: 2.0x warm/cold pair rejected at 1.5x")
+    paired["headlines"][1]["value"] = 120.0
+    pairs, failures = warm_ratio_failures(paired, 1.5)
+    if pairs != 1 or not failures:
+        sys.exit("self-check FAILED: 1.2x warm/cold pair accepted at 1.5x")
+    unpaired = {"schema_version": 2, "binary": "x",
+                "headlines": [{"name": "serve_encode_warm_rows_per_sec",
+                               "value": 1.0}]}
+    pairs, _ = warm_ratio_failures(unpaired, 1.5)
+    if pairs != 0:
+        sys.exit("self-check FAILED: unpaired warm headline counted as a pair")
+
     print("self-check passed: identity clean, 20% regression flagged "
-          "in both report modes")
+          "in both report modes, warm-ratio gate discriminates")
 
 
 def main(argv):
     if argv == ["--self-check"]:
         self_check()
+        return
+    if "--warm-ratio" in argv:
+        i = argv.index("--warm-ratio")
+        ratio = float(argv[i + 1])
+        del argv[i:i + 2]
+        if len(argv) != 1:
+            sys.exit(__doc__.strip())
+        gate_warm_ratio(argv[0], ratio)
         return
     tolerance = 0.10
     if "--tolerance" in argv:

@@ -23,6 +23,9 @@ cargo test -p ppdt-transform --test fault_injection -q
 echo "== panic gate (library code must use typed errors)"
 python3 scripts/panic_gate.py
 
+echo "== deprecated-API gate (legacy encode free functions stay in their shim)"
+python3 scripts/deprecated_gate.py
+
 echo "== bench trajectory (smoke) + regression gate self-check"
 python3 scripts/bench_compare.py --self-check
 smoke_out="$(mktemp /tmp/ppdt_traj_smoke.XXXXXX.json)"
@@ -31,6 +34,10 @@ trap 'rm -f "$smoke_out" "$serve_smoke_out"' EXIT
 scripts/bench_trajectory.sh --smoke --out "$smoke_out" --serve-out "$serve_smoke_out"
 python3 scripts/bench_compare.py BENCH_PR3.json BENCH_PR3.json
 python3 scripts/bench_compare.py BENCH_PR4.json BENCH_PR4.json
+python3 scripts/bench_compare.py BENCH_PR5.json BENCH_PR5.json
+
+echo "== warm-cache throughput floor (committed BENCH_PR5.json)"
+python3 scripts/bench_compare.py --warm-ratio 1.5 BENCH_PR5.json
 
 echo "== serve daemon smoke (healthz, encode/classify round-trip, SIGTERM)"
 cargo build --release -q -p ppdt-cli

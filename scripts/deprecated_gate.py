@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Deprecation gate: forbid the legacy encode free functions.
+
+The encode entry points collapsed into the `Encoder` builder; the old
+free functions (`encode_dataset`, `encode_dataset_with`,
+`encode_dataset_parallel`, `encode_dataset_parallel_with`,
+`encode_dataset_verified`, `encode_attribute`, `encode_attribute_with`)
+survive only as `#[deprecated]` shims in
+`crates/transform/src/compat.rs` so out-of-tree callers migrate on
+their own schedule. In-tree code must not call them: this gate scans
+every `*.rs` file outside `target/`, `vendor/`, and the shim module
+itself for call sites and fails on any hit — including doc examples,
+which compile as doctests and would teach readers the dead API.
+
+Method calls like `Encoder::new(cfg).encode_attribute(...)` and plain
+re-exports (`pub use ... encode_dataset`) are not call sites and are
+not flagged.
+
+Exit code 0 when clean, 1 when a deprecated call site appears.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SHIM = "crates/transform/src/compat.rs"
+SKIP_PARTS = {"target", "vendor"}
+
+# A deprecated free-function *call*: the name followed by `(` or a
+# turbofish, not preceded by `.` (method call) or an identifier
+# character (a longer name or a `fn` definition is matched apart).
+CALL = re.compile(
+    r"(?<![\w.])"
+    r"(encode_dataset(?:_parallel)?(?:_with)?|encode_dataset_verified"
+    r"|encode_attribute(?:_with)?)"
+    r"\s*(?:::<[^>]*>)?\s*\(")
+
+
+def scan(path, rel):
+    hits = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if stripped.startswith("fn ") or stripped.startswith("pub fn "):
+            continue
+        m = CALL.search(line)
+        if m:
+            hits.append((rel, lineno, m.group(1), stripped))
+    return hits
+
+
+def main():
+    violations = []
+    for path in sorted(ROOT.glob("**/*.rs")):
+        rel = str(path.relative_to(ROOT))
+        if rel == SHIM or SKIP_PARTS & set(pathlib.Path(rel).parts):
+            continue
+        violations.extend(scan(path, rel))
+    if violations:
+        print("deprecated encode free functions called outside "
+              f"{SHIM}:", file=sys.stderr)
+        for rel, lineno, name, text in violations:
+            print(f"  {rel}:{lineno}: {name}: {text}", file=sys.stderr)
+        print("migrate these call sites to the `Encoder` builder "
+              "(see crates/transform/src/encoder.rs)", file=sys.stderr)
+        return 1
+    print("deprecated-API gate clean: no legacy encode calls outside "
+          "the shim module")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

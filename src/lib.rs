@@ -38,7 +38,8 @@
 //!
 //! // 1. Encode: every attribute gets its own piecewise transform.
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let (key, d_prime) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).unwrap();
+//! let (key, d_prime) =
+//!     Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).unwrap().into_parts();
 //!
 //! // 2. The (untrusted) miner builds a tree on D'.
 //! let t_prime = TreeBuilder::default().fit(&d_prime);
@@ -68,9 +69,13 @@ pub mod prelude {
     pub use ppdt_attack::{FitMethod, HackerProfile};
     pub use ppdt_data::{AttrId, ClassId, Dataset, DatasetBuilder, Schema};
     pub use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
+    // The deprecated free encode functions stay re-exported so
+    // downstream code migrates on its own schedule; new code should
+    // use the `Encoder` builder.
+    #[allow(deprecated)]
+    pub use ppdt_transform::{encode_dataset, encode_dataset_parallel};
     pub use ppdt_transform::{
-        encode_dataset, encode_dataset_parallel, BreakpointStrategy, EncodeConfig, FnFamily,
-        TransformKey,
+        BreakpointStrategy, CompiledKey, EncodeConfig, Encoded, Encoder, FnFamily, TransformKey,
     };
     pub use ppdt_tree::{
         trees_equal, DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams,

@@ -7,7 +7,7 @@ use ppdt::data::gen::{
     RandomDatasetConfig,
 };
 use ppdt::prelude::*;
-use ppdt::transform::verify::{all_class_strings_preserved, encode_dataset_verified};
+use ppdt::transform::verify::all_class_strings_preserved;
 use ppdt::transform::RetryPolicy;
 use ppdt::tree::prune_pessimistic;
 use rand::rngs::StdRng;
@@ -35,7 +35,8 @@ fn pipeline_exact_on_every_generator() {
             for criterion in [SplitCriterion::Gini, SplitCriterion::Entropy] {
                 let config = EncodeConfig { strategy, ..Default::default() };
                 let params = TreeParams { criterion, min_samples_leaf: 2, ..Default::default() };
-                let (key, d2) = encode_dataset(&mut rng, d, &config).expect("encode");
+                let (key, d2) =
+                    Encoder::new(config).encode(&mut rng, d).expect("encode").into_parts();
                 assert!(all_class_strings_preserved(d, &d2, &key), "ds {i} {strategy:?}");
                 let builder = TreeBuilder::new(params);
                 let t = builder.fit(d);
@@ -65,7 +66,7 @@ fn midpoint_policy_pipeline_exact() {
     };
     for strategy in strategies() {
         let config = EncodeConfig { strategy, ..Default::default() };
-        let (key, d2) = encode_dataset(&mut rng, &d, &config).expect("encode");
+        let (key, d2) = Encoder::new(config).encode(&mut rng, &d).expect("encode").into_parts();
         let builder = TreeBuilder::new(params);
         let t = builder.fit(&d);
         let t2 = builder.fit(&d2);
@@ -80,7 +81,10 @@ fn pruning_commutes_with_decoding() {
     let cfg = RandomDatasetConfig { num_rows: 400, num_attrs: 3, num_classes: 2, value_range: 40 };
     for _ in 0..5 {
         let d = random_dataset(&mut rng, &cfg);
-        let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+        let (key, d2) = Encoder::new(EncodeConfig::default())
+            .encode(&mut rng, &d)
+            .expect("encode")
+            .into_parts();
         let builder = TreeBuilder::default();
         // prune(decode(T')) == prune(T): pruning is count-based.
         let pruned_direct = prune_pessimistic(&builder.fit(&d), 0.25);
@@ -98,9 +102,12 @@ fn verified_encode_with_anti_monotone_directions() {
     let d = wdbc_like(&mut rng, 300);
     let config = EncodeConfig { anti_monotone_prob: 1.0, ..Default::default() };
     let params = TreeParams::default();
-    let (key, d2, attempts) =
-        encode_dataset_verified(&mut rng, &d, &config, params, RetryPolicy::failing(8))
-            .expect("verified encode");
+    let encoded = Encoder::new(config)
+        .retry(RetryPolicy::failing(8))
+        .verify_with(params)
+        .encode(&mut rng, &d)
+        .expect("verified encode");
+    let (key, d2, attempts) = (encoded.key, encoded.dataset, encoded.attempts);
     assert!(attempts >= 1);
     let builder = TreeBuilder::new(params);
     let s = key.decode_tree(&builder.fit(&d2), params.threshold_policy, &d).expect("decode");
@@ -111,7 +118,8 @@ fn verified_encode_with_anti_monotone_directions() {
 fn key_survives_json_roundtrip_and_still_decodes() {
     let mut rng = StdRng::seed_from_u64(5);
     let d = census_like(&mut rng, 500);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, d2) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
     let json = serde_json::to_string(&key).expect("serialize key");
     let key2: TransformKey = serde_json::from_str(&json).expect("deserialize key");
     assert_eq!(key, key2);
@@ -127,7 +135,8 @@ fn predictions_through_the_key_match_on_unseen_tuples() {
     // when the input is encoded first: predict_T'(f(x)) == predict_S(x).
     let mut rng = StdRng::seed_from_u64(6);
     let d = census_like(&mut rng, 700);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, d2) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
     let builder = TreeBuilder::default();
     let t2 = builder.fit(&d2);
     let s = key.decode_tree(&t2, ThresholdPolicy::DataValue, &d).expect("decode");
@@ -155,7 +164,8 @@ fn feature_importance_is_invariant_under_the_transform() {
     use ppdt::tree::feature_importance;
     let mut rng = StdRng::seed_from_u64(8);
     let d = census_like(&mut rng, 1_000);
-    let (key, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (key, d2) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
     let builder = TreeBuilder::default();
     let t = builder.fit(&d);
     let t2 = builder.fit(&d2);
@@ -171,7 +181,8 @@ fn every_single_value_is_transformed() {
     // changes every value.
     let mut rng = StdRng::seed_from_u64(7);
     let d = covertype_like(&mut rng, &CovertypeConfig { num_rows: 1_500, ..Default::default() });
-    let (_, d2) = encode_dataset(&mut rng, &d, &EncodeConfig::default()).expect("encode");
+    let (_, d2) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
     for a in d.schema().attrs() {
         let same = d.column(a).iter().zip(d2.column(a)).filter(|(x, y)| x == y).count();
         assert_eq!(same, 0, "attr {a}: {same} values unchanged");

@@ -54,7 +54,7 @@ proptest! {
             min_samples_leaf: min_leaf,
             ..Default::default()
         };
-        let (key, d2) = encode_dataset(&mut rng, &d, &config).expect("encode");
+        let (key, d2) = Encoder::new(config).encode(&mut rng, &d).expect("encode").into_parts();
         prop_assert!(all_class_strings_preserved(&d, &d2, &key));
 
         let builder = TreeBuilder::new(params);
@@ -91,7 +91,7 @@ proptest! {
             anti_monotone_prob: 0.5, // round-trips hold either way
             ..Default::default()
         };
-        let (key, _) = encode_dataset(&mut rng, &d, &config).expect("encode");
+        let (key, _) = Encoder::new(config).encode(&mut rng, &d).expect("encode").into_parts();
         for a in d.schema().attrs() {
             for &x in &d.active_domain(a) {
                 let y = key.encode_value(a, x).expect("in-domain value");
@@ -123,7 +123,7 @@ proptest! {
             anti_monotone_prob: if anti { 1.0 } else { 0.0 },
             ..Default::default()
         };
-        let (key, _) = encode_dataset(&mut rng, &d, &config).expect("encode");
+        let (key, _) = Encoder::new(config).encode(&mut rng, &d).expect("encode").into_parts();
         let a = AttrId(0);
         let tr = key.transform(a);
         prop_assert_eq!(tr.increasing, !anti);
