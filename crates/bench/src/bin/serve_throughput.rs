@@ -11,9 +11,17 @@
 //! and `POST /v1/classify` (raw query rows against the mined `T'`)
 //! from several concurrent loopback clients.
 //!
+//! A third scenario measures the **connection regimes** of the
+//! event-driven serve core: the same small batched encode driven
+//! through fresh one-shot connections (connect, one request, close)
+//! versus pipelined keep-alive connections (one socket, bursts of
+//! in-flight requests), plus a chunked *streaming* encode of the full
+//! relation. The `*_fresh_*` / `*_keepalive_*` pair is gated by
+//! `scripts/bench_compare.py --keepalive-ratio`.
+//!
 //! Emits a [`ppdt_bench::report::BenchReport`] (schema v2) under
-//! `--json` — `BENCH_PR5.json` at the repo root is the committed run
-//! (`BENCH_PR4.json` is the PR 4 era, pre-cache). The legacy
+//! `--json` — `BENCH_PR6.json` at the repo root is the committed run
+//! (`BENCH_PR5.json` is the PR 5 era, pre-keep-alive). The legacy
 //! `serve_encode_rows_per_sec` / `serve_classify_rows_per_sec`
 //! headlines continue the old series and report the warm path; the
 //! `*_cold_*` / `*_warm_*` pairs are gated by
@@ -30,7 +38,7 @@ use ppdt_data::csv::{parse_csv, to_csv};
 use ppdt_data::gen::{covertype_like, CovertypeConfig};
 use ppdt_data::Dataset;
 use ppdt_serve::handlers::{ClassifyRequest, EncodeRequest, StoreKeyRequest, StoreKeyResponse};
-use ppdt_serve::{request, KeyStore, Server, ServerConfig};
+use ppdt_serve::{request, Client, KeyStore, Server, ServerConfig};
 use ppdt_transform::{EncodeConfig, Encoder, TransformKey};
 use ppdt_tree::{DecisionTree, TreeBuilder};
 use rand::rngs::StdRng;
@@ -102,6 +110,64 @@ fn drive(addr: std::net::SocketAddr, clients: usize, iters: usize, path: &str, b
             });
         }
     });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Like [`drive`], but each client keeps ONE socket for all its
+/// requests and pipelines them in bursts of `depth` before reading
+/// the answers back, in order.
+fn drive_keepalive(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    iters: usize,
+    depth: usize,
+    path: &str,
+    body: &str,
+) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut sent = 0usize;
+                while sent < iters {
+                    let burst = depth.min(iters - sent);
+                    for _ in 0..burst {
+                        client.send("POST", path, body).expect("pipelined send");
+                    }
+                    for _ in 0..burst {
+                        let (status, text) = client.read_response().expect("pipelined response");
+                        assert_eq!(status, 200, "POST {path}: {text}");
+                    }
+                    sent += burst;
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Streams the relation up `POST /v1/encode` as a chunked body and
+/// drains the chunked response; returns elapsed seconds.
+fn drive_streaming(addr: std::net::SocketAddr, key_id: &str, csv: &str, iters: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let mut client = Client::connect(addr).expect("connect");
+        client.send_chunked_head("POST", "/v1/encode").expect("chunked head");
+        client.send_chunk(format!("{{\"key_id\": \"{key_id}\"}}\n").as_bytes()).expect("header");
+        for piece in csv.as_bytes().chunks(64 * 1024) {
+            client.send_chunk(piece).expect("chunk");
+        }
+        client.finish_chunks().expect("finish");
+        let (status, text) = client.read_response().expect("streamed response");
+        assert_eq!(status, 200, "streamed encode: {}", &text[..text.len().min(200)]);
+        // The stream worker updates the chunk counters after the last
+        // response byte; a follow-up on the same socket can only be
+        // parsed once that job fully retired, so it fences the metrics
+        // snapshot taken by the caller.
+        let (status, _) = client.request("GET", "/healthz", "").expect("healthz");
+        assert_eq!(status, 200);
+    }
     t0.elapsed().as_secs_f64()
 }
 
@@ -189,6 +255,78 @@ fn run_scenario(
     }
 }
 
+/// Connection-regime measurements from one warm daemon.
+struct ReuseResult {
+    fresh_rps: f64,
+    keepalive_rps: f64,
+    stream_rps: f64,
+    keepalive_reuses: u64,
+    pipelined_requests: u64,
+    streamed_chunks: u64,
+}
+
+/// Boots a warm daemon and drives the same small batched encode
+/// through fresh one-shot connections, then pipelined keep-alive
+/// connections, then a chunked streaming encode of the full relation.
+fn run_reuse_scenario(opts: &Opts, d: &Dataset, key: &TransformKey) -> ReuseResult {
+    let dir = std::env::temp_dir().join(format!("ppdt-serve-bench-reuse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = KeyStore::open(dir.clone()).expect("open keystore");
+    let cfg = ServerConfig {
+        queue_capacity: 4 * opts.clients.max(16),
+        // The default per-connection request cap (a hygiene recycle,
+        // not a throughput knob) would close sockets mid-measurement;
+        // this scenario measures the regimes, so lift it.
+        keep_alive_requests: u64::MAX,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg, store).expect("bind server");
+    let addr = server.addr();
+    let metrics = server.metrics();
+    let shutdown = server.shutdown_flag();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let payload =
+        serde_json::to_string(&StoreKeyRequest { key: key.clone() }).expect("serialize key");
+    let (status, text) = request(addr, "POST", "/v1/keys", &payload).expect("store key");
+    assert_eq!(status, 201, "{text}");
+    let stored: StoreKeyResponse = serde_json::from_str(&text).expect("store response");
+
+    // A deliberately small request: with little work per answer, the
+    // per-connection overhead is what the two regimes disagree on.
+    let small_rows: Vec<Vec<f64>> = rows_of(d).into_iter().take(32).collect();
+    let rows_per_req = small_rows.len() as f64;
+    let body = serde_json::to_string(&EncodeRequest {
+        key_id: stored.key_id.clone(),
+        csv: None,
+        rows: Some(small_rows),
+    })
+    .expect("serialize encode request");
+    let reqs = (opts.iters * 25).max(50);
+
+    let fresh_secs = drive(addr, opts.clients, reqs, "/v1/encode", &body);
+    let keepalive_secs = drive_keepalive(addr, opts.clients, reqs, 8, "/v1/encode", &body);
+
+    let csv = to_csv(d);
+    let stream_iters = if opts.smoke { 1 } else { 4 };
+    let stream_secs = drive_streaming(addr, &stored.key_id, &csv, stream_iters);
+
+    let snap = metrics.snapshot();
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon.join().expect("daemon thread").expect("daemon run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total_rows = (opts.clients * reqs) as f64 * rows_per_req;
+    ReuseResult {
+        fresh_rps: total_rows / fresh_secs,
+        keepalive_rps: total_rows / keepalive_secs,
+        stream_rps: (stream_iters * d.num_rows()) as f64 / stream_secs,
+        keepalive_reuses: snap.keepalive_reuses,
+        pipelined_requests: snap.pipelined_requests,
+        streamed_chunks: snap.streamed_chunks,
+    }
+}
+
 fn main() {
     let opts = parse_args();
     ppdt_obs::set_enabled(true);
@@ -226,9 +364,14 @@ fn main() {
         &t_prime,
     );
 
+    // Connection regimes: fresh one-shot sockets vs pipelined
+    // keep-alive sockets vs a chunked streaming upload.
+    let reuse = run_reuse_scenario(&opts, &d, &key);
+
     let ratio = |w: f64, c: f64| if c > 0.0 { w / c } else { f64::INFINITY };
     let encode_ratio = ratio(warm.encode_rps, cold.encode_rps);
     let classify_ratio = ratio(warm.classify_rps, cold.classify_rps);
+    let keepalive_ratio = ratio(reuse.keepalive_rps, reuse.fresh_rps);
     for (name, s) in [("cold", &cold), ("warm", &warm)] {
         println!(
             "  {name:<5} encode {:>12.0} rows/s  classify {:>12.0} rows/s  \
@@ -237,6 +380,19 @@ fn main() {
         );
     }
     println!("  warm/cold: encode {encode_ratio:.2}x, classify {classify_ratio:.2}x");
+    println!(
+        "  small-batch encode: fresh {:>12.0} rows/s  keepalive {:>12.0} rows/s  ({:.2}x, \
+         reuses={} pipelined={})",
+        reuse.fresh_rps,
+        reuse.keepalive_rps,
+        keepalive_ratio,
+        reuse.keepalive_reuses,
+        reuse.pipelined_requests
+    );
+    println!(
+        "  streaming encode: {:>12.0} rows/s ({} chunks moved)",
+        reuse.stream_rps, reuse.streamed_chunks
+    );
     let obs = ppdt_obs::snapshot();
     let obs_counter = |n: &str| obs.counters.iter().find(|c| c.name == n).map_or(0, |c| c.value);
     println!(
@@ -260,6 +416,15 @@ fn main() {
     report.push("serve_classify_warm_rows_per_sec", warm.classify_rps);
     report.push("serve_encode_warm_over_cold", encode_ratio);
     report.push("serve_classify_warm_over_cold", classify_ratio);
+    // Connection-regime pairs; `bench_compare.py --keepalive-ratio`
+    // gates the keep-alive win over fresh connections.
+    report.push("serve_encode_fresh_rows_per_sec", reuse.fresh_rps);
+    report.push("serve_encode_keepalive_rows_per_sec", reuse.keepalive_rps);
+    report.push("serve_encode_keepalive_over_fresh", keepalive_ratio);
+    report.push("serve_stream_encode_rows_per_sec", reuse.stream_rps);
+    report.push("serve_keepalive_reuses", reuse.keepalive_reuses as f64);
+    report.push("serve_pipelined_requests", reuse.pipelined_requests as f64);
+    report.push("serve_streamed_chunks", reuse.streamed_chunks as f64);
     report.push("serve_clients", opts.clients as f64);
     report.push("serve_workers", warm.workers as f64);
     report.push("serve_requests_per_path", (opts.clients * opts.iters) as f64);

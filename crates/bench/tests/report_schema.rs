@@ -8,7 +8,7 @@ use ppdt_bench::HarnessConfig;
 
 /// Every `snapshot()` counter name, in emission order — the contract
 /// `BENCHMARKS.md` documents and downstream tooling greps for.
-const GOLDEN_COUNTERS: [&str; 19] = [
+const GOLDEN_COUNTERS: [&str; 22] = [
     "rows_encoded",
     "pieces_drawn",
     "boundaries_scanned",
@@ -28,6 +28,9 @@ const GOLDEN_COUNTERS: [&str; 19] = [
     "plan_cache_misses",
     "plan_cache_evictions",
     "tree_cache_hits",
+    "http_keepalive_reuses",
+    "http_pipelined_requests",
+    "streamed_chunks",
 ];
 
 fn tmp(name: &str) -> std::path::PathBuf {

@@ -129,7 +129,7 @@ usage: ppdt <subcommand> [args]
   audit <data.csv> [--key <key.json>] [--json <report.json>] [--trials N] [--seed N]
   serve --keystore-dir <dir> [--addr 127.0.0.1:7070] [--workers N] [--queue N]
         [--deadline-ms N] [--max-body-mb N] [--plan-cache N] [--tree-cache N]
-        [--debug-endpoints]
+        [--keep-alive N] [--idle-timeout SECS] [--debug-endpoints]
 any subcommand accepts --metrics (phase timings + counters on stderr)
 and --lenient (skip malformed CSV rows instead of failing)
 exit codes: 1 internal, 2 usage, 3 io, 4 corrupt key, 5 incompatible tree, 6 corrupt data
@@ -505,6 +505,10 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
     // 0 disables a cache (every request reloads + recompiles).
     let plan_cache: usize = a.parsed("plan-cache", cache_defaults.plan_cache_capacity)?;
     let tree_cache: usize = a.parsed("tree-cache", cache_defaults.tree_cache_capacity)?;
+    // 0 disables keep-alive (every connection answers one request).
+    let keep_alive: u64 = a.parsed("keep-alive", cache_defaults.keep_alive_requests)?;
+    let idle_timeout_s: u64 =
+        a.parsed("idle-timeout", cache_defaults.idle_timeout.as_secs().max(1))?;
     if queue == 0 {
         return Err(CliError::usage("--queue must be at least 1"));
     }
@@ -513,6 +517,9 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
     }
     if max_body_mb == 0 {
         return Err(CliError::usage("--max-body-mb must be at least 1"));
+    }
+    if idle_timeout_s == 0 {
+        return Err(CliError::usage("--idle-timeout must be at least 1 second"));
     }
     let cfg = ppdt_serve::ServerConfig {
         addr,
@@ -523,6 +530,8 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
         debug_endpoints: a.has("debug-endpoints"),
         plan_cache_capacity: plan_cache,
         tree_cache_capacity: tree_cache,
+        keep_alive_requests: keep_alive,
+        idle_timeout: std::time::Duration::from_secs(idle_timeout_s),
         ..Default::default()
     };
     let store = ppdt_serve::KeyStore::open(keystore_dir)?;
@@ -879,9 +888,14 @@ bogus,y
         assert_eq!(err.exit_code(), 2, "{err}");
         assert!(err.to_string().contains("keystore-dir"), "{err}");
         // Degenerate pool/queue/body settings are rejected up front.
-        for bad in
-            [["--queue", "0"], ["--deadline-ms", "0"], ["--max-body-mb", "0"], ["--workers", "x"]]
-        {
+        for bad in [
+            ["--queue", "0"],
+            ["--deadline-ms", "0"],
+            ["--max-body-mb", "0"],
+            ["--workers", "x"],
+            ["--idle-timeout", "0"],
+            ["--keep-alive", "x"],
+        ] {
             let mut args = s(&["serve", "--keystore-dir", "/tmp/ppdt-serve-flags"]);
             args.extend(s(&bad));
             let err = run(&args).unwrap_err();

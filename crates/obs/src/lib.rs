@@ -138,11 +138,20 @@ pub enum Counter {
     /// under the same `(key id, dataset digest)` pair instead of
     /// re-mining.
     TreeCacheHits,
+    /// Requests served on an already-open keep-alive connection (the
+    /// second and later requests on one socket).
+    HttpKeepaliveReuses,
+    /// Requests parsed while an earlier response on the same
+    /// connection was still outstanding (HTTP/1.1 pipelining).
+    HttpPipelinedRequests,
+    /// Transfer-encoding chunks moved by streaming encode/classify
+    /// requests (request chunks decoded plus response chunks written).
+    StreamedChunks,
 }
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 22] = [
         Counter::RowsEncoded,
         Counter::PiecesDrawn,
         Counter::BoundariesScanned,
@@ -162,6 +171,9 @@ impl Counter {
         Counter::PlanCacheMisses,
         Counter::PlanCacheEvictions,
         Counter::TreeCacheHits,
+        Counter::HttpKeepaliveReuses,
+        Counter::HttpPipelinedRequests,
+        Counter::StreamedChunks,
     ];
 
     /// Stable position of this counter in [`Counter::ALL`] and in
@@ -193,6 +205,9 @@ impl Counter {
             Counter::PlanCacheMisses => "plan_cache_misses",
             Counter::PlanCacheEvictions => "plan_cache_evictions",
             Counter::TreeCacheHits => "tree_cache_hits",
+            Counter::HttpKeepaliveReuses => "http_keepalive_reuses",
+            Counter::HttpPipelinedRequests => "http_pipelined_requests",
+            Counter::StreamedChunks => "streamed_chunks",
         }
     }
 }
@@ -475,7 +490,10 @@ mod tests {
                 "plan_cache_hits",
                 "plan_cache_misses",
                 "plan_cache_evictions",
-                "tree_cache_hits"
+                "tree_cache_hits",
+                "http_keepalive_reuses",
+                "http_pipelined_requests",
+                "streamed_chunks"
             ]
         );
         for (i, c) in Counter::ALL.iter().enumerate() {

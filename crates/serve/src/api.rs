@@ -157,6 +157,36 @@ pub struct AuditResponseBody {
     pub report: AuditReport,
 }
 
+/// First line of a chunked (`Transfer-Encoding: chunked`)
+/// `POST /v1/encode` body. The rest of the body is the labelled CSV
+/// text itself — a header row, then one data row per line — which the
+/// daemon encodes batch-by-batch and streams back as chunked
+/// `text/csv`, never holding the whole dataset in memory.
+///
+/// ```
+/// let header = r#"{"key_id": "00112233445566778899aabbccddeeff"}"#;
+/// let parsed: ppdt_serve::api::StreamEncodeHeader =
+///     serde_json::from_str(header).unwrap();
+/// assert_eq!(parsed.key_id.len(), 32);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamEncodeHeader {
+    /// Key to encode under.
+    pub key_id: String,
+}
+
+/// First line of a chunked `POST /v1/classify` body. The rest of the
+/// body is one plaintext query row per line (comma-separated
+/// attribute values, no CSV header, no label); the response streams
+/// back one predicted class id per line as chunked `text/plain`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamClassifyHeader {
+    /// Key the tree was mined under.
+    pub key_id: String,
+    /// The tree `T'` mined on the transformed data.
+    pub tree: DecisionTree,
+}
+
 /// `POST /v1/debug/sleep` request (test-only).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SleepRequest {

@@ -1,0 +1,294 @@
+//! Per-connection state for the event-driven serve core.
+//!
+//! A [`Conn`] owns the buffered read side of one accepted socket (a
+//! [`DeadlineStream`] whose deadline the parser re-arms per request)
+//! and a shared [`ConnWriter`], the *ordered* write side. Pipelined
+//! requests fan out to the worker pool and finish in any order; the
+//! writer holds each response until every earlier sequence number on
+//! the same connection has been written, so the wire order always
+//! matches the request order (HTTP/1.1 §6.3.2).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::http::{write_response_conn, DeadlineStream, Response};
+
+/// One accepted connection: buffered reader, ordered writer, and the
+/// bookkeeping the keep-alive policy needs (age, requests issued).
+pub(crate) struct Conn {
+    /// Buffered read half; the deadline is re-armed once per request.
+    pub reader: BufReader<DeadlineStream>,
+    /// Shared ordered write half (cloned into queued jobs).
+    pub writer: std::sync::Arc<ConnWriter>,
+    /// Accept time, for the connection-lifetime ceiling.
+    pub created: Instant,
+    /// Request sequence numbers issued so far (== requests parsed).
+    pub seqs_issued: u64,
+}
+
+impl Conn {
+    /// Wraps an accepted socket. Fails only if the fd cannot be
+    /// duplicated for the write half.
+    pub fn new(stream: TcpStream, deadline: Instant) -> std::io::Result<Conn> {
+        let write_half = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(DeadlineStream::new(stream, deadline)),
+            writer: std::sync::Arc::new(ConnWriter::new(write_half)),
+            created: Instant::now(),
+            seqs_issued: 0,
+        })
+    }
+
+    /// Issues the sequence number for the next request on this
+    /// connection (0, 1, 2, ...).
+    pub fn next_seq(&mut self) -> u64 {
+        let seq = self.seqs_issued;
+        self.seqs_issued += 1;
+        seq
+    }
+
+    /// Re-arms the read deadline (once per request / stream).
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.reader.get_mut().set_deadline(deadline);
+    }
+
+    /// Bytes already buffered from the socket (a pipelined request
+    /// may be fully in userspace, invisible to `poll(2)`).
+    pub fn has_buffered(&self) -> bool {
+        !self.reader.buffer().is_empty()
+    }
+
+    /// Every issued request has been answered on the wire: the
+    /// connection is truly idle and safe to reap.
+    pub fn quiescent(&self) -> bool {
+        self.writer.written() >= self.seqs_issued
+    }
+
+    /// The underlying socket (for readiness polling).
+    pub fn socket(&self) -> &TcpStream {
+        self.reader.get_ref().stream()
+    }
+}
+
+/// One response waiting for its turn on the wire.
+struct PendingResponse {
+    seq: u64,
+    resp: Response,
+    close: bool,
+}
+
+/// What the writer knows between submissions.
+struct WriteState {
+    stream: TcpStream,
+    /// Next sequence number to write; everything below it is on the
+    /// wire already.
+    next: u64,
+    /// Out-of-order completions parked until their turn.
+    pending: Vec<PendingResponse>,
+}
+
+/// The ordered write half of one connection, shared between the
+/// parser (inline answers, rejections) and the workers (handler
+/// responses) via `Arc`.
+///
+/// `submit` either writes immediately (its sequence number is next)
+/// or parks the response until the gap fills; `stream_response` hands
+/// a streaming handler exclusive wire access once its turn arrives.
+/// After a response flagged `close` the writer goes dead: later
+/// submissions are dropped and the socket's write side is shut down,
+/// which is how `Connection: close` mid-pipeline drains in order.
+pub(crate) struct ConnWriter {
+    state: Mutex<WriteState>,
+    turn: Condvar,
+    dead: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            state: Mutex::new(WriteState { stream, next: 0, pending: Vec::new() }),
+            turn: Condvar::new(),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// The connection can take no further responses (peer gone, write
+    /// failed, a `close` response was written, or a streaming handler
+    /// panicked mid-body).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Locks the state; a poisoned lock (a panic inside a streaming
+    /// closure) kills just this connection, never the daemon.
+    fn lock(&self) -> Option<MutexGuard<'_, WriteState>> {
+        match self.state.lock() {
+            Ok(guard) => Some(guard),
+            Err(_) => {
+                self.mark_dead();
+                None
+            }
+        }
+    }
+
+    /// Sequence numbers written so far (`next` unwritten one).
+    pub fn written(&self) -> u64 {
+        self.lock().map(|st| st.next).unwrap_or(u64::MAX)
+    }
+
+    /// Queues `resp` as the answer to request `seq` and flushes every
+    /// response that is now consecutive from the front. `close` shuts
+    /// the connection down after this response hits the wire.
+    pub fn submit(&self, seq: u64, resp: Response, close: bool) {
+        let Some(mut st) = self.lock() else { return };
+        if self.is_dead() {
+            return;
+        }
+        st.pending.push(PendingResponse { seq, resp, close });
+        self.flush_ready(&mut st);
+        drop(st);
+        self.turn.notify_all();
+    }
+
+    /// Writes every pending response whose turn has come, in order.
+    fn flush_ready(&self, st: &mut WriteState) {
+        while !self.is_dead() {
+            let Some(pos) = st.pending.iter().position(|p| p.seq == st.next) else {
+                break;
+            };
+            let p = st.pending.swap_remove(pos);
+            let ok = write_response_conn(&mut st.stream, &p.resp, p.close).is_ok();
+            st.next += 1;
+            if p.close || !ok {
+                self.mark_dead();
+                let _ = st.stream.shutdown(std::net::Shutdown::Write);
+                st.pending.clear();
+            }
+        }
+    }
+
+    /// Sends an interim `100 Continue` — but only when this request is
+    /// at the front of the response order with nothing pending, so the
+    /// interim line cannot interleave with an earlier response. Returns
+    /// whether it was sent (a client that gets nothing proceeds after
+    /// its own grace period, per RFC 9110 §10.1.1).
+    pub fn try_continue(&self, seq: u64) -> bool {
+        use std::io::Write as _;
+        let Some(mut st) = self.lock() else { return false };
+        if self.is_dead() || st.next != seq || !st.pending.is_empty() {
+            return false;
+        }
+        st.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_ok() && st.stream.flush().is_ok()
+    }
+
+    /// Hands `body` exclusive access to the socket once every earlier
+    /// response has been written (blocking on the writer's condvar
+    /// until it is request `seq`'s turn). The closure writes the whole
+    /// response (head + chunks) and returns `Ok(close)`; an `Err`
+    /// means the wire is mid-response and unrecoverable, so the
+    /// connection is killed. Returns `Err(())` if the connection died
+    /// before the turn came.
+    pub fn stream_response<F>(&self, seq: u64, body: F) -> Result<(), ()>
+    where
+        F: FnOnce(&mut TcpStream) -> std::io::Result<bool>,
+    {
+        let Some(mut st) = self.lock() else { return Err(()) };
+        while st.next != seq && !self.is_dead() {
+            let Ok(next) = self.turn.wait(st) else {
+                self.mark_dead();
+                return Err(());
+            };
+            st = next;
+        }
+        if self.is_dead() {
+            return Err(());
+        }
+        let outcome = body(&mut st.stream);
+        st.next += 1;
+        match outcome {
+            Ok(close) => {
+                if close {
+                    self.mark_dead();
+                    let _ = st.stream.shutdown(std::net::Shutdown::Write);
+                    st.pending.clear();
+                } else {
+                    self.flush_ready(&mut st);
+                }
+                drop(st);
+                self.turn.notify_all();
+                Ok(())
+            }
+            Err(_) => {
+                // Mid-body failure: the framing on the wire is broken,
+                // nothing further can be answered.
+                self.mark_dead();
+                let _ = st.stream.shutdown(std::net::Shutdown::Both);
+                st.pending.clear();
+                drop(st);
+                self.turn.notify_all();
+                Err(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn responses_are_written_in_sequence_order() {
+        let (client, server) = pair();
+        let w = ConnWriter::new(server);
+        // Out-of-order submits: 2, 0, 1. The wire must see 0, 1, 2.
+        w.submit(2, Response::ok("\"two\"".into()), false);
+        assert_eq!(w.written(), 0, "seq 2 must wait for 0 and 1");
+        w.submit(0, Response::ok("\"zero\"".into()), false);
+        assert_eq!(w.written(), 1);
+        w.submit(1, Response::ok("\"one\"".into()), true); // close mid-pipeline
+        assert_eq!(w.written(), 2, "the close response still flushes in order");
+        assert!(w.is_dead(), "close kills the writer; seq 2 is dropped");
+
+        let mut client = client;
+        client.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        let zero = text.find("zero").expect("zero answered");
+        let one = text.find("one").expect("one answered");
+        assert!(zero < one, "in order: {text}");
+        assert!(!text.contains("two"), "after close nothing more is written: {text}");
+        assert!(text.contains("connection: keep-alive"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+    }
+
+    #[test]
+    fn continue_is_sent_only_at_the_front() {
+        let (client, server) = pair();
+        let w = ConnWriter::new(server);
+        assert!(w.try_continue(0), "front of the line: interim ok");
+        assert!(!w.try_continue(1), "not this request's turn: skipped");
+        w.submit(0, Response::ok("{}".into()), true);
+        let mut client = client;
+        client.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 200"), "{text}");
+    }
+}

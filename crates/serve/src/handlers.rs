@@ -131,7 +131,14 @@ impl Endpoint {
 /// Routes a parsed request to an endpoint. `debug` enables the
 /// test-only routes.
 pub fn route(req: &Request, debug: bool) -> Result<Endpoint, HttpError> {
-    match (req.method.as_str(), req.path.as_str()) {
+    route_parts(&req.method, &req.path, debug)
+}
+
+/// Routes on the request line alone, before any body bytes are read —
+/// the keep-alive parser decides buffered-vs-streaming dispatch from
+/// the head, so routing cannot wait for the body.
+pub fn route_parts(method: &str, path: &str, debug: bool) -> Result<Endpoint, HttpError> {
+    match (method, path) {
         ("POST", "/v1/keys") => Ok(Endpoint::StoreKey),
         ("GET", "/v1/keys") => Ok(Endpoint::ListKeys),
         ("POST", "/v1/encode") => Ok(Endpoint::Encode),
@@ -148,7 +155,7 @@ pub fn route(req: &Request, debug: bool) -> Result<Endpoint, HttpError> {
             p @ ("/v1/keys" | "/v1/encode" | "/v1/classify" | "/v1/decode-tree" | "/v1/audit"
             | "/v1/version" | "/healthz" | "/metrics"),
         ) => Err(HttpError::method_not_allowed(p)),
-        _ => Err(HttpError::not_found("unknown_route", format!("no such route: {}", req.path))),
+        _ => Err(HttpError::not_found("unknown_route", format!("no such route: {path}"))),
     }
 }
 
@@ -185,7 +192,7 @@ fn check_key_id(key_id: &str) -> Result<(), HttpError> {
 /// Resolves `key_id` to its compiled plan: a cache hit skips the disk
 /// read, digest check, audit, and lowering entirely; a miss performs
 /// all of them once and caches the result.
-fn load_plan(
+pub(crate) fn load_plan(
     store: &KeyStore,
     caches: &Caches,
     key_id: &str,
@@ -204,7 +211,7 @@ fn parse_csv_body(csv_text: &str) -> Result<Dataset, HttpError> {
     csv::parse_csv(csv_text).map_err(|e| HttpError::from(PpdtError::from(e)))
 }
 
-fn check_arity(key: &TransformKey, num_attrs: usize) -> Result<(), HttpError> {
+pub(crate) fn check_arity(key: &TransformKey, num_attrs: usize) -> Result<(), HttpError> {
     if key.transforms.len() != num_attrs {
         return Err(HttpError::from(PpdtError::SchemaMismatch {
             detail: format!(
@@ -240,7 +247,7 @@ fn encode_row(plan: &CompiledKey, row: &[f64], row_idx: usize) -> Result<Vec<f64
 /// serving repeats from the tree cache: the composite cache key is
 /// `(key id, digest of the tree JSON)`, so a hit proves this exact
 /// payload already passed validation against this exact key.
-fn validated_tree(
+pub(crate) fn validated_tree(
     caches: &Caches,
     key_id: &str,
     plan: &CachedPlan,

@@ -1,18 +1,23 @@
 //! Minimal HTTP/1.1 framing over stdlib TCP.
 //!
-//! The daemon speaks just enough HTTP for its JSON API: one request
-//! per connection (`Connection: close` semantics), `Content-Length`
-//! bodies only (no chunked encoding), and hard caps on head and body
-//! size so a hostile peer cannot make the server buffer unbounded
-//! input. Parsing failures are typed [`HttpError`]s carrying the
-//! status code to answer with — a malformed request is an expected
-//! input, never a panic.
+//! The daemon speaks just enough HTTP for its JSON API, now with
+//! persistent connections: requests are parsed head-first
+//! ([`read_head`]) so the connection loop can route before the body
+//! arrives, bodies are either `Content-Length` or
+//! `Transfer-Encoding: chunked` ([`read_body`] buffers, the serve
+//! layer streams via [`ChunkedReader`]), and hard caps on head and
+//! body size mean a hostile peer cannot make the server buffer
+//! unbounded input. Parsing failures are typed [`HttpError`]s
+//! carrying the status code to answer with — a malformed request is
+//! an expected input, never a panic.
 //!
-//! The module also ships the tiny blocking [`request`] client used by
-//! the integration tests, the loopback throughput benchmark, and the
-//! smoke script.
+//! The module also ships two blocking loopback clients used by the
+//! integration tests, the throughput benchmark, and the smoke
+//! script: the one-shot [`request`] helper (`Connection: close`) and
+//! the persistent [`Client`], which reuses one socket across many
+//! requests and can pipeline.
 
-use std::io::{BufRead, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -25,6 +30,10 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// `ServerConfig::max_body_bytes`).
 pub const DEFAULT_MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
+/// Cap on one chunk-size line of a chunked body (hex digits plus
+/// extensions the daemon ignores).
+const MAX_CHUNK_LINE: usize = 1024;
+
 /// A parsed request: method, path (query string stripped), and the
 /// raw body bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,8 +42,39 @@ pub struct Request {
     pub method: String,
     /// Absolute path with any `?query` suffix removed.
     pub path: String,
-    /// Raw body (exactly `Content-Length` bytes; empty without one).
+    /// Raw body (`Content-Length` bytes, or the de-chunked payload).
     pub body: Vec<u8>,
+}
+
+/// The parsed request line + headers of one request, before any body
+/// byte is consumed.
+///
+/// Splitting the head from the body lets the connection loop route
+/// (and reject) early, and lets `/v1/encode`–`/v1/classify` consume a
+/// chunked body incrementally instead of buffering it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestHead {
+    /// Upper-cased method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Absolute path with any `?query` suffix removed.
+    pub path: String,
+    /// `Content-Length`, when the request carries one.
+    pub content_length: Option<usize>,
+    /// The body uses `Transfer-Encoding: chunked`.
+    pub chunked: bool,
+    /// The peer asked for the connection to close after this exchange
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
+    /// The peer sent `Expect: 100-continue` and is waiting for an
+    /// interim go-ahead before transmitting the body.
+    pub expect_continue: bool,
+}
+
+impl RequestHead {
+    /// Whether any body bytes follow this head on the wire.
+    pub fn has_body(&self) -> bool {
+        self.chunked || self.content_length.unwrap_or(0) > 0
+    }
 }
 
 /// A transport-level failure answered with a plain HTTP status.
@@ -79,6 +119,11 @@ impl HttpError {
     pub fn overloaded(message: impl Into<String>) -> Self {
         HttpError { status: 503, code: "overloaded", message: message.into(), detail: None }
     }
+
+    /// 413 for a body (declared or streamed) over the configured cap.
+    pub fn payload_too_large(message: impl Into<String>) -> Self {
+        HttpError { status: 413, code: "payload_too_large", message: message.into(), detail: None }
+    }
 }
 
 impl HttpError {
@@ -121,7 +166,9 @@ impl From<PpdtError> for HttpError {
 /// bounded: every read gets `deadline - now` as its timeout, and a
 /// read at or past the deadline fails with `TimedOut`. A per-read
 /// timeout alone lets a slow-loris peer reset the clock with one byte
-/// per interval; this deadline cannot be reset.
+/// per interval; this deadline cannot be reset *by the peer* — the
+/// serve layer re-arms it via [`DeadlineStream::set_deadline`] once
+/// per request on a kept-alive connection.
 #[derive(Debug)]
 pub struct DeadlineStream {
     stream: TcpStream,
@@ -132,6 +179,17 @@ impl DeadlineStream {
     /// Bounds all reads on `stream` by `deadline`.
     pub fn new(stream: TcpStream, deadline: Instant) -> Self {
         DeadlineStream { stream, deadline }
+    }
+
+    /// Re-arms the deadline for the next request on a persistent
+    /// connection (only the server side moves it, never the peer).
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = deadline;
+    }
+
+    /// The wrapped socket (for readiness polling).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
     }
 }
 
@@ -165,9 +223,12 @@ fn read_failed(code: &'static str, what: &str, e: &std::io::Error) -> HttpError 
     }
 }
 
-/// Reads one request from `reader`, enforcing the head cap and
-/// `max_body` on `Content-Length`.
-pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
+/// Reads one request head (request line + headers) from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly
+/// before sending any byte — the normal end of a keep-alive
+/// conversation, not an error. EOF *inside* a head is a `400`.
+pub fn read_head<R: BufRead>(reader: &mut R) -> Result<Option<RequestHead>, HttpError> {
     let mut head = String::new();
     let mut line = String::new();
     // Request line + headers, terminated by an empty line.
@@ -177,6 +238,9 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
             .read_line(&mut line)
             .map_err(|e| read_failed("truncated_head", "head read failed", &e))?;
         if n == 0 {
+            if head.is_empty() {
+                return Ok(None); // clean close between requests
+            }
             return Err(HttpError::bad_request(
                 "truncated_head",
                 "connection closed before the header terminator",
@@ -214,8 +278,12 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
             format!("unsupported protocol version {version:?}"),
         ));
     }
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+    let mut close = version == "HTTP/1.0";
 
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    let mut expect_continue = false;
     for h in lines {
         if h.is_empty() {
             break;
@@ -226,32 +294,84 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
                 format!("header line without a colon: {h:?}"),
             ));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value.trim().parse().map_err(|_| {
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(value.parse().map_err(|_| {
                 HttpError::bad_request(
                     "bad_content_length",
-                    format!("Content-Length is not a non-negative integer: {:?}", value.trim()),
+                    format!("Content-Length is not a non-negative integer: {value:?}"),
                 )
-            })?;
-        }
-        if name.trim().eq_ignore_ascii_case("transfer-encoding") {
-            return Err(HttpError {
-                status: 411,
-                code: "length_required",
-                message: "chunked bodies are not supported; send Content-Length".into(),
-                detail: None,
-            });
+            })?);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            if !value.eq_ignore_ascii_case("chunked") {
+                return Err(HttpError::bad_request(
+                    "unsupported_transfer_encoding",
+                    format!("only `chunked` transfer encoding is supported, got {value:?}"),
+                ));
+            }
+            chunked = true;
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
         }
     }
-    if content_length > max_body {
-        return Err(HttpError {
-            status: 413,
-            code: "payload_too_large",
-            message: format!("Content-Length {content_length} exceeds the {max_body}-byte cap"),
-            detail: None,
-        });
+    if chunked && content_length.is_some() {
+        return Err(HttpError::bad_request(
+            "ambiguous_body_length",
+            "a request cannot send both Content-Length and Transfer-Encoding: chunked",
+        ));
     }
 
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Some(RequestHead {
+        method: method.to_ascii_uppercase(),
+        path,
+        content_length,
+        chunked,
+        close,
+        expect_continue,
+    }))
+}
+
+/// Reads (and fully buffers) the body described by `head`, enforcing
+/// `max_body` on `Content-Length` and on the de-chunked total alike.
+pub fn read_body<R: BufRead>(
+    reader: &mut R,
+    head: &RequestHead,
+    max_body: usize,
+) -> Result<Vec<u8>, HttpError> {
+    if head.chunked {
+        let mut chunks = ChunkedReader::new(reader);
+        let mut body = Vec::new();
+        // `max_body + 1` so an over-cap body is detected, not
+        // silently truncated.
+        let mut bounded = (&mut chunks).take(max_body as u64 + 1);
+        bounded
+            .read_to_end(&mut body)
+            .map_err(|e| chunk_read_failed("chunked body read failed", &e))?;
+        if body.len() > max_body {
+            return Err(HttpError::payload_too_large(format!(
+                "chunked body exceeds the {max_body}-byte cap"
+            )));
+        }
+        return Ok(body);
+    }
+    let content_length = head.content_length.unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::payload_too_large(format!(
+            "Content-Length {content_length} exceeds the {max_body}-byte cap"
+        )));
+    }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| {
         read_failed(
@@ -260,9 +380,170 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
             &e,
         )
     })?;
+    Ok(body)
+}
 
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    Ok(Request { method: method.to_ascii_uppercase(), path, body })
+/// Maps a failed chunked-body read to its status: timeouts are `408`,
+/// bad framing (reported by [`ChunkedReader`] as `InvalidData`) and
+/// truncation are `400`.
+pub(crate) fn chunk_read_failed(what: &str, e: &std::io::Error) -> HttpError {
+    if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) {
+        HttpError {
+            status: 408,
+            code: "request_timeout",
+            message: format!("{what}: connection too slow delivering the request"),
+            detail: None,
+        }
+    } else if e.kind() == std::io::ErrorKind::InvalidData {
+        HttpError::bad_request("bad_chunk", format!("{what}: {e}"))
+    } else {
+        HttpError::bad_request("truncated_body", format!("{what}: {e}"))
+    }
+}
+
+/// Reads one request from `reader`, enforcing the head cap and
+/// `max_body` on the body (`Content-Length` or chunked).
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let head = read_head(reader)?.ok_or_else(|| {
+        HttpError::bad_request("truncated_head", "connection closed before the request line")
+    })?;
+    let body = read_body(reader, &head, max_body)?;
+    Ok(Request { method: head.method, path: head.path, body })
+}
+
+/// Incremental decoder for a `Transfer-Encoding: chunked` body.
+///
+/// Implements [`Read`] over the *payload* bytes, consuming the chunk
+/// framing (size lines, CRLF separators, trailers) from the inner
+/// reader as it goes. Framing
+/// violations surface as `InvalidData` I/O errors, which the serve
+/// layer maps to `400 bad_chunk`; the wrapped stream's deadline keeps
+/// a stalled peer bounded. [`ChunkedReader::chunks_read`] reports how
+/// many data chunks were consumed (the `streamed_chunks` metric).
+pub struct ChunkedReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    /// Payload bytes left in the current chunk.
+    remaining: usize,
+    /// A chunk's trailing CRLF still has to be consumed.
+    needs_crlf: bool,
+    /// The terminating `0` chunk (and trailers) have been consumed.
+    done: bool,
+    chunks: u64,
+    total: u64,
+}
+
+impl<'a, R: BufRead> ChunkedReader<'a, R> {
+    /// Starts decoding a chunked body off `inner`.
+    pub fn new(inner: &'a mut R) -> Self {
+        ChunkedReader { inner, remaining: 0, needs_crlf: false, done: false, chunks: 0, total: 0 }
+    }
+
+    /// Data chunks decoded so far (excludes the terminating `0`).
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Payload bytes decoded so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    fn bad(msg: String) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+    }
+
+    /// Reads one CRLF-terminated framing line, capped.
+    fn read_frame_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        loop {
+            let mut byte = [0u8; 1];
+            self.inner.read_exact(&mut byte)?;
+            if byte[0] == b'\n' {
+                break;
+            }
+            line.push(byte[0] as char);
+            if line.len() > MAX_CHUNK_LINE {
+                return Err(Self::bad(format!(
+                    "chunk framing line exceeds {MAX_CHUNK_LINE} bytes"
+                )));
+            }
+        }
+        if line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Advances to the next chunk; sets `done` on the `0` terminator.
+    fn next_chunk(&mut self) -> std::io::Result<()> {
+        if self.needs_crlf {
+            let sep = self.read_frame_line()?;
+            if !sep.is_empty() {
+                return Err(Self::bad(format!("expected CRLF after chunk data, got {sep:?}")));
+            }
+            self.needs_crlf = false;
+        }
+        let line = self.read_frame_line()?;
+        let size_token = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_token, 16)
+            .map_err(|_| Self::bad(format!("chunk size is not hex: {size_token:?}")))?;
+        if size == 0 {
+            // Trailers (ignored), terminated by an empty line.
+            loop {
+                if self.read_frame_line()?.is_empty() {
+                    break;
+                }
+            }
+            self.done = true;
+        } else {
+            self.remaining = size;
+            self.needs_crlf = true;
+            self.chunks += 1;
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> Read for ChunkedReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        while self.remaining == 0 {
+            if self.done {
+                return Ok(0);
+            }
+            self.next_chunk()?;
+            if self.done {
+                return Ok(0);
+            }
+        }
+        let want = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside a chunk",
+            ));
+        }
+        self.remaining -= n;
+        self.total += n as u64;
+        Ok(n)
+    }
+}
+
+/// Writes one data chunk of a chunked body (no-op for empty `data`,
+/// which would otherwise terminate the stream early).
+pub fn write_chunk<W: Write>(w: &mut W, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")
+}
+
+/// Terminates a chunked body (`0` chunk, no trailers) and flushes.
+pub fn finish_chunked<W: Write>(w: &mut W) -> std::io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
 }
 
 /// A response ready to be written to the wire.
@@ -291,6 +572,7 @@ impl Response {
 /// Reason phrases for the statuses this API emits.
 fn reason(status: u16) -> &'static str {
     match status {
+        100 => "Continue",
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
@@ -298,7 +580,6 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         409 => "Conflict",
-        411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Content",
         424 => "Failed Dependency",
@@ -309,29 +590,61 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serializes and writes `resp`; the caller closes the connection
-/// (every response carries `Connection: close`). Write failures are
-/// reported but routinely ignored by callers — the peer may be gone.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+/// Serializes and writes `resp` on a persistent connection: the
+/// `connection` header advertises `close` or `keep-alive` per
+/// `close`, and the caller decides whether to shut the socket down.
+pub fn write_response_conn<W: Write>(
+    w: &mut W,
+    resp: &Response,
+    close: bool,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
         resp.status,
         reason(resp.status),
-        resp.body.len()
+        resp.body.len(),
+        if close { "close" } else { "keep-alive" },
     );
     if let Some(secs) = resp.retry_after {
         head.push_str(&format!("retry-after: {secs}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(resp.body.as_bytes())?;
-    stream.flush()
+    w.write_all(head.as_bytes())?;
+    w.write_all(resp.body.as_bytes())?;
+    w.flush()
 }
 
-/// Blocking loopback client: one request, one `(status, body)` answer.
+/// Writes `resp` with `Connection: close`; the caller closes the
+/// connection. Write failures are reported but routinely ignored by
+/// callers — the peer may be gone.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    write_response_conn(stream, resp, true)
+}
+
+/// Writes the head of a streamed (chunked) response; the body follows
+/// via [`write_chunk`]/[`finish_chunked`].
+pub fn write_stream_head<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        if close { "close" } else { "keep-alive" },
+    )
+}
+
+/// Blocking loopback client: one request, one `(status, body)` answer
+/// over a fresh `Connection: close` socket.
 ///
-/// Used by the integration tests, `serve_throughput`, and anything
-/// else that wants to poke the daemon without an external tool.
+/// Used by the integration tests, `serve_throughput`'s fresh-connection
+/// mode, and anything else that wants to poke the daemon without an
+/// external tool. For connection reuse, see [`Client`].
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -367,10 +680,191 @@ pub fn request(
     Ok((status, tail.to_string()))
 }
 
+/// A persistent (keep-alive) loopback HTTP client.
+///
+/// Holds one TCP connection open across many requests, supports
+/// pipelining (send several requests, then read the answers in
+/// order), and parses both `Content-Length` and chunked response
+/// bodies. This is the client half of the daemon's event-driven
+/// connection loop; the benches use it to measure the reuse win.
+///
+/// ```no_run
+/// # fn main() -> Result<(), ppdt_error::PpdtError> {
+/// let addr: std::net::SocketAddr = "127.0.0.1:7070".parse().unwrap();
+/// let mut client = ppdt_serve::http::Client::connect(addr)?;
+/// let (status, body) = client.request("GET", "/healthz", "")?;
+/// assert_eq!(status, 200);
+/// // Same socket, next request — no new TCP handshake.
+/// let (status, _) = client.request("GET", "/v1/version", "")?;
+/// assert_eq!(status, 200);
+/// # let _ = body; Ok(())
+/// # }
+/// ```
+pub struct Client {
+    addr: SocketAddr,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects and prepares a persistent connection (30 s socket
+    /// timeouts, `TCP_NODELAY` so pipelined requests are not Nagle-
+    /// delayed).
+    pub fn connect(addr: SocketAddr) -> Result<Client, PpdtError> {
+        let err = |what: &str, e: &dyn std::fmt::Display| PpdtError::Io {
+            path: Some(format!("http://{addr}")),
+            detail: format!("{what}: {e}"),
+        };
+        let writer = TcpStream::connect(addr).map_err(|e| err("connect", &e))?;
+        writer.set_read_timeout(Some(Duration::from_secs(30))).map_err(|e| err("timeout", &e))?;
+        writer.set_write_timeout(Some(Duration::from_secs(30))).map_err(|e| err("timeout", &e))?;
+        let _ = writer.set_nodelay(true);
+        let read_half = writer.try_clone().map_err(|e| err("clone", &e))?;
+        Ok(Client { addr, writer, reader: BufReader::new(read_half) })
+    }
+
+    fn err(&self, what: &str, e: &dyn std::fmt::Display) -> PpdtError {
+        PpdtError::Io {
+            path: Some(format!("http://{}", self.addr)),
+            detail: format!("{what}: {e}"),
+        }
+    }
+
+    /// Sends one request without waiting for the answer (pipelining);
+    /// pair with [`Client::read_response`] in send order.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> Result<(), PpdtError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).map_err(|e| self.err("write", &e))?;
+        self.writer.write_all(body.as_bytes()).map_err(|e| self.err("write", &e))?;
+        self.writer.flush().map_err(|e| self.err("flush", &e))
+    }
+
+    /// Starts a chunked-body request: the head goes out with
+    /// `Transfer-Encoding: chunked`; stream the body with
+    /// [`Client::send_chunk`] and [`Client::finish_chunks`].
+    pub fn send_chunked_head(&mut self, method: &str, path: &str) -> Result<(), PpdtError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ntransfer-encoding: chunked\r\n\r\n",
+            self.addr
+        );
+        self.writer.write_all(head.as_bytes()).map_err(|e| self.err("write", &e))
+    }
+
+    /// Sends one body chunk of an in-progress chunked request.
+    pub fn send_chunk(&mut self, data: &[u8]) -> Result<(), PpdtError> {
+        write_chunk(&mut self.writer, data).map_err(|e| self.err("write chunk", &e))
+    }
+
+    /// Terminates the chunked body; the response can now be read.
+    pub fn finish_chunks(&mut self) -> Result<(), PpdtError> {
+        finish_chunked(&mut self.writer).map_err(|e| self.err("finish chunks", &e))
+    }
+
+    /// Reads one response off the connection, buffering the body
+    /// (`Content-Length` or chunked alike).
+    pub fn read_response(&mut self) -> Result<(u16, String), PpdtError> {
+        let mut body = Vec::new();
+        let status = self.read_response_into(|data| body.extend_from_slice(data))?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+
+    /// Reads one response, handing body bytes to `sink` as they
+    /// arrive (so a streamed response never has to fit in memory).
+    /// Returns the status code.
+    pub fn read_response_into(&mut self, mut sink: impl FnMut(&[u8])) -> Result<u16, PpdtError> {
+        let addr = self.addr;
+        let err = |what: &str, e: &dyn std::fmt::Display| PpdtError::Io {
+            path: Some(format!("http://{addr}")),
+            detail: format!("{what}: {e}"),
+        };
+        // Status line + headers.
+        let mut status: Option<u16> = None;
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).map_err(|e| err("read head", &e))?;
+            if n == 0 {
+                return Err(err("read head", &"connection closed before a response"));
+            }
+            let trimmed = line.trim_end();
+            if status.is_none() {
+                let code = trimmed
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("parse", &format!("bad status line {trimmed:?}")))?;
+                // Skip interim 1xx responses (100 Continue).
+                if code < 200 {
+                    line.clear();
+                    self.reader.read_line(&mut line).map_err(|e| err("read head", &e))?;
+                    continue;
+                }
+                status = Some(code);
+                continue;
+            }
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let name = name.trim();
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length =
+                        Some(value.parse().map_err(|e| err("parse content-length", &e))?);
+                } else if name.eq_ignore_ascii_case("transfer-encoding")
+                    && value.eq_ignore_ascii_case("chunked")
+                {
+                    chunked = true;
+                }
+            }
+        }
+        let status = status.ok_or_else(|| err("parse", &"no status line"))?;
+        let mut buf = [0u8; 16 * 1024];
+        if chunked {
+            let mut chunks = ChunkedReader::new(&mut self.reader);
+            loop {
+                let n = chunks.read(&mut buf).map_err(|e| err("read chunked body", &e))?;
+                if n == 0 {
+                    break;
+                }
+                sink(&buf[..n]);
+            }
+        } else {
+            let mut left = content_length.unwrap_or(0);
+            while left > 0 {
+                let want = left.min(buf.len());
+                let n = self.reader.read(&mut buf[..want]).map_err(|e| err("read body", &e))?;
+                if n == 0 {
+                    return Err(err("read body", &"connection closed inside the body"));
+                }
+                sink(&buf[..n]);
+                left -= n;
+            }
+        }
+        Ok(status)
+    }
+
+    /// One request/response exchange on the persistent connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), PpdtError> {
+        self.send(method, path, body)?;
+        self.read_response()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
     use std::net::TcpListener;
 
     fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
@@ -436,13 +930,80 @@ mod tests {
     }
 
     #[test]
-    fn bad_content_length_and_chunked_are_rejected() {
+    fn bad_content_length_is_rejected() {
         let err = roundtrip(b"POST /x HTTP/1.1\r\ncontent-length: -4\r\n\r\n", 1024)
             .expect_err("must fail");
         assert_eq!(err.status, 400);
-        let err = roundtrip(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", 1024)
-            .expect_err("must fail");
-        assert_eq!(err.status, 411);
+        // Both body framings at once is ambiguous.
+        let err = roundtrip(
+            b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ntransfer-encoding: chunked\r\n\r\nabcd",
+            1024,
+        )
+        .expect_err("must fail");
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "ambiguous_body_length");
+    }
+
+    #[test]
+    fn chunked_bodies_are_decoded() {
+        let req = roundtrip(
+            b"POST /v1/encode HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n",
+            1024,
+        )
+        .expect("parses");
+        assert_eq!(req.body, b"hello world");
+        // Malformed framing is a typed 400, not a hang or panic.
+        let err = roundtrip(
+            b"POST /v1/encode HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nZZ\r\nhello\r\n",
+            1024,
+        )
+        .expect_err("must fail");
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "bad_chunk");
+        // The de-chunked total is capped like Content-Length.
+        let err = roundtrip(
+            b"POST /v1/encode HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n10\r\naaaaaaaaaaaaaaaa\r\n0\r\n\r\n",
+            8,
+        )
+        .expect_err("must fail");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn head_parses_connection_and_expect() {
+        let raw = b"POST /v1/encode HTTP/1.1\r\nconnection: close\r\nexpect: 100-continue\r\ncontent-length: 0\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let head = read_head(&mut reader).expect("parses").expect("present");
+        assert!(head.close);
+        assert!(head.expect_continue);
+        assert_eq!(head.content_length, Some(0));
+        assert!(!head.has_body());
+
+        // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+        let mut reader = BufReader::new(&b"GET / HTTP/1.1\r\n\r\n"[..]);
+        assert!(!read_head(&mut reader).unwrap().unwrap().close);
+        let mut reader = BufReader::new(&b"GET / HTTP/1.0\r\n\r\n"[..]);
+        assert!(read_head(&mut reader).unwrap().unwrap().close);
+
+        // Clean EOF between requests is None, not an error.
+        let mut reader = BufReader::new(&b""[..]);
+        assert!(read_head(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunk_writer_and_reader_roundtrip() {
+        let mut wire = Vec::new();
+        write_chunk(&mut wire, b"hello ").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut wire, b"world").unwrap();
+        finish_chunked(&mut wire).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        let mut chunks = ChunkedReader::new(&mut reader);
+        let mut out = Vec::new();
+        chunks.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"hello world");
+        assert_eq!(chunks.chunks_read(), 2);
+        assert_eq!(chunks.total_bytes(), 11);
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! over hand-rolled HTTP/1.1 on stdlib TCP — no web framework, per
 //! the vendored-dependencies-only policy.
 //!
+//! The wire protocol is specified normatively in `docs/PROTOCOL.md`
+//! at the repository root; the types in [`api`] are its Rust shape.
+//!
 //! Modules:
 //!
-//! * [`http`] — minimal HTTP/1.1 framing: one request per connection,
-//!   `Content-Length` bodies, hard head/body caps, typed
-//!   [`HttpError`]s, plus the blocking loopback [`request`] client,
+//! * [`http`] — minimal HTTP/1.1 framing: persistent keep-alive
+//!   connections, `Content-Length` and `Transfer-Encoding: chunked`
+//!   bodies, hard head/body caps, typed [`HttpError`]s, plus the
+//!   blocking loopback clients (one-shot [`request`], persistent
+//!   [`Client`]),
 //! * [`api`] — the public wire types (request/response payloads) and
 //!   the schema-version constants reported by `GET /v1/version`,
 //! * [`keystore`] — the persistent versioned key store:
@@ -25,9 +30,11 @@
 //! * [`handlers`] — the API surface: `POST /v1/keys`, `/v1/encode`,
 //!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, and the inline
 //!   `GET /healthz` / `GET /metrics` / `GET /v1/version`,
-//! * [`server`] — the daemon: an accept → parse → work pipeline with
-//!   bounded queues, a never-reading acceptor, dedicated parser
-//!   threads under a slow-loris-proof parse deadline, `503 +
+//! * [`server`] — the daemon: an accept → poll → parse → work pipeline
+//!   with bounded queues, a never-reading acceptor, a readiness poller
+//!   that parks idle keep-alive sockets threadlessly, dedicated parser
+//!   threads under a slow-loris-proof parse deadline, in-order
+//!   pipelined responses, streaming chunked encode/classify, `503 +
 //!   Retry-After` backpressure, per-request deadlines, panic-contained
 //!   workers, graceful drain,
 //! * [`signal`] — SIGINT/SIGTERM latching without a libc dependency.
@@ -35,7 +42,7 @@
 //! Error mapping is the workspace table
 //! ([`ppdt_error::ErrorCategory::http_status`]): usage → 400, corrupt
 //! data → 422, corrupt key → 409, incompatible tree → 424, io/internal
-//! → 500, with transport-level 404/405/408/411/413/431/503 on top
+//! → 500, with transport-level 404/405/408/413/431/503 on top
 //! (and a `400 invalid_key_id` for ids that are not 32 lowercase hex
 //! chars — 409 is reserved for keys corrupt *on disk*). Every failure
 //! is a structured JSON body — hostile input gets a typed 4xx, never
@@ -45,15 +52,18 @@
 
 pub mod api;
 pub mod cache;
+mod conn;
 pub mod handlers;
 pub mod http;
 pub mod keystore;
+mod poller;
 pub mod server;
 pub mod signal;
+mod stream;
 
 pub use api::{VersionResponse, API_SCHEMA_VERSION, BENCH_REPORT_SCHEMA_VERSION};
 pub use cache::{Caches, PlanCache, TreeCache};
 pub use handlers::Endpoint;
-pub use http::{request, HttpError, Request, Response};
+pub use http::{request, Client, HttpError, Request, Response};
 pub use keystore::{KeyEntry, KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,250 @@
+//! The readiness poller: parks idle keep-alive connections so they
+//! cost no thread until bytes arrive.
+//!
+//! The daemon's parser pool is small and each parser blocks while
+//! reading one request, so a thousand idle keep-alive sockets must
+//! not each pin a parser between requests. Instead they are *parked*
+//! here: a single thread multiplexes all of them with `poll(2)` and
+//! hands a connection back to the parser queue only when it turns
+//! readable (or EOF/error, which the parser resolves as a clean
+//! close). The `poll` wrapper is a hand-rolled `extern "C"` binding —
+//! std already links libc on Unix, so this adds **zero** new
+//! dependencies, matching the crate's no-libc stance. On non-Unix
+//! targets a peek-based tick loop stands in.
+//!
+//! Waking the poller (a fresh connection was parked while `poll`
+//! sleeps) goes through a loopback TCP socketpair rather than
+//! `pipe(2)`, again to stay inside the stdlib surface.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::conn::Conn;
+
+/// Upper bound on one `poll` sleep, so the loop re-checks the
+/// shutdown flag and expiry deadlines promptly.
+pub(crate) const POLL_TICK: Duration = Duration::from_millis(100);
+
+#[cfg(unix)]
+mod sys {
+    use std::os::fd::AsRawFd;
+
+    /// `struct pollfd` from `<poll.h>`, laid out by hand.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    /// Readability (including EOF).
+    pub const POLLIN: i16 = 0x001;
+    /// Error condition (output only).
+    pub const POLLERR: i16 = 0x008;
+    /// Peer hung up (output only).
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+    }
+
+    /// Blocks until one of `fds` is ready or `timeout_ms` elapses.
+    /// A negative return is an errno-style failure the caller treats
+    /// as "nothing ready".
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        if fds.is_empty() {
+            return 0;
+        }
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, timeout_ms) }
+    }
+
+    pub fn pollfd_for(stream: &std::net::TcpStream) -> PollFd {
+        PollFd { fd: stream.as_raw_fd(), events: POLLIN, revents: 0 }
+    }
+}
+
+/// A connection parked on the poller, with the bookkeeping its
+/// expiry decisions need.
+pub(crate) struct Parked {
+    pub conn: Conn,
+    /// When it was parked (idle-timeout anchor).
+    pub since: Instant,
+}
+
+/// The sending half of the poller: parser threads, workers, and the
+/// acceptor park connections here; the poller thread owns the
+/// receiving half and the `poll(2)` loop.
+pub(crate) struct Poller {
+    tx: Sender<Conn>,
+    /// Write end of the wake socketpair; one byte interrupts `poll`.
+    wake: Mutex<TcpStream>,
+}
+
+impl Poller {
+    /// Parks `conn` until it turns readable (or expires). If the
+    /// poller is gone (drain), the connection is simply dropped —
+    /// exactly what shutdown wants.
+    pub fn park(&self, conn: Conn) {
+        if self.tx.send(conn).is_ok() {
+            self.wake();
+        }
+    }
+
+    fn wake(&self) {
+        if let Ok(mut w) = self.wake.lock() {
+            // Nonblocking: a full pipe means the poller is waking up
+            // anyway.
+            let _ = w.write(&[1u8]);
+        }
+    }
+}
+
+/// A loopback TCP socketpair standing in for `pipe(2)`: bind an
+/// ephemeral listener, connect to it, accept, verify the peer is us
+/// (another local process could race the accept), and throw the
+/// listener away.
+fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    for _ in 0..8 {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let write_end = TcpStream::connect(addr)?;
+        let (read_end, peer) = listener.accept()?;
+        if peer != write_end.local_addr()? {
+            continue; // a stranger raced us; retry with a new port
+        }
+        write_end.set_nonblocking(true)?;
+        read_end.set_nonblocking(true)?;
+        let _ = write_end.set_nodelay(true);
+        return Ok((write_end, read_end));
+    }
+    Err(std::io::Error::other("could not establish the poller wake socketpair"))
+}
+
+/// Builds the poller handle plus the pieces its loop thread needs
+/// (the park receiver and the wake read end).
+pub(crate) fn poller_parts() -> std::io::Result<(Poller, Receiver<Conn>, TcpStream)> {
+    let (wake_tx, wake_rx) = wake_pair()?;
+    let (tx, rx) = std::sync::mpsc::channel();
+    Ok((Poller { tx, wake: Mutex::new(wake_tx) }, rx, wake_rx))
+}
+
+/// Drains the wake socketpair after a `poll` wakeup.
+pub(crate) fn drain_wake(wake_rx: &mut TcpStream) {
+    let mut buf = [0u8; 64];
+    while matches!(wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+}
+
+/// Returns the indices of `parked` whose sockets are readable (or in
+/// EOF/error state), blocking up to `timeout`. Entries with bytes
+/// already buffered in userspace are ready by definition and are
+/// reported without polling (the kernel cannot see them).
+#[cfg(unix)]
+pub(crate) fn ready_indices(
+    parked: &[Parked],
+    wake_rx: &TcpStream,
+    timeout: Duration,
+) -> Vec<usize> {
+    let mut ready: Vec<usize> = Vec::new();
+    let mut fds = vec![sys::pollfd_for(wake_rx)];
+    let mut fd_index: Vec<usize> = Vec::with_capacity(parked.len());
+    for (i, p) in parked.iter().enumerate() {
+        if p.conn.has_buffered() {
+            ready.push(i);
+        } else {
+            fds.push(sys::pollfd_for(p.conn.socket()));
+            fd_index.push(i);
+        }
+    }
+    // Something is already actionable: don't sleep at all.
+    let timeout_ms =
+        if ready.is_empty() { timeout.as_millis().min(i32::MAX as u128) as i32 } else { 0 };
+    let n = sys::poll_fds(&mut fds, timeout_ms);
+    if n > 0 {
+        for (slot, fd) in fds.iter().enumerate().skip(1) {
+            if fd.revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
+                ready.push(fd_index[slot - 1]);
+            }
+        }
+    }
+    ready
+}
+
+/// Peek-based fallback for targets without `poll(2)`: a short sleep
+/// tick, then a nonblocking `peek` per parked socket.
+#[cfg(not(unix))]
+pub(crate) fn ready_indices(
+    parked: &[Parked],
+    _wake_rx: &TcpStream,
+    timeout: Duration,
+) -> Vec<usize> {
+    let mut ready = Vec::new();
+    for (i, p) in parked.iter().enumerate() {
+        if p.conn.has_buffered() {
+            ready.push(i);
+            continue;
+        }
+        let sock = p.conn.socket();
+        if sock.set_nonblocking(true).is_err() {
+            ready.push(i); // broken socket: let the parser reap it
+            continue;
+        }
+        let mut probe = [0u8; 1];
+        match sock.peek(&mut probe) {
+            Ok(_) => ready.push(i), // bytes or EOF
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(_) => ready.push(i),
+        }
+        let _ = sock.set_nonblocking(false);
+    }
+    if ready.is_empty() {
+        std::thread::sleep(timeout.min(Duration::from_millis(20)));
+    }
+    ready
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pair_interrupts_nothing_but_works() {
+        let (mut w, mut r) = wake_pair().expect("socketpair");
+        w.write_all(&[1]).expect("wake byte");
+        // Nonblocking read end sees the byte promptly.
+        let mut buf = [0u8; 8];
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            match r.read(&mut buf) {
+                Ok(n) if n > 0 => break,
+                Ok(_) => panic!("wake pair closed"),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    assert!(Instant::now() < deadline, "wake byte never arrived");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("wake read failed: {e}"),
+            }
+        }
+        drain_wake(&mut r);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn poll_reports_readable_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        // Nothing written yet: not readable within a short poll.
+        let mut fds = [sys::pollfd_for(&server)];
+        assert_eq!(sys::poll_fds(&mut fds, 50), 0, "quiet socket must not be ready");
+
+        client.write_all(b"x").unwrap();
+        let mut fds = [sys::pollfd_for(&server)];
+        assert_eq!(sys::poll_fds(&mut fds, 2000), 1, "written byte must wake poll");
+        assert!(fds[0].revents & sys::POLLIN != 0);
+    }
+}

@@ -1,32 +1,52 @@
-//! The daemon: a three-stage pipeline — accept, parse, work — with
-//! bounded queues between the stages and graceful drain.
+//! The daemon: an event-driven pipeline — accept, poll, parse, work —
+//! with bounded queues between the stages, keep-alive connections,
+//! pipelining, and graceful drain.
 //!
-//! The acceptor thread does nothing but `accept()` and hand the raw
-//! socket to a bounded connection queue; it never reads from a peer,
-//! so a slow or hostile connection cannot stall accepting. A small
-//! dedicated parser pool reads and routes each connection under an
-//! overall per-connection parse deadline ([`ServerConfig::
-//! parse_deadline`], enforced by [`DeadlineStream`]) — a slow-loris
-//! trickling bytes cannot reset it and is cut off with `408`.
-//! Liveness (`/healthz`) and `/metrics` are answered by the parser
-//! threads directly so they keep responding while the worker pool is
-//! saturated; everything else is pushed onto the bounded job queue.
-//! When a queue is full the request is answered `503` with
-//! `Retry-After` immediately instead of buffering — the backpressure
-//! is visible to the client, not hidden in latency. Workers drop jobs
-//! that waited past the per-request deadline (the client has likely
-//! given up; doing the work anyway is wasted CPU under overload), and
-//! a panicking handler is caught, answered `500`, and the worker
-//! lives on.
+//! The acceptor thread does nothing but `accept()` and park the raw
+//! socket on the readiness poller; it never reads from a peer, so a
+//! slow or hostile connection cannot stall accepting. The poller
+//! (the private `poller` module) multiplexes every idle connection with one
+//! `poll(2)` loop and hands a connection to the parser pool only when
+//! bytes arrive — ten thousand idle keep-alive sockets cost zero
+//! threads. A small dedicated parser pool reads and routes each
+//! request under a per-request parse deadline
+//! ([`ServerConfig::parse_deadline`], enforced by
+//! [`DeadlineStream`](crate::http::DeadlineStream)) — a slow-loris
+//! trickling bytes cannot reset it and is cut off with `408`, even on
+//! the second request of a pipelined burst.
+//!
+//! A connection stays open across requests (HTTP/1.1 keep-alive,
+//! honoring `Connection: close`/`keep-alive`) up to
+//! [`ServerConfig::keep_alive_requests`] requests,
+//! [`ServerConfig::idle_timeout`] between requests, and
+//! [`ServerConfig::conn_lifetime`] overall. Pipelined requests fan
+//! out to the worker pool concurrently; the per-connection
+//! `ConnWriter` puts the responses back on
+//! the wire in request order. Chunked (`Transfer-Encoding: chunked`)
+//! bodies on `/v1/encode` and `/v1/classify` bypass body buffering
+//! entirely: the whole connection is handed to a worker, which
+//! decodes, encodes, and streams the answer back batch-by-batch
+//! (the private `stream` module) under a bounded memory ceiling.
+//!
+//! Liveness (`/healthz`), `/metrics`, and `/v1/version` are answered
+//! by the parser threads directly so they keep responding while the
+//! worker pool is saturated; everything else is pushed onto the
+//! bounded job queue. When a queue is full the request is answered
+//! `503` with `Retry-After` immediately instead of buffering — the
+//! backpressure is visible to the client, not hidden in latency — and
+//! the connection closes (a 503 always closes: the daemon sheds load,
+//! it does not babysit it). Workers drop jobs that waited past the
+//! per-request deadline (the client has likely given up; doing the
+//! work anyway is wasted CPU under overload), and a panicking handler
+//! is caught, answered `500`, and the worker lives on.
 //!
 //! Shutdown is cooperative: a SIGINT/SIGTERM (or a programmatic
 //! [`Server::shutdown_flag`] store) makes the acceptor stop accepting
-//! and drop the connection sender; parsers drain the accepted
-//! connections, workers drain the queued jobs and finish their
+//! and the poller drop its parked connections; parsers drain the
+//! readable backlog, workers drain the queued jobs and finish their
 //! in-flight requests, and [`Server::run`] returns.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -37,9 +57,16 @@ use ppdt_obs::Counter;
 use serde::Serialize;
 
 use crate::cache::Caches;
+use crate::conn::{Conn, ConnWriter};
 use crate::handlers::{self, Endpoint, ENDPOINTS};
-use crate::http::{read_request, write_response, DeadlineStream, HttpError, Request, Response};
-use crate::keystore::KeyStore;
+use crate::http::{read_body, read_head, HttpError, Request, Response};
+use crate::poller::{self, Parked, Poller, POLL_TICK};
+use crate::stream::{self, StreamEnd};
+
+/// Consecutive pipelined requests one parser drains from a single
+/// connection before re-parking it, so one chatty client cannot
+/// monopolize a parser thread.
+const PIPELINE_BURST: u64 = 32;
 
 /// Everything tunable about a [`Server`].
 #[derive(Clone, Debug)]
@@ -49,24 +76,26 @@ pub struct ServerConfig {
     /// Worker threads; `0` resolves via [`ppdt_obs::threads`]
     /// (`PPDT_THREADS` / available parallelism).
     pub workers: usize,
-    /// Bounded queue depth between the acceptor and the pool; a full
+    /// Bounded queue depth between the parser and the pool; a full
     /// queue answers `503` immediately.
     pub queue_capacity: usize,
     /// Queued requests older than this are answered `503` instead of
     /// being processed.
     pub request_deadline: Duration,
-    /// Per-request body cap, bytes.
+    /// Per-request body cap, bytes (declared `Content-Length` or
+    /// accumulated chunked payload alike).
     pub max_body_bytes: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
     /// Dedicated parse/inline threads; `0` resolves to `2`. They read
-    /// requests off accepted connections and answer `/healthz` and
-    /// `/metrics`, so slow peers and a saturated worker pool cannot
-    /// stall liveness.
+    /// requests off readable connections and answer `/healthz`,
+    /// `/metrics`, and `/v1/version`, so slow peers and a saturated
+    /// worker pool cannot stall liveness.
     pub parser_threads: usize,
     /// Hard ceiling on the total time a connection may take to deliver
     /// one complete request (head + body). Unlike `io_timeout` it is
-    /// not reset by each byte, so it bounds slow-loris peers.
+    /// not reset by each byte, so it bounds slow-loris peers; on a
+    /// kept-alive connection it re-arms once per request.
     pub parse_deadline: Duration,
     /// Routes the test-only `POST /v1/debug/*` endpoints.
     pub debug_endpoints: bool,
@@ -76,6 +105,25 @@ pub struct ServerConfig {
     pub plan_cache_capacity: usize,
     /// Validated/decoded tree cache capacity; `0` disables it.
     pub tree_cache_capacity: usize,
+    /// Requests served per connection before the daemon closes it
+    /// (`0` disables keep-alive entirely: every response carries
+    /// `Connection: close`).
+    pub keep_alive_requests: u64,
+    /// How long an idle keep-alive connection (no request in flight,
+    /// nothing buffered) may sit parked before it is reaped.
+    pub idle_timeout: Duration,
+    /// Hard ceiling on one connection's total lifetime, busy or not.
+    pub conn_lifetime: Duration,
+    /// Total-time budget for one streaming (chunked) request,
+    /// replacing `parse_deadline` while the body streams.
+    pub stream_deadline: Duration,
+    /// Rows per batch on the streaming encode/classify path — the
+    /// daemon's memory ceiling is a few batches of columns, never the
+    /// whole dataset.
+    pub stream_chunk_rows: usize,
+    /// Connections parked on the poller at once; above it new
+    /// connections are shed with `503`.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +140,12 @@ impl Default for ServerConfig {
             debug_endpoints: false,
             plan_cache_capacity: 64,
             tree_cache_capacity: 32,
+            keep_alive_requests: 100,
+            idle_timeout: Duration::from_secs(10),
+            conn_lifetime: Duration::from_secs(300),
+            stream_deadline: Duration::from_secs(120),
+            stream_chunk_rows: 8192,
+            max_connections: 1024,
         }
     }
 }
@@ -130,6 +184,9 @@ pub struct ServeMetrics {
     rejected: AtomicU64,
     in_flight: AtomicU64,
     in_flight_peak: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    pipelined_requests: AtomicU64,
+    streamed_chunks: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -160,12 +217,20 @@ impl ServeMetrics {
         self.in_flight_peak.load(Ordering::Relaxed)
     }
 
+    /// Requests served on an already-open connection.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time copy for `/metrics` and reports.
     pub fn snapshot(&self) -> ServeSnapshot {
         ServeSnapshot {
             rejected: self.rejected(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             in_flight_peak: self.in_flight_peak(),
+            keepalive_reuses: self.keepalive_reuses(),
+            pipelined_requests: self.pipelined_requests.load(Ordering::Relaxed),
+            streamed_chunks: self.streamed_chunks.load(Ordering::Relaxed),
             endpoints: ENDPOINTS
                 .iter()
                 .map(|&e| {
@@ -216,6 +281,14 @@ pub struct ServeSnapshot {
     pub in_flight: u64,
     /// High-water mark of `in_flight`.
     pub in_flight_peak: u64,
+    /// Requests served on an already-open keep-alive connection.
+    pub keepalive_reuses: u64,
+    /// Requests parsed while an earlier response on the same
+    /// connection was still outstanding.
+    pub pipelined_requests: u64,
+    /// Transfer-encoding chunks moved by streaming encode/classify
+    /// (request chunks decoded plus response chunks written).
+    pub streamed_chunks: u64,
     /// Per-endpoint counters, [`ENDPOINTS`] order.
     pub endpoints: Vec<EndpointSnapshot>,
 }
@@ -240,18 +313,45 @@ pub struct MetricsBody {
     pub process: ppdt_obs::MetricsSnapshot,
 }
 
-/// An accepted, not-yet-parsed connection awaiting a parser thread.
-struct Conn {
-    stream: TcpStream,
-}
-
-/// One queued unit of work: the parsed request plus the socket to
-/// answer on.
+/// One queued buffered-body unit of work: the parsed request plus the
+/// ordered writer (and sequence slot) to answer through.
 struct Job {
-    stream: TcpStream,
+    writer: Arc<ConnWriter>,
+    seq: u64,
+    close: bool,
     req: Request,
     endpoint: Endpoint,
     enqueued: Instant,
+}
+
+/// A streaming (chunked-body) request: the worker takes the whole
+/// connection, consumes the body incrementally, and re-parks the
+/// connection when done.
+struct StreamJob {
+    conn: Conn,
+    seq: u64,
+    close: bool,
+    expect_continue: bool,
+    endpoint: Endpoint,
+    enqueued: Instant,
+}
+
+/// What flows over the worker queue.
+enum Work {
+    Buffered(Job),
+    Stream(StreamJob),
+}
+
+/// What the parser decides after one request on a connection.
+enum Step {
+    /// Another pipelined request may already be buffered: parse again.
+    Continue,
+    /// Nothing buffered: park on the poller until readable.
+    Park,
+    /// The connection is finished (close requested, wire error, EOF).
+    Done,
+    /// Hand the whole connection to a worker for a streaming body.
+    Stream { seq: u64, close: bool, expect_continue: bool, endpoint: Endpoint },
 }
 
 /// A bound, not-yet-running custodian daemon.
@@ -261,7 +361,7 @@ pub struct Server {
     addr: SocketAddr,
     workers: usize,
     parsers: usize,
-    store: KeyStore,
+    store: crate::keystore::KeyStore,
     caches: Caches,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
@@ -270,7 +370,7 @@ pub struct Server {
 impl Server {
     /// Binds the listener (so the final address — including an
     /// OS-assigned port for `:0` — is known before [`Server::run`]).
-    pub fn bind(cfg: ServerConfig, store: KeyStore) -> Result<Server, PpdtError> {
+    pub fn bind(cfg: ServerConfig, store: crate::keystore::KeyStore) -> Result<Server, PpdtError> {
         let listener = TcpListener::bind(&cfg.addr).map_err(|e| PpdtError::Io {
             path: Some(cfg.addr.clone()),
             detail: format!("bind: {e}"),
@@ -328,54 +428,61 @@ impl Server {
     /// Accepts and serves until shutdown, then drains. Blocks the
     /// calling thread for the daemon's whole life.
     pub fn run(self) -> Result<(), PpdtError> {
-        // Two bounded hand-offs: accepted sockets to the parsers,
-        // parsed jobs to the workers. Either queue being full is
-        // answered 503 by the stage that fails to enqueue.
+        // Readiness plumbing: everyone parks connections on `poller`;
+        // the poller thread owns the receiving side and feeds readable
+        // connections to the parsers over a bounded hand-off.
+        let (poller, park_rx, wake_rx) = poller::poller_parts().map_err(|e| PpdtError::Io {
+            path: None,
+            detail: format!("poller wake channel: {e}"),
+        })?;
         let (conn_tx, conn_rx) =
             std::sync::mpsc::sync_channel::<Conn>(self.cfg.queue_capacity.max(self.parsers));
-        let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Job>(self.cfg.queue_capacity);
+        let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<Work>(self.cfg.queue_capacity);
         let conn_rx = Mutex::new(conn_rx);
         let job_rx = Mutex::new(job_rx);
         let this = &self;
+        let poller_ref = &poller;
         let joined = crossbeam::thread::scope(|s| {
             for _ in 0..this.workers {
                 let job_rx = &job_rx;
-                s.spawn(move |_| this.worker_loop(job_rx));
+                s.spawn(move |_| this.worker_loop(job_rx, poller_ref));
             }
             for _ in 0..this.parsers {
                 let conn_rx = &conn_rx;
                 let tx = job_tx.clone();
-                s.spawn(move |_| this.parser_loop(conn_rx, tx));
+                s.spawn(move |_| this.parser_loop(conn_rx, tx, poller_ref));
             }
             // Each parser owns a job-sender clone; dropping the
             // original here means the workers' `recv()` unblocks as
             // soon as the last parser exits and the queue is empty.
             drop(job_tx);
-            this.accept_loop(&conn_tx);
-            // Dropping the only connection sender wakes every parser
-            // out of `recv()` once the backlog is empty: the drain
-            // barrier cascades parser → worker.
-            drop(conn_tx);
+            s.spawn(move |_| this.poller_loop(park_rx, wake_rx, conn_tx));
+            this.accept_loop(poller_ref);
+            // The acceptor returning means shutdown began; the poller
+            // loop notices too, drops its parked connections and the
+            // connection sender, which wakes every parser out of
+            // `recv()`: the drain barrier cascades poller → parser →
+            // worker.
         });
         joined.map_err(|_| PpdtError::internal("a server thread panicked"))
     }
 
-    /// Accepts sockets and hands them off; never reads from a peer, so
-    /// no connection — however slow or hostile — can stall `accept()`.
-    fn accept_loop(&self, tx: &SyncSender<Conn>) {
+    /// Accepts sockets and parks them on the poller; never reads from
+    /// a peer, so no connection — however slow or hostile — can stall
+    /// `accept()`.
+    fn accept_loop(&self, poller: &Poller) {
         while !self.stopping() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
                     let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
-                    match tx.try_send(Conn { stream }) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(mut c)) => {
-                            self.reject_conn(&mut c.stream, "connection backlog is full");
-                        }
-                        Err(TrySendError::Disconnected(mut c)) => {
-                            self.reject_conn(&mut c.stream, "server is shutting down");
-                        }
+                    // Pipelined exchanges are many small writes; Nagle
+                    // plus delayed ACK would serialize them.
+                    let _ = stream.set_nodelay(true);
+                    let deadline = Instant::now() + self.cfg.parse_deadline;
+                    // fd dup failure drops the socket.
+                    if let Ok(conn) = Conn::new(stream, deadline) {
+                        poller.park(conn);
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -390,7 +497,79 @@ impl Server {
         }
     }
 
-    fn parser_loop(&self, rx: &Mutex<Receiver<Conn>>, tx: SyncSender<Job>) {
+    /// The readiness loop: owns every parked connection, polls them
+    /// all at once, feeds readable ones to the parsers, and reaps
+    /// idle/expired/dead ones.
+    fn poller_loop(
+        &self,
+        park_rx: Receiver<Conn>,
+        mut wake_rx: std::net::TcpStream,
+        conn_tx: SyncSender<Conn>,
+    ) {
+        let mut parked: Vec<Parked> = Vec::new();
+        while !self.stopping() {
+            // Take in newly parked connections (from the acceptor,
+            // parsers, and streaming workers).
+            while let Ok(conn) = park_rx.try_recv() {
+                if parked.len() >= self.cfg.max_connections {
+                    self.shed_conn(conn);
+                } else {
+                    parked.push(Parked { conn, since: Instant::now() });
+                }
+            }
+            // Reap: broken writers, idle sockets past the idle
+            // deadline, and connections over the lifetime ceiling. A
+            // connection with a response still in flight is never
+            // reaped here — the worker owns its fate.
+            parked.retain(|p| {
+                if p.conn.writer.is_dead() {
+                    return false;
+                }
+                if !p.conn.quiescent() {
+                    return true;
+                }
+                p.since.elapsed() < self.cfg.idle_timeout
+                    && p.conn.created.elapsed() < self.cfg.conn_lifetime
+            });
+            // Block in poll(2) until someone is readable, a park
+            // arrives (wake byte), or the tick elapses.
+            let mut ready = poller::ready_indices(&parked, &wake_rx, POLL_TICK);
+            poller::drain_wake(&mut wake_rx);
+            // Dispatch readable connections; descending order keeps
+            // the swap_remove indices valid.
+            ready.sort_unstable_by(|a, b| b.cmp(a));
+            let mut backoff = false;
+            for i in ready {
+                let p = parked.swap_remove(i);
+                match conn_tx.try_send(p.conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(conn)) => {
+                        // Every parser is busy; keep it parked (it
+                        // stays readable) and retry next tick.
+                        parked.push(Parked { conn, since: p.since });
+                        backoff = true;
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            if backoff {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        // Shutdown: dropping `parked` closes every idle connection and
+        // dropping `conn_tx` starts the parser → worker drain cascade.
+    }
+
+    /// Sheds a connection over the [`ServerConfig::max_connections`]
+    /// ceiling with a `503`.
+    fn shed_conn(&self, conn: Conn) {
+        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        ppdt_obs::add(Counter::HttpRejected, 1);
+        let resp = HttpError::overloaded("connection ceiling reached").to_response();
+        conn.writer.submit(conn.seqs_issued, resp, true);
+    }
+
+    fn parser_loop(&self, rx: &Mutex<Receiver<Conn>>, tx: SyncSender<Work>, poller: &Poller) {
         loop {
             let conn = {
                 let Ok(guard) = rx.lock() else { return };
@@ -399,35 +578,133 @@ impl Server {
                     Err(_) => return, // sender dropped: drain complete
                 }
             };
-            self.handle_conn(conn.stream, &tx);
+            self.drive_conn(conn, &tx, poller);
         }
     }
 
-    /// Parses, routes, and either answers inline or enqueues. Runs on
-    /// a parser thread under the per-connection parse deadline.
-    fn handle_conn(&self, stream: TcpStream, tx: &SyncSender<Job>) {
-        let Ok(read_half) = stream.try_clone() else {
-            return;
-        };
-        let mut stream = stream;
-        let deadline = Instant::now() + self.cfg.parse_deadline;
-        let mut reader = BufReader::new(DeadlineStream::new(read_half, deadline));
-        let req = match read_request(&mut reader, self.cfg.max_body_bytes) {
-            Ok(req) => req,
+    /// Drains one readable connection: parses up to [`PIPELINE_BURST`]
+    /// buffered requests, then either parks it back on the poller,
+    /// hands it to a streaming worker, or drops it.
+    fn drive_conn(&self, mut conn: Conn, tx: &SyncSender<Work>, poller: &Poller) {
+        for _ in 0..PIPELINE_BURST {
+            match self.parse_one(&mut conn, tx) {
+                Step::Continue => continue,
+                Step::Park => {
+                    poller.park(conn);
+                    return;
+                }
+                Step::Done => return,
+                Step::Stream { seq, close, expect_continue, endpoint } => {
+                    let job = StreamJob {
+                        conn,
+                        seq,
+                        close,
+                        expect_continue,
+                        endpoint,
+                        enqueued: Instant::now(),
+                    };
+                    match tx.try_send(Work::Stream(job)) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(Work::Stream(job))) => {
+                            self.submit_error(
+                                &job.conn.writer,
+                                job.seq,
+                                Some(job.endpoint),
+                                &HttpError::overloaded("request queue is full"),
+                                true,
+                            );
+                        }
+                        Err(TrySendError::Disconnected(Work::Stream(job))) => {
+                            self.submit_error(
+                                &job.conn.writer,
+                                job.seq,
+                                Some(job.endpoint),
+                                &HttpError::overloaded("server is shutting down"),
+                                true,
+                            );
+                        }
+                        Err(_) => unreachable!("a stream job bounces back as a stream job"),
+                    }
+                    return;
+                }
+            }
+        }
+        // Burst cap hit with more requests buffered: back of the line.
+        poller.park(conn);
+    }
+
+    /// Parses, routes, and dispatches one request off a readable
+    /// connection, under a freshly armed parse deadline.
+    fn parse_one(&self, conn: &mut Conn, tx: &SyncSender<Work>) -> Step {
+        if conn.writer.is_dead() {
+            return Step::Done;
+        }
+        conn.set_deadline(Instant::now() + self.cfg.parse_deadline);
+        let head = match read_head(&mut conn.reader) {
+            Ok(Some(head)) => head,
+            // Clean EOF between requests: the peer is done.
+            Ok(None) => return Step::Done,
             Err(e) => {
-                self.answer_error(&mut stream, None, &e);
-                return;
+                // Wire-level failure (408/400/431): the byte stream is
+                // not trustworthy past this point, so answer and close.
+                let seq = conn.next_seq();
+                self.submit_error(&conn.writer, seq, None, &e, true);
+                return Step::Done;
             }
         };
+        let seq = conn.next_seq();
         ppdt_obs::add(Counter::HttpRequests, 1);
-        let endpoint = match handlers::route(&req, self.cfg.debug_endpoints) {
-            Ok(e) => e,
+        if seq > 0 {
+            ppdt_obs::add(Counter::HttpKeepaliveReuses, 1);
+            self.metrics.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        if conn.writer.written() < seq {
+            ppdt_obs::add(Counter::HttpPipelinedRequests, 1);
+            self.metrics.pipelined_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        let close = head.close
+            || self.cfg.keep_alive_requests == 0
+            || conn.seqs_issued >= self.cfg.keep_alive_requests
+            || conn.created.elapsed() >= self.cfg.conn_lifetime
+            || self.stopping();
+
+        let endpoint =
+            match handlers::route_parts(&head.method, &head.path, self.cfg.debug_endpoints) {
+                Ok(e) => e,
+                Err(e) => {
+                    // Routing errors (404/405) are request-level: consume
+                    // the body so the connection can survive.
+                    match read_body(&mut conn.reader, &head, self.cfg.max_body_bytes) {
+                        Ok(_) => {
+                            self.submit_error(&conn.writer, seq, None, &e, close);
+                            return self.after_answer(conn, close);
+                        }
+                        Err(be) => {
+                            self.submit_error(&conn.writer, seq, None, &be, true);
+                            return Step::Done;
+                        }
+                    }
+                }
+            };
+        self.metrics.requested(endpoint);
+
+        // A chunked body on the hot endpoints streams: the worker
+        // consumes it incrementally, so don't read a byte of it here.
+        if head.chunked && matches!(endpoint, Endpoint::Encode | Endpoint::Classify) {
+            return Step::Stream { seq, close, expect_continue: head.expect_continue, endpoint };
+        }
+
+        if head.expect_continue && head.has_body() {
+            conn.writer.try_continue(seq);
+        }
+        let body = match read_body(&mut conn.reader, &head, self.cfg.max_body_bytes) {
+            Ok(body) => body,
             Err(e) => {
-                self.answer_error(&mut stream, None, &e);
-                return;
+                self.submit_error(&conn.writer, seq, Some(endpoint), &e, true);
+                return Step::Done;
             }
         };
-        self.metrics.requested(endpoint);
+        let req = Request { method: head.method, path: head.path, body };
 
         if endpoint.is_inline() {
             // Liveness, metrics, and version negotiation bypass the
@@ -440,54 +717,102 @@ impl Server {
                 _ => self.render_metrics(),
             };
             self.metrics.timed(endpoint, start.elapsed());
-            self.answer(&mut stream, endpoint, resp);
-            return;
+            self.submit(&conn.writer, seq, endpoint, resp, close);
+            return self.after_answer(conn, close);
         }
 
-        let job = Job { stream, req, endpoint, enqueued: Instant::now() };
-        match tx.try_send(job) {
+        let job = Job {
+            writer: Arc::clone(&conn.writer),
+            seq,
+            close,
+            req,
+            endpoint,
+            enqueued: Instant::now(),
+        };
+        match tx.try_send(Work::Buffered(job)) {
             Ok(()) => {}
-            Err(TrySendError::Full(mut job)) => {
-                self.reject(&mut job.stream, job.endpoint, "request queue is full");
+            Err(TrySendError::Full(Work::Buffered(job))) => {
+                self.submit_error(
+                    &job.writer,
+                    job.seq,
+                    Some(job.endpoint),
+                    &HttpError::overloaded("request queue is full"),
+                    true,
+                );
+                return Step::Done;
             }
-            Err(TrySendError::Disconnected(mut job)) => {
-                self.reject(&mut job.stream, job.endpoint, "server is shutting down");
+            Err(TrySendError::Disconnected(Work::Buffered(job))) => {
+                self.submit_error(
+                    &job.writer,
+                    job.seq,
+                    Some(job.endpoint),
+                    &HttpError::overloaded("server is shutting down"),
+                    true,
+                );
+                return Step::Done;
             }
+            Err(_) => unreachable!("a buffered job bounces back as a buffered job"),
+        }
+        self.after_answer(conn, close)
+    }
+
+    /// After a request is dispatched: close ends the connection, more
+    /// buffered bytes mean another pipelined request, anything else
+    /// parks.
+    fn after_answer(&self, conn: &Conn, close: bool) -> Step {
+        if close || conn.writer.is_dead() {
+            Step::Done
+        } else if conn.has_buffered() {
+            Step::Continue
+        } else {
+            Step::Park
         }
     }
 
-    fn worker_loop(&self, rx: &Mutex<Receiver<Job>>) {
+    fn worker_loop(&self, rx: &Mutex<Receiver<Work>>, poller: &Poller) {
         loop {
             // Lock only around `recv` so workers take turns pulling
             // jobs; processing runs unlocked.
-            let job = {
+            let work = {
                 let Ok(guard) = rx.lock() else { return };
                 match guard.recv() {
-                    Ok(job) => job,
+                    Ok(work) => work,
                     Err(_) => return, // sender dropped: drain complete
                 }
             };
-            self.process(job);
+            match work {
+                Work::Buffered(job) => self.process(job),
+                Work::Stream(job) => self.process_stream(job, poller),
+            }
         }
     }
 
-    fn process(&self, mut job: Job) {
-        if job.enqueued.elapsed() > self.cfg.request_deadline {
-            self.reject(&mut job.stream, job.endpoint, "request waited past its deadline");
-            return;
-        }
+    /// RAII in-flight gauge (a panicking handler cannot leak it).
+    fn enter_flight(&self) -> impl Drop + '_ {
         let in_flight = self.metrics.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         self.metrics.in_flight_peak.fetch_max(in_flight, Ordering::SeqCst);
         ppdt_obs::record_max(Counter::HttpInFlightPeak, in_flight);
-        // RAII so a panicking handler cannot leak the in-flight gauge.
         struct InFlight<'a>(&'a ServeMetrics);
         impl Drop for InFlight<'_> {
             fn drop(&mut self) {
                 self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
             }
         }
-        let _in_flight = InFlight(&self.metrics);
+        InFlight(&self.metrics)
+    }
 
+    fn process(&self, job: Job) {
+        if job.enqueued.elapsed() > self.cfg.request_deadline {
+            self.submit_error(
+                &job.writer,
+                job.seq,
+                Some(job.endpoint),
+                &HttpError::overloaded("request waited past its deadline"),
+                true,
+            );
+            return;
+        }
+        let _in_flight = self.enter_flight();
         let _t = ppdt_obs::phase(job.endpoint.phase_name());
         let start = Instant::now();
         // A handler panic is a bug, but it must cost one 500, not a
@@ -497,46 +822,111 @@ impl Server {
         }));
         self.metrics.timed(job.endpoint, start.elapsed());
         match outcome {
-            Ok(Ok(resp)) => self.answer(&mut job.stream, job.endpoint, resp),
-            Ok(Err(e)) => self.answer_error(&mut job.stream, Some(job.endpoint), &e),
+            Ok(Ok(resp)) => self.submit(&job.writer, job.seq, job.endpoint, resp, job.close),
+            Ok(Err(e)) => {
+                // Handler-level errors consumed the body cleanly: the
+                // connection survives (overload 503s always close).
+                let close = job.close || e.status == 503;
+                self.submit_error(&job.writer, job.seq, Some(job.endpoint), &e, close);
+            }
             Err(_) => {
                 let e = HttpError::from(PpdtError::internal(format!(
                     "handler for {} panicked",
                     job.endpoint.name()
                 )));
-                self.answer_error(&mut job.stream, Some(job.endpoint), &e);
+                self.submit_error(&job.writer, job.seq, Some(job.endpoint), &e, job.close);
             }
         }
     }
 
-    /// Writes a `503 + Retry-After` and books it as backpressure, not
-    /// as an endpoint failure.
-    fn reject(&self, stream: &mut TcpStream, endpoint: Endpoint, why: &str) {
-        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-        self.metrics.errored(endpoint);
-        ppdt_obs::add(Counter::HttpRejected, 1);
-        let _ = write_response(stream, &HttpError::overloaded(why).to_response());
+    /// Runs one streaming request end to end on a worker thread, then
+    /// re-parks the connection (keep-alive) or drops it.
+    fn process_stream(&self, mut job: StreamJob, poller: &Poller) {
+        if job.enqueued.elapsed() > self.cfg.request_deadline {
+            self.submit_error(
+                &job.conn.writer,
+                job.seq,
+                Some(job.endpoint),
+                &HttpError::overloaded("request waited past its deadline"),
+                true,
+            );
+            return;
+        }
+        let _in_flight = self.enter_flight();
+        let _t = ppdt_obs::phase(job.endpoint.phase_name());
+        let start = Instant::now();
+        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stream::run(
+                &mut job.conn,
+                job.seq,
+                job.close,
+                job.expect_continue,
+                job.endpoint,
+                &self.store,
+                &self.caches,
+                &self.cfg,
+            )
+        }));
+        self.metrics.timed(job.endpoint, start.elapsed());
+        match end {
+            Ok(StreamEnd::Done { keep, chunks, .. }) => {
+                self.metrics.streamed_chunks.fetch_add(chunks, Ordering::Relaxed);
+                if keep && !job.conn.writer.is_dead() {
+                    // Re-arm the idle clock and wait for the next
+                    // request (which may already be buffered).
+                    poller.park(job.conn);
+                }
+            }
+            Ok(StreamEnd::Error(e)) => {
+                // Failed before the response started; the body was not
+                // fully consumed, so the connection must close.
+                self.submit_error(&job.conn.writer, job.seq, Some(job.endpoint), &e, true);
+            }
+            Ok(StreamEnd::Aborted) => {
+                // Mid-response failure: the writer is already dead and
+                // the socket shut down; dropping the conn finishes it.
+                self.metrics.errored(job.endpoint);
+                ppdt_obs::add(Counter::HttpErrors, 1);
+            }
+            Err(_) => {
+                let e = HttpError::from(PpdtError::internal(format!(
+                    "streaming handler for {} panicked",
+                    job.endpoint.name()
+                )));
+                // If the panic happened mid-response the writer is
+                // poisoned → dead, and this submit is a no-op.
+                self.submit_error(&job.conn.writer, job.seq, Some(job.endpoint), &e, true);
+            }
+        }
     }
 
-    /// Writes a `503` to a connection rejected before parsing (the
-    /// backlog is full or the daemon is draining). The response is a
-    /// few hundred bytes into a fresh socket's empty send buffer, so
-    /// it cannot stall the acceptor beyond the write timeout.
-    fn reject_conn(&self, stream: &mut TcpStream, why: &str) {
-        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-        ppdt_obs::add(Counter::HttpRejected, 1);
-        let _ = write_response(stream, &HttpError::overloaded(why).to_response());
-    }
-
-    fn answer(&self, stream: &mut TcpStream, endpoint: Endpoint, resp: Response) {
+    /// Books a response (error statuses count as endpoint errors) and
+    /// hands it to the connection's ordered writer.
+    fn submit(
+        &self,
+        writer: &ConnWriter,
+        seq: u64,
+        endpoint: Endpoint,
+        resp: Response,
+        close: bool,
+    ) {
         if resp.status >= 400 {
             self.metrics.errored(endpoint);
             ppdt_obs::add(Counter::HttpErrors, 1);
         }
-        let _ = write_response(stream, &resp);
+        writer.submit(seq, resp, close);
     }
 
-    fn answer_error(&self, stream: &mut TcpStream, endpoint: Option<Endpoint>, e: &HttpError) {
+    /// Books an error (503s count as backpressure, everything else as
+    /// an error) and hands it to the connection's ordered writer.
+    fn submit_error(
+        &self,
+        writer: &ConnWriter,
+        seq: u64,
+        endpoint: Option<Endpoint>,
+        e: &HttpError,
+        close: bool,
+    ) {
         if let Some(ep) = endpoint {
             self.metrics.errored(ep);
         }
@@ -546,7 +936,7 @@ impl Server {
         } else {
             ppdt_obs::add(Counter::HttpErrors, 1);
         }
-        let _ = write_response(stream, &e.to_response());
+        writer.submit(seq, e.to_response(), close);
     }
 
     fn render_healthz(&self) -> Response {
@@ -594,6 +984,12 @@ mod tests {
         assert!(cfg.queue_capacity > 0);
         assert!(cfg.request_deadline > Duration::ZERO);
         assert_eq!(cfg.max_body_bytes, crate::http::DEFAULT_MAX_BODY_BYTES);
+        assert!(cfg.keep_alive_requests > 1, "keep-alive is on by default");
+        assert!(cfg.idle_timeout > Duration::ZERO);
+        assert!(cfg.conn_lifetime >= cfg.idle_timeout);
+        assert!(cfg.stream_deadline >= cfg.parse_deadline);
+        assert!(cfg.stream_chunk_rows > 0);
+        assert!(cfg.max_connections > 0);
     }
 
     #[test]
@@ -603,8 +999,15 @@ mod tests {
         m.errored(Endpoint::Encode);
         m.timed(Endpoint::Encode, Duration::from_micros(42));
         m.timed(Endpoint::Encode, Duration::from_micros(8));
+        m.keepalive_reuses.fetch_add(3, Ordering::Relaxed);
+        m.pipelined_requests.fetch_add(2, Ordering::Relaxed);
+        m.streamed_chunks.fetch_add(7, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.endpoints.len(), ENDPOINTS.len());
+        assert_eq!(
+            (snap.keepalive_reuses, snap.pipelined_requests, snap.streamed_chunks),
+            (3, 2, 7)
+        );
         let enc =
             snap.endpoints.iter().find(|s| s.endpoint == "encode").expect("encode row present");
         assert_eq!((enc.requests, enc.errors, enc.latency_micros), (1, 1, 50));

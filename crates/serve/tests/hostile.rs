@@ -67,9 +67,19 @@ fn wire_level_garbage_gets_typed_4xx() {
     let r = raw(&srv, &big);
     assert_eq!(status_of(&r), 431);
 
-    // Chunked transfer is refused with 411.
+    // Chunked transfer is supported now — but broken chunk framing
+    // (a garbage chunk-size line) is a 400, answered without reading
+    // further into the poisoned stream.
+    let r = raw(
+        &srv,
+        b"POST /v1/encode HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\nhello\r\n0\r\n\r\n",
+    );
+    assert_eq!(status_of(&r), 400);
+    assert!(r.contains("bad_chunk"), "{r}");
+
+    // A chunked body that just stops mid-frame is also a clean 400.
     let r = raw(&srv, b"POST /v1/encode HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
-    assert_eq!(status_of(&r), 411);
+    assert_eq!(status_of(&r), 400, "{r}");
 
     // Unknown route and wrong method.
     let (status, body) = request(srv.addr, "GET", "/nope", "").expect("request");

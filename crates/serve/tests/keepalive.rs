@@ -1,0 +1,176 @@
+//! Keep-alive and pipelining behavior, friendly and hostile: one
+//! socket serving many requests, in-order pipelined responses, a
+//! slow-loris on the *second* request that must not poison the first
+//! answer, idle reaping, and `Connection: close` mid-pipeline.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ppdt_serve::http::Client;
+use ppdt_serve::ServerConfig;
+
+/// Statuses of every response on a raw byte stream, in wire order.
+fn statuses(text: &str) -> Vec<u16> {
+    text.split("HTTP/1.1 ")
+        .skip(1)
+        .filter_map(|part| part.split_whitespace().next())
+        .filter_map(|s| s.parse().ok())
+        .collect()
+}
+
+#[test]
+fn one_socket_serves_many_requests() {
+    ppdt_obs::set_enabled(true);
+    let srv = common::start(ServerConfig::default(), "reuse");
+
+    let mut client = Client::connect(srv.addr).expect("connect");
+    for _ in 0..5 {
+        let (status, body) = client.request("GET", "/healthz", "").expect("healthz");
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, body) = client.request("GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    let v: serde::Value = serde_json::from_str(&body).expect("metrics parses");
+    let reuses = v
+        .get("serve")
+        .and_then(|s| s.get("keepalive_reuses"))
+        .and_then(|x| x.as_f64())
+        .expect("keepalive_reuses in /metrics");
+    assert!(reuses >= 5.0, "six requests on one socket: got {reuses} reuses");
+
+    srv.stop();
+}
+
+#[test]
+fn pipelined_responses_come_back_in_request_order() {
+    ppdt_obs::set_enabled(true);
+    let srv =
+        common::start(ServerConfig { debug_endpoints: true, ..Default::default() }, "pipeline");
+
+    // Two slow jobs then a fast one, all written before reading a
+    // single response byte: answers must still arrive in send order.
+    let mut client = Client::connect(srv.addr).expect("connect");
+    client.send("POST", "/v1/debug/sleep", "{\"ms\": 150}").expect("send 0");
+    client.send("POST", "/v1/debug/sleep", "{\"ms\": 10}").expect("send 1");
+    client.send("GET", "/v1/version", "").expect("send 2");
+    let (s0, b0) = client.read_response().expect("response 0");
+    let (s1, b1) = client.read_response().expect("response 1");
+    let (s2, b2) = client.read_response().expect("response 2");
+    assert_eq!((s0, s1, s2), (200, 200, 200), "{b0} / {b1} / {b2}");
+    assert!(b0.contains("150"), "first answer is the first request's: {b0}");
+    assert!(b1.contains("10"), "second answer is the second request's: {b1}");
+    assert!(b2.contains("api_schema_version"), "third answer is the version body: {b2}");
+
+    let (_, body) = client.request("GET", "/metrics", "").expect("metrics");
+    let v: serde::Value = serde_json::from_str(&body).expect("metrics parses");
+    let pipelined = v
+        .get("serve")
+        .and_then(|s| s.get("pipelined_requests"))
+        .and_then(|x| x.as_f64())
+        .expect("pipelined_requests in /metrics");
+    assert!(pipelined >= 1.0, "the burst overlapped a sleeping worker: got {pipelined}");
+
+    srv.stop();
+}
+
+#[test]
+fn slow_loris_on_the_second_request_gets_408_without_poisoning_the_first() {
+    let cfg = ServerConfig { parse_deadline: Duration::from_millis(700), ..Default::default() };
+    let srv = common::start(cfg, "loris2");
+
+    let mut stream = TcpStream::connect(srv.addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    // A complete first request and a *partial* second head, then
+    // silence: the daemon must answer the first request normally and
+    // cut the stalled second one off with 408.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/encode HTTP/1.1\r\ncontent-le")
+        .expect("write");
+    stream.flush().expect("flush");
+
+    let started = Instant::now();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read both responses");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the parse deadline bounds the stall, not the io timeout"
+    );
+    assert_eq!(statuses(&text), vec![200, 408], "{text}");
+    let healthz = text.find("\"ok\"").expect("first response intact");
+    let timeout = text.find("request_timeout").expect("second answered 408");
+    assert!(healthz < timeout, "first response precedes the 408: {text}");
+
+    srv.stop();
+}
+
+#[test]
+fn idle_keepalive_sockets_are_reaped_at_the_idle_deadline() {
+    let cfg = ServerConfig { idle_timeout: Duration::from_millis(300), ..Default::default() };
+    let srv = common::start(cfg, "idlereap");
+
+    let mut client = Client::connect(srv.addr).expect("connect");
+    let (status, _) = client.request("GET", "/healthz", "").expect("first request");
+    assert_eq!(status, 200);
+
+    // Go quiet. The poller owns the idle socket now; past the idle
+    // deadline it must close it — without consuming a thread while
+    // waiting.
+    let mut raw = TcpStream::connect(srv.addr).expect("second socket");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let started = Instant::now();
+    let mut sink = Vec::new();
+    raw.read_to_end(&mut sink).expect("EOF when the daemon reaps");
+    assert!(sink.is_empty(), "an idle socket gets no bytes, just a close");
+    assert!(started.elapsed() >= Duration::from_millis(250), "not reaped before the idle deadline");
+    assert!(started.elapsed() < Duration::from_secs(5), "reaped promptly after the idle deadline");
+
+    srv.stop();
+}
+
+#[test]
+fn connection_close_mid_pipeline_drains_in_order() {
+    let srv = common::start(ServerConfig::default(), "closedrain");
+
+    let mut stream = TcpStream::connect(srv.addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    // Three pipelined requests; the second carries `Connection:
+    // close`. The daemon answers the first two in order, closes, and
+    // never touches the third.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\n\
+              GET /v1/version HTTP/1.1\r\nconnection: close\r\n\r\n\
+              GET /healthz HTTP/1.1\r\n\r\n",
+        )
+        .expect("write");
+    stream.flush().expect("flush");
+
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("responses then EOF");
+    assert_eq!(statuses(&text), vec![200, 200], "two answers, then close: {text}");
+    let first = text.find("\"ok\"").expect("healthz body");
+    let second = text.find("api_schema_version").expect("version body");
+    assert!(first < second, "in request order: {text}");
+    assert!(text.contains("connection: close"), "{text}");
+
+    srv.stop();
+}
+
+#[test]
+fn keep_alive_zero_disables_reuse() {
+    let cfg = ServerConfig { keep_alive_requests: 0, ..Default::default() };
+    let srv = common::start(cfg, "nokeepalive");
+
+    let mut stream = TcpStream::connect(srv.addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n").expect("write");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read");
+    assert_eq!(statuses(&text), vec![200], "keep-alive off: one answer then close: {text}");
+    assert!(text.contains("connection: close"), "{text}");
+
+    srv.stop();
+}

@@ -1,0 +1,116 @@
+//! Memory ceiling for streaming encode: a million-row chunked upload
+//! must be processed batch-at-a-time, never buffered whole. This test
+//! lives in its own file so it gets its own process — `VmHWM` is a
+//! process-wide high-water mark, and the daemon threads run in-process.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use ppdt_data::csv::to_csv;
+use ppdt_data::gen::census_like;
+use ppdt_serve::api::{StoreKeyRequest, StoreKeyResponse};
+use ppdt_serve::{request, ServerConfig};
+use ppdt_transform::{EncodeConfig, Encoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn write_chunk(s: &mut TcpStream, data: &[u8]) {
+    write!(s, "{:x}\r\n", data.len()).expect("chunk size");
+    s.write_all(data).expect("chunk data");
+    s.write_all(b"\r\n").expect("chunk end");
+}
+
+#[test]
+fn million_row_streaming_encode_stays_under_a_bounded_memory_ceiling() {
+    let srv = common::start(ServerConfig::default(), "rss");
+
+    // A small template dataset; the million-row body cycles its rows.
+    let mut rng = StdRng::seed_from_u64(0x1233);
+    let d = census_like(&mut rng, 512);
+    let (key, _) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
+    let payload = serde_json::to_string(&StoreKeyRequest { key }).expect("serialize");
+    let (status, text) = request(srv.addr, "POST", "/v1/keys", &payload).expect("store");
+    assert_eq!(status, 201, "{text}");
+    let stored: StoreKeyResponse = serde_json::from_str(&text).expect("parses");
+
+    let csv = to_csv(&d);
+    let (header_line, row_block) = csv.split_once('\n').expect("header then rows");
+    let repeats = 1_000_000usize.div_ceil(512);
+    let total_rows = repeats * 512;
+    let body_bytes = row_block.len() * repeats;
+
+    let baseline = ppdt_obs::peak_rss_bytes();
+
+    let mut stream = TcpStream::connect(srv.addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(600))).expect("timeout");
+
+    // The response streams back while we are still uploading, so a
+    // reader thread must drain it or the daemon's writes would fill
+    // the TCP buffers and deadlock the upload.
+    let mut read_half = stream.try_clone().expect("clone");
+    let reader = std::thread::spawn(move || {
+        let mut first = [0u8; 64];
+        let mut got = 0usize;
+        while got < first.len() {
+            match read_half.read(&mut first[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) => panic!("reading response head: {e}"),
+            }
+        }
+        let head = String::from_utf8_lossy(&first[..got]).into_owned();
+        let mut sink = [0u8; 64 * 1024];
+        let mut response_bytes = got;
+        loop {
+            match read_half.read(&mut sink) {
+                Ok(0) => break,
+                Ok(n) => response_bytes += n,
+                Err(e) => panic!("draining response: {e}"),
+            }
+        }
+        (head, response_bytes)
+    });
+
+    stream
+        .write_all(
+            b"POST /v1/encode HTTP/1.1\r\n\
+              transfer-encoding: chunked\r\n\
+              connection: close\r\n\r\n",
+        )
+        .expect("head");
+    write_chunk(
+        &mut stream,
+        format!("{{\"key_id\": \"{}\"}}\n{header_line}\n", stored.key_id).as_bytes(),
+    );
+    for _ in 0..repeats {
+        write_chunk(&mut stream, row_block.as_bytes());
+    }
+    stream.write_all(b"0\r\n\r\n").expect("final chunk");
+    stream.flush().expect("flush");
+    stream.shutdown(std::net::Shutdown::Write).ok();
+
+    let (head, response_bytes) = reader.join().expect("reader thread");
+    assert!(head.starts_with("HTTP/1.1 200"), "streamed encode succeeded: {head}");
+    assert!(
+        response_bytes > body_bytes / 4,
+        "a full encoded relation came back: {response_bytes} bytes for {total_rows} rows"
+    );
+
+    // The daemon ran in this process: its peak memory is our VmHWM.
+    // Batch-at-a-time processing must keep the growth far below the
+    // ~full-dataset footprint a buffering server would pay.
+    if let (Some(before), Some(after)) = (baseline, ppdt_obs::peak_rss_bytes()) {
+        let growth = after.saturating_sub(before);
+        assert!(
+            growth < (body_bytes as u64) / 4,
+            "peak RSS grew {growth} bytes while streaming a {body_bytes}-byte body \
+             ({total_rows} rows); streaming must not buffer the dataset"
+        );
+    }
+
+    srv.stop();
+}

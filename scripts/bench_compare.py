@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
     bench_compare.py --warm-ratio 1.5 REPORT.json
+    bench_compare.py --keepalive-ratio 1.3 REPORT.json
     bench_compare.py --self-check
 
 Two report shapes are understood, detected from the file contents:
@@ -29,6 +30,11 @@ with a ``*_cold_*_per_sec`` sibling (same name with ``_warm_``
 swapped for ``_cold_``), the warm value must be at least ``R`` times
 the cold value. A report with no such pairs is an error — the gate
 must never pass vacuously.
+
+``--keepalive-ratio R REPORT.json`` is the same pair gate over the
+connection regimes: every ``*_keepalive_*_per_sec`` headline with a
+``*_fresh_*_per_sec`` sibling must be at least ``R`` times its
+fresh-connection counterpart.
 
 ``--self-check`` verifies the gate itself in all modes: a report
 compared against itself must pass, a synthetic 20%-regressed copy
@@ -103,45 +109,57 @@ def compare_headlines(baseline, candidate, tolerance):
     return regressions
 
 
-def warm_ratio_failures(report, ratio):
-    """Cold/warm pair check; returns (pairs_seen, failure strings)."""
+def ratio_pair_failures(report, ratio, hi_token, lo_token):
+    """Paired-headline ratio check: every ``*{hi_token}*_per_sec``
+    headline with a ``*{lo_token}*_per_sec`` sibling must be at least
+    ``ratio`` times it. Returns (pairs_seen, failure strings)."""
     headlines = {h["name"]: h["value"] for h in report["headlines"]}
     pairs = 0
     failures = []
     for name in sorted(headlines):
-        if "_warm_" not in name or not name.endswith("_per_sec"):
+        if hi_token not in name or not name.endswith("_per_sec"):
             continue
-        cold_name = name.replace("_warm_", "_cold_")
-        if cold_name not in headlines:
+        lo_name = name.replace(hi_token, lo_token)
+        if lo_name not in headlines:
             continue
         pairs += 1
-        warm, cold = headlines[name], headlines[cold_name]
-        achieved = warm / cold if cold > 0 else float("inf")
+        hi, lo = headlines[name], headlines[lo_name]
+        achieved = hi / lo if lo > 0 else float("inf")
         verdict = "ok" if achieved >= ratio else "FAIL"
-        print(f"  {verdict}: {name} {warm:.0f} vs {cold_name} {cold:.0f} "
+        print(f"  {verdict}: {name} {hi:.0f} vs {lo_name} {lo:.0f} "
               f"-> {achieved:.2f}x (need >= {ratio:.2f}x)")
         if achieved < ratio:
             failures.append(
-                f"{name}: warm {warm:.0f} is only {achieved:.2f}x cold "
-                f"{cold:.0f} (need >= {ratio:.2f}x)")
+                f"{name}: {hi:.0f} is only {achieved:.2f}x {lo_name} "
+                f"{lo:.0f} (need >= {ratio:.2f}x)")
     return pairs, failures
 
 
-def gate_warm_ratio(path, ratio):
+def warm_ratio_failures(report, ratio):
+    """Cold/warm pair check; returns (pairs_seen, failure strings)."""
+    return ratio_pair_failures(report, ratio, "_warm_", "_cold_")
+
+
+def keepalive_ratio_failures(report, ratio):
+    """Fresh/keep-alive pair check; (pairs_seen, failure strings)."""
+    return ratio_pair_failures(report, ratio, "_keepalive_", "_fresh_")
+
+
+def gate_ratio_pairs(path, ratio, label, check):
     kind, report = load(path)
     if kind != "bench_report":
-        sys.exit(f"{path}: --warm-ratio needs a BenchReport, got {kind}")
-    print(f"warm-ratio gate (>= {ratio:.2f}x) on {path}:")
-    pairs, failures = warm_ratio_failures(report, ratio)
+        sys.exit(f"{path}: --{label}-ratio needs a BenchReport, got {kind}")
+    print(f"{label}-ratio gate (>= {ratio:.2f}x) on {path}:")
+    pairs, failures = check(report, ratio)
     if pairs == 0:
-        sys.exit(f"{path}: no *_warm_*_per_sec / *_cold_*_per_sec pairs; "
-                 "the warm-ratio gate would pass vacuously")
+        sys.exit(f"{path}: no {label}-ratio headline pairs; "
+                 "the gate would pass vacuously")
     if failures:
-        print("WARM-RATIO FAILURES:")
+        print(f"{label.upper()}-RATIO FAILURES:")
         for f in failures:
             print(f"  {f}")
         sys.exit(1)
-    print(f"ok: all {pairs} warm/cold pairs meet the {ratio:.2f}x floor")
+    print(f"ok: all {pairs} {label} pairs meet the {ratio:.2f}x floor")
 
 
 def self_check():
@@ -205,22 +223,42 @@ def self_check():
     if pairs != 0:
         sys.exit("self-check FAILED: unpaired warm headline counted as a pair")
 
+    regimes = {
+        "schema_version": 2,
+        "binary": "serve_throughput",
+        "headlines": [
+            {"name": "serve_encode_fresh_rows_per_sec", "value": 100.0},
+            {"name": "serve_encode_keepalive_rows_per_sec", "value": 200.0},
+        ],
+    }
+    pairs, failures = keepalive_ratio_failures(regimes, 1.3)
+    if pairs != 1 or failures:
+        sys.exit("self-check FAILED: 2.0x keepalive/fresh pair rejected at 1.3x")
+    regimes["headlines"][1]["value"] = 110.0
+    pairs, failures = keepalive_ratio_failures(regimes, 1.3)
+    if pairs != 1 or not failures:
+        sys.exit("self-check FAILED: 1.1x keepalive/fresh pair accepted at 1.3x")
+
     print("self-check passed: identity clean, 20% regression flagged "
-          "in both report modes, warm-ratio gate discriminates")
+          "in both report modes, warm- and keepalive-ratio gates "
+          "discriminate")
 
 
 def main(argv):
     if argv == ["--self-check"]:
         self_check()
         return
-    if "--warm-ratio" in argv:
-        i = argv.index("--warm-ratio")
-        ratio = float(argv[i + 1])
-        del argv[i:i + 2]
-        if len(argv) != 1:
-            sys.exit(__doc__.strip())
-        gate_warm_ratio(argv[0], ratio)
-        return
+    for flag, label, check in [("--warm-ratio", "warm", warm_ratio_failures),
+                               ("--keepalive-ratio", "keepalive",
+                                keepalive_ratio_failures)]:
+        if flag in argv:
+            i = argv.index(flag)
+            ratio = float(argv[i + 1])
+            del argv[i:i + 2]
+            if len(argv) != 1:
+                sys.exit(__doc__.strip())
+            gate_ratio_pairs(argv[0], ratio, label, check)
+            return
     tolerance = 0.10
     if "--tolerance" in argv:
         i = argv.index("--tolerance")

@@ -2,10 +2,12 @@
 # Regenerates the committed benchmark reports: the mining trajectory
 # (BENCH_PR3.json, via `mining_speed`, which now also times the
 # interpreted-vs-compiled encode hot path) and the custodian-daemon
-# cold-vs-warm throughput report (BENCH_PR5.json, via
-# `serve_throughput`; BENCH_PR4.json is the frozen pre-cache PR 4
-# run). See BENCHMARKS.md for the schemas and the regression gates
-# (scripts/bench_compare.py, including --warm-ratio).
+# throughput report (BENCH_PR6.json, via `serve_throughput`:
+# cold-vs-warm caches plus fresh-vs-keep-alive connection regimes and
+# a chunked streaming leg; BENCH_PR5.json is the frozen pre-keep-alive
+# PR 5 run, BENCH_PR4.json the pre-cache PR 4 run). See BENCHMARKS.md
+# for the schemas and the regression gates (scripts/bench_compare.py,
+# including --warm-ratio and --keepalive-ratio).
 #
 # Usage: scripts/bench_trajectory.sh [--smoke] [--out PATH]
 #                                    [--serve-out PATH] [--no-serve]
@@ -13,13 +15,13 @@
 #   --smoke      tiny datasets / single repetition (CI wiring check;
 #                numbers are not comparable to a full run)
 #   --out        mining trajectory path (default: BENCH_PR3.json)
-#   --serve-out  serve throughput path (default: BENCH_PR5.json)
+#   --serve-out  serve throughput path (default: BENCH_PR6.json)
 #   --no-serve   skip the serve_throughput scenario
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_PR3.json"
-serve_out="BENCH_PR5.json"
+serve_out="BENCH_PR6.json"
 serve=1
 smoke=()
 while [[ $# -gt 0 ]]; do

@@ -26,6 +26,10 @@ python3 scripts/panic_gate.py
 echo "== deprecated-API gate (legacy encode free functions stay in their shim)"
 python3 scripts/deprecated_gate.py
 
+echo "== protocol gate (docs/PROTOCOL.md matches the serve router)"
+python3 scripts/protocol_gate.py --self-check
+python3 scripts/protocol_gate.py
+
 echo "== bench trajectory (smoke) + regression gate self-check"
 python3 scripts/bench_compare.py --self-check
 smoke_out="$(mktemp /tmp/ppdt_traj_smoke.XXXXXX.json)"
@@ -35,9 +39,14 @@ scripts/bench_trajectory.sh --smoke --out "$smoke_out" --serve-out "$serve_smoke
 python3 scripts/bench_compare.py BENCH_PR3.json BENCH_PR3.json
 python3 scripts/bench_compare.py BENCH_PR4.json BENCH_PR4.json
 python3 scripts/bench_compare.py BENCH_PR5.json BENCH_PR5.json
+python3 scripts/bench_compare.py BENCH_PR6.json BENCH_PR6.json
 
-echo "== warm-cache throughput floor (committed BENCH_PR5.json)"
+echo "== warm-cache throughput floor (committed BENCH_PR5.json + BENCH_PR6.json)"
 python3 scripts/bench_compare.py --warm-ratio 1.5 BENCH_PR5.json
+python3 scripts/bench_compare.py --warm-ratio 1.5 BENCH_PR6.json
+
+echo "== keep-alive throughput floor (committed BENCH_PR6.json)"
+python3 scripts/bench_compare.py --keepalive-ratio 1.3 BENCH_PR6.json
 
 echo "== serve daemon smoke (healthz, encode/classify round-trip, SIGTERM)"
 cargo build --release -q -p ppdt-cli

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Prove docs/PROTOCOL.md matches the serve router.
+
+Extracts every `("METHOD", "/path")` arm from `route_parts` in
+crates/serve/src/handlers.rs and every `### METHOD /path` heading from
+docs/PROTOCOL.md, and fails unless the two sets are identical — a new
+endpoint cannot ship undocumented, and the docs cannot advertise a
+route the daemon does not serve.
+
+Usage: protocol_gate.py [--self-check]
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+HANDLERS = ROOT / "crates" / "serve" / "src" / "handlers.rs"
+PROTOCOL = ROOT / "docs" / "PROTOCOL.md"
+
+ROUTE_ARM = re.compile(r'\(\s*"(GET|POST|PUT|DELETE|PATCH)"\s*,\s*"(/[^"]*)"\s*\)')
+DOC_HEADING = re.compile(r"^###\s+(GET|POST|PUT|DELETE|PATCH)\s+(/\S+)\s*$",
+                         re.MULTILINE)
+
+
+def router_routes(text):
+    """Routes the daemon dispatches, from the `route_parts` match."""
+    match = re.search(r"fn route_parts.*?^\}", text, re.DOTALL | re.MULTILINE)
+    if not match:
+        sys.exit(f"{HANDLERS}: could not find fn route_parts")
+    return {f"{m} {p}" for m, p in ROUTE_ARM.findall(match.group(0))}
+
+
+def documented_routes(text):
+    return {f"{m} {p}" for m, p in DOC_HEADING.findall(text)}
+
+
+def self_check():
+    rust = '''
+    fn route_parts(method: &str, path: &str) -> Result<Endpoint, HttpError> {
+        match (method, path) {
+            ("POST", "/v1/thing") => Ok(Endpoint::Thing),
+            ("GET", "/healthz") => Ok(Endpoint::Healthz),
+            (_, p @ ("/v1/thing" | "/healthz")) => Err(nope(p)),
+            _ => Err(HttpError::not_found("unknown_route", "x".into())),
+        }
+    }
+    '''
+    # The method-not-allowed arm has no method literal, so only the
+    # two real routes must be extracted.
+    match = re.search(r"fn route_parts.*?^    \}", rust, re.DOTALL | re.MULTILINE)
+    got = {f"{m} {p}" for m, p in ROUTE_ARM.findall(match.group(0))}
+    if got != {"POST /v1/thing", "GET /healthz"}:
+        sys.exit(f"self-check FAILED: router extraction got {sorted(got)}")
+    doc = "### POST /v1/thing\n\nbody\n\n### GET /healthz\n\n#### GET /not-a-route\n"
+    if documented_routes(doc) != {"POST /v1/thing", "GET /healthz"}:
+        sys.exit("self-check FAILED: doc extraction")
+    print("self-check passed: both extractors discriminate")
+
+
+def main(argv):
+    if argv == ["--self-check"]:
+        self_check()
+        return
+    if argv:
+        sys.exit(__doc__.strip())
+    in_router = router_routes(HANDLERS.read_text())
+    in_docs = documented_routes(PROTOCOL.read_text())
+    if not in_router:
+        sys.exit(f"{HANDLERS}: no routes extracted; the gate is broken")
+    failures = []
+    for route in sorted(in_router - in_docs):
+        failures.append(f"served but undocumented: {route}")
+    for route in sorted(in_docs - in_router):
+        failures.append(f"documented but not served: {route}")
+    if failures:
+        print("PROTOCOL GATE FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(f"ok: all {len(in_router)} routes match between "
+          f"{HANDLERS.relative_to(ROOT)} and {PROTOCOL.relative_to(ROOT)}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

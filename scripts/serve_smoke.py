@@ -11,8 +11,13 @@ HTTP:
 3. POST /v1/encode (CSV)   -> 200, transformed relation comes back
 4. POST /v1/classify       -> 200, one label per query row (through a
                               tree mined on the daemon-encoded D')
-5. GET  /metrics           -> 200, encode/classify counters advanced
-6. SIGTERM                 -> daemon drains and exits 0
+5. keep-alive probe        -> two requests on ONE raw socket, both
+                              answered, socket stays open
+6. chunked upload probe    -> POST /v1/encode with a chunked body
+                              streams the transformed CSV back
+7. GET  /metrics           -> 200, encode/classify counters advanced,
+                              keepalive_reuses and streamed_chunks > 0
+8. SIGTERM                 -> daemon drains and exits 0
 
 Usage: serve_smoke.py PPDT_BINARY
 
@@ -23,6 +28,7 @@ failure.
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -42,6 +48,61 @@ def http(method, url, body=None):
             return resp.status, json.loads(resp.read().decode())
     except urllib.error.HTTPError as err:
         return err.code, json.loads(err.read().decode())
+
+
+def read_http_response(sock):
+    """Reads one HTTP/1.1 response off `sock` (Content-Length or
+    chunked); returns (status, body bytes). Leaves the socket open."""
+    fh = sock.makefile("rb")
+    status = int(fh.readline().split()[1])
+    length, chunked = None, False
+    while True:
+        line = fh.readline().strip()
+        if not line:
+            break
+        name, _, value = line.partition(b":")
+        if name.lower() == b"content-length":
+            length = int(value)
+        elif name.lower() == b"transfer-encoding" \
+                and b"chunked" in value.lower():
+            chunked = True
+    if chunked:
+        body = b""
+        while True:
+            size = int(fh.readline().strip(), 16)
+            piece = fh.read(size + 2)[:size]  # chunk + CRLF
+            if size == 0:
+                return status, body
+            body += piece
+    return status, fh.read(length or 0)
+
+
+def keepalive_probe(addr):
+    """Two requests on one socket; returns (status1, status2)."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=TIMEOUT) as s:
+        req = b"GET /healthz HTTP/1.1\r\n\r\n"
+        s.sendall(req)
+        s1, _ = read_http_response(s)
+        s.sendall(req)  # the same socket must still be being served
+        s2, _ = read_http_response(s)
+        return s1, s2
+
+
+def chunked_upload_probe(addr, key_id, csv_text):
+    """Streams a chunked encode up; returns (status, body text)."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=TIMEOUT) as s:
+        s.sendall(b"POST /v1/encode HTTP/1.1\r\n"
+                  b"transfer-encoding: chunked\r\n"
+                  b"connection: close\r\n\r\n")
+        payload = json.dumps({"key_id": key_id}) + "\n" + csv_text
+        for i in range(0, len(payload), 1024):
+            piece = payload[i:i + 1024].encode()
+            s.sendall(b"%x\r\n%s\r\n" % (len(piece), piece))
+        s.sendall(b"0\r\n\r\n")
+        status, body = read_http_response(s)
+        return status, body.decode()
 
 
 def write_training_csv(path, rows=80):
@@ -110,6 +171,7 @@ def main():
                                             "rows": None}))
             if status != 200 or not body.get("csv"):
                 fail(daemon, f"encode: {status} {body}")
+            encoded_csv = body["csv"]
 
             # Classify through a tree mined from the daemon's own D'.
             tree = os.path.join(tmp, "t_prime.json")
@@ -127,12 +189,28 @@ def main():
             if status != 200 or len(body.get("labels", [])) != len(rows):
                 fail(daemon, f"classify: {status} {body}")
 
+            # Keep-alive: one raw socket, two answered requests.
+            s1, s2 = keepalive_probe(addr)
+            if (s1, s2) != (200, 200):
+                fail(daemon, f"keep-alive probe: {s1}, {s2}")
+
+            # Chunked upload: the streamed answer must match the
+            # buffered encode of the same relation.
+            status, streamed = chunked_upload_probe(addr, key_id, plain)
+            if status != 200 or streamed != encoded_csv:
+                fail(daemon, f"chunked upload: {status} "
+                             f"(matches buffered: {streamed == encoded_csv})")
+
             status, body = http("GET", f"{base}/metrics")
             served = {e["endpoint"]: e["requests"]
                       for e in body["serve"]["endpoints"]}
             if status != 200 or served.get("encode", 0) < 1 \
                     or served.get("classify", 0) < 1:
                 fail(daemon, f"metrics: {status} {body}")
+            if body["serve"].get("keepalive_reuses", 0) < 1 \
+                    or body["serve"].get("streamed_chunks", 0) < 1:
+                fail(daemon, f"metrics: keep-alive/stream counters flat: "
+                             f"{body['serve']}")
 
             daemon.send_signal(signal.SIGTERM)
             deadline = time.monotonic() + TIMEOUT
@@ -147,7 +225,7 @@ def main():
                 daemon.communicate(timeout=TIMEOUT)
 
     print("serve_smoke passed: healthz, key store, encode, classify, "
-          "metrics, graceful SIGTERM")
+          "keep-alive, chunked upload, metrics, graceful SIGTERM")
 
 
 if __name__ == "__main__":
