@@ -38,7 +38,7 @@ use ppdt_data::csv::{parse_csv, to_csv};
 use ppdt_data::gen::{covertype_like, CovertypeConfig};
 use ppdt_data::Dataset;
 use ppdt_serve::handlers::{ClassifyRequest, EncodeRequest, StoreKeyRequest, StoreKeyResponse};
-use ppdt_serve::{request, Client, KeyStore, Server, ServerConfig};
+use ppdt_serve::{request, Client, KeyStore, RetryingClient, Server, ServerConfig};
 use ppdt_transform::{EncodeConfig, Encoder, TransformKey};
 use ppdt_tree::{DecisionTree, TreeBuilder};
 use rand::rngs::StdRng;
@@ -96,15 +96,17 @@ fn rows_of(d: &Dataset) -> Vec<Vec<f64>> {
 
 /// Fans `clients` loopback clients out over `iters` sequential
 /// requests each, panicking on any non-200, and returns elapsed
-/// seconds.
+/// seconds. Each client is a [`RetryingClient`], so a transient
+/// overload 503 costs a `Retry-After` sleep instead of a panic.
 fn drive(addr: std::net::SocketAddr, clients: usize, iters: usize, path: &str, body: &str) -> f64 {
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..clients {
             s.spawn(|| {
+                let client = RetryingClient::new(addr);
                 for _ in 0..iters {
                     let (status, text) =
-                        request(addr, "POST", path, body).expect("loopback request");
+                        client.request("POST", path, body).expect("loopback request");
                     assert_eq!(status, 200, "POST {path}: {text}");
                 }
             });

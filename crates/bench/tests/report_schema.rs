@@ -8,7 +8,7 @@ use ppdt_bench::HarnessConfig;
 
 /// Every `snapshot()` counter name, in emission order — the contract
 /// `BENCHMARKS.md` documents and downstream tooling greps for.
-const GOLDEN_COUNTERS: [&str; 22] = [
+const GOLDEN_COUNTERS: [&str; 26] = [
     "rows_encoded",
     "pieces_drawn",
     "boundaries_scanned",
@@ -31,6 +31,10 @@ const GOLDEN_COUNTERS: [&str; 22] = [
     "http_keepalive_reuses",
     "http_pipelined_requests",
     "streamed_chunks",
+    "peer_sync_rounds",
+    "peer_keys_fetched",
+    "peer_fetch_failures",
+    "peer_unreachable",
 ];
 
 fn tmp(name: &str) -> std::path::PathBuf {

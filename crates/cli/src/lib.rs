@@ -130,6 +130,7 @@ usage: ppdt <subcommand> [args]
   serve --keystore-dir <dir> [--addr 127.0.0.1:7070] [--workers N] [--queue N]
         [--deadline-ms N] [--max-body-mb N] [--plan-cache N] [--tree-cache N]
         [--keep-alive N] [--idle-timeout SECS] [--debug-endpoints]
+        [--peer HOST:PORT]... [--sync-interval-ms N]
 any subcommand accepts --metrics (phase timings + counters on stderr)
 and --lenient (skip malformed CSV rows instead of failing)
 exit codes: 1 internal, 2 usage, 3 io, 4 corrupt key, 5 incompatible tree, 6 corrupt data
@@ -162,6 +163,20 @@ impl Args {
 
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Every occurrence of a repeatable flag, in order. A bare
+    /// occurrence (no value) is an error — the caller gets `Err`
+    /// rather than silently losing it, since `flag()` only ever sees
+    /// the first occurrence.
+    fn flag_all(&self, name: &str) -> Result<Vec<&str>, CliError> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| {
+                v.as_deref().ok_or_else(|| CliError::usage(format!("--{name} needs a value")))
+            })
+            .collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -509,6 +524,23 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
     let keep_alive: u64 = a.parsed("keep-alive", cache_defaults.keep_alive_requests)?;
     let idle_timeout_s: u64 =
         a.parsed("idle-timeout", cache_defaults.idle_timeout.as_secs().max(1))?;
+    // Cluster flags: each --peer is another daemon to replicate with.
+    let peers: Vec<std::net::SocketAddr> = a
+        .flag_all("peer")?
+        .into_iter()
+        .map(|p| {
+            p.parse()
+                .map_err(|_| CliError::usage(format!("--peer: cannot parse {p:?} as HOST:PORT")))
+        })
+        .collect::<Result<_, _>>()?;
+    let sync_interval_ms: u64 =
+        a.parsed("sync-interval-ms", cache_defaults.sync_interval.as_millis() as u64)?;
+    if sync_interval_ms == 0 {
+        return Err(CliError::usage("--sync-interval-ms must be at least 1"));
+    }
+    if a.has("sync-interval-ms") && peers.is_empty() {
+        return Err(CliError::usage("--sync-interval-ms needs at least one --peer"));
+    }
     if queue == 0 {
         return Err(CliError::usage("--queue must be at least 1"));
     }
@@ -532,17 +564,20 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
         tree_cache_capacity: tree_cache,
         keep_alive_requests: keep_alive,
         idle_timeout: std::time::Duration::from_secs(idle_timeout_s),
+        peers: peers.clone(),
+        sync_interval: std::time::Duration::from_millis(sync_interval_ms),
         ..Default::default()
     };
     let store = ppdt_serve::KeyStore::open(keystore_dir)?;
     ppdt_serve::signal::install();
     let server = ppdt_serve::Server::bind(cfg, store)?;
     println!(
-        "ppdt-serve listening on {} (workers={}, queue={}, keystore={})",
+        "ppdt-serve listening on {} (workers={}, queue={}, keystore={}, peers={})",
         server.addr(),
         server.workers(),
         queue,
-        keystore_dir
+        keystore_dir,
+        peers.len()
     );
     // Scripts wait for the line above before sending requests.
     use std::io::Write as _;
@@ -574,6 +609,14 @@ mod tests {
         assert_eq!(a.parsed::<usize>("w", 0).unwrap(), 12);
         assert_eq!(a.parsed::<usize>("missing", 9).unwrap(), 9);
         assert!(a.required("nope").is_err());
+        // Repeatable flags: flag() sees the first, flag_all() all of
+        // them, and a bare occurrence is an error not a silent drop.
+        let a = Args::parse(&s(&["--peer", "a:1", "--peer", "b:2"]));
+        assert_eq!(a.flag("peer"), Some("a:1"));
+        assert_eq!(a.flag_all("peer").unwrap(), vec!["a:1", "b:2"]);
+        assert_eq!(a.flag_all("absent").unwrap(), Vec::<&str>::new());
+        let bare = Args::parse(&s(&["--peer", "a:1", "--peer", "--verify"]));
+        assert!(bare.flag_all("peer").is_err());
     }
 
     #[test]
@@ -895,6 +938,10 @@ bogus,y
             ["--workers", "x"],
             ["--idle-timeout", "0"],
             ["--keep-alive", "x"],
+            ["--peer", "not-an-address"],
+            ["--sync-interval-ms", "0"],
+            // --sync-interval-ms without any --peer is meaningless.
+            ["--sync-interval-ms", "500"],
         ] {
             let mut args = s(&["serve", "--keystore-dir", "/tmp/ppdt-serve-flags"]);
             args.extend(s(&bad));

@@ -26,6 +26,14 @@
 //! `PpdtError` is `Serialize`/`Deserialize` so structured reports
 //! (e.g. the audit subsystem's `AuditReport`) can embed errors
 //! verbatim.
+//!
+//! The `io` category also covers *network* transport: the serve
+//! daemon's loopback client and cluster peer machinery report
+//! connect/read/write failures as [`PpdtError::Io`] with the peer's
+//! `http://addr` as the path. They stay retryable-by-policy at the
+//! call site (the peer sync loop backs off and retries; a 409
+//! `corrupt-key`, by contrast, is a durable fact about a disk and is
+//! never retried against the same replica).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -147,11 +147,23 @@ pub enum Counter {
     /// Transfer-encoding chunks moved by streaming encode/classify
     /// requests (request chunks decoded plus response chunks written).
     StreamedChunks,
+    /// Anti-entropy passes completed by the cluster sync loop (one per
+    /// full sweep over the configured peer list).
+    PeerSyncRounds,
+    /// Key envelopes fetched from a peer and committed to the local
+    /// store (anti-entropy pulls plus read-through fetches).
+    PeerKeysFetched,
+    /// Failed attempts to fetch a manifest or an envelope from a peer
+    /// (each retry counts; a peer answering with an error counts too).
+    PeerFetchFailures,
+    /// Sync rounds that found a peer unreachable (manifest poll failed
+    /// after retry) — the raw material of the per-peer health status.
+    PeerUnreachable,
 }
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 26] = [
         Counter::RowsEncoded,
         Counter::PiecesDrawn,
         Counter::BoundariesScanned,
@@ -174,6 +186,10 @@ impl Counter {
         Counter::HttpKeepaliveReuses,
         Counter::HttpPipelinedRequests,
         Counter::StreamedChunks,
+        Counter::PeerSyncRounds,
+        Counter::PeerKeysFetched,
+        Counter::PeerFetchFailures,
+        Counter::PeerUnreachable,
     ];
 
     /// Stable position of this counter in [`Counter::ALL`] and in
@@ -208,6 +224,10 @@ impl Counter {
             Counter::HttpKeepaliveReuses => "http_keepalive_reuses",
             Counter::HttpPipelinedRequests => "http_pipelined_requests",
             Counter::StreamedChunks => "streamed_chunks",
+            Counter::PeerSyncRounds => "peer_sync_rounds",
+            Counter::PeerKeysFetched => "peer_keys_fetched",
+            Counter::PeerFetchFailures => "peer_fetch_failures",
+            Counter::PeerUnreachable => "peer_unreachable",
         }
     }
 }
@@ -493,7 +513,11 @@ mod tests {
                 "tree_cache_hits",
                 "http_keepalive_reuses",
                 "http_pipelined_requests",
-                "streamed_chunks"
+                "streamed_chunks",
+                "peer_sync_rounds",
+                "peer_keys_fetched",
+                "peer_fetch_failures",
+                "peer_unreachable"
             ]
         );
         for (i, c) in Counter::ALL.iter().enumerate() {

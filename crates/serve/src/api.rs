@@ -187,6 +187,49 @@ pub struct StreamClassifyHeader {
     pub tree: DecisionTree,
 }
 
+/// One row of a `GET /v1/peer/keys` manifest: a key this node holds
+/// *and can serve*, with a digest of its raw on-disk envelope bytes.
+/// Envelope serialization is deterministic, so two replicas holding
+/// the same key advertise identical digests — digest equality across
+/// the cluster IS byte-identical convergence. Invalid (torn,
+/// tampered) entries are never advertised; a node only offers what it
+/// would serve.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerManifestEntry {
+    /// Content address of the key.
+    pub key_id: String,
+    /// 128-bit FNV-1a digest of the raw envelope file bytes.
+    pub envelope_digest: String,
+}
+
+/// `GET /v1/peer/keys` response: the node's identity plus every
+/// servable key it holds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeerManifestResponse {
+    /// The answering node's advertised address (its `--addr`).
+    pub node_id: String,
+    /// Servable keys, sorted by id.
+    pub keys: Vec<PeerManifestEntry>,
+}
+
+/// `POST /v1/peer/fetch` request: ask a peer for one full envelope.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeerFetchRequest {
+    /// Content address of the wanted key.
+    pub key_id: String,
+}
+
+/// `POST /v1/peer/fetch` response. The fetching node re-audits the
+/// key and re-derives its content address before storing, so a lying
+/// or corrupt peer cannot propagate a bad envelope.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeerFetchResponse {
+    /// Echo of the requested id.
+    pub key_id: String,
+    /// The full stored envelope.
+    pub envelope: crate::keystore::KeyEnvelope,
+}
+
 /// `POST /v1/debug/sleep` request (test-only).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SleepRequest {

@@ -24,12 +24,30 @@ use serde::{Deserialize, Serialize};
 // types canonically live in [`crate::api`].
 pub use crate::api::{
     AuditRequestBody, AuditResponseBody, ClassifyRequest, ClassifyResponse, DecodeTreeRequest,
-    DecodeTreeResponse, EncodeRequest, EncodeResponse, ListKeysResponse, SleepRequest,
-    StoreKeyRequest, StoreKeyResponse,
+    DecodeTreeResponse, EncodeRequest, EncodeResponse, ListKeysResponse, PeerFetchRequest,
+    PeerFetchResponse, PeerManifestEntry, PeerManifestResponse, SleepRequest, StoreKeyRequest,
+    StoreKeyResponse,
 };
 use crate::cache::{CachedPlan, Caches, TreeCache};
 use crate::http::{HttpError, Request, Response};
-use crate::keystore::KeyStore;
+use crate::keystore::{KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};
+use crate::peer::Cluster;
+
+/// Everything a pooled handler can touch, threaded as one borrow so
+/// the worker pool, the streaming path, and the tests pass the same
+/// shape. `cluster` is `None` on a standalone node — handlers that
+/// consult it (read-through fetch, push-on-store) degrade to local
+/// behavior.
+pub struct HandlerCtx<'a> {
+    /// The content-addressed key store.
+    pub store: &'a KeyStore,
+    /// Plan and tree caches.
+    pub caches: &'a Caches,
+    /// Cluster membership, when running with `--peer`.
+    pub cluster: Option<&'a Cluster>,
+    /// This node's advertised identity (its bound address).
+    pub node_id: &'a str,
+}
 
 /// The routable endpoints, used for dispatch, per-endpoint counters,
 /// and phase-timer names.
@@ -62,10 +80,16 @@ pub enum Endpoint {
     /// (exercises the worker pool's panic containment); routed only
     /// when `ServerConfig::debug_endpoints` is set.
     DebugPanic,
+    /// `GET /v1/peer/keys` — anti-entropy manifest: every servable
+    /// key's id plus a digest of its raw envelope bytes.
+    PeerManifest,
+    /// `POST /v1/peer/fetch` — one full envelope by content address,
+    /// for a peer that found itself behind.
+    PeerFetch,
 }
 
 /// All endpoints, for metrics table construction.
-pub const ENDPOINTS: [Endpoint; 11] = [
+pub const ENDPOINTS: [Endpoint; 13] = [
     Endpoint::StoreKey,
     Endpoint::ListKeys,
     Endpoint::Encode,
@@ -77,6 +101,8 @@ pub const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::Version,
     Endpoint::DebugSleep,
     Endpoint::DebugPanic,
+    Endpoint::PeerManifest,
+    Endpoint::PeerFetch,
 ];
 
 impl Endpoint {
@@ -94,6 +120,8 @@ impl Endpoint {
             Endpoint::Version => "version",
             Endpoint::DebugSleep => "debug_sleep",
             Endpoint::DebugPanic => "debug_panic",
+            Endpoint::PeerManifest => "peer_manifest",
+            Endpoint::PeerFetch => "peer_fetch",
         }
     }
 
@@ -111,6 +139,8 @@ impl Endpoint {
             Endpoint::Version => "serve.version",
             Endpoint::DebugSleep => "serve.debug_sleep",
             Endpoint::DebugPanic => "serve.debug_panic",
+            Endpoint::PeerManifest => "serve.peer_manifest",
+            Endpoint::PeerFetch => "serve.peer_fetch",
         }
     }
 
@@ -148,12 +178,14 @@ pub fn route_parts(method: &str, path: &str, debug: bool) -> Result<Endpoint, Ht
         ("GET", "/healthz") => Ok(Endpoint::Healthz),
         ("GET", "/metrics") => Ok(Endpoint::Metrics),
         ("GET", "/v1/version") => Ok(Endpoint::Version),
+        ("GET", "/v1/peer/keys") => Ok(Endpoint::PeerManifest),
+        ("POST", "/v1/peer/fetch") => Ok(Endpoint::PeerFetch),
         ("POST", "/v1/debug/sleep") if debug => Ok(Endpoint::DebugSleep),
         ("POST", "/v1/debug/panic") if debug => Ok(Endpoint::DebugPanic),
         (
             _,
             p @ ("/v1/keys" | "/v1/encode" | "/v1/classify" | "/v1/decode-tree" | "/v1/audit"
-            | "/v1/version" | "/healthz" | "/metrics"),
+            | "/v1/version" | "/healthz" | "/metrics" | "/v1/peer/keys" | "/v1/peer/fetch"),
         ) => Err(HttpError::method_not_allowed(p)),
         _ => Err(HttpError::not_found("unknown_route", format!("no such route: {path}"))),
     }
@@ -192,15 +224,26 @@ fn check_key_id(key_id: &str) -> Result<(), HttpError> {
 /// Resolves `key_id` to its compiled plan: a cache hit skips the disk
 /// read, digest check, audit, and lowering entirely; a miss performs
 /// all of them once and caches the result.
-pub(crate) fn load_plan(
-    store: &KeyStore,
-    caches: &Caches,
-    key_id: &str,
-) -> Result<Arc<CachedPlan>, HttpError> {
+///
+/// In cluster mode a locally *absent* key triggers a read-through
+/// fetch from the peers (bounded by the fetch deadline) before the
+/// 404 — during sync lag any node can answer for any key some node
+/// holds. A locally *corrupt* key deliberately does not: 409 is a
+/// report about this node's disk, and papering over it with a peer
+/// copy would hide the fault from operators (the anti-entropy loop
+/// repairs it out-of-band instead).
+pub(crate) fn load_plan(ctx: &HandlerCtx, key_id: &str) -> Result<Arc<CachedPlan>, HttpError> {
     check_key_id(key_id)?;
-    match caches.plans.get_or_compile(store, key_id) {
+    match ctx.caches.plans.get_or_compile(ctx.store, key_id) {
         Ok(Some(plan)) => Ok(plan),
         Ok(None) => {
+            if let Some(cluster) = ctx.cluster {
+                if cluster.fetch_from_peers(ctx.store, key_id) {
+                    if let Ok(Some(plan)) = ctx.caches.plans.get_or_compile(ctx.store, key_id) {
+                        return Ok(plan);
+                    }
+                }
+            }
             Err(HttpError::not_found("unknown_key", format!("no key stored under {key_id:?}")))
         }
         Err(e) => Err(HttpError::from(e)),
@@ -273,19 +316,16 @@ pub(crate) fn validated_tree(
 /// (`Endpoint::Healthz`/`Metrics`/`Version`) never arrive here (the
 /// parser threads answer them directly); routing them in is an
 /// internal error by construction.
-pub fn handle(
-    endpoint: Endpoint,
-    req: &Request,
-    store: &KeyStore,
-    caches: &Caches,
-) -> Result<Response, HttpError> {
+pub fn handle(endpoint: Endpoint, req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     match endpoint {
-        Endpoint::StoreKey => store_key(req, store, caches),
-        Endpoint::ListKeys => list_keys(store),
-        Endpoint::Encode => encode(req, store, caches),
-        Endpoint::Classify => classify(req, store, caches),
-        Endpoint::DecodeTree => decode_tree(req, store, caches),
-        Endpoint::Audit => audit(req, store),
+        Endpoint::StoreKey => store_key(req, ctx),
+        Endpoint::ListKeys => list_keys(ctx.store),
+        Endpoint::Encode => encode(req, ctx),
+        Endpoint::Classify => classify(req, ctx),
+        Endpoint::DecodeTree => decode_tree(req, ctx),
+        Endpoint::Audit => audit(req, ctx.store),
+        Endpoint::PeerManifest => peer_manifest(ctx),
+        Endpoint::PeerFetch => peer_fetch(req, ctx),
         Endpoint::DebugSleep => debug_sleep(req),
         Endpoint::DebugPanic => panic!("debug panic endpoint: deliberate handler panic"),
         Endpoint::Healthz | Endpoint::Metrics | Endpoint::Version => {
@@ -294,15 +334,72 @@ pub fn handle(
     }
 }
 
-fn store_key(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
+fn store_key(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     let body: StoreKeyRequest = parse_body(req)?;
     let num_attrs = body.key.transforms.len();
-    let (key_id, created) = store.put(&body.key).map_err(HttpError::from)?;
+    let (key_id, created) = ctx.store.put(&body.key).map_err(HttpError::from)?;
     // Compile at store time so the first encode/classify under this
     // key is already warm (no-op when the plan cache is disabled).
-    caches.plans.warm(store, &key_id);
+    ctx.caches.plans.warm(ctx.store, &key_id);
+    // Best-effort push so new keys cross the cluster in milliseconds
+    // instead of a sync interval. Only a *created* store queues one:
+    // the pushed copy arrives at each peer as `created = false` (or
+    // races the pull to `created = true` exactly once), so push
+    // ping-pong between peers terminates by construction.
+    if created {
+        if let Some(cluster) = ctx.cluster {
+            cluster.notify_stored(&key_id);
+        }
+    }
     let status = if created { 201 } else { 200 };
     json_response(status, &StoreKeyResponse { key_id, num_attrs, created })
+}
+
+/// `GET /v1/peer/keys`: the anti-entropy manifest. Only entries that
+/// pass the full load-time validation are advertised — a node never
+/// offers a peer something it would refuse to serve itself — and the
+/// digest is over the raw envelope bytes, so manifest agreement
+/// across nodes is byte-identical convergence.
+fn peer_manifest(ctx: &HandlerCtx) -> Result<Response, HttpError> {
+    let mut keys = Vec::new();
+    for entry in ctx.store.list().map_err(HttpError::from)? {
+        if !entry.valid {
+            continue;
+        }
+        if let Ok(Some(bytes)) = ctx.store.raw(&entry.key_id) {
+            keys.push(PeerManifestEntry {
+                key_id: entry.key_id,
+                envelope_digest: crate::keystore::content_id(&bytes),
+            });
+        }
+    }
+    json_response(200, &PeerManifestResponse { node_id: ctx.node_id.to_string(), keys })
+}
+
+/// `POST /v1/peer/fetch`: one full envelope. Goes through the fully
+/// validating [`KeyStore::get`] — a torn or tampered local entry is a
+/// 409, never served to a peer — and deliberately does *not*
+/// read-through to other peers (the fetcher already fans out itself;
+/// recursing here could bounce a missing id around the cluster).
+fn peer_fetch(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
+    let body: PeerFetchRequest = parse_body(req)?;
+    check_key_id(&body.key_id)?;
+    match ctx.store.get(&body.key_id) {
+        Ok(Some(key)) => {
+            let envelope = KeyEnvelope {
+                schema_version: KEYSTORE_SCHEMA_VERSION,
+                key_id: body.key_id.clone(),
+                num_attrs: key.transforms.len(),
+                key,
+            };
+            json_response(200, &PeerFetchResponse { key_id: body.key_id, envelope })
+        }
+        Ok(None) => Err(HttpError::not_found(
+            "unknown_key",
+            format!("no key stored under {:?}", body.key_id),
+        )),
+        Err(e) => Err(HttpError::from(e)),
+    }
 }
 
 fn list_keys(store: &KeyStore) -> Result<Response, HttpError> {
@@ -310,7 +407,7 @@ fn list_keys(store: &KeyStore) -> Result<Response, HttpError> {
     json_response(200, &ListKeysResponse { keys })
 }
 
-fn encode(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
+fn encode(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     let body: EncodeRequest = parse_body(req)?;
     // Shape errors are usage errors regardless of whether the key
     // exists, so validate the payload before touching the store.
@@ -320,7 +417,7 @@ fn encode(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, 
             "send exactly one of `csv` (a labelled dataset) or `rows` (raw attribute rows)",
         ));
     }
-    let plan = load_plan(store, caches, &body.key_id)?;
+    let plan = load_plan(ctx, &body.key_id)?;
     match (body.csv, body.rows) {
         (Some(csv_text), None) => {
             let d = parse_csv_body(&csv_text)?;
@@ -367,10 +464,10 @@ fn encode(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, 
     }
 }
 
-fn classify(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
+fn classify(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     let body: ClassifyRequest = parse_body(req)?;
-    let plan = load_plan(store, caches, &body.key_id)?;
-    let tree = validated_tree(caches, &body.key_id, &plan, &body.tree, true)?;
+    let plan = load_plan(ctx, &body.key_id)?;
+    let tree = validated_tree(ctx.caches, &body.key_id, &plan, &body.tree, true)?;
     let mut labels = Vec::with_capacity(body.rows.len());
     for (i, row) in body.rows.iter().enumerate() {
         // The custodian encodes the plaintext query point and routes
@@ -382,9 +479,9 @@ fn classify(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response
     json_response(200, &ClassifyResponse { key_id: body.key_id, labels })
 }
 
-fn decode_tree(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Response, HttpError> {
+fn decode_tree(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     let body: DecodeTreeRequest = parse_body(req)?;
-    let plan = load_plan(store, caches, &body.key_id)?;
+    let plan = load_plan(ctx, &body.key_id)?;
     let replayed = body.csv.is_some();
     // The cached artifact here is the *decoded* tree, so the cache key
     // digests everything the decode depends on: the mined tree AND the
@@ -398,7 +495,7 @@ fn decode_tree(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Respo
         payload.extend_from_slice(csv_text.as_bytes());
     }
     let composite = TreeCache::cache_key(&body.key_id, &payload);
-    if let Some(decoded) = caches.trees.get(&composite) {
+    if let Some(decoded) = ctx.caches.trees.get(&composite) {
         return json_response(
             200,
             &DecodeTreeResponse { key_id: body.key_id, replayed, tree: (*decoded).clone() },
@@ -418,7 +515,7 @@ fn decode_tree(req: &Request, store: &KeyStore, caches: &Caches) -> Result<Respo
             .decode_tree_blind(&body.tree, ThresholdPolicy::DataValue)
             .map_err(HttpError::from)?,
     };
-    caches.trees.put(composite, Arc::new(decoded.clone()));
+    ctx.caches.trees.put(composite, Arc::new(decoded.clone()));
     json_response(200, &DecodeTreeResponse { key_id: body.key_id, replayed, tree: decoded })
 }
 
@@ -478,10 +575,16 @@ mod tests {
         assert_eq!(route(&get("/v1/keys"), false).unwrap(), Endpoint::ListKeys);
         assert_eq!(route(&post("/v1/keys"), false).unwrap(), Endpoint::StoreKey);
         assert_eq!(route(&get("/v1/version"), false).unwrap(), Endpoint::Version);
+        // Cluster routes are always live (a standalone node serves an
+        // honest manifest of itself).
+        assert_eq!(route(&get("/v1/peer/keys"), false).unwrap(), Endpoint::PeerManifest);
+        assert_eq!(route(&post("/v1/peer/fetch"), false).unwrap(), Endpoint::PeerFetch);
         // Wrong method on a known path is 405, unknown path 404.
         assert_eq!(route(&get("/v1/encode"), false).unwrap_err().status, 405);
         assert_eq!(route(&post("/healthz"), false).unwrap_err().status, 405);
         assert_eq!(route(&post("/v1/version"), false).unwrap_err().status, 405);
+        assert_eq!(route(&post("/v1/peer/keys"), false).unwrap_err().status, 405);
+        assert_eq!(route(&get("/v1/peer/fetch"), false).unwrap_err().status, 405);
         assert_eq!(route(&get("/nope"), false).unwrap_err().status, 404);
         // Debug routes exist only when enabled.
         assert_eq!(route(&post("/v1/debug/sleep"), false).unwrap_err().status, 404);

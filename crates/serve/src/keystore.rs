@@ -140,6 +140,21 @@ impl KeyStore {
     /// first error rather than persisted. Re-storing an existing key
     /// is a no-op (`created = false`).
     pub fn put(&self, key: &TransformKey) -> Result<(String, bool), PpdtError> {
+        self.put_impl(key, false)
+    }
+
+    /// Like [`KeyStore::put`], but replaces whatever is on disk under
+    /// the key's content address even when a file already exists
+    /// there. Content addressing makes this safe — the only bytes that
+    /// can legally live under the id are the canonical envelope, so
+    /// the sole effect of overwriting is to *repair* a corrupt or
+    /// torn on-disk entry (the anti-entropy loop uses exactly this
+    /// after re-fetching a quarantined key from a healthy peer).
+    pub(crate) fn put_repairing(&self, key: &TransformKey) -> Result<(String, bool), PpdtError> {
+        self.put_impl(key, true)
+    }
+
+    fn put_impl(&self, key: &TransformKey, overwrite: bool) -> Result<(String, bool), PpdtError> {
         let report = ppdt_transform::audit_key(key);
         if !report.passed() {
             return Err(report
@@ -148,7 +163,7 @@ impl KeyStore {
         }
         let id = Self::key_id(key)?;
         let path = self.path_for(&id);
-        if path.exists() {
+        if !overwrite && path.exists() {
             return Ok((id, false));
         }
         let envelope = KeyEnvelope {
@@ -174,7 +189,19 @@ impl KeyStore {
             // becomes reachable under its id.
             f.sync_all().map_err(|e| PpdtError::io(tmp.display().to_string(), e))?;
             drop(f);
-            fs::rename(&tmp, &path).map_err(|e| PpdtError::io(path.display().to_string(), e))
+            fs::rename(&tmp, &path).map_err(|e| PpdtError::io(path.display().to_string(), e))?;
+            // fsync the *directory* as well: rename only updates the
+            // directory entry, and that entry lives in directory
+            // metadata the file's own fsync does not cover. Without
+            // this, a power loss after `put` returns can roll the
+            // rename back and silently drop an envelope the caller
+            // was told is durable (and a replica may have already
+            // stopped re-fetching). POSIX durability for a rename is
+            // file fsync + containing-directory fsync — both or
+            // neither.
+            let dirf = fs::File::open(&self.dir)
+                .map_err(|e| PpdtError::io(self.dir.display().to_string(), e))?;
+            dirf.sync_all().map_err(|e| PpdtError::io(self.dir.display().to_string(), e))
         })();
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
@@ -226,6 +253,23 @@ impl KeyStore {
                 .unwrap_or_else(|| PpdtError::key_corrupt(format!("key {id} failed audit"))));
         }
         Ok(Some(envelope.key))
+    }
+
+    /// The raw on-disk envelope bytes for `id`, with no validation:
+    /// `Ok(None)` for malformed or absent ids. The peer manifest
+    /// digests these bytes — envelope serialization is deterministic,
+    /// so two replicas holding the same key hold byte-identical files
+    /// and advertise identical digests.
+    pub(crate) fn raw(&self, id: &str) -> Result<Option<Vec<u8>>, PpdtError> {
+        if !valid_id(id) {
+            return Ok(None);
+        }
+        let path = self.path_for(id);
+        match fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(PpdtError::io(path.display().to_string(), e)),
+        }
     }
 
     /// Lists every `*.json` entry in the store with its validation
@@ -376,6 +420,29 @@ mod tests {
         let entries = store.list().unwrap();
         assert_eq!(entries.len(), 1);
         assert!(!entries[0].valid);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_repairing_overwrites_a_torn_entry() {
+        let dir = tmp_dir("repair");
+        let store = KeyStore::open(&dir).unwrap();
+        let key = sample_key(11);
+        let (id, _) = store.put(&key).unwrap();
+        let path = store.path_for(&id);
+        let good = fs::read_to_string(&path).unwrap();
+        fs::write(&path, ppdt_data::corrupt::truncate_at(&good, 0.4)).unwrap();
+        assert!(store.get(&id).is_err(), "torn envelope must be quarantined");
+        // The plain put dedupes on the existing path, so it cannot
+        // repair — that asymmetry is why put_repairing exists.
+        let (_, created) = store.put(&key).unwrap();
+        assert!(!created);
+        assert!(store.get(&id).is_err(), "plain put left the torn file in place");
+        let (rid, created) = store.put_repairing(&key).unwrap();
+        assert_eq!(rid, id);
+        assert!(created);
+        assert_eq!(store.get(&id).unwrap().expect("repaired"), key);
+        assert_eq!(fs::read_to_string(&path).unwrap(), good, "repair is byte-identical");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -28,15 +28,24 @@
 //!   against the envelope file so on-disk replacement invalidates),
 //!   plus a mined-tree cache keyed by `(key id, payload digest)`,
 //! * [`handlers`] — the API surface: `POST /v1/keys`, `/v1/encode`,
-//!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, and the inline
+//!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, the cluster
+//!   `GET /v1/peer/keys` / `POST /v1/peer/fetch`, and the inline
 //!   `GET /healthz` / `GET /metrics` / `GET /v1/version`,
+//! * [`client`] — the deadline-aware loopback client with
+//!   `Retry-After`-honoring retry, shared by the cluster sync loop,
+//!   the integration tests, and the bench binaries,
+//! * [`peer`] — cluster membership and the pull-based anti-entropy
+//!   sync loop: manifest polling, read-through fetch for
+//!   not-yet-synced keys, best-effort push on store, per-peer health
+//!   with bounded exponential backoff,
 //! * [`server`] — the daemon: an accept → poll → parse → work pipeline
 //!   with bounded queues, a never-reading acceptor, a readiness poller
 //!   that parks idle keep-alive sockets threadlessly, dedicated parser
 //!   threads under a slow-loris-proof parse deadline, in-order
 //!   pipelined responses, streaming chunked encode/classify, `503 +
 //!   Retry-After` backpressure, per-request deadlines, panic-contained
-//!   workers, graceful drain,
+//!   workers, graceful drain, and (with peers configured) the cluster
+//!   sync thread,
 //! * [`signal`] — SIGINT/SIGTERM latching without a libc dependency.
 //!
 //! Error mapping is the workspace table
@@ -52,10 +61,13 @@
 
 pub mod api;
 pub mod cache;
+pub mod client;
 mod conn;
 pub mod handlers;
 pub mod http;
 pub mod keystore;
+pub mod peer;
+mod peer_client;
 mod poller;
 pub mod server;
 pub mod signal;
@@ -63,7 +75,9 @@ mod stream;
 
 pub use api::{VersionResponse, API_SCHEMA_VERSION, BENCH_REPORT_SCHEMA_VERSION};
 pub use cache::{Caches, PlanCache, TreeCache};
+pub use client::{ClientConfig, Exchange, RetryingClient};
 pub use handlers::Endpoint;
 pub use http::{request, Client, HttpError, Request, Response};
 pub use keystore::{KeyEntry, KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};
+pub use peer::PeerSnapshot;
 pub use server::{Server, ServerConfig};

@@ -58,8 +58,9 @@ use serde::Serialize;
 
 use crate::cache::Caches;
 use crate::conn::{Conn, ConnWriter};
-use crate::handlers::{self, Endpoint, ENDPOINTS};
+use crate::handlers::{self, Endpoint, HandlerCtx, ENDPOINTS};
 use crate::http::{read_body, read_head, HttpError, Request, Response};
+use crate::peer::{Cluster, PeerSnapshot};
 use crate::poller::{self, Parked, Poller, POLL_TICK};
 use crate::stream::{self, StreamEnd};
 
@@ -124,6 +125,17 @@ pub struct ServerConfig {
     /// Connections parked on the poller at once; above it new
     /// connections are shed with `503`.
     pub max_connections: usize,
+    /// Cluster peers (other daemons' addresses, from repeated
+    /// `--peer` flags). Empty means standalone: no sync thread, no
+    /// read-through, peer endpoints answer about this node only.
+    pub peers: Vec<SocketAddr>,
+    /// Anti-entropy cadence: how often the sync thread polls each
+    /// peer's manifest (unreachable peers back off exponentially from
+    /// this base).
+    pub sync_interval: Duration,
+    /// Budget for a read-through fetch: the longest a request for a
+    /// not-yet-synced key may wait on peers before answering 404.
+    pub peer_fetch_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +158,9 @@ impl Default for ServerConfig {
             stream_deadline: Duration::from_secs(120),
             stream_chunk_rows: 8192,
             max_connections: 1024,
+            peers: Vec::new(),
+            sync_interval: Duration::from_secs(2),
+            peer_fetch_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -302,6 +317,8 @@ pub struct HealthzBody {
     pub workers: usize,
     /// Configured queue depth.
     pub queue_capacity: usize,
+    /// Per-peer sync health (empty on a standalone node).
+    pub peers: Vec<PeerSnapshot>,
 }
 
 /// `GET /metrics` body.
@@ -311,6 +328,8 @@ pub struct MetricsBody {
     pub serve: ServeSnapshot,
     /// Process-wide [`ppdt_obs`] counters and phase timings.
     pub process: ppdt_obs::MetricsSnapshot,
+    /// Per-peer sync health (empty on a standalone node).
+    pub peers: Vec<PeerSnapshot>,
 }
 
 /// One queued buffered-body unit of work: the parsed request plus the
@@ -363,6 +382,8 @@ pub struct Server {
     parsers: usize,
     store: crate::keystore::KeyStore,
     caches: Caches,
+    cluster: Option<Cluster>,
+    node_id: String,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
 }
@@ -387,6 +408,12 @@ impl Server {
         let workers = if cfg.workers == 0 { ppdt_obs::threads(None) } else { cfg.workers };
         let parsers = if cfg.parser_threads == 0 { 2 } else { cfg.parser_threads };
         let caches = Caches::new(cfg.plan_cache_capacity, cfg.tree_cache_capacity);
+        // The bound address (with `:0` resolved) is the node's cluster
+        // identity: unique per daemon and exactly what peers dial.
+        let node_id = addr.to_string();
+        let cluster = (!cfg.peers.is_empty()).then(|| {
+            Cluster::new(node_id.clone(), &cfg.peers, cfg.sync_interval, cfg.peer_fetch_deadline)
+        });
         Ok(Server {
             cfg,
             listener,
@@ -395,6 +422,8 @@ impl Server {
             parsers,
             store,
             caches,
+            cluster,
+            node_id,
             shutdown: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(ServeMetrics::default()),
         })
@@ -423,6 +452,16 @@ impl Server {
 
     fn stopping(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || crate::signal::signalled()
+    }
+
+    /// The borrow bundle every pooled handler runs against.
+    fn ctx(&self) -> HandlerCtx<'_> {
+        HandlerCtx {
+            store: &self.store,
+            caches: &self.caches,
+            cluster: self.cluster.as_ref(),
+            node_id: &self.node_id,
+        }
     }
 
     /// Accepts and serves until shutdown, then drains. Blocks the
@@ -456,6 +495,13 @@ impl Server {
             // original here means the workers' `recv()` unblocks as
             // soon as the last parser exits and the queue is empty.
             drop(job_tx);
+            // Cluster mode: one sync thread per daemon runs the
+            // anti-entropy loop; it polls the shutdown flag at sub-tick
+            // granularity so the drain never waits on a sleeping peer
+            // poll.
+            if let Some(cluster) = &this.cluster {
+                s.spawn(move |_| cluster.run_sync(&this.store, &|| this.stopping()));
+            }
             s.spawn(move |_| this.poller_loop(park_rx, wake_rx, conn_tx));
             this.accept_loop(poller_ref);
             // The acceptor returning means shutdown began; the poller
@@ -818,7 +864,7 @@ impl Server {
         // A handler panic is a bug, but it must cost one 500, not a
         // worker thread for the daemon's remaining lifetime.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handlers::handle(job.endpoint, &job.req, &self.store, &self.caches)
+            handlers::handle(job.endpoint, &job.req, &self.ctx())
         }));
         self.metrics.timed(job.endpoint, start.elapsed());
         match outcome {
@@ -862,8 +908,7 @@ impl Server {
                 job.close,
                 job.expect_continue,
                 job.endpoint,
-                &self.store,
-                &self.caches,
+                &self.ctx(),
                 &self.cfg,
             )
         }));
@@ -944,6 +989,7 @@ impl Server {
             status: "ok".to_string(),
             workers: self.workers,
             queue_capacity: self.cfg.queue_capacity,
+            peers: self.cluster.as_ref().map(Cluster::snapshots).unwrap_or_default(),
         };
         match serde_json::to_string(&body) {
             Ok(s) => Response::ok(s),
@@ -965,7 +1011,11 @@ impl Server {
     }
 
     fn render_metrics(&self) -> Response {
-        let body = MetricsBody { serve: self.metrics.snapshot(), process: ppdt_obs::snapshot() };
+        let body = MetricsBody {
+            serve: self.metrics.snapshot(),
+            process: ppdt_obs::snapshot(),
+            peers: self.cluster.as_ref().map(Cluster::snapshots).unwrap_or_default(),
+        };
         match serde_json::to_string(&body) {
             Ok(s) => Response::ok(s),
             Err(e) => HttpError::from(PpdtError::internal(format!("metrics: {e}"))).to_response(),
@@ -990,6 +1040,13 @@ mod tests {
         assert!(cfg.stream_deadline >= cfg.parse_deadline);
         assert!(cfg.stream_chunk_rows > 0);
         assert!(cfg.max_connections > 0);
+        assert!(cfg.peers.is_empty(), "standalone by default");
+        assert!(cfg.sync_interval > Duration::ZERO);
+        assert!(cfg.peer_fetch_deadline > Duration::ZERO);
+        assert!(
+            cfg.peer_fetch_deadline <= cfg.request_deadline,
+            "a read-through fetch must fit inside the request budget"
+        );
     }
 
     #[test]
@@ -1017,10 +1074,18 @@ mod tests {
         let idle = snap.endpoints.iter().find(|s| s.endpoint == "classify").expect("classify row");
         assert_eq!((idle.min_micros, idle.max_micros), (0, 0));
         assert_eq!(idle.mean_micros, 0.0);
-        // Round-trips through the JSON body type.
-        let body = MetricsBody { serve: snap, process: ppdt_obs::snapshot() };
+        // Round-trips through the JSON body type, peers row included.
+        let peers = vec![PeerSnapshot {
+            addr: "127.0.0.1:7071".to_string(),
+            reachable: true,
+            last_sync_age_ms: Some(120),
+            keys_behind: 0,
+            consecutive_failures: 0,
+        }];
+        let body = MetricsBody { serve: snap, process: ppdt_obs::snapshot(), peers };
         let text = serde_json::to_string(&body).expect("serializes");
         let back: MetricsBody = serde_json::from_str(&text).expect("parses");
         assert_eq!(back.serve.endpoints.len(), ENDPOINTS.len());
+        assert_eq!(back.peers, body.peers);
     }
 }

@@ -37,13 +37,11 @@ use ppdt_data::AttrId;
 use ppdt_error::PpdtError;
 
 use crate::api::{StreamClassifyHeader, StreamEncodeHeader};
-use crate::cache::Caches;
 use crate::conn::Conn;
-use crate::handlers::{self, Endpoint};
+use crate::handlers::{self, Endpoint, HandlerCtx};
 use crate::http::{
     chunk_read_failed, finish_chunked, write_chunk, write_stream_head, ChunkedReader, HttpError,
 };
-use crate::keystore::KeyStore;
 use crate::server::ServerConfig;
 
 /// Cap on one line inside a streamed CSV body.
@@ -74,8 +72,7 @@ pub(crate) fn run(
     close_after: bool,
     expect_continue: bool,
     endpoint: Endpoint,
-    store: &KeyStore,
-    caches: &Caches,
+    ctx: &HandlerCtx,
     cfg: &ServerConfig,
 ) -> StreamEnd {
     conn.set_deadline(Instant::now() + cfg.stream_deadline);
@@ -85,10 +82,8 @@ pub(crate) fn run(
     let writer = Arc::clone(&conn.writer);
     let mut body = BufReader::new(ChunkedReader::new(&mut conn.reader));
     let mut out = match endpoint {
-        Endpoint::Encode => stream_encode(&writer, &mut body, seq, close_after, store, caches, cfg),
-        Endpoint::Classify => {
-            stream_classify(&writer, &mut body, seq, close_after, store, caches, cfg)
-        }
+        Endpoint::Encode => stream_encode(&writer, &mut body, seq, close_after, ctx, cfg),
+        Endpoint::Classify => stream_classify(&writer, &mut body, seq, close_after, ctx, cfg),
         _ => StreamEnd::Error(HttpError::from(PpdtError::internal(
             "streaming dispatched to a non-streamable endpoint",
         ))),
@@ -273,8 +268,7 @@ fn stream_encode<R: BufRead>(
     body: &mut R,
     seq: u64,
     close_after: bool,
-    store: &KeyStore,
-    caches: &Caches,
+    ctx: &HandlerCtx,
     cfg: &ServerConfig,
 ) -> StreamEnd {
     // Everything up to (and including) the first batch is validated
@@ -300,7 +294,7 @@ fn stream_encode<R: BufRead>(
             ))
         }
     };
-    let plan = match handlers::load_plan(store, caches, &header.key_id) {
+    let plan = match handlers::load_plan(ctx, &header.key_id) {
         Ok(plan) => plan,
         Err(e) => return StreamEnd::Error(e),
     };
@@ -383,8 +377,7 @@ fn stream_classify<R: BufRead>(
     body: &mut R,
     seq: u64,
     close_after: bool,
-    store: &KeyStore,
-    caches: &Caches,
+    ctx: &HandlerCtx,
     cfg: &ServerConfig,
 ) -> StreamEnd {
     let header_line =
@@ -407,11 +400,12 @@ fn stream_classify<R: BufRead>(
             ))
         }
     };
-    let plan = match handlers::load_plan(store, caches, &header.key_id) {
+    let plan = match handlers::load_plan(ctx, &header.key_id) {
         Ok(plan) => plan,
         Err(e) => return StreamEnd::Error(e),
     };
-    let tree = match handlers::validated_tree(caches, &header.key_id, &plan, &header.tree, true) {
+    let tree = match handlers::validated_tree(ctx.caches, &header.key_id, &plan, &header.tree, true)
+    {
         Ok(tree) => tree,
         Err(e) => return StreamEnd::Error(e),
     };

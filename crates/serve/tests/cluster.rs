@@ -1,0 +1,302 @@
+//! Custodian cluster integration tests (PR 7 acceptance): two real
+//! daemons on loopback ports replicating key envelopes via the
+//! pull-based anti-entropy loop, best-effort push on store,
+//! read-through fetch for keys a node has not synced yet, and
+//! quarantine-then-repair of a torn envelope.
+//!
+//! Assertions go through the wire (`/healthz` peer snapshots, the
+//! `/v1/peer/keys` manifest) and the on-disk envelope files — never
+//! through `ppdt_obs` counter deltas, which are process-global and
+//! shared by every in-process daemon.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use ppdt_data::csv::to_csv;
+use ppdt_data::gen::census_like;
+use ppdt_data::Dataset;
+use ppdt_serve::handlers::{
+    ClassifyRequest, ClassifyResponse, EncodeRequest, ListKeysResponse, PeerManifestResponse,
+    StoreKeyRequest, StoreKeyResponse,
+};
+use ppdt_serve::server::HealthzBody;
+use ppdt_serve::{request, ServerConfig};
+use ppdt_transform::{EncodeConfig, Encoder, TransformKey};
+use ppdt_tree::TreeBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `PPDT_FAULT_SEED` steers the torn-write fault point, mirroring the
+/// transform-layer fault-injection tests.
+fn fault_seed() -> u64 {
+    std::env::var("PPDT_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xF417)
+}
+
+fn rows_of(d: &Dataset) -> Vec<Vec<f64>> {
+    (0..d.num_rows()).map(|i| d.schema().attrs().map(|a| d.column(a)[i]).collect()).collect()
+}
+
+/// A plaintext relation, its transform key, and the transformed
+/// relation the (untrusted) miner would see.
+fn make_key(seed: u64, rows: usize) -> (TransformKey, Dataset, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = census_like(&mut rng, rows);
+    let (key, d_prime) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
+    (key, d, d_prime)
+}
+
+fn post<T: serde::Serialize, R: serde::Deserialize>(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &T,
+    want_status: u16,
+) -> R {
+    let payload = serde_json::to_string(body).expect("serialize request");
+    let (status, text) = request(addr, "POST", path, &payload).expect("request succeeds");
+    assert_eq!(status, want_status, "POST {path} answered {status}: {text}");
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("POST {path} body: {e}\n{text}"))
+}
+
+fn get<R: serde::Deserialize>(addr: std::net::SocketAddr, path: &str) -> R {
+    let (status, text) = request(addr, "GET", path, "").expect("request succeeds");
+    assert_eq!(status, 200, "GET {path} answered {status}: {text}");
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("GET {path} body: {e}\n{text}"))
+}
+
+/// Polls `probe` every 25ms until it returns true, panicking with
+/// `what` after `timeout`.
+fn wait_until(timeout: Duration, what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if probe() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn manifest(addr: std::net::SocketAddr) -> PeerManifestResponse {
+    get(addr, "/v1/peer/keys")
+}
+
+fn healthz(addr: std::net::SocketAddr) -> HealthzBody {
+    get(addr, "/healthz")
+}
+
+/// Raw envelope bytes as stored on a node's disk.
+fn envelope_bytes(srv: &common::TestServer, key_id: &str) -> Vec<u8> {
+    std::fs::read(srv.dir.join(format!("{key_id}.json")))
+        .unwrap_or_else(|e| panic!("read envelope {key_id} from {}: {e}", srv.dir.display()))
+}
+
+/// A follower of `leader` with the given anti-entropy interval.
+fn follower_cfg(leader: &common::TestServer, sync_interval: Duration) -> ServerConfig {
+    ServerConfig { peers: vec![leader.addr], sync_interval, ..ServerConfig::default() }
+}
+
+/// The ISSUE acceptance criterion: a node started with an empty
+/// keystore and `--peer` pointing at a populated node must serve a
+/// correct `POST /v1/classify` for a key it never received directly.
+///
+/// The follower's sync interval is an hour, so after its first
+/// (empty) anti-entropy round only the read-through path can deliver
+/// the key.
+#[test]
+fn read_through_serves_a_key_never_received_directly() {
+    let a = common::start(ServerConfig::default(), "cluster-rt-a");
+    let b = common::start(follower_cfg(&a, Duration::from_secs(3600)), "cluster-rt-b");
+
+    // Let the follower's immediate first sync round finish while the
+    // leader is still empty; the next round is an hour away.
+    wait_until(Duration::from_secs(15), "follower's first sync round", || {
+        let h = healthz(b.addr);
+        h.peers.len() == 1 && h.peers[0].last_sync_age_ms.is_some()
+    });
+
+    // Only now does the leader learn the key.
+    let (key, d, d_prime) = make_key(61, 120);
+    let stored: StoreKeyResponse = post(a.addr, "/v1/keys", &StoreKeyRequest { key }, 201);
+    assert!(stored.created);
+
+    // The follower has never seen it, yet must answer — via
+    // read-through fetch from the leader, inside the request.
+    let t_prime = TreeBuilder::default().fit(&d_prime);
+    let rows = rows_of(&d);
+    let cls: ClassifyResponse = post(
+        b.addr,
+        "/v1/classify",
+        &ClassifyRequest { key_id: stored.key_id.clone(), tree: t_prime, rows: rows.clone() },
+        200,
+    );
+    let t_direct = TreeBuilder::default().fit(&d);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            cls.labels[i],
+            t_direct.predict(row).0,
+            "row {i}: read-through classify diverged from the plaintext prediction"
+        );
+    }
+
+    // The fetched replica is byte-identical to the leader's envelope.
+    assert_eq!(
+        envelope_bytes(&a, &stored.key_id),
+        envelope_bytes(&b, &stored.key_id),
+        "read-through replica must be byte-identical"
+    );
+
+    b.stop();
+    a.stop();
+}
+
+/// Pull-based anti-entropy: keys stored on the leader before the
+/// follower ever connects converge to byte-identical envelopes, the
+/// follower's `/healthz` reports the peer healthy — and reports it
+/// unreachable within a sync interval of the leader dying.
+#[test]
+fn anti_entropy_converges_and_reports_peer_loss() {
+    let a = common::start(ServerConfig::default(), "cluster-ae-a");
+    let (key1, ..) = make_key(62, 100);
+    let (key2, ..) = make_key(63, 100);
+    let s1: StoreKeyResponse = post(a.addr, "/v1/keys", &StoreKeyRequest { key: key1 }, 201);
+    let s2: StoreKeyResponse = post(a.addr, "/v1/keys", &StoreKeyRequest { key: key2 }, 201);
+
+    let b = common::start(follower_cfg(&a, Duration::from_millis(200)), "cluster-ae-b");
+
+    // Converged when the follower's manifest equals the leader's:
+    // same ids, same envelope digests. Digest equality *is*
+    // byte-identity because envelopes serialize deterministically.
+    let want = manifest(a.addr).keys;
+    assert_eq!(want.len(), 2);
+    wait_until(Duration::from_secs(15), "manifests to converge", || manifest(b.addr).keys == want);
+    for id in [&s1.key_id, &s2.key_id] {
+        assert_eq!(envelope_bytes(&a, id), envelope_bytes(&b, id), "replica of {id} must match");
+    }
+
+    // The follower sees its peer healthy and caught up.
+    let h = healthz(b.addr);
+    assert_eq!(h.peers.len(), 1);
+    assert_eq!(h.peers[0].addr, a.addr.to_string());
+    assert!(h.peers[0].reachable, "synced peer must be reachable: {:?}", h.peers[0]);
+    assert_eq!(h.peers[0].keys_behind, 0);
+
+    // Kill the leader; the follower must notice within a round or two.
+    a.stop();
+    wait_until(Duration::from_secs(15), "dead peer to show in /healthz", || {
+        let h = healthz(b.addr);
+        !h.peers[0].reachable && h.peers[0].consecutive_failures >= 1
+    });
+
+    b.stop();
+}
+
+/// Best-effort push: a key stored on a node propagates to its peers
+/// immediately, without waiting for the peers to poll (the leader
+/// here has no `--peer` flags at all, so pull can never deliver it).
+#[test]
+fn push_on_store_propagates_without_polling() {
+    let a = common::start(ServerConfig::default(), "cluster-push-a");
+    // Hour-long interval: after the first round, pull is out of the
+    // picture; only the push path can move the key within the test.
+    let b = common::start(follower_cfg(&a, Duration::from_secs(3600)), "cluster-push-b");
+
+    let (key, ..) = make_key(64, 100);
+    let stored: StoreKeyResponse = post(b.addr, "/v1/keys", &StoreKeyRequest { key }, 201);
+
+    wait_until(Duration::from_secs(15), "pushed key to reach the peer", || {
+        let listing: ListKeysResponse = get(a.addr, "/v1/keys");
+        listing.keys.iter().any(|k| k.key_id == stored.key_id && k.valid)
+    });
+    assert_eq!(
+        envelope_bytes(&a, &stored.key_id),
+        envelope_bytes(&b, &stored.key_id),
+        "pushed replica must be byte-identical"
+    );
+
+    b.stop();
+    a.stop();
+}
+
+/// Satellite: a torn write in a replica's keystore is quarantined —
+/// 409 on that key while every other key keeps serving — and the next
+/// anti-entropy round repairs it from a peer, byte-identically.
+#[test]
+fn torn_envelope_is_quarantined_then_repaired_from_a_peer() {
+    let a = common::start(ServerConfig::default(), "cluster-torn-a");
+    let (key1, d1, _) = make_key(65, 100);
+    let (key2, d2, _) = make_key(66, 100);
+    let s1: StoreKeyResponse = post(a.addr, "/v1/keys", &StoreKeyRequest { key: key1 }, 201);
+    let s2: StoreKeyResponse = post(a.addr, "/v1/keys", &StoreKeyRequest { key: key2 }, 201);
+
+    // Follower with an hour-long interval: its immediate first round
+    // replicates both keys, after which no background round will race
+    // the corruption we are about to inject.
+    let b = common::start(follower_cfg(&a, Duration::from_secs(3600)), "cluster-torn-b");
+    let want = manifest(a.addr).keys;
+    wait_until(Duration::from_secs(15), "initial replication", || manifest(b.addr).keys == want);
+
+    // Tear key1's envelope on the follower's disk: keep a prefix, as
+    // a crash mid-write (without the atomic rename) would.
+    let path = b.dir.join(format!("{}.json", s1.key_id));
+    let text = std::fs::read_to_string(&path).expect("read envelope");
+    let frac = 0.25 + (fault_seed() % 50) as f64 / 100.0;
+    let torn = ppdt_data::corrupt::truncate_at(&text, frac);
+    assert!(torn.len() < text.len(), "fault injection must actually shorten the envelope");
+    std::fs::write(&path, &torn).expect("tear envelope");
+
+    // Quarantined: the torn key answers 409 corrupt_key (the plan
+    // cache's file stamp notices the rewrite), the healthy key keeps
+    // serving 200.
+    let enc1 = serde_json::to_string(&EncodeRequest {
+        key_id: s1.key_id.clone(),
+        csv: Some(to_csv(&d1)),
+        rows: None,
+    })
+    .expect("serialize");
+    let (status, text) = request(b.addr, "POST", "/v1/encode", &enc1).expect("encode torn");
+    assert_eq!(status, 409, "torn key must be quarantined: {text}");
+    assert!(text.contains("corrupt_key"), "409 body names the category: {text}");
+    let _: serde::Value = post(
+        b.addr,
+        "/v1/encode",
+        &EncodeRequest { key_id: s2.key_id.clone(), csv: Some(to_csv(&d2)), rows: None },
+        200,
+    );
+    // A torn entry is not servable, so it drops out of the manifest.
+    assert_eq!(manifest(b.addr).keys.len(), 1, "torn key must leave the peer manifest");
+
+    // Restart the follower over the same keystore with a fast sync
+    // interval: the load-time audit quarantines the torn entry again,
+    // and the first anti-entropy round re-fetches it from the peer.
+    let dir = b.dir.clone();
+    b.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    b.handle.join().expect("join follower").expect("follower run ok");
+    let store = ppdt_serve::KeyStore::open(dir.clone()).expect("reopen keystore");
+    let server = ppdt_serve::Server::bind(follower_cfg(&a, Duration::from_millis(200)), store)
+        .expect("bind");
+    let b2_addr = server.addr();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    wait_until(Duration::from_secs(15), "torn key to be repaired", || {
+        manifest(b2_addr).keys == want
+    });
+    assert_eq!(
+        envelope_bytes(&a, &s1.key_id),
+        std::fs::read(dir.join(format!("{}.json", s1.key_id))).expect("read repaired"),
+        "repaired envelope must be byte-identical to the peer's"
+    );
+    let _: serde::Value = post(
+        b2_addr,
+        "/v1/encode",
+        &EncodeRequest { key_id: s1.key_id, csv: Some(to_csv(&d1)), rows: None },
+        200,
+    );
+
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("join repaired follower").expect("run ok");
+    let _ = std::fs::remove_dir_all(&dir);
+    a.stop();
+}

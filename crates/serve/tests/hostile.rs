@@ -21,13 +21,8 @@ use rand::SeedableRng;
 /// Writes raw bytes to the daemon and returns the full response text
 /// (status line + headers + body).
 fn raw(srv: &common::TestServer, bytes: &[u8]) -> String {
-    let mut s = TcpStream::connect(srv.addr).expect("connect");
-    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("timeout");
-    s.write_all(bytes).expect("write");
-    s.shutdown(std::net::Shutdown::Write).expect("shutdown write");
-    let mut out = Vec::new();
-    s.read_to_end(&mut out).expect("read");
-    String::from_utf8_lossy(&out).into_owned()
+    ppdt_serve::client::raw_probe(srv.addr, bytes, std::time::Duration::from_secs(10))
+        .expect("raw probe")
 }
 
 fn status_of(response: &str) -> u16 {

@@ -9,6 +9,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+use ppdt_serve::client::raw_probe;
 use ppdt_serve::http::Client;
 use ppdt_serve::ServerConfig;
 
@@ -134,22 +135,17 @@ fn idle_keepalive_sockets_are_reaped_at_the_idle_deadline() {
 fn connection_close_mid_pipeline_drains_in_order() {
     let srv = common::start(ServerConfig::default(), "closedrain");
 
-    let mut stream = TcpStream::connect(srv.addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
     // Three pipelined requests; the second carries `Connection:
     // close`. The daemon answers the first two in order, closes, and
     // never touches the third.
-    stream
-        .write_all(
-            b"GET /healthz HTTP/1.1\r\n\r\n\
-              GET /v1/version HTTP/1.1\r\nconnection: close\r\n\r\n\
-              GET /healthz HTTP/1.1\r\n\r\n",
-        )
-        .expect("write");
-    stream.flush().expect("flush");
-
-    let mut text = String::new();
-    stream.read_to_string(&mut text).expect("responses then EOF");
+    let text = raw_probe(
+        srv.addr,
+        b"GET /healthz HTTP/1.1\r\n\r\n\
+          GET /v1/version HTTP/1.1\r\nconnection: close\r\n\r\n\
+          GET /healthz HTTP/1.1\r\n\r\n",
+        Duration::from_secs(10),
+    )
+    .expect("pipelined burst");
     assert_eq!(statuses(&text), vec![200, 200], "two answers, then close: {text}");
     let first = text.find("\"ok\"").expect("healthz body");
     let second = text.find("api_schema_version").expect("version body");
@@ -164,11 +160,12 @@ fn keep_alive_zero_disables_reuse() {
     let cfg = ServerConfig { keep_alive_requests: 0, ..Default::default() };
     let srv = common::start(cfg, "nokeepalive");
 
-    let mut stream = TcpStream::connect(srv.addr).expect("connect");
-    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
-    stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n").expect("write");
-    let mut text = String::new();
-    stream.read_to_string(&mut text).expect("read");
+    let text = raw_probe(
+        srv.addr,
+        b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n",
+        Duration::from_secs(10),
+    )
+    .expect("pipelined burst");
     assert_eq!(statuses(&text), vec![200], "keep-alive off: one answer then close: {text}");
     assert!(text.contains("connection: close"), "{text}");
 

@@ -5,12 +5,11 @@
 
 mod common;
 
-use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use ppdt_serve::{request, ServerConfig};
+use ppdt_serve::{request, RetryingClient, ServerConfig};
 
 fn tiny_config() -> ServerConfig {
     ServerConfig { workers: 1, queue_capacity: 1, debug_endpoints: true, ..ServerConfig::default() }
@@ -45,16 +44,13 @@ fn saturated_pool_answers_503_with_retry_after_and_stays_healthy() {
     // Pool and queue are now full: the next request must be rejected
     // promptly (not after the sleeps finish) with a Retry-After.
     let started = Instant::now();
-    let mut s = TcpStream::connect(srv.addr).expect("connect");
-    s.write_all(b"POST /v1/debug/sleep HTTP/1.1\r\ncontent-length: 9\r\n\r\n{\"ms\": 1}")
-        .expect("write");
-    let mut raw = Vec::new();
-    s.read_to_end(&mut raw).expect("read");
-    let text = String::from_utf8_lossy(&raw);
+    let ex = RetryingClient::new(srv.addr)
+        .exchange_once("POST", "/v1/debug/sleep", "{\"ms\": 1}")
+        .expect("exchange");
     assert!(started.elapsed() < Duration::from_millis(900), "503 must not wait for the pool");
-    assert!(text.starts_with("HTTP/1.1 503"), "{text}");
-    assert!(text.to_ascii_lowercase().contains("retry-after: 1"), "{text}");
-    assert!(text.contains("overloaded"), "{text}");
+    assert_eq!(ex.status, 503, "{}", ex.body);
+    assert_eq!(ex.retry_after, Some(1), "{}", ex.body);
+    assert!(ex.body.contains("overloaded"), "{}", ex.body);
 
     // Liveness and metrics are answered inline, so they still work.
     let (status, _) = request(srv.addr, "GET", "/healthz", "").expect("healthz");

@@ -36,15 +36,42 @@ connection regimes: every ``*_keepalive_*_per_sec`` headline with a
 ``*_fresh_*_per_sec`` sibling must be at least ``R`` times its
 fresh-connection counterpart.
 
+A BenchReport that claims cluster mode (any positive ``*peers``
+headline) must also embed the four ``peer_*`` sync counters in
+``metrics.counters``; loading one without them is an error, so a
+peer-aware gate can never pass vacuously against a report that
+silently dropped the counters.
+
 ``--self-check`` verifies the gate itself in all modes: a report
 compared against itself must pass, a synthetic 20%-regressed copy
-must fail, and the warm-ratio gate must accept/reject synthetic
-cold/warm pairs on the right side of the threshold.
+must fail, the warm-ratio gate must accept/reject synthetic
+cold/warm pairs on the right side of the threshold, and the
+cluster-mode counter requirement must discriminate.
 """
 
 import copy
 import json
 import sys
+
+
+PEER_COUNTERS = ("peer_sync_rounds", "peer_keys_fetched",
+                 "peer_fetch_failures", "peer_unreachable")
+
+
+def cluster_counter_failures(report):
+    """A cluster-mode BenchReport (any positive ``*peers`` headline)
+    must embed the peer sync counters in ``metrics.counters`` —
+    otherwise every peer-related comparison downstream would pass
+    vacuously against an empty set. Standalone reports (no peers
+    headline, or peers = 0) are exempt."""
+    peers = sum(h["value"] for h in report.get("headlines", [])
+                if h["name"].endswith("peers"))
+    if peers <= 0:
+        return []
+    names = {c["name"] for c in report.get("metrics", {}).get("counters", [])}
+    return [f"cluster-mode report (peers={peers:.0f}) is missing process "
+            f"counter {name}; peer gates would pass vacuously"
+            for name in PEER_COUNTERS if name not in names]
 
 
 def load(path):
@@ -53,6 +80,9 @@ def load(path):
     if report.get("trajectory_schema_version") == 1:
         return "trajectory", report
     if report.get("schema_version") == 2 and "headlines" in report:
+        missing = cluster_counter_failures(report)
+        if missing:
+            sys.exit(f"{path}: " + "; ".join(missing))
         return "bench_report", report
     sys.exit(f"{path}: unrecognised report shape (expected "
              f"trajectory_schema_version=1 or schema_version=2 with headlines)")
@@ -239,9 +269,32 @@ def self_check():
     if pairs != 1 or not failures:
         sys.exit("self-check FAILED: 1.1x keepalive/fresh pair accepted at 1.3x")
 
+    clustered = {
+        "schema_version": 2,
+        "binary": "serve_throughput",
+        "headlines": [
+            {"name": "serve_encode_rows_per_sec", "value": 100.0},
+            {"name": "serve_peers", "value": 2.0},
+        ],
+        "metrics": {"counters": [{"name": n, "value": 1}
+                                 for n in PEER_COUNTERS]},
+    }
+    if cluster_counter_failures(clustered):
+        sys.exit("self-check FAILED: complete cluster-mode report rejected")
+    vacuous = copy.deepcopy(clustered)
+    vacuous["metrics"]["counters"] = []
+    if len(cluster_counter_failures(vacuous)) != len(PEER_COUNTERS):
+        sys.exit("self-check FAILED: cluster-mode report without peer "
+                 "counters must be rejected (vacuous pass)")
+    standalone = copy.deepcopy(vacuous)
+    standalone["headlines"][1]["value"] = 0.0
+    if cluster_counter_failures(standalone):
+        sys.exit("self-check FAILED: standalone report (peers=0) wrongly "
+                 "held to the peer-counter requirement")
+
     print("self-check passed: identity clean, 20% regression flagged "
           "in both report modes, warm- and keepalive-ratio gates "
-          "discriminate")
+          "discriminate, cluster-mode reports must carry peer counters")
 
 
 def main(argv):

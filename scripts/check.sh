@@ -52,4 +52,7 @@ echo "== serve daemon smoke (healthz, encode/classify round-trip, SIGTERM)"
 cargo build --release -q -p ppdt-cli
 python3 scripts/serve_smoke.py target/release/ppdt
 
+echo "== cluster smoke (3-node convergence, SIGKILL failover, zero lost answers)"
+python3 scripts/cluster_smoke.py target/release/ppdt
+
 echo "== all checks passed"

@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the `ppdt serve` custodian cluster.
+
+Starts THREE `ppdt serve` daemons peered at each other, then over real
+loopback HTTP:
+
+1. writes a key to one node only
+2. proves all three converge — identical `/v1/peer/keys` manifests and
+   byte-identical envelope files in all three keystore directories
+3. SIGKILLs one node mid-traffic while a client drives encodes per the
+   documented retry policy (connection errors fail over to the next
+   node after a short backoff; a 503 sleeps its `Retry-After`), and
+   asserts ZERO lost and ZERO wrong answers
+4. asserts the dead peer shows `reachable: false` in both survivors'
+   `/healthz` within one sync interval (generous wall-clock slack)
+5. writes a second key to a survivor and proves the remaining pair
+   still replicates, byte-identically
+6. SIGTERMs the survivors; both must drain and exit 0
+
+Usage: cluster_smoke.py PPDT_BINARY
+
+Run from the repo root by scripts/check.sh; exits nonzero on any
+failure.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+TIMEOUT = 10           # seconds, per HTTP call and per daemon wait
+SYNC_INTERVAL_MS = 300
+CONVERGE_DEADLINE = 30  # seconds for cluster-wide convergence
+N_REQUESTS = 30        # traffic volume around the SIGKILL
+KILL_AFTER = 10        # SIGKILL the third node after this many answers
+
+
+def http(method, url, body=None):
+    """Returns (status, parsed-JSON body, headers). HTTP error statuses
+    are returned, not raised; connection errors propagate."""
+    data = body.encode() if isinstance(body, str) else body
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=TIMEOUT) as resp:
+            return resp.status, json.loads(resp.read().decode()), resp.headers
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode()), err.headers
+
+
+def resilient_post(addrs, start, path, payload):
+    """One logical request under the documented client retry policy
+    (PROTOCOL.md "Backpressure"/"Clustering"): a connection error
+    rotates to the next node after a short backoff, a 503 sleeps the
+    server's Retry-After first. Returns (status, body) or None when
+    the attempt budget is exhausted (a LOST request)."""
+    backoff = 0.05
+    for attempt in range(12):
+        addr = addrs[(start + attempt) % len(addrs)]
+        try:
+            status, body, headers = http(
+                "POST", f"http://{addr}{path}", payload)
+        except (urllib.error.URLError, ConnectionError, socket.timeout, OSError):
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 2.0)
+            continue
+        if status == 503:
+            retry_after = float(headers.get("retry-after") or backoff)
+            time.sleep(min(retry_after, 2.0))
+            continue
+        return status, body
+    return None
+
+
+def write_training_csv(path, rows=80):
+    """Deterministic two-attribute relation with a threshold label."""
+    with open(path, "w") as fh:
+        fh.write("age,balance,label\n")
+        for i in range(rows):
+            age = 20 + (i * 7) % 50
+            balance = 100 + (i * 131) % 4000
+            label = "yes" if age < 45 and balance > 1500 else "no"
+            fh.write(f"{age},{balance},{label}\n")
+
+
+def pick_ports(n):
+    """Reserves n distinct loopback ports (bind, record, release)."""
+    socks, ports = [], []
+    for _ in range(n):
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        socks.append(s)
+        ports.append(s.getsockname()[1])
+    for s in socks:
+        s.close()
+    return ports
+
+
+class Cluster:
+    """The three daemons plus enough state to diagnose a failure."""
+
+    def __init__(self, ppdt, tmp, ports):
+        self.addrs = [f"127.0.0.1:{p}" for p in ports]
+        self.dirs = [os.path.join(tmp, f"keys{i}") for i in range(len(ports))]
+        self.procs = []
+        for i, addr in enumerate(self.addrs):
+            peers = [a for a in self.addrs if a != addr]
+            cmd = [ppdt, "serve", "--addr", addr,
+                   "--keystore-dir", self.dirs[i], "--metrics",
+                   "--sync-interval-ms", str(SYNC_INTERVAL_MS)]
+            for peer in peers:
+                cmd += ["--peer", peer]
+            self.procs.append(subprocess.Popen(
+                cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True))
+        for i, proc in enumerate(self.procs):
+            line = proc.stdout.readline()
+            if "listening on" not in line:
+                self.fail(f"node {i} unexpected startup line: {line!r}")
+
+    def fail(self, msg):
+        outputs = []
+        for i, proc in enumerate(self.procs):
+            if proc.poll() is None:
+                proc.kill()
+            try:
+                out, _ = proc.communicate(timeout=TIMEOUT)
+            except (subprocess.TimeoutExpired, ValueError):
+                out = "<unavailable>"
+            outputs.append(f"--- node {i} ({self.addrs[i]}) ---\n{out}")
+        sys.exit(f"cluster_smoke FAILED: {msg}\n" + "\n".join(outputs))
+
+    def manifest(self, i):
+        _, body, _ = http("GET", f"http://{self.addrs[i]}/v1/peer/keys")
+        return body["keys"]
+
+    def healthz(self, i):
+        _, body, _ = http("GET", f"http://{self.addrs[i]}/healthz")
+        return body
+
+    def wait_converged(self, nodes, want_ids):
+        """Polls until every node in `nodes` serves an identical
+        manifest covering `want_ids`; returns that manifest."""
+        deadline = time.monotonic() + CONVERGE_DEADLINE
+        while time.monotonic() < deadline:
+            try:
+                manifests = [self.manifest(i) for i in nodes]
+            except (urllib.error.URLError, ConnectionError, OSError):
+                time.sleep(0.05)
+                continue
+            ids = {e["key_id"] for e in manifests[0]}
+            if want_ids <= ids and all(m == manifests[0] for m in manifests):
+                return manifests[0]
+            time.sleep(0.05)
+        self.fail(f"nodes {nodes} did not converge on {want_ids} within "
+                  f"{CONVERGE_DEADLINE}s")
+
+    def assert_identical_envelopes(self, nodes, key_ids):
+        for key_id in key_ids:
+            blobs = set()
+            for i in nodes:
+                with open(os.path.join(self.dirs[i], f"{key_id}.json"),
+                          "rb") as fh:
+                    blobs.add(fh.read())
+            if len(blobs) != 1:
+                self.fail(f"envelope {key_id} differs across nodes {nodes}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    ppdt = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="ppdt-cluster-smoke-") as tmp:
+        # Two keys minted with the CLI itself (the second arrives after
+        # the SIGKILL, to prove the surviving pair still replicates).
+        csv = os.path.join(tmp, "d.csv")
+        write_training_csv(csv)
+        keys = []
+        for seed in (7, 11):
+            key_path = os.path.join(tmp, f"key{seed}.json")
+            subprocess.run([ppdt, "encode", csv,
+                            "--out", os.path.join(tmp, f"dp{seed}.csv"),
+                            "--key", key_path, "--seed", str(seed)],
+                           check=True, timeout=60)
+            with open(key_path) as fh:
+                keys.append(json.load(fh))
+
+        cluster = Cluster(ppdt, tmp, pick_ports(3))
+        addrs = cluster.addrs
+
+        # 1. One key, written to node 0 only.
+        status, body, _ = http("POST", f"http://{addrs[0]}/v1/keys",
+                               json.dumps({"key": keys[0]}))
+        if status != 201:
+            cluster.fail(f"store key on node 0: {status} {body}")
+        key_id = body["key_id"]
+
+        # 2. All three nodes converge: identical manifests (digest
+        # equality is byte-identity — envelopes serialize
+        # deterministically) and identical envelope files on disk.
+        cluster.wait_converged([0, 1, 2], {key_id})
+        cluster.assert_identical_envelopes([0, 1, 2], [key_id])
+        print(f"cluster_smoke: 3 nodes converged on {key_id}")
+
+        # Expected encode answer, fixed before any failure.
+        with open(csv) as fh:
+            plain = fh.read()
+        payload = json.dumps({"key_id": key_id, "csv": plain, "rows": None})
+        status, body, _ = http("POST", f"http://{addrs[0]}/v1/encode", payload)
+        if status != 200:
+            cluster.fail(f"baseline encode: {status} {body}")
+        expected_csv = body["csv"]
+
+        # 3. Drive traffic round-robin; SIGKILL node 2 partway through.
+        killed = None
+        t_kill = None
+        for i in range(N_REQUESTS):
+            if i == KILL_AFTER:
+                killed = 2
+                cluster.procs[killed].send_signal(signal.SIGKILL)
+                t_kill = time.monotonic()
+            answer = resilient_post(addrs, i, "/v1/encode", payload)
+            if answer is None:
+                cluster.fail(f"request {i}: LOST (retry budget exhausted)")
+            status, body = answer
+            if status != 200:
+                cluster.fail(f"request {i}: status {status}: {body}")
+            if body["csv"] != expected_csv:
+                cluster.fail(f"request {i}: WRONG answer")
+        cluster.procs[killed].wait(timeout=TIMEOUT)
+        print(f"cluster_smoke: {N_REQUESTS} requests around a SIGKILL, "
+              f"0 lost, 0 wrong")
+
+        # 4. Both survivors report the dead peer within a sync
+        # interval of noticing (generous wall-clock bound for CI).
+        survivors = [0, 1]
+        dead_addr = addrs[killed]
+        detect_deadline = t_kill + max(10.0, 20 * SYNC_INTERVAL_MS / 1000)
+        pending = set(survivors)
+        while pending:
+            if time.monotonic() > detect_deadline:
+                cluster.fail(f"nodes {sorted(pending)} never reported "
+                             f"{dead_addr} unreachable")
+            for i in list(pending):
+                peers = {p["addr"]: p for p in cluster.healthz(i)["peers"]}
+                dead = peers.get(dead_addr)
+                if dead and not dead["reachable"] \
+                        and dead["consecutive_failures"] >= 1:
+                    pending.discard(i)
+            time.sleep(0.05)
+        print(f"cluster_smoke: survivors saw the dead peer in "
+              f"{time.monotonic() - t_kill:.2f}s "
+              f"(sync interval {SYNC_INTERVAL_MS}ms)")
+
+        # 5. The surviving pair still replicates: a key written to
+        # node 1 shows up on node 0, byte-identically.
+        status, body, _ = http("POST", f"http://{addrs[1]}/v1/keys",
+                               json.dumps({"key": keys[1]}))
+        if status != 201:
+            cluster.fail(f"store key on node 1: {status} {body}")
+        key_id2 = body["key_id"]
+        cluster.wait_converged(survivors, {key_id, key_id2})
+        cluster.assert_identical_envelopes(survivors, [key_id, key_id2])
+
+        # The sync machinery is visible in the survivors' metrics.
+        _, metrics, _ = http("GET", f"http://{addrs[0]}/metrics")
+        counters = {c["name"]: c["value"]
+                    for c in metrics["process"]["counters"]}
+        for name in ("peer_sync_rounds", "peer_unreachable"):
+            if counters.get(name, 0) < 1:
+                cluster.fail(f"/metrics counter {name} flat: {counters}")
+
+        # 6. Graceful shutdown of the survivors.
+        for i in survivors:
+            cluster.procs[i].send_signal(signal.SIGTERM)
+        for i in survivors:
+            try:
+                code = cluster.procs[i].wait(timeout=TIMEOUT)
+            except subprocess.TimeoutExpired:
+                cluster.fail(f"node {i} did not drain after SIGTERM")
+            if code != 0:
+                cluster.fail(f"node {i} SIGTERM exit code {code!r}")
+
+    print("cluster_smoke passed: 3-node convergence, byte-identical "
+          "envelopes, SIGKILL with zero lost/wrong answers, dead-peer "
+          "health reporting, survivor replication, graceful SIGTERM")
+
+
+if __name__ == "__main__":
+    main()
