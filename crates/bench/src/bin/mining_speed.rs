@@ -126,71 +126,99 @@ fn run_case(name: &str, d: &Dataset, thread_counts: &[usize], reps: usize) -> Ca
     }
 }
 
-/// Times the custodian's cell-level encode hot path two ways — the
+/// Times the custodian's cell-level encode hot path three ways — the
 /// interpreted [`ppdt_transform::TransformKey`] (per-value piece
-/// lookup + enum dispatch) against the lowered [`CompiledKey`] column
-/// encoder — reusing the `Case`/`Timing` grid so
-/// `scripts/bench_compare.py` gates both series. `trees_equal` here
-/// records that the two paths produced bit-identical columns (the run
-/// aborts if not, mirroring the mining cases).
-fn run_encode_case(name: &str, d: &Dataset, seed: u64, reps: usize) -> Case {
+/// lookup + enum dispatch), the lowered [`CompiledKey`] driven one
+/// value at a time (`encode_value`: flat arrays, but a piece lookup
+/// and opcode walk per cell), and the batched `encode_column` path
+/// (run bucketing + opcode-outer loops + direct-index lookup) —
+/// reusing the `Case`/`Timing` grid so `scripts/bench_compare.py`
+/// gates all three series. `trees_equal` here records that the paths
+/// produced bit-identical columns (the run aborts if not, mirroring
+/// the mining cases).
+fn run_encode_case(name: &str, d: &Dataset, config: EncodeConfig, seed: u64, reps: usize) -> Case {
     let mut rng = StdRng::seed_from_u64(seed);
-    let (key, d_prime) = Encoder::new(EncodeConfig::default())
+    let (key, d_prime) = Encoder::new(config)
         .encode(&mut rng, d)
         .expect("encode for compiled-plan case")
         .into_parts();
     let plan = CompiledKey::compile(&key).expect("audited key compiles");
 
     let attrs: Vec<AttrId> = d.schema().attrs().collect();
-    let time_best = |f: &mut dyn FnMut()| {
-        let mut best = f64::INFINITY;
-        for _ in 0..reps {
-            let t0 = Instant::now();
-            f();
-            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-        }
-        best
+    let time_once = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1e3
     };
 
+    // The three paths are timed interleaved, one round each, taking
+    // every path's best round: the gated quantity is their *ratio*,
+    // and interleaving keeps a slow scheduling window from landing on
+    // one path's whole block and skewing it.
     let mut interp_cols: Vec<Vec<f64>> = Vec::new();
-    let interp_ms = time_best(&mut || {
-        interp_cols = attrs
-            .iter()
-            .map(|&a| {
-                d.column(a)
-                    .iter()
-                    .map(|&x| key.encode_value(a, x).expect("in-domain value"))
-                    .collect()
-            })
-            .collect();
-    });
-
+    let mut per_value_cols: Vec<Vec<f64>> = Vec::new();
     let mut compiled_cols: Vec<Vec<f64>> = vec![Vec::new(); attrs.len()];
-    let compiled_ms = time_best(&mut || {
-        for (buf, &a) in compiled_cols.iter_mut().zip(&attrs) {
-            plan.encode_column(a, d.column(a), buf).expect("in-domain column");
-        }
-    });
+    let (mut interp_ms, mut per_value_ms, mut compiled_ms) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        interp_ms = interp_ms.min(time_once(&mut || {
+            interp_cols = attrs
+                .iter()
+                .map(|&a| {
+                    d.column(a)
+                        .iter()
+                        .map(|&x| key.encode_value(a, x).expect("in-domain value"))
+                        .collect()
+                })
+                .collect();
+        }));
+        per_value_ms = per_value_ms.min(time_once(&mut || {
+            per_value_cols = attrs
+                .iter()
+                .map(|&a| {
+                    d.column(a)
+                        .iter()
+                        .map(|&x| plan.encode_value(a, x).expect("in-domain value"))
+                        .collect()
+                })
+                .collect();
+        }));
+        compiled_ms = compiled_ms.min(time_once(&mut || {
+            for (buf, &a) in compiled_cols.iter_mut().zip(&attrs) {
+                plan.encode_column(a, d.column(a), buf).expect("in-domain column");
+            }
+        }));
+    }
 
     let identical = attrs.iter().enumerate().all(|(i, &a)| {
         interp_cols[i].iter().zip(&compiled_cols[i]).all(|(x, y)| x.to_bits() == y.to_bits())
+            && per_value_cols[i]
+                .iter()
+                .zip(&compiled_cols[i])
+                .all(|(x, y)| x.to_bits() == y.to_bits())
             && compiled_cols[i]
                 .iter()
                 .zip(d_prime.column(a))
                 .all(|(x, y)| x.to_bits() == y.to_bits())
     });
 
-    let speedup = interp_ms / compiled_ms;
+    // `speedup_recursive` carries interpreted/batched, `speedup_presorted`
+    // per-value-compiled/batched — the headline batching win.
     Case {
         dataset: name.to_string(),
         rows: d.num_rows() as u64,
         attrs: d.num_attrs() as u64,
         timings: vec![
             Timing { builder: "encode_interpreted".into(), threads: 1, millis: interp_ms },
-            Timing { builder: "encode_compiled".into(), threads: 1, millis: compiled_ms },
+            Timing {
+                builder: "encode_compiled_per_value".into(),
+                threads: 1,
+                millis: per_value_ms,
+            },
+            Timing { builder: "encode_compiled_batched".into(), threads: 1, millis: compiled_ms },
         ],
-        speedup_recursive: speedup,
-        speedup_presorted: speedup,
+        speedup_recursive: interp_ms / compiled_ms,
+        speedup_presorted: per_value_ms / compiled_ms,
         trees_equal: identical,
     }
 }
@@ -266,21 +294,41 @@ fn main() {
     }
 
     // The custodian-side encode hot path: interpreted key vs. the
-    // compiled plan the serve daemon caches (cold vs. warm substrate).
-    let encode_case =
-        run_encode_case(&format!("encode@covertype@{scale}"), &cases_in[0].1, seed, reps);
-    assert!(encode_case.trees_equal, "compiled encode diverged bit-wise from the interpreted path");
-    for t in &encode_case.timings {
-        println!(
-            "  {:<28} {:>18} threads={} {:>9.2} ms",
-            encode_case.dataset, t.builder, t.threads, t.millis
+    // compiled plan the serve daemon caches, per-value vs. batched.
+    // Covertype and census under the default mixed family (the
+    // realistic profile — part of every value's cost is a scalar libm
+    // call no batching can amortize). The census dataset here is
+    // larger than the tree-building one: its wide integer domains only
+    // compile to the hundreds of pieces that stress piece lookup once
+    // enough rows populate them.
+    let census_encode_rows = if smoke { 1_500 } else { 20_000 };
+    let census_encode = census_like(&mut rng, census_encode_rows);
+    let encode_cases = [
+        (format!("encode@covertype@{scale}"), &cases_in[0].1, EncodeConfig::default()),
+        (format!("encode@census@{census_encode_rows}"), &census_encode, EncodeConfig::default()),
+    ];
+    // Encode reps run hotter than the mining cases: a single encode
+    // pass is milliseconds, so best-of-10 costs little and keeps the
+    // gated batched/per-value ratio stable against scheduler noise.
+    let encode_reps = if smoke { 1 } else { 10 };
+    for (name, d, config) in encode_cases {
+        let encode_case = run_encode_case(&name, d, config, seed, encode_reps);
+        assert!(
+            encode_case.trees_equal,
+            "compiled encode diverged bit-wise from the interpreted path"
         );
+        for t in &encode_case.timings {
+            println!(
+                "  {:<28} {:>25} threads={} {:>9.2} ms",
+                encode_case.dataset, t.builder, t.threads, t.millis
+            );
+        }
+        println!(
+            "  {:<28} batched vs interpreted {:.2}x, batched vs per-value compiled {:.2}x",
+            encode_case.dataset, encode_case.speedup_recursive, encode_case.speedup_presorted
+        );
+        cases.push(encode_case);
     }
-    println!(
-        "  {:<28} compiled-plan speedup {:.2}x",
-        encode_case.dataset, encode_case.speedup_recursive
-    );
-    cases.push(encode_case);
 
     let report = Trajectory {
         trajectory_schema_version: TRAJECTORY_SCHEMA_VERSION,

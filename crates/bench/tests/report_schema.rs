@@ -8,7 +8,7 @@ use ppdt_bench::HarnessConfig;
 
 /// Every `snapshot()` counter name, in emission order — the contract
 /// `BENCHMARKS.md` documents and downstream tooling greps for.
-const GOLDEN_COUNTERS: [&str; 26] = [
+const GOLDEN_COUNTERS: [&str; 29] = [
     "rows_encoded",
     "pieces_drawn",
     "boundaries_scanned",
@@ -35,6 +35,9 @@ const GOLDEN_COUNTERS: [&str; 26] = [
     "peer_keys_fetched",
     "peer_fetch_failures",
     "peer_unreachable",
+    "batched_values",
+    "piece_lookup_direct",
+    "piece_lookup_bsearch",
 ];
 
 fn tmp(name: &str) -> std::path::PathBuf {

@@ -62,7 +62,7 @@ use ppdt_data::{csv, AttrId, AttrStats, Dataset};
 use ppdt_error::PpdtError;
 use ppdt_risk::{domain_risk_trial, try_run_trials, DomainScenario};
 use ppdt_transform::{
-    BreakpointStrategy, EncodeConfig, Encoder, RetryPolicy, Severity, TransformKey,
+    BreakpointStrategy, CompiledKey, EncodeConfig, Encoder, RetryPolicy, Severity, TransformKey,
 };
 use ppdt_tree::{DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams};
 
@@ -342,7 +342,10 @@ fn cmd_decode_dataset(a: &Args) -> Result<(), CliError> {
     let d_prime = load_data(a)?;
     let key = TransformKey::load_json(a.required("key")?)?;
     let out = a.required("out")?;
-    let d = key.decode_dataset(&d_prime)?;
+    // The compiled plan's batched decode_column path — bit-identical
+    // to the interpreted decode (pinned by the compiled_equivalence
+    // proptest) but without per-value piece dispatch.
+    let d = CompiledKey::compile(&key)?.decode_dataset(&d_prime)?;
     csv::write_csv(&d, out)?;
     eprintln!("decoded {} tuples -> {out}", d.num_rows());
     Ok(())

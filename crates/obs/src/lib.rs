@@ -159,11 +159,21 @@ pub enum Counter {
     /// Sync rounds that found a peer unreachable (manifest poll failed
     /// after retry) — the raw material of the per-peer health status.
     PeerUnreachable,
+    /// Values pushed through the batched column paths of a compiled
+    /// plan (`encode_column`/`decode_column` cells, not rows).
+    BatchedValues,
+    /// Piece lookups resolved by a compiled transform's direct-index
+    /// breakpoint table (the dense, branch-free fast path).
+    PieceLookupDirect,
+    /// Piece lookups that fell back to binary search over `input_hi`
+    /// (no table: sparse breakpoints, degenerate span, or a bucket the
+    /// density heuristic rejected).
+    PieceLookupBsearch,
 }
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 29] = [
         Counter::RowsEncoded,
         Counter::PiecesDrawn,
         Counter::BoundariesScanned,
@@ -190,6 +200,9 @@ impl Counter {
         Counter::PeerKeysFetched,
         Counter::PeerFetchFailures,
         Counter::PeerUnreachable,
+        Counter::BatchedValues,
+        Counter::PieceLookupDirect,
+        Counter::PieceLookupBsearch,
     ];
 
     /// Stable position of this counter in [`Counter::ALL`] and in
@@ -228,6 +241,9 @@ impl Counter {
             Counter::PeerKeysFetched => "peer_keys_fetched",
             Counter::PeerFetchFailures => "peer_fetch_failures",
             Counter::PeerUnreachable => "peer_unreachable",
+            Counter::BatchedValues => "batched_values",
+            Counter::PieceLookupDirect => "piece_lookup_direct",
+            Counter::PieceLookupBsearch => "piece_lookup_bsearch",
         }
     }
 }
@@ -517,7 +533,10 @@ mod tests {
                 "peer_sync_rounds",
                 "peer_keys_fetched",
                 "peer_fetch_failures",
-                "peer_unreachable"
+                "peer_unreachable",
+                "batched_values",
+                "piece_lookup_direct",
+                "piece_lookup_bsearch"
             ]
         );
         for (i, c) in Counter::ALL.iter().enumerate() {

@@ -82,14 +82,15 @@ struct Inner<V> {
 
 /// A bounded string-keyed LRU map. Capacity 0 disables it: every
 /// `get` misses and `insert` is a no-op, which is how the benches
-/// force the cold path.
-struct LruCache<V> {
+/// force the cold path. Crate-visible so the key store can reuse it
+/// for parsed-envelope caching.
+pub(crate) struct LruCache<V> {
     capacity: usize,
     inner: Mutex<Inner<V>>,
 }
 
 impl<V> LruCache<V> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         LruCache { capacity, inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }) }
     }
 
@@ -102,7 +103,7 @@ impl<V> LruCache<V> {
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    fn get(&self, id: &str) -> Option<Arc<V>> {
+    pub(crate) fn get(&self, id: &str) -> Option<Arc<V>> {
         if self.capacity == 0 {
             return None;
         }
@@ -118,7 +119,7 @@ impl<V> LruCache<V> {
     /// Inserts (replacing any entry under `id`), evicting the least
     /// recently used entry when full. Returns whether an eviction
     /// happened.
-    fn insert(&self, id: String, value: Arc<V>) -> bool {
+    pub(crate) fn insert(&self, id: String, value: Arc<V>) -> bool {
         if self.capacity == 0 {
             return false;
         }
@@ -138,7 +139,7 @@ impl<V> LruCache<V> {
         evicted
     }
 
-    fn remove(&self, id: &str) {
+    pub(crate) fn remove(&self, id: &str) {
         if self.capacity == 0 {
             return;
         }

@@ -11,10 +11,59 @@
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::http::{write_response_conn, DeadlineStream, Response};
+
+/// Recycles request-body buffers across the keep-alive requests of one
+/// connection. The parser takes a buffer before reading a body; whoever
+/// finishes the request — a worker thread for queued jobs, the parser
+/// itself for inline answers and rejections — puts it back. Capacity is
+/// retained, so after the first request a connection reads every body
+/// it can hold without touching the allocator.
+pub(crate) struct BodyPool {
+    slots: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BodyPool {
+    /// Most buffers parked at once: the parser holds at most one, plus
+    /// a few returned by still-draining pipelined jobs.
+    const MAX_SLOTS: usize = 4;
+    /// Buffers that grew beyond this are dropped instead of pooled so
+    /// one oversized request cannot pin memory for a connection's
+    /// whole lifetime.
+    const MAX_RETAINED_BYTES: usize = 4 << 20;
+
+    pub fn new() -> Arc<BodyPool> {
+        Arc::new(BodyPool { slots: Mutex::new(Vec::new()) })
+    }
+
+    /// A recycled buffer (cleared, capacity intact) or a fresh one.
+    pub fn take(&self) -> Vec<u8> {
+        let recycled = self.slots.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match recycled {
+            Some(buf) => {
+                ppdt_obs::add(ppdt_obs::Counter::PoolReuseHits, 1);
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool (cleared; dropped when over-sized
+    /// or the pool is full).
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > Self::MAX_RETAINED_BYTES {
+            return;
+        }
+        buf.clear();
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if slots.len() < Self::MAX_SLOTS {
+            slots.push(buf);
+        }
+    }
+}
 
 /// One accepted connection: buffered reader, ordered writer, and the
 /// bookkeeping the keep-alive policy needs (age, requests issued).
@@ -23,6 +72,9 @@ pub(crate) struct Conn {
     pub reader: BufReader<DeadlineStream>,
     /// Shared ordered write half (cloned into queued jobs).
     pub writer: std::sync::Arc<ConnWriter>,
+    /// Body-buffer recycler shared with this connection's in-flight
+    /// jobs (cloned into each queued job alongside the writer).
+    pub bodies: Arc<BodyPool>,
     /// Accept time, for the connection-lifetime ceiling.
     pub created: Instant,
     /// Request sequence numbers issued so far (== requests parsed).
@@ -37,6 +89,7 @@ impl Conn {
         Ok(Conn {
             reader: BufReader::new(DeadlineStream::new(stream, deadline)),
             writer: std::sync::Arc::new(ConnWriter::new(write_half)),
+            bodies: BodyPool::new(),
             created: Instant::now(),
             seqs_issued: 0,
         })
@@ -276,6 +329,23 @@ mod tests {
         assert!(!text.contains("two"), "after close nothing more is written: {text}");
         assert!(text.contains("connection: keep-alive"), "{text}");
         assert!(text.contains("connection: close"), "{text}");
+    }
+
+    #[test]
+    fn body_pool_reuses_capacity_without_reallocating() {
+        let pool = BodyPool::new();
+        let mut buf = pool.take();
+        buf.extend_from_slice(&[7u8; 1024]);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        pool.put(buf);
+        let again = pool.take();
+        assert_eq!(again.as_ptr(), ptr, "the same allocation comes back");
+        assert_eq!(again.capacity(), cap);
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+        // Oversized buffers are dropped, not pooled.
+        pool.put(Vec::with_capacity(BodyPool::MAX_RETAINED_BYTES + 1));
+        assert_eq!(pool.take().capacity(), 0, "oversized buffer was not retained");
     }
 
     #[test]

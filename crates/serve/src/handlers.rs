@@ -269,6 +269,21 @@ pub(crate) fn check_arity(key: &TransformKey, num_attrs: usize) -> Result<(), Ht
 
 /// Encodes one plaintext row through the compiled plan.
 fn encode_row(plan: &CompiledKey, row: &[f64], row_idx: usize) -> Result<Vec<f64>, HttpError> {
+    let mut out = Vec::new();
+    encode_row_into(plan, row, row_idx, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode_row`] into a caller-owned buffer (cleared, capacity
+/// retained): classify reuses one point buffer across every query row
+/// instead of allocating per row.
+fn encode_row_into(
+    plan: &CompiledKey,
+    row: &[f64],
+    row_idx: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), HttpError> {
+    out.clear();
     if row.len() != plan.num_attrs() {
         return Err(HttpError::from(PpdtError::DataCorrupt {
             row: Some(row_idx + 1),
@@ -280,10 +295,11 @@ fn encode_row(plan: &CompiledKey, row: &[f64], row_idx: usize) -> Result<Vec<f64
             ),
         }));
     }
-    row.iter()
-        .enumerate()
-        .map(|(a, &x)| plan.encode_value(AttrId(a), x).map_err(HttpError::from))
-        .collect()
+    out.reserve(row.len());
+    for (a, &x) in row.iter().enumerate() {
+        out.push(plan.encode_value(AttrId(a), x).map_err(HttpError::from)?);
+    }
+    Ok(())
 }
 
 /// Validates (and `check_tree`s, when `check` is set) a request tree,
@@ -469,11 +485,12 @@ fn classify(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     let plan = load_plan(ctx, &body.key_id)?;
     let tree = validated_tree(ctx.caches, &body.key_id, &plan, &body.tree, true)?;
     let mut labels = Vec::with_capacity(body.rows.len());
+    let mut encoded = Vec::new();
     for (i, row) in body.rows.iter().enumerate() {
         // The custodian encodes the plaintext query point and routes
         // it through the miner's tree T' — inference without ever
         // decoding the tree (§5 custodian workflow).
-        let encoded = encode_row(&plan.plan, row, i)?;
+        encode_row_into(&plan.plan, row, i, &mut encoded)?;
         labels.push(tree.predict(&encoded).0);
     }
     json_response(200, &ClassifyResponse { key_id: body.key_id, labels })

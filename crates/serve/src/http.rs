@@ -350,21 +350,34 @@ pub fn read_body<R: BufRead>(
     head: &RequestHead,
     max_body: usize,
 ) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    read_body_into(reader, head, max_body, &mut body)?;
+    Ok(body)
+}
+
+/// [`read_body`] into a caller-owned buffer: `body` is cleared but its
+/// capacity is retained, so a buffer recycled across the keep-alive
+/// requests of one connection reads every body after the first without
+/// reallocating (once it has grown to the connection's working size).
+pub fn read_body_into<R: BufRead>(
+    reader: &mut R,
+    head: &RequestHead,
+    max_body: usize,
+    body: &mut Vec<u8>,
+) -> Result<(), HttpError> {
+    body.clear();
     if head.chunked {
         let mut chunks = ChunkedReader::new(reader);
-        let mut body = Vec::new();
         // `max_body + 1` so an over-cap body is detected, not
         // silently truncated.
         let mut bounded = (&mut chunks).take(max_body as u64 + 1);
-        bounded
-            .read_to_end(&mut body)
-            .map_err(|e| chunk_read_failed("chunked body read failed", &e))?;
+        bounded.read_to_end(body).map_err(|e| chunk_read_failed("chunked body read failed", &e))?;
         if body.len() > max_body {
             return Err(HttpError::payload_too_large(format!(
                 "chunked body exceeds the {max_body}-byte cap"
             )));
         }
-        return Ok(body);
+        return Ok(());
     }
     let content_length = head.content_length.unwrap_or(0);
     if content_length > max_body {
@@ -372,15 +385,15 @@ pub fn read_body<R: BufRead>(
             "Content-Length {content_length} exceeds the {max_body}-byte cap"
         )));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| {
+    body.resize(content_length, 0);
+    reader.read_exact(body).map_err(|e| {
         read_failed(
             "truncated_body",
             &format!("body shorter than Content-Length {content_length}"),
             &e,
         )
     })?;
-    Ok(body)
+    Ok(())
 }
 
 /// Maps a failed chunked-body read to its status: timeouts are `408`,
@@ -866,6 +879,38 @@ impl Client {
 mod tests {
     use super::*;
     use std::net::TcpListener;
+
+    #[test]
+    fn read_body_into_reuses_capacity_across_requests() {
+        // Two keep-alive bodies through one buffer: after the first
+        // request grows the buffer, the second (same size or smaller)
+        // must not reallocate — Content-Length and chunked alike.
+        let head_cl = |n: usize| RequestHead {
+            method: "POST".into(),
+            path: "/".into(),
+            content_length: Some(n),
+            chunked: false,
+            close: false,
+            expect_continue: false,
+        };
+        let mut body = Vec::new();
+        let mut reader = BufReader::new(&[0x41u8; 512][..]);
+        read_body_into(&mut reader, &head_cl(512), 1 << 20, &mut body).unwrap();
+        assert_eq!(body.len(), 512);
+        let (ptr, cap) = (body.as_ptr(), body.capacity());
+
+        let mut reader = BufReader::new(&[0x42u8; 300][..]);
+        read_body_into(&mut reader, &head_cl(300), 1 << 20, &mut body).unwrap();
+        assert_eq!(body, vec![0x42u8; 300]);
+        assert_eq!((body.as_ptr(), body.capacity()), (ptr, cap), "no realloc on reuse");
+
+        let chunked = b"5\r\nhello\r\n0\r\n\r\n";
+        let head_chunked = RequestHead { content_length: None, chunked: true, ..head_cl(0) };
+        let mut reader = BufReader::new(&chunked[..]);
+        read_body_into(&mut reader, &head_chunked, 1 << 20, &mut body).unwrap();
+        assert_eq!(body, b"hello");
+        assert_eq!((body.as_ptr(), body.capacity()), (ptr, cap), "no realloc on chunked reuse");
+    }
 
     fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

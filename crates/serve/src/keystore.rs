@@ -25,10 +25,18 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ppdt_error::PpdtError;
 use ppdt_transform::TransformKey;
 use serde::{Deserialize, Serialize};
+
+use crate::cache::{FileStamp, LruCache};
+
+/// Bound on the in-memory envelope cache: enough for every key a
+/// realistic custodian ring serves hot, small enough that even large
+/// keys stay within a few megabytes of retained memory.
+const ENVELOPE_CACHE_CAPACITY: usize = 64;
 
 /// Version of the on-disk envelope layout. Bumped on breaking
 /// changes; [`KeyStore::get`] rejects versions it does not know.
@@ -61,9 +69,27 @@ pub struct KeyEntry {
 }
 
 /// A directory of content-addressed key envelopes.
-#[derive(Debug)]
+///
+/// Repeated loads of the same id are served from an in-memory
+/// envelope cache keyed by the file's [`FileStamp`] (length + mtime):
+/// a hit with a matching stamp returns the already-parsed,
+/// already-audited [`TransformKey`] without re-reading the file, and a
+/// stamp mismatch (or a missing file) drops the entry and forces the
+/// full read → parse → digest-check → audit path. This is the same
+/// trust model as the plan cache one level up — the cached key passed
+/// the full validation when it entered the cache, and content
+/// addressing means the only same-id rewrites are repairs with
+/// byte-identical content or tampering that realistically moves
+/// length/mtime.
 pub struct KeyStore {
     dir: PathBuf,
+    envelopes: LruCache<(FileStamp, TransformKey)>,
+}
+
+impl std::fmt::Debug for KeyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyStore").field("dir", &self.dir).finish_non_exhaustive()
+    }
 }
 
 /// 128-bit FNV-1a over `bytes`, rendered as 32 hex chars: two 64-bit
@@ -104,7 +130,7 @@ impl KeyStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<KeyStore, PpdtError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| PpdtError::io(dir.display().to_string(), e))?;
-        Ok(KeyStore { dir })
+        Ok(KeyStore { dir, envelopes: LruCache::new(ENVELOPE_CACHE_CAPACITY) })
     }
 
     /// The store directory.
@@ -125,14 +151,15 @@ impl KeyStore {
 
     /// Cheap freshness stamp (length + mtime) of the envelope file for
     /// `id`, or `None` when no such envelope exists (including
-    /// malformed ids). The plan cache compares stamps to detect
-    /// on-disk replacement of a cached key without re-reading bytes.
-    pub(crate) fn stamp(&self, id: &str) -> Option<crate::cache::FileStamp> {
+    /// malformed ids). The plan cache and the store's own envelope
+    /// cache compare stamps to detect on-disk replacement of a cached
+    /// key without re-reading bytes.
+    pub(crate) fn stamp(&self, id: &str) -> Option<FileStamp> {
         if !valid_id(id) {
             return None;
         }
         let meta = fs::metadata(self.path_for(id)).ok()?;
-        Some(crate::cache::FileStamp { len: meta.len(), mtime: meta.modified().ok() })
+        Some(FileStamp { len: meta.len(), mtime: meta.modified().ok() })
     }
 
     /// Stores `key`, returning `(key_id, created)`. The key is audited
@@ -223,6 +250,18 @@ impl KeyStore {
         if !valid_id(id) {
             return Ok(None);
         }
+        // Stamp *before* reading: if the file is replaced between the
+        // stamp and the read we cache the new bytes under the old
+        // stamp, and the next call's stamp mismatch forces a reload —
+        // the race costs one redundant load, never a stale serve.
+        let stamp = self.stamp(id);
+        if let (Some(current), Some(cached)) = (stamp, self.envelopes.get(id)) {
+            let (cached_stamp, ref key) = *cached;
+            if cached_stamp == current {
+                return Ok(Some(key.clone()));
+            }
+            self.envelopes.remove(id);
+        }
         let path = self.path_for(id);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
@@ -251,6 +290,9 @@ impl KeyStore {
             return Err(report
                 .first_error()
                 .unwrap_or_else(|| PpdtError::key_corrupt(format!("key {id} failed audit"))));
+        }
+        if let Some(stamp) = stamp {
+            self.envelopes.insert(id.to_string(), Arc::new((stamp, envelope.key.clone())));
         }
         Ok(Some(envelope.key))
     }
@@ -443,6 +485,68 @@ mod tests {
         assert!(created);
         assert_eq!(store.get(&id).unwrap().expect("repaired"), key);
         assert_eq!(fs::read_to_string(&path).unwrap(), good, "repair is byte-identical");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn envelope_cache_serves_on_stamp_match_and_reloads_on_mismatch() {
+        let dir = tmp_dir("envcache");
+        let store = KeyStore::open(&dir).unwrap();
+        let key = sample_key(13);
+        let (id, _) = store.put(&key).unwrap();
+        let path = store.path_for(&id);
+
+        // First load parses + audits and populates the cache.
+        assert_eq!(store.get(&id).unwrap().expect("present"), key);
+        let stamp = store.stamp(&id).expect("stamped");
+        let Some(mtime) = stamp.mtime else {
+            // Platform without mtimes: the stamp can never match, so
+            // the cache is inert and there is nothing to test.
+            let _ = fs::remove_dir_all(&dir);
+            return;
+        };
+
+        // Tamper with the bytes while *forging the stamp back*: same
+        // length (one flipped digit), original mtime. The stamp still
+        // matches, so the cached parsed key is served without touching
+        // the corrupted bytes — which is exactly the trust model: the
+        // cached key already passed digest + audit.
+        let good = fs::read_to_string(&path).unwrap();
+        let mut flipped = None;
+        for seed in 0..40 {
+            let bad = ppdt_data::corrupt::flip_ascii_digit(&good, seed);
+            if bad != good {
+                flipped = Some(bad);
+                break;
+            }
+        }
+        let bad = flipped.expect("some digit flips");
+        assert_eq!(bad.len(), good.len(), "tamper must preserve the length");
+        fs::write(&path, &bad).unwrap();
+        let f = fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(mtime).unwrap();
+        drop(f);
+        assert_eq!(store.stamp(&id), Some(stamp), "forged stamp matches");
+        assert_eq!(
+            store.get(&id).unwrap().expect("served from cache"),
+            key,
+            "stamp match serves the cached parsed key without re-reading"
+        );
+
+        // Let the stamp move (tampered bytes keep their own mtime):
+        // the mismatch drops the cached entry and the full reload path
+        // sees the corruption.
+        let f = fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(std::time::SystemTime::now()).unwrap();
+        drop(f);
+        assert_ne!(store.stamp(&id), Some(stamp));
+        let err = store.get(&id).expect_err("stamp mismatch forces the full load path");
+        assert_eq!(err.category(), ppdt_error::ErrorCategory::CorruptKey, "{err}");
+
+        // Repairing the envelope makes it loadable (and cacheable)
+        // again through the normal path.
+        fs::write(&path, &good).unwrap();
+        assert_eq!(store.get(&id).unwrap().expect("repaired"), key);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -59,7 +59,7 @@ use serde::Serialize;
 use crate::cache::Caches;
 use crate::conn::{Conn, ConnWriter};
 use crate::handlers::{self, Endpoint, HandlerCtx, ENDPOINTS};
-use crate::http::{read_body, read_head, HttpError, Request, Response};
+use crate::http::{read_body_into, read_head, HttpError, Request, Response};
 use crate::peer::{Cluster, PeerSnapshot};
 use crate::poller::{self, Parked, Poller, POLL_TICK};
 use crate::stream::{self, StreamEnd};
@@ -336,6 +336,10 @@ pub struct MetricsBody {
 /// ordered writer (and sequence slot) to answer through.
 struct Job {
     writer: Arc<ConnWriter>,
+    /// The connection's body-buffer recycler: the worker returns the
+    /// request body here when done, so the next keep-alive request on
+    /// the same connection reads into it without reallocating.
+    bodies: Arc<crate::conn::BodyPool>,
     seq: u64,
     close: bool,
     req: Request,
@@ -720,8 +724,15 @@ impl Server {
                 Err(e) => {
                     // Routing errors (404/405) are request-level: consume
                     // the body so the connection can survive.
-                    match read_body(&mut conn.reader, &head, self.cfg.max_body_bytes) {
-                        Ok(_) => {
+                    let mut body = conn.bodies.take();
+                    match read_body_into(
+                        &mut conn.reader,
+                        &head,
+                        self.cfg.max_body_bytes,
+                        &mut body,
+                    ) {
+                        Ok(()) => {
+                            conn.bodies.put(body);
                             self.submit_error(&conn.writer, seq, None, &e, close);
                             return self.after_answer(conn, close);
                         }
@@ -743,19 +754,22 @@ impl Server {
         if head.expect_continue && head.has_body() {
             conn.writer.try_continue(seq);
         }
-        let body = match read_body(&mut conn.reader, &head, self.cfg.max_body_bytes) {
-            Ok(body) => body,
-            Err(e) => {
-                self.submit_error(&conn.writer, seq, Some(endpoint), &e, true);
-                return Step::Done;
-            }
-        };
-        let req = Request { method: head.method, path: head.path, body };
+        // The body lands in a per-connection recycled buffer: requests
+        // after the first on a keep-alive connection read it without
+        // touching the allocator.
+        let mut body = conn.bodies.take();
+        if let Err(e) = read_body_into(&mut conn.reader, &head, self.cfg.max_body_bytes, &mut body)
+        {
+            self.submit_error(&conn.writer, seq, Some(endpoint), &e, true);
+            return Step::Done;
+        }
 
         if endpoint.is_inline() {
             // Liveness, metrics, and version negotiation bypass the
             // queue so they stay responsive while the pool is
-            // saturated.
+            // saturated. None of them reads the body, so the buffer
+            // goes straight back.
+            conn.bodies.put(body);
             let start = Instant::now();
             let resp = match endpoint {
                 Endpoint::Healthz => self.render_healthz(),
@@ -767,8 +781,10 @@ impl Server {
             return self.after_answer(conn, close);
         }
 
+        let req = Request { method: head.method, path: head.path, body };
         let job = Job {
             writer: Arc::clone(&conn.writer),
+            bodies: Arc::clone(&conn.bodies),
             seq,
             close,
             req,
@@ -847,7 +863,7 @@ impl Server {
         InFlight(&self.metrics)
     }
 
-    fn process(&self, job: Job) {
+    fn process(&self, mut job: Job) {
         if job.enqueued.elapsed() > self.cfg.request_deadline {
             self.submit_error(
                 &job.writer,
@@ -866,6 +882,9 @@ impl Server {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handlers::handle(job.endpoint, &job.req, &self.ctx())
         }));
+        // The handler is done with the body: recycle the buffer for
+        // the connection's next keep-alive request.
+        job.bodies.put(std::mem::take(&mut job.req.body));
         self.metrics.timed(job.endpoint, start.elapsed());
         match outcome {
             Ok(Ok(resp)) => self.submit(&job.writer, job.seq, job.endpoint, resp, job.close),

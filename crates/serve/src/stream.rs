@@ -99,13 +99,28 @@ pub(crate) fn run(
 }
 
 /// Reads one `\n`-terminated line off the de-chunked body, capped at
-/// `cap` bytes. `Ok(None)` is end of body.
+/// `cap` bytes. `Ok(None)` is end of body. Allocates per call; the
+/// row hot loop uses [`read_line_capped_into`] with a reused buffer.
 fn read_line_capped<R: BufRead>(
     reader: &mut R,
     cap: usize,
     what: &str,
 ) -> Result<Option<String>, HttpError> {
-    let mut out: Vec<u8> = Vec::new();
+    let mut buf = Vec::new();
+    Ok(read_line_capped_into(reader, cap, what, &mut buf)?.map(str::to_owned))
+}
+
+/// [`read_line_capped`] into a caller-owned scratch buffer (cleared,
+/// capacity retained): one buffer serves every row of a streamed
+/// dataset, so the per-line path never touches the allocator once the
+/// buffer has grown to the longest row seen.
+fn read_line_capped_into<'b, R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+    what: &str,
+    out: &'b mut Vec<u8>,
+) -> Result<Option<&'b str>, HttpError> {
+    out.clear();
     loop {
         let buf = reader.fill_buf().map_err(|e| chunk_read_failed(what, &e))?;
         if buf.is_empty() {
@@ -131,7 +146,7 @@ fn read_line_capped<R: BufRead>(
     if out.last() == Some(&b'\r') {
         out.pop();
     }
-    String::from_utf8(out)
+    std::str::from_utf8(out)
         .map(Some)
         .map_err(|e| HttpError::bad_request("invalid_utf8", format!("{what}: {e}")))
 }
@@ -195,24 +210,26 @@ impl Batch {
     }
 
     /// Fills the batch with up to `max_rows` lines; returns whether
-    /// the body is exhausted.
+    /// the body is exhausted. `line_buf` is the caller's scratch
+    /// buffer, reused across every row of the stream.
     fn fill<R: BufRead>(
         &mut self,
         reader: &mut R,
         max_rows: usize,
         line_no: &mut u64,
         with_label: bool,
+        line_buf: &mut Vec<u8>,
     ) -> Result<bool, HttpError> {
         self.clear();
         while self.rows < max_rows {
-            match read_line_capped(reader, MAX_ROW_LINE, "streamed row")? {
+            match read_line_capped_into(reader, MAX_ROW_LINE, "streamed row", line_buf)? {
                 None => return Ok(true),
                 Some(line) => {
                     if line.trim().is_empty() {
                         continue; // ignore blank lines (trailing newline etc.)
                     }
                     *line_no += 1;
-                    self.push_line(&line, *line_no, with_label)?;
+                    self.push_line(line, *line_no, with_label)?;
                 }
             }
         }
@@ -331,7 +348,8 @@ fn stream_encode<R: BufRead>(
     let max_rows = cfg.stream_chunk_rows.max(1);
     let mut batch = Batch::new(num_attrs);
     let mut line_no = 0u64;
-    let mut eof = match batch.fill(body, max_rows, &mut line_no, true) {
+    let mut line_buf = Vec::new();
+    let mut eof = match batch.fill(body, max_rows, &mut line_no, true, &mut line_buf) {
         Ok(eof) => eof,
         Err(e) => return StreamEnd::Error(e),
     };
@@ -351,7 +369,7 @@ fn stream_encode<R: BufRead>(
         write_chunk(w, text.as_bytes())?;
         chunks += 1;
         while !eof {
-            eof = batch.fill(body, max_rows, &mut line_no, true).map_err(abort)?;
+            eof = batch.fill(body, max_rows, &mut line_no, true, &mut line_buf).map_err(abort)?;
             if batch.rows == 0 {
                 break;
             }
@@ -414,7 +432,8 @@ fn stream_classify<R: BufRead>(
     let max_rows = cfg.stream_chunk_rows.max(1);
     let mut batch = Batch::new(num_attrs);
     let mut line_no = 0u64;
-    let mut eof = match batch.fill(body, max_rows, &mut line_no, false) {
+    let mut line_buf = Vec::new();
+    let mut eof = match batch.fill(body, max_rows, &mut line_no, false, &mut line_buf) {
         Ok(eof) => eof,
         Err(e) => return StreamEnd::Error(e),
     };
@@ -442,7 +461,7 @@ fn stream_classify<R: BufRead>(
         write_chunk(w, text.as_bytes())?;
         chunks += 1;
         while !eof {
-            eof = batch.fill(body, max_rows, &mut line_no, false).map_err(abort)?;
+            eof = batch.fill(body, max_rows, &mut line_no, false, &mut line_buf).map_err(abort)?;
             if batch.rows == 0 {
                 break;
             }

@@ -24,6 +24,25 @@
 //! dispatch-free per value. Compilation audits the key first: a
 //! [`CompiledKey`] is always a *trusted* artifact, which is what lets
 //! a server skip per-request auditing entirely.
+//!
+//! On top of the per-value methods sit the batched column paths
+//! ([`CompiledKey::encode_column`] / [`CompiledKey::decode_column`]).
+//! Encode *buckets* the column: one lookup pass assigns every value
+//! its piece (through the branch-free direct-index table when the
+//! density heuristic built one — see `LookupTable` — by binary search
+//! otherwise), a counting sort gathers each piece's values into one
+//! contiguous scratch slice, each opcode of the piece's program runs
+//! once over that whole slice, and the results scatter back into row
+//! order. Piece dispatch is paid once per *piece* instead of once per
+//! *cell*, and the opcode inner loops are plain slice passes the
+//! compiler unrolls and vectorizes — regardless of how values are
+//! ordered in the column. Decode carves the column into maximal
+//! same-piece runs instead (output-interval membership pins the
+//! piece), which is cheaper than bucketing for its snap-dominated
+//! cost profile. Every one of these paths returns bit-identical
+//! results — and bit-identical *errors*, at the same row — as the
+//! per-value methods, because no floating-point operation is
+//! reordered within any single value's computation.
 
 use ppdt_data::AttrId;
 use ppdt_error::PpdtError;
@@ -114,8 +133,104 @@ enum PieceProgram {
     /// [`CompiledTransform::ops`].
     Monotone { s: f64, t: f64, ops: (u32, u32) },
     /// `(start, len)` into `perm_orig` / `perm_out` (sorted by
-    /// original value, mirroring the interpreted map).
-    Permutation { perm: (u32, u32) },
+    /// original value, mirroring the interpreted map). `grid` is the
+    /// `(first, 1/step)` of an exact arithmetic progression when the
+    /// piece's originals form one — integer-coded attributes almost
+    /// always do — letting lookup guess the index in O(1). The guess
+    /// is verified bit-wise and falls back to binary search on any
+    /// mismatch, so the accelerator is unobservable in results.
+    Permutation { perm: (u32, u32), grid: Option<(f64, f64)> },
+}
+
+/// Detects an exact arithmetic progression in a sorted permutation
+/// domain: returns `(first, 1/step)` only when every element is
+/// *bit-identical* to `first + j·step`, so an index recomputed from a
+/// member value can be trusted after one bitwise compare.
+fn perm_grid(orig: &[f64]) -> Option<(f64, f64)> {
+    if orig.len() < 2 {
+        return None;
+    }
+    let first = orig[0];
+    let step = orig[1] - first;
+    if !(step.is_finite() && step > 0.0) {
+        return None;
+    }
+    let exact =
+        orig.iter().enumerate().all(|(j, &v)| (first + j as f64 * step).to_bits() == v.to_bits());
+    exact.then(|| (first, 1.0 / step))
+}
+
+/// Direct-index acceleration for `partition_point` over `input_hi`:
+/// maps a probe value to a bucket of the transform's input span and
+/// scans forward from a precomputed per-bucket floor. Built at lower
+/// time only when the breakpoints are dense enough that the scan is
+/// provably short (see [`LookupTable::build`]); lookups through it are
+/// index-identical to binary search for **every** `f64`, including
+/// NaN and infinities, so callers never observe which path ran.
+#[derive(Clone, Debug)]
+struct LookupTable {
+    /// Left edge of the bucketed span (`input_lo[0]`).
+    lo: f64,
+    /// `buckets / span` — one multiply turns a value into a bucket.
+    inv_width: f64,
+    /// `first[b]` = number of pieces whose `input_hi` lands in a
+    /// bucket strictly below `b`. Because bucketing is monotone, this
+    /// never overshoots the true partition point of any probe landing
+    /// in bucket `b`, so a forward scan from it is always correct.
+    first: Vec<u32>,
+}
+
+impl LookupTable {
+    /// Density heuristic: the longest forward scan a table is allowed
+    /// to cost (max breakpoints sharing one bucket). With 4 buckets
+    /// per piece the expected occupancy is 0.25, so only pathological
+    /// clustering rejects the table.
+    const MAX_BUCKET_OCCUPANCY: u32 = 8;
+
+    /// Builds a bucket table over sorted `breaks` spanning `[lo,
+    /// breaks.last()]`. `per_entry` buckets are allocated per break
+    /// (rounded up to a power of two, capped at `max_buckets`); the
+    /// build refuses when any bucket would exceed
+    /// [`Self::MAX_BUCKET_OCCUPANCY`], keeping every forward scan
+    /// provably short.
+    fn build(lo: f64, breaks: &[f64], per_entry: usize, max_buckets: usize) -> Option<LookupTable> {
+        let n = breaks.len();
+        if n < 2 {
+            // Zero or one entry: binary search is already branch-free.
+            return None;
+        }
+        let span = breaks[n - 1] - lo;
+        if !(span.is_finite() && span > 0.0) || breaks.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let buckets = (per_entry * n).next_power_of_two().min(max_buckets);
+        let inv_width = buckets as f64 / span;
+        if !(inv_width.is_finite() && inv_width > 0.0) {
+            return None;
+        }
+        let bucket_of = |v: f64| (((v - lo) * inv_width) as usize).min(buckets - 1);
+        // counts[b + 1] = occupancy of bucket b, then prefix-summed so
+        // counts[b] = breakpoints strictly below bucket b.
+        let mut counts = vec![0u32; buckets + 1];
+        for &v in breaks {
+            counts[bucket_of(v) + 1] += 1;
+        }
+        if counts.iter().any(|&c| c > Self::MAX_BUCKET_OCCUPANCY) {
+            return None;
+        }
+        for b in 1..=buckets {
+            counts[b] += counts[b - 1];
+        }
+        Some(LookupTable { lo, inv_width, first: counts })
+    }
+
+    /// Bucket of `v`. The `as usize` cast saturates (NaN and negative
+    /// products land in bucket 0, overflow clamps high), which is
+    /// exactly what keeps out-of-span probes correct.
+    #[inline]
+    fn bucket_of(&self, v: f64) -> usize {
+        (((v - self.lo) * self.inv_width) as usize).min(self.first.len() - 2)
+    }
 }
 
 /// One attribute's transform in compiled (struct-of-arrays) form.
@@ -139,6 +254,16 @@ pub struct CompiledTransform {
     perm_out: Vec<f64>,
     /// The attribute's recorded active domain, for threshold snapping.
     orig_domain: Vec<f64>,
+    /// Direct-index piece lookup, when the density heuristic admits
+    /// one; `None` falls back to binary search.
+    table: Option<LookupTable>,
+    /// Direct-index lookup over the whole `perm_orig` pool, which is
+    /// globally sorted because pieces lower in domain order and each
+    /// map is sorted within its range. Used by the batched encode to
+    /// turn the per-value binary search inside permutation pieces into
+    /// a bucket probe plus a short scan; `None` (sparse pool or the
+    /// density heuristic refused) falls back to binary search.
+    perm_table: Option<LookupTable>,
 }
 
 impl CompiledTransform {
@@ -155,6 +280,8 @@ impl CompiledTransform {
             perm_orig: Vec::new(),
             perm_out: Vec::new(),
             orig_domain: tr.orig_domain.clone(),
+            table: None,
+            perm_table: None,
         };
         for p in &tr.pieces {
             out.input_lo.push(p.input_lo);
@@ -174,15 +301,75 @@ impl CompiledTransform {
                         out.perm_orig.push(orig);
                         out.perm_out.push(image);
                     }
-                    out.prog.push(PieceProgram::Permutation { perm: (start, map.len() as u32) });
+                    let grid = perm_grid(&out.perm_orig[start as usize..]);
+                    out.prog
+                        .push(PieceProgram::Permutation { perm: (start, map.len() as u32), grid });
                 }
             }
+        }
+        let lo = out.input_lo.first().copied().unwrap_or(f64::NAN);
+        out.table = LookupTable::build(lo, &out.input_hi, 4, 4096);
+        // The pool is sorted by construction; the `total_cmp` check is
+        // a cheap compile-time guard so a violated invariant degrades
+        // to binary search instead of wrong lookups. Permutation maps
+        // are integer-dense in practice, so 8 buckets per entry keeps
+        // occupancy (and thus scan length) low even on value grids.
+        if out.perm_orig.windows(2).all(|w| w[0].total_cmp(&w[1]).is_lt()) {
+            let lo = out.perm_orig.first().copied().unwrap_or(f64::NAN);
+            out.perm_table = LookupTable::build(lo, &out.perm_orig, 8, 1 << 17);
         }
         out
     }
 
+    /// `partition_point(|&hi| hi < x)` over the breakpoint array — via
+    /// the direct-index table when one was built, by binary search
+    /// otherwise. Both paths return the same index for every `f64`.
+    #[inline]
+    fn piece_index(&self, x: f64) -> usize {
+        match &self.table {
+            Some(t) => {
+                let mut i = t.first[t.bucket_of(x)] as usize;
+                // `first` undershoots by at most the bucket occupancy
+                // the density heuristic admitted, so this stays short.
+                while i < self.input_hi.len() && self.input_hi[i] < x {
+                    i += 1;
+                }
+                i
+            }
+            None => self.input_hi.partition_point(|&hi| hi < x),
+        }
+    }
+
+    /// Exact-match position of `x` within one piece's slice
+    /// `perm_orig[start..start + len]` — the batched twin of
+    /// `binary_search_by(total_cmp)` over that slice, and
+    /// index-identical to it for every `f64`. Through `perm_table` the
+    /// probe becomes one bucket index into the *global* pool plus a
+    /// short forward scan (bounded by the build's occupancy cap);
+    /// because the pool is strictly ascending under `total_cmp`, the
+    /// slice's partition point is the global one clamped into the
+    /// slice, and a strictly-sorted slice matches at its partition
+    /// point or not at all.
+    #[inline]
+    fn perm_position(&self, start: usize, len: usize, x: f64) -> Option<usize> {
+        match &self.perm_table {
+            Some(t) => {
+                let mut j = t.first[t.bucket_of(x)] as usize;
+                while j < self.perm_orig.len() && self.perm_orig[j].total_cmp(&x).is_lt() {
+                    j += 1;
+                }
+                let p = j.saturating_sub(start).min(len);
+                (p < len && self.perm_orig[start + p].total_cmp(&x).is_eq()).then_some(p)
+            }
+            None => self.perm_orig[start..start + len].binary_search_by(|o| o.total_cmp(&x)).ok(),
+        }
+    }
+
     /// Piece lookup over the flat breakpoint array — the compiled twin
-    /// of [`PiecewiseTransform::piece_for_input`].
+    /// of [`PiecewiseTransform::piece_for_input`]. Stays on binary
+    /// search: the direct-index table's `first` array is cache-cold
+    /// for a one-off probe, so it only pays when a whole column's
+    /// lookups share it (the batched paths).
     #[inline]
     fn piece_for_input(&self, x: f64) -> Result<usize, PpdtError> {
         let i = self.input_hi.partition_point(|&hi| hi < x);
@@ -204,7 +391,7 @@ impl CompiledTransform {
                 }
                 Ok(s * v + t)
             }
-            PieceProgram::Permutation { perm: (start, len) } => {
+            PieceProgram::Permutation { perm: (start, len), .. } => {
                 let orig = &self.perm_orig[start as usize..(start + len) as usize];
                 orig.binary_search_by(|v| v.total_cmp(&x))
                     .map(|j| self.perm_out[start as usize + j])
@@ -224,7 +411,7 @@ impl CompiledTransform {
                 }
                 Ok(v)
             }
-            PieceProgram::Permutation { perm: (start, len) } => {
+            PieceProgram::Permutation { perm: (start, len), .. } => {
                 // Nearest recorded output, earliest index on exact
                 // ties — same scan as the interpreted path.
                 let outs = &self.perm_out[start as usize..(start + len) as usize];
@@ -305,6 +492,13 @@ impl CompiledTransform {
     /// bit-identical to [`PiecewiseTransform::decode_snapped`].
     pub fn decode_snapped(&self, y: f64) -> Result<f64, PpdtError> {
         let raw = self.decode(y)?;
+        self.snap(raw)
+    }
+
+    /// Snaps a raw decode to the recorded active domain — the tail of
+    /// [`PiecewiseTransform::decode_snapped`].
+    #[inline]
+    fn snap(&self, raw: f64) -> Result<f64, PpdtError> {
         nearest(&self.orig_domain, raw)
             .ok_or_else(|| PpdtError::key_corrupt("empty recorded original domain"))
     }
@@ -312,6 +506,248 @@ impl CompiledTransform {
     /// The attribute's global direction.
     pub fn increasing(&self) -> bool {
         self.increasing
+    }
+
+    /// Batched encode of a contiguous slice: identical outputs (and
+    /// identical errors, at the same first failing row) as pushing
+    /// `self.encode(x)` per value, but executed piece-bucketed — one
+    /// lookup pass, a counting sort grouping same-piece values into
+    /// contiguous scratch, one pass per opcode over each group, and a
+    /// row-order scatter back. Encoded values are appended to `dst`;
+    /// on error `dst` holds exactly the rows that preceded the
+    /// failure.
+    pub(crate) fn encode_slice(&self, src: &[f64], dst: &mut Vec<f64>) -> Result<(), PpdtError> {
+        let mut lookups = 0u64;
+        let res = self.encode_bucketed(src, dst, &mut lookups);
+        ppdt_obs::add(ppdt_obs::Counter::BatchedValues, dst.len() as u64);
+        let lookup_counter = if self.table.is_some() {
+            ppdt_obs::Counter::PieceLookupDirect
+        } else {
+            ppdt_obs::Counter::PieceLookupBsearch
+        };
+        ppdt_obs::add(lookup_counter, lookups);
+        res
+    }
+
+    fn encode_bucketed(
+        &self,
+        src: &[f64],
+        dst: &mut Vec<f64>,
+        lookups: &mut u64,
+    ) -> Result<(), PpdtError> {
+        let np = self.prog.len();
+        // Pass 1 — piece lookup per row (histogramming as it goes),
+        // stopping at the first value no piece owns (NaN lands here
+        // too: every range comparison is false). Rows past that point
+        // can never reach `dst` — the per-value loop would have
+        // stopped — so they are not encoded.
+        let mut piece_of = vec![0u32; src.len()];
+        let mut starts = vec![0u32; np + 1];
+        let mut bad_lookup = None;
+        let mut rows = src.len();
+        for (r, (&x, slot)) in src.iter().zip(piece_of.iter_mut()).enumerate() {
+            let i = self.piece_index(x);
+            if i < np && self.input_lo[i] <= x {
+                *slot = i as u32;
+                starts[i + 1] += 1;
+            } else {
+                bad_lookup = Some(x);
+                rows = r;
+                break;
+            }
+        }
+        piece_of.truncate(rows);
+        *lookups += rows as u64 + u64::from(bad_lookup.is_some());
+
+        // Pass 2 — stable counting sort: gather each piece's values
+        // into one contiguous scratch range (`starts[i]..starts[i+1]`),
+        // remembering every value's source row for the scatter back.
+        for b in 1..=np {
+            starts[b] += starts[b - 1];
+        }
+        let mut gathered = vec![0f64; rows];
+        let mut row_of = vec![0u32; rows];
+        let mut cursor: Vec<u32> = starts[..np].to_vec();
+        for (r, &p) in piece_of.iter().enumerate() {
+            let c = cursor[p as usize] as usize;
+            gathered[c] = src[r];
+            row_of[c] = r as u32;
+            cursor[p as usize] = c as u32 + 1;
+        }
+
+        // Pass 3 — run each piece's program over its gathered group,
+        // opcode-outer, value-inner: each value still sees the exact
+        // per-value operation sequence (no data flows between values),
+        // so results stay bit-identical while dispatch amortizes and
+        // the inner loops vectorize. A permutation miss is *recorded*,
+        // not returned — an earlier row may still fail the finiteness
+        // scan, and the per-value contract is first-failing-row-wins.
+        let mut perm_miss: Option<(u32, PpdtError)> = None;
+        for i in 0..np {
+            let (g0, g1) = (starts[i] as usize, starts[i + 1] as usize);
+            if g0 == g1 {
+                continue;
+            }
+            let vals = &mut gathered[g0..g1];
+            match self.prog[i] {
+                PieceProgram::Monotone { s, t, ops: (start, len) } => {
+                    for op in &self.ops[start as usize..(start + len) as usize] {
+                        match *op {
+                            // Specialized so the pure-FMA pass
+                            // vectorizes; the formula is exactly
+                            // `Op::Linear`'s eval. The transcendental
+                            // ops stay scalar libm calls either way.
+                            Op::Linear { a, b } => {
+                                for v in vals.iter_mut() {
+                                    *v = a * *v + b;
+                                }
+                            }
+                            op => {
+                                for v in vals.iter_mut() {
+                                    *v = op.eval(*v);
+                                }
+                            }
+                        }
+                    }
+                    for v in vals.iter_mut() {
+                        *v = s * *v + t;
+                    }
+                }
+                PieceProgram::Permutation { perm: (start, len), grid } => {
+                    let orig = &self.perm_orig[start as usize..(start + len) as usize];
+                    let outs = &self.perm_out[start as usize..(start + len) as usize];
+                    for (g, v) in vals.iter_mut().enumerate() {
+                        // Grid guess first: O(1), branch-predictable,
+                        // verified bit-wise — any mismatch (including
+                        // inexact arithmetic on hostile floats) falls
+                        // back to the binary search, so results are
+                        // indistinguishable from the per-value path.
+                        if let Some((first, inv_step)) = grid {
+                            let j = ((*v - first) * inv_step).round() as usize;
+                            if j < orig.len() && orig[j].to_bits() == v.to_bits() {
+                                *v = outs[j];
+                                continue;
+                            }
+                        }
+                        match self.perm_position(start as usize, len as usize, *v) {
+                            Some(p) => *v = outs[p],
+                            None => {
+                                let r = row_of[g0 + g];
+                                if perm_miss.as_ref().is_none_or(|&(br, _)| r < br) {
+                                    let e = PpdtError::DomainViolation {
+                                        attr: None,
+                                        piece: None,
+                                        value: *v,
+                                    };
+                                    perm_miss = Some((r, e.with_piece(i)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 4 — scatter back into row order, then the in-order
+        // finiteness scan over exactly the rows the per-value loop
+        // would have reached before its first error.
+        let base = dst.len();
+        dst.resize(base + rows, 0.0);
+        let out = &mut dst[base..];
+        for (g, &r) in row_of.iter().enumerate() {
+            out[r as usize] = gathered[g];
+        }
+        let limit = perm_miss.as_ref().map_or(rows, |&(r, _)| r as usize);
+        if let Some(r) = dst[base..base + limit].iter().position(|y| !y.is_finite()) {
+            let (x, y) = (src[r], dst[base + r]);
+            let i = piece_of[r] as usize;
+            dst.truncate(base + r);
+            return Err(PpdtError::KeyCorrupt {
+                attr: None,
+                piece: Some(i),
+                detail: format!("value {x} encodes to non-finite {y}"),
+            });
+        }
+        if let Some((r, e)) = perm_miss {
+            dst.truncate(base + r as usize);
+            return Err(e);
+        }
+        if let Some(x) = bad_lookup {
+            return Err(PpdtError::DomainViolation { attr: None, piece: None, value: x });
+        }
+        Ok(())
+    }
+
+    /// Batched snapped decode of a contiguous slice: identical outputs
+    /// and errors as pushing `self.decode_snapped(y)` per value. Runs
+    /// are carved by output-interval membership (audited keys have
+    /// disjoint intervals, so membership pins the same piece
+    /// `locate_output` would return); gap values — outside every
+    /// interval — snap to a nearest piece that says nothing about
+    /// their neighbours, so they decode singly.
+    pub(crate) fn decode_slice(&self, src: &[f64], dst: &mut Vec<f64>) -> Result<(), PpdtError> {
+        let res = self.decode_runs(src, dst);
+        ppdt_obs::add(ppdt_obs::Counter::BatchedValues, dst.len() as u64);
+        res
+    }
+
+    fn decode_runs(&self, src: &[f64], dst: &mut Vec<f64>) -> Result<(), PpdtError> {
+        let mut k = 0;
+        while k < src.len() {
+            let y0 = src[k];
+            let i = self.locate_output(y0)?;
+            if !(self.output_lo[i] <= y0 && y0 <= self.output_hi[i]) {
+                // Gap or NaN probe: exactly the per-value path.
+                let x = self.decode_piece(i, y0).map_err(|e| e.with_piece(i))?;
+                dst.push(self.snap(x.clamp(self.input_lo[i], self.input_hi[i]))?);
+                k += 1;
+                continue;
+            }
+            let (olo, ohi) = (self.output_lo[i], self.output_hi[i]);
+            let mut j = k + 1;
+            while j < src.len() && olo <= src[j] && src[j] <= ohi {
+                j += 1;
+            }
+            let run = &src[k..j];
+            match self.prog[i] {
+                PieceProgram::Monotone { s, t, ops: (start, len) } => {
+                    let base = dst.len();
+                    dst.extend_from_slice(run);
+                    let out = &mut dst[base..];
+                    for v in out.iter_mut() {
+                        *v = (*v - t) / s;
+                    }
+                    for op in self.ops[start as usize..(start + len) as usize].iter().rev() {
+                        for v in out.iter_mut() {
+                            *v = op.inverse(*v);
+                        }
+                    }
+                    let (ilo, ihi) = (self.input_lo[i], self.input_hi[i]);
+                    for v in out.iter_mut() {
+                        *v = v.clamp(ilo, ihi);
+                    }
+                    for m in base..dst.len() {
+                        match nearest(&self.orig_domain, dst[m]) {
+                            Some(snapped) => dst[m] = snapped,
+                            None => {
+                                dst.truncate(m);
+                                return Err(PpdtError::key_corrupt(
+                                    "empty recorded original domain",
+                                ));
+                            }
+                        }
+                    }
+                }
+                PieceProgram::Permutation { .. } => {
+                    for &y in run {
+                        let x = self.decode_piece(i, y).map_err(|e| e.with_piece(i))?;
+                        dst.push(self.snap(x.clamp(self.input_lo[i], self.input_hi[i]))?);
+                    }
+                }
+            }
+            k = j;
+        }
+        Ok(())
     }
 }
 
@@ -375,7 +811,10 @@ impl CompiledKey {
     }
 
     /// Encodes a whole column into `dst` (cleared first). One
-    /// reservation up front, then no per-value allocation or dispatch.
+    /// reservation up front, then the batched run engine: piece lookup
+    /// and opcode dispatch are amortized over same-piece runs, with
+    /// results — and errors, at the same row — bit-identical to
+    /// calling [`CompiledKey::encode_value`] per value.
     pub fn encode_column(
         &self,
         a: AttrId,
@@ -385,10 +824,76 @@ impl CompiledKey {
         let tr = self.try_transform(a)?;
         dst.clear();
         dst.reserve(src.len());
-        for &x in src {
-            dst.push(tr.encode(x).map_err(|e| e.with_attr(a.index()))?);
+        tr.encode_slice(src, dst).map_err(|e| e.with_attr(a.index()))
+    }
+
+    /// Decodes a whole column (snapped to the recorded active domain)
+    /// into `dst` (cleared first) — the batched twin of calling
+    /// [`CompiledKey::decode_value`] per value, bit-identical
+    /// including error positions.
+    pub fn decode_column(
+        &self,
+        a: AttrId,
+        src: &[f64],
+        dst: &mut Vec<f64>,
+    ) -> Result<(), PpdtError> {
+        let tr = self.try_transform(a)?;
+        dst.clear();
+        dst.reserve(src.len());
+        tr.decode_slice(src, dst).map_err(|e| e.with_attr(a.index()))
+    }
+
+    /// Compiled twin of [`TransformKey::decode_dataset`]: inverts a
+    /// whole encoded dataset through the batched column engine. Same
+    /// schema-mismatch contract, same per-attribute error context,
+    /// bit-identical cells.
+    pub fn decode_dataset(
+        &self,
+        d_prime: &ppdt_data::Dataset,
+    ) -> Result<ppdt_data::Dataset, PpdtError> {
+        if self.attrs.len() != d_prime.num_attrs() {
+            return Err(PpdtError::SchemaMismatch {
+                detail: format!(
+                    "key has {} transform(s) but the dataset has {} attribute(s)",
+                    self.attrs.len(),
+                    d_prime.num_attrs()
+                ),
+            });
         }
-        Ok(())
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(self.attrs.len());
+        for a in d_prime.schema().attrs() {
+            let mut col = Vec::new();
+            self.decode_column(a, d_prime.column(a), &mut col)?;
+            columns.push(col);
+        }
+        Ok(d_prime.with_columns(columns))
+    }
+
+    /// Drops every attribute's direct-index lookup table, forcing the
+    /// binary-search piece-lookup path. Exists so equivalence tests
+    /// can pin direct-vs-bsearch bit-identity from outside the crate;
+    /// not part of the supported API.
+    #[doc(hidden)]
+    pub fn without_lookup_tables(mut self) -> CompiledKey {
+        for tr in &mut self.attrs {
+            tr.table = None;
+            tr.perm_table = None;
+        }
+        self
+    }
+
+    /// Whether attribute `a` compiled with a direct-index table over
+    /// its permutation pool. Test-only observability.
+    #[doc(hidden)]
+    pub fn has_perm_table(&self, a: AttrId) -> bool {
+        self.attrs.get(a.index()).is_some_and(|tr| tr.perm_table.is_some())
+    }
+
+    /// Whether attribute `a` compiled with a direct-index lookup
+    /// table. Test-only observability for the density heuristic.
+    #[doc(hidden)]
+    pub fn has_lookup_table(&self, a: AttrId) -> bool {
+        self.attrs.get(a.index()).is_some_and(|tr| tr.table.is_some())
     }
 }
 
@@ -474,6 +979,159 @@ mod tests {
             for (&x, &y) in d.column(a).iter().zip(&out) {
                 assert_eq!(key.encode_value(a, x).unwrap().to_bits(), y.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn decode_column_matches_per_value() {
+        let (key, d) = sample_key(13, 0.5, FnFamily::Composed);
+        let compiled = CompiledKey::compile(&key).unwrap();
+        let mut enc = Vec::new();
+        let mut dec = Vec::new();
+        for a in d.schema().attrs() {
+            compiled.encode_column(a, d.column(a), &mut enc).unwrap();
+            // Mix in gap probes between real codes so the single-value
+            // fallback path runs too.
+            let mut probes = enc.clone();
+            probes.push(f64::NAN);
+            probes.push(1e9);
+            probes.push(-1e9);
+            compiled.decode_column(a, &probes, &mut dec).unwrap();
+            for (&y, &x) in probes.iter().zip(&dec) {
+                assert_eq!(key.decode_value(a, y).unwrap().to_bits(), x.to_bits(), "attr {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_dataset_matches_interpreted() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let cfg =
+            RandomDatasetConfig { num_rows: 120, num_attrs: 3, num_classes: 3, value_range: 18 };
+        let d = random_dataset(&mut rng, &cfg);
+        let config = EncodeConfig {
+            strategy: BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 1 },
+            family: FnFamily::Mixed,
+            anti_monotone_prob: 0.5,
+            ..Default::default()
+        };
+        let (key, d2) = Encoder::new(config).encode(&mut rng, &d).unwrap().into_parts();
+        let compiled = CompiledKey::compile(&key).unwrap();
+        assert_eq!(key.decode_dataset(&d2).unwrap(), compiled.decode_dataset(&d2).unwrap());
+        // Same schema-mismatch contract on an arity mismatch.
+        let narrow_cfg = RandomDatasetConfig { num_attrs: 2, ..cfg };
+        let narrow = random_dataset(&mut rng, &narrow_cfg);
+        assert_eq!(
+            key.decode_dataset(&narrow).unwrap_err(),
+            compiled.decode_dataset(&narrow).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn lookup_table_and_bsearch_agree() {
+        let (key, d) = sample_key(19, 0.5, FnFamily::Mixed);
+        let tabled = CompiledKey::compile(&key).unwrap();
+        let plain = tabled.clone().without_lookup_tables();
+        assert!(
+            d.schema().attrs().any(|a| tabled.has_lookup_table(a)),
+            "sample keys should be dense enough to build at least one table"
+        );
+        let (mut a_out, mut b_out) = (Vec::new(), Vec::new());
+        for a in d.schema().attrs() {
+            // Domain values, shifted off-domain probes, and hostile
+            // floats all resolve to the same piece either way.
+            let mut probes = d.column(a).to_vec();
+            probes.extend(probes.clone().iter().map(|x| x + 0.5));
+            probes.extend([f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1e300, 1e300, 0.0]);
+            for &x in &probes {
+                let ya = tabled.encode_value(a, x);
+                let yb = plain.encode_value(a, x);
+                match (ya, yb) {
+                    (Ok(ya), Ok(yb)) => assert_eq!(ya.to_bits(), yb.to_bits(), "attr {a} x {x}"),
+                    // Debug strings, because PartialEq on a
+                    // DomainViolation carrying NaN is always false.
+                    (ya, yb) => assert_eq!(format!("{ya:?}"), format!("{yb:?}"), "attr {a} x {x}"),
+                }
+            }
+            let ra = tabled.encode_column(a, &probes, &mut a_out);
+            let rb = plain.encode_column(a, &probes, &mut b_out);
+            assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "attr {a}");
+            assert_eq!(
+                a_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "attr {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn perm_pool_table_matches_binary_search() {
+        // Hand-built pool: gappy spacing (no grid), a -0.0/0.0
+        // adjacency (IEEE `<` says they're equal, total_cmp orders
+        // them), and enough spread that the density heuristic accepts.
+        let pool = vec![-3.5, -0.0, 0.0, 1.0, 2.5, 4.0, 7.25, 9.0, 12.0, 100.0];
+        let tr = CompiledTransform {
+            increasing: true,
+            input_lo: Vec::new(),
+            input_hi: Vec::new(),
+            output_lo: Vec::new(),
+            output_hi: Vec::new(),
+            prog: Vec::new(),
+            ops: Vec::new(),
+            perm_orig: pool.clone(),
+            perm_out: vec![0.0; pool.len()],
+            orig_domain: Vec::new(),
+            table: None,
+            perm_table: LookupTable::build(pool[0], &pool, 8, 1 << 17),
+        };
+        assert!(tr.perm_table.is_some(), "spread-out pool should build a table");
+        let mut probes = pool.clone();
+        probes.extend([
+            -0.0,
+            0.0,
+            0.5,
+            3.0,
+            -1.0,
+            -100.0,
+            50.0,
+            1e3,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1e300,
+            1e300,
+        ]);
+        // Every sub-slice a piece could own, including empty ones.
+        for start in 0..pool.len() {
+            for len in 0..=(pool.len() - start) {
+                for &x in &probes {
+                    assert_eq!(
+                        tr.perm_position(start, len, x),
+                        pool[start..start + len].binary_search_by(|o| o.total_cmp(&x)).ok(),
+                        "start {start} len {len} probe {x}",
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_errors_match_per_value_mid_column() {
+        let (key, d) = sample_key(23, 0.5, FnFamily::Mixed);
+        let compiled = CompiledKey::compile(&key).unwrap();
+        let a = AttrId(0);
+        // A poisoned value mid-column errors identically to the
+        // per-value loop, and rows before it survive in `dst`.
+        let mut col = d.column(a).to_vec();
+        let poison_at = col.len() / 2;
+        col[poison_at] = 1e12;
+        let per_value_err = key.encode_value(a, 1e12).unwrap_err();
+        let mut out = Vec::new();
+        let batched_err = compiled.encode_column(a, &col, &mut out).unwrap_err();
+        assert_eq!(batched_err, per_value_err);
+        assert_eq!(out.len(), poison_at, "rows before the failure are kept");
+        for (&x, &y) in col[..poison_at].iter().zip(&out) {
+            assert_eq!(key.encode_value(a, x).unwrap().to_bits(), y.to_bits());
         }
     }
 }

@@ -4,6 +4,11 @@
 //! every breakpoint strategy, anti-monotone directions, and
 //! permutation pieces. The compiled layer exists purely for speed; any
 //! observable difference, down to the last mantissa bit, is a bug.
+//!
+//! The batched column paths (`encode_column` / `decode_column`) and
+//! the direct-index piece-lookup table are held to the same bar: same
+//! bits, and the same error at the same row when a column fails
+//! mid-way, whether lookup ran through the table or binary search.
 
 use ppdt_data::gen::census_like;
 use ppdt_data::AttrId;
@@ -49,7 +54,17 @@ fn assert_equivalent(
                     a.index()
                 );
             }
-            (Err(_), Err(_)) => {} // both reject: out-of-domain probe
+            (Err(ei), Err(ec)) => {
+                // Both reject: the rejections must be the *same* error.
+                // Debug strings, because PartialEq on an error carrying
+                // NaN is always false.
+                assert_eq!(
+                    format!("{ei:?}"),
+                    format!("{ec:?}"),
+                    "attr {}: paths reject {x} differently",
+                    a.index()
+                );
+            }
             (i, c) => panic!(
                 "attr {}: paths disagree on whether {x} encodes: interpreted {i:?}, compiled {c:?}",
                 a.index()
@@ -81,6 +96,9 @@ proptest! {
             Encoder::new(cfg).encode(&mut rng, &d).expect("encode clean data").into_parts();
         let plan = CompiledKey::compile(&key).expect("audited key must compile");
         prop_assert!(plan.num_attrs() == key.transforms.len());
+        // Same plan with every direct-index lookup table dropped: the
+        // binary-search fallback must be indistinguishable.
+        let plain = plan.clone().without_lookup_tables();
 
         for (i, t) in key.transforms.iter().enumerate() {
             let a = AttrId(i);
@@ -96,7 +114,10 @@ proptest! {
                 probes.push(hi + 1.0);
             }
             probes.push(rng.gen_range(-1e6..1e6));
+            probes.extend([f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
             assert_equivalent(&key, &plan, a, &probes);
+            // The bsearch-only plan passes the exact same battery.
+            assert_equivalent(&key, &plain, a, &probes);
 
             // Column encode agrees with the interpreted per-value loop.
             let src = d.column(a);
@@ -109,6 +130,43 @@ proptest! {
                     yi.to_bits() == y.to_bits(),
                     "attr {i} row {j}: column encode diverged: {yi} vs {y}"
                 );
+            }
+            let mut dst_plain = Vec::new();
+            plain.encode_column(a, src, &mut dst_plain).expect("column encode (bsearch)");
+            prop_assert!(
+                dst.iter().zip(&dst_plain).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "attr {i}: table and bsearch column encodes diverged"
+            );
+
+            // Batched snapped decode agrees with the interpreted
+            // per-value loop, gap probes included.
+            let mut codes = dst.clone();
+            codes.push(1e9);
+            codes.push(-1e9);
+            let mut dec = Vec::new();
+            plan.decode_column(a, &codes, &mut dec).expect("column decode");
+            prop_assert!(dec.len() == codes.len());
+            for (j, (&y, &x)) in codes.iter().zip(&dec).enumerate() {
+                let xi = key.decode_value(a, y).expect("interpreted decode");
+                prop_assert!(
+                    xi.to_bits() == x.to_bits(),
+                    "attr {i} row {j}: column decode diverged: {xi} vs {x}"
+                );
+            }
+
+            // Errors surface at the same row as the per-value loop:
+            // poison a value mid-column and compare error + prefix.
+            if !src.is_empty() {
+                let mut poisoned = src.to_vec();
+                let at = poisoned.len() / 2;
+                poisoned[at] = f64::MAX; // outside every recorded hull
+                let want = key.encode_value(a, f64::MAX).unwrap_err();
+                for p in [&plan, &plain] {
+                    let mut out = Vec::new();
+                    let got = p.encode_column(a, &poisoned, &mut out).unwrap_err();
+                    prop_assert!(got == want, "attr {i}: mid-column error diverged: {got:?}");
+                    prop_assert!(out.len() == at, "attr {i}: error surfaced at the wrong row");
+                }
             }
         }
 
@@ -151,4 +209,25 @@ fn compiled_matches_interpreted_on_permutation_and_anti_monotone_key() {
     for (i, t) in key.transforms.iter().enumerate() {
         assert_equivalent(&key, &plan, AttrId(i), &t.orig_domain);
     }
+}
+
+/// Guards the proptest's direct-vs-bsearch coverage: if the density
+/// heuristic ever stopped building tables for ordinary multi-piece
+/// keys, the "table and bsearch agree" assertions above would pass
+/// vacuously. Pin that at least one attribute actually compiles with
+/// a direct-index table on a representative key.
+#[test]
+fn dense_keys_build_direct_index_tables() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let d = census_like(&mut rng, 200);
+    let cfg = EncodeConfig {
+        strategy: BreakpointStrategy::ChooseMaxMP { w: 8, min_piece_len: 3 },
+        ..Default::default()
+    };
+    let (key, _) = Encoder::new(cfg).encode(&mut rng, &d).expect("encode").into_parts();
+    let plan = CompiledKey::compile(&key).expect("compiles");
+    assert!(
+        (0..key.transforms.len()).any(|i| plan.has_lookup_table(AttrId(i))),
+        "no attribute built a direct-index table; the heuristic regressed"
+    );
 }

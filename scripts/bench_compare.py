@@ -5,6 +5,7 @@ Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
     bench_compare.py --warm-ratio 1.5 REPORT.json
     bench_compare.py --keepalive-ratio 1.3 REPORT.json
+    bench_compare.py --min-ratio FAST_over_SLOW:R REPORT.json
     bench_compare.py --self-check
 
 Two report shapes are understood, detected from the file contents:
@@ -35,6 +36,16 @@ must never pass vacuously.
 connection regimes: every ``*_keepalive_*_per_sec`` headline with a
 ``*_fresh_*_per_sec`` sibling must be at least ``R`` times its
 fresh-connection counterpart.
+
+``--min-ratio FAST_over_SLOW:R REPORT.json`` gates a single
+*trajectory* report on builder pairs: the spec splits once on
+``_over_`` into two builder names, and in every case timing both
+builders (matched on threads) the ``FAST`` builder must be at least
+``R`` times quicker than ``SLOW`` — e.g.
+``encode_compiled_batched_over_encode_compiled_per_value:2.5`` pins the
+batched encode engine's speedup over the per-value compiled baseline.
+A report with no such pair is an error — the gate must never pass
+vacuously.
 
 A BenchReport that claims cluster mode (any positive ``*peers``
 headline) must also embed the four ``peer_*`` sync counters in
@@ -175,6 +186,56 @@ def keepalive_ratio_failures(report, ratio):
     return ratio_pair_failures(report, ratio, "_keepalive_", "_fresh_")
 
 
+def min_ratio_failures(report, fast, slow, ratio):
+    """Trajectory builder-pair speed floor: in every case timing both
+    builders (matched on threads), ``fast`` must be at least ``ratio``
+    times quicker than ``slow``. Returns (pairs_seen, failures)."""
+    pairs = 0
+    failures = []
+    for case in report["cases"]:
+        times = {(t["builder"], t["threads"]): t["millis"]
+                 for t in case["timings"]}
+        for (builder, threads), fast_ms in sorted(times.items()):
+            if builder != fast or (slow, threads) not in times:
+                continue
+            pairs += 1
+            slow_ms = times[(slow, threads)]
+            achieved = slow_ms / fast_ms if fast_ms > 0 else float("inf")
+            verdict = "ok" if achieved >= ratio else "FAIL"
+            print(f"  {verdict}: {case['dataset']} threads={threads} "
+                  f"{fast} {fast_ms:.2f} ms vs {slow} {slow_ms:.2f} ms "
+                  f"-> {achieved:.2f}x (need >= {ratio:.2f}x)")
+            if achieved < ratio:
+                failures.append(
+                    f"{case['dataset']} threads={threads}: {fast} is only "
+                    f"{achieved:.2f}x faster than {slow} "
+                    f"(need >= {ratio:.2f}x)")
+    return pairs, failures
+
+
+def gate_min_ratio(path, spec):
+    head, sep, ratio_s = spec.rpartition(":")
+    if not sep or "_over_" not in head:
+        sys.exit(f"--min-ratio wants FAST_over_SLOW:RATIO, got {spec!r}")
+    fast, slow = head.split("_over_", 1)
+    ratio = float(ratio_s)
+    kind, report = load(path)
+    if kind != "trajectory":
+        sys.exit(f"{path}: --min-ratio needs a trajectory report, got {kind}")
+    print(f"min-ratio gate ({fast} >= {ratio:.2f}x faster than {slow}) "
+          f"on {path}:")
+    pairs, failures = min_ratio_failures(report, fast, slow, ratio)
+    if pairs == 0:
+        sys.exit(f"{path}: no case times both {fast} and {slow}; "
+                 "the gate would pass vacuously")
+    if failures:
+        print("MIN-RATIO FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print(f"ok: all {pairs} builder pairs meet the {ratio:.2f}x floor")
+
+
 def gate_ratio_pairs(path, ratio, label, check):
     kind, report = load(path)
     if kind != "bench_report":
@@ -269,6 +330,35 @@ def self_check():
     if pairs != 1 or not failures:
         sys.exit("self-check FAILED: 1.1x keepalive/fresh pair accepted at 1.3x")
 
+    encode = {
+        "trajectory_schema_version": 1,
+        "cases": [{
+            "dataset": "encode@synthetic@1",
+            "timings": [
+                {"builder": "encode_compiled_per_value", "threads": 1,
+                 "millis": 90.0},
+                {"builder": "encode_compiled_batched", "threads": 1,
+                 "millis": 30.0},
+            ],
+        }],
+    }
+    batched = "encode_compiled_batched"
+    per_value = "encode_compiled_per_value"
+    pairs, failures = min_ratio_failures(encode, batched, per_value, 2.5)
+    if pairs != 1 or failures:
+        sys.exit("self-check FAILED: 3.0x batched/per-value pair "
+                 "rejected at 2.5x")
+    encode["cases"][0]["timings"][0]["millis"] = 45.0
+    pairs, failures = min_ratio_failures(encode, batched, per_value, 2.5)
+    if pairs != 1 or not failures:
+        sys.exit("self-check FAILED: 1.5x batched/per-value pair "
+                 "accepted at 2.5x")
+    del encode["cases"][0]["timings"][0]
+    pairs, _ = min_ratio_failures(encode, batched, per_value, 2.5)
+    if pairs != 0:
+        sys.exit("self-check FAILED: unpaired batched timing counted "
+                 "as a min-ratio pair")
+
     clustered = {
         "schema_version": 2,
         "binary": "serve_throughput",
@@ -293,13 +383,21 @@ def self_check():
                  "held to the peer-counter requirement")
 
     print("self-check passed: identity clean, 20% regression flagged "
-          "in both report modes, warm- and keepalive-ratio gates "
+          "in both report modes, warm-, keepalive- and min-ratio gates "
           "discriminate, cluster-mode reports must carry peer counters")
 
 
 def main(argv):
     if argv == ["--self-check"]:
         self_check()
+        return
+    if "--min-ratio" in argv:
+        i = argv.index("--min-ratio")
+        spec = argv[i + 1]
+        del argv[i:i + 2]
+        if len(argv) != 1:
+            sys.exit(__doc__.strip())
+        gate_min_ratio(argv[0], spec)
         return
     for flag, label, check in [("--warm-ratio", "warm", warm_ratio_failures),
                                ("--keepalive-ratio", "keepalive",

@@ -40,6 +40,12 @@ python3 scripts/bench_compare.py BENCH_PR3.json BENCH_PR3.json
 python3 scripts/bench_compare.py BENCH_PR4.json BENCH_PR4.json
 python3 scripts/bench_compare.py BENCH_PR5.json BENCH_PR5.json
 python3 scripts/bench_compare.py BENCH_PR6.json BENCH_PR6.json
+python3 scripts/bench_compare.py BENCH_PR8.json BENCH_PR8.json
+
+echo "== batched encode speedup floor (committed BENCH_PR8.json)"
+python3 scripts/bench_compare.py \
+  --min-ratio encode_compiled_batched_over_encode_compiled_per_value:2.5 \
+  BENCH_PR8.json
 
 echo "== warm-cache throughput floor (committed BENCH_PR5.json + BENCH_PR6.json)"
 python3 scripts/bench_compare.py --warm-ratio 1.5 BENCH_PR5.json
