@@ -27,18 +27,22 @@
 //! `*_cold_*` / `*_warm_*` pairs are gated by
 //! `scripts/bench_compare.py --warm-ratio` (see BENCHMARKS.md).
 //!
+//! The timing loops themselves live in
+//! [`ppdt_bencher::closedloop`] — this binary owns scenario
+//! composition and reporting only. Open-loop rate sweeps (latency at
+//! a controlled offered rate, 503 onset) are `ppdt-bencher`'s job.
+//!
 //! Usage: `serve_throughput [--smoke] [--seed N] [--clients N]
 //! [--iters N] [--json PATH]`
 
-use std::time::Instant;
-
 use ppdt_bench::report::BenchReport;
 use ppdt_bench::HarnessConfig;
+use ppdt_bencher::closedloop::{drive, drive_keepalive, drive_streaming};
 use ppdt_data::csv::{parse_csv, to_csv};
 use ppdt_data::gen::{covertype_like, CovertypeConfig};
 use ppdt_data::Dataset;
 use ppdt_serve::handlers::{ClassifyRequest, EncodeRequest, StoreKeyRequest, StoreKeyResponse};
-use ppdt_serve::{request, Client, KeyStore, RetryingClient, Server, ServerConfig};
+use ppdt_serve::{request, KeyStore, Server, ServerConfig};
 use ppdt_transform::{EncodeConfig, Encoder, TransformKey};
 use ppdt_tree::{DecisionTree, TreeBuilder};
 use rand::rngs::StdRng;
@@ -92,85 +96,6 @@ fn parse_args() -> Opts {
 
 fn rows_of(d: &Dataset) -> Vec<Vec<f64>> {
     (0..d.num_rows()).map(|i| d.schema().attrs().map(|a| d.column(a)[i]).collect()).collect()
-}
-
-/// Fans `clients` loopback clients out over `iters` sequential
-/// requests each, panicking on any non-200, and returns elapsed
-/// seconds. Each client is a [`RetryingClient`], so a transient
-/// overload 503 costs a `Retry-After` sleep instead of a panic.
-fn drive(addr: std::net::SocketAddr, clients: usize, iters: usize, path: &str, body: &str) -> f64 {
-    let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..clients {
-            s.spawn(|| {
-                let client = RetryingClient::new(addr);
-                for _ in 0..iters {
-                    let (status, text) =
-                        client.request("POST", path, body).expect("loopback request");
-                    assert_eq!(status, 200, "POST {path}: {text}");
-                }
-            });
-        }
-    });
-    t0.elapsed().as_secs_f64()
-}
-
-/// Like [`drive`], but each client keeps ONE socket for all its
-/// requests and pipelines them in bursts of `depth` before reading
-/// the answers back, in order.
-fn drive_keepalive(
-    addr: std::net::SocketAddr,
-    clients: usize,
-    iters: usize,
-    depth: usize,
-    path: &str,
-    body: &str,
-) -> f64 {
-    let t0 = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..clients {
-            s.spawn(|| {
-                let mut client = Client::connect(addr).expect("connect");
-                let mut sent = 0usize;
-                while sent < iters {
-                    let burst = depth.min(iters - sent);
-                    for _ in 0..burst {
-                        client.send("POST", path, body).expect("pipelined send");
-                    }
-                    for _ in 0..burst {
-                        let (status, text) = client.read_response().expect("pipelined response");
-                        assert_eq!(status, 200, "POST {path}: {text}");
-                    }
-                    sent += burst;
-                }
-            });
-        }
-    });
-    t0.elapsed().as_secs_f64()
-}
-
-/// Streams the relation up `POST /v1/encode` as a chunked body and
-/// drains the chunked response; returns elapsed seconds.
-fn drive_streaming(addr: std::net::SocketAddr, key_id: &str, csv: &str, iters: usize) -> f64 {
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        let mut client = Client::connect(addr).expect("connect");
-        client.send_chunked_head("POST", "/v1/encode").expect("chunked head");
-        client.send_chunk(format!("{{\"key_id\": \"{key_id}\"}}\n").as_bytes()).expect("header");
-        for piece in csv.as_bytes().chunks(64 * 1024) {
-            client.send_chunk(piece).expect("chunk");
-        }
-        client.finish_chunks().expect("finish");
-        let (status, text) = client.read_response().expect("streamed response");
-        assert_eq!(status, 200, "streamed encode: {}", &text[..text.len().min(200)]);
-        // The stream worker updates the chunk counters after the last
-        // response byte; a follow-up on the same socket can only be
-        // parsed once that job fully retired, so it fences the metrics
-        // snapshot taken by the caller.
-        let (status, _) = client.request("GET", "/healthz", "").expect("healthz");
-        assert_eq!(status, 200);
-    }
-    t0.elapsed().as_secs_f64()
 }
 
 /// One daemon's worth of measurements.

@@ -1,0 +1,98 @@
+//! Closed-loop drive helpers: fixed clients, back-to-back requests.
+//!
+//! These are the timing loops `serve_throughput` grew inline and the
+//! regimes its committed reports are defined over — a *closed* loop
+//! measures sustainable service throughput (each client waits for the
+//! answer before sending again), which is the right tool for the
+//! rows/sec headlines even though it cannot see overload latency
+//! (that is [`crate::openloop`]'s job). Centralizing them here keeps
+//! one implementation of each connection regime; the bench binary
+//! calls these and owns only scenario composition and reporting.
+//!
+//! All helpers panic on a non-200 answer: a closed-loop benchmark's
+//! numbers are meaningless if any request failed, so failures must
+//! abort the run, not skew it.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use ppdt_serve::{Client, RetryingClient};
+
+/// Fans `clients` loopback clients out over `iters` sequential
+/// requests each, panicking on any non-200, and returns elapsed
+/// seconds. Each client is a [`RetryingClient`], so a transient
+/// overload 503 costs a `Retry-After` sleep instead of a panic.
+pub fn drive(addr: SocketAddr, clients: usize, iters: usize, path: &str, body: &str) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                let client = RetryingClient::new(addr);
+                for _ in 0..iters {
+                    let (status, text) =
+                        client.request("POST", path, body).expect("loopback request");
+                    assert_eq!(status, 200, "POST {path}: {text}");
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Like [`drive`], but each client keeps ONE socket for all its
+/// requests and pipelines them in bursts of `depth` before reading
+/// the answers back, in order.
+pub fn drive_keepalive(
+    addr: SocketAddr,
+    clients: usize,
+    iters: usize,
+    depth: usize,
+    path: &str,
+    body: &str,
+) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut sent = 0usize;
+                while sent < iters {
+                    let burst = depth.min(iters - sent);
+                    for _ in 0..burst {
+                        client.send("POST", path, body).expect("pipelined send");
+                    }
+                    for _ in 0..burst {
+                        let (status, text) = client.read_response().expect("pipelined response");
+                        assert_eq!(status, 200, "POST {path}: {text}");
+                    }
+                    sent += burst;
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Streams a CSV relation up `POST /v1/encode` as a chunked body and
+/// drains the chunked response; returns elapsed seconds.
+pub fn drive_streaming(addr: SocketAddr, key_id: &str, csv: &str, iters: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let mut client = Client::connect(addr).expect("connect");
+        client.send_chunked_head("POST", "/v1/encode").expect("chunked head");
+        client.send_chunk(format!("{{\"key_id\": \"{key_id}\"}}\n").as_bytes()).expect("header");
+        for piece in csv.as_bytes().chunks(64 * 1024) {
+            client.send_chunk(piece).expect("chunk");
+        }
+        client.finish_chunks().expect("finish");
+        let (status, text) = client.read_response().expect("streamed response");
+        assert_eq!(status, 200, "streamed encode: {}", &text[..text.len().min(200)]);
+        // The stream worker updates the chunk counters after the last
+        // response byte; a follow-up on the same socket can only be
+        // parsed once that job fully retired, so it fences the metrics
+        // snapshot taken by the caller.
+        let (status, _) = client.request("GET", "/healthz", "").expect("healthz");
+        assert_eq!(status, 200);
+    }
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,525 @@
+//! Declarative experiment configuration, strictly parsed.
+//!
+//! An experiment is a JSON document naming the workload (endpoint mix
+//! and payload shape), the offered-load schedule (rate sweep ×
+//! duration × concurrency), and the connection regime. The parser is
+//! deliberately strict: **unknown fields are rejected** (a typo like
+//! `"durations_secs"` must fail loudly, not silently run the default)
+//! and every numeric field is bounds-checked at parse time, so a bad
+//! config dies before a daemon is spawned. The vendored serde shim's
+//! derive has no `deny_unknown_fields`, so the parser walks the
+//! [`serde::Value`] tree by hand.
+//!
+//! ```json
+//! {
+//!   "name": "encode-sweep",
+//!   "seed": 7,
+//!   "scale": 0.001,
+//!   "mix": [ {"endpoint": "encode", "weight": 8},
+//!            {"endpoint": "classify", "weight": 3},
+//!            {"endpoint": "list_keys", "weight": 1} ],
+//!   "rows_per_request": 64,
+//!   "rates": [25, 50, 100, 200, 400, 800],
+//!   "duration_secs": 6.0,
+//!   "concurrency": 4,
+//!   "connection": "keepalive",
+//!   "max_attempts": 1,
+//!   "nodes": 1,
+//!   "targets": []
+//! }
+//! ```
+
+use ppdt_error::PpdtError;
+use serde::Value;
+
+/// The endpoints an experiment can weight in its mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchEndpoint {
+    /// `POST /v1/encode` with a batch of raw rows.
+    Encode,
+    /// `POST /v1/classify` with raw query rows against the mined tree.
+    Classify,
+    /// `GET /v1/keys` — a cheap read, the health-check-shaped traffic.
+    ListKeys,
+}
+
+impl BenchEndpoint {
+    /// Stable config/CSV name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchEndpoint::Encode => "encode",
+            BenchEndpoint::Classify => "classify",
+            BenchEndpoint::ListKeys => "list_keys",
+        }
+    }
+
+    fn parse(s: &str) -> Option<BenchEndpoint> {
+        match s {
+            "encode" => Some(BenchEndpoint::Encode),
+            "classify" => Some(BenchEndpoint::Classify),
+            "list_keys" => Some(BenchEndpoint::ListKeys),
+            _ => None,
+        }
+    }
+}
+
+/// One weighted entry of the endpoint mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixEntry {
+    /// Which endpoint.
+    pub endpoint: BenchEndpoint,
+    /// Relative weight (≥ 1); a tick fires `endpoint` with
+    /// probability `weight / Σ weights`.
+    pub weight: u32,
+}
+
+/// Connection regime of the load generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Connection {
+    /// Each worker keeps one socket open across requests (reconnects
+    /// after an error or an overload 503, which closes the socket).
+    Keepalive,
+    /// A fresh `Connection: close` socket per request, via
+    /// [`ppdt_serve::RetryingClient`].
+    Fresh,
+}
+
+impl Connection {
+    /// Stable config name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Connection::Keepalive => "keepalive",
+            Connection::Fresh => "fresh",
+        }
+    }
+}
+
+/// A fully validated experiment: see the module docs for the JSON
+/// shape and [`ExperimentConfig::from_json`] for the invariants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentConfig {
+    /// Experiment name (output files and reports carry it).
+    pub name: String,
+    /// Master seed for dataset/key generation.
+    pub seed: u64,
+    /// Dataset scale (fraction of the covertype relation) used to
+    /// materialize the workload payloads.
+    pub scale: f64,
+    /// Weighted endpoint mix (non-empty).
+    pub mix: Vec<MixEntry>,
+    /// Rows carried by each encode/classify request body.
+    pub rows_per_request: usize,
+    /// Offered rates to sweep, requests/second, strictly ascending.
+    pub rates: Vec<f64>,
+    /// Seconds each rate step runs.
+    pub duration_secs: f64,
+    /// Load-generator workers (each owns an interleaved slice of the
+    /// tick schedule).
+    pub concurrency: usize,
+    /// Connection regime.
+    pub connection: Connection,
+    /// Retry budget per request in the `fresh` regime (1 = never
+    /// retry; keep-alive always measures single attempts).
+    pub max_attempts: usize,
+    /// Daemons the orchestrator spawns (ignored when `targets` or an
+    /// explicit `--target` points at a running cluster).
+    pub nodes: usize,
+    /// Pre-existing daemon addresses to load instead of spawning.
+    pub targets: Vec<String>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            name: "experiment".to_string(),
+            seed: 7,
+            scale: 0.001,
+            mix: vec![MixEntry { endpoint: BenchEndpoint::Encode, weight: 1 }],
+            rows_per_request: 64,
+            rates: vec![50.0],
+            duration_secs: 5.0,
+            concurrency: 4,
+            connection: Connection::Keepalive,
+            max_attempts: 1,
+            nodes: 1,
+            targets: Vec::new(),
+        }
+    }
+}
+
+fn bad(param: &str, detail: impl std::fmt::Display) -> PpdtError {
+    PpdtError::InvalidConfig { param: param.to_string(), detail: detail.to_string() }
+}
+
+fn num(v: &Value, param: &str) -> Result<f64, PpdtError> {
+    v.as_f64().ok_or_else(|| bad(param, format_args!("expected a number, got {}", v.kind())))
+}
+
+fn uint(v: &Value, param: &str) -> Result<u64, PpdtError> {
+    let f = num(v, param)?;
+    if f < 0.0 || f.fract() != 0.0 || f > u64::MAX as f64 {
+        return Err(bad(param, format_args!("expected a non-negative integer, got {f}")));
+    }
+    Ok(f as u64)
+}
+
+fn string(v: &Value, param: &str) -> Result<String, PpdtError> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| bad(param, format_args!("expected a string, got {}", v.kind())))
+}
+
+impl ExperimentConfig {
+    /// Parses and validates a JSON experiment document. Unknown
+    /// fields anywhere in the document are an error; so is an empty
+    /// or non-ascending rate list, a non-positive weight, or any
+    /// value outside its documented range (`duration_secs` ∈ (0,
+    /// 3600], `concurrency` ∈ [1, 1024], `max_attempts` ∈ [1, 16],
+    /// `rows_per_request` ∈ [1, 100000], `scale` ∈ (0, 1],
+    /// `nodes` ∈ [1, 8]).
+    pub fn from_json(text: &str) -> Result<ExperimentConfig, PpdtError> {
+        let doc: Value = serde_json::from_str(text)
+            .map_err(|e| bad("experiment", format_args!("not valid JSON: {e}")))?;
+        let obj =
+            doc.as_object().ok_or_else(|| bad("experiment", "top level must be an object"))?;
+
+        const KNOWN: &[&str] = &[
+            "name",
+            "seed",
+            "scale",
+            "mix",
+            "rows_per_request",
+            "rates",
+            "duration_secs",
+            "concurrency",
+            "connection",
+            "max_attempts",
+            "nodes",
+            "targets",
+        ];
+        for (k, _) in obj {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(bad(k, "unknown field (strict parse; check for typos)"));
+            }
+        }
+
+        let mut cfg = ExperimentConfig::default();
+
+        let name = doc.get("name").ok_or_else(|| bad("name", "required field is missing"))?;
+        cfg.name = string(name, "name")?;
+        if cfg.name.is_empty() {
+            return Err(bad("name", "must be non-empty"));
+        }
+
+        if let Some(v) = doc.get("seed") {
+            cfg.seed = uint(v, "seed")?;
+        }
+        if let Some(v) = doc.get("scale") {
+            cfg.scale = num(v, "scale")?;
+            if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+                return Err(bad("scale", format_args!("must be in (0, 1], got {}", cfg.scale)));
+            }
+        }
+
+        let mix = doc.get("mix").ok_or_else(|| bad("mix", "required field is missing"))?;
+        let entries =
+            mix.as_array().ok_or_else(|| bad("mix", "expected an array of {endpoint, weight}"))?;
+        if entries.is_empty() {
+            return Err(bad("mix", "must name at least one endpoint"));
+        }
+        cfg.mix = entries
+            .iter()
+            .map(|e| {
+                let obj = e.as_object().ok_or_else(|| bad("mix", "entries must be objects"))?;
+                for (k, _) in obj {
+                    if k != "endpoint" && k != "weight" {
+                        return Err(bad(
+                            &format!("mix.{k}"),
+                            "unknown field (strict parse; check for typos)",
+                        ));
+                    }
+                }
+                let name = e
+                    .get("endpoint")
+                    .ok_or_else(|| bad("mix.endpoint", "required field is missing"))?;
+                let name = string(name, "mix.endpoint")?;
+                let endpoint = BenchEndpoint::parse(&name).ok_or_else(|| {
+                    bad(
+                        "mix.endpoint",
+                        format_args!("unknown endpoint {name:?} (encode|classify|list_keys)"),
+                    )
+                })?;
+                let weight = match e.get("weight") {
+                    Some(w) => uint(w, "mix.weight")?,
+                    None => 1,
+                };
+                if weight == 0 || weight > 1_000_000 {
+                    return Err(bad(
+                        "mix.weight",
+                        format_args!("must be in [1, 1000000], got {weight}"),
+                    ));
+                }
+                Ok(MixEntry { endpoint, weight: weight as u32 })
+            })
+            .collect::<Result<_, _>>()?;
+        for (i, a) in cfg.mix.iter().enumerate() {
+            if cfg.mix[..i].iter().any(|b| b.endpoint == a.endpoint) {
+                return Err(bad(
+                    "mix",
+                    format_args!("endpoint {:?} listed twice", a.endpoint.name()),
+                ));
+            }
+        }
+
+        if let Some(v) = doc.get("rows_per_request") {
+            let n = uint(v, "rows_per_request")?;
+            if n == 0 || n > 100_000 {
+                return Err(bad(
+                    "rows_per_request",
+                    format_args!("must be in [1, 100000], got {n}"),
+                ));
+            }
+            cfg.rows_per_request = n as usize;
+        }
+
+        let rates = doc.get("rates").ok_or_else(|| bad("rates", "required field is missing"))?;
+        let rates = rates.as_array().ok_or_else(|| bad("rates", "expected an array of numbers"))?;
+        if rates.is_empty() {
+            return Err(bad("rates", "must list at least one rate"));
+        }
+        cfg.rates = rates.iter().map(|r| num(r, "rates")).collect::<Result<_, _>>()?;
+        for (i, &r) in cfg.rates.iter().enumerate() {
+            if !(r.is_finite() && r > 0.0 && r <= 1_000_000.0) {
+                return Err(bad("rates", format_args!("must be in (0, 1e6] req/s, got {r}")));
+            }
+            if i > 0 && r <= cfg.rates[i - 1] {
+                return Err(bad("rates", "must be strictly ascending (the sweep walks up)"));
+            }
+        }
+
+        if let Some(v) = doc.get("duration_secs") {
+            cfg.duration_secs = num(v, "duration_secs")?;
+        }
+        if !(cfg.duration_secs > 0.0 && cfg.duration_secs <= 3600.0) {
+            return Err(bad(
+                "duration_secs",
+                format_args!("must be in (0, 3600], got {}", cfg.duration_secs),
+            ));
+        }
+
+        if let Some(v) = doc.get("concurrency") {
+            let n = uint(v, "concurrency")?;
+            if n == 0 || n > 1024 {
+                return Err(bad("concurrency", format_args!("must be in [1, 1024], got {n}")));
+            }
+            cfg.concurrency = n as usize;
+        }
+
+        if let Some(v) = doc.get("connection") {
+            cfg.connection = match string(v, "connection")?.as_str() {
+                "keepalive" => Connection::Keepalive,
+                "fresh" => Connection::Fresh,
+                other => {
+                    return Err(bad(
+                        "connection",
+                        format_args!("unknown regime {other:?} (keepalive|fresh)"),
+                    ));
+                }
+            };
+        }
+
+        if let Some(v) = doc.get("max_attempts") {
+            let n = uint(v, "max_attempts")?;
+            if n == 0 || n > 16 {
+                return Err(bad("max_attempts", format_args!("must be in [1, 16], got {n}")));
+            }
+            cfg.max_attempts = n as usize;
+        }
+
+        if let Some(v) = doc.get("nodes") {
+            let n = uint(v, "nodes")?;
+            if n == 0 || n > 8 {
+                return Err(bad("nodes", format_args!("must be in [1, 8], got {n}")));
+            }
+            cfg.nodes = n as usize;
+        }
+
+        if let Some(v) = doc.get("targets") {
+            let arr =
+                v.as_array().ok_or_else(|| bad("targets", "expected an array of HOST:PORT"))?;
+            cfg.targets = arr.iter().map(|t| string(t, "targets")).collect::<Result<_, _>>()?;
+            for t in &cfg.targets {
+                if t.parse::<std::net::SocketAddr>().is_err() {
+                    return Err(bad("targets", format_args!("cannot parse {t:?} as HOST:PORT")));
+                }
+            }
+        }
+
+        Ok(cfg)
+    }
+
+    /// Renders the config back to its canonical JSON document —
+    /// `from_json(to_json(c)) == c` (the golden round-trip test pins
+    /// this), and sweeps echo it into `summary.json` so a result file
+    /// names the experiment that produced it.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("config serializes")
+    }
+
+    pub(crate) fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("seed".to_string(), Value::UInt(self.seed)),
+            ("scale".to_string(), Value::Float(self.scale)),
+            (
+                "mix".to_string(),
+                Value::Array(
+                    self.mix
+                        .iter()
+                        .map(|m| {
+                            Value::Object(vec![
+                                ("endpoint".to_string(), Value::Str(m.endpoint.name().to_string())),
+                                ("weight".to_string(), Value::UInt(u64::from(m.weight))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("rows_per_request".to_string(), Value::UInt(self.rows_per_request as u64)),
+            (
+                "rates".to_string(),
+                Value::Array(self.rates.iter().map(|&r| Value::Float(r)).collect()),
+            ),
+            ("duration_secs".to_string(), Value::Float(self.duration_secs)),
+            ("concurrency".to_string(), Value::UInt(self.concurrency as u64)),
+            ("connection".to_string(), Value::Str(self.connection.name().to_string())),
+            ("max_attempts".to_string(), Value::UInt(self.max_attempts as u64)),
+            ("nodes".to_string(), Value::UInt(self.nodes as u64)),
+            (
+                "targets".to_string(),
+                Value::Array(self.targets.iter().map(|t| Value::Str(t.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Total weight of the mix (> 0 by construction).
+    pub fn total_weight(&self) -> u64 {
+        self.mix.iter().map(|m| u64::from(m.weight)).sum()
+    }
+}
+
+impl serde::Serialize for ExperimentConfig {
+    fn to_value(&self) -> Value {
+        ExperimentConfig::to_value(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> String {
+        r#"{"name": "t", "mix": [{"endpoint": "encode"}], "rates": [10]}"#.to_string()
+    }
+
+    #[test]
+    fn minimal_config_takes_defaults() {
+        let cfg = ExperimentConfig::from_json(&minimal()).unwrap();
+        assert_eq!(cfg.name, "t");
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.mix, vec![MixEntry { endpoint: BenchEndpoint::Encode, weight: 1 }]);
+        assert_eq!(cfg.rates, vec![10.0]);
+        assert_eq!(cfg.connection, Connection::Keepalive);
+        assert_eq!(cfg.max_attempts, 1);
+        assert_eq!(cfg.nodes, 1);
+        assert!(cfg.targets.is_empty());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        // Top level: a typo'd field name must not silently no-op.
+        let text = r#"{"name": "t", "mix": [{"endpoint": "encode"}],
+                       "rates": [10], "durations_secs": 5}"#;
+        let err = ExperimentConfig::from_json(text).unwrap_err();
+        assert!(err.to_string().contains("durations_secs"), "{err}");
+        assert!(err.to_string().contains("unknown field"), "{err}");
+        // Inside a mix entry too.
+        let text = r#"{"name": "t", "rates": [10],
+                       "mix": [{"endpoint": "encode", "wieght": 3}]}"#;
+        let err = ExperimentConfig::from_json(text).unwrap_err();
+        assert!(err.to_string().contains("wieght"), "{err}");
+    }
+
+    #[test]
+    fn bounds_are_validated() {
+        let cases: &[(&str, &str)] = &[
+            // (fragment replacing the defaults, expected param in the error)
+            (r#""rates": []"#, "rates"),
+            (r#""rates": [10, 10]"#, "rates"),
+            (r#""rates": [100, 50]"#, "rates"),
+            (r#""rates": [0]"#, "rates"),
+            (r#""rates": [10], "duration_secs": 0"#, "duration_secs"),
+            (r#""rates": [10], "duration_secs": 3601"#, "duration_secs"),
+            (r#""rates": [10], "concurrency": 0"#, "concurrency"),
+            (r#""rates": [10], "concurrency": 2000"#, "concurrency"),
+            (r#""rates": [10], "max_attempts": 0"#, "max_attempts"),
+            (r#""rates": [10], "max_attempts": 99"#, "max_attempts"),
+            (r#""rates": [10], "rows_per_request": 0"#, "rows_per_request"),
+            (r#""rates": [10], "scale": 0"#, "scale"),
+            (r#""rates": [10], "scale": 1.5"#, "scale"),
+            (r#""rates": [10], "nodes": 0"#, "nodes"),
+            (r#""rates": [10], "connection": "udp""#, "connection"),
+            (r#""rates": [10], "targets": ["nonsense"]"#, "targets"),
+            (r#""rates": [10], "seed": -1"#, "seed"),
+        ];
+        for (fragment, param) in cases {
+            let text = format!(r#"{{"name": "t", "mix": [{{"endpoint": "encode"}}], {fragment}}}"#);
+            let err =
+                ExperimentConfig::from_json(&text).expect_err(&format!("must reject {fragment}"));
+            assert!(err.to_string().contains(param), "{fragment}: {err}");
+        }
+        // Missing required fields.
+        for text in [
+            r#"{"mix": [{"endpoint": "encode"}], "rates": [1]}"#,
+            r#"{"name": "t", "rates": [1]}"#,
+            r#"{"name": "t", "mix": [{"endpoint": "encode"}]}"#,
+        ] {
+            ExperimentConfig::from_json(text).expect_err("must reject missing required field");
+        }
+        // Duplicate mix endpoints.
+        let text = r#"{"name": "t", "rates": [1],
+                       "mix": [{"endpoint": "encode"}, {"endpoint": "encode"}]}"#;
+        ExperimentConfig::from_json(text).expect_err("must reject duplicate endpoints");
+    }
+
+    #[test]
+    fn golden_config_round_trips() {
+        let text = r#"{
+          "name": "encode-sweep",
+          "seed": 11,
+          "scale": 0.002,
+          "mix": [
+            {"endpoint": "encode", "weight": 8},
+            {"endpoint": "classify", "weight": 3},
+            {"endpoint": "list_keys", "weight": 1}
+          ],
+          "rows_per_request": 128,
+          "rates": [25, 50, 100, 200],
+          "duration_secs": 6.0,
+          "concurrency": 4,
+          "connection": "keepalive",
+          "max_attempts": 2,
+          "nodes": 1,
+          "targets": ["127.0.0.1:7070"]
+        }"#;
+        let cfg = ExperimentConfig::from_json(text).unwrap();
+        assert_eq!(cfg.mix.len(), 3);
+        assert_eq!(cfg.total_weight(), 12);
+        // to_json(from_json(x)) parses back to the identical config —
+        // the canonical form is a fixed point.
+        let echoed = cfg.to_json();
+        let back = ExperimentConfig::from_json(&echoed).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.to_json(), echoed);
+    }
+}

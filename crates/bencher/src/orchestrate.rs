@@ -1,0 +1,308 @@
+//! Orchestrator mode: spawn the daemon(s), seed the workload, run
+//! the sweep, write the artifacts.
+//!
+//! The orchestrator reproduces by library call what
+//! `scripts/serve_smoke.py` and `scripts/cluster_smoke.py` do by
+//! hand: launch `ppdt serve` with an OS-assigned port, parse the
+//! `ppdt-serve listening on <addr> ...` line off stdout, and tear the
+//! process down with SIGTERM so the daemon drains instead of dying
+//! mid-request. Multi-node experiments (`nodes` > 1) wire each new
+//! daemon to every previously spawned one via `--peer`, matching the
+//! cluster smoke topology; the key is seeded once and replication /
+//! read-through fetch distributes it.
+//!
+//! [`run_sweep`] is the experiment driver: materialize payloads from
+//! the config's seed and scale, store the key, then execute one
+//! [`crate::openloop::run_step`] per configured rate, writing
+//! `step_<k>_<rate>.csv` per step and a machine-readable
+//! `summary.json` (schema [`crate::OPENLOOP_SCHEMA_VERSION`]) with
+//! per-step percentiles and the located overload knee.
+
+use std::io::BufRead as _;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ppdt_error::PpdtError;
+use ppdt_serve::api::{ClassifyRequest, EncodeRequest, StoreKeyRequest, StoreKeyResponse};
+use ppdt_serve::RetryingClient;
+use ppdt_transform::{EncodeConfig, Encoder};
+use ppdt_tree::{DecisionTree, TreeBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Serialize as _, Value};
+
+use crate::config::ExperimentConfig;
+use crate::openloop::{run_step, Payloads, StepPlan};
+use crate::record::write_csv;
+use crate::summary::{find_knee, summarize, StepSummary};
+
+fn io_err(what: impl std::fmt::Display) -> PpdtError {
+    PpdtError::Io { path: None, detail: what.to_string() }
+}
+
+/// A `ppdt serve` child process the orchestrator owns.
+///
+/// Dropping a still-running daemon kills it hard (SIGKILL) as a
+/// leak guard; call [`SpawnedDaemon::stop`] for the graceful SIGTERM
+/// drain.
+#[derive(Debug)]
+pub struct SpawnedDaemon {
+    child: Child,
+    /// The bound address parsed off the daemon's listen line.
+    pub addr: SocketAddr,
+    keystore_dir: PathBuf,
+}
+
+impl SpawnedDaemon {
+    /// Spawns `ppdt serve --keystore-dir <dir> --addr 127.0.0.1:0`
+    /// (plus a `--peer` per entry of `peers`) and waits for the
+    /// listen line. `extra_args` append verbatim, e.g.
+    /// `["--queue", "64"]`.
+    pub fn spawn(
+        ppdt: &Path,
+        keystore_dir: &Path,
+        peers: &[SocketAddr],
+        extra_args: &[String],
+    ) -> Result<SpawnedDaemon, PpdtError> {
+        std::fs::create_dir_all(keystore_dir)
+            .map_err(|e| io_err(format_args!("create {}: {e}", keystore_dir.display())))?;
+        let mut cmd = Command::new(ppdt);
+        cmd.arg("serve")
+            .arg("--keystore-dir")
+            .arg(keystore_dir)
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for p in peers {
+            cmd.arg("--peer").arg(p.to_string());
+        }
+        cmd.args(extra_args);
+        let mut child =
+            cmd.spawn().map_err(|e| io_err(format_args!("spawn {}: {e}", ppdt.display())))?;
+
+        // The daemon prints exactly one line once bound; scripts (and
+        // we) block on it.
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            other => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io_err(format_args!("daemon wrote no listen line: {other:?}")));
+            }
+        };
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|a| a.parse().ok());
+        let addr: SocketAddr = match addr {
+            Some(a) => a,
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io_err(format_args!("unparseable listen line: {line:?}")));
+            }
+        };
+        // Drain any further stdout (the drain notice) on a reaper
+        // thread so the pipe can never fill and block the daemon.
+        std::thread::spawn(move || for _ in lines {});
+        Ok(SpawnedDaemon { child, addr, keystore_dir: keystore_dir.to_path_buf() })
+    }
+
+    /// Graceful stop: SIGTERM (the daemon drains in-flight requests),
+    /// bounded wait, SIGKILL fallback. Removes the keystore dir.
+    pub fn stop(mut self) -> Result<(), PpdtError> {
+        // `Child::kill` is SIGKILL; the drain path needs a real
+        // SIGTERM, which std cannot send — shell out for it.
+        let _ = Command::new("kill").arg("-TERM").arg(self.child.id().to_string()).status();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50))
+                }
+                // Timed out or errored: fall through to Drop, whose
+                // SIGKILL ends it.
+                _ => break,
+            }
+        }
+        // Drop reaps (kill on an already-exited child is a harmless
+        // error) and removes the keystore dir.
+        Ok(())
+    }
+}
+
+impl Drop for SpawnedDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_dir_all(&self.keystore_dir);
+    }
+}
+
+/// Spawns `cfg.nodes` daemons off one `ppdt` binary, each peered with
+/// every earlier node (the cluster-smoke topology). Returns them in
+/// spawn order; node 0 is where [`run_sweep`] seeds the key.
+pub fn spawn_cluster(
+    ppdt: &Path,
+    cfg: &ExperimentConfig,
+    scratch: &Path,
+    extra_args: &[String],
+) -> Result<Vec<SpawnedDaemon>, PpdtError> {
+    let mut daemons: Vec<SpawnedDaemon> = Vec::with_capacity(cfg.nodes);
+    for n in 0..cfg.nodes {
+        let dir = scratch.join(format!("node{n}"));
+        let peers: Vec<SocketAddr> = daemons.iter().map(|d| d.addr).collect();
+        daemons.push(SpawnedDaemon::spawn(ppdt, &dir, &peers, extra_args)?);
+    }
+    Ok(daemons)
+}
+
+/// The materialized workload: a key to store and the request bodies
+/// built from it, reproducible from `(seed, scale, rows_per_request)`.
+#[derive(Debug)]
+struct Workload {
+    store_key_body: String,
+    rows: Vec<Vec<f64>>,
+    tree: DecisionTree,
+}
+
+fn materialize(cfg: &ExperimentConfig) -> Workload {
+    use ppdt_data::gen::{covertype_like, CovertypeConfig};
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let d = covertype_like(&mut rng, &CovertypeConfig::at_scale(cfg.scale));
+    let (key, d_prime) = Encoder::new(EncodeConfig::default())
+        .encode(&mut rng, &d)
+        .expect("encode generated dataset")
+        .into_parts();
+    let tree = TreeBuilder::default().fit(&d_prime);
+    let all_rows: Vec<Vec<f64>> =
+        (0..d.num_rows()).map(|i| d.schema().attrs().map(|a| d.column(a)[i]).collect()).collect();
+    // Cycle if the config asks for more rows per request than the
+    // scaled relation holds.
+    let rows: Vec<Vec<f64>> =
+        (0..cfg.rows_per_request).map(|i| all_rows[i % all_rows.len()].clone()).collect();
+    let store_key_body = serde_json::to_string(&StoreKeyRequest { key }).expect("key serializes");
+    Workload { store_key_body, rows, tree }
+}
+
+/// Stores the workload key on `addr` and builds the per-endpoint
+/// request bodies around the returned key id.
+fn seed_payloads(addr: SocketAddr, w: &Workload) -> Result<Payloads, PpdtError> {
+    let client = RetryingClient::new(addr);
+    let (status, text) = client.request("POST", "/v1/keys", &w.store_key_body)?;
+    if status != 201 && status != 200 {
+        return Err(io_err(format_args!("store key: HTTP {status}: {text}")));
+    }
+    let stored: StoreKeyResponse =
+        serde_json::from_str(&text).map_err(|e| io_err(format_args!("store key response: {e}")))?;
+    let encode_body = serde_json::to_string(&EncodeRequest {
+        key_id: stored.key_id.clone(),
+        csv: None,
+        rows: Some(w.rows.clone()),
+    })
+    .expect("encode request serializes");
+    let classify_body = serde_json::to_string(&ClassifyRequest {
+        key_id: stored.key_id,
+        tree: w.tree.clone(),
+        rows: w.rows.clone(),
+    })
+    .expect("classify request serializes");
+    Ok(Payloads { encode_body, classify_body })
+}
+
+/// A finished sweep: the per-step summaries, the knee, and where the
+/// artifacts went.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One summary per configured rate, in sweep order.
+    pub steps: Vec<StepSummary>,
+    /// Index into `steps` of the overload knee, when one appeared.
+    pub knee: Option<usize>,
+    /// Path of the written `summary.json`.
+    pub summary_path: PathBuf,
+    /// Paths of the per-step CSVs, in sweep order.
+    pub csv_paths: Vec<PathBuf>,
+}
+
+/// Runs the configured rate sweep against `targets`, writing one
+/// per-request CSV per step plus `summary.json` into `out_dir`.
+/// Progress goes to stderr so stdout stays machine-readable for
+/// callers that pipe it.
+pub fn run_sweep(
+    cfg: &ExperimentConfig,
+    targets: &[SocketAddr],
+    out_dir: &Path,
+) -> Result<SweepOutcome, PpdtError> {
+    if targets.is_empty() {
+        return Err(io_err("run_sweep needs at least one target"));
+    }
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| io_err(format_args!("create {}: {e}", out_dir.display())))?;
+    let workload = materialize(cfg);
+    let payloads = seed_payloads(targets[0], &workload)?;
+
+    let mut steps = Vec::with_capacity(cfg.rates.len());
+    let mut csv_paths = Vec::with_capacity(cfg.rates.len());
+    for (k, &rate) in cfg.rates.iter().enumerate() {
+        eprintln!("ppdt-bencher: step {}/{} at {rate} req/s", k + 1, cfg.rates.len());
+        let plan = StepPlan {
+            targets,
+            rate,
+            duration: Duration::from_secs_f64(cfg.duration_secs),
+            concurrency: cfg.concurrency,
+            connection: cfg.connection,
+            mix: &cfg.mix,
+            payloads: &payloads,
+            max_attempts: cfg.max_attempts,
+        };
+        let records = run_step(&plan);
+        let csv_path = out_dir.join(format!("step_{k}_{rate}.csv"));
+        write_csv(&csv_path, &records)?;
+        let s = summarize(rate, &records);
+        eprintln!(
+            "ppdt-bencher:   achieved {:.1}/s ok={} rejected={} errors={} p50={}us p99={}us",
+            s.achieved_rate,
+            s.ok,
+            s.rejected,
+            s.transport_errors + s.other_errors,
+            s.p50_us,
+            s.p99_us
+        );
+        steps.push(s);
+        csv_paths.push(csv_path);
+    }
+
+    let knee = find_knee(&steps);
+    let summary_path = out_dir.join("summary.json");
+    let doc = summary_value(cfg, &steps, knee);
+    std::fs::write(&summary_path, serde_json::to_string_pretty(&doc).expect("summary"))
+        .map_err(|e| io_err(format_args!("write {}: {e}", summary_path.display())))?;
+    Ok(SweepOutcome { steps, knee, summary_path, csv_paths })
+}
+
+/// The `summary.json` document (see [`crate::OPENLOOP_SCHEMA_VERSION`]).
+fn summary_value(cfg: &ExperimentConfig, steps: &[StepSummary], knee: Option<usize>) -> Value {
+    let knee_value = match knee {
+        Some(i) => Value::Object(vec![
+            ("index".to_string(), Value::UInt(i as u64)),
+            ("offered_rate".to_string(), Value::Float(steps[i].offered_rate)),
+            ("rejected".to_string(), Value::UInt(steps[i].rejected)),
+            ("p99_us".to_string(), Value::UInt(steps[i].p99_us)),
+        ]),
+        None => Value::Null,
+    };
+    Value::Object(vec![
+        ("openloop_schema_version".to_string(), Value::UInt(crate::OPENLOOP_SCHEMA_VERSION)),
+        ("name".to_string(), Value::Str(cfg.name.clone())),
+        ("config".to_string(), cfg.to_value()),
+        ("steps".to_string(), Value::Array(steps.iter().map(|s| s.to_value()).collect())),
+        ("knee".to_string(), knee_value),
+    ])
+}

@@ -129,8 +129,8 @@ usage: ppdt <subcommand> [args]
   audit <data.csv> [--key <key.json>] [--json <report.json>] [--trials N] [--seed N]
   serve --keystore-dir <dir> [--addr 127.0.0.1:7070] [--workers N] [--queue N]
         [--deadline-ms N] [--max-body-mb N] [--plan-cache N] [--tree-cache N]
-        [--keep-alive N] [--idle-timeout SECS] [--debug-endpoints]
-        [--peer HOST:PORT]... [--sync-interval-ms N]
+        [--keep-alive N] [--idle-timeout SECS] [--max-connections N]
+        [--debug-endpoints] [--peer HOST:PORT]... [--sync-interval-ms N]
 any subcommand accepts --metrics (phase timings + counters on stderr)
 and --lenient (skip malformed CSV rows instead of failing)
 exit codes: 1 internal, 2 usage, 3 io, 4 corrupt key, 5 incompatible tree, 6 corrupt data
@@ -527,6 +527,9 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
     let keep_alive: u64 = a.parsed("keep-alive", cache_defaults.keep_alive_requests)?;
     let idle_timeout_s: u64 =
         a.parsed("idle-timeout", cache_defaults.idle_timeout.as_secs().max(1))?;
+    // Load generators want this adjustable: the accept-side cap is
+    // what a high-concurrency open-loop sweep hits first.
+    let max_connections: usize = a.parsed("max-connections", cache_defaults.max_connections)?;
     // Cluster flags: each --peer is another daemon to replicate with.
     let peers: Vec<std::net::SocketAddr> = a
         .flag_all("peer")?
@@ -556,6 +559,9 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
     if idle_timeout_s == 0 {
         return Err(CliError::usage("--idle-timeout must be at least 1 second"));
     }
+    if max_connections == 0 {
+        return Err(CliError::usage("--max-connections must be at least 1"));
+    }
     let cfg = ppdt_serve::ServerConfig {
         addr,
         workers,
@@ -567,6 +573,7 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
         tree_cache_capacity: tree_cache,
         keep_alive_requests: keep_alive,
         idle_timeout: std::time::Duration::from_secs(idle_timeout_s),
+        max_connections,
         peers: peers.clone(),
         sync_interval: std::time::Duration::from_millis(sync_interval_ms),
         ..Default::default()
@@ -940,6 +947,7 @@ bogus,y
             ["--max-body-mb", "0"],
             ["--workers", "x"],
             ["--idle-timeout", "0"],
+            ["--max-connections", "0"],
             ["--keep-alive", "x"],
             ["--peer", "not-an-address"],
             ["--sync-interval-ms", "0"],

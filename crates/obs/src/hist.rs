@@ -1,0 +1,444 @@
+//! Log-bucketed latency histograms — exact-by-construction quantiles
+//! with a pinned relative-error bound.
+//!
+//! The serve daemon's `/metrics` and the `ppdt-bencher` open-loop
+//! load generator both need percentiles (p50/p99/p999) over millions
+//! of latency samples without keeping the samples. This module is the
+//! one shared implementation: an HDR-style histogram whose buckets
+//! are exact below [`LINEAR_MAX`] and then grow geometrically with
+//! [`SUB_BUCKETS`] linear sub-buckets per power of two, so every
+//! bucket's width is at most `value / SUB_BUCKETS` — a quantile read
+//! back from the histogram is **at least** the exact sample quantile
+//! and overshoots it by at most one part in [`SUB_BUCKETS`] (≈ 1.6%).
+//! That bound is not a heuristic; it is pinned by a unit test against
+//! a sorted-vector oracle.
+//!
+//! Two flavors share the bucket layout:
+//!
+//! * [`LogHistogram`] — plain counters for single-threaded recording
+//!   (the bencher's per-worker records) and for snapshots; supports
+//!   [`LogHistogram::merge`], which is exactly equivalent to having
+//!   recorded both sample sets into one histogram (also pinned by
+//!   test).
+//! * [`AtomicLogHistogram`] — relaxed-atomic counters for concurrent
+//!   recording on the serve hot path; [`AtomicLogHistogram::snapshot`]
+//!   produces a [`LogHistogram`] to query.
+//!
+//! Values are plain `u64`s — the callers record microseconds, but the
+//! histogram does not care. Values above [`MAX_TRACKABLE`] (~2^38,
+//! about 76 hours in µs) clamp into the last bucket; the exact
+//! minimum and maximum are tracked separately, so `quantile(0.0)` and
+//! `quantile(1.0)` are always exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of linear sub-buckets per power of two, as a power of two.
+pub const SUB_BITS: u32 = 6;
+
+/// Linear sub-buckets per octave (`2^SUB_BITS`); also the relative
+/// error denominator: a quantile overshoots by at most `1/SUB_BUCKETS`.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Values below this are counted in width-1 buckets (exact).
+pub const LINEAR_MAX: u64 = SUB_BUCKETS;
+
+/// Largest value with its own bucket; larger values clamp into the
+/// final bucket (min/max stay exact regardless).
+pub const MAX_TRACKABLE: u64 = (1 << 38) - 1;
+
+/// Highest bit index that still gets dedicated buckets (`2^38 - 1`).
+const MAX_MSB: u64 = 37;
+
+/// Total bucket count: `SUB_BUCKETS` exact buckets plus `SUB_BUCKETS`
+/// per octave from `2^SUB_BITS` up to `2^(MAX_MSB+1)`.
+const N_BUCKETS: usize = (SUB_BUCKETS + (MAX_MSB - SUB_BITS as u64 + 1) * SUB_BUCKETS) as usize;
+
+/// Bucket index for a value. Monotone non-decreasing in `v`.
+#[inline]
+fn index_for(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let v = v.min(MAX_TRACKABLE);
+    let msb = 63 - u64::from(v.leading_zeros());
+    let shift = msb - u64::from(SUB_BITS);
+    let sub = (v >> shift) - SUB_BUCKETS;
+    (SUB_BUCKETS + shift * SUB_BUCKETS + sub) as usize
+}
+
+/// Smallest value mapping into bucket `i`.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let shift = i / SUB_BUCKETS - 1;
+    let pos = i % SUB_BUCKETS;
+    (SUB_BUCKETS + pos) << shift
+}
+
+/// Largest value mapping into bucket `i` (the value a quantile read
+/// reports, so reads never under-estimate).
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    let i64 = i as u64;
+    if i64 < SUB_BUCKETS {
+        return i64;
+    }
+    let shift = i64 / SUB_BUCKETS - 1;
+    bucket_low(i) + (1 << shift) - 1
+}
+
+/// A mergeable log-bucketed histogram; see the module docs for the
+/// error bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    counts: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram { counts: Box::new([0; N_BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_for(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound on the
+    /// exact sample quantile that overshoots by at most one part in
+    /// [`SUB_BUCKETS`]. `q = 0` returns the exact minimum, `q = 1`
+    /// the exact maximum; an empty histogram returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        // The rank-th smallest sample, 1-based, clamped to the range.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The overflow bucket has no meaningful upper bound;
+                // the exact tracked max is the tight one there.
+                if i == N_BUCKETS - 1 {
+                    return self.max;
+                }
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`. Exactly equivalent
+    /// to having recorded both sample sets into one histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Concurrent recorder sharing [`LogHistogram`]'s bucket layout:
+/// relaxed atomic adds on the hot path, [`AtomicLogHistogram::snapshot`]
+/// to query. A snapshot taken while writers are active is a
+/// consistent-enough point-in-time view for metrics (each sample is
+/// atomic; cross-field skew is at most the writers in flight).
+#[derive(Debug)]
+pub struct AtomicLogHistogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLogHistogram {
+    fn default() -> Self {
+        AtomicLogHistogram::new()
+    }
+}
+
+impl AtomicLogHistogram {
+    /// An empty histogram.
+    pub fn new() -> AtomicLogHistogram {
+        AtomicLogHistogram {
+            counts: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (relaxed atomics; safe from any thread).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[index_for(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time plain copy to query quantiles from.
+    pub fn snapshot(&self) -> LogHistogram {
+        let mut counts = Box::new([0u64; N_BUCKETS]);
+        for (dst, src) in counts.iter_mut().zip(self.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        LogHistogram {
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random u64 stream (splitmix64) — the
+    /// histogram tests need arbitrary-looking values, not a
+    /// statistical RNG.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Exact sample quantile: the `ceil(q*n)`-th smallest (1-based).
+    fn oracle(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as f64;
+        let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_contiguous() {
+        // Contiguity: every bucket starts one past the previous end.
+        for i in 1..N_BUCKETS {
+            assert_eq!(
+                bucket_low(i),
+                bucket_high(i - 1) + 1,
+                "gap or overlap between buckets {} and {}",
+                i - 1,
+                i
+            );
+        }
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_high(N_BUCKETS - 1), MAX_TRACKABLE);
+
+        // index_for is monotone and inverts the bounds, across the
+        // linear range, every octave edge, and arbitrary values.
+        let mut probes: Vec<u64> = (0..2 * LINEAR_MAX).collect();
+        for bit in SUB_BITS as u64..=MAX_MSB + 2 {
+            let p = 1u64 << bit;
+            probes.extend_from_slice(&[p - 1, p, p + 1]);
+        }
+        let mut mix = Mix(7);
+        for _ in 0..10_000 {
+            probes.push(mix.next() >> (mix.next() % 40));
+        }
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for &v in &probes {
+            let i = index_for(v);
+            assert!(i >= last, "index_for not monotone at {v}");
+            assert!(i < N_BUCKETS);
+            if v <= MAX_TRACKABLE {
+                assert!(bucket_low(i) <= v && v <= bucket_high(i), "{v} outside bucket {i}");
+                // Width never exceeds the 1/SUB_BUCKETS error bound.
+                let width = bucket_high(i) - bucket_low(i);
+                assert!(
+                    width == 0 || width <= v / SUB_BUCKETS,
+                    "bucket {i} width {width} too wide for {v}"
+                );
+            } else {
+                assert_eq!(i, N_BUCKETS - 1, "overflow must clamp to the last bucket");
+            }
+            last = i;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_vector_oracle_within_bound() {
+        // Three shapes: uniform-ish, heavy-tailed, tiny exact values.
+        type Shape = Box<dyn Fn(&mut Mix) -> u64>;
+        let mut mix = Mix(42);
+        let shapes: [Shape; 3] = [
+            Box::new(|m| m.next() % 1_000_000),
+            Box::new(|m| 1u64 << (m.next() % 30)),
+            Box::new(|m| m.next() % 50),
+        ];
+        for (si, shape) in shapes.iter().enumerate() {
+            let mut h = LogHistogram::new();
+            let mut samples: Vec<u64> = (0..20_000).map(|_| shape(&mut mix)).collect();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            assert_eq!(h.count(), samples.len() as u64);
+            assert_eq!(h.min(), samples[0]);
+            assert_eq!(h.max(), *samples.last().unwrap());
+            let exact_sum: u64 = samples.iter().sum();
+            assert_eq!(h.sum(), exact_sum);
+            for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+                let exact = oracle(&samples, q);
+                let approx = h.quantile(q);
+                assert!(approx >= exact, "shape {si} q={q}: {approx} < exact {exact}");
+                let bound = exact as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0;
+                assert!(
+                    approx as f64 <= bound,
+                    "shape {si} q={q}: {approx} overshoots exact {exact} past {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything() {
+        let mut mix = Mix(3);
+        let xs: Vec<u64> = (0..5_000).map(|_| mix.next() % 10_000_000).collect();
+        let ys: Vec<u64> = (0..3_000).map(|_| mix.next() % 100).collect();
+        let mut hx = LogHistogram::new();
+        let mut hy = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for &x in &xs {
+            hx.record(x);
+            both.record(x);
+        }
+        for &y in &ys {
+            hy.record(y);
+            both.record(y);
+        }
+        hx.merge(&hy);
+        // Structural equality: identical buckets AND identical
+        // count/sum/min/max, not merely matching quantiles.
+        assert_eq!(hx, both);
+        // Merging an empty histogram is the identity.
+        hx.merge(&LogHistogram::new());
+        assert_eq!(hx, both);
+    }
+
+    #[test]
+    fn empty_and_edge_behavior() {
+        let h = LogHistogram::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.sum()), (0, 0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut h = LogHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+
+        // Values past MAX_TRACKABLE clamp into the last bucket but
+        // keep the exact max.
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_under_concurrency() {
+        let atomic = AtomicLogHistogram::new();
+        let mut plain = LogHistogram::new();
+        let per_thread: Vec<Vec<u64>> = (0..4u64)
+            .map(|t| {
+                let mut mix = Mix(t);
+                (0..2_500).map(|_| mix.next() % 1_000_000).collect()
+            })
+            .collect();
+        for chunk in &per_thread {
+            for &v in chunk {
+                plain.record(v);
+            }
+        }
+        std::thread::scope(|s| {
+            let atomic = &atomic;
+            for chunk in &per_thread {
+                s.spawn(move || {
+                    for &v in chunk {
+                        atomic.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(atomic.snapshot(), plain);
+        assert_eq!(atomic.count(), plain.count());
+    }
+}

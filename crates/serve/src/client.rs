@@ -153,33 +153,85 @@ impl RetryingClient {
     /// `(status, body)` — a non-503 error status is a *server
     /// decision*, not a transport fault, and is returned on the first
     /// attempt rather than retried.
+    ///
+    /// Callers that need to separate service latency from retry delay
+    /// (open-loop load generators) should use [`request_traced`],
+    /// which this delegates to.
+    ///
+    /// [`request_traced`]: RetryingClient::request_traced
     pub fn request(
         &self,
         method: &str,
         path: &str,
         body: &str,
     ) -> Result<(u16, String), PpdtError> {
+        self.request_traced(method, path, body).map(|o| (o.status, o.body))
+    }
+
+    /// [`request`](RetryingClient::request) with full retry
+    /// accounting: how many attempts the exchange took and how long
+    /// the client slept between them. Under overload, retries used to
+    /// silently inflate observed latency — a caller timing `request`
+    /// around a 503-then-200 saw service latency *plus* the
+    /// `Retry-After` sleep with no way to tell them apart. Subtracting
+    /// [`RequestOutcome::retry_wait`] from the wall clock recovers the
+    /// time actually spent connecting and exchanging.
+    pub fn request_traced(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<RequestOutcome, PpdtError> {
         let attempts = self.cfg.retry.max_attempts.max(1);
         let mut backoff = self.cfg.backoff;
+        let mut retry_wait = Duration::ZERO;
         for attempt in 1..=attempts {
             let last = attempt == attempts;
             match self.exchange_once(method, path, body) {
                 Ok(ex) if ex.status == 503 && !last => {
-                    let wait = ex.retry_after.map_or(backoff, Duration::from_secs);
-                    std::thread::sleep(wait.min(MAX_SLEEP));
+                    let wait = ex.retry_after.map_or(backoff, Duration::from_secs).min(MAX_SLEEP);
+                    retry_wait += wait;
+                    std::thread::sleep(wait);
                 }
-                Ok(ex) => return Ok((ex.status, ex.body)),
+                Ok(ex) => {
+                    return Ok(RequestOutcome {
+                        status: ex.status,
+                        body: ex.body,
+                        attempts: attempt,
+                        retry_wait,
+                    });
+                }
                 Err(e) => {
                     if last {
                         return Err(e);
                     }
-                    std::thread::sleep(backoff.min(MAX_SLEEP));
+                    let wait = backoff.min(MAX_SLEEP);
+                    retry_wait += wait;
+                    std::thread::sleep(wait);
                 }
             }
             backoff = backoff.saturating_mul(2);
         }
         unreachable!("the loop returns on its last attempt")
     }
+}
+
+/// Result of [`RetryingClient::request_traced`]: the final response
+/// plus the retry accounting needed to separate service latency from
+/// client-side retry delay.
+#[derive(Clone, Debug)]
+pub struct RequestOutcome {
+    /// Final HTTP status code.
+    pub status: u16,
+    /// Final response body.
+    pub body: String,
+    /// Exchanges performed, including the successful one (1 = no
+    /// retries).
+    pub attempts: usize,
+    /// Total time slept between attempts (`Retry-After` sleeps plus
+    /// connection-error backoff). Wall clock minus this is the time
+    /// spent actually connecting and exchanging.
+    pub retry_wait: Duration,
 }
 
 /// Writes `raw` bytes to a fresh socket, half-closes the write side,
@@ -246,6 +298,44 @@ mod tests {
         let client = RetryingClient::new(addr);
         let (status, body) = client.request("GET", "/x", "").unwrap();
         assert_eq!((status, body.as_str()), (200, "fine"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn request_traced_accounts_for_retries() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (conn, _) = listener.accept().unwrap();
+                answer(
+                    conn,
+                    "HTTP/1.1 503 Service Unavailable\r\nretry-after: 1\r\n\
+                     content-length: 2\r\nconnection: close\r\n\r\n{}",
+                );
+            }
+            let (conn, _) = listener.accept().unwrap();
+            answer(conn, "HTTP/1.1 200 OK\r\ncontent-length: 4\r\nconnection: close\r\n\r\nfine");
+        });
+        let out = RetryingClient::new(addr).request_traced("GET", "/x", "").unwrap();
+        assert_eq!((out.status, out.body.as_str()), (200, "fine"));
+        assert_eq!(out.attempts, 3, "two 503s then the success");
+        // Two Retry-After sleeps of 1s each — the accounting must
+        // report exactly what the client slept, no more.
+        assert_eq!(out.retry_wait, Duration::from_secs(2));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn request_traced_first_try_reports_no_wait() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            answer(conn, "HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\nok");
+        });
+        let out = RetryingClient::new(addr).request_traced("GET", "/x", "").unwrap();
+        assert_eq!((out.status, out.attempts, out.retry_wait), (200, 1, Duration::ZERO));
         server.join().unwrap();
     }
 

@@ -717,6 +717,7 @@ pub struct Client {
     addr: SocketAddr,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    server_closed: bool,
 }
 
 impl Client {
@@ -733,7 +734,17 @@ impl Client {
         writer.set_write_timeout(Some(Duration::from_secs(30))).map_err(|e| err("timeout", &e))?;
         let _ = writer.set_nodelay(true);
         let read_half = writer.try_clone().map_err(|e| err("clone", &e))?;
-        Ok(Client { addr, writer, reader: BufReader::new(read_half) })
+        Ok(Client { addr, writer, reader: BufReader::new(read_half), server_closed: false })
+    }
+
+    /// Whether the last response carried `Connection: close` — the
+    /// server will not answer further requests on this socket (the
+    /// daemon sends it every [`crate::ServerConfig::keep_alive_requests`]
+    /// exchanges as connection hygiene). A caller reusing the client
+    /// should reconnect instead of writing into a closing socket and
+    /// misreading the resulting reset as a transport fault.
+    pub fn server_closed(&self) -> bool {
+        self.server_closed
     }
 
     fn err(&self, what: &str, e: &dyn std::fmt::Display) -> PpdtError {
@@ -798,6 +809,7 @@ impl Client {
         let mut status: Option<u16> = None;
         let mut content_length: Option<usize> = None;
         let mut chunked = false;
+        let mut close = false;
         let mut line = String::new();
         loop {
             line.clear();
@@ -834,10 +846,13 @@ impl Client {
                     && value.eq_ignore_ascii_case("chunked")
                 {
                     chunked = true;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.eq_ignore_ascii_case("close");
                 }
             }
         }
         let status = status.ok_or_else(|| err("parse", &"no status line"))?;
+        self.server_closed = close;
         let mut buf = [0u8; 16 * 1024];
         if chunked {
             let mut chunks = ChunkedReader::new(&mut self.reader);
@@ -910,6 +925,34 @@ mod tests {
         read_body_into(&mut reader, &head_chunked, 1 << 20, &mut body).unwrap();
         assert_eq!(body, b"hello");
         assert_eq!((body.as_ptr(), body.capacity()), (ptr, cap), "no realloc on chunked reuse");
+    }
+
+    #[test]
+    fn client_surfaces_connection_close_from_the_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            for response in [
+                "HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok",
+                "HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\nok",
+            ] {
+                let mut seen = Vec::new();
+                while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                    let n = conn.read(&mut buf).unwrap();
+                    seen.extend_from_slice(&buf[..n]);
+                }
+                conn.write_all(response.as_bytes()).unwrap();
+            }
+        });
+        let mut client = Client::connect(addr).unwrap();
+        assert!(!client.server_closed(), "fresh connection: nothing announced yet");
+        client.request("GET", "/a", "").unwrap();
+        assert!(!client.server_closed(), "plain keep-alive response must not flag close");
+        client.request("GET", "/b", "").unwrap();
+        assert!(client.server_closed(), "Connection: close response must be surfaced");
+        server.join().unwrap();
     }
 
     fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {

@@ -75,7 +75,7 @@ mod stream;
 
 pub use api::{VersionResponse, API_SCHEMA_VERSION, BENCH_REPORT_SCHEMA_VERSION};
 pub use cache::{Caches, PlanCache, TreeCache};
-pub use client::{ClientConfig, Exchange, RetryingClient};
+pub use client::{ClientConfig, Exchange, RequestOutcome, RetryingClient};
 pub use handlers::Endpoint;
 pub use http::{request, Client, HttpError, Request, Response};
 pub use keystore::{KeyEntry, KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};

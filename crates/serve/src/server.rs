@@ -166,30 +166,14 @@ impl Default for ServerConfig {
 }
 
 /// Per-endpoint request/error/latency counters, readable while the
-/// server runs.
-#[derive(Debug)]
+/// server runs. Latency goes through the shared log-bucketed
+/// histogram so `/metrics` can report percentiles, not just
+/// min/mean/max.
+#[derive(Debug, Default)]
 struct EndpointStats {
     requests: AtomicU64,
     errors: AtomicU64,
-    latency_micros: AtomicU64,
-    min_micros: AtomicU64,
-    max_micros: AtomicU64,
-    timed_count: AtomicU64,
-}
-
-impl Default for EndpointStats {
-    fn default() -> Self {
-        EndpointStats {
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            latency_micros: AtomicU64::new(0),
-            // MAX sentinel so the first sample's fetch_min wins; the
-            // snapshot renders it as 0 when no request was timed.
-            min_micros: AtomicU64::new(u64::MAX),
-            max_micros: AtomicU64::new(0),
-            timed_count: AtomicU64::new(0),
-        }
-    }
+    latency: ppdt_obs::AtomicLogHistogram,
 }
 
 /// Live serve-side metrics (lock-free; rendered by `/metrics`).
@@ -215,11 +199,7 @@ impl ServeMetrics {
 
     fn timed(&self, e: Endpoint, elapsed: Duration) {
         let micros = elapsed.as_micros() as u64;
-        let s = &self.per_endpoint[e.index()];
-        s.latency_micros.fetch_add(micros, Ordering::Relaxed);
-        s.min_micros.fetch_min(micros, Ordering::Relaxed);
-        s.max_micros.fetch_max(micros, Ordering::Relaxed);
-        s.timed_count.fetch_add(1, Ordering::Relaxed);
+        self.per_endpoint[e.index()].latency.record(micros);
     }
 
     /// Requests answered `503` (queue full or deadline expired).
@@ -250,17 +230,17 @@ impl ServeMetrics {
                 .iter()
                 .map(|&e| {
                     let s = &self.per_endpoint[e.index()];
-                    let sum = s.latency_micros.load(Ordering::Relaxed);
-                    let count = s.timed_count.load(Ordering::Relaxed);
-                    let min = s.min_micros.load(Ordering::Relaxed);
+                    let h = s.latency.snapshot();
                     EndpointSnapshot {
                         endpoint: e.name().to_string(),
                         requests: s.requests.load(Ordering::Relaxed),
                         errors: s.errors.load(Ordering::Relaxed),
-                        latency_micros: sum,
-                        min_micros: if count == 0 { 0 } else { min },
-                        mean_micros: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
-                        max_micros: s.max_micros.load(Ordering::Relaxed),
+                        latency_micros: h.sum(),
+                        min_micros: h.min(),
+                        mean_micros: h.mean(),
+                        p50_micros: h.quantile(0.5),
+                        p99_micros: h.quantile(0.99),
+                        max_micros: h.max(),
                     }
                 })
                 .collect(),
@@ -283,6 +263,11 @@ pub struct EndpointSnapshot {
     pub min_micros: u64,
     /// Mean handler latency, microseconds (0 when nothing was timed).
     pub mean_micros: f64,
+    /// Median handler latency, microseconds — upper bound from the
+    /// log-bucketed histogram (≤ 1.6% over the exact sample median).
+    pub p50_micros: u64,
+    /// 99th-percentile handler latency, microseconds (same bound).
+    pub p99_micros: u64,
     /// Slowest timed request, microseconds.
     pub max_micros: u64,
 }
@@ -1089,10 +1074,15 @@ mod tests {
         assert_eq!((enc.requests, enc.errors, enc.latency_micros), (1, 1, 50));
         assert_eq!((enc.min_micros, enc.max_micros), (8, 42));
         assert!((enc.mean_micros - 25.0).abs() < 1e-9, "{}", enc.mean_micros);
+        // Sub-64µs samples land in exact histogram buckets, so the
+        // percentiles are exact: p50 = lower of the two samples
+        // (rank ceil(0.5·2) = 1), p99 = the upper one.
+        assert_eq!((enc.p50_micros, enc.p99_micros), (8, 42));
         // Untouched endpoints render zeros, not the MAX sentinel.
         let idle = snap.endpoints.iter().find(|s| s.endpoint == "classify").expect("classify row");
         assert_eq!((idle.min_micros, idle.max_micros), (0, 0));
         assert_eq!(idle.mean_micros, 0.0);
+        assert_eq!((idle.p50_micros, idle.p99_micros), (0, 0));
         // Round-trips through the JSON body type, peers row included.
         let peers = vec![PeerSnapshot {
             addr: "127.0.0.1:7071".to_string(),

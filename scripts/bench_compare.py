@@ -6,9 +6,10 @@ Usage:
     bench_compare.py --warm-ratio 1.5 REPORT.json
     bench_compare.py --keepalive-ratio 1.3 REPORT.json
     bench_compare.py --min-ratio FAST_over_SLOW:R REPORT.json
+    bench_compare.py --require-knee REPORT.json
     bench_compare.py --self-check
 
-Two report shapes are understood, detected from the file contents:
+Three report shapes are understood, detected from the file contents:
 
 * **trajectory** reports (``trajectory_schema_version: 1``, written by
   ``mining_speed`` via scripts/bench_trajectory.sh): timings matched on
@@ -20,6 +21,12 @@ Two report shapes are understood, detected from the file contents:
   regresses when the candidate falls below
   ``baseline * (1 - tolerance)``. Other headlines (configuration echoes
   like client counts) are informational.
+* **open-loop sweeps** (``openloop_schema_version: 1``, written by
+  ``ppdt-bencher`` / scripts/bench_ingest.py): rate steps matched on
+  offered_rate. On shared *healthy* steps (no 503s on either side),
+  ``achieved_rate`` is gated higher-is-better and ``p99_us``
+  lower-is-better; overloaded steps are latency-chaotic by design and
+  are reported but not gated.
 
 Both reports must be the same shape; mixing them is an error. Cases or
 headlines present in only one report are listed but not gated, so
@@ -46,6 +53,13 @@ builders (matched on threads) the ``FAST`` builder must be at least
 batched encode engine's speedup over the per-value compiled baseline.
 A report with no such pair is an error — the gate must never pass
 vacuously.
+
+``--require-knee REPORT.json`` gates a single open-loop sweep on
+having actually found its saturation knee: the report's ``knee`` must
+be present, in range, and re-derivable from the recorded steps (the
+knee step shed load, or its p99 exceeds 5x the base step's p99). A
+sweep that never saturated the server fails — it measured nothing
+about capacity.
 
 A BenchReport that claims cluster mode (any positive ``*peers``
 headline) must also embed the four ``peer_*`` sync counters in
@@ -95,8 +109,13 @@ def load(path):
         if missing:
             sys.exit(f"{path}: " + "; ".join(missing))
         return "bench_report", report
+    if report.get("openloop_schema_version") == 1:
+        if not report.get("steps"):
+            sys.exit(f"{path}: open-loop report has no rate steps")
+        return "openloop", report
     sys.exit(f"{path}: unrecognised report shape (expected "
-             f"trajectory_schema_version=1 or schema_version=2 with headlines)")
+             f"trajectory_schema_version=1, schema_version=2 with headlines, "
+             f"or openloop_schema_version=1)")
 
 
 def timing_map(report):
@@ -148,6 +167,85 @@ def compare_headlines(baseline, candidate, tolerance):
                 f"{name}: {b:.0f} -> {c:.0f} (-{100.0 * (1.0 - c / b):.1f}%)")
     note_unshared(base, cand)
     return regressions
+
+
+def openloop_step_map(report):
+    """{offered_rate: step} over all rate steps of an open-loop sweep."""
+    return {s["offered_rate"]: s for s in report["steps"]}
+
+
+def compare_openloop(baseline, candidate, tolerance):
+    """Open-loop sweep compare on shared healthy steps; regressions.
+
+    A step is *healthy* when neither side shed load (rejected == 0) and
+    both saw successful requests. On healthy steps ``achieved_rate`` is
+    higher-is-better and ``p99_us`` lower-is-better. Overloaded steps
+    are latency-chaotic by construction (the whole point of the sweep is
+    to find them), so they are noted but not gated."""
+    base = openloop_step_map(baseline)
+    cand = openloop_step_map(candidate)
+    regressions = []
+    for rate in sorted(base.keys() & cand.keys()):
+        b, c = base[rate], cand[rate]
+        if b["rejected"] > 0 or c["rejected"] > 0 or not (b["ok"] and c["ok"]):
+            print(f"note: rate {rate:g} overloaded or empty on one side; "
+                  f"not gated")
+            continue
+        if c["achieved_rate"] < b["achieved_rate"] * (1.0 - tolerance):
+            regressions.append(
+                f"rate {rate:g} achieved_rate: {b['achieved_rate']:.1f} -> "
+                f"{c['achieved_rate']:.1f} "
+                f"(-{100.0 * (1.0 - c['achieved_rate'] / b['achieved_rate']):.1f}%)")
+        if b["p99_us"] > 0 and c["p99_us"] > b["p99_us"] * (1.0 + tolerance):
+            regressions.append(
+                f"rate {rate:g} p99: {b['p99_us']} us -> {c['p99_us']} us "
+                f"(+{100.0 * (c['p99_us'] / b['p99_us'] - 1.0):.1f}%)")
+    note_unshared(base, cand)
+    return regressions
+
+
+def knee_failures(report):
+    """An open-loop sweep submitted to the knee gate must have found a
+    saturation knee, and the knee's claim must be re-derivable from the
+    steps themselves (503s appeared, or p99 blew past 5x the base
+    step's p99). Returns failure strings."""
+    steps = report.get("steps", [])
+    if not steps:
+        return ["no rate steps recorded"]
+    knee = report.get("knee")
+    if not knee:
+        return ["no knee identified: every offered rate was absorbed; "
+                "extend the sweep to higher rates"]
+    idx = knee.get("index", -1)
+    if not 0 <= idx < len(steps):
+        return [f"knee index {idx} out of range for {len(steps)} steps"]
+    step = steps[idx]
+    base_p99 = steps[0]["p99_us"]
+    shed = step["rejected"] > 0
+    blown = base_p99 > 0 and step["p99_us"] > 5.0 * base_p99
+    if not (shed or blown):
+        return [f"knee at rate {step['offered_rate']:g} is not supported by "
+                f"its step: rejected={step['rejected']}, "
+                f"p99={step['p99_us']} us vs base p99={base_p99} us"]
+    return []
+
+
+def gate_require_knee(path):
+    kind, report = load(path)
+    if kind != "openloop":
+        sys.exit(f"{path}: --require-knee needs an open-loop sweep, "
+                 f"got {kind}")
+    failures = knee_failures(report)
+    if failures:
+        print("KNEE GATE FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    knee = report["knee"]
+    step = report["steps"][knee["index"]]
+    print(f"ok: knee at step {knee['index']} "
+          f"(offered {step['offered_rate']:g}/s, rejected {step['rejected']}, "
+          f"p99 {step['p99_us']} us) out of {len(report['steps'])} steps")
 
 
 def ratio_pair_failures(report, ratio, hi_token, lo_token):
@@ -382,14 +480,64 @@ def self_check():
         sys.exit("self-check FAILED: standalone report (peers=0) wrongly "
                  "held to the peer-counter requirement")
 
+    def step(rate, achieved, ok, rejected, p99):
+        return {"offered_rate": rate, "achieved_rate": achieved,
+                "requests": ok + rejected, "ok": ok, "rejected": rejected,
+                "p99_us": p99}
+
+    sweep = {
+        "openloop_schema_version": 1,
+        "name": "synthetic",
+        "steps": [step(100.0, 100.2, 600, 0, 900),
+                  step(200.0, 199.5, 1200, 0, 1100),
+                  step(400.0, 361.0, 2000, 160, 48000)],
+        "knee": {"index": 2, "offered_rate": 400.0, "rejected": 160,
+                 "p99_us": 48000},
+    }
+    if compare_openloop(sweep, sweep, 0.10):
+        sys.exit("self-check FAILED: identical open-loop sweeps flagged "
+                 "a regression")
+    degraded = copy.deepcopy(sweep)
+    degraded["steps"][0]["achieved_rate"] *= 0.80
+    degraded["steps"][1]["p99_us"] = int(degraded["steps"][1]["p99_us"] * 1.5)
+    if len(compare_openloop(sweep, degraded, 0.10)) != 2:
+        sys.exit("self-check FAILED: open-loop achieved-rate drop and p99 "
+                 "blow-up not both flagged at 10% tolerance")
+    chaotic = copy.deepcopy(sweep)
+    chaotic["steps"][2]["p99_us"] *= 10
+    if compare_openloop(sweep, chaotic, 0.10):
+        sys.exit("self-check FAILED: overloaded (rejected > 0) step was "
+                 "latency-gated")
+    if knee_failures(sweep):
+        sys.exit("self-check FAILED: well-supported knee rejected")
+    kneeless = copy.deepcopy(sweep)
+    kneeless["knee"] = None
+    if not knee_failures(kneeless):
+        sys.exit("self-check FAILED: sweep without a knee passed the "
+                 "knee gate")
+    unsupported = copy.deepcopy(sweep)
+    unsupported["steps"][2]["rejected"] = 0
+    unsupported["steps"][2]["p99_us"] = 1200
+    if not knee_failures(unsupported):
+        sys.exit("self-check FAILED: knee claim not re-derivable from its "
+                 "step was accepted")
+
     print("self-check passed: identity clean, 20% regression flagged "
-          "in both report modes, warm-, keepalive- and min-ratio gates "
-          "discriminate, cluster-mode reports must carry peer counters")
+          "in all three report modes, warm-, keepalive- and min-ratio "
+          "gates discriminate, cluster-mode reports must carry peer "
+          "counters, knee gate demands a supported knee")
 
 
 def main(argv):
     if argv == ["--self-check"]:
         self_check()
+        return
+    if "--require-knee" in argv:
+        i = argv.index("--require-knee")
+        del argv[i:i + 1]
+        if len(argv) != 1:
+            sys.exit(__doc__.strip())
+        gate_require_knee(argv[0])
         return
     if "--min-ratio" in argv:
         i = argv.index("--min-ratio")
@@ -423,6 +571,8 @@ def main(argv):
                  f"{cand_kind} report")
     if base_kind == "trajectory":
         regressions = compare(baseline, candidate, tolerance)
+    elif base_kind == "openloop":
+        regressions = compare_openloop(baseline, candidate, tolerance)
     else:
         regressions = compare_headlines(baseline, candidate, tolerance)
     if regressions:

@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""Turn a ppdt-bencher sweep directory into a committed benchmark entry.
+
+Usage:
+    bench_ingest.py SWEEP_DIR --out BENCH.json [--name NAME]
+                    [--update-benchmarks BENCHMARKS.md]
+    bench_ingest.py --self-check
+
+``SWEEP_DIR`` is an ``--out-dir`` written by ``ppdt-bencher``: one
+``summary.json`` (openloop_schema_version 1) plus one
+``step_<k>_<rate>.csv`` of per-request records per rate step.
+
+For every step this script recomputes the ground truth from the raw
+CSV — request/outcome counts, achieved rate, and *exact* percentiles
+from the sorted per-request service latencies (latency minus client
+retry backoff, successes only) — and cross-checks the daemon-side
+histogram summary against it:
+
+* all counts must match exactly;
+* every histogram quantile q must satisfy
+  ``exact_q <= hist_q <= exact_q * (1 + 1/64) + 1`` — the log-bucketed
+  histogram (64 sub-buckets per octave) promises at most one
+  sub-bucket of overshoot and may never undershoot the true value.
+
+The emitted report is the summary document plus ``generated_by``,
+ingest provenance, and per-step ``exact_p50_us`` / ``exact_p99_us`` /
+``exact_p999_us`` fields, suitable for committing (e.g. BENCH_PR9.json)
+and gating with ``bench_compare.py`` (identity compare and
+``--require-knee``).
+
+``--update-benchmarks FILE`` rewrites the block between the
+``<!-- bench_ingest:begin -->`` / ``<!-- bench_ingest:end -->`` markers
+in FILE with a rendered sweep table (appending the block if the
+markers are absent).
+
+``--self-check`` runs the ingester against a synthetic sweep directory
+and verifies both directions: a consistent sweep ingests cleanly, and
+a histogram summary that undershoots the exact percentiles is
+rejected.
+"""
+
+import csv
+import json
+import math
+import os
+import re
+import sys
+import tempfile
+
+
+CSV_HEADER = ["seq", "endpoint", "sched_us", "wait_us", "latency_us",
+              "status", "bytes", "attempts", "retry_wait_us"]
+
+# One sub-bucket of relative overshoot, plus 1 us of integer slack:
+# the LogHistogram quantile reports its bucket's upper bound.
+HIST_SLACK = 1.0 / 64.0
+
+MARK_BEGIN = "<!-- bench_ingest:begin -->"
+MARK_END = "<!-- bench_ingest:end -->"
+
+
+def exact_quantile(sorted_vals, q):
+    """Nearest-rank quantile over an ascending list (rank ceil(q*n))."""
+    if not sorted_vals:
+        return 0
+    rank = min(max(int(math.ceil(q * len(sorted_vals))), 1), len(sorted_vals))
+    return sorted_vals[rank - 1]
+
+
+def read_step_csv(path):
+    """Parse one per-request CSV into a list of record dicts."""
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    if not rows or rows[0] != CSV_HEADER:
+        sys.exit(f"{path}: bad or missing CSV header "
+                 f"(want {','.join(CSV_HEADER)})")
+    records = []
+    for lineno, row in enumerate(rows[1:], start=2):
+        if len(row) != len(CSV_HEADER):
+            sys.exit(f"{path}:{lineno}: expected {len(CSV_HEADER)} columns, "
+                     f"got {len(row)}")
+        rec = dict(zip(CSV_HEADER, row))
+        for field in CSV_HEADER:
+            if field == "endpoint":
+                continue
+            try:
+                rec[field] = int(rec[field])
+            except ValueError:
+                sys.exit(f"{path}:{lineno}: non-integer {field} "
+                         f"{rec[field]!r}")
+        records.append(rec)
+    return records
+
+
+def crosscheck_step(step, records, label):
+    """Recompute a step's counts and exact percentiles from its raw CSV
+    and verify the histogram summary against them. Returns the exact
+    percentile dict; exits on any inconsistency."""
+    ok = [r for r in records if 200 <= r["status"] < 300]
+    rejected = sum(1 for r in records if r["status"] == 503)
+    transport = sum(1 for r in records if r["status"] == 0)
+    other = len(records) - len(ok) - rejected - transport
+    counts = {"requests": len(records), "ok": len(ok), "rejected": rejected,
+              "transport_errors": transport, "other_errors": other}
+    for name, got in counts.items():
+        if step[name] != got:
+            sys.exit(f"{label}: summary says {name}={step[name]} but the "
+                     f"CSV holds {got}")
+
+    service = sorted(max(r["latency_us"] - r["retry_wait_us"], 0)
+                     for r in ok)
+    exact = {q: exact_quantile(service, q / 1000.0)
+             for q in (500, 950, 990, 999)}
+    for q, field in ((500, "p50_us"), (950, "p95_us"), (990, "p99_us"),
+                     (999, "p999_us")):
+        hist = step[field]
+        lo, hi = exact[q], exact[q] * (1.0 + HIST_SLACK) + 1.0
+        if not lo <= hist <= hi:
+            sys.exit(f"{label}: histogram {field}={hist} outside the "
+                     f"[{lo}, {hi:.1f}] bound around the exact CSV value; "
+                     f"the summary does not describe these requests")
+    if service and step["max_us"] != service[-1]:
+        sys.exit(f"{label}: histogram max_us={step['max_us']} but the CSV "
+                 f"max service latency is {service[-1]}")
+    return {"exact_p50_us": exact[500], "exact_p99_us": exact[990],
+            "exact_p999_us": exact[999]}
+
+
+def step_csvs(sweep_dir, n_steps):
+    """Locate step_<k>_<rate>.csv for each step index, in order."""
+    by_index = {}
+    for name in os.listdir(sweep_dir):
+        m = re.fullmatch(r"step_(\d+)_[^/]*\.csv", name)
+        if m:
+            by_index[int(m.group(1))] = os.path.join(sweep_dir, name)
+    missing = [k for k in range(n_steps) if k not in by_index]
+    if missing:
+        sys.exit(f"{sweep_dir}: summary has {n_steps} steps but the "
+                 f"per-request CSVs for steps {missing} are missing")
+    return [by_index[k] for k in range(n_steps)]
+
+
+def ingest(sweep_dir, name=None):
+    """Cross-check a sweep dir and return the enriched report dict."""
+    summary_path = os.path.join(sweep_dir, "summary.json")
+    try:
+        with open(summary_path) as fh:
+            report = json.load(fh)
+    except OSError as err:
+        sys.exit(f"{summary_path}: {err}")
+    if report.get("openloop_schema_version") != 1:
+        sys.exit(f"{summary_path}: not an open-loop summary "
+                 f"(openloop_schema_version != 1)")
+    steps = report.get("steps", [])
+    if not steps:
+        sys.exit(f"{summary_path}: no rate steps recorded")
+    for k, path in enumerate(step_csvs(sweep_dir, len(steps))):
+        records = read_step_csv(path)
+        exact = crosscheck_step(steps[k], records,
+                                f"step {k} ({os.path.basename(path)})")
+        steps[k].update(exact)
+    report["generated_by"] = "ppdt-bencher + scripts/bench_ingest.py"
+    if name:
+        report["name"] = name
+    return report
+
+
+def render_table(report):
+    """Markdown sweep table for the BENCHMARKS.md block."""
+    lines = [
+        "| offered req/s | achieved | requests | 503s | p50 us | p99 us "
+        "| p999 us | exact p99 us |",
+        "|---:|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    knee = report.get("knee")
+    knee_idx = knee["index"] if knee else -1
+    for k, s in enumerate(report["steps"]):
+        mark = " **(knee)**" if k == knee_idx else ""
+        lines.append(
+            f"| {s['offered_rate']:g}{mark} | {s['achieved_rate']:.1f} "
+            f"| {s['requests']} | {s['rejected']} | {s['p50_us']} "
+            f"| {s['p99_us']} | {s['p999_us']} | {s['exact_p99_us']} |")
+    return "\n".join(lines)
+
+
+def update_benchmarks(path, report):
+    """Replace (or append) the marked sweep block in BENCHMARKS.md."""
+    cfg = report.get("config", {})
+    knee = report.get("knee")
+    knee_line = (
+        f"Knee: offered {knee['offered_rate']:g} req/s "
+        f"(step {knee['index']}: {knee['rejected']} rejected, "
+        f"p99 {knee['p99_us']} us)." if knee
+        else "Knee: not reached within the swept rates.")
+    mix = ", ".join(f"{m['endpoint']}:{m['weight']}"
+                    for m in cfg.get("mix", []))
+    block = "\n".join([
+        MARK_BEGIN,
+        f"### Open-loop sweep `{report.get('name', 'unnamed')}`",
+        "",
+        f"Mix {mix}; "
+        f"{cfg.get('rows_per_request', '?')} rows/request, scale "
+        f"{cfg.get('scale', '?')}, {cfg.get('duration_secs', '?')} s/step, "
+        f"{cfg.get('concurrency', '?')} workers, "
+        f"{cfg.get('connection', '?')} connections.",
+        "",
+        render_table(report),
+        "",
+        knee_line,
+        MARK_END,
+    ])
+    with open(path) as fh:
+        text = fh.read()
+    if MARK_BEGIN in text and MARK_END in text:
+        head, _, rest = text.partition(MARK_BEGIN)
+        _, _, tail = rest.partition(MARK_END)
+        text = head + block + tail
+    else:
+        text = text.rstrip("\n") + "\n\n" + block + "\n"
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"updated sweep block in {path}")
+
+
+def write_synthetic_sweep(sweep_dir, *, corrupt=False):
+    """Build a small consistent sweep dir for --self-check. With
+    ``corrupt``, the summary's p99 undershoots the CSV truth."""
+    def rec(seq, endpoint, sched, latency, status, retry_wait=0):
+        return [seq, endpoint, sched, 0, latency, status, 64, 1, retry_wait]
+
+    steps = []
+    for k, (rate, n, lat_base, rejected) in enumerate(
+            [(50.0, 100, 1000, 0), (100.0, 200, 1200, 20)]):
+        records = []
+        lats = []
+        for i in range(n):
+            status = 503 if i < rejected else 200
+            lat = lat_base + i * 7
+            if status == 200:
+                lats.append(lat)
+            records.append(rec(i, "encode" if i % 3 else "list_keys",
+                               int(i * 1e6 / rate), lat, status))
+        lats.sort()
+        span = (n - 1) / rate + lats[-1] / 1e6
+        p99 = exact_quantile(lats, 0.99)
+        steps.append({
+            "offered_rate": rate, "achieved_rate": n / span,
+            "duration_secs": 2.0, "requests": n, "ok": n - rejected,
+            "rejected": rejected, "transport_errors": 0, "other_errors": 0,
+            "p50_us": exact_quantile(lats, 0.5),
+            "p95_us": exact_quantile(lats, 0.95),
+            "p99_us": int(p99 * 0.5) if corrupt else p99,
+            "p999_us": exact_quantile(lats, 0.999),
+            "max_us": lats[-1], "mean_us": sum(lats) / len(lats),
+            "mean_wait_us": 0.0,
+        })
+        with open(os.path.join(sweep_dir, f"step_{k}_{rate:g}.csv"),
+                  "w", newline="") as fh:
+            w = csv.writer(fh)
+            w.writerow(CSV_HEADER)
+            w.writerows(records)
+    summary = {
+        "openloop_schema_version": 1, "name": "self-check",
+        "config": {"mix": [{"endpoint": "encode", "weight": 2},
+                           {"endpoint": "list_keys", "weight": 1}],
+                   "rows_per_request": 64, "scale": 0.01,
+                   "duration_secs": 2.0, "concurrency": 2,
+                   "connection": "keepalive"},
+        "steps": steps,
+        "knee": {"index": 1, "offered_rate": 100.0, "rejected": 20,
+                 "p99_us": steps[1]["p99_us"]},
+    }
+    with open(os.path.join(sweep_dir, "summary.json"), "w") as fh:
+        json.dump(summary, fh, indent=2)
+
+
+def self_check():
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "good")
+        os.mkdir(good)
+        write_synthetic_sweep(good)
+        report = ingest(good, name="self-check")
+        for field in ("exact_p50_us", "exact_p99_us", "exact_p999_us"):
+            if field not in report["steps"][0]:
+                sys.exit(f"self-check FAILED: ingest did not add {field}")
+        if report["steps"][0]["exact_p99_us"] > report["steps"][0]["p99_us"]:
+            sys.exit("self-check FAILED: exact p99 above histogram p99")
+
+        bench = os.path.join(tmp, "bench.md")
+        with open(bench, "w") as fh:
+            fh.write("# Benchmarks\n\nold text\n")
+        update_benchmarks(bench, report)
+        update_benchmarks(bench, report)
+        with open(bench) as fh:
+            text = fh.read()
+        if text.count(MARK_BEGIN) != 1 or "old text" not in text:
+            sys.exit("self-check FAILED: marker block not idempotent or "
+                     "surrounding text lost")
+
+        bad = os.path.join(tmp, "bad")
+        os.mkdir(bad)
+        write_synthetic_sweep(bad, corrupt=True)
+        if os.fork() == 0:
+            sys.stdout = sys.stderr = open(os.devnull, "w")
+            ingest(bad)
+            os._exit(0)
+        _, status = os.wait()
+        if status == 0:
+            sys.exit("self-check FAILED: summary undershooting the exact "
+                     "CSV percentiles was accepted")
+    print("self-check passed: consistent sweep ingests with exact "
+          "percentiles attached, BENCHMARKS block is idempotent, and a "
+          "summary that contradicts its own CSVs is rejected")
+
+
+def main(argv):
+    if argv == ["--self-check"]:
+        self_check()
+        return
+    out = bench_md = name = None
+    if "--out" in argv:
+        i = argv.index("--out")
+        out = argv[i + 1]
+        del argv[i:i + 2]
+    if "--name" in argv:
+        i = argv.index("--name")
+        name = argv[i + 1]
+        del argv[i:i + 2]
+    if "--update-benchmarks" in argv:
+        i = argv.index("--update-benchmarks")
+        bench_md = argv[i + 1]
+        del argv[i:i + 2]
+    if len(argv) != 1 or out is None:
+        sys.exit(__doc__.strip())
+    report = ingest(argv[0], name=name)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    steps = report["steps"]
+    knee = report.get("knee")
+    print(f"wrote {out}: {len(steps)} rate steps "
+          f"({steps[0]['offered_rate']:g}..{steps[-1]['offered_rate']:g} "
+          f"req/s), knee "
+          f"{'at ' + format(knee['offered_rate'], 'g') + ' req/s' if knee else 'not reached'}")
+    if bench_md:
+        update_benchmarks(bench_md, report)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -41,6 +41,11 @@ python3 scripts/bench_compare.py BENCH_PR4.json BENCH_PR4.json
 python3 scripts/bench_compare.py BENCH_PR5.json BENCH_PR5.json
 python3 scripts/bench_compare.py BENCH_PR6.json BENCH_PR6.json
 python3 scripts/bench_compare.py BENCH_PR8.json BENCH_PR8.json
+python3 scripts/bench_compare.py BENCH_PR9.json BENCH_PR9.json
+
+echo "== open-loop knee gate (committed BENCH_PR9.json found saturation)"
+python3 scripts/bench_ingest.py --self-check
+python3 scripts/bench_compare.py --require-knee BENCH_PR9.json
 
 echo "== batched encode speedup floor (committed BENCH_PR8.json)"
 python3 scripts/bench_compare.py \
@@ -60,5 +65,9 @@ python3 scripts/serve_smoke.py target/release/ppdt
 
 echo "== cluster smoke (3-node convergence, SIGKILL failover, zero lost answers)"
 python3 scripts/cluster_smoke.py target/release/ppdt
+
+echo "== bencher smoke (open-loop low-rate run: achieved rate, CSV/JSON shape, ingest round-trip)"
+cargo build --release -q -p ppdt-bencher
+python3 scripts/bencher_smoke.py target/release/ppdt target/release/ppdt-bencher
 
 echo "== all checks passed"
