@@ -126,6 +126,10 @@ pub struct ExperimentConfig {
     pub nodes: usize,
     /// Pre-existing daemon addresses to load instead of spawning.
     pub targets: Vec<String>,
+    /// Tenant the workload runs under. `"default"` drives the `/v1`
+    /// surface; any other name drives the `/v2/t/{tenant}/` routes,
+    /// so a sweep can exercise the tenant-scoped path end to end.
+    pub tenant: String,
 }
 
 impl Default for ExperimentConfig {
@@ -143,6 +147,7 @@ impl Default for ExperimentConfig {
             max_attempts: 1,
             nodes: 1,
             targets: Vec::new(),
+            tenant: "default".to_string(),
         }
     }
 }
@@ -196,6 +201,7 @@ impl ExperimentConfig {
             "max_attempts",
             "nodes",
             "targets",
+            "tenant",
         ];
         for (k, _) in obj {
             if !KNOWN.contains(&k.as_str()) {
@@ -355,6 +361,19 @@ impl ExperimentConfig {
             }
         }
 
+        if let Some(v) = doc.get("tenant") {
+            cfg.tenant = string(v, "tenant")?;
+            if ppdt_serve::Tenant::parse(&cfg.tenant).is_none() {
+                return Err(bad(
+                    "tenant",
+                    format_args!(
+                        "invalid tenant name {:?} (lowercase [a-z0-9_-], 1..=32 chars)",
+                        cfg.tenant
+                    ),
+                ));
+            }
+        }
+
         Ok(cfg)
     }
 
@@ -399,7 +418,14 @@ impl ExperimentConfig {
                 "targets".to_string(),
                 Value::Array(self.targets.iter().map(|t| Value::Str(t.clone())).collect()),
             ),
+            ("tenant".to_string(), Value::Str(self.tenant.clone())),
         ])
+    }
+
+    /// The parsed tenant (validated at parse time, so this cannot
+    /// fail for a config built by [`ExperimentConfig::from_json`]).
+    pub fn parsed_tenant(&self) -> ppdt_serve::Tenant {
+        ppdt_serve::Tenant::parse(&self.tenant).expect("tenant validated at parse time")
     }
 
     /// Total weight of the mix (> 0 by construction).

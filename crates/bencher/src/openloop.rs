@@ -29,13 +29,21 @@ use ppdt_transform::RetryPolicy;
 use crate::config::{BenchEndpoint, Connection, MixEntry};
 use crate::record::RequestRecord;
 
-/// Request bodies for the weighted endpoints, materialized once per
-/// experiment (see [`crate::orchestrate`]).
+/// Request bodies and routes for the weighted endpoints, materialized
+/// once per experiment (see [`crate::orchestrate`]). The paths carry
+/// the experiment's tenant: `/v1/...` for the default tenant,
+/// `/v2/t/{tenant}/...` otherwise.
 #[derive(Clone, Debug)]
 pub struct Payloads {
-    /// `POST /v1/encode` body (key id + rows).
+    /// Encode route (`{prefix}/encode`).
+    pub encode_path: String,
+    /// Classify route (`{prefix}/classify`).
+    pub classify_path: String,
+    /// Key-listing route (`{prefix}/keys`).
+    pub list_keys_path: String,
+    /// Encode body (key id + rows).
     pub encode_body: String,
-    /// `POST /v1/classify` body (key id + tree + rows).
+    /// Classify body (key id + tree + rows).
     pub classify_body: String,
 }
 
@@ -83,11 +91,11 @@ fn endpoint_for(i: u64, mix: &[MixEntry], total_weight: u64) -> BenchEndpoint {
     mix[mix.len() - 1].endpoint
 }
 
-fn method_path_body(e: BenchEndpoint, p: &Payloads) -> (&'static str, &'static str, &str) {
+fn method_path_body(e: BenchEndpoint, p: &Payloads) -> (&'static str, &str, &str) {
     match e {
-        BenchEndpoint::Encode => ("POST", "/v1/encode", p.encode_body.as_str()),
-        BenchEndpoint::Classify => ("POST", "/v1/classify", p.classify_body.as_str()),
-        BenchEndpoint::ListKeys => ("GET", "/v1/keys", ""),
+        BenchEndpoint::Encode => ("POST", p.encode_path.as_str(), p.encode_body.as_str()),
+        BenchEndpoint::Classify => ("POST", p.classify_path.as_str(), p.classify_body.as_str()),
+        BenchEndpoint::ListKeys => ("GET", p.list_keys_path.as_str(), ""),
     }
 }
 
@@ -263,11 +271,21 @@ mod tests {
         addr
     }
 
+    fn v1_payloads() -> Payloads {
+        Payloads {
+            encode_path: "/v1/encode".to_string(),
+            classify_path: "/v1/classify".to_string(),
+            list_keys_path: "/v1/keys".to_string(),
+            encode_body: "{}".to_string(),
+            classify_body: "{}".to_string(),
+        }
+    }
+
     #[test]
     fn open_loop_keeps_schedule_against_a_fast_server() {
         let stop = Arc::new(AtomicBool::new(false));
         let addr = spawn_responder(stop.clone());
-        let payloads = Payloads { encode_body: "{}".to_string(), classify_body: "{}".to_string() };
+        let payloads = v1_payloads();
         let mix = [MixEntry { endpoint: BenchEndpoint::ListKeys, weight: 1 }];
         let plan = StepPlan {
             targets: &[addr],
@@ -300,7 +318,7 @@ mod tests {
     fn transport_failures_are_recorded_not_dropped() {
         // Bind then drop: connects fail fast with ECONNREFUSED.
         let addr = TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
-        let payloads = Payloads { encode_body: "{}".to_string(), classify_body: "{}".to_string() };
+        let payloads = v1_payloads();
         let mix = [MixEntry { endpoint: BenchEndpoint::ListKeys, weight: 1 }];
         let plan = StepPlan {
             targets: &[addr],

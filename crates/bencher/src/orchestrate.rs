@@ -192,11 +192,17 @@ fn materialize(cfg: &ExperimentConfig) -> Workload {
     Workload { store_key_body, rows, tree }
 }
 
-/// Stores the workload key on `addr` and builds the per-endpoint
-/// request bodies around the returned key id.
-fn seed_payloads(addr: SocketAddr, w: &Workload) -> Result<Payloads, PpdtError> {
+/// Stores the workload key on `addr` under the experiment's tenant
+/// and builds the per-endpoint routes and request bodies around the
+/// returned key id.
+fn seed_payloads(
+    addr: SocketAddr,
+    tenant: &ppdt_serve::Tenant,
+    w: &Workload,
+) -> Result<Payloads, PpdtError> {
+    let prefix = tenant.route_prefix();
     let client = RetryingClient::new(addr);
-    let (status, text) = client.request("POST", "/v1/keys", &w.store_key_body)?;
+    let (status, text) = client.request("POST", &format!("{prefix}/keys"), &w.store_key_body)?;
     if status != 201 && status != 200 {
         return Err(io_err(format_args!("store key: HTTP {status}: {text}")));
     }
@@ -214,7 +220,13 @@ fn seed_payloads(addr: SocketAddr, w: &Workload) -> Result<Payloads, PpdtError> 
         rows: w.rows.clone(),
     })
     .expect("classify request serializes");
-    Ok(Payloads { encode_body, classify_body })
+    Ok(Payloads {
+        encode_path: format!("{prefix}/encode"),
+        classify_path: format!("{prefix}/classify"),
+        list_keys_path: format!("{prefix}/keys"),
+        encode_body,
+        classify_body,
+    })
 }
 
 /// A finished sweep: the per-step summaries, the knee, and where the
@@ -246,7 +258,7 @@ pub fn run_sweep(
     std::fs::create_dir_all(out_dir)
         .map_err(|e| io_err(format_args!("create {}: {e}", out_dir.display())))?;
     let workload = materialize(cfg);
-    let payloads = seed_payloads(targets[0], &workload)?;
+    let payloads = seed_payloads(targets[0], &cfg.parsed_tenant(), &workload)?;
 
     let mut steps = Vec::with_capacity(cfg.rates.len());
     let mut csv_paths = Vec::with_capacity(cfg.rates.len());

@@ -131,6 +131,7 @@ usage: ppdt <subcommand> [args]
         [--deadline-ms N] [--max-body-mb N] [--plan-cache N] [--tree-cache N]
         [--keep-alive N] [--idle-timeout SECS] [--max-connections N]
         [--debug-endpoints] [--peer HOST:PORT]... [--sync-interval-ms N]
+        [--tenant-max-keys N] [--tenant-max-inflight N]
 any subcommand accepts --metrics (phase timings + counters on stderr)
 and --lenient (skip malformed CSV rows instead of failing)
 exit codes: 1 internal, 2 usage, 3 io, 4 corrupt key, 5 incompatible tree, 6 corrupt data
@@ -547,6 +548,10 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
     if a.has("sync-interval-ms") && peers.is_empty() {
         return Err(CliError::usage("--sync-interval-ms needs at least one --peer"));
     }
+    // Tenant quotas: 0 (the default) disables enforcement.
+    let tenant_max_keys: usize = a.parsed("tenant-max-keys", cache_defaults.tenant_max_keys)?;
+    let tenant_max_inflight: usize =
+        a.parsed("tenant-max-inflight", cache_defaults.tenant_max_inflight)?;
     if queue == 0 {
         return Err(CliError::usage("--queue must be at least 1"));
     }
@@ -576,6 +581,8 @@ fn cmd_serve(a: &Args) -> Result<(), CliError> {
         max_connections,
         peers: peers.clone(),
         sync_interval: std::time::Duration::from_millis(sync_interval_ms),
+        tenant_max_keys,
+        tenant_max_inflight,
         ..Default::default()
     };
     let store = ppdt_serve::KeyStore::open(keystore_dir)?;

@@ -86,7 +86,7 @@ pub fn reset() {
 /// The events the pipeline counts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Counter {
-    /// Tuples passed through `encode_dataset` (rows, not cells).
+    /// Tuples passed through the dataset encoder (rows, not cells).
     RowsEncoded,
     /// Pieces materialized across all per-attribute transforms.
     PiecesDrawn,
@@ -99,7 +99,7 @@ pub enum Counter {
     /// Extra transform-draw attempts consumed by the bounded-retry
     /// loop in `encode_attribute` (0 when every first draw validates).
     DrawRetries,
-    /// Whole-dataset redraws consumed by `encode_dataset_verified`
+    /// Whole-dataset redraws consumed by the verified-encode loop
     /// (0 when the first encode verifies).
     VerifyRetries,
     /// Error-severity findings raised by the key/dataset audit.

@@ -1,11 +1,20 @@
 //! The custodian daemon's wire types: request/response payloads for
-//! every `/v1/*` endpoint, plus the schema-version constants clients
-//! use to negotiate (`GET /v1/version`).
+//! every `/v1/*` and `/v2/*` endpoint, plus the schema-version
+//! constants clients use to negotiate (`GET /v1/version`).
 //!
 //! Every body is JSON; CSV datasets ride inside JSON strings (the
 //! same text `ppdt encode`/`mine` read and write). These types are
 //! public so clients, benches, and tests can build payloads without
 //! string-templating JSON by hand.
+//!
+//! Tenancy rides on the *same* types for both API generations:
+//! responses carry an optional `tenant` field that `/v2/t/<name>/...`
+//! routes fill with the namespace they served and `/v1` routes omit
+//! (`None` serializes as `null`, and a missing field deserializes as
+//! `None`), so pre-tenancy clients parse `/v1` bodies unchanged and
+//! tenancy-aware clients get an explicit echo. The one genuinely new
+//! surface is online key rotation ([`RekeyRequest`]/[`RekeyResponse`],
+//! `POST /v2/t/<tenant>/rekey`), which has no `/v1` counterpart.
 
 use ppdt_transform::{AuditReport, TransformKey};
 use ppdt_tree::DecisionTree;
@@ -51,6 +60,8 @@ pub struct StoreKeyRequest {
 /// `POST /v1/keys` response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StoreKeyResponse {
+    /// Namespace served (`None` on `/v1` routes).
+    pub tenant: Option<String>,
     /// Content address of the stored key.
     pub key_id: String,
     /// Attribute count of the stored key.
@@ -62,6 +73,8 @@ pub struct StoreKeyResponse {
 /// `GET /v1/keys` response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ListKeysResponse {
+    /// Namespace served (`None` on `/v1` routes).
+    pub tenant: Option<String>,
     /// One row per stored envelope.
     pub keys: Vec<KeyEntry>,
 }
@@ -81,6 +94,8 @@ pub struct EncodeRequest {
 /// `POST /v1/encode` response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EncodeResponse {
+    /// Namespace served (`None` on `/v1` routes).
+    pub tenant: Option<String>,
     /// Echo of the request key.
     pub key_id: String,
     /// Rows transformed.
@@ -105,6 +120,8 @@ pub struct ClassifyRequest {
 /// `POST /v1/classify` response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ClassifyResponse {
+    /// Namespace served (`None` on `/v1` routes).
+    pub tenant: Option<String>,
     /// Echo of the request key.
     pub key_id: String,
     /// Predicted class ids, one per query row.
@@ -127,6 +144,8 @@ pub struct DecodeTreeRequest {
 /// `POST /v1/decode-tree` response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DecodeTreeResponse {
+    /// Namespace served (`None` on `/v1` routes).
+    pub tenant: Option<String>,
     /// Echo of the request key.
     pub key_id: String,
     /// Whether the replayed (data-backed) decode ran.
@@ -149,12 +168,48 @@ pub struct AuditRequestBody {
 /// key is bad.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AuditResponseBody {
+    /// Namespace served (`None` on `/v1` routes).
+    pub tenant: Option<String>,
     /// Echo of the request key.
     pub key_id: String,
     /// `report.passed()`.
     pub passed: bool,
     /// The full structural report (`AuditReport` schema v1).
     pub report: AuditReport,
+}
+
+/// `POST /v2/t/<tenant>/rekey` request: re-encode a dataset from one
+/// stored key to another within a tenant, in one pass through the
+/// fused decode∘encode plan
+/// ([`ppdt_transform::RekeyPlan`]) — the plaintext exists only
+/// column-by-column in a scratch buffer inside the custodian
+/// boundary, never in a response or on disk.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RekeyRequest {
+    /// Key the dataset is currently encoded under.
+    pub from_key_id: String,
+    /// Key to re-encode it under; must already be stored in the same
+    /// tenant.
+    pub to_key_id: String,
+    /// The labelled CSV dataset in `from_key_id`'s transformed space.
+    pub csv: String,
+}
+
+/// `POST /v2/t/<tenant>/rekey` response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RekeyResponse {
+    /// Namespace served.
+    pub tenant: Option<String>,
+    /// Echo of the source key.
+    pub from_key_id: String,
+    /// Echo of the target key.
+    pub to_key_id: String,
+    /// Rows re-encoded.
+    pub rows_rekeyed: u64,
+    /// The dataset in `to_key_id`'s transformed space — bit-identical
+    /// to decoding under `from_key_id` and freshly encoding under
+    /// `to_key_id`.
+    pub csv: String,
 }
 
 /// First line of a chunked (`Transfer-Encoding: chunked`)
@@ -196,6 +251,9 @@ pub struct StreamClassifyHeader {
 /// would serve.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PeerManifestEntry {
+    /// Namespace holding the key (`None` = the default tenant, so
+    /// pre-tenancy peers' manifests parse unchanged).
+    pub tenant: Option<String>,
     /// Content address of the key.
     pub key_id: String,
     /// 128-bit FNV-1a digest of the raw envelope file bytes.
@@ -215,6 +273,8 @@ pub struct PeerManifestResponse {
 /// `POST /v1/peer/fetch` request: ask a peer for one full envelope.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PeerFetchRequest {
+    /// Namespace to fetch from (`None` = the default tenant).
+    pub tenant: Option<String>,
     /// Content address of the wanted key.
     pub key_id: String,
 }
@@ -235,4 +295,88 @@ pub struct PeerFetchResponse {
 pub struct SleepRequest {
     /// Milliseconds to hold a worker, capped at 10 000.
     pub ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden back-compat: the exact response shapes a pre-tenancy
+    /// `/v1` client produces and consumes. Tenant-less JSON (no
+    /// `tenant` field at all) must keep deserializing, because
+    /// `RetryingClient` callers and external `/v1` consumers were
+    /// built against these bodies.
+    #[test]
+    fn v1_tenantless_bodies_still_parse() {
+        let golden = r#"{
+            "key_id": "00112233445566778899aabbccddeeff",
+            "num_attrs": 3,
+            "created": true
+        }"#;
+        let resp: StoreKeyResponse = serde_json::from_str(golden).expect("v1 body parses");
+        assert_eq!(resp.tenant, None, "missing field means the default tenant");
+        assert_eq!(resp.num_attrs, 3);
+        assert!(resp.created);
+
+        let golden = r#"{"keys": []}"#;
+        let resp: ListKeysResponse = serde_json::from_str(golden).expect("v1 body parses");
+        assert_eq!(resp.tenant, None);
+        assert!(resp.keys.is_empty());
+
+        let golden = r#"{
+            "key_id": "00112233445566778899aabbccddeeff",
+            "rows_encoded": 14,
+            "csv": "a,b,label\n1,2,0\n",
+            "rows": null
+        }"#;
+        let resp: EncodeResponse = serde_json::from_str(golden).expect("v1 body parses");
+        assert_eq!(resp.tenant, None);
+        assert_eq!(resp.rows_encoded, 14);
+
+        let golden = r#"{
+            "key_id": "00112233445566778899aabbccddeeff",
+            "labels": [0, 1, 0]
+        }"#;
+        let resp: ClassifyResponse = serde_json::from_str(golden).expect("v1 body parses");
+        assert_eq!(resp.tenant, None);
+        assert_eq!(resp.labels, vec![0, 1, 0]);
+
+        // Peer protocol: a manifest row from a pre-tenancy replica.
+        let golden = r#"{
+            "key_id": "00112233445566778899aabbccddeeff",
+            "envelope_digest": "ffeeddccbbaa99887766554433221100"
+        }"#;
+        let entry: PeerManifestEntry = serde_json::from_str(golden).expect("v1 manifest parses");
+        assert_eq!(entry.tenant, None);
+        let golden = r#"{"key_id": "00112233445566778899aabbccddeeff"}"#;
+        let req: PeerFetchRequest = serde_json::from_str(golden).expect("v1 fetch parses");
+        assert_eq!(req.tenant, None);
+    }
+
+    /// The tenant echo round-trips through serialization, and a named
+    /// tenant is visible to a tenancy-aware client.
+    #[test]
+    fn tenant_echo_round_trips() {
+        let resp = StoreKeyResponse {
+            tenant: Some("acme".to_string()),
+            key_id: "00112233445566778899aabbccddeeff".to_string(),
+            num_attrs: 2,
+            created: false,
+        };
+        let text = serde_json::to_string(&resp).unwrap();
+        assert!(text.contains("\"acme\""), "{text}");
+        let back: StoreKeyResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.tenant.as_deref(), Some("acme"));
+
+        let req = RekeyRequest {
+            from_key_id: "0".repeat(32),
+            to_key_id: "1".repeat(32),
+            csv: "a,label\n1,0\n".to_string(),
+        };
+        let text = serde_json::to_string(&req).unwrap();
+        let back: RekeyRequest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.from_key_id, req.from_key_id);
+        assert_eq!(back.to_key_id, req.to_key_id);
+        assert_eq!(back.csv, req.csv);
+    }
 }

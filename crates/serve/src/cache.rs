@@ -43,7 +43,7 @@ use ppdt_obs::Counter;
 use ppdt_transform::{CompiledKey, TransformKey};
 use ppdt_tree::DecisionTree;
 
-use crate::keystore::KeyStore;
+use crate::keystore::{KeyStore, Tenant};
 
 /// Cheap change detector for a key-envelope file: byte length plus
 /// mtime. Content addressing means same-id rewrites only happen on
@@ -178,25 +178,30 @@ impl PlanCache {
     pub fn get_or_compile(
         &self,
         store: &KeyStore,
+        tenant: &Tenant,
         id: &str,
     ) -> Result<Option<Arc<CachedPlan>>, PpdtError> {
-        let Some(stamp) = store.stamp(id) else {
+        // Tenant-qualified cache key: the same content address under
+        // two tenants is two independent entries (and `/` can appear
+        // in neither component, so the key is unambiguous).
+        let cache_key = format!("{tenant}/{id}");
+        let Some(stamp) = store.stamp_in(tenant, id) else {
             // No envelope on disk: drop any stale plan so a later
             // re-store starts clean.
-            self.cache.remove(id);
+            self.cache.remove(&cache_key);
             return Ok(None);
         };
-        if let Some(cached) = self.cache.get(id) {
+        if let Some(cached) = self.cache.get(&cache_key) {
             if cached.stamp == stamp {
                 ppdt_obs::add(Counter::PlanCacheHits, 1);
                 return Ok(Some(cached));
             }
             // The envelope changed under a cached id (tampering or
             // operator overwrite): the plan is stale.
-            self.cache.remove(id);
+            self.cache.remove(&cache_key);
         }
         ppdt_obs::add(Counter::PlanCacheMisses, 1);
-        let Some(key) = store.get(id)? else {
+        let Some(key) = store.get_in(tenant, id)? else {
             return Ok(None);
         };
         let plan = {
@@ -206,7 +211,7 @@ impl PlanCache {
             CompiledKey::compile_trusted(&key)
         };
         let cached = Arc::new(CachedPlan { key, plan, stamp });
-        if self.cache.insert(id.to_string(), Arc::clone(&cached)) {
+        if self.cache.insert(cache_key, Arc::clone(&cached)) {
             ppdt_obs::add(Counter::PlanCacheEvictions, 1);
         }
         Ok(Some(cached))
@@ -215,13 +220,13 @@ impl PlanCache {
     /// Pre-compiles `id` so the first request after `PUT /v1/keys` is
     /// already warm. Failures are ignored — the request path will
     /// surface them with proper status mapping.
-    pub fn warm(&self, store: &KeyStore, id: &str) {
-        let _ = self.get_or_compile(store, id);
+    pub fn warm(&self, store: &KeyStore, tenant: &Tenant, id: &str) {
+        let _ = self.get_or_compile(store, tenant, id);
     }
 
-    /// Drops any cached plan for `id`.
-    pub fn invalidate(&self, id: &str) {
-        self.cache.remove(id);
+    /// Drops any cached plan for `id` in `tenant`.
+    pub fn invalidate(&self, tenant: &Tenant, id: &str) {
+        self.cache.remove(&format!("{tenant}/{id}"));
     }
 
     /// Number of plans currently cached.
@@ -249,11 +254,13 @@ impl TreeCache {
         TreeCache { cache: LruCache::new(capacity) }
     }
 
-    /// Composite cache key: the key id plus a content digest of the
-    /// relevant payload bytes (tree JSON, plus the dataset text for
-    /// replayed decodes).
-    pub fn cache_key(key_id: &str, payload: &[u8]) -> String {
-        format!("{key_id}:{}", crate::keystore::content_id(payload))
+    /// Composite cache key: the tenant, the key id, and a content
+    /// digest of the relevant payload bytes (tree JSON, plus the
+    /// dataset text for replayed decodes). Tenant-qualifying the key
+    /// keeps identical payloads under identical key ids in two
+    /// tenants as two entries — isolation over dedup.
+    pub fn cache_key(tenant: &Tenant, key_id: &str, payload: &[u8]) -> String {
+        format!("{tenant}/{key_id}:{}", crate::keystore::content_id(payload))
     }
 
     /// Cached tree for a composite key, counting the hit.
@@ -321,8 +328,8 @@ mod tests {
         let key = sample_key(7);
         let (id, _) = store.put(&key).unwrap();
         let cache = PlanCache::new(4);
-        let p1 = cache.get_or_compile(&store, &id).unwrap().expect("present");
-        let p2 = cache.get_or_compile(&store, &id).unwrap().expect("present");
+        let p1 = cache.get_or_compile(&store, &Tenant::Default, &id).unwrap().expect("present");
+        let p2 = cache.get_or_compile(&store, &Tenant::Default, &id).unwrap().expect("present");
         assert!(Arc::ptr_eq(&p1, &p2), "second lookup must be a cache hit");
         assert_eq!(cache.len(), 1);
         // The cached plan encodes identically to the interpreted key.
@@ -339,12 +346,12 @@ mod tests {
     fn plan_cache_unknown_and_vanished_keys_are_none() {
         let (store, dir) = tmp_store("vanish");
         let cache = PlanCache::new(4);
-        assert!(cache.get_or_compile(&store, &"0".repeat(32)).unwrap().is_none());
+        assert!(cache.get_or_compile(&store, &Tenant::Default, &"0".repeat(32)).unwrap().is_none());
         let (id, _) = store.put(&sample_key(8)).unwrap();
-        assert!(cache.get_or_compile(&store, &id).unwrap().is_some());
+        assert!(cache.get_or_compile(&store, &Tenant::Default, &id).unwrap().is_some());
         std::fs::remove_file(dir.join(format!("{id}.json"))).unwrap();
         assert!(
-            cache.get_or_compile(&store, &id).unwrap().is_none(),
+            cache.get_or_compile(&store, &Tenant::Default, &id).unwrap().is_none(),
             "a vanished envelope must not serve from cache"
         );
         assert!(cache.is_empty());
@@ -356,7 +363,7 @@ mod tests {
         let (store, dir) = tmp_store("overwrite");
         let cache = PlanCache::new(4);
         let (id, _) = store.put(&sample_key(9)).unwrap();
-        cache.get_or_compile(&store, &id).unwrap().expect("warm");
+        cache.get_or_compile(&store, &Tenant::Default, &id).unwrap().expect("warm");
         // Overwrite the envelope in place with different bytes (a
         // different key's envelope): the digest no longer matches the
         // file name, so the reload must fail — and the stale cached
@@ -364,7 +371,9 @@ mod tests {
         let (other_id, _) = store.put(&sample_key(10)).unwrap();
         let other = std::fs::read(dir.join(format!("{other_id}.json"))).unwrap();
         std::fs::write(dir.join(format!("{id}.json")), other).unwrap();
-        let err = cache.get_or_compile(&store, &id).expect_err("stale plan must not serve");
+        let err = cache
+            .get_or_compile(&store, &Tenant::Default, &id)
+            .expect_err("stale plan must not serve");
         assert_eq!(err.category(), ppdt_error::ErrorCategory::CorruptKey, "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -375,7 +384,7 @@ mod tests {
         let cache = PlanCache::new(2);
         let ids: Vec<String> = (0..3).map(|s| store.put(&sample_key(20 + s)).unwrap().0).collect();
         for id in &ids {
-            cache.get_or_compile(&store, id).unwrap().expect("present");
+            cache.get_or_compile(&store, &Tenant::Default, id).unwrap().expect("present");
         }
         assert_eq!(cache.len(), 2, "capacity bound must hold");
         let _ = std::fs::remove_dir_all(&dir);
@@ -386,8 +395,8 @@ mod tests {
         let (store, dir) = tmp_store("disabled");
         let cache = PlanCache::new(0);
         let (id, _) = store.put(&sample_key(30)).unwrap();
-        let p1 = cache.get_or_compile(&store, &id).unwrap().expect("present");
-        let p2 = cache.get_or_compile(&store, &id).unwrap().expect("present");
+        let p1 = cache.get_or_compile(&store, &Tenant::Default, &id).unwrap().expect("present");
+        let p2 = cache.get_or_compile(&store, &Tenant::Default, &id).unwrap().expect("present");
         assert!(!Arc::ptr_eq(&p1, &p2), "capacity 0 must recompile every time");
         assert!(cache.is_empty());
         let trees = TreeCache::new(0);
@@ -399,10 +408,10 @@ mod tests {
     #[test]
     fn tree_cache_roundtrip_and_keying() {
         let trees = TreeCache::new(2);
-        let k1 = TreeCache::cache_key(&"a".repeat(32), b"payload-1");
-        let k2 = TreeCache::cache_key(&"a".repeat(32), b"payload-2");
+        let k1 = TreeCache::cache_key(&Tenant::Default, &"a".repeat(32), b"payload-1");
+        let k2 = TreeCache::cache_key(&Tenant::Default, &"a".repeat(32), b"payload-2");
         assert_ne!(k1, k2, "different payloads must key differently");
-        assert_eq!(k1, TreeCache::cache_key(&"a".repeat(32), b"payload-1"));
+        assert_eq!(k1, TreeCache::cache_key(&Tenant::Default, &"a".repeat(32), b"payload-1"));
         assert!(trees.get(&k1).is_none());
         let tree = Arc::new(DecisionTree {
             root: ppdt_tree::Node::Leaf { label: ppdt_data::ClassId(0), class_counts: vec![1, 0] },

@@ -25,12 +25,12 @@ use serde::{Deserialize, Serialize};
 pub use crate::api::{
     AuditRequestBody, AuditResponseBody, ClassifyRequest, ClassifyResponse, DecodeTreeRequest,
     DecodeTreeResponse, EncodeRequest, EncodeResponse, ListKeysResponse, PeerFetchRequest,
-    PeerFetchResponse, PeerManifestEntry, PeerManifestResponse, SleepRequest, StoreKeyRequest,
-    StoreKeyResponse,
+    PeerFetchResponse, PeerManifestEntry, PeerManifestResponse, RekeyRequest, RekeyResponse,
+    SleepRequest, StoreKeyRequest, StoreKeyResponse,
 };
 use crate::cache::{CachedPlan, Caches, TreeCache};
 use crate::http::{HttpError, Request, Response};
-use crate::keystore::{KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};
+use crate::keystore::{KeyEnvelope, KeyStore, Tenant, KEYSTORE_SCHEMA_VERSION};
 use crate::peer::Cluster;
 
 /// Everything a pooled handler can touch, threaded as one borrow so
@@ -47,6 +47,42 @@ pub struct HandlerCtx<'a> {
     pub cluster: Option<&'a Cluster>,
     /// This node's advertised identity (its bound address).
     pub node_id: &'a str,
+    /// Per-tenant stored-key quota (0 = unlimited), enforced by the
+    /// store-key handler with a 429.
+    pub tenant_max_keys: usize,
+}
+
+impl<'a> HandlerCtx<'a> {
+    /// Scopes the shared daemon state to one request's namespace.
+    pub fn scoped(&'a self, tenant: &'a Tenant) -> RequestCtx<'a> {
+        RequestCtx {
+            store: self.store,
+            caches: self.caches,
+            cluster: self.cluster,
+            node_id: self.node_id,
+            tenant_max_keys: self.tenant_max_keys,
+            tenant,
+        }
+    }
+}
+
+/// One request's view of the daemon: the shared state plus the
+/// [`Tenant`] the route resolved to. Handlers receive this instead of
+/// re-parsing the path — the router ([`route_parts`]) is the only
+/// place a tenant name is ever extracted from a URL.
+pub struct RequestCtx<'a> {
+    /// The content-addressed key store.
+    pub store: &'a KeyStore,
+    /// Plan and tree caches.
+    pub caches: &'a Caches,
+    /// Cluster membership, when running with `--peer`.
+    pub cluster: Option<&'a Cluster>,
+    /// This node's advertised identity (its bound address).
+    pub node_id: &'a str,
+    /// Per-tenant stored-key quota (0 = unlimited).
+    pub tenant_max_keys: usize,
+    /// The namespace this request is scoped to.
+    pub tenant: &'a Tenant,
 }
 
 /// The routable endpoints, used for dispatch, per-endpoint counters,
@@ -66,6 +102,10 @@ pub enum Endpoint {
     DecodeTree,
     /// `POST /v1/audit` — structural audit of a stored key.
     Audit,
+    /// `POST /v2/t/<tenant>/rekey` — re-encode a dataset from one
+    /// stored key to another through the fused decode∘encode plan
+    /// (online key rotation; `/v2`-only).
+    Rekey,
     /// `GET /healthz` — liveness (answered inline, never queued).
     Healthz,
     /// `GET /metrics` — counters (answered inline, never queued).
@@ -89,13 +129,14 @@ pub enum Endpoint {
 }
 
 /// All endpoints, for metrics table construction.
-pub const ENDPOINTS: [Endpoint; 13] = [
+pub const ENDPOINTS: [Endpoint; 14] = [
     Endpoint::StoreKey,
     Endpoint::ListKeys,
     Endpoint::Encode,
     Endpoint::Classify,
     Endpoint::DecodeTree,
     Endpoint::Audit,
+    Endpoint::Rekey,
     Endpoint::Healthz,
     Endpoint::Metrics,
     Endpoint::Version,
@@ -115,6 +156,7 @@ impl Endpoint {
             Endpoint::Classify => "classify",
             Endpoint::DecodeTree => "decode_tree",
             Endpoint::Audit => "audit",
+            Endpoint::Rekey => "rekey",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Version => "version",
@@ -134,6 +176,7 @@ impl Endpoint {
             Endpoint::Classify => "serve.classify",
             Endpoint::DecodeTree => "serve.decode_tree",
             Endpoint::Audit => "serve.audit",
+            Endpoint::Rekey => "serve.rekey",
             Endpoint::Healthz => "serve.healthz",
             Endpoint::Metrics => "serve.metrics",
             Endpoint::Version => "serve.version",
@@ -158,37 +201,107 @@ impl Endpoint {
     }
 }
 
-/// Routes a parsed request to an endpoint. `debug` enables the
-/// test-only routes.
-pub fn route(req: &Request, debug: bool) -> Result<Endpoint, HttpError> {
+/// A resolved route: the endpoint plus the [`Tenant`] the path
+/// scoped it to. `/v1/*` routes are a shim onto the default tenant —
+/// the mapping happens here, once, and handlers never look at the
+/// path again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The endpoint to dispatch to.
+    pub endpoint: Endpoint,
+    /// The namespace the path scoped the request to
+    /// ([`Tenant::Default`] for every `/v1/*` route).
+    pub tenant: Tenant,
+}
+
+impl Route {
+    /// A default-tenant route (what every `/v1` path resolves to).
+    pub fn v1(endpoint: Endpoint) -> Route {
+        Route { endpoint, tenant: Tenant::Default }
+    }
+}
+
+/// Routes a parsed request. `debug` enables the test-only routes.
+pub fn route(req: &Request, debug: bool) -> Result<Route, HttpError> {
     route_parts(&req.method, &req.path, debug)
 }
 
 /// Routes on the request line alone, before any body bytes are read —
 /// the keep-alive parser decides buffered-vs-streaming dispatch from
 /// the head, so routing cannot wait for the body.
-pub fn route_parts(method: &str, path: &str, debug: bool) -> Result<Endpoint, HttpError> {
-    match (method, path) {
-        ("POST", "/v1/keys") => Ok(Endpoint::StoreKey),
-        ("GET", "/v1/keys") => Ok(Endpoint::ListKeys),
-        ("POST", "/v1/encode") => Ok(Endpoint::Encode),
-        ("POST", "/v1/classify") => Ok(Endpoint::Classify),
-        ("POST", "/v1/decode-tree") => Ok(Endpoint::DecodeTree),
-        ("POST", "/v1/audit") => Ok(Endpoint::Audit),
-        ("GET", "/healthz") => Ok(Endpoint::Healthz),
-        ("GET", "/metrics") => Ok(Endpoint::Metrics),
-        ("GET", "/v1/version") => Ok(Endpoint::Version),
-        ("GET", "/v1/peer/keys") => Ok(Endpoint::PeerManifest),
-        ("POST", "/v1/peer/fetch") => Ok(Endpoint::PeerFetch),
-        ("POST", "/v1/debug/sleep") if debug => Ok(Endpoint::DebugSleep),
-        ("POST", "/v1/debug/panic") if debug => Ok(Endpoint::DebugPanic),
+///
+/// `/v2/t/<tenant>/...` routes carry the namespace in the path;
+/// `/v1/*` routes live on as a shim onto [`Tenant::Default`], and
+/// `/v2/t/default/...` is an exact alias of the corresponding `/v1`
+/// route. A syntactically invalid tenant name is a 400 before any
+/// endpoint matching (the name gate is what makes path traversal
+/// unrepresentable downstream).
+pub fn route_parts(method: &str, path: &str, debug: bool) -> Result<Route, HttpError> {
+    // The `/v2` route table. `{tenant}` stands for one validated
+    // tenant name segment; `scripts/protocol_gate.py` reads these
+    // tuples and pins them against `docs/PROTOCOL.md`.
+    const V2_ROUTES: [(&str, &str, Endpoint); 7] = [
+        ("POST", "/v2/t/{tenant}/keys", Endpoint::StoreKey),
+        ("GET", "/v2/t/{tenant}/keys", Endpoint::ListKeys),
+        ("POST", "/v2/t/{tenant}/encode", Endpoint::Encode),
+        ("POST", "/v2/t/{tenant}/classify", Endpoint::Classify),
+        ("POST", "/v2/t/{tenant}/decode-tree", Endpoint::DecodeTree),
+        ("POST", "/v2/t/{tenant}/audit", Endpoint::Audit),
+        ("POST", "/v2/t/{tenant}/rekey", Endpoint::Rekey),
+    ];
+    const V2_PREFIX: &str = "/v2/t/";
+    const V2_PATTERN_PREFIX: &str = "/v2/t/{tenant}";
+
+    if let Some(rest) = path.strip_prefix(V2_PREFIX) {
+        let Some(slash) = rest.find('/') else {
+            return Err(HttpError::not_found("unknown_route", format!("no such route: {path}")));
+        };
+        let (name, suffix) = rest.split_at(slash);
+        let Some(tenant) = Tenant::parse(name) else {
+            return Err(HttpError::bad_request(
+                "invalid_tenant",
+                format!("malformed tenant name {name:?}: expected 1-32 chars of [a-z0-9_-]"),
+            ));
+        };
+        let mut known_path = false;
+        for (m, pattern, endpoint) in V2_ROUTES {
+            let pattern_suffix =
+                pattern.strip_prefix(V2_PATTERN_PREFIX).expect("v2 patterns share the prefix");
+            if suffix == pattern_suffix {
+                if method == m {
+                    return Ok(Route { endpoint, tenant });
+                }
+                known_path = true;
+            }
+        }
+        if known_path {
+            return Err(HttpError::method_not_allowed(path));
+        }
+        return Err(HttpError::not_found("unknown_route", format!("no such route: {path}")));
+    }
+
+    let endpoint = match (method, path) {
+        ("POST", "/v1/keys") => Endpoint::StoreKey,
+        ("GET", "/v1/keys") => Endpoint::ListKeys,
+        ("POST", "/v1/encode") => Endpoint::Encode,
+        ("POST", "/v1/classify") => Endpoint::Classify,
+        ("POST", "/v1/decode-tree") => Endpoint::DecodeTree,
+        ("POST", "/v1/audit") => Endpoint::Audit,
+        ("GET", "/healthz") => Endpoint::Healthz,
+        ("GET", "/metrics") => Endpoint::Metrics,
+        ("GET", "/v1/version") => Endpoint::Version,
+        ("GET", "/v1/peer/keys") => Endpoint::PeerManifest,
+        ("POST", "/v1/peer/fetch") => Endpoint::PeerFetch,
+        ("POST", "/v1/debug/sleep") if debug => Endpoint::DebugSleep,
+        ("POST", "/v1/debug/panic") if debug => Endpoint::DebugPanic,
         (
             _,
             p @ ("/v1/keys" | "/v1/encode" | "/v1/classify" | "/v1/decode-tree" | "/v1/audit"
             | "/v1/version" | "/healthz" | "/metrics" | "/v1/peer/keys" | "/v1/peer/fetch"),
-        ) => Err(HttpError::method_not_allowed(p)),
-        _ => Err(HttpError::not_found("unknown_route", format!("no such route: {path}"))),
-    }
+        ) => return Err(HttpError::method_not_allowed(p)),
+        _ => return Err(HttpError::not_found("unknown_route", format!("no such route: {path}"))),
+    };
+    Ok(Route::v1(endpoint))
 }
 
 // ---------------------------------------------------------- handlers
@@ -232,14 +345,16 @@ fn check_key_id(key_id: &str) -> Result<(), HttpError> {
 /// report about this node's disk, and papering over it with a peer
 /// copy would hide the fault from operators (the anti-entropy loop
 /// repairs it out-of-band instead).
-pub(crate) fn load_plan(ctx: &HandlerCtx, key_id: &str) -> Result<Arc<CachedPlan>, HttpError> {
+pub(crate) fn load_plan(ctx: &RequestCtx, key_id: &str) -> Result<Arc<CachedPlan>, HttpError> {
     check_key_id(key_id)?;
-    match ctx.caches.plans.get_or_compile(ctx.store, key_id) {
+    match ctx.caches.plans.get_or_compile(ctx.store, ctx.tenant, key_id) {
         Ok(Some(plan)) => Ok(plan),
         Ok(None) => {
             if let Some(cluster) = ctx.cluster {
-                if cluster.fetch_from_peers(ctx.store, key_id) {
-                    if let Ok(Some(plan)) = ctx.caches.plans.get_or_compile(ctx.store, key_id) {
+                if cluster.fetch_from_peers(ctx.store, ctx.tenant, key_id) {
+                    if let Ok(Some(plan)) =
+                        ctx.caches.plans.get_or_compile(ctx.store, ctx.tenant, key_id)
+                    {
                         return Ok(plan);
                     }
                 }
@@ -308,6 +423,7 @@ fn encode_row_into(
 /// payload already passed validation against this exact key.
 pub(crate) fn validated_tree(
     caches: &Caches,
+    tenant: &Tenant,
     key_id: &str,
     plan: &CachedPlan,
     tree: &DecisionTree,
@@ -315,7 +431,7 @@ pub(crate) fn validated_tree(
 ) -> Result<Arc<DecisionTree>, HttpError> {
     let tree_json = serde_json::to_string(tree)
         .map_err(|e| HttpError::from(PpdtError::internal(format!("tree re-serialization: {e}"))))?;
-    let composite = TreeCache::cache_key(key_id, tree_json.as_bytes());
+    let composite = TreeCache::cache_key(tenant, key_id, tree_json.as_bytes());
     if let Some(cached) = caches.trees.get(&composite) {
         return Ok(cached);
     }
@@ -332,16 +448,18 @@ pub(crate) fn validated_tree(
 /// (`Endpoint::Healthz`/`Metrics`/`Version`) never arrive here (the
 /// parser threads answer them directly); routing them in is an
 /// internal error by construction.
-pub fn handle(endpoint: Endpoint, req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
-    match endpoint {
-        Endpoint::StoreKey => store_key(req, ctx),
-        Endpoint::ListKeys => list_keys(ctx.store),
-        Endpoint::Encode => encode(req, ctx),
-        Endpoint::Classify => classify(req, ctx),
-        Endpoint::DecodeTree => decode_tree(req, ctx),
-        Endpoint::Audit => audit(req, ctx.store),
-        Endpoint::PeerManifest => peer_manifest(ctx),
-        Endpoint::PeerFetch => peer_fetch(req, ctx),
+pub fn handle(route: &Route, req: &Request, shared: &HandlerCtx) -> Result<Response, HttpError> {
+    let ctx = shared.scoped(&route.tenant);
+    match route.endpoint {
+        Endpoint::StoreKey => store_key(req, &ctx),
+        Endpoint::ListKeys => list_keys(&ctx),
+        Endpoint::Encode => encode(req, &ctx),
+        Endpoint::Classify => classify(req, &ctx),
+        Endpoint::DecodeTree => decode_tree(req, &ctx),
+        Endpoint::Audit => audit(req, &ctx),
+        Endpoint::Rekey => rekey(req, &ctx),
+        Endpoint::PeerManifest => peer_manifest(&ctx),
+        Endpoint::PeerFetch => peer_fetch(req, &ctx),
         Endpoint::DebugSleep => debug_sleep(req),
         Endpoint::DebugPanic => panic!("debug panic endpoint: deliberate handler panic"),
         Endpoint::Healthz | Endpoint::Metrics | Endpoint::Version => {
@@ -350,13 +468,30 @@ pub fn handle(endpoint: Endpoint, req: &Request, ctx: &HandlerCtx) -> Result<Res
     }
 }
 
-fn store_key(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
+fn store_key(req: &Request, ctx: &RequestCtx) -> Result<Response, HttpError> {
     let body: StoreKeyRequest = parse_body(req)?;
     let num_attrs = body.key.transforms.len();
-    let (key_id, created) = ctx.store.put(&body.key).map_err(HttpError::from)?;
+    // Per-tenant key quota: a 429 (with Retry-After) singles the
+    // tenant out without touching the daemon's global health.
+    // Re-storing an already-held key is always allowed — it is a
+    // no-op that changes nothing the quota measures.
+    if ctx.tenant_max_keys > 0 {
+        let held = ctx.store.key_count(ctx.tenant).map_err(HttpError::from)?;
+        if held >= ctx.tenant_max_keys {
+            let id = KeyStore::key_id(&body.key).map_err(HttpError::from)?;
+            if ctx.store.stamp_in(ctx.tenant, &id).is_none() {
+                return Err(HttpError::too_many_requests(format!(
+                    "tenant {:?} holds {held} of {} allowed keys",
+                    ctx.tenant.as_str(),
+                    ctx.tenant_max_keys
+                )));
+            }
+        }
+    }
+    let (key_id, created) = ctx.store.put_in(ctx.tenant, &body.key).map_err(HttpError::from)?;
     // Compile at store time so the first encode/classify under this
     // key is already warm (no-op when the plan cache is disabled).
-    ctx.caches.plans.warm(ctx.store, &key_id);
+    ctx.caches.plans.warm(ctx.store, ctx.tenant, &key_id);
     // Best-effort push so new keys cross the cluster in milliseconds
     // instead of a sync interval. Only a *created* store queues one:
     // the pushed copy arrives at each peer as `created = false` (or
@@ -364,11 +499,14 @@ fn store_key(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     // ping-pong between peers terminates by construction.
     if created {
         if let Some(cluster) = ctx.cluster {
-            cluster.notify_stored(&key_id);
+            cluster.notify_stored(ctx.tenant, &key_id);
         }
     }
     let status = if created { 201 } else { 200 };
-    json_response(status, &StoreKeyResponse { key_id, num_attrs, created })
+    json_response(
+        status,
+        &StoreKeyResponse { tenant: ctx.tenant.wire(), key_id, num_attrs, created },
+    )
 }
 
 /// `GET /v1/peer/keys`: the anti-entropy manifest. Only entries that
@@ -376,17 +514,20 @@ fn store_key(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
 /// offers a peer something it would refuse to serve itself — and the
 /// digest is over the raw envelope bytes, so manifest agreement
 /// across nodes is byte-identical convergence.
-fn peer_manifest(ctx: &HandlerCtx) -> Result<Response, HttpError> {
+fn peer_manifest(ctx: &RequestCtx) -> Result<Response, HttpError> {
     let mut keys = Vec::new();
-    for entry in ctx.store.list().map_err(HttpError::from)? {
-        if !entry.valid {
-            continue;
-        }
-        if let Ok(Some(bytes)) = ctx.store.raw(&entry.key_id) {
-            keys.push(PeerManifestEntry {
-                key_id: entry.key_id,
-                envelope_digest: crate::keystore::content_id(&bytes),
-            });
+    for tenant in ctx.store.list_tenants().map_err(HttpError::from)? {
+        for entry in ctx.store.list_in(&tenant).map_err(HttpError::from)? {
+            if !entry.valid {
+                continue;
+            }
+            if let Ok(Some(bytes)) = ctx.store.raw_in(&tenant, &entry.key_id) {
+                keys.push(PeerManifestEntry {
+                    tenant: tenant.wire(),
+                    key_id: entry.key_id,
+                    envelope_digest: crate::keystore::content_id(&bytes),
+                });
+            }
         }
     }
     json_response(200, &PeerManifestResponse { node_id: ctx.node_id.to_string(), keys })
@@ -397,10 +538,19 @@ fn peer_manifest(ctx: &HandlerCtx) -> Result<Response, HttpError> {
 /// 409, never served to a peer — and deliberately does *not*
 /// read-through to other peers (the fetcher already fans out itself;
 /// recursing here could bounce a missing id around the cluster).
-fn peer_fetch(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
+fn peer_fetch(req: &Request, ctx: &RequestCtx) -> Result<Response, HttpError> {
     let body: PeerFetchRequest = parse_body(req)?;
     check_key_id(&body.key_id)?;
-    match ctx.store.get(&body.key_id) {
+    // The namespace rides in the body (the peer protocol stays on its
+    // `/v1` paths): a missing field is the default tenant, so
+    // pre-tenancy peers keep interoperating.
+    let Some(tenant) = Tenant::from_wire(body.tenant.as_deref()) else {
+        return Err(HttpError::bad_request(
+            "invalid_tenant",
+            format!("malformed tenant name {:?}", body.tenant),
+        ));
+    };
+    match ctx.store.get_in(&tenant, &body.key_id) {
         Ok(Some(key)) => {
             let envelope = KeyEnvelope {
                 schema_version: KEYSTORE_SCHEMA_VERSION,
@@ -418,12 +568,12 @@ fn peer_fetch(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     }
 }
 
-fn list_keys(store: &KeyStore) -> Result<Response, HttpError> {
-    let keys = store.list().map_err(HttpError::from)?;
-    json_response(200, &ListKeysResponse { keys })
+fn list_keys(ctx: &RequestCtx) -> Result<Response, HttpError> {
+    let keys = ctx.store.list_in(ctx.tenant).map_err(HttpError::from)?;
+    json_response(200, &ListKeysResponse { tenant: ctx.tenant.wire(), keys })
 }
 
-fn encode(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
+fn encode(req: &Request, ctx: &RequestCtx) -> Result<Response, HttpError> {
     let body: EncodeRequest = parse_body(req)?;
     // Shape errors are usage errors regardless of whether the key
     // exists, so validate the payload before touching the store.
@@ -449,6 +599,7 @@ fn encode(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
             json_response(
                 200,
                 &EncodeResponse {
+                    tenant: ctx.tenant.wire(),
                     key_id: body.key_id,
                     rows_encoded: d.num_rows() as u64,
                     csv: Some(csv::to_csv(&d_prime)),
@@ -466,6 +617,7 @@ fn encode(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
             json_response(
                 200,
                 &EncodeResponse {
+                    tenant: ctx.tenant.wire(),
                     key_id: body.key_id,
                     rows_encoded: encoded.len() as u64,
                     csv: None,
@@ -480,10 +632,10 @@ fn encode(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
     }
 }
 
-fn classify(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
+fn classify(req: &Request, ctx: &RequestCtx) -> Result<Response, HttpError> {
     let body: ClassifyRequest = parse_body(req)?;
     let plan = load_plan(ctx, &body.key_id)?;
-    let tree = validated_tree(ctx.caches, &body.key_id, &plan, &body.tree, true)?;
+    let tree = validated_tree(ctx.caches, ctx.tenant, &body.key_id, &plan, &body.tree, true)?;
     let mut labels = Vec::with_capacity(body.rows.len());
     let mut encoded = Vec::new();
     for (i, row) in body.rows.iter().enumerate() {
@@ -493,10 +645,10 @@ fn classify(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
         encode_row_into(&plan.plan, row, i, &mut encoded)?;
         labels.push(tree.predict(&encoded).0);
     }
-    json_response(200, &ClassifyResponse { key_id: body.key_id, labels })
+    json_response(200, &ClassifyResponse { tenant: ctx.tenant.wire(), key_id: body.key_id, labels })
 }
 
-fn decode_tree(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
+fn decode_tree(req: &Request, ctx: &RequestCtx) -> Result<Response, HttpError> {
     let body: DecodeTreeRequest = parse_body(req)?;
     let plan = load_plan(ctx, &body.key_id)?;
     let replayed = body.csv.is_some();
@@ -511,11 +663,16 @@ fn decode_tree(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
         payload.push(b'\n');
         payload.extend_from_slice(csv_text.as_bytes());
     }
-    let composite = TreeCache::cache_key(&body.key_id, &payload);
+    let composite = TreeCache::cache_key(ctx.tenant, &body.key_id, &payload);
     if let Some(decoded) = ctx.caches.trees.get(&composite) {
         return json_response(
             200,
-            &DecodeTreeResponse { key_id: body.key_id, replayed, tree: (*decoded).clone() },
+            &DecodeTreeResponse {
+                tenant: ctx.tenant.wire(),
+                key_id: body.key_id,
+                replayed,
+                tree: (*decoded).clone(),
+            },
         );
     }
     body.tree.validate(Some(plan.key.transforms.len())).map_err(HttpError::from)?;
@@ -533,16 +690,24 @@ fn decode_tree(req: &Request, ctx: &HandlerCtx) -> Result<Response, HttpError> {
             .map_err(HttpError::from)?,
     };
     ctx.caches.trees.put(composite, Arc::new(decoded.clone()));
-    json_response(200, &DecodeTreeResponse { key_id: body.key_id, replayed, tree: decoded })
+    json_response(
+        200,
+        &DecodeTreeResponse {
+            tenant: ctx.tenant.wire(),
+            key_id: body.key_id,
+            replayed,
+            tree: decoded,
+        },
+    )
 }
 
-fn audit(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
+fn audit(req: &Request, ctx: &RequestCtx) -> Result<Response, HttpError> {
     let body: AuditRequestBody = parse_body(req)?;
     check_key_id(&body.key_id)?;
     // The audit endpoint deliberately bypasses the plan cache: its job
     // is to re-examine the envelope as stored *right now*, not a
     // previously-blessed compiled form.
-    let key = match store.get(&body.key_id) {
+    let key = match ctx.store.get_in(ctx.tenant, &body.key_id) {
         Ok(Some(key)) => key,
         Ok(None) => {
             return Err(HttpError::not_found(
@@ -563,7 +728,41 @@ fn audit(req: &Request, store: &KeyStore) -> Result<Response, HttpError> {
         None => ppdt_transform::audit_key(&key),
     };
     let passed = report.passed();
-    json_response(200, &AuditResponseBody { key_id: body.key_id, passed, report })
+    json_response(
+        200,
+        &AuditResponseBody { tenant: ctx.tenant.wire(), key_id: body.key_id, passed, report },
+    )
+}
+
+/// `POST /v2/t/<tenant>/rekey`: online key rotation. The dataset
+/// arrives in `from_key_id`'s transformed space and leaves in
+/// `to_key_id`'s, re-encoded column-by-column through the fused
+/// [`ppdt_transform::RekeyPlan`] — one pass, with the plaintext
+/// confined to a scratch buffer inside this handler. The fused path
+/// is bit-identical to decode-then-encode by construction (proven by
+/// the transform crate's property tests), so a rekeyed dataset mines
+/// the same tree as a fresh encode under the target key.
+fn rekey(req: &Request, ctx: &RequestCtx) -> Result<Response, HttpError> {
+    let body: RekeyRequest = parse_body(req)?;
+    check_key_id(&body.from_key_id)?;
+    check_key_id(&body.to_key_id)?;
+    let from = load_plan(ctx, &body.from_key_id)?;
+    let to = load_plan(ctx, &body.to_key_id)?;
+    let d_prime = parse_csv_body(&body.csv)?;
+    check_arity(&from.key, d_prime.num_attrs())?;
+    let mut plan = ppdt_transform::RekeyPlan::new(&from.plan, &to.plan).map_err(HttpError::from)?;
+    let rekeyed = plan.rekey_dataset(&d_prime).map_err(HttpError::from)?;
+    ppdt_obs::add(ppdt_obs::Counter::RowsEncoded, d_prime.num_rows() as u64);
+    json_response(
+        200,
+        &RekeyResponse {
+            tenant: ctx.tenant.wire(),
+            from_key_id: body.from_key_id,
+            to_key_id: body.to_key_id,
+            rows_rekeyed: d_prime.num_rows() as u64,
+            csv: csv::to_csv(&rekeyed),
+        },
+    )
 }
 
 fn debug_sleep(req: &Request) -> Result<Response, HttpError> {
@@ -587,15 +786,15 @@ mod tests {
 
     #[test]
     fn routing_table() {
-        assert_eq!(route(&post("/v1/encode"), false).unwrap(), Endpoint::Encode);
-        assert_eq!(route(&get("/healthz"), false).unwrap(), Endpoint::Healthz);
-        assert_eq!(route(&get("/v1/keys"), false).unwrap(), Endpoint::ListKeys);
-        assert_eq!(route(&post("/v1/keys"), false).unwrap(), Endpoint::StoreKey);
-        assert_eq!(route(&get("/v1/version"), false).unwrap(), Endpoint::Version);
+        assert_eq!(route(&post("/v1/encode"), false).unwrap(), Route::v1(Endpoint::Encode));
+        assert_eq!(route(&get("/healthz"), false).unwrap(), Route::v1(Endpoint::Healthz));
+        assert_eq!(route(&get("/v1/keys"), false).unwrap(), Route::v1(Endpoint::ListKeys));
+        assert_eq!(route(&post("/v1/keys"), false).unwrap(), Route::v1(Endpoint::StoreKey));
+        assert_eq!(route(&get("/v1/version"), false).unwrap(), Route::v1(Endpoint::Version));
         // Cluster routes are always live (a standalone node serves an
         // honest manifest of itself).
-        assert_eq!(route(&get("/v1/peer/keys"), false).unwrap(), Endpoint::PeerManifest);
-        assert_eq!(route(&post("/v1/peer/fetch"), false).unwrap(), Endpoint::PeerFetch);
+        assert_eq!(route(&get("/v1/peer/keys"), false).unwrap(), Route::v1(Endpoint::PeerManifest));
+        assert_eq!(route(&post("/v1/peer/fetch"), false).unwrap(), Route::v1(Endpoint::PeerFetch));
         // Wrong method on a known path is 405, unknown path 404.
         assert_eq!(route(&get("/v1/encode"), false).unwrap_err().status, 405);
         assert_eq!(route(&post("/healthz"), false).unwrap_err().status, 405);
@@ -605,9 +804,52 @@ mod tests {
         assert_eq!(route(&get("/nope"), false).unwrap_err().status, 404);
         // Debug routes exist only when enabled.
         assert_eq!(route(&post("/v1/debug/sleep"), false).unwrap_err().status, 404);
-        assert_eq!(route(&post("/v1/debug/sleep"), true).unwrap(), Endpoint::DebugSleep);
+        assert_eq!(route(&post("/v1/debug/sleep"), true).unwrap(), Route::v1(Endpoint::DebugSleep));
         assert_eq!(route(&post("/v1/debug/panic"), false).unwrap_err().status, 404);
-        assert_eq!(route(&post("/v1/debug/panic"), true).unwrap(), Endpoint::DebugPanic);
+        assert_eq!(route(&post("/v1/debug/panic"), true).unwrap(), Route::v1(Endpoint::DebugPanic));
+    }
+
+    #[test]
+    fn v2_routing_carries_the_tenant() {
+        let acme = Tenant::parse("acme").unwrap();
+        for (path, endpoint) in [
+            ("/v2/t/acme/encode", Endpoint::Encode),
+            ("/v2/t/acme/classify", Endpoint::Classify),
+            ("/v2/t/acme/decode-tree", Endpoint::DecodeTree),
+            ("/v2/t/acme/audit", Endpoint::Audit),
+            ("/v2/t/acme/keys", Endpoint::StoreKey),
+            ("/v2/t/acme/rekey", Endpoint::Rekey),
+        ] {
+            let r = route(&post(path), false).unwrap();
+            assert_eq!(r.endpoint, endpoint, "{path}");
+            assert_eq!(r.tenant, acme, "{path}");
+        }
+        assert_eq!(
+            route(&get("/v2/t/acme/keys"), false).unwrap(),
+            Route { endpoint: Endpoint::ListKeys, tenant: acme.clone() }
+        );
+        // `/v2/t/default/...` is an exact alias of the `/v1` route.
+        assert_eq!(
+            route(&post("/v2/t/default/encode"), false).unwrap(),
+            Route::v1(Endpoint::Encode)
+        );
+        // Known path + wrong method is 405; unknown suffix is 404.
+        assert_eq!(route(&get("/v2/t/acme/encode"), false).unwrap_err().status, 405);
+        assert_eq!(route(&get("/v2/t/acme/rekey"), false).unwrap_err().status, 405);
+        assert_eq!(route(&post("/v2/t/acme/nope"), false).unwrap_err().status, 404);
+        assert_eq!(route(&post("/v2/t/acme"), false).unwrap_err().status, 404);
+        // A malformed tenant name is a 400 *before* endpoint matching:
+        // the name gate is the path-traversal boundary.
+        for bad in ["/v2/t/UPPER/keys", "/v2/t/dot.dot/keys", "/v2/t//keys"] {
+            let err = route(&post(bad), false).unwrap_err();
+            assert_eq!(err.status, 400, "{bad}");
+            assert_eq!(err.code, "invalid_tenant", "{bad}");
+        }
+        // There is no tenant-scoped spelling of the infra routes.
+        assert_eq!(route(&get("/v2/t/acme/version"), false).unwrap_err().status, 404);
+        assert_eq!(route(&get("/v2/t/acme/peer/keys"), false).unwrap_err().status, 404);
+        // Rekey is /v2-only: no /v1 spelling exists.
+        assert_eq!(route(&post("/v1/rekey"), false).unwrap_err().status, 404);
     }
 
     #[test]

@@ -120,6 +120,14 @@ impl HttpError {
         HttpError { status: 503, code: "overloaded", message: message.into(), detail: None }
     }
 
+    /// 429 with `Retry-After` semantics: a per-tenant quota (keys or
+    /// in-flight requests) is exhausted. Distinct from 503, which
+    /// means the *daemon* is saturated — a 429 singles out one tenant
+    /// while the rest of the fleet is served normally.
+    pub fn too_many_requests(message: impl Into<String>) -> Self {
+        HttpError { status: 429, code: "quota_exceeded", message: message.into(), detail: None }
+    }
+
     /// 413 for a body (declared or streamed) over the configured cap.
     pub fn payload_too_large(message: impl Into<String>) -> Self {
         HttpError { status: 413, code: "payload_too_large", message: message.into(), detail: None }
@@ -143,7 +151,7 @@ impl HttpError {
         let envelope = Value::Object(vec![("error".to_string(), Value::Object(fields))]);
         let body = serde_json::to_string(&envelope)
             .unwrap_or_else(|_| format!("{{\"error\":{{\"status\":{}}}}}", self.status));
-        let retry_after = if self.status == 503 { Some(1) } else { None };
+        let retry_after = if self.status == 503 || self.status == 429 { Some(1) } else { None };
         Response { status: self.status, body, retry_after }
     }
 }
@@ -566,7 +574,7 @@ pub struct Response {
     pub status: u16,
     /// UTF-8 body (the API is JSON throughout).
     pub body: String,
-    /// Seconds for a `Retry-After` header (503 answers).
+    /// Seconds for a `Retry-After` header (503 and 429 answers).
     pub retry_after: Option<u64>,
 }
 
@@ -596,6 +604,7 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Content",
         424 => "Failed Dependency",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -1103,9 +1112,12 @@ mod tests {
         assert_eq!(err.get("status").and_then(|s| s.as_f64()), Some(409.0));
         assert_eq!(err.get("code").and_then(|s| s.as_str()), Some("corrupt_key"));
         assert!(err.get("detail").is_some(), "typed detail is serialized");
-        // Overload answers advertise Retry-After.
+        // Overload and quota answers advertise Retry-After.
         let resp = HttpError::overloaded("queue full").to_response();
         assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(1));
+        let resp = HttpError::too_many_requests("tenant over quota").to_response();
+        assert_eq!(resp.status, 429);
         assert_eq!(resp.retry_after, Some(1));
     }
 

@@ -1,5 +1,5 @@
 //! Persistent, versioned, content-addressed store for
-//! [`TransformKey`]s.
+//! [`TransformKey`]s, namespaced by [`Tenant`].
 //!
 //! Every key is serialized inside a schema-versioned [`KeyEnvelope`]
 //! and stored under `<key_id>.json`, where `key_id` is a 128-bit
@@ -7,6 +7,15 @@
 //! the versioning story: a key is immutable under its id, re-storing
 //! the same key is a no-op, and any edit produces a new id — there is
 //! nothing to overwrite and therefore nothing to corrupt in place.
+//!
+//! Tenancy is a directory dimension on top: the [`Tenant::Default`]
+//! namespace (what every `/v1` route serves) lives flat at the store
+//! root — byte-compatible with pre-tenancy stores — and each named
+//! tenant lives under `t/<name>/`. Content addressing is *per file*,
+//! unchanged by tenancy, so cluster anti-entropy replicates
+//! `(tenant, key)` pairs with the exact same no-conflict guarantees
+//! as before: the same key stored under two tenants is two
+//! independent files with the same digest.
 //!
 //! Durability and trust:
 //!
@@ -41,6 +50,95 @@ const ENVELOPE_CACHE_CAPACITY: usize = 64;
 /// Version of the on-disk envelope layout. Bumped on breaking
 /// changes; [`KeyStore::get`] rejects versions it does not know.
 pub const KEYSTORE_SCHEMA_VERSION: u64 = 1;
+
+/// A custodian namespace.
+///
+/// `Default` is the unnamed namespace every `/v1` route maps to; its
+/// keys live flat at the keystore root so pre-tenancy stores (and the
+/// `/v1` wire protocol) keep working unchanged. Named tenants come
+/// from `/v2/t/<name>/...` routes and live under `t/<name>/`.
+///
+/// Valid names are 1–32 chars of `[a-z0-9_-]` — the same shape gate
+/// as [`valid_id`], so a tenant name that reaches the file system can
+/// never traverse out of the store (and `"default"` normalizes to
+/// `Default`, making `/v2/t/default/...` an exact alias of `/v1`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Tenant {
+    /// The unnamed namespace `/v1` routes serve.
+    Default,
+    /// A named namespace from a `/v2/t/<name>/...` route.
+    Named(String),
+}
+
+impl Tenant {
+    /// The reserved name the default namespace answers to.
+    pub const DEFAULT_NAME: &'static str = "default";
+
+    /// Parses and validates a tenant name from a route or wire field.
+    /// `"default"` yields [`Tenant::Default`]; anything outside
+    /// `[a-z0-9_-]{1,32}` is rejected.
+    pub fn parse(name: &str) -> Option<Tenant> {
+        if name == Self::DEFAULT_NAME {
+            return Some(Tenant::Default);
+        }
+        let shape_ok = !name.is_empty()
+            && name.len() <= 32
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_');
+        shape_ok.then(|| Tenant::Named(name.to_string()))
+    }
+
+    /// Resolves the optional wire form carried by API types: a missing
+    /// field means the default tenant, anything else must
+    /// [`Tenant::parse`].
+    pub fn from_wire(wire: Option<&str>) -> Option<Tenant> {
+        match wire {
+            None => Some(Tenant::Default),
+            Some(name) => Self::parse(name),
+        }
+    }
+
+    /// The wire form for API types: `None` for the default tenant (so
+    /// `/v1` response bodies stay shaped exactly as before tenancy),
+    /// the name otherwise.
+    pub fn wire(&self) -> Option<String> {
+        match self {
+            Tenant::Default => None,
+            Tenant::Named(name) => Some(name.clone()),
+        }
+    }
+
+    /// The display name (`"default"` for the unnamed namespace).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Tenant::Default => Self::DEFAULT_NAME,
+            Tenant::Named(name) => name,
+        }
+    }
+
+    /// Whether this is the unnamed `/v1` namespace.
+    pub fn is_default(&self) -> bool {
+        matches!(self, Tenant::Default)
+    }
+
+    /// The URL prefix the tenant's data routes live under: `/v1` for
+    /// the default tenant (the back-compat shim), `/v2/t/<name>`
+    /// otherwise. `route_prefix() + "/encode"` etc. is always a valid
+    /// route.
+    pub fn route_prefix(&self) -> String {
+        match self {
+            Tenant::Default => "/v1".to_string(),
+            Tenant::Named(name) => format!("/v2/t/{name}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// The on-disk wrapper around a stored key.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -145,29 +243,61 @@ impl KeyStore {
         Ok(content_id(canonical.as_bytes()))
     }
 
+    /// The directory a tenant's envelopes live in: the store root for
+    /// the default tenant (pre-tenancy layout), `t/<name>/` otherwise.
+    fn tenant_dir(&self, tenant: &Tenant) -> PathBuf {
+        match tenant {
+            Tenant::Default => self.dir.clone(),
+            Tenant::Named(name) => self.dir.join("t").join(name),
+        }
+    }
+
+    fn path_in(&self, tenant: &Tenant, id: &str) -> PathBuf {
+        self.tenant_dir(tenant).join(format!("{id}.json"))
+    }
+
+    #[cfg(test)]
     fn path_for(&self, id: &str) -> PathBuf {
-        self.dir.join(format!("{id}.json"))
+        self.path_in(&Tenant::Default, id)
+    }
+
+    /// Key the envelope cache scopes entries under: tenant-qualified
+    /// so the same content address under two tenants never
+    /// cross-serves (`/` cannot appear in a tenant name or an id).
+    fn cache_key(tenant: &Tenant, id: &str) -> String {
+        format!("{tenant}/{id}")
+    }
+
+    #[cfg(test)]
+    fn stamp(&self, id: &str) -> Option<FileStamp> {
+        self.stamp_in(&Tenant::Default, id)
     }
 
     /// Cheap freshness stamp (length + mtime) of the envelope file for
-    /// `id`, or `None` when no such envelope exists (including
-    /// malformed ids). The plan cache and the store's own envelope
-    /// cache compare stamps to detect on-disk replacement of a cached
-    /// key without re-reading bytes.
-    pub(crate) fn stamp(&self, id: &str) -> Option<FileStamp> {
+    /// `id` under `tenant`, or `None` when no such envelope exists
+    /// (including malformed ids). The plan cache and the store's own
+    /// envelope cache compare stamps to detect on-disk replacement of
+    /// a cached key without re-reading bytes.
+    pub(crate) fn stamp_in(&self, tenant: &Tenant, id: &str) -> Option<FileStamp> {
         if !valid_id(id) {
             return None;
         }
-        let meta = fs::metadata(self.path_for(id)).ok()?;
+        let meta = fs::metadata(self.path_in(tenant, id)).ok()?;
         Some(FileStamp { len: meta.len(), mtime: meta.modified().ok() })
     }
 
-    /// Stores `key`, returning `(key_id, created)`. The key is audited
-    /// first — a structurally corrupt key is rejected with the audit's
-    /// first error rather than persisted. Re-storing an existing key
-    /// is a no-op (`created = false`).
+    /// Stores `key` in the default tenant, returning
+    /// `(key_id, created)`. The key is audited first — a structurally
+    /// corrupt key is rejected with the audit's first error rather
+    /// than persisted. Re-storing an existing key is a no-op
+    /// (`created = false`).
     pub fn put(&self, key: &TransformKey) -> Result<(String, bool), PpdtError> {
-        self.put_impl(key, false)
+        self.put_in(&Tenant::Default, key)
+    }
+
+    /// Tenant-scoped [`KeyStore::put`].
+    pub fn put_in(&self, tenant: &Tenant, key: &TransformKey) -> Result<(String, bool), PpdtError> {
+        self.put_impl(tenant, key, false)
     }
 
     /// Like [`KeyStore::put`], but replaces whatever is on disk under
@@ -177,11 +307,20 @@ impl KeyStore {
     /// the sole effect of overwriting is to *repair* a corrupt or
     /// torn on-disk entry (the anti-entropy loop uses exactly this
     /// after re-fetching a quarantined key from a healthy peer).
-    pub(crate) fn put_repairing(&self, key: &TransformKey) -> Result<(String, bool), PpdtError> {
-        self.put_impl(key, true)
+    pub(crate) fn put_repairing(
+        &self,
+        tenant: &Tenant,
+        key: &TransformKey,
+    ) -> Result<(String, bool), PpdtError> {
+        self.put_impl(tenant, key, true)
     }
 
-    fn put_impl(&self, key: &TransformKey, overwrite: bool) -> Result<(String, bool), PpdtError> {
+    fn put_impl(
+        &self,
+        tenant: &Tenant,
+        key: &TransformKey,
+        overwrite: bool,
+    ) -> Result<(String, bool), PpdtError> {
         let report = ppdt_transform::audit_key(key);
         if !report.passed() {
             return Err(report
@@ -189,7 +328,12 @@ impl KeyStore {
                 .unwrap_or_else(|| PpdtError::key_corrupt("key failed audit")));
         }
         let id = Self::key_id(key)?;
-        let path = self.path_for(&id);
+        let tdir = self.tenant_dir(tenant);
+        if !tenant.is_default() {
+            // Lazily materialize the tenant's directory on first put.
+            fs::create_dir_all(&tdir).map_err(|e| PpdtError::io(tdir.display().to_string(), e))?;
+        }
+        let path = self.path_in(tenant, &id);
         if !overwrite && path.exists() {
             return Ok((id, false));
         }
@@ -206,7 +350,7 @@ impl KeyStore {
         // resolves to, and concurrent puts of the same key each own
         // their temp file (the last rename wins with identical bytes).
         let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = self.dir.join(format!(".tmp-{id}-{}-{seq}", std::process::id()));
+        let tmp = tdir.join(format!(".tmp-{id}-{}-{seq}", std::process::id()));
         let result = (|| {
             let mut f =
                 fs::File::create(&tmp).map_err(|e| PpdtError::io(tmp.display().to_string(), e))?;
@@ -226,9 +370,9 @@ impl KeyStore {
             // stopped re-fetching). POSIX durability for a rename is
             // file fsync + containing-directory fsync — both or
             // neither.
-            let dirf = fs::File::open(&self.dir)
-                .map_err(|e| PpdtError::io(self.dir.display().to_string(), e))?;
-            dirf.sync_all().map_err(|e| PpdtError::io(self.dir.display().to_string(), e))
+            let dirf =
+                fs::File::open(&tdir).map_err(|e| PpdtError::io(tdir.display().to_string(), e))?;
+            dirf.sync_all().map_err(|e| PpdtError::io(tdir.display().to_string(), e))
         })();
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
@@ -247,22 +391,28 @@ impl KeyStore {
     /// unknown schema version, digest mismatch, failed audit — is a
     /// typed [`PpdtError::KeyCorrupt`].
     pub fn get(&self, id: &str) -> Result<Option<TransformKey>, PpdtError> {
+        self.get_in(&Tenant::Default, id)
+    }
+
+    /// Tenant-scoped [`KeyStore::get`].
+    pub fn get_in(&self, tenant: &Tenant, id: &str) -> Result<Option<TransformKey>, PpdtError> {
         if !valid_id(id) {
             return Ok(None);
         }
+        let cache_key = Self::cache_key(tenant, id);
         // Stamp *before* reading: if the file is replaced between the
         // stamp and the read we cache the new bytes under the old
         // stamp, and the next call's stamp mismatch forces a reload —
         // the race costs one redundant load, never a stale serve.
-        let stamp = self.stamp(id);
-        if let (Some(current), Some(cached)) = (stamp, self.envelopes.get(id)) {
+        let stamp = self.stamp_in(tenant, id);
+        if let (Some(current), Some(cached)) = (stamp, self.envelopes.get(&cache_key)) {
             let (cached_stamp, ref key) = *cached;
             if cached_stamp == current {
                 return Ok(Some(key.clone()));
             }
-            self.envelopes.remove(id);
+            self.envelopes.remove(&cache_key);
         }
-        let path = self.path_for(id);
+        let path = self.path_in(tenant, id);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -292,21 +442,21 @@ impl KeyStore {
                 .unwrap_or_else(|| PpdtError::key_corrupt(format!("key {id} failed audit"))));
         }
         if let Some(stamp) = stamp {
-            self.envelopes.insert(id.to_string(), Arc::new((stamp, envelope.key.clone())));
+            self.envelopes.insert(cache_key, Arc::new((stamp, envelope.key.clone())));
         }
         Ok(Some(envelope.key))
     }
 
-    /// The raw on-disk envelope bytes for `id`, with no validation:
-    /// `Ok(None)` for malformed or absent ids. The peer manifest
-    /// digests these bytes — envelope serialization is deterministic,
-    /// so two replicas holding the same key hold byte-identical files
-    /// and advertise identical digests.
-    pub(crate) fn raw(&self, id: &str) -> Result<Option<Vec<u8>>, PpdtError> {
+    /// The raw on-disk envelope bytes for `id` under `tenant`, with no
+    /// validation: `Ok(None)` for malformed or absent ids. The peer
+    /// manifest digests these bytes — envelope serialization is
+    /// deterministic, so two replicas holding the same key hold
+    /// byte-identical files and advertise identical digests.
+    pub(crate) fn raw_in(&self, tenant: &Tenant, id: &str) -> Result<Option<Vec<u8>>, PpdtError> {
         if !valid_id(id) {
             return Ok(None);
         }
-        let path = self.path_for(id);
+        let path = self.path_in(tenant, id);
         match fs::read(&path) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
@@ -314,15 +464,27 @@ impl KeyStore {
         }
     }
 
-    /// Lists every `*.json` entry in the store with its validation
-    /// status. Unreadable or corrupt entries appear with
+    /// Lists every `*.json` entry in the default tenant with its
+    /// validation status. Unreadable or corrupt entries appear with
     /// `valid = false`; they are diagnosable but unservable.
     pub fn list(&self) -> Result<Vec<KeyEntry>, PpdtError> {
+        self.list_in(&Tenant::Default)
+    }
+
+    /// Tenant-scoped [`KeyStore::list`]. A named tenant whose
+    /// directory has never been materialized simply has no keys.
+    pub fn list_in(&self, tenant: &Tenant) -> Result<Vec<KeyEntry>, PpdtError> {
+        let tdir = self.tenant_dir(tenant);
         let mut out = Vec::new();
-        let entries = fs::read_dir(&self.dir)
-            .map_err(|e| PpdtError::io(self.dir.display().to_string(), e))?;
+        let entries = match fs::read_dir(&tdir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && !tenant.is_default() => {
+                return Ok(out);
+            }
+            Err(e) => return Err(PpdtError::io(tdir.display().to_string(), e)),
+        };
         for entry in entries {
-            let entry = entry.map_err(|e| PpdtError::io(self.dir.display().to_string(), e))?;
+            let entry = entry.map_err(|e| PpdtError::io(tdir.display().to_string(), e))?;
             let name = entry.file_name();
             let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
                 continue;
@@ -330,7 +492,7 @@ impl KeyStore {
             if !valid_id(stem) {
                 continue; // temp files and foreign debris are not entries
             }
-            let (valid, num_attrs) = match self.get(stem) {
+            let (valid, num_attrs) = match self.get_in(tenant, stem) {
                 Ok(Some(key)) => (true, Some(key.transforms.len())),
                 Ok(None) | Err(_) => (false, None),
             };
@@ -338,6 +500,60 @@ impl KeyStore {
         }
         out.sort_by(|a, b| a.key_id.cmp(&b.key_id));
         Ok(out)
+    }
+
+    /// Every tenant with a presence on disk: the default tenant
+    /// (always, even when empty) followed by named tenants in sorted
+    /// order. Directories under `t/` whose names fail [`Tenant::parse`]
+    /// are foreign debris and are skipped.
+    pub fn list_tenants(&self) -> Result<Vec<Tenant>, PpdtError> {
+        let mut out = vec![Tenant::Default];
+        let tdir = self.dir.join("t");
+        let entries = match fs::read_dir(&tdir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(PpdtError::io(tdir.display().to_string(), e)),
+        };
+        let mut named = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| PpdtError::io(tdir.display().to_string(), e))?;
+            if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(tenant) = name.to_str().and_then(Tenant::parse) else {
+                continue;
+            };
+            if !tenant.is_default() {
+                named.push(tenant);
+            }
+        }
+        named.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        out.extend(named);
+        Ok(out)
+    }
+
+    /// How many well-formed envelope files a tenant holds, counted
+    /// directly off the directory (no envelope loads) — cheap enough
+    /// to gate every key store against a per-tenant quota.
+    pub fn key_count(&self, tenant: &Tenant) -> Result<usize, PpdtError> {
+        let tdir = self.tenant_dir(tenant);
+        let entries = match fs::read_dir(&tdir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && !tenant.is_default() => {
+                return Ok(0);
+            }
+            Err(e) => return Err(PpdtError::io(tdir.display().to_string(), e)),
+        };
+        let mut n = 0;
+        for entry in entries {
+            let entry = entry.map_err(|e| PpdtError::io(tdir.display().to_string(), e))?;
+            let name = entry.file_name();
+            if name.to_str().and_then(|n| n.strip_suffix(".json")).is_some_and(valid_id) {
+                n += 1;
+            }
+        }
+        Ok(n)
     }
 }
 
@@ -480,7 +696,7 @@ mod tests {
         let (_, created) = store.put(&key).unwrap();
         assert!(!created);
         assert!(store.get(&id).is_err(), "plain put left the torn file in place");
-        let (rid, created) = store.put_repairing(&key).unwrap();
+        let (rid, created) = store.put_repairing(&Tenant::Default, &key).unwrap();
         assert_eq!(rid, id);
         assert!(created);
         assert_eq!(store.get(&id).unwrap().expect("repaired"), key);
@@ -556,5 +772,66 @@ mod tests {
         assert_ne!(content_id(b"abc"), content_id(b"acb"));
         assert_eq!(content_id(b"").len(), 32);
         assert!(valid_id(&content_id(b"anything")));
+    }
+
+    #[test]
+    fn tenant_parse_validates_shape_and_normalizes_default() {
+        assert_eq!(Tenant::parse("default"), Some(Tenant::Default));
+        assert_eq!(Tenant::parse("acme"), Some(Tenant::Named("acme".into())));
+        assert_eq!(Tenant::parse("a-b_c9"), Some(Tenant::Named("a-b_c9".into())));
+        for bad in ["", "UPPER", "with space", "dot.dot", "a/..", "..", &"x".repeat(33)] {
+            assert_eq!(Tenant::parse(bad), None, "{bad:?}");
+        }
+        // Wire round-trip: default is omitted, names survive.
+        assert_eq!(Tenant::Default.wire(), None);
+        assert_eq!(Tenant::from_wire(None), Some(Tenant::Default));
+        assert_eq!(Tenant::from_wire(Some("default")), Some(Tenant::Default));
+        let acme = Tenant::parse("acme").unwrap();
+        assert_eq!(Tenant::from_wire(acme.wire().as_deref()), Some(acme));
+    }
+
+    #[test]
+    fn tenants_are_isolated_namespaces_with_the_layout_on_disk() {
+        let dir = tmp_dir("tenancy");
+        let store = KeyStore::open(&dir).unwrap();
+        let acme = Tenant::parse("acme").unwrap();
+        let globex = Tenant::parse("globex").unwrap();
+        let key = sample_key(21);
+
+        // The same key under two tenants: same content address, two
+        // independent files, and the default namespace stays empty.
+        let (id_a, created_a) = store.put_in(&acme, &key).unwrap();
+        let (id_g, created_g) = store.put_in(&globex, &key).unwrap();
+        assert!(created_a && created_g, "each tenant's first put creates");
+        assert_eq!(id_a, id_g, "content addressing is tenant-independent");
+        assert!(dir.join("t").join("acme").join(format!("{id_a}.json")).is_file());
+        assert!(dir.join("t").join("globex").join(format!("{id_a}.json")).is_file());
+        assert!(!dir.join(format!("{id_a}.json")).exists(), "default stays flat and empty");
+
+        // Reads never cross namespaces — including via the envelope
+        // cache, which is what a bare-id cache key would leak through.
+        assert_eq!(store.get_in(&acme, &id_a).unwrap().as_ref(), Some(&key));
+        assert_eq!(store.get(&id_a).unwrap(), None, "default tenant does not see acme's key");
+        let fresno = Tenant::parse("fresno").unwrap();
+        assert_eq!(store.get_in(&fresno, &id_a).unwrap(), None);
+
+        // Listings are per tenant; the default listing is untouched.
+        assert_eq!(store.list_in(&acme).unwrap().len(), 1);
+        assert_eq!(store.list_in(&fresno).unwrap().len(), 0, "unmaterialized tenant is empty");
+        assert_eq!(store.list().unwrap().len(), 0);
+        assert_eq!(store.key_count(&acme).unwrap(), 1);
+        assert_eq!(store.key_count(&Tenant::Default).unwrap(), 0);
+        assert_eq!(store.key_count(&fresno).unwrap(), 0);
+
+        // Tenant discovery: default first, then named, sorted.
+        let tenants = store.list_tenants().unwrap();
+        assert_eq!(tenants, vec![Tenant::Default, acme.clone(), globex.clone()]);
+
+        // `/v2/t/default` is an exact alias of the flat root.
+        let other = sample_key(22);
+        let (oid, _) = store.put_in(&Tenant::Default, &other).unwrap();
+        assert!(dir.join(format!("{oid}.json")).is_file());
+        assert_eq!(store.get(&oid).unwrap().as_ref(), Some(&other));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -9,6 +9,17 @@
 //! The wire protocol is specified normatively in `docs/PROTOCOL.md`
 //! at the repository root; the types in [`api`] are its Rust shape.
 //!
+//! The daemon is **multi-tenant**: every data route exists in a
+//! `/v2/t/{tenant}/...` form whose [`Tenant`] segment namespaces the
+//! key store, the compiled-plan and tree caches, replication, and the
+//! per-tenant quotas/metrics. The whole `/v1` surface is a shim over
+//! the same handlers bound to the implicit `default` tenant, so
+//! pre-tenancy clients (and the on-disk layout they wrote) keep
+//! working unchanged. `POST /v2/t/{tenant}/rekey` rotates a dataset
+//! between two stored keys in one fused pass
+//! ([`ppdt_transform::RekeyPlan`]) — plaintext never leaves the
+//! custodian boundary.
+//!
 //! Modules:
 //!
 //! * [`http`] — minimal HTTP/1.1 framing: persistent keep-alive
@@ -28,9 +39,11 @@
 //!   against the envelope file so on-disk replacement invalidates),
 //!   plus a mined-tree cache keyed by `(key id, payload digest)`,
 //! * [`handlers`] — the API surface: `POST /v1/keys`, `/v1/encode`,
-//!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, the cluster
-//!   `GET /v1/peer/keys` / `POST /v1/peer/fetch`, and the inline
-//!   `GET /healthz` / `GET /metrics` / `GET /v1/version`,
+//!   `/v1/classify`, `/v1/decode-tree`, `/v1/audit`, their
+//!   tenant-scoped `/v2/t/{tenant}/...` forms plus
+//!   `POST /v2/t/{tenant}/rekey`, the cluster `GET /v1/peer/keys` /
+//!   `POST /v1/peer/fetch`, and the inline `GET /healthz` /
+//!   `GET /metrics` / `GET /v1/version`,
 //! * [`client`] — the deadline-aware loopback client with
 //!   `Retry-After`-honoring retry, shared by the cluster sync loop,
 //!   the integration tests, and the bench binaries,
@@ -76,8 +89,8 @@ mod stream;
 pub use api::{VersionResponse, API_SCHEMA_VERSION, BENCH_REPORT_SCHEMA_VERSION};
 pub use cache::{Caches, PlanCache, TreeCache};
 pub use client::{ClientConfig, Exchange, RequestOutcome, RetryingClient};
-pub use handlers::Endpoint;
+pub use handlers::{Endpoint, Route};
 pub use http::{request, Client, HttpError, Request, Response};
-pub use keystore::{KeyEntry, KeyEnvelope, KeyStore, KEYSTORE_SCHEMA_VERSION};
+pub use keystore::{KeyEntry, KeyEnvelope, KeyStore, Tenant, KEYSTORE_SCHEMA_VERSION};
 pub use peer::PeerSnapshot;
 pub use server::{Server, ServerConfig};

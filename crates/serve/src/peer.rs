@@ -37,6 +37,12 @@
 //! window: a request for a key this node has not synced yet fetches
 //! it from a peer under a deadline instead of answering 404, so any
 //! node can answer for any key as soon as *some* node has it.
+//!
+//! Tenancy changes none of the invariants: the unit of replication is
+//! the `(tenant, key)` pair — manifests advertise the tenant next to
+//! each id, fetches and pushes carry it, and content addressing stays
+//! per file — so the same key under two tenants replicates as two
+//! independent entries with the same zero-conflict guarantees.
 
 use std::net::SocketAddr;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
@@ -46,7 +52,7 @@ use std::time::{Duration, Instant};
 use ppdt_obs::Counter;
 use serde::{Deserialize, Serialize};
 
-use crate::keystore::{valid_id, KeyEnvelope, KeyStore};
+use crate::keystore::{valid_id, KeyEnvelope, KeyStore, Tenant};
 use crate::peer_client::PeerClient;
 
 /// Backoff ceiling: an unreachable peer is polled at most
@@ -107,8 +113,8 @@ pub struct Cluster {
     sync_interval: Duration,
     fetch_deadline: Duration,
     peers: Vec<PeerSlot>,
-    push_tx: SyncSender<String>,
-    push_rx: Mutex<Receiver<String>>,
+    push_tx: SyncSender<(Tenant, String)>,
+    push_rx: Mutex<Receiver<(Tenant, String)>>,
 }
 
 impl Cluster {
@@ -171,15 +177,15 @@ impl Cluster {
     /// Queues a best-effort push of a freshly stored key. Never
     /// blocks a handler: when the queue is full the push is dropped —
     /// the next anti-entropy round delivers the key anyway.
-    pub(crate) fn notify_stored(&self, key_id: &str) {
-        let _ = self.push_tx.try_send(key_id.to_string());
+    pub(crate) fn notify_stored(&self, tenant: &Tenant, key_id: &str) {
+        let _ = self.push_tx.try_send((tenant.clone(), key_id.to_string()));
     }
 
     /// Read-through: fetch `key_id` from the first peer that has it,
     /// committing through the audited idempotent put. Bounded by the
     /// fetch deadline across all peers; returns whether the key is
     /// now locally servable. Counted like any other peer fetch.
-    pub(crate) fn fetch_from_peers(&self, store: &KeyStore, key_id: &str) -> bool {
+    pub(crate) fn fetch_from_peers(&self, store: &KeyStore, tenant: &Tenant, key_id: &str) -> bool {
         let deadline = Instant::now() + self.fetch_deadline;
         // Reachable peers first: sync lag is the common case and a
         // dead peer costs a whole connect timeout from the budget.
@@ -189,9 +195,9 @@ impl Cluster {
             if Instant::now() >= deadline {
                 break;
             }
-            match slot.client.fetch(key_id) {
+            match slot.client.fetch(tenant, key_id) {
                 Ok(envelope) => {
-                    if commit(store, key_id, envelope, false) {
+                    if commit(store, tenant, key_id, envelope, false) {
                         return true;
                     }
                 }
@@ -211,7 +217,7 @@ impl Cluster {
             let wait =
                 next_round.saturating_duration_since(Instant::now()).min(Duration::from_millis(50));
             match rx.recv_timeout(wait) {
-                Ok(key_id) => self.push_key(store, &key_id),
+                Ok((tenant, key_id)) => self.push_key(store, &tenant, &key_id),
                 Err(RecvTimeoutError::Timeout) => {}
                 // Unreachable while the Cluster owns a sender.
                 Err(RecvTimeoutError::Disconnected) => return,
@@ -247,7 +253,20 @@ impl Cluster {
                 Ok(manifest) => {
                     let mut behind = 0u64;
                     for entry in &manifest.keys {
-                        if !self.reconcile(store, slot, &entry.key_id, &entry.envelope_digest) {
+                        // An unparseable tenant name is a hostile or
+                        // broken peer — never let it shape a path.
+                        let Some(tenant) = Tenant::from_wire(entry.tenant.as_deref()) else {
+                            ppdt_obs::add(Counter::PeerFetchFailures, 1);
+                            behind += 1;
+                            continue;
+                        };
+                        if !self.reconcile(
+                            store,
+                            slot,
+                            &tenant,
+                            &entry.key_id,
+                            &entry.envelope_digest,
+                        ) {
                             behind += 1;
                         }
                     }
@@ -262,22 +281,30 @@ impl Cluster {
         }
     }
 
-    /// Brings one advertised key locally in sync with `slot`'s copy.
-    /// Returns whether this node now holds a servable copy.
-    fn reconcile(&self, store: &KeyStore, slot: &PeerSlot, key_id: &str, digest: &str) -> bool {
+    /// Brings one advertised `(tenant, key)` pair locally in sync
+    /// with `slot`'s copy. Returns whether this node now holds a
+    /// servable copy.
+    fn reconcile(
+        &self,
+        store: &KeyStore,
+        slot: &PeerSlot,
+        tenant: &Tenant,
+        key_id: &str,
+        digest: &str,
+    ) -> bool {
         if !valid_id(key_id) {
             // A hostile or broken peer advertising a malformed id.
             ppdt_obs::add(Counter::PeerFetchFailures, 1);
             return false;
         }
-        let need = match store.raw(key_id) {
+        let need = match store.raw_in(tenant, key_id) {
             Ok(Some(bytes)) if crate::keystore::content_id(&bytes) == *digest => Need::Nothing,
             Ok(Some(_)) => {
                 // Digest disagreement. A valid local envelope is
                 // canonical by content addressing — the peer is the
                 // one with the problem. An invalid one is a detected
                 // torn write: re-fetch and repair in place.
-                match store.get(key_id) {
+                match store.get_in(tenant, key_id) {
                     Ok(Some(_)) => Need::Nothing,
                     _ => Need::Repair,
                 }
@@ -287,8 +314,10 @@ impl Cluster {
         };
         match need {
             Need::Nothing => true,
-            Need::Fetch | Need::Repair => match slot.client.fetch(key_id) {
-                Ok(envelope) => commit(store, key_id, envelope, matches!(need, Need::Repair)),
+            Need::Fetch | Need::Repair => match slot.client.fetch(tenant, key_id) {
+                Ok(envelope) => {
+                    commit(store, tenant, key_id, envelope, matches!(need, Need::Repair))
+                }
                 Err(_) => {
                     ppdt_obs::add(Counter::PeerFetchFailures, 1);
                     false
@@ -301,12 +330,12 @@ impl Cluster {
     /// push is a plain `POST /v1/keys` store on the peer — idempotent
     /// and indistinguishable from a client store — so failures are
     /// simply left for the peer's own pull loop to repair.
-    fn push_key(&self, store: &KeyStore, key_id: &str) {
-        let Ok(Some(key)) = store.get(key_id) else {
+    fn push_key(&self, store: &KeyStore, tenant: &Tenant, key_id: &str) {
+        let Ok(Some(key)) = store.get_in(tenant, key_id) else {
             return; // vanished or invalid since the store: pull will sort it out
         };
         for slot in &self.peers {
-            let _ = slot.client.push(&key);
+            let _ = slot.client.push(tenant, &key);
         }
     }
 }
@@ -315,7 +344,13 @@ impl Cluster {
 /// The content address is re-derived locally and must equal the id
 /// the envelope was requested under — a lying peer cannot implant a
 /// key under a foreign id, and `put` re-audits the key itself.
-fn commit(store: &KeyStore, key_id: &str, envelope: KeyEnvelope, repair: bool) -> bool {
+fn commit(
+    store: &KeyStore,
+    tenant: &Tenant,
+    key_id: &str,
+    envelope: KeyEnvelope,
+    repair: bool,
+) -> bool {
     let derived = match KeyStore::key_id(&envelope.key) {
         Ok(d) => d,
         Err(_) => {
@@ -327,7 +362,11 @@ fn commit(store: &KeyStore, key_id: &str, envelope: KeyEnvelope, repair: bool) -
         ppdt_obs::add(Counter::PeerFetchFailures, 1);
         return false;
     }
-    let result = if repair { store.put_repairing(&envelope.key) } else { store.put(&envelope.key) };
+    let result = if repair {
+        store.put_repairing(tenant, &envelope.key)
+    } else {
+        store.put_in(tenant, &envelope.key)
+    };
     match result {
         Ok(_) => {
             ppdt_obs::add(Counter::PeerKeysFetched, 1);

@@ -15,7 +15,7 @@ use ppdt_transform::{RetryPolicy, TransformKey};
 
 use crate::api::{PeerFetchRequest, PeerFetchResponse, PeerManifestResponse, StoreKeyRequest};
 use crate::client::{ClientConfig, RetryingClient};
-use crate::keystore::KeyEnvelope;
+use crate::keystore::{KeyEnvelope, Tenant};
 
 /// One peer's typed endpoint surface.
 #[derive(Debug)]
@@ -58,12 +58,17 @@ impl PeerClient {
             .map_err(|e| self.unexpected("manifest parse", status, &e.to_string()))
     }
 
-    /// `POST /v1/peer/fetch`: one full envelope by content address.
+    /// `POST /v1/peer/fetch`: one full envelope by `(tenant, id)`.
     /// The caller re-derives the id and re-audits before storing —
-    /// this client does not trust the peer.
-    pub fn fetch(&self, key_id: &str) -> Result<KeyEnvelope, PpdtError> {
-        let req = serde_json::to_string(&PeerFetchRequest { key_id: key_id.to_string() })
-            .map_err(|e| PpdtError::internal(format!("peer fetch serialization: {e}")))?;
+    /// this client does not trust the peer. The tenant travels in the
+    /// body (omitted for the default tenant, so pre-tenancy peers
+    /// parse the request unchanged).
+    pub fn fetch(&self, tenant: &Tenant, key_id: &str) -> Result<KeyEnvelope, PpdtError> {
+        let req = serde_json::to_string(&PeerFetchRequest {
+            tenant: tenant.wire(),
+            key_id: key_id.to_string(),
+        })
+        .map_err(|e| PpdtError::internal(format!("peer fetch serialization: {e}")))?;
         let (status, body) = self.http.request("POST", "/v1/peer/fetch", &req)?;
         if status != 200 {
             return Err(self.unexpected("fetch", status, &body));
@@ -73,13 +78,15 @@ impl PeerClient {
         Ok(resp.envelope)
     }
 
-    /// Best-effort push of a freshly stored key (`POST /v1/keys`): the
-    /// receiving peer treats it exactly like a client store, so a push
-    /// and a pull of the same key are indistinguishable and idempotent.
-    pub fn push(&self, key: &TransformKey) -> Result<(), PpdtError> {
+    /// Best-effort push of a freshly stored key: a plain store on the
+    /// peer (`POST /v1/keys` for the default tenant,
+    /// `POST /v2/t/<name>/keys` otherwise), so a push and a pull of
+    /// the same key are indistinguishable and idempotent.
+    pub fn push(&self, tenant: &Tenant, key: &TransformKey) -> Result<(), PpdtError> {
         let req = serde_json::to_string(&StoreKeyRequest { key: key.clone() })
             .map_err(|e| PpdtError::internal(format!("peer push serialization: {e}")))?;
-        let (status, body) = self.http.request("POST", "/v1/keys", &req)?;
+        let path = format!("{}/keys", tenant.route_prefix());
+        let (status, body) = self.http.request("POST", &path, &req)?;
         if status != 200 && status != 201 {
             return Err(self.unexpected("push", status, &body));
         }

@@ -23,10 +23,16 @@
 //! out to the worker pool concurrently; the per-connection
 //! `ConnWriter` puts the responses back on
 //! the wire in request order. Chunked (`Transfer-Encoding: chunked`)
-//! bodies on `/v1/encode` and `/v1/classify` bypass body buffering
-//! entirely: the whole connection is handed to a worker, which
-//! decodes, encodes, and streams the answer back batch-by-batch
-//! (the private `stream` module) under a bounded memory ceiling.
+//! bodies on `/v1/encode` and `/v1/classify` (and their
+//! `/v2/t/{tenant}/` forms) bypass body buffering entirely: the whole
+//! connection is handed to a worker, which decodes, encodes, and
+//! streams the answer back batch-by-batch (the private `stream`
+//! module) under a bounded memory ceiling.
+//!
+//! Tenant quotas are enforced at the worker boundary: a tenant past
+//! [`ServerConfig::tenant_max_inflight`] concurrent requests is
+//! answered `429` with `Retry-After` — unlike a `503` the daemon is
+//! healthy; the quota, not the queue, said no.
 //!
 //! Liveness (`/healthz`), `/metrics`, and `/v1/version` are answered
 //! by the parser threads directly so they keep responding while the
@@ -46,6 +52,7 @@
 //! readable backlog, workers drain the queued jobs and finish their
 //! in-flight requests, and [`Server::run`] returns.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -58,8 +65,9 @@ use serde::Serialize;
 
 use crate::cache::Caches;
 use crate::conn::{Conn, ConnWriter};
-use crate::handlers::{self, Endpoint, HandlerCtx, ENDPOINTS};
+use crate::handlers::{self, Endpoint, HandlerCtx, Route, ENDPOINTS};
 use crate::http::{read_body_into, read_head, HttpError, Request, Response};
+use crate::keystore::Tenant;
 use crate::peer::{Cluster, PeerSnapshot};
 use crate::poller::{self, Parked, Poller, POLL_TICK};
 use crate::stream::{self, StreamEnd};
@@ -136,6 +144,14 @@ pub struct ServerConfig {
     /// Budget for a read-through fetch: the longest a request for a
     /// not-yet-synced key may wait on peers before answering 404.
     pub peer_fetch_deadline: Duration,
+    /// Keys one tenant may hold at once; storing past the quota
+    /// answers `429` with `Retry-After`. `0` disables the quota.
+    pub tenant_max_keys: usize,
+    /// Requests one tenant may have in flight on the worker pool at
+    /// once; past it the request is answered `429` (the connection
+    /// survives — unlike a `503` the daemon is healthy, the tenant is
+    /// over its share). `0` disables the quota.
+    pub tenant_max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -161,6 +177,8 @@ impl Default for ServerConfig {
             peers: Vec::new(),
             sync_interval: Duration::from_secs(2),
             peer_fetch_deadline: Duration::from_secs(2),
+            tenant_max_keys: 0,
+            tenant_max_inflight: 0,
         }
     }
 }
@@ -176,10 +194,34 @@ struct EndpointStats {
     latency: ppdt_obs::AtomicLogHistogram,
 }
 
-/// Live serve-side metrics (lock-free; rendered by `/metrics`).
+/// Per-tenant counters: one row per tenant that has been seen since
+/// the daemon started. The in-flight gauge doubles as the enforcement
+/// point for [`ServerConfig::tenant_max_inflight`].
+#[derive(Debug, Default)]
+struct TenantStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    quota_rejected: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// RAII handle on one tenant's in-flight slot (a panicking handler
+/// cannot leak it).
+struct TenantFlight(Arc<TenantStats>);
+
+impl Drop for TenantFlight {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Live serve-side metrics (lock-free except the per-tenant map,
+/// which takes one short mutex hop per request; rendered by
+/// `/metrics`).
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     per_endpoint: [EndpointStats; ENDPOINTS.len()],
+    tenants: Mutex<HashMap<String, Arc<TenantStats>>>,
     rejected: AtomicU64,
     in_flight: AtomicU64,
     in_flight_peak: AtomicU64,
@@ -191,6 +233,16 @@ pub struct ServeMetrics {
 impl ServeMetrics {
     fn requested(&self, e: Endpoint) {
         self.per_endpoint[e.index()].requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stats row for one tenant, created on first sight.
+    fn tenant(&self, tenant: &Tenant) -> Arc<TenantStats> {
+        let mut map = self.tenants.lock().expect("tenant metrics lock");
+        Arc::clone(map.entry(tenant.as_str().to_string()).or_default())
+    }
+
+    fn tenant_errored(&self, tenant: &Tenant) {
+        self.tenant(tenant).errors.fetch_add(1, Ordering::Relaxed);
     }
 
     fn errored(&self, e: Endpoint) {
@@ -219,6 +271,20 @@ impl ServeMetrics {
 
     /// Point-in-time copy for `/metrics` and reports.
     pub fn snapshot(&self) -> ServeSnapshot {
+        let mut tenants: Vec<TenantSnapshot> = self
+            .tenants
+            .lock()
+            .expect("tenant metrics lock")
+            .iter()
+            .map(|(name, s)| TenantSnapshot {
+                tenant: name.clone(),
+                requests: s.requests.load(Ordering::Relaxed),
+                errors: s.errors.load(Ordering::Relaxed),
+                quota_rejected: s.quota_rejected.load(Ordering::Relaxed),
+                in_flight: s.in_flight.load(Ordering::Relaxed),
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         ServeSnapshot {
             rejected: self.rejected(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
@@ -244,8 +310,24 @@ impl ServeMetrics {
                     }
                 })
                 .collect(),
+            tenants,
         }
     }
+}
+
+/// One per-tenant `/metrics` row.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant name (`default` for the implicit `/v1` tenant).
+    pub tenant: String,
+    /// Requests routed under the tenant (all endpoints).
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx.
+    pub errors: u64,
+    /// Requests bounced `429` by a tenant quota (keys or in-flight).
+    pub quota_rejected: u64,
+    /// The tenant's requests being processed right now.
+    pub in_flight: u64,
 }
 
 /// One `/metrics` row.
@@ -291,6 +373,9 @@ pub struct ServeSnapshot {
     pub streamed_chunks: u64,
     /// Per-endpoint counters, [`ENDPOINTS`] order.
     pub endpoints: Vec<EndpointSnapshot>,
+    /// Per-tenant counters, sorted by tenant name. Only tenants seen
+    /// since startup appear.
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 /// `GET /healthz` body.
@@ -328,7 +413,7 @@ struct Job {
     seq: u64,
     close: bool,
     req: Request,
-    endpoint: Endpoint,
+    route: Route,
     enqueued: Instant,
 }
 
@@ -340,7 +425,7 @@ struct StreamJob {
     seq: u64,
     close: bool,
     expect_continue: bool,
-    endpoint: Endpoint,
+    route: Route,
     enqueued: Instant,
 }
 
@@ -359,7 +444,7 @@ enum Step {
     /// The connection is finished (close requested, wire error, EOF).
     Done,
     /// Hand the whole connection to a worker for a streaming body.
-    Stream { seq: u64, close: bool, expect_continue: bool, endpoint: Endpoint },
+    Stream { seq: u64, close: bool, expect_continue: bool, route: Route },
 }
 
 /// A bound, not-yet-running custodian daemon.
@@ -450,6 +535,7 @@ impl Server {
             caches: &self.caches,
             cluster: self.cluster.as_ref(),
             node_id: &self.node_id,
+            tenant_max_keys: self.cfg.tenant_max_keys,
         }
     }
 
@@ -629,13 +715,13 @@ impl Server {
                     return;
                 }
                 Step::Done => return,
-                Step::Stream { seq, close, expect_continue, endpoint } => {
+                Step::Stream { seq, close, expect_continue, route } => {
                     let job = StreamJob {
                         conn,
                         seq,
                         close,
                         expect_continue,
-                        endpoint,
+                        route,
                         enqueued: Instant::now(),
                     };
                     match tx.try_send(Work::Stream(job)) {
@@ -644,7 +730,7 @@ impl Server {
                             self.submit_error(
                                 &job.conn.writer,
                                 job.seq,
-                                Some(job.endpoint),
+                                Some(job.route.endpoint),
                                 &HttpError::overloaded("request queue is full"),
                                 true,
                             );
@@ -653,7 +739,7 @@ impl Server {
                             self.submit_error(
                                 &job.conn.writer,
                                 job.seq,
-                                Some(job.endpoint),
+                                Some(job.route.endpoint),
                                 &HttpError::overloaded("server is shutting down"),
                                 true,
                             );
@@ -703,37 +789,33 @@ impl Server {
             || conn.created.elapsed() >= self.cfg.conn_lifetime
             || self.stopping();
 
-        let endpoint =
-            match handlers::route_parts(&head.method, &head.path, self.cfg.debug_endpoints) {
-                Ok(e) => e,
-                Err(e) => {
-                    // Routing errors (404/405) are request-level: consume
-                    // the body so the connection can survive.
-                    let mut body = conn.bodies.take();
-                    match read_body_into(
-                        &mut conn.reader,
-                        &head,
-                        self.cfg.max_body_bytes,
-                        &mut body,
-                    ) {
-                        Ok(()) => {
-                            conn.bodies.put(body);
-                            self.submit_error(&conn.writer, seq, None, &e, close);
-                            return self.after_answer(conn, close);
-                        }
-                        Err(be) => {
-                            self.submit_error(&conn.writer, seq, None, &be, true);
-                            return Step::Done;
-                        }
+        let route = match handlers::route_parts(&head.method, &head.path, self.cfg.debug_endpoints)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                // Routing errors (404/405) are request-level: consume
+                // the body so the connection can survive.
+                let mut body = conn.bodies.take();
+                match read_body_into(&mut conn.reader, &head, self.cfg.max_body_bytes, &mut body) {
+                    Ok(()) => {
+                        conn.bodies.put(body);
+                        self.submit_error(&conn.writer, seq, None, &e, close);
+                        return self.after_answer(conn, close);
+                    }
+                    Err(be) => {
+                        self.submit_error(&conn.writer, seq, None, &be, true);
+                        return Step::Done;
                     }
                 }
-            };
-        self.metrics.requested(endpoint);
+            }
+        };
+        self.metrics.requested(route.endpoint);
+        self.metrics.tenant(&route.tenant).requests.fetch_add(1, Ordering::Relaxed);
 
         // A chunked body on the hot endpoints streams: the worker
         // consumes it incrementally, so don't read a byte of it here.
-        if head.chunked && matches!(endpoint, Endpoint::Encode | Endpoint::Classify) {
-            return Step::Stream { seq, close, expect_continue: head.expect_continue, endpoint };
+        if head.chunked && matches!(route.endpoint, Endpoint::Encode | Endpoint::Classify) {
+            return Step::Stream { seq, close, expect_continue: head.expect_continue, route };
         }
 
         if head.expect_continue && head.has_body() {
@@ -745,24 +827,24 @@ impl Server {
         let mut body = conn.bodies.take();
         if let Err(e) = read_body_into(&mut conn.reader, &head, self.cfg.max_body_bytes, &mut body)
         {
-            self.submit_error(&conn.writer, seq, Some(endpoint), &e, true);
+            self.submit_error(&conn.writer, seq, Some(route.endpoint), &e, true);
             return Step::Done;
         }
 
-        if endpoint.is_inline() {
+        if route.endpoint.is_inline() {
             // Liveness, metrics, and version negotiation bypass the
             // queue so they stay responsive while the pool is
             // saturated. None of them reads the body, so the buffer
             // goes straight back.
             conn.bodies.put(body);
             let start = Instant::now();
-            let resp = match endpoint {
+            let resp = match route.endpoint {
                 Endpoint::Healthz => self.render_healthz(),
                 Endpoint::Version => self.render_version(),
                 _ => self.render_metrics(),
             };
-            self.metrics.timed(endpoint, start.elapsed());
-            self.submit(&conn.writer, seq, endpoint, resp, close);
+            self.metrics.timed(route.endpoint, start.elapsed());
+            self.submit(&conn.writer, seq, route.endpoint, resp, close);
             return self.after_answer(conn, close);
         }
 
@@ -773,7 +855,7 @@ impl Server {
             seq,
             close,
             req,
-            endpoint,
+            route,
             enqueued: Instant::now(),
         };
         match tx.try_send(Work::Buffered(job)) {
@@ -782,7 +864,7 @@ impl Server {
                 self.submit_error(
                     &job.writer,
                     job.seq,
-                    Some(job.endpoint),
+                    Some(job.route.endpoint),
                     &HttpError::overloaded("request queue is full"),
                     true,
                 );
@@ -792,7 +874,7 @@ impl Server {
                 self.submit_error(
                     &job.writer,
                     job.seq,
-                    Some(job.endpoint),
+                    Some(job.route.endpoint),
                     &HttpError::overloaded("server is shutting down"),
                     true,
                 );
@@ -848,43 +930,79 @@ impl Server {
         InFlight(&self.metrics)
     }
 
+    /// Per-tenant RAII in-flight gauge, doubling as the enforcement
+    /// point for [`ServerConfig::tenant_max_inflight`]: over the
+    /// quota the slot is still released on drop but the request is
+    /// answered `429` instead of being processed.
+    fn enter_tenant_flight(&self, tenant: &Tenant) -> Result<TenantFlight, HttpError> {
+        let stats = self.metrics.tenant(tenant);
+        let n = stats.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let guard = TenantFlight(stats);
+        let cap = self.cfg.tenant_max_inflight as u64;
+        if cap > 0 && n > cap {
+            guard.0.quota_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(HttpError::too_many_requests(format!(
+                "tenant {tenant} is over its in-flight quota ({cap})"
+            )));
+        }
+        Ok(guard)
+    }
+
     fn process(&self, mut job: Job) {
         if job.enqueued.elapsed() > self.cfg.request_deadline {
             self.submit_error(
                 &job.writer,
                 job.seq,
-                Some(job.endpoint),
+                Some(job.route.endpoint),
                 &HttpError::overloaded("request waited past its deadline"),
                 true,
             );
             return;
         }
         let _in_flight = self.enter_flight();
-        let _t = ppdt_obs::phase(job.endpoint.phase_name());
+        let _tenant_flight = match self.enter_tenant_flight(&job.route.tenant) {
+            Ok(guard) => guard,
+            Err(e) => {
+                // A quota bounce consumed the body cleanly (it was
+                // buffered before queuing), so the connection survives.
+                job.bodies.put(std::mem::take(&mut job.req.body));
+                self.metrics.tenant_errored(&job.route.tenant);
+                self.submit_error(&job.writer, job.seq, Some(job.route.endpoint), &e, job.close);
+                return;
+            }
+        };
+        let _t = ppdt_obs::phase(job.route.endpoint.phase_name());
         let start = Instant::now();
         // A handler panic is a bug, but it must cost one 500, not a
         // worker thread for the daemon's remaining lifetime.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handlers::handle(job.endpoint, &job.req, &self.ctx())
+            handlers::handle(&job.route, &job.req, &self.ctx())
         }));
         // The handler is done with the body: recycle the buffer for
         // the connection's next keep-alive request.
         job.bodies.put(std::mem::take(&mut job.req.body));
-        self.metrics.timed(job.endpoint, start.elapsed());
+        self.metrics.timed(job.route.endpoint, start.elapsed());
         match outcome {
-            Ok(Ok(resp)) => self.submit(&job.writer, job.seq, job.endpoint, resp, job.close),
+            Ok(Ok(resp)) => {
+                if resp.status >= 400 {
+                    self.metrics.tenant_errored(&job.route.tenant);
+                }
+                self.submit(&job.writer, job.seq, job.route.endpoint, resp, job.close)
+            }
             Ok(Err(e)) => {
                 // Handler-level errors consumed the body cleanly: the
                 // connection survives (overload 503s always close).
                 let close = job.close || e.status == 503;
-                self.submit_error(&job.writer, job.seq, Some(job.endpoint), &e, close);
+                self.metrics.tenant_errored(&job.route.tenant);
+                self.submit_error(&job.writer, job.seq, Some(job.route.endpoint), &e, close);
             }
             Err(_) => {
                 let e = HttpError::from(PpdtError::internal(format!(
                     "handler for {} panicked",
-                    job.endpoint.name()
+                    job.route.endpoint.name()
                 )));
-                self.submit_error(&job.writer, job.seq, Some(job.endpoint), &e, job.close);
+                self.metrics.tenant_errored(&job.route.tenant);
+                self.submit_error(&job.writer, job.seq, Some(job.route.endpoint), &e, job.close);
             }
         }
     }
@@ -896,14 +1014,24 @@ impl Server {
             self.submit_error(
                 &job.conn.writer,
                 job.seq,
-                Some(job.endpoint),
+                Some(job.route.endpoint),
                 &HttpError::overloaded("request waited past its deadline"),
                 true,
             );
             return;
         }
         let _in_flight = self.enter_flight();
-        let _t = ppdt_obs::phase(job.endpoint.phase_name());
+        let _tenant_flight = match self.enter_tenant_flight(&job.route.tenant) {
+            Ok(guard) => guard,
+            Err(e) => {
+                // The chunked body was never consumed, so the wire is
+                // mid-request: answer `429` and close.
+                self.metrics.tenant_errored(&job.route.tenant);
+                self.submit_error(&job.conn.writer, job.seq, Some(job.route.endpoint), &e, true);
+                return;
+            }
+        };
+        let _t = ppdt_obs::phase(job.route.endpoint.phase_name());
         let start = Instant::now();
         let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             stream::run(
@@ -911,12 +1039,12 @@ impl Server {
                 job.seq,
                 job.close,
                 job.expect_continue,
-                job.endpoint,
+                &job.route,
                 &self.ctx(),
                 &self.cfg,
             )
         }));
-        self.metrics.timed(job.endpoint, start.elapsed());
+        self.metrics.timed(job.route.endpoint, start.elapsed());
         match end {
             Ok(StreamEnd::Done { keep, chunks, .. }) => {
                 self.metrics.streamed_chunks.fetch_add(chunks, Ordering::Relaxed);
@@ -929,22 +1057,25 @@ impl Server {
             Ok(StreamEnd::Error(e)) => {
                 // Failed before the response started; the body was not
                 // fully consumed, so the connection must close.
-                self.submit_error(&job.conn.writer, job.seq, Some(job.endpoint), &e, true);
+                self.metrics.tenant_errored(&job.route.tenant);
+                self.submit_error(&job.conn.writer, job.seq, Some(job.route.endpoint), &e, true);
             }
             Ok(StreamEnd::Aborted) => {
                 // Mid-response failure: the writer is already dead and
                 // the socket shut down; dropping the conn finishes it.
-                self.metrics.errored(job.endpoint);
+                self.metrics.errored(job.route.endpoint);
+                self.metrics.tenant_errored(&job.route.tenant);
                 ppdt_obs::add(Counter::HttpErrors, 1);
             }
             Err(_) => {
                 let e = HttpError::from(PpdtError::internal(format!(
                     "streaming handler for {} panicked",
-                    job.endpoint.name()
+                    job.route.endpoint.name()
                 )));
                 // If the panic happened mid-response the writer is
                 // poisoned → dead, and this submit is a no-op.
-                self.submit_error(&job.conn.writer, job.seq, Some(job.endpoint), &e, true);
+                self.metrics.tenant_errored(&job.route.tenant);
+                self.submit_error(&job.conn.writer, job.seq, Some(job.route.endpoint), &e, true);
             }
         }
     }
@@ -1051,6 +1182,8 @@ mod tests {
             cfg.peer_fetch_deadline <= cfg.request_deadline,
             "a read-through fetch must fit inside the request budget"
         );
+        assert_eq!(cfg.tenant_max_keys, 0, "tenant key quota off by default");
+        assert_eq!(cfg.tenant_max_inflight, 0, "tenant in-flight quota off by default");
     }
 
     #[test]
@@ -1063,8 +1196,18 @@ mod tests {
         m.keepalive_reuses.fetch_add(3, Ordering::Relaxed);
         m.pipelined_requests.fetch_add(2, Ordering::Relaxed);
         m.streamed_chunks.fetch_add(7, Ordering::Relaxed);
+        let acme = Tenant::parse("acme").expect("valid tenant");
+        m.tenant(&acme).requests.fetch_add(4, Ordering::Relaxed);
+        m.tenant(&acme).quota_rejected.fetch_add(1, Ordering::Relaxed);
+        m.tenant(&Tenant::Default).requests.fetch_add(9, Ordering::Relaxed);
+        m.tenant_errored(&Tenant::Default);
         let snap = m.snapshot();
         assert_eq!(snap.endpoints.len(), ENDPOINTS.len());
+        // Tenant rows are sorted by name and carry their counters.
+        let names: Vec<&str> = snap.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, ["acme", "default"]);
+        assert_eq!((snap.tenants[0].requests, snap.tenants[0].quota_rejected), (4, 1));
+        assert_eq!((snap.tenants[1].requests, snap.tenants[1].errors), (9, 1));
         assert_eq!(
             (snap.keepalive_reuses, snap.pipelined_requests, snap.streamed_chunks),
             (3, 2, 7)

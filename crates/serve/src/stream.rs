@@ -38,7 +38,7 @@ use ppdt_error::PpdtError;
 
 use crate::api::{StreamClassifyHeader, StreamEncodeHeader};
 use crate::conn::Conn;
-use crate::handlers::{self, Endpoint, HandlerCtx};
+use crate::handlers::{self, Endpoint, HandlerCtx, RequestCtx, Route};
 use crate::http::{
     chunk_read_failed, finish_chunked, write_chunk, write_stream_head, ChunkedReader, HttpError,
 };
@@ -71,19 +71,20 @@ pub(crate) fn run(
     seq: u64,
     close_after: bool,
     expect_continue: bool,
-    endpoint: Endpoint,
-    ctx: &HandlerCtx,
+    route: &Route,
+    shared: &HandlerCtx,
     cfg: &ServerConfig,
 ) -> StreamEnd {
     conn.set_deadline(Instant::now() + cfg.stream_deadline);
     if expect_continue {
         conn.writer.try_continue(seq);
     }
+    let ctx = shared.scoped(&route.tenant);
     let writer = Arc::clone(&conn.writer);
     let mut body = BufReader::new(ChunkedReader::new(&mut conn.reader));
-    let mut out = match endpoint {
-        Endpoint::Encode => stream_encode(&writer, &mut body, seq, close_after, ctx, cfg),
-        Endpoint::Classify => stream_classify(&writer, &mut body, seq, close_after, ctx, cfg),
+    let mut out = match route.endpoint {
+        Endpoint::Encode => stream_encode(&writer, &mut body, seq, close_after, &ctx, cfg),
+        Endpoint::Classify => stream_classify(&writer, &mut body, seq, close_after, &ctx, cfg),
         _ => StreamEnd::Error(HttpError::from(PpdtError::internal(
             "streaming dispatched to a non-streamable endpoint",
         ))),
@@ -285,7 +286,7 @@ fn stream_encode<R: BufRead>(
     body: &mut R,
     seq: u64,
     close_after: bool,
-    ctx: &HandlerCtx,
+    ctx: &RequestCtx,
     cfg: &ServerConfig,
 ) -> StreamEnd {
     // Everything up to (and including) the first batch is validated
@@ -395,7 +396,7 @@ fn stream_classify<R: BufRead>(
     body: &mut R,
     seq: u64,
     close_after: bool,
-    ctx: &HandlerCtx,
+    ctx: &RequestCtx,
     cfg: &ServerConfig,
 ) -> StreamEnd {
     let header_line =
@@ -422,8 +423,14 @@ fn stream_classify<R: BufRead>(
         Ok(plan) => plan,
         Err(e) => return StreamEnd::Error(e),
     };
-    let tree = match handlers::validated_tree(ctx.caches, &header.key_id, &plan, &header.tree, true)
-    {
+    let tree = match handlers::validated_tree(
+        ctx.caches,
+        ctx.tenant,
+        &header.key_id,
+        &plan,
+        &header.tree,
+        true,
+    ) {
         Ok(tree) => tree,
         Err(e) => return StreamEnd::Error(e),
     };

@@ -300,3 +300,55 @@ fn torn_envelope_is_quarantined_then_repaired_from_a_peer() {
     let _ = std::fs::remove_dir_all(&dir);
     a.stop();
 }
+
+/// Tenancy × replication: the unit of anti-entropy is the
+/// `(tenant, key)` pair. A named tenant's key must land in the *same*
+/// tenant on the follower — in its `t/<name>/` directory on disk, in
+/// its `/v2` listing, and nowhere in the default namespace.
+#[test]
+fn tenant_keys_replicate_into_the_same_tenant() {
+    let a = common::start(ServerConfig::default(), "cluster-tenant-a");
+    let (key_acme, ..) = make_key(66, 100);
+    let (key_dflt, ..) = make_key(67, 100);
+    let sa: StoreKeyResponse =
+        post(a.addr, "/v2/t/acme/keys", &StoreKeyRequest { key: key_acme }, 201);
+    let sd: StoreKeyResponse = post(a.addr, "/v1/keys", &StoreKeyRequest { key: key_dflt }, 201);
+
+    let b = common::start(follower_cfg(&a, Duration::from_millis(200)), "cluster-tenant-b");
+
+    // Convergence: the manifests carry the tenant per entry, so
+    // equality covers namespace placement as well as digests.
+    let want = manifest(a.addr).keys;
+    assert_eq!(want.len(), 2);
+    assert!(want.iter().any(|e| e.tenant.as_deref() == Some("acme") && e.key_id == sa.key_id));
+    assert!(want.iter().any(|e| e.tenant.is_none() && e.key_id == sd.key_id));
+    wait_until(Duration::from_secs(15), "tenant manifests to converge", || {
+        manifest(b.addr).keys == want
+    });
+
+    // On the follower's disk: the acme key lives under t/acme/ and is
+    // byte-identical; the default key stays flat at the root.
+    let acme_path = b.dir.join("t").join("acme").join(format!("{}.json", sa.key_id));
+    assert_eq!(
+        std::fs::read(&acme_path).expect("replicated acme envelope"),
+        std::fs::read(a.dir.join("t").join("acme").join(format!("{}.json", sa.key_id)))
+            .expect("leader acme envelope"),
+        "acme replica must be byte-identical"
+    );
+    assert_eq!(envelope_bytes(&a, &sd.key_id), envelope_bytes(&b, &sd.key_id));
+    assert!(
+        !b.dir.join(format!("{}.json", sa.key_id)).exists(),
+        "acme's key must not leak into the follower's default namespace"
+    );
+
+    // And the follower's wire listings keep the namespaces apart.
+    let acme: ListKeysResponse = get(b.addr, "/v2/t/acme/keys");
+    assert!(acme.keys.iter().any(|k| k.key_id == sa.key_id));
+    assert!(!acme.keys.iter().any(|k| k.key_id == sd.key_id));
+    let dflt: ListKeysResponse = get(b.addr, "/v1/keys");
+    assert!(dflt.keys.iter().any(|k| k.key_id == sd.key_id));
+    assert!(!dflt.keys.iter().any(|k| k.key_id == sa.key_id));
+
+    b.stop();
+    a.stop();
+}

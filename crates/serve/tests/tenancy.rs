@@ -1,0 +1,293 @@
+//! Multi-tenant custodian tests (PR 10 acceptance): the `/v2/t/{tenant}/`
+//! surface namespaces keys, caches, and quotas per tenant; `/v1` stays
+//! a byte-compatible shim over the `default` tenant; and
+//! `POST /v2/t/{tenant}/rekey` rotates a dataset between two stored
+//! keys without the plaintext ever leaving the daemon.
+//!
+//! Assertions go through the wire and the on-disk keystore layout:
+//! the same key id under two tenants must never cross-serve — not via
+//! the key store, not via the compiled-plan cache, not via `/v1`.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use ppdt_data::csv::{parse_csv, to_csv};
+use ppdt_data::gen::census_like;
+use ppdt_data::Dataset;
+use ppdt_serve::handlers::{
+    ClassifyRequest, ClassifyResponse, EncodeRequest, EncodeResponse, ListKeysResponse,
+    RekeyRequest, RekeyResponse, StoreKeyRequest, StoreKeyResponse,
+};
+use ppdt_serve::{request, RetryingClient, ServerConfig};
+use ppdt_transform::{EncodeConfig, Encoder, TransformKey};
+use ppdt_tree::{trees_equal, TreeBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rows_of(d: &Dataset) -> Vec<Vec<f64>> {
+    (0..d.num_rows()).map(|i| d.schema().attrs().map(|a| d.column(a)[i]).collect()).collect()
+}
+
+fn make_key(seed: u64, rows: usize) -> (TransformKey, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = census_like(&mut rng, rows);
+    let (key, _) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode").into_parts();
+    (key, d)
+}
+
+fn post<T: serde::Serialize, R: serde::Deserialize>(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &T,
+    want_status: u16,
+) -> R {
+    let payload = serde_json::to_string(body).expect("serialize request");
+    let (status, text) = request(addr, "POST", path, &payload).expect("request succeeds");
+    assert_eq!(status, want_status, "POST {path} answered {status}: {text}");
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("POST {path} body: {e}\n{text}"))
+}
+
+fn list(addr: std::net::SocketAddr, path: &str) -> ListKeysResponse {
+    let (status, text) = request(addr, "GET", path, "").expect("list keys");
+    assert_eq!(status, 200, "GET {path} answered {status}: {text}");
+    serde_json::from_str(&text).expect("listing parses")
+}
+
+/// The tentpole isolation property, over the wire and on disk: the
+/// same content-addressed key id under two tenants is two independent
+/// entries, and a tenant that never stored the key gets a 404 even
+/// when another tenant's compiled plan is hot in the cache.
+#[test]
+fn same_key_id_under_two_tenants_never_cross_serves() {
+    let srv = common::start(ServerConfig::default(), "tenancy-iso");
+    let (key, d) = make_key(71, 120);
+
+    // Same key stored under two named tenants: same content address,
+    // separate namespaces (both stores create).
+    let a: StoreKeyResponse =
+        post(srv.addr, "/v2/t/acme/keys", &StoreKeyRequest { key: key.clone() }, 201);
+    let b: StoreKeyResponse =
+        post(srv.addr, "/v2/t/globex/keys", &StoreKeyRequest { key: key.clone() }, 201);
+    assert_eq!(a.key_id, b.key_id, "content addressing is tenant-independent");
+    assert!(a.created && b.created, "each tenant's store is a fresh create");
+    assert_eq!(a.tenant.as_deref(), Some("acme"));
+    assert_eq!(b.tenant.as_deref(), Some("globex"));
+
+    // On disk: one envelope per tenant under t/<name>/, nothing at the
+    // flat (default-tenant) root.
+    for t in ["acme", "globex"] {
+        let path = srv.dir.join("t").join(t).join(format!("{}.json", a.key_id));
+        assert!(path.exists(), "expected envelope at {}", path.display());
+    }
+    assert!(
+        !srv.dir.join(format!("{}.json", a.key_id)).exists(),
+        "a named tenant's key must not land in the default namespace"
+    );
+
+    // Listings are per-tenant; /v1 is the default tenant and sees
+    // nothing. /v2/t/default/ is the same namespace as /v1.
+    assert!(list(srv.addr, "/v2/t/acme/keys").keys.iter().any(|k| k.key_id == a.key_id));
+    assert!(list(srv.addr, "/v1/keys").keys.is_empty(), "default tenant must stay empty");
+    assert!(list(srv.addr, "/v2/t/default/keys").keys.is_empty());
+
+    // Warm acme's compiled plan, then ask for the same id as other
+    // tenants: the hot cache must not leak across the namespace.
+    let enc: EncodeResponse = post(
+        srv.addr,
+        "/v2/t/acme/encode",
+        &EncodeRequest { key_id: a.key_id.clone(), csv: Some(to_csv(&d)), rows: None },
+        200,
+    );
+    assert_eq!(enc.rows_encoded, d.num_rows() as u64);
+    assert_eq!(enc.tenant.as_deref(), Some("acme"));
+    for path in ["/v1/encode", "/v2/t/initech/encode"] {
+        let body = EncodeRequest { key_id: a.key_id.clone(), csv: Some(to_csv(&d)), rows: None };
+        let payload = serde_json::to_string(&body).expect("serialize");
+        let (status, text) = request(srv.addr, "POST", path, &payload).expect("request");
+        assert_eq!(status, 404, "POST {path} must not see acme's key: {text}");
+    }
+
+    // A malformed tenant segment is a 400, not a route into anything.
+    let (status, text) = request(srv.addr, "GET", "/v2/t/Not-Valid!/keys", "").expect("bad tenant");
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains("invalid_tenant"), "{text}");
+
+    srv.stop();
+}
+
+/// Per-tenant key quota: the N+1th distinct key answers `429` with
+/// `Retry-After`, re-storing a held key stays a cheap 200, and the
+/// quota counts per tenant — another tenant still stores freely.
+#[test]
+fn tenant_key_quota_answers_429_with_retry_after() {
+    let cfg = ServerConfig { tenant_max_keys: 1, ..ServerConfig::default() };
+    let srv = common::start(cfg, "tenancy-quota-keys");
+    let (key1, _) = make_key(72, 100);
+    let (key2, _) = make_key(73, 100);
+
+    let s1: StoreKeyResponse =
+        post(srv.addr, "/v2/t/acme/keys", &StoreKeyRequest { key: key1.clone() }, 201);
+    // Re-storing the held key is idempotent, not a quota violation.
+    let again: StoreKeyResponse =
+        post(srv.addr, "/v2/t/acme/keys", &StoreKeyRequest { key: key1.clone() }, 200);
+    assert_eq!(again.key_id, s1.key_id);
+
+    // The second distinct key bounces with the full 429 contract.
+    let body = serde_json::to_string(&StoreKeyRequest { key: key2.clone() }).expect("serialize");
+    let ex = RetryingClient::new(srv.addr)
+        .exchange_once("POST", "/v2/t/acme/keys", &body)
+        .expect("exchange");
+    assert_eq!(ex.status, 429, "{}", ex.body);
+    assert_eq!(ex.retry_after, Some(1), "429 must advertise Retry-After: {}", ex.body);
+    assert!(ex.body.contains("quota_exceeded"), "{}", ex.body);
+
+    // The quota is per tenant: globex (and the default tenant) are
+    // unaffected by acme being full.
+    let _: StoreKeyResponse =
+        post(srv.addr, "/v2/t/globex/keys", &StoreKeyRequest { key: key2.clone() }, 201);
+    let _: StoreKeyResponse = post(srv.addr, "/v1/keys", &StoreKeyRequest { key: key2 }, 201);
+
+    srv.stop();
+}
+
+/// Per-tenant in-flight quota: with `tenant_max_inflight: 1`, a
+/// request arriving while the tenant already occupies a worker is
+/// answered `429` promptly — the daemon is healthy (it is not a 503)
+/// and the quota books itself in `/metrics`.
+#[test]
+fn tenant_inflight_quota_answers_429() {
+    let cfg = ServerConfig {
+        workers: 4,
+        tenant_max_inflight: 1,
+        debug_endpoints: true,
+        ..ServerConfig::default()
+    };
+    let srv = common::start(cfg, "tenancy-quota-flight");
+
+    // Occupy the default tenant's single slot with a slow request.
+    let addr = srv.addr;
+    let slow = std::thread::spawn(move || {
+        request(addr, "POST", "/v1/debug/sleep", "{\"ms\": 1500}").expect("slow request")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    let started = Instant::now();
+    let ex = RetryingClient::new(srv.addr)
+        .exchange_once("POST", "/v1/debug/sleep", "{\"ms\": 1}")
+        .expect("exchange");
+    assert!(started.elapsed() < Duration::from_millis(900), "429 must not wait for the slot");
+    assert_eq!(ex.status, 429, "{}", ex.body);
+    assert_eq!(ex.retry_after, Some(1), "{}", ex.body);
+    assert!(ex.body.contains("quota_exceeded"), "{}", ex.body);
+
+    let (status, _) = slow.join().expect("slow thread");
+    assert_eq!(status, 200, "the in-quota request still completes");
+
+    // The bounce is visible per tenant in /metrics.
+    let (status, text) = request(srv.addr, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    let v: serde::Value = serde_json::from_str(&text).expect("metrics parses");
+    let tenants = v
+        .get("serve")
+        .and_then(|s| s.get("tenants"))
+        .and_then(|t| t.as_array())
+        .expect("serve.tenants");
+    let row = tenants
+        .iter()
+        .find(|t| t.get("tenant").and_then(|n| n.as_str()) == Some("default"))
+        .expect("default tenant row");
+    let bounced = row.get("quota_rejected").and_then(|q| q.as_f64()).expect("quota_rejected");
+    assert!(bounced >= 1.0, "quota bounce must be booked: {text}");
+
+    srv.stop();
+}
+
+/// Online key rotation, end to end over the wire: rekeying `Enc_A(D)`
+/// from key A to key B through the fused plan yields a dataset that
+/// mines the *same tree* as encoding the plaintext directly under
+/// key B — and classification against the rotated tree matches
+/// plaintext predictions. The daemon never saw `D` in the rekey call.
+#[test]
+fn rekey_over_the_wire_matches_direct_key_b_encode() {
+    let srv = common::start(ServerConfig::default(), "tenancy-rekey");
+    let mut rng = StdRng::seed_from_u64(74);
+    let d = census_like(&mut rng, 200);
+    let (key_a, _) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode A").into_parts();
+    let (key_b, _) =
+        Encoder::new(EncodeConfig::default()).encode(&mut rng, &d).expect("encode B").into_parts();
+
+    let sa: StoreKeyResponse =
+        post(srv.addr, "/v2/t/acme/keys", &StoreKeyRequest { key: key_a }, 201);
+    let sb: StoreKeyResponse =
+        post(srv.addr, "/v2/t/acme/keys", &StoreKeyRequest { key: key_b }, 201);
+    assert_ne!(sa.key_id, sb.key_id, "two independent keys");
+
+    // The dataset as the miner holds it today: encoded under key A.
+    let enc_a: EncodeResponse = post(
+        srv.addr,
+        "/v2/t/acme/encode",
+        &EncodeRequest { key_id: sa.key_id.clone(), csv: Some(to_csv(&d)), rows: None },
+        200,
+    );
+
+    // Rotate A → B in one fused pass.
+    let rekeyed: RekeyResponse = post(
+        srv.addr,
+        "/v2/t/acme/rekey",
+        &RekeyRequest {
+            from_key_id: sa.key_id.clone(),
+            to_key_id: sb.key_id.clone(),
+            csv: enc_a.csv.expect("encoded csv"),
+        },
+        200,
+    );
+    assert_eq!(rekeyed.rows_rekeyed, d.num_rows() as u64);
+    assert_eq!(rekeyed.tenant.as_deref(), Some("acme"));
+    assert_eq!(
+        (rekeyed.from_key_id.as_str(), rekeyed.to_key_id.as_str()),
+        (sa.key_id.as_str(), sb.key_id.as_str())
+    );
+
+    // Ground truth: encode the plaintext directly under key B.
+    let enc_b: EncodeResponse = post(
+        srv.addr,
+        "/v2/t/acme/encode",
+        &EncodeRequest { key_id: sb.key_id.clone(), csv: Some(to_csv(&d)), rows: None },
+        200,
+    );
+
+    // The rotated dataset and the fresh key-B encode mine the same
+    // tree — pattern preservation survived the rotation.
+    let d_rekeyed = parse_csv(&rekeyed.csv).expect("rekeyed CSV parses");
+    let d_direct = parse_csv(&enc_b.csv.expect("encoded csv")).expect("direct CSV parses");
+    let t_rekeyed = TreeBuilder::default().fit(&d_rekeyed);
+    let t_direct = TreeBuilder::default().fit(&d_direct);
+    assert!(
+        trees_equal(&t_rekeyed, &t_direct),
+        "tree mined on the rotated dataset must equal the key-B direct-encode tree"
+    );
+
+    // And the rotated tree classifies plaintext rows exactly like the
+    // plaintext-mined tree, through POST /v2/t/acme/classify with
+    // key B.
+    let rows = rows_of(&d);
+    let cls: ClassifyResponse = post(
+        srv.addr,
+        "/v2/t/acme/classify",
+        &ClassifyRequest { key_id: sb.key_id, tree: t_rekeyed, rows: rows.clone() },
+        200,
+    );
+    let t_plain = TreeBuilder::default().fit(&d);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            cls.labels[i],
+            t_plain.predict(row).0,
+            "row {i}: classification under the rotated key diverged"
+        );
+    }
+
+    srv.stop();
+}

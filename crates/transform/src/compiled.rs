@@ -897,6 +897,96 @@ impl CompiledKey {
     }
 }
 
+/// A fused decode∘encode plan for online key rotation: re-encodes
+/// data already encoded under a *source* key so it reads as if it had
+/// been encoded under a *target* key, one column at a time.
+///
+/// The fusion is at the column level: each attribute is decoded
+/// through the source plan's batched engine into a single reused
+/// scratch buffer and immediately re-encoded through the target
+/// plan's, so the only plaintext ever materialized is one column's
+/// worth inside this plan — no decoded `Dataset` is ever built, which
+/// is what lets a custodian daemon rotate keys without the cleartext
+/// relation crossing its boundary.
+///
+/// Because both halves *are* the batched column paths
+/// ([`CompiledKey::decode_column`] / [`CompiledKey::encode_column`]),
+/// the output is **bit-identical** to the unfused decode-then-encode
+/// sequence — same bits, and the same error at the same row — which
+/// the `rekey` proptest in `tests/compiled_equivalence.rs` pins.
+#[derive(Debug)]
+pub struct RekeyPlan<'k> {
+    src: &'k CompiledKey,
+    dst: &'k CompiledKey,
+    /// Reused per-column plaintext scratch; cleared by every decode.
+    scratch: Vec<f64>,
+}
+
+impl<'k> RekeyPlan<'k> {
+    /// Builds a rotation plan from key `src` to key `dst`. The keys
+    /// must cover the same number of attributes
+    /// ([`PpdtError::SchemaMismatch`] otherwise).
+    pub fn new(src: &'k CompiledKey, dst: &'k CompiledKey) -> Result<RekeyPlan<'k>, PpdtError> {
+        if src.num_attrs() != dst.num_attrs() {
+            return Err(PpdtError::SchemaMismatch {
+                detail: format!(
+                    "cannot rekey: source key has {} transform(s) but target has {}",
+                    src.num_attrs(),
+                    dst.num_attrs()
+                ),
+            });
+        }
+        Ok(RekeyPlan { src, dst, scratch: Vec::new() })
+    }
+
+    /// Number of attributes both keys cover.
+    pub fn num_attrs(&self) -> usize {
+        self.src.num_attrs()
+    }
+
+    /// Rotates one column: snapped decode under the source key into
+    /// the internal scratch, then encode under the target key into
+    /// `dst_col` (cleared first). Bit-identical — including the error
+    /// and the row it surfaces at — to calling
+    /// [`CompiledKey::decode_column`] then
+    /// [`CompiledKey::encode_column`] with a caller-held buffer.
+    pub fn rekey_column(
+        &mut self,
+        a: AttrId,
+        src_col: &[f64],
+        dst_col: &mut Vec<f64>,
+    ) -> Result<(), PpdtError> {
+        let (src, dst) = (self.src, self.dst);
+        src.decode_column(a, src_col, &mut self.scratch)?;
+        dst.encode_column(a, &self.scratch, dst_col)
+    }
+
+    /// Rotates a whole encoded dataset: every column through
+    /// [`RekeyPlan::rekey_column`], schema and labels untouched. Same
+    /// arity contract as [`CompiledKey::decode_dataset`].
+    pub fn rekey_dataset(
+        &mut self,
+        d_prime: &ppdt_data::Dataset,
+    ) -> Result<ppdt_data::Dataset, PpdtError> {
+        if self.num_attrs() != d_prime.num_attrs() {
+            return Err(PpdtError::SchemaMismatch {
+                detail: format!(
+                    "rekey plan covers {} attribute(s) but the dataset has {}",
+                    self.num_attrs(),
+                    d_prime.num_attrs()
+                ),
+            });
+        }
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(self.num_attrs());
+        for a in d_prime.schema().attrs() {
+            let mut col = Vec::new();
+            self.rekey_column(a, d_prime.column(a), &mut col)?;
+            columns.push(col);
+        }
+        Ok(d_prime.with_columns(columns))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1113,6 +1203,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rekey_matches_unfused_and_direct_target_encode() {
+        // Two independent keys over the same dataset: rotating D'_A
+        // through the fused plan must equal (a) the unfused
+        // decode-then-encode sequence bit-for-bit and (b) a direct
+        // encode of the original data under key B, because snapped
+        // decode is exact on genuine codes.
+        let (key_a, d) = sample_key(31, 0.5, FnFamily::Mixed);
+        let mut rng = StdRng::seed_from_u64(32);
+        let config = EncodeConfig {
+            strategy: BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 1 },
+            family: FnFamily::Mixed,
+            anti_monotone_prob: 0.5,
+            ..Default::default()
+        };
+        let (key_b, d_b) = Encoder::new(config).encode(&mut rng, &d).unwrap().into_parts();
+        let (plan_a, plan_b) =
+            (CompiledKey::compile(&key_a).unwrap(), CompiledKey::compile(&key_b).unwrap());
+        let mut rekey = RekeyPlan::new(&plan_a, &plan_b).unwrap();
+        for a in d.schema().attrs() {
+            let mut src_col = Vec::new();
+            plan_a.encode_column(a, d.column(a), &mut src_col).unwrap();
+            let mut fused = Vec::new();
+            rekey.rekey_column(a, &src_col, &mut fused).unwrap();
+            let (mut plain, mut unfused) = (Vec::new(), Vec::new());
+            plan_a.decode_column(a, &src_col, &mut plain).unwrap();
+            plan_b.encode_column(a, &plain, &mut unfused).unwrap();
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                unfused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "attr {a}: fused and unfused rekey diverged"
+            );
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d_b.column(a).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "attr {a}: rekeyed column must equal the direct key-B encode"
+            );
+        }
+        // Whole-dataset rotation reproduces the key-B encode exactly.
+        let d_a = d.with_columns(
+            d.schema()
+                .attrs()
+                .map(|a| {
+                    let mut col = Vec::new();
+                    plan_a.encode_column(a, d.column(a), &mut col).unwrap();
+                    col
+                })
+                .collect(),
+        );
+        assert_eq!(rekey.rekey_dataset(&d_a).unwrap(), d_b);
+    }
+
+    #[test]
+    fn rekey_arity_mismatch_is_schema_error() {
+        let (key_a, _) = sample_key(33, 0.0, FnFamily::Mixed);
+        let plan_a = CompiledKey::compile(&key_a).unwrap();
+        let mut rng = StdRng::seed_from_u64(34);
+        let cfg =
+            RandomDatasetConfig { num_rows: 60, num_attrs: 2, num_classes: 2, value_range: 12 };
+        let narrow = random_dataset(&mut rng, &cfg);
+        let config = EncodeConfig {
+            strategy: BreakpointStrategy::ChooseMaxMP { w: 4, min_piece_len: 1 },
+            family: FnFamily::Mixed,
+            ..Default::default()
+        };
+        let (key_b, _) = Encoder::new(config).encode(&mut rng, &narrow).unwrap().into_parts();
+        let plan_b = CompiledKey::compile(&key_b).unwrap();
+        assert!(matches!(RekeyPlan::new(&plan_a, &plan_b), Err(PpdtError::SchemaMismatch { .. })));
+        // Dataset arity is checked too.
+        let mut same = RekeyPlan::new(&plan_a, &plan_a).unwrap();
+        assert!(matches!(same.rekey_dataset(&narrow), Err(PpdtError::SchemaMismatch { .. })));
     }
 
     #[test]

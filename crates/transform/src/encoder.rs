@@ -7,8 +7,8 @@
 //! and the crossbeam-threaded path produce **bit-identical** output
 //! for the same master seed — parallelism is purely a wall-clock
 //! optimization, never a semantic choice. The historical free
-//! functions (`encode_dataset` & co.) live on as deprecated shims in
-//! [`crate::compat`].
+//! functions (`encode_dataset` & co.) are gone; the builder is the
+//! only entry point.
 //!
 //! ## Hostile inputs
 //!

@@ -28,9 +28,8 @@
 //! * [`compiled`] — [`CompiledKey`], an audited [`TransformKey`]
 //!   lowered into flat cache-friendly arrays for allocation-free,
 //!   dispatch-free per-value encode/decode (bit-identical to the
-//!   interpreted path),
-//! * [`compat`] — deprecated free-function shims
-//!   (`encode_dataset` & co.) over the [`Encoder`] builder,
+//!   interpreted path), and [`RekeyPlan`], the fused decode∘encode
+//!   used for online key rotation,
 //! * [`verify`] — class-string-preservation and no-outcome-change
 //!   checkers (Lemma 1, Theorems 1–2),
 //! * [`audit`] — structural audit of a loaded [`TransformKey`]
@@ -53,7 +52,6 @@
 
 pub mod audit;
 pub mod breakpoints;
-pub mod compat;
 pub mod compiled;
 pub mod encoder;
 pub mod family;
@@ -64,11 +62,7 @@ pub mod verify;
 
 pub use audit::{audit_key, audit_key_against, AuditFinding, AuditReport, Severity};
 pub use breakpoints::{plan_pieces, BreakpointStrategy, PiecePlan};
-#[allow(deprecated)]
-pub use compat::{
-    encode_dataset, encode_dataset_parallel, encode_dataset_parallel_with, encode_dataset_with,
-};
-pub use compiled::{CompiledKey, CompiledTransform};
+pub use compiled::{CompiledKey, CompiledTransform, RekeyPlan};
 pub use encoder::{
     EncodeConfig, Encoded, Encoder, LayoutKind, OnExhaust, RetryPolicy, TransformKey,
 };

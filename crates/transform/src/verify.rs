@@ -23,7 +23,7 @@ use rand::Rng;
 use ppdt_data::{AttrId, Dataset};
 use ppdt_tree::{tree_diff, TreeBuilder, TreeParams};
 
-use crate::encoder::{EncodeConfig, Encoder, RetryPolicy, TransformKey};
+use crate::encoder::{EncodeConfig, Encoder, TransformKey};
 
 /// The per-distinct-value class histograms of attribute `a`, in
 /// ascending value order — the tie-robust form of the class string.
@@ -113,56 +113,11 @@ pub fn no_outcome_change<R: Rng + ?Sized>(
     })
 }
 
-/// Custodian-side verified encoding: draws transformations and checks
-/// the no-outcome-change guarantee end-to-end, redrawing (bounded by
-/// `policy.max_attempts`) if a metric tie under an anti-monotone
-/// direction broke exactness.
-///
-/// Deprecated shim over the builder; the replacement is
-///
-/// ```
-/// use ppdt_transform::{EncodeConfig, Encoder, RetryPolicy};
-/// use ppdt_tree::TreeParams;
-/// use rand::SeedableRng;
-///
-/// let d = ppdt_data::gen::figure1();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let encoded = Encoder::new(EncodeConfig::default())
-///     .retry(RetryPolicy::with_fallback(8))
-///     .verify_with(TreeParams::default())
-///     .encode(&mut rng, &d)
-///     .unwrap();
-/// assert!((1..=9).contains(&encoded.attempts));
-/// // The guarantee just verified: decoding the tree mined on D'
-/// // reproduces the tree mined on D.
-/// let t_prime = ppdt_tree::TreeBuilder::default().fit(&encoded.dataset);
-/// let s = encoded
-///     .key
-///     .decode_tree(&t_prime, TreeParams::default().threshold_policy, &d)
-///     .unwrap();
-/// assert!(ppdt_tree::trees_equal(&s, &ppdt_tree::TreeBuilder::default().fit(&d)));
-/// ```
-///
-/// Returns the key, the transformed dataset, and the number of
-/// attempts used (fallback counts as one extra attempt).
-#[deprecated(
-    note = "use `Encoder::new(*config).retry(policy).verify_with(params).encode(rng, d)` instead"
-)]
-pub fn encode_dataset_verified<R: Rng + ?Sized>(
-    rng: &mut R,
-    d: &Dataset,
-    encode_config: &EncodeConfig,
-    params: TreeParams,
-    policy: RetryPolicy,
-) -> Result<(TransformKey, Dataset, usize), PpdtError> {
-    let e = Encoder::new(*encode_config).retry(policy).verify_with(params).encode(rng, d)?;
-    Ok((e.key, e.dataset, e.attempts))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::breakpoints::BreakpointStrategy;
+    use crate::encoder::RetryPolicy;
     use crate::family::FnFamily;
     use ppdt_data::gen::{census_like, figure1, random_dataset, wdbc_like, RandomDatasetConfig};
     use ppdt_data::{ClassId, DatasetBuilder, Schema};

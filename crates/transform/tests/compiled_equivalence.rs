@@ -12,7 +12,9 @@
 
 use ppdt_data::gen::census_like;
 use ppdt_data::AttrId;
-use ppdt_transform::{BreakpointStrategy, CompiledKey, EncodeConfig, Encoder, PieceKind};
+use ppdt_transform::{
+    BreakpointStrategy, CompiledKey, EncodeConfig, Encoder, PieceKind, RekeyPlan,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -180,6 +182,79 @@ proptest! {
                 "attr {i}: compiled columns must reproduce the encoder's D'"
             );
             let _ = t;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    /// The fused rotation plan ([`RekeyPlan`]) is bit-identical to the
+    /// unfused decode-then-encode sequence — same bits on success, the
+    /// same error on failure — and, when both keys were mined on the
+    /// same relation, the rotated columns equal a direct encode under
+    /// the target key (snapped decode is exact on genuine codes).
+    #[test]
+    fn prop_fused_rekey_is_bit_identical_to_unfused(
+        seed in 0u64..u64::from(u32::MAX),
+        rows in 40usize..120,
+        anti_a in 0.0f64..1.0,
+        anti_b in 0.0f64..1.0,
+        foreign_target in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = census_like(&mut rng, rows);
+        let cfg_a = EncodeConfig {
+            strategy: BreakpointStrategy::ChooseBP { w: 6 },
+            anti_monotone_prob: anti_a,
+            ..Default::default()
+        };
+        let cfg_b = EncodeConfig {
+            strategy: BreakpointStrategy::ChooseMaxMP { w: 8, min_piece_len: 3 },
+            anti_monotone_prob: anti_b,
+            ..Default::default()
+        };
+        let (key_a, d_a) =
+            Encoder::new(cfg_a).encode(&mut rng, &d).expect("encode A").into_parts();
+        // A "foreign" target key is mined on a different relation with
+        // the same arity, so decoded source values may fall outside its
+        // domain — exercising the error path, which must also match.
+        let target_data =
+            if foreign_target { census_like(&mut rng, rows) } else { d.clone() };
+        let (key_b, d_b) =
+            Encoder::new(cfg_b).encode(&mut rng, &target_data).expect("encode B").into_parts();
+        let plan_a = CompiledKey::compile(&key_a).expect("compile A");
+        let plan_b = CompiledKey::compile(&key_b).expect("compile B");
+        let mut rekey = RekeyPlan::new(&plan_a, &plan_b).expect("same arity");
+
+        for a in d.schema().attrs() {
+            let src_col = d_a.column(a);
+            let mut fused = Vec::new();
+            let fused_res = rekey.rekey_column(a, src_col, &mut fused);
+            let (mut plain, mut unfused) = (Vec::new(), Vec::new());
+            let unfused_res = plan_a
+                .decode_column(a, src_col, &mut plain)
+                .and_then(|()| plan_b.encode_column(a, &plain, &mut unfused));
+            // Same outcome (Debug strings: errors can carry NaN)...
+            prop_assert!(
+                format!("{fused_res:?}") == format!("{unfused_res:?}"),
+                "attr {a}: fused {fused_res:?} vs unfused {unfused_res:?}"
+            );
+            // ...and the same bits up to the same row.
+            prop_assert!(
+                fused.iter().zip(&unfused).all(|(x, y)| x.to_bits() == y.to_bits())
+                    && fused.len() == unfused.len(),
+                "attr {a}: fused and unfused outputs diverged"
+            );
+            if !foreign_target {
+                prop_assert!(fused_res.is_ok(), "attr {a}: same-relation rekey must succeed");
+                prop_assert!(
+                    fused.iter().zip(d_b.column(a)).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "attr {a}: rekeyed column must equal the direct key-B encode"
+                );
+            }
+        }
+        if !foreign_target {
+            prop_assert!(rekey.rekey_dataset(&d_a).expect("rekey dataset") == d_b);
         }
     }
 }

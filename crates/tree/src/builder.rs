@@ -124,7 +124,7 @@ impl TreeBuilder {
     /// recurse.
     ///
     /// The split search fans out **attribute-wise** over scoped worker
-    /// threads (the same pattern as `encode_dataset_parallel`): each
+    /// threads (the same pattern as `Encoder::threads`): each
     /// worker scans a contiguous ascending range of attributes and
     /// records its best candidate, and a serial reduction merges the
     /// per-range winners in ascending attribute order with the same

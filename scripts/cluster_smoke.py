@@ -268,6 +268,41 @@ def main():
         cluster.wait_converged(survivors, {key_id, key_id2})
         cluster.assert_identical_envelopes(survivors, [key_id, key_id2])
 
+        # 5b. Tenancy: the unit of replication is the (tenant, key)
+        # pair. A key stored under /v2/t/acme/ on one survivor must
+        # land under t/acme/ on the other — never in the flat default
+        # namespace — and the replica must be byte-identical.
+        status, body, _ = http("POST", f"http://{addrs[1]}/v2/t/acme/keys",
+                               json.dumps({"key": keys[0]}))
+        if status != 201 or body.get("tenant") != "acme":
+            cluster.fail(f"tenant store on node 1: {status} {body}")
+        deadline = time.monotonic() + CONVERGE_DEADLINE
+        while True:
+            m0 = cluster.manifest(0)
+            has_acme = any(e.get("tenant") == "acme" and e["key_id"] == key_id
+                           for e in m0)
+            if has_acme and cluster.manifest(1) == m0:
+                break
+            if time.monotonic() > deadline:
+                cluster.fail(f"acme key never replicated to node 0: {m0}")
+            time.sleep(0.05)
+        blobs = set()
+        for i in survivors:
+            path = os.path.join(cluster.dirs[i], "t", "acme",
+                                f"{key_id}.json")
+            if not os.path.exists(path):
+                cluster.fail(f"node {i}: tenant envelope missing at {path}")
+            with open(path, "rb") as fh:
+                blobs.add(fh.read())
+        if len(blobs) != 1:
+            cluster.fail("acme envelope differs across the survivors")
+        status, body, _ = http("GET", f"http://{addrs[0]}/v2/t/acme/keys")
+        if status != 200 \
+                or [k["key_id"] for k in body["keys"]] != [key_id]:
+            cluster.fail(f"replica's acme listing wrong: {status} {body}")
+        print("cluster_smoke: acme-tenant key replicated into the same "
+              "tenant, byte-identically")
+
         # The sync machinery is visible in the survivors' metrics.
         _, metrics, _ = http("GET", f"http://{addrs[0]}/metrics")
         counters = {c["name"]: c["value"]
@@ -289,7 +324,8 @@ def main():
 
     print("cluster_smoke passed: 3-node convergence, byte-identical "
           "envelopes, SIGKILL with zero lost/wrong answers, dead-peer "
-          "health reporting, survivor replication, graceful SIGTERM")
+          "health reporting, survivor replication, tenant-scoped "
+          "replication, graceful SIGTERM")
 
 
 if __name__ == "__main__":

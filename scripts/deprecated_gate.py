@@ -5,12 +5,12 @@ The encode entry points collapsed into the `Encoder` builder; the old
 free functions (`encode_dataset`, `encode_dataset_with`,
 `encode_dataset_parallel`, `encode_dataset_parallel_with`,
 `encode_dataset_verified`, `encode_attribute`, `encode_attribute_with`)
-survive only as `#[deprecated]` shims in
-`crates/transform/src/compat.rs` so out-of-tree callers migrate on
-their own schedule. In-tree code must not call them: this gate scans
-every `*.rs` file outside `target/`, `vendor/`, and the shim module
-itself for call sites and fails on any hit — including doc examples,
-which compile as doctests and would teach readers the dead API.
+lived on for a while as `#[deprecated]` shims in
+`crates/transform/src/compat.rs` and have since been deleted outright.
+This gate keeps them dead: it scans every `*.rs` file outside
+`target/` and `vendor/` for call sites and fails on any hit —
+including doc examples, which compile as doctests and would teach
+readers the dead API.
 
 Method calls like `Encoder::new(cfg).encode_attribute(...)` and plain
 re-exports (`pub use ... encode_dataset`) are not call sites and are
@@ -24,7 +24,6 @@ import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-SHIM = "crates/transform/src/compat.rs"
 SKIP_PARTS = {"target", "vendor"}
 
 # A deprecated free-function *call*: the name followed by `(` or a
@@ -53,19 +52,18 @@ def main():
     violations = []
     for path in sorted(ROOT.glob("**/*.rs")):
         rel = str(path.relative_to(ROOT))
-        if rel == SHIM or SKIP_PARTS & set(pathlib.Path(rel).parts):
+        if SKIP_PARTS & set(pathlib.Path(rel).parts):
             continue
         violations.extend(scan(path, rel))
     if violations:
-        print("deprecated encode free functions called outside "
-              f"{SHIM}:", file=sys.stderr)
+        print("deleted legacy encode free functions called in-tree:",
+              file=sys.stderr)
         for rel, lineno, name, text in violations:
             print(f"  {rel}:{lineno}: {name}: {text}", file=sys.stderr)
         print("migrate these call sites to the `Encoder` builder "
               "(see crates/transform/src/encoder.rs)", file=sys.stderr)
         return 1
-    print("deprecated-API gate clean: no legacy encode calls outside "
-          "the shim module")
+    print("deprecated-API gate clean: no legacy encode calls")
     return 0
 
 

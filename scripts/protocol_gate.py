@@ -18,7 +18,11 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 HANDLERS = ROOT / "crates" / "serve" / "src" / "handlers.rs"
 PROTOCOL = ROOT / "docs" / "PROTOCOL.md"
 
-ROUTE_ARM = re.compile(r'\(\s*"(GET|POST|PUT|DELETE|PATCH)"\s*,\s*"(/[^"]*)"\s*\)')
+# Matches both the 2-tuple `/v1` match arms `("POST", "/v1/keys")` and
+# the 3-tuple `V2_ROUTES` table rows
+# `("POST", "/v2/t/{tenant}/keys", Endpoint::StoreKey)` — the path may
+# be followed by `)` or by `, Endpoint::...`.
+ROUTE_ARM = re.compile(r'\(\s*"(GET|POST|PUT|DELETE|PATCH)"\s*,\s*"(/[^"]*)"\s*[,)]')
 DOC_HEADING = re.compile(r"^###\s+(GET|POST|PUT|DELETE|PATCH)\s+(/\S+)\s*$",
                          re.MULTILINE)
 
@@ -37,7 +41,11 @@ def documented_routes(text):
 
 def self_check():
     rust = '''
-    fn route_parts(method: &str, path: &str) -> Result<Endpoint, HttpError> {
+    fn route_parts(method: &str, path: &str) -> Result<Route, HttpError> {
+        const V2_ROUTES: [(&str, &str, Endpoint); 2] = [
+            ("POST", "/v2/t/{tenant}/thing", Endpoint::Thing),
+            ("GET", "/v2/t/{tenant}/thing", Endpoint::ListThing),
+        ];
         match (method, path) {
             ("POST", "/v1/thing") => Ok(Endpoint::Thing),
             ("GET", "/healthz") => Ok(Endpoint::Healthz),
@@ -47,13 +55,18 @@ def self_check():
     }
     '''
     # The method-not-allowed arm has no method literal, so only the
-    # two real routes must be extracted.
+    # real routes — both the /v1 2-tuples and the /v2 table's
+    # 3-tuples — must be extracted.
     match = re.search(r"fn route_parts.*?^    \}", rust, re.DOTALL | re.MULTILINE)
     got = {f"{m} {p}" for m, p in ROUTE_ARM.findall(match.group(0))}
-    if got != {"POST /v1/thing", "GET /healthz"}:
+    want = {"POST /v1/thing", "GET /healthz",
+            "POST /v2/t/{tenant}/thing", "GET /v2/t/{tenant}/thing"}
+    if got != want:
         sys.exit(f"self-check FAILED: router extraction got {sorted(got)}")
-    doc = "### POST /v1/thing\n\nbody\n\n### GET /healthz\n\n#### GET /not-a-route\n"
-    if documented_routes(doc) != {"POST /v1/thing", "GET /healthz"}:
+    doc = ("### POST /v1/thing\n\nbody\n\n### GET /healthz\n\n"
+           "### POST /v2/t/{tenant}/thing\n\n### GET /v2/t/{tenant}/thing\n\n"
+           "#### GET /not-a-route\n")
+    if documented_routes(doc) != want:
         sys.exit("self-check FAILED: doc extraction")
     print("self-check passed: both extractors discriminate")
 

@@ -15,9 +15,13 @@ HTTP:
                               answered, socket stays open
 6. chunked upload probe    -> POST /v1/encode with a chunked body
                               streams the transformed CSV back
-7. GET  /metrics           -> 200, encode/classify counters advanced,
-                              keepalive_reuses and streamed_chunks > 0
-8. SIGTERM                 -> daemon drains and exits 0
+7. tenant + rekey probe    -> keys stored under /v2/t/acme/ are
+                              invisible to /v1, and a rekey from key A
+                              to key B classifies like the original
+8. GET  /metrics           -> 200, encode/classify counters advanced,
+                              keepalive_reuses and streamed_chunks > 0,
+                              a per-tenant row for "acme"
+9. SIGTERM                 -> daemon drains and exits 0
 
 Usage: serve_smoke.py PPDT_BINARY
 
@@ -188,6 +192,7 @@ def main():
                                             "tree": tree_json, "rows": rows}))
             if status != 200 or len(body.get("labels", [])) != len(rows):
                 fail(daemon, f"classify: {status} {body}")
+            labels_v1 = body["labels"]
 
             # Keep-alive: one raw socket, two answered requests.
             s1, s2 = keepalive_probe(addr)
@@ -201,16 +206,79 @@ def main():
                 fail(daemon, f"chunked upload: {status} "
                              f"(matches buffered: {streamed == encoded_csv})")
 
+            # Tenancy: the same key under /v2/t/acme/ is a separate
+            # entry; a second key stored only there stays invisible
+            # to /v1; and an A->B rekey inside the tenant classifies
+            # exactly like the pre-rotation pipeline.
+            status, body = http("POST", f"{base}/v2/t/acme/keys",
+                                json.dumps({"key": json.loads(key_json)}))
+            if status != 201 or body.get("tenant") != "acme":
+                fail(daemon, f"tenant store: {status} {body}")
+            key2 = os.path.join(tmp, "key2.json")
+            subprocess.run([ppdt, "encode", csv,
+                            "--out", os.path.join(tmp, "unused.csv"),
+                            "--key", key2, "--seed", "8"],
+                           check=True, timeout=60)
+            with open(key2) as fh:
+                key2_json = fh.read()
+            status, body = http("POST", f"{base}/v2/t/acme/keys",
+                                json.dumps({"key": json.loads(key2_json)}))
+            if status != 201:
+                fail(daemon, f"tenant store key B: {status} {body}")
+            key_id_b = body["key_id"]
+            status, body = http("GET", f"{base}/v2/t/acme/keys")
+            if status != 200 or len(body.get("keys", [])) != 2:
+                fail(daemon, f"tenant listing: {status} {body}")
+            status, body = http("POST", f"{base}/v1/encode",
+                                json.dumps({"key_id": key_id_b,
+                                            "csv": plain, "rows": None}))
+            if status != 404:
+                fail(daemon, f"tenant isolation: /v1 sees acme's key B: "
+                             f"{status} {body}")
+
+            status, body = http("POST", f"{base}/v2/t/acme/encode",
+                                json.dumps({"key_id": key_id, "csv": plain,
+                                            "rows": None}))
+            if status != 200:
+                fail(daemon, f"tenant encode: {status} {body}")
+            status, body = http("POST", f"{base}/v2/t/acme/rekey",
+                                json.dumps({"from_key_id": key_id,
+                                            "to_key_id": key_id_b,
+                                            "csv": body["csv"]}))
+            n_rows = len(plain.strip().splitlines()) - 1
+            if status != 200 or body.get("rows_rekeyed") != n_rows:
+                fail(daemon, f"rekey: {status} {body}")
+            tree_b = os.path.join(tmp, "t_rekeyed.json")
+            with open(os.path.join(tmp, "rekeyed.csv"), "w") as fh:
+                fh.write(body["csv"])
+            subprocess.run([ppdt, "mine", os.path.join(tmp, "rekeyed.csv"),
+                            "--out", tree_b], check=True, timeout=60)
+            with open(tree_b) as fh:
+                tree_b_json = json.load(fh)
+            status, body = http("POST", f"{base}/v2/t/acme/classify",
+                                json.dumps({"key_id": key_id_b,
+                                            "tree": tree_b_json,
+                                            "rows": rows}))
+            if status != 200 or body.get("labels") != labels_v1:
+                fail(daemon, f"rekeyed classify diverged: {status} {body} "
+                             f"(want labels {labels_v1})")
+
             status, body = http("GET", f"{base}/metrics")
             served = {e["endpoint"]: e["requests"]
                       for e in body["serve"]["endpoints"]}
             if status != 200 or served.get("encode", 0) < 1 \
-                    or served.get("classify", 0) < 1:
+                    or served.get("classify", 0) < 1 \
+                    or served.get("rekey", 0) < 1:
                 fail(daemon, f"metrics: {status} {body}")
             if body["serve"].get("keepalive_reuses", 0) < 1 \
                     or body["serve"].get("streamed_chunks", 0) < 1:
                 fail(daemon, f"metrics: keep-alive/stream counters flat: "
                              f"{body['serve']}")
+            tenants = {t["tenant"]: t
+                       for t in body["serve"].get("tenants", [])}
+            if tenants.get("acme", {}).get("requests", 0) < 1:
+                fail(daemon, f"metrics: no per-tenant row for acme: "
+                             f"{body['serve'].get('tenants')}")
 
             daemon.send_signal(signal.SIGTERM)
             deadline = time.monotonic() + TIMEOUT
@@ -225,7 +293,8 @@ def main():
                 daemon.communicate(timeout=TIMEOUT)
 
     print("serve_smoke passed: healthz, key store, encode, classify, "
-          "keep-alive, chunked upload, metrics, graceful SIGTERM")
+          "keep-alive, chunked upload, tenant isolation, rekey, "
+          "metrics, graceful SIGTERM")
 
 
 if __name__ == "__main__":

@@ -69,13 +69,9 @@ pub mod prelude {
     pub use ppdt_attack::{FitMethod, HackerProfile};
     pub use ppdt_data::{AttrId, ClassId, Dataset, DatasetBuilder, Schema};
     pub use ppdt_risk::{domain_risk_trial, run_trials, DomainScenario};
-    // The deprecated free encode functions stay re-exported so
-    // downstream code migrates on its own schedule; new code should
-    // use the `Encoder` builder.
-    #[allow(deprecated)]
-    pub use ppdt_transform::{encode_dataset, encode_dataset_parallel};
     pub use ppdt_transform::{
-        BreakpointStrategy, CompiledKey, EncodeConfig, Encoded, Encoder, FnFamily, TransformKey,
+        BreakpointStrategy, CompiledKey, EncodeConfig, Encoded, Encoder, FnFamily, RekeyPlan,
+        TransformKey,
     };
     pub use ppdt_tree::{
         trees_equal, DecisionTree, SplitCriterion, ThresholdPolicy, TreeBuilder, TreeParams,
